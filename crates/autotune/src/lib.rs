@@ -1,0 +1,49 @@
+//! # kdtune-autotune
+//!
+//! A reimplementation of **AtuneRT**, the application-agnostic online
+//! autotuner used by *Online-Autotuning of Parallel SAH kD-Trees*
+//! (Tillmann et al., 2016; the tuner itself descends from Karcher &
+//! Pankratius and Schaefer et al.'s Atune-IL).
+//!
+//! The tuner owns a set of integer-valued parameters, each with a range
+//! and stride (or a power-of-two scale). Its search samples the space at
+//! random points to seed a Nelder–Mead simplex search over the normalized
+//! space, then follows the simplex until convergence — and keeps watching:
+//! if the converged configuration degrades (input drift in an online
+//! setting), the search restarts around the best known point.
+//!
+//! The client API mirrors the paper's Figure 1:
+//!
+//! ```
+//! use kdtune_autotune::Tuner;
+//!
+//! let mut tuner = Tuner::builder().seed(7).build();
+//! let n = tuner.register_parameter("N", 1, 32, 1);
+//! for _ in 0..64 {
+//!     tuner.start();                     // start measurement
+//!     let threads = tuner.get(n);        // read current configuration
+//!     let _ = threads;                   // ... do the tunable work ...
+//!     tuner.stop();                      // stop, report, apply next config
+//! }
+//! ```
+//!
+//! For deterministic experiments (and the paper-shaped benchmarks in this
+//! workspace) use [`Tuner::stop_with`], which feeds an explicit cost
+//! instead of wall-clock time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod param;
+pub mod search;
+mod space;
+mod tuner;
+
+pub use param::{ParamHandle, ParamScale, ParamSpec};
+pub use search::exhaustive::ExhaustiveSearch;
+pub use search::hill_climb::HillClimb;
+pub use search::nelder_mead::{NelderMead, NelderMeadSearch};
+pub use search::random::RandomSearch;
+pub use search::SearchStrategy;
+pub use space::{Config, SearchSpace};
+pub use tuner::{StrategyKind, Tuner, TunerBuilder, TunerPhase};

@@ -1,0 +1,255 @@
+//! Tunable parameter specifications.
+
+/// How a parameter's valid values are spaced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamScale {
+    /// `min, min+step, …, max` (the paper's closed integer intervals).
+    Linear {
+        /// Stride between consecutive valid values.
+        step: i64,
+    },
+    /// Powers of two in `[min, max]` — used for the lazy resolution `R`
+    /// ("limited to powers of 2", Table II).
+    Pow2,
+}
+
+/// A tunable parameter: a name plus the ordered set of its valid values.
+///
+/// Internally every parameter is treated as a *discrete index space*
+/// `0..count`; search algorithms operate on the normalized coordinate
+/// `index / (count - 1) ∈ [0, 1]` and snap back to valid values. This
+/// makes a power-of-two parameter exactly as "wide" as a linear one for
+/// the simplex geometry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSpec {
+    /// Display name (e.g. `"CI"`).
+    pub name: String,
+    /// Smallest valid value.
+    pub min: i64,
+    /// Largest valid value (inclusive; must itself be valid).
+    pub max: i64,
+    /// Value spacing.
+    pub scale: ParamScale,
+}
+
+/// Index of a registered parameter within its [`crate::Tuner`] /
+/// [`crate::SearchSpace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamHandle(pub(crate) usize);
+
+impl ParamSpec {
+    /// Linear parameter over `[min, max]` with the given stride.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, the stride is non-positive, or the
+    /// stride does not divide the range.
+    pub fn linear(name: impl Into<String>, min: i64, max: i64, step: i64) -> ParamSpec {
+        assert!(step > 0, "step must be positive");
+        assert!(max >= min, "empty range [{min}, {max}]");
+        assert!(
+            (max - min) % step == 0,
+            "step {step} does not divide range [{min}, {max}]"
+        );
+        ParamSpec {
+            name: name.into(),
+            min,
+            max,
+            scale: ParamScale::Linear { step },
+        }
+    }
+
+    /// Power-of-two parameter over `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics unless both endpoints are powers of two with `min <= max`.
+    pub fn pow2(name: impl Into<String>, min: i64, max: i64) -> ParamSpec {
+        assert!(min > 0 && min.count_ones() == 1, "min {min} must be a power of two");
+        assert!(max >= min && max.count_ones() == 1, "max {max} must be a power of two");
+        ParamSpec {
+            name: name.into(),
+            min,
+            max,
+            scale: ParamScale::Pow2,
+        }
+    }
+
+    /// Number of valid values.
+    pub fn count(&self) -> usize {
+        match self.scale {
+            ParamScale::Linear { step } => ((self.max - self.min) / step) as usize + 1,
+            ParamScale::Pow2 => (self.max.trailing_zeros() - self.min.trailing_zeros()) as usize + 1,
+        }
+    }
+
+    /// The `i`-th valid value.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.count()`.
+    pub fn value_at(&self, i: usize) -> i64 {
+        assert!(i < self.count(), "index {i} out of {}", self.count());
+        match self.scale {
+            ParamScale::Linear { step } => self.min + step * i as i64,
+            ParamScale::Pow2 => self.min << i,
+        }
+    }
+
+    /// Index of the valid value nearest to `v` (clamping into range).
+    pub fn index_of_nearest(&self, v: i64) -> usize {
+        let v = v.clamp(self.min, self.max);
+        match self.scale {
+            ParamScale::Linear { step } => {
+                let offset = v - self.min;
+                let lo = offset / step;
+                // Round to the nearer multiple.
+                if offset - lo * step > step / 2 {
+                    (lo + 1) as usize
+                } else {
+                    lo as usize
+                }
+            }
+            ParamScale::Pow2 => {
+                // Nearest in log-space.
+                let mut best = 0usize;
+                let mut best_d = i64::MAX;
+                for i in 0..self.count() {
+                    let d = (self.value_at(i) - v).abs();
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Snaps an arbitrary value onto the nearest valid value.
+    pub fn snap(&self, v: i64) -> i64 {
+        self.value_at(self.index_of_nearest(v))
+    }
+
+    /// Normalized coordinate of value `v` in `[0, 1]`.
+    pub fn normalize(&self, v: i64) -> f64 {
+        let n = self.count();
+        if n <= 1 {
+            return 0.0;
+        }
+        self.index_of_nearest(v) as f64 / (n - 1) as f64
+    }
+
+    /// Valid value nearest to normalized coordinate `x` (clamped to
+    /// `[0, 1]`).
+    pub fn denormalize(&self, x: f64) -> i64 {
+        let n = self.count();
+        if n <= 1 {
+            return self.min;
+        }
+        let idx = (x.clamp(0.0, 1.0) * (n - 1) as f64).round() as usize;
+        self.value_at(idx.min(n - 1))
+    }
+
+    /// Normalized value scaled to `[0, 100]` — the axis used by the
+    /// paper's Figure 7 boxplots.
+    pub fn normalize_percent(&self, v: i64) -> f64 {
+        self.normalize(v) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_count_and_values() {
+        let p = ParamSpec::linear("CI", 3, 101, 1);
+        assert_eq!(p.count(), 99);
+        assert_eq!(p.value_at(0), 3);
+        assert_eq!(p.value_at(98), 101);
+        let strided = ParamSpec::linear("X", 0, 60, 5);
+        assert_eq!(strided.count(), 13);
+        assert_eq!(strided.value_at(1), 5);
+    }
+
+    #[test]
+    fn pow2_count_and_values() {
+        let p = ParamSpec::pow2("R", 16, 8192);
+        assert_eq!(p.count(), 10); // 2^4 .. 2^13
+        assert_eq!(p.value_at(0), 16);
+        assert_eq!(p.value_at(9), 8192);
+    }
+
+    #[test]
+    fn snapping_clamps_and_rounds() {
+        let p = ParamSpec::linear("S", 1, 8, 1);
+        assert_eq!(p.snap(-5), 1);
+        assert_eq!(p.snap(100), 8);
+        assert_eq!(p.snap(4), 4);
+        let r = ParamSpec::pow2("R", 16, 8192);
+        assert_eq!(r.snap(20), 16);
+        assert_eq!(r.snap(30), 32);
+        assert_eq!(r.snap(1_000_000), 8192);
+        assert_eq!(r.snap(96), 64); // 96 is equidistant in linear space but
+                                    // nearer to 64 than to 128? |96-64|=32,
+                                    // |96-128|=32 — first match wins (64).
+    }
+
+    #[test]
+    fn normalize_round_trips_valid_values() {
+        for p in [
+            ParamSpec::linear("CI", 3, 101, 1),
+            ParamSpec::linear("CB", 0, 60, 1),
+            ParamSpec::linear("S", 1, 8, 1),
+            ParamSpec::pow2("R", 16, 8192),
+        ] {
+            for i in 0..p.count() {
+                let v = p.value_at(i);
+                assert_eq!(p.denormalize(p.normalize(v)), v, "{} value {v}", p.name);
+            }
+            assert_eq!(p.normalize(p.min), 0.0);
+            assert_eq!(p.normalize(p.max), 1.0);
+        }
+    }
+
+    #[test]
+    fn denormalize_clamps() {
+        let p = ParamSpec::linear("S", 1, 8, 1);
+        assert_eq!(p.denormalize(-0.5), 1);
+        assert_eq!(p.denormalize(1.5), 8);
+        assert_eq!(p.denormalize(f64::NAN.clamp(0.0, 1.0)), 1);
+    }
+
+    #[test]
+    fn denormalize_midpoint_exact() {
+        let p = ParamSpec::linear("S", 1, 8, 1);
+        // 0.5 * 7 = 3.5, rounds half away from zero to 4 → value 5.
+        assert_eq!(p.denormalize(0.5), 5);
+    }
+
+    #[test]
+    fn single_value_param() {
+        let p = ParamSpec::linear("K", 7, 7, 1);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.normalize(7), 0.0);
+        assert_eq!(p.denormalize(0.9), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "step 7 does not divide")]
+    fn bad_stride_rejected() {
+        let _ = ParamSpec::linear("X", 0, 10, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a power of two")]
+    fn bad_pow2_rejected() {
+        let _ = ParamSpec::pow2("R", 10, 8192);
+    }
+
+    #[test]
+    fn percent_scale() {
+        let p = ParamSpec::linear("CB", 0, 60, 1);
+        assert_eq!(p.normalize_percent(0), 0.0);
+        assert_eq!(p.normalize_percent(60), 100.0);
+        assert_eq!(p.normalize_percent(30), 50.0);
+    }
+}

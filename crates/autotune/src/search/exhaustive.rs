@@ -1,0 +1,202 @@
+//! Exhaustive grid search — the paper's §V-D-4 baseline.
+//!
+//! Enumerates the full Cartesian grid of valid configurations, optionally
+//! coarsened by a per-dimension stride (the paper's full kD-tree space has
+//! ~483 k points, so the published comparison necessarily subsampled;
+//! `stride` makes that explicit and controllable).
+
+use super::SearchStrategy;
+
+/// Exhaustive enumeration over the discrete index grid.
+pub struct ExhaustiveSearch {
+    /// Number of valid values per dimension.
+    counts: Vec<usize>,
+    /// Index stride per dimension (1 = every value).
+    strides: Vec<usize>,
+    /// Current index vector (counters), `None` when exhausted.
+    cursor: Option<Vec<usize>>,
+    outstanding: Option<Vec<f64>>,
+    best: Option<(Vec<f64>, f64)>,
+    evaluations: usize,
+}
+
+impl ExhaustiveSearch {
+    /// Enumerates the grid with `counts[i]` values in dimension `i`,
+    /// visiting every `strides[i]`-th index. The last index of each
+    /// dimension is always included so range endpoints are covered.
+    pub fn new(counts: Vec<usize>, strides: Vec<usize>) -> ExhaustiveSearch {
+        assert_eq!(counts.len(), strides.len(), "dimension mismatch");
+        assert!(!counts.is_empty(), "need at least one dimension");
+        assert!(counts.iter().all(|&c| c >= 1), "empty dimension");
+        assert!(strides.iter().all(|&s| s >= 1), "zero stride");
+        ExhaustiveSearch {
+            cursor: Some(vec![0; counts.len()]),
+            counts,
+            strides,
+            outstanding: None,
+            best: None,
+            evaluations: 0,
+        }
+    }
+
+    /// Uniform stride across all dimensions.
+    pub fn with_uniform_stride(counts: Vec<usize>, stride: usize) -> ExhaustiveSearch {
+        let strides = vec![stride.max(1); counts.len()];
+        ExhaustiveSearch::new(counts, strides)
+    }
+
+    /// Total number of grid points this search will visit.
+    pub fn len(&self) -> usize {
+        self.counts
+            .iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| {
+                let full_steps = (c - 1) / s;
+                // +1 for index 0; +1 more if the last index isn't on-stride.
+                full_steps + 1 + usize::from((c - 1) % s != 0)
+            })
+            .product()
+    }
+
+    /// True when no points remain (never started counts as non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indices visited in one dimension.
+    fn dim_indices(&self, d: usize) -> Vec<usize> {
+        let (c, s) = (self.counts[d], self.strides[d]);
+        let mut v: Vec<usize> = (0..c).step_by(s).collect();
+        if *v.last().unwrap() != c - 1 {
+            v.push(c - 1);
+        }
+        v
+    }
+
+    fn point_at(&self, cursor: &[usize]) -> Vec<f64> {
+        cursor
+            .iter()
+            .enumerate()
+            .map(|(d, &step)| {
+                let idx = self.dim_indices(d)[step];
+                if self.counts[d] <= 1 {
+                    0.0
+                } else {
+                    idx as f64 / (self.counts[d] - 1) as f64
+                }
+            })
+            .collect()
+    }
+
+    fn advance(&mut self) {
+        let Some(mut cursor) = self.cursor.take() else {
+            return;
+        };
+        for d in (0..cursor.len()).rev() {
+            cursor[d] += 1;
+            if cursor[d] < self.dim_indices_len(d) {
+                self.cursor = Some(cursor);
+                return;
+            }
+            cursor[d] = 0;
+        }
+        // Wrapped around every dimension: exhausted (cursor stays None).
+    }
+
+    fn dim_indices_len(&self, d: usize) -> usize {
+        let (c, s) = (self.counts[d], self.strides[d]);
+        (c - 1) / s + 1 + usize::from((c - 1) % s != 0)
+    }
+}
+
+impl SearchStrategy for ExhaustiveSearch {
+    fn ask(&mut self) -> Option<Vec<f64>> {
+        let cursor = self.cursor.as_ref()?;
+        let p = self.point_at(cursor);
+        self.outstanding = Some(p.clone());
+        Some(p)
+    }
+
+    fn tell(&mut self, cost: f64) {
+        let Some(p) = self.outstanding.take() else {
+            return;
+        };
+        self.evaluations += 1;
+        if self.best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            self.best = Some((p, cost));
+        }
+        self.advance();
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.best.clone()
+    }
+
+    fn converged(&self) -> bool {
+        self.cursor.is_none()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::drive;
+
+    #[test]
+    fn enumerates_full_grid() {
+        let mut s = ExhaustiveSearch::with_uniform_stride(vec![3, 4], 1);
+        assert_eq!(s.len(), 12);
+        let mut seen = Vec::new();
+        while let Some(p) = s.ask() {
+            seen.push(p.clone());
+            s.tell(p[0] + p[1]);
+        }
+        assert_eq!(seen.len(), 12);
+        assert!(s.converged());
+        assert_eq!(s.evaluations(), 12);
+        // The global minimum of p0+p1 on the grid is (0, 0).
+        assert_eq!(s.best().unwrap().0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn strided_grid_keeps_endpoints() {
+        let s = ExhaustiveSearch::with_uniform_stride(vec![10], 4);
+        // indices 0, 4, 8 plus the forced endpoint 9.
+        assert_eq!(s.dim_indices(0), vec![0, 4, 8, 9]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn finds_grid_minimum() {
+        let mut s = ExhaustiveSearch::with_uniform_stride(vec![9, 9], 1);
+        let target = [0.75, 0.25];
+        let best = drive(
+            &mut s,
+            |p| {
+                p.iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
+            1000,
+        );
+        assert!(best < 1e-9, "exact grid point must be found: {best}");
+    }
+
+    #[test]
+    fn single_value_dimensions() {
+        let mut s = ExhaustiveSearch::with_uniform_stride(vec![1, 3], 1);
+        assert_eq!(s.len(), 3);
+        let mut n = 0;
+        while let Some(p) = s.ask() {
+            assert_eq!(p[0], 0.0);
+            s.tell(0.0);
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

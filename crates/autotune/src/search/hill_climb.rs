@@ -1,0 +1,229 @@
+//! Discrete hill climbing (coordinate descent) — a classic autotuning
+//! baseline between random search and the simplex: strictly local, cheap,
+//! and very prone to the local minima the paper discusses in §V-D-4.
+
+use super::SearchStrategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Coordinate-descent hill climber over the discrete index grid.
+///
+/// From the current configuration it probes one neighbor at a time
+/// (±1 index step along one dimension). Improvements are adopted
+/// immediately; a full unsuccessful sweep over all neighbors ends the
+/// search.
+pub struct HillClimb {
+    /// Values per dimension.
+    counts: Vec<usize>,
+    /// Current position (indices).
+    current: Vec<usize>,
+    current_cost: f64,
+    /// Neighbor being probed: (dimension, direction).
+    probe: Option<(usize, i64)>,
+    /// Neighbors probed without improvement since the last accept.
+    stale: usize,
+    evaluated_start: bool,
+    best: Option<(Vec<f64>, f64)>,
+    evaluations: usize,
+    done: bool,
+}
+
+impl HillClimb {
+    /// Starts from a uniformly random grid point.
+    pub fn new(counts: Vec<usize>, rng_seed: u64) -> HillClimb {
+        assert!(!counts.is_empty() && counts.iter().all(|&c| c >= 1));
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let current = counts.iter().map(|&c| rng.gen_range(0..c)).collect();
+        HillClimb {
+            counts,
+            current,
+            current_cost: f64::INFINITY,
+            probe: None,
+            stale: 0,
+            evaluated_start: false,
+            best: None,
+            evaluations: 0,
+            done: false,
+        }
+    }
+
+    /// Starts from a specific grid point (indices per dimension).
+    pub fn from_start(counts: Vec<usize>, start: Vec<usize>) -> HillClimb {
+        assert_eq!(counts.len(), start.len());
+        assert!(start.iter().zip(&counts).all(|(&s, &c)| s < c));
+        HillClimb {
+            counts,
+            current: start,
+            current_cost: f64::INFINITY,
+            probe: None,
+            stale: 0,
+            evaluated_start: false,
+            best: None,
+            evaluations: 0,
+            done: false,
+        }
+    }
+
+    fn to_point(&self, indices: &[usize]) -> Vec<f64> {
+        indices
+            .iter()
+            .zip(&self.counts)
+            .map(|(&i, &c)| if c <= 1 { 0.0 } else { i as f64 / (c - 1) as f64 })
+            .collect()
+    }
+
+    /// Total neighbor probes in one full sweep.
+    fn sweep_len(&self) -> usize {
+        2 * self.counts.len()
+    }
+
+    /// The neighbor for probe `k` of the sweep, if it exists on the grid.
+    fn neighbor(&self, k: usize) -> Option<Vec<usize>> {
+        let dim = k / 2;
+        let dir: i64 = if k % 2 == 0 { 1 } else { -1 };
+        let cur = self.current[dim] as i64;
+        let next = cur + dir;
+        if next < 0 || next as usize >= self.counts[dim] {
+            return None;
+        }
+        let mut n = self.current.clone();
+        n[dim] = next as usize;
+        Some(n)
+    }
+
+    fn advance_probe(&mut self) -> Option<Vec<usize>> {
+        while self.stale < self.sweep_len() {
+            let k = self.stale;
+            match self.neighbor(k) {
+                Some(n) => {
+                    self.probe = Some((k / 2, if k % 2 == 0 { 1 } else { -1 }));
+                    return Some(n);
+                }
+                None => self.stale += 1, // off-grid neighbor: skip
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+impl SearchStrategy for HillClimb {
+    fn ask(&mut self) -> Option<Vec<f64>> {
+        if self.done {
+            return None;
+        }
+        if !self.evaluated_start {
+            return Some(self.to_point(&self.current.clone()));
+        }
+        if let Some((dim, dir)) = self.probe {
+            // Re-ask for the same outstanding probe.
+            let mut n = self.current.clone();
+            n[dim] = (n[dim] as i64 + dir) as usize;
+            return Some(self.to_point(&n));
+        }
+        let n = self.advance_probe()?;
+        Some(self.to_point(&n))
+    }
+
+    fn tell(&mut self, cost: f64) {
+        self.evaluations += 1;
+        if !self.evaluated_start {
+            self.evaluated_start = true;
+            self.current_cost = cost;
+            self.best = Some((self.to_point(&self.current.clone()), cost));
+            return;
+        }
+        let Some((dim, dir)) = self.probe.take() else {
+            return;
+        };
+        let probed_idx = (self.current[dim] as i64 + dir) as usize;
+        if cost < self.current_cost {
+            self.current[dim] = probed_idx;
+            self.current_cost = cost;
+            self.stale = 0;
+            let point = self.to_point(&self.current.clone());
+            self.best = Some((point, cost));
+        } else {
+            self.stale += 1;
+        }
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.best.clone()
+    }
+
+    fn converged(&self) -> bool {
+        self.done
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::drive;
+
+    /// Convex separable bowl on a grid: hill climbing must find the exact
+    /// optimum.
+    #[test]
+    fn descends_to_grid_minimum_on_convex_bowl() {
+        let counts = vec![21usize, 21];
+        let target = [0.7, 0.3];
+        let mut hc = HillClimb::from_start(counts, vec![0, 20]);
+        let best = drive(
+            &mut hc,
+            |p| {
+                p.iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
+            10_000,
+        );
+        assert!(hc.converged());
+        assert!(best < 1e-9, "grid point (0.7, 0.3) exists: best {best}");
+    }
+
+    #[test]
+    fn gets_stuck_in_local_minima() {
+        // Two basins: global at index 2, local at index 18 of 21. Starting
+        // near the local basin must terminate there — demonstrating the
+        // §V-D-4 hazard the paper tests Nelder–Mead against.
+        let counts = vec![21usize];
+        let f = |p: &[f64]| {
+            let x = p[0];
+            let global = (x - 0.1) * (x - 0.1);
+            let local = 0.5 + 4.0 * (x - 0.9) * (x - 0.9);
+            global.min(local)
+        };
+        let mut hc = HillClimb::from_start(counts, vec![19]);
+        let best = drive(&mut hc, f, 1000);
+        assert!(hc.converged());
+        assert!(best > 0.4, "must be trapped in the local basin: {best}");
+    }
+
+    #[test]
+    fn respects_grid_edges() {
+        let mut hc = HillClimb::from_start(vec![3, 3], vec![0, 0]);
+        for _ in 0..100 {
+            let Some(p) = hc.ask() else { break };
+            assert!(p.iter().all(|x| (0.0..=1.0).contains(x)), "{p:?}");
+            hc.tell(p.iter().sum());
+        }
+        assert!(hc.converged());
+        // Start (0,0) is the optimum of sum(p): stays put.
+        assert_eq!(hc.best().unwrap().0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn random_start_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut hc = HillClimb::new(vec![9, 9, 9], seed);
+            drive(&mut hc, |p| p.iter().map(|x| (x - 0.5).abs()).sum(), 500)
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

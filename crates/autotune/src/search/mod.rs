@@ -1,0 +1,62 @@
+//! Search strategies over normalized configuration space.
+//!
+//! All strategies speak the same ask/tell protocol: [`SearchStrategy::ask`]
+//! yields the next point to measure (normalized coordinates in `[0, 1]ᵈ`),
+//! [`SearchStrategy::tell`] reports its measured cost. One measurement is
+//! outstanding at a time — exactly the rhythm of the online tuner's
+//! `Start()`/`Stop()` cycle.
+
+pub mod exhaustive;
+pub mod hill_climb;
+pub mod nelder_mead;
+pub mod random;
+
+/// Ask/tell optimization strategy over `[0, 1]ᵈ`.
+pub trait SearchStrategy: Send {
+    /// The next point to evaluate, or `None` when the strategy has nothing
+    /// further to propose (converged or exhausted). After `None`, callers
+    /// typically keep running the best known configuration.
+    fn ask(&mut self) -> Option<Vec<f64>>;
+
+    /// Reports the measured cost of the most recently asked point.
+    fn tell(&mut self, cost: f64);
+
+    /// Best (point, cost) observed so far.
+    fn best(&self) -> Option<(Vec<f64>, f64)>;
+
+    /// True once the strategy considers itself done.
+    fn converged(&self) -> bool;
+
+    /// Number of completed evaluations.
+    fn evaluations(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::SearchStrategy;
+
+    /// Drives a strategy against a cost function until it stops asking or
+    /// the budget runs out; returns the best cost it reported.
+    pub fn drive(
+        strategy: &mut dyn SearchStrategy,
+        mut f: impl FnMut(&[f64]) -> f64,
+        budget: usize,
+    ) -> f64 {
+        for _ in 0..budget {
+            let Some(p) = strategy.ask() else { break };
+            let c = f(&p);
+            strategy.tell(c);
+        }
+        strategy.best().expect("at least one evaluation").1
+    }
+
+    /// A well-conditioned convex bowl with its minimum at `center`.
+    pub fn bowl(center: &[f64]) -> impl Fn(&[f64]) -> f64 + '_ {
+        move |x: &[f64]| {
+            x.iter()
+                .zip(center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Nelder–Mead simplex search (Nelder & Mead 1965), formulated as an
+//! ask/tell state machine so one configuration is measured per tuning
+//! iteration, plus the random-sampling seeding stage AtuneRT puts in
+//! front of it.
+
+use super::SearchStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Standard Nelder–Mead coefficients.
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+/// What the machine is waiting to hear about.
+#[derive(Debug, Clone)]
+enum State {
+    /// Evaluating the initial simplex; `next` is the index being filled.
+    Init { next: usize },
+    /// Start of an iteration: nothing outstanding, compute reflection next.
+    StartIteration,
+    /// Waiting for the reflected point's cost.
+    Reflected { xr: Vec<f64> },
+    /// Waiting for the expanded point's cost.
+    Expanded { xr: Vec<f64>, fr: f64, xe: Vec<f64> },
+    /// Waiting for a contraction point's cost. `outside` records which
+    /// contraction was taken; `fr` is the reflection cost for comparison.
+    Contracted {
+        xc: Vec<f64>,
+        fr: f64,
+        outside: bool,
+    },
+    /// Shrinking: waiting for the shrunk vertex `idx`'s cost.
+    Shrinking { idx: usize, point: Vec<f64> },
+    /// Converged: nothing further to ask.
+    Done,
+}
+
+/// The core Nelder–Mead machine over `[0, 1]ᵈ` with a caller-supplied
+/// initial simplex.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    dim: usize,
+    /// `(point, cost)` vertices; costs are `NAN` until evaluated.
+    simplex: Vec<(Vec<f64>, f64)>,
+    state: State,
+    centroid: Vec<f64>,
+    tol: f64,
+    iterations: usize,
+    max_iterations: usize,
+    evaluations: usize,
+}
+
+fn clamp01(p: &mut [f64]) {
+    for x in p {
+        *x = x.clamp(0.0, 1.0);
+    }
+}
+
+fn affine(c: &[f64], w: &[f64], t: f64) -> Vec<f64> {
+    // c + t · (w − c), clamped into the unit box.
+    let mut p: Vec<f64> = c.iter().zip(w).map(|(a, b)| a + t * (b - a)).collect();
+    clamp01(&mut p);
+    p
+}
+
+impl NelderMead {
+    /// Starts from `initial` simplex vertices (must be `dim + 1` points of
+    /// dimension `dim`). `tol` is the normalized simplex diameter below
+    /// which the search declares convergence; `max_iterations` caps the
+    /// number of reflect/expand/contract/shrink rounds.
+    pub fn new(initial: Vec<Vec<f64>>, tol: f64, max_iterations: usize) -> NelderMead {
+        let dim = initial
+            .first()
+            .expect("simplex needs at least one vertex")
+            .len();
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert_eq!(
+            initial.len(),
+            dim + 1,
+            "a {dim}-dimensional simplex needs {} vertices",
+            dim + 1
+        );
+        let simplex = initial
+            .into_iter()
+            .map(|mut p| {
+                assert_eq!(p.len(), dim, "inconsistent vertex dimension");
+                clamp01(&mut p);
+                (p, f64::NAN)
+            })
+            .collect();
+        NelderMead {
+            dim,
+            simplex,
+            state: State::Init { next: 0 },
+            centroid: vec![0.0; dim],
+            tol,
+            iterations: 0,
+            max_iterations,
+            evaluations: 0,
+        }
+    }
+
+    /// Normalized simplex diameter (max pairwise L∞ distance).
+    pub fn diameter(&self) -> f64 {
+        let mut d: f64 = 0.0;
+        for i in 0..self.simplex.len() {
+            for j in i + 1..self.simplex.len() {
+                let dist = self.simplex[i]
+                    .0
+                    .iter()
+                    .zip(&self.simplex[j].0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                d = d.max(dist);
+            }
+        }
+        d
+    }
+
+    /// Completed reflect/expand/contract/shrink rounds.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn sort_simplex(&mut self) {
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// Sorts, checks convergence, and computes the centroid of all but the
+    /// worst vertex. Returns `false` when converged.
+    fn begin_iteration(&mut self) -> bool {
+        self.sort_simplex();
+        if self.diameter() < self.tol || self.iterations >= self.max_iterations {
+            self.state = State::Done;
+            return false;
+        }
+        let n = self.simplex.len();
+        let mut c = vec![0.0; self.dim];
+        for (p, _) in &self.simplex[..n - 1] {
+            for (ci, pi) in c.iter_mut().zip(p) {
+                *ci += pi;
+            }
+        }
+        for ci in &mut c {
+            *ci /= (n - 1) as f64;
+        }
+        self.centroid = c;
+        true
+    }
+
+    fn worst(&self) -> &(Vec<f64>, f64) {
+        self.simplex.last().unwrap()
+    }
+
+    fn replace_worst(&mut self, point: Vec<f64>, cost: f64) {
+        *self.simplex.last_mut().unwrap() = (point, cost);
+        self.iterations += 1;
+        self.state = State::StartIteration;
+    }
+
+    fn start_shrink(&mut self) {
+        // Shrink all non-best vertices toward the best; evaluate them one
+        // by one starting at index 1.
+        let best = self.simplex[0].0.clone();
+        let point = affine(&best, &self.simplex[1].0, SIGMA);
+        self.state = State::Shrinking { idx: 1, point };
+    }
+}
+
+impl SearchStrategy for NelderMead {
+    fn ask(&mut self) -> Option<Vec<f64>> {
+        loop {
+            match &self.state {
+                State::Init { next } => return Some(self.simplex[*next].0.clone()),
+                State::StartIteration => {
+                    if !self.begin_iteration() {
+                        return None;
+                    }
+                    let xr = affine(&self.centroid, &self.worst().0, -ALPHA);
+                    self.state = State::Reflected { xr: xr.clone() };
+                    return Some(xr);
+                }
+                State::Reflected { xr } => return Some(xr.clone()),
+                State::Expanded { xe, .. } => return Some(xe.clone()),
+                State::Contracted { xc, .. } => return Some(xc.clone()),
+                State::Shrinking { point, .. } => return Some(point.clone()),
+                State::Done => return None,
+            }
+        }
+    }
+
+    fn tell(&mut self, cost: f64) {
+        self.evaluations += 1;
+        let state = self.state.clone();
+        match state {
+            State::Init { next } => {
+                self.simplex[next].1 = cost;
+                self.state = if next + 1 < self.simplex.len() {
+                    State::Init { next: next + 1 }
+                } else {
+                    State::StartIteration
+                };
+            }
+            State::StartIteration | State::Done => {
+                // tell() without ask(): ignore (defensive).
+            }
+            State::Reflected { xr } => {
+                let fr = cost;
+                let f_best = self.simplex[0].1;
+                let f_second_worst = self.simplex[self.simplex.len() - 2].1;
+                let f_worst = self.worst().1;
+                if fr < f_best {
+                    let xe = affine(&self.centroid, &xr, GAMMA);
+                    self.state = State::Expanded { xr, fr, xe };
+                } else if fr < f_second_worst {
+                    self.replace_worst(xr, fr);
+                } else {
+                    let (xc, outside) = if fr < f_worst {
+                        (affine(&self.centroid, &xr, RHO), true)
+                    } else {
+                        (affine(&self.centroid, &self.worst().0.clone(), RHO), false)
+                    };
+                    self.state = State::Contracted { xc, fr, outside };
+                }
+            }
+            State::Expanded { xr, fr, xe } => {
+                let fe = cost;
+                if fe < fr {
+                    self.replace_worst(xe, fe);
+                } else {
+                    self.replace_worst(xr, fr);
+                }
+            }
+            State::Contracted { xc, fr, outside } => {
+                let fc = cost;
+                let accept = if outside {
+                    fc <= fr
+                } else {
+                    fc < self.worst().1
+                };
+                if accept {
+                    self.replace_worst(xc, fc);
+                } else {
+                    self.start_shrink();
+                }
+            }
+            State::Shrinking { idx, point } => {
+                self.simplex[idx] = (point, cost);
+                if idx + 1 < self.simplex.len() {
+                    let best = self.simplex[0].0.clone();
+                    let next_point = affine(&best, &self.simplex[idx + 1].0, SIGMA);
+                    self.state = State::Shrinking {
+                        idx: idx + 1,
+                        point: next_point,
+                    };
+                } else {
+                    self.iterations += 1;
+                    self.state = State::StartIteration;
+                }
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.simplex
+            .iter()
+            .filter(|(_, f)| !f.is_nan())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(p, f)| (p.clone(), *f))
+    }
+
+    fn converged(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// AtuneRT's full search: `seed_samples` random probes of the space, then
+/// a Nelder–Mead simplex started from the best `d + 1` of them.
+pub struct NelderMeadSearch {
+    dim: usize,
+    seed_points: Vec<Vec<f64>>,
+    seed_results: Vec<(Vec<f64>, f64)>,
+    nm: Option<NelderMead>,
+    tol: f64,
+    max_iterations: usize,
+    evaluations: usize,
+}
+
+impl NelderMeadSearch {
+    /// `sampler` generates the random seed points (the tuner passes the
+    /// search space's grid sampler so every probe is a valid
+    /// configuration). At least `dim + 1` seeds are always taken.
+    pub fn new(
+        dim: usize,
+        seed_samples: usize,
+        rng_seed: u64,
+        mut sampler: impl FnMut(&mut StdRng) -> Vec<f64>,
+        tol: f64,
+        max_iterations: usize,
+    ) -> NelderMeadSearch {
+        assert!(dim >= 1);
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let n = seed_samples.max(dim + 1);
+        let mut seed_points: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut guard = 0;
+        while seed_points.len() < n {
+            let p = sampler(&mut rng);
+            assert_eq!(p.len(), dim, "sampler dimension mismatch");
+            // Distinct points only — a degenerate simplex cannot move.
+            if !seed_points.iter().any(|q| q == &p) {
+                seed_points.push(p);
+            }
+            guard += 1;
+            if guard > 100 * n {
+                // Space smaller than the seed budget: accept duplicates.
+                seed_points.push(sampler(&mut rng));
+            }
+        }
+        NelderMeadSearch {
+            dim,
+            seed_points,
+            seed_results: Vec::new(),
+            nm: None,
+            tol,
+            max_iterations,
+            evaluations: 0,
+        }
+    }
+
+    /// True while still in the random-probing stage.
+    pub fn seeding(&self) -> bool {
+        self.nm.is_none()
+    }
+
+    /// The inner simplex, once seeding has finished.
+    pub fn simplex(&self) -> Option<&NelderMead> {
+        self.nm.as_ref()
+    }
+}
+
+impl SearchStrategy for NelderMeadSearch {
+    fn ask(&mut self) -> Option<Vec<f64>> {
+        if let Some(nm) = &mut self.nm {
+            return nm.ask();
+        }
+        Some(self.seed_points[self.seed_results.len()].clone())
+    }
+
+    fn tell(&mut self, cost: f64) {
+        self.evaluations += 1;
+        if let Some(nm) = &mut self.nm {
+            nm.tell(cost);
+            return;
+        }
+        let point = self.seed_points[self.seed_results.len()].clone();
+        self.seed_results.push((point, cost));
+        if self.seed_results.len() == self.seed_points.len() {
+            // Seeding complete: the best d+1 probes become the simplex.
+            let mut sorted = self.seed_results.clone();
+            sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let vertices: Vec<Vec<f64>> = sorted
+                .iter()
+                .take(self.dim + 1)
+                .map(|(p, _)| p.clone())
+                .collect();
+            let mut nm = NelderMead::new(vertices, self.tol, self.max_iterations);
+            // Replay the known costs so the simplex starts fully evaluated.
+            for i in 0..self.dim + 1 {
+                let _ = nm.ask();
+                nm.tell(sorted[i].1);
+            }
+            self.nm = Some(nm);
+        }
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        let seed_best = self
+            .seed_results
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .cloned();
+        let nm_best = self.nm.as_ref().and_then(|nm| nm.best());
+        match (seed_best, nm_best) {
+            (Some(a), Some(b)) => Some(if a.1 <= b.1 { a } else { b }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.nm.as_ref().is_some_and(|nm| nm.converged())
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::{bowl, drive};
+
+    fn simplex_around(center: &[f64], spread: f64) -> Vec<Vec<f64>> {
+        let d = center.len();
+        let mut pts = vec![center.to_vec()];
+        for i in 0..d {
+            let mut p = center.to_vec();
+            p[i] = (p[i] + spread).min(1.0);
+            pts.push(p);
+        }
+        pts
+    }
+
+    #[test]
+    fn converges_on_quadratic_bowl() {
+        let center = [0.3, 0.7, 0.5];
+        let mut nm = NelderMead::new(simplex_around(&[0.9, 0.1, 0.9], 0.1), 1e-4, 500);
+        let best = drive(&mut nm, bowl(&center), 2000);
+        assert!(best < 1e-3, "best cost {best} too high");
+        assert!(nm.converged());
+        let (p, _) = nm.best().unwrap();
+        for (a, b) in p.iter().zip(&center) {
+            assert!((a - b).abs() < 0.05, "found {p:?}, want {center:?}");
+        }
+    }
+
+    #[test]
+    fn stays_inside_unit_box() {
+        // Minimum outside the box: the search must clamp, never propose
+        // out-of-range points.
+        let mut nm = NelderMead::new(simplex_around(&[0.5, 0.5], 0.2), 1e-5, 200);
+        for _ in 0..500 {
+            let Some(p) = nm.ask() else { break };
+            assert!(p.iter().all(|x| (0.0..=1.0).contains(x)), "{p:?}");
+            let c = bowl(&[2.0, 2.0])(&p);
+            nm.tell(c);
+        }
+        let (p, _) = nm.best().unwrap();
+        // Constrained optimum is the corner (1, 1).
+        assert!(p[0] > 0.9 && p[1] > 0.9, "{p:?}");
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let mut nm = NelderMead::new(simplex_around(&[0.2, 0.2], 0.3), 0.0, 10);
+        let _ = drive(&mut nm, bowl(&[0.8, 0.8]), 10_000);
+        assert!(nm.converged());
+        assert!(nm.iterations() <= 10);
+    }
+
+    #[test]
+    fn shrink_path_executes() {
+        // A deceptive function that forces contraction failures: costs
+        // depend on a fine grid, so reflections/contractions often land on
+        // bad spots and shrinks must occur — the machine must stay
+        // consistent throughout.
+        let f = |x: &[f64]| {
+            let base: f64 = x.iter().map(|v| (v - 0.5).abs()).sum();
+            base + 0.3 * ((x[0] * 37.0).sin() * (x[1] * 53.0).cos()).abs()
+        };
+        let mut nm = NelderMead::new(simplex_around(&[0.1, 0.9], 0.15), 1e-4, 300);
+        let best = drive(&mut nm, f, 3000);
+        assert!(best < f(&[0.1, 0.9]), "search must improve on start");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 3 vertices")]
+    fn wrong_simplex_size_rejected() {
+        let _ = NelderMead::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]], 1e-4, 10);
+    }
+
+    #[test]
+    fn seeded_search_finds_bowl_minimum() {
+        let center = [0.25, 0.75, 0.4, 0.6];
+        let mut s = NelderMeadSearch::new(
+            4,
+            8,
+            42,
+            |rng| {
+                use rand::Rng;
+                (0..4).map(|_| rng.gen_range(0.0..1.0)).collect()
+            },
+            1e-4,
+            400,
+        );
+        assert!(s.seeding());
+        let best = drive(&mut s, bowl(&center), 3000);
+        assert!(!s.seeding());
+        assert!(best < 0.01, "best {best}");
+    }
+
+    #[test]
+    fn seeding_probes_are_distinct() {
+        let mut counter = 0u64;
+        let s = NelderMeadSearch::new(
+            2,
+            6,
+            1,
+            |_| {
+                counter += 1;
+                vec![(counter % 7) as f64 / 7.0, (counter % 5) as f64 / 5.0]
+            },
+            1e-4,
+            10,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for p in &s.seed_points {
+            seen.insert(format!("{p:?}"));
+        }
+        assert_eq!(seen.len(), s.seed_points.len());
+    }
+}

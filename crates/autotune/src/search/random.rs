@@ -1,0 +1,97 @@
+//! Pure random search — a baseline strategy (never converges on its own).
+
+use super::SearchStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random sampling of the space, forever (or until the caller
+/// stops asking). Useful as a control for the Nelder–Mead comparisons.
+pub struct RandomSearch {
+    rng: StdRng,
+    sampler: Box<dyn FnMut(&mut StdRng) -> Vec<f64> + Send>,
+    outstanding: Option<Vec<f64>>,
+    best: Option<(Vec<f64>, f64)>,
+    evaluations: usize,
+    max_evaluations: usize,
+}
+
+impl RandomSearch {
+    /// Samples points with `sampler` (the tuner passes the search space's
+    /// valid-grid sampler); stops proposing after `max_evaluations`.
+    pub fn new(
+        rng_seed: u64,
+        max_evaluations: usize,
+        sampler: impl FnMut(&mut StdRng) -> Vec<f64> + Send + 'static,
+    ) -> RandomSearch {
+        RandomSearch {
+            rng: StdRng::seed_from_u64(rng_seed),
+            sampler: Box::new(sampler),
+            outstanding: None,
+            best: None,
+            evaluations: 0,
+            max_evaluations,
+        }
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn ask(&mut self) -> Option<Vec<f64>> {
+        if self.evaluations >= self.max_evaluations {
+            return None;
+        }
+        let p = (self.sampler)(&mut self.rng);
+        self.outstanding = Some(p.clone());
+        Some(p)
+    }
+
+    fn tell(&mut self, cost: f64) {
+        let Some(p) = self.outstanding.take() else {
+            return;
+        };
+        self.evaluations += 1;
+        if self.best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            self.best = Some((p, cost));
+        }
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.best.clone()
+    }
+
+    fn converged(&self) -> bool {
+        self.evaluations >= self.max_evaluations
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::{bowl, drive};
+    use rand::Rng;
+
+    fn sampler(rng: &mut StdRng) -> Vec<f64> {
+        (0..2).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    #[test]
+    fn tracks_best_and_budget() {
+        let mut s = RandomSearch::new(3, 50, sampler);
+        let best = drive(&mut s, bowl(&[0.5, 0.5]), 1000);
+        assert!(s.converged());
+        assert_eq!(s.evaluations(), 50);
+        assert!(best < 0.5, "even random search finds something: {best}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut s = RandomSearch::new(9, 20, sampler);
+            drive(&mut s, bowl(&[0.2, 0.8]), 100)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,186 @@
+//! The Cartesian search space `T = τ₀ × ⋯ × τJ` (paper §III-A).
+
+use crate::param::{ParamHandle, ParamSpec};
+use rand::Rng;
+
+/// A point in the search space: one valid value per parameter, in
+/// registration order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config(pub Vec<i64>);
+
+impl Config {
+    /// Value of the parameter behind `handle`.
+    pub fn get(&self, handle: ParamHandle) -> i64 {
+        self.0[handle.0]
+    }
+
+    /// Values in registration order.
+    pub fn values(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An ordered collection of [`ParamSpec`]s plus the geometry helpers the
+/// search algorithms need (normalization, snapping, random sampling).
+#[derive(Clone, Debug, Default)]
+pub struct SearchSpace {
+    params: Vec<ParamSpec>,
+}
+
+impl SearchSpace {
+    /// An empty space.
+    pub fn new() -> SearchSpace {
+        SearchSpace::default()
+    }
+
+    /// Adds a parameter, returning its handle.
+    pub fn add(&mut self, spec: ParamSpec) -> ParamHandle {
+        self.params.push(spec);
+        ParamHandle(self.params.len() - 1)
+    }
+
+    /// Number of parameters (the search dimension).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameter specifications, in registration order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Total number of configurations in the space.
+    pub fn size(&self) -> u128 {
+        self.params.iter().map(|p| p.count() as u128).product()
+    }
+
+    /// Snaps a normalized point (coordinates in `[0, 1]`) onto the nearest
+    /// valid configuration.
+    pub fn snap(&self, point: &[f64]) -> Config {
+        assert_eq!(point.len(), self.dim(), "dimension mismatch");
+        Config(
+            self.params
+                .iter()
+                .zip(point)
+                .map(|(p, &x)| p.denormalize(x))
+                .collect(),
+        )
+    }
+
+    /// Normalized coordinates of a configuration.
+    pub fn normalize(&self, config: &Config) -> Vec<f64> {
+        assert_eq!(config.0.len(), self.dim(), "dimension mismatch");
+        self.params
+            .iter()
+            .zip(&config.0)
+            .map(|(p, &v)| p.normalize(v))
+            .collect()
+    }
+
+    /// Snaps each value of a raw configuration onto its parameter's
+    /// nearest valid value.
+    pub fn snap_values(&self, values: &[i64]) -> Config {
+        assert_eq!(values.len(), self.dim(), "dimension mismatch");
+        Config(
+            self.params
+                .iter()
+                .zip(values)
+                .map(|(p, &v)| p.snap(v))
+                .collect(),
+        )
+    }
+
+    /// A uniformly random valid configuration.
+    pub fn random_config(&self, rng: &mut impl Rng) -> Config {
+        Config(
+            self.params
+                .iter()
+                .map(|p| p.value_at(rng.gen_range(0..p.count())))
+                .collect(),
+        )
+    }
+
+    /// A uniformly random normalized point on the valid grid.
+    pub fn random_point(&self, rng: &mut impl Rng) -> Vec<f64> {
+        let c = self.random_config(rng);
+        self.normalize(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's Table II space.
+    fn paper_space() -> SearchSpace {
+        let mut s = SearchSpace::new();
+        s.add(ParamSpec::linear("CI", 3, 101, 1));
+        s.add(ParamSpec::linear("CB", 0, 60, 1));
+        s.add(ParamSpec::linear("S", 1, 8, 1));
+        s.add(ParamSpec::pow2("R", 16, 8192));
+        s
+    }
+
+    #[test]
+    fn paper_space_size() {
+        let s = paper_space();
+        assert_eq!(s.dim(), 4);
+        assert_eq!(s.size(), 99 * 61 * 8 * 10);
+    }
+
+    #[test]
+    fn snap_normalize_round_trip() {
+        let s = paper_space();
+        let c = Config(vec![17, 10, 3, 4096]); // the paper's base config
+        let p = s.normalize(&c);
+        assert_eq!(s.snap(&p), c);
+    }
+
+    #[test]
+    fn snap_values_fixes_invalid_entries() {
+        let s = paper_space();
+        let c = s.snap_values(&[2, 200, 0, 100]);
+        assert_eq!(c, Config(vec![3, 60, 1, 128]));
+    }
+
+    #[test]
+    fn random_configs_are_valid_and_diverse() {
+        let s = paper_space();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let c = s.random_config(&mut rng);
+            assert_eq!(s.snap_values(c.values()), c, "{c} must be valid");
+            seen.insert(c);
+        }
+        assert!(seen.len() > 50, "expected diverse samples, got {}", seen.len());
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        let c = Config(vec![17, 10, 3, 4096]);
+        assert_eq!(c.to_string(), "(17, 10, 3, 4096)");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn snap_checks_dimension() {
+        let s = paper_space();
+        let _ = s.snap(&[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests across the search strategies.
+
+use kdtune_autotune::{
+    ExhaustiveSearch, HillClimb, NelderMeadSearch, ParamSpec, SearchSpace, SearchStrategy,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Exhaustive search visits exactly `len()` points, each distinct and
+    /// inside the unit box, and its best equals the minimum it was told.
+    #[test]
+    fn exhaustive_visits_exactly_len_points(
+        dims in proptest::collection::vec(1usize..7, 1..4),
+        stride in 1usize..4,
+    ) {
+        let mut s = ExhaustiveSearch::with_uniform_stride(dims.clone(), stride);
+        let expected = s.len();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut min_told = f64::INFINITY;
+        let mut k = 0u64;
+        while let Some(p) = s.ask() {
+            prop_assert!(p.iter().all(|x| (0.0..=1.0).contains(x)));
+            let key = format!("{p:?}");
+            prop_assert!(seen.insert(key), "revisited {p:?}");
+            // Deterministic pseudo-cost.
+            k += 1;
+            let cost = ((k * 2654435761) % 1000) as f64;
+            min_told = min_told.min(cost);
+            s.tell(cost);
+        }
+        prop_assert_eq!(s.evaluations(), expected);
+        prop_assert!(s.converged());
+        prop_assert_eq!(s.best().unwrap().1, min_told);
+    }
+
+    /// Hill climbing on separable convex grids always reaches the global
+    /// optimum, regardless of start.
+    #[test]
+    fn hill_climb_solves_separable_convex(
+        dims in proptest::collection::vec(2usize..12, 1..4),
+        targets in proptest::collection::vec(0.0f64..1.0, 1..4),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(dims.len() == targets.len());
+        let mut hc = HillClimb::new(dims.clone(), seed);
+        let f = |p: &[f64]| -> f64 {
+            p.iter().zip(&targets).map(|(a, b)| (a - b).abs()).sum()
+        };
+        let mut budget = 10_000;
+        while let Some(p) = hc.ask() {
+            hc.tell(f(&p));
+            budget -= 1;
+            prop_assert!(budget > 0, "did not converge");
+        }
+        // Global optimum on the grid: each coordinate at its nearest grid
+        // point to the target.
+        let optimum: f64 = dims
+            .iter()
+            .zip(&targets)
+            .map(|(&c, &t)| {
+                (0..c)
+                    .map(|i| {
+                        let x = if c <= 1 { 0.0 } else { i as f64 / (c - 1) as f64 };
+                        (x - t).abs()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let best = hc.best().unwrap().1;
+        prop_assert!((best - optimum).abs() < 1e-9,
+            "best {best} vs separable optimum {optimum}");
+    }
+
+    /// The seeded Nelder–Mead never proposes an invalid point and improves
+    /// on (or matches) its own seeding on smooth objectives.
+    #[test]
+    fn nelder_mead_stays_valid_and_improves(
+        seed in 0u64..1000,
+        cx in 0.0f64..1.0,
+        cy in 0.0f64..1.0,
+    ) {
+        let mut space = SearchSpace::new();
+        space.add(ParamSpec::linear("a", 0, 100, 1));
+        space.add(ParamSpec::linear("b", 0, 50, 1));
+        let sampler_space = space.clone();
+        let mut s = NelderMeadSearch::new(
+            2,
+            8,
+            seed,
+            move |rng| sampler_space.random_point(rng),
+            1e-3,
+            100,
+        );
+        let f = |p: &[f64]| (p[0] - cx).powi(2) + (p[1] - cy).powi(2);
+        let mut seed_best = f64::INFINITY;
+        let mut evals = 0;
+        while let Some(p) = s.ask() {
+            prop_assert!(p.iter().all(|x| (-1e-9..=1.0 + 1e-9).contains(x)), "{p:?}");
+            let c = f(&p);
+            if s.seeding() {
+                seed_best = seed_best.min(c);
+            }
+            s.tell(c);
+            evals += 1;
+            if evals > 3000 {
+                break;
+            }
+        }
+        let best = s.best().unwrap().1;
+        prop_assert!(best <= seed_best + 1e-12, "search must not lose ground");
+    }
+}

@@ -1,0 +1,42 @@
+//! Construction-time micro-benchmarks: the four algorithms on two scene
+//! shapes (compact blob vs dense forest slice), at the base configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdtune::scenes::{bunny, fairy_forest, SceneParams};
+use kdtune::{build, Algorithm, BuildParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_builders(c: &mut Criterion) {
+    let params = SceneParams::quick();
+    let scenes = [
+        ("bunny", bunny(&params).frame(0)),
+        ("fairy_forest", fairy_forest(&params).frame(0)),
+    ];
+    let mut group = c.benchmark_group("build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for (name, mesh) in &scenes {
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{name}/{}tris", mesh.len())),
+                mesh,
+                |b, mesh| {
+                    b.iter(|| {
+                        black_box(build(
+                            mesh.clone(),
+                            algo,
+                            black_box(&BuildParams::default()),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! SAH split-search micro-benchmarks: the O(n log n) event sweep against
+//! the O(n²) reference, plus the classification pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdtune_geometry::{Aabb, Vec3};
+use kdtune_kdtree::{best_split_naive, best_split_sweep, classify, SahParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_bounds(n: usize, seed: u64) -> Vec<Aabb> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let lo = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+            let ext = Vec3::new(rng.gen(), rng.gen(), rng.gen()) * 0.1;
+            Aabb::new(lo, lo + ext)
+        })
+        .collect()
+}
+
+fn bench_sah(c: &mut Criterion) {
+    let node = Aabb::new(Vec3::ZERO, Vec3::splat(1.1));
+    let sah = SahParams::default();
+
+    let mut group = c.benchmark_group("split_search");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [100usize, 1000, 10_000] {
+        let bounds = random_bounds(n, 42);
+        group.bench_with_input(BenchmarkId::new("sweep", n), &bounds, |b, bounds| {
+            b.iter(|| black_box(best_split_sweep(black_box(bounds), &node, &sah)))
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &bounds, |b, bounds| {
+                b.iter(|| black_box(best_split_naive(black_box(bounds), &node, &sah)))
+            });
+        }
+        let indices: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::new("classify", n), &bounds, |b, bounds| {
+            b.iter(|| {
+                black_box(classify(
+                    black_box(bounds),
+                    &indices,
+                    kdtune_geometry::Axis::X,
+                    0.5,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sah);
+criterion_main!(benches);

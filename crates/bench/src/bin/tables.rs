@@ -1,0 +1,45 @@
+//! Reproduces the paper's **Table I** (tunable parameters per algorithm)
+//! and **Table II** (tuning parameter ranges) directly from the code's
+//! authoritative definitions, so a drift between paper and implementation
+//! would be visible here.
+
+use kdtune::autotune::ParamScale;
+use kdtune::{tuning_space, Algorithm};
+
+fn main() {
+    println!("Table Ia: parameters of the node-level, nested and in-place algorithms");
+    println!("  CI  Cost for intersecting a triangle");
+    println!("  CB  Cost for duplication of a primitive");
+    println!("  S   Max. number of subtrees per thread");
+    println!();
+    println!("Table Ib: parameters of the lazy construction implementation");
+    println!("  CI  Cost for intersecting a triangle");
+    println!("  CB  Cost for duplication of a primitive");
+    println!("  S   Max. number of subtrees per thread");
+    println!("  R   Minimal resolution of a node");
+    println!();
+
+    // Cross-check against the registered spaces.
+    for algo in Algorithm::ALL {
+        let space = tuning_space(algo);
+        let names: Vec<&str> = space.params().iter().map(|p| p.name.as_str()).collect();
+        println!("{:>10}: tunes {:?} ({} configurations)", algo.name(), names, space.size());
+    }
+    println!();
+
+    println!("Table II: tuning parameter ranges");
+    println!("{:<6} {:<24} {}", "param", "range", "scale");
+    let space = tuning_space(Algorithm::Lazy); // superset of all algorithms
+    for p in space.params() {
+        let scale = match p.scale {
+            ParamScale::Linear { step } => format!("linear, step {step}"),
+            ParamScale::Pow2 => "powers of 2".to_string(),
+        };
+        println!("{:<6} [{}, {}]{:<12} {}", p.name, p.min, p.max, "", scale);
+    }
+    println!();
+    println!(
+        "base configuration C_base = (CI, CB, S, R) = {:?}  (paper §V-C)",
+        kdtune::BASE_CONFIG
+    );
+}

@@ -1,0 +1,126 @@
+//! Minimal shared argument parsing for the figure binaries.
+
+use std::path::PathBuf;
+
+/// Options common to every experiment binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentArgs {
+    /// Reduced scenes/resolutions/repetitions (`--quick`, the default) or
+    /// paper-scale (`--full`).
+    pub quick: bool,
+    /// Write CSV outputs into this directory (`--out DIR`).
+    pub out: Option<PathBuf>,
+    /// Restrict to one scene (`--scene NAME`).
+    pub scene: Option<String>,
+    /// Override repetition count (`--repeats N`).
+    pub repeats: Option<usize>,
+    /// Extra flags the specific binary interprets (e.g. `--platforms`).
+    pub flags: Vec<String>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            quick: true,
+            out: None,
+            scene: None,
+            repeats: None,
+            flags: Vec::new(),
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// # Errors
+    /// Returns a usage message for unknown or malformed options.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ExperimentArgs, String> {
+        let mut out = ExperimentArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--full" => out.quick = false,
+                "--out" => {
+                    let dir = it.next().ok_or("--out needs a directory")?;
+                    out.out = Some(PathBuf::from(dir));
+                }
+                "--scene" => {
+                    out.scene = Some(it.next().ok_or("--scene needs a name")?);
+                }
+                "--repeats" => {
+                    let n = it.next().ok_or("--repeats needs a number")?;
+                    out.repeats =
+                        Some(n.parse().map_err(|e| format!("bad --repeats {n}: {e}"))?);
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "options: --quick (default) | --full | --out DIR | --scene NAME | \
+                         --repeats N | binary-specific flags (e.g. --platforms)"
+                            .to_string(),
+                    )
+                }
+                other if other.starts_with("--") => out.flags.push(other.to_string()),
+                other => return Err(format!("unexpected argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses `std::env::args()` and exits with a usage message on error.
+    pub fn from_env() -> ExperimentArgs {
+        match ExperimentArgs::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// True when a binary-specific flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let a = parse(&[]).unwrap();
+        assert!(a.quick);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn full_and_options() {
+        let a = parse(&["--full", "--out", "/tmp/x", "--scene", "sibenik", "--repeats", "5"])
+            .unwrap();
+        assert!(!a.quick);
+        assert_eq!(a.out.unwrap(), PathBuf::from("/tmp/x"));
+        assert_eq!(a.scene.as_deref(), Some("sibenik"));
+        assert_eq!(a.repeats, Some(5));
+    }
+
+    #[test]
+    fn unknown_double_dash_becomes_flag() {
+        let a = parse(&["--platforms"]).unwrap();
+        assert!(a.has_flag("--platforms"));
+        assert!(!a.has_flag("--other"));
+    }
+
+    #[test]
+    fn bare_words_rejected() {
+        assert!(parse(&["sibenik"]).is_err());
+        assert!(parse(&["--repeats", "abc"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+    }
+}

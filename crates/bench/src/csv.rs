@@ -1,0 +1,123 @@
+//! Tiny CSV emitter (no external dependency needed for plain numeric
+//! tables).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+#[derive(Clone, Debug)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Quotes a field if it contains a separator, quote or newline.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> CsvTable {
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes to CSV text.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        let line = |fields: &[String]| {
+            fields
+                .iter()
+                .map(|f| escape(f))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `name.csv` into `dir` (creating it), if `dir` is given.
+    pub fn save_into(&self, dir: Option<&Path>, name: &str) -> io::Result<()> {
+        let Some(dir) = dir else { return Ok(()) };
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_string())?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push(["1", "2"]);
+        t.push(["x,y", "he said \"hi\""]);
+        let s = t.to_string();
+        assert_eq!(
+            s,
+            "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push(["only-one"]);
+    }
+
+    #[test]
+    fn save_into_none_is_noop() {
+        let t = CsvTable::new(["a"]);
+        t.save_into(None, "x").unwrap();
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("kdtune_csv_test");
+        let mut t = CsvTable::new(["v"]);
+        t.push(["42"]);
+        t.save_into(Some(&dir), "unit").unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(content, "v\n42\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! # kdtune-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§V). One binary per figure:
+//!
+//! | Binary | Reproduces |
+//! |--------|-----------|
+//! | `tables` | Tables I & II (tunable parameters and ranges) |
+//! | `fig5_abs_time` | Fig. 5 — absolute frame time, base vs tuned |
+//! | `fig6_speedup` | Fig. 6 — speedup of tuned vs base, 6 scenes × 4 algorithms |
+//! | `fig7_portability` | Fig. 7 — distribution of tuned configurations |
+//! | `fig8_convergence` | Fig. 8 — mean speedup over tuning iterations |
+//! | `fig9_nm_vs_exhaustive` | Fig. 9 — Nelder–Mead vs exhaustive vs default |
+//! | `scene_gallery` | the Fig. 3 analogue: renders every scene to PPM |
+//! | `extra_search_strategies` | extension: NM vs hill climb vs random search |
+//!
+//! All binaries accept `--quick` (default: on; pass `--full` for
+//! paper-scale runs), `--out <dir>` for CSV emission, and print
+//! human-readable tables to stdout. The `benches/` directory additionally
+//! holds Criterion micro-benchmarks for the substrate (builders,
+//! traversal, SAH sweep, tuner overhead) and the ablations called out in
+//! DESIGN.md §5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod csv;
+pub mod harness;
+pub mod platforms;
+pub mod stats;

@@ -1,0 +1,67 @@
+//! Emulated hardware platforms (paper §V-C / Fig. 7c).
+//!
+//! The paper evaluates on four physical machines; we emulate the
+//! *parallelism profile* of each by pinning the Rayon pool width. On a
+//! container with fewer physical cores than a profile requests this
+//! degrades to oversubscription — absolute times shift, but the mechanism
+//! the experiment demonstrates (tuned configurations differ per platform)
+//! is preserved. See EXPERIMENTS.md for the caveats.
+
+/// A named thread-count profile standing in for a paper machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Platform {
+    /// Short identifier used in outputs.
+    pub name: &'static str,
+    /// Thread-pool width.
+    pub threads: usize,
+}
+
+/// The four machines of §V-C.
+pub const PLATFORMS: [Platform; 4] = [
+    Platform {
+        name: "opteron-6168-24t",
+        threads: 24,
+    },
+    Platform {
+        name: "xeon-e5-1620-8t",
+        threads: 8,
+    },
+    Platform {
+        name: "i7-4770k-8t",
+        threads: 8,
+    },
+    Platform {
+        name: "a8-4500m-4t",
+        threads: 4,
+    },
+];
+
+/// Runs `f` inside a dedicated Rayon pool of `threads` workers.
+pub fn run_on<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool construction")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct_names() {
+        let mut names: Vec<_> = PLATFORMS.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn run_on_controls_pool_width() {
+        let width = run_on(3, rayon::current_num_threads);
+        assert_eq!(width, 3);
+        let wide = run_on(24, rayon::current_num_threads);
+        assert_eq!(wide, 24);
+    }
+}

@@ -1,0 +1,143 @@
+//! Summary statistics for experiment outputs (medians, quartiles — the
+//! numbers behind the paper's boxplots).
+
+/// Five-number summary of a sample (the boxplot glyph).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FiveNum {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Linear-interpolation quantile of a **sorted** slice, `q ∈ [0, 1]`.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median of a sample.
+pub fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    quantile_sorted(&v, 0.5)
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Five-number summary.
+pub fn five_num(values: &[f64]) -> FiveNum {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    FiveNum {
+        min: v[0],
+        q1: quantile_sorted(&v, 0.25),
+        median: quantile_sorted(&v, 0.5),
+        q3: quantile_sorted(&v, 0.75),
+        max: *v.last().unwrap(),
+    }
+}
+
+impl FiveNum {
+    /// Renders as `min/q1/med/q3/max` with the given precision.
+    pub fn render(&self, decimals: usize) -> String {
+        format!(
+            "{:.d$} / {:.d$} / {:.d$} / {:.d$} / {:.d$}",
+            self.min,
+            self.q1,
+            self.median,
+            self.q3,
+            self.max,
+            d = decimals
+        )
+    }
+}
+
+/// A crude ASCII box glyph on a `[lo, hi]` axis of `width` characters —
+/// lets the figure binaries draw recognizable boxplots on stdout.
+pub fn ascii_box(f: &FiveNum, lo: f64, hi: f64, width: usize) -> String {
+    assert!(width >= 10 && hi > lo);
+    let col = |v: f64| -> usize {
+        (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+    };
+    let mut row = vec![b' '; width];
+    let (a, b, m, c, d) = (
+        col(f.min),
+        col(f.q1),
+        col(f.median),
+        col(f.q3),
+        col(f.max),
+    );
+    for cell in row.iter_mut().take(b).skip(a) {
+        *cell = b'-';
+    }
+    for cell in row.iter_mut().take(d + 1).skip(c) {
+        *cell = b'-';
+    }
+    for cell in row.iter_mut().take(c + 1).skip(b) {
+        *cell = b'=';
+    }
+    row[m] = b'#';
+    String::from_utf8(row).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn five_num_on_known_sample() {
+        let f = five_num(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.q3, 4.0);
+        assert_eq!(f.max, 5.0);
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let f = five_num(&[9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0]);
+        assert!(f.min <= f.q1 && f.q1 <= f.median && f.median <= f.q3 && f.q3 <= f.max);
+    }
+
+    #[test]
+    fn ascii_box_marks_median() {
+        let f = five_num(&[0.0, 25.0, 50.0, 75.0, 100.0]);
+        let s = ascii_box(&f, 0.0, 100.0, 21);
+        assert_eq!(s.len(), 21);
+        assert_eq!(s.as_bytes()[10], b'#');
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = median(&[]);
+    }
+}

@@ -1,0 +1,464 @@
+//! # kdtune-bvh
+//!
+//! A binned-SAH bounding volume hierarchy over triangle meshes.
+//!
+//! The paper's related work (§II) points at Ganestam & Doggett's
+//! autotuning of *BVH*-based ray tracing as the only prior autotuning work
+//! on spatial data structures; this crate provides that comparison
+//! structure so the workspace can benchmark kD-trees against a BVH under
+//! identical workloads (see `kdtune-bench`'s `traversal` comparisons and
+//! the `kd_vs_bvh` integration tests).
+//!
+//! Unlike a kD-tree, a BVH partitions *primitives* (each referenced
+//! exactly once; child boxes may overlap) rather than *space* (primitives
+//! may be duplicated; child boxes tile the parent). That structural
+//! difference is what makes it an interesting baseline: no duplication
+//! cost `CB` exists, and the tunable surface is different (leaf size,
+//! bin count).
+//!
+//! ```
+//! use kdtune_bvh::{Bvh, BvhParams};
+//! use kdtune_geometry::{Ray, Triangle, TriangleMesh, Vec3};
+//! use kdtune_kdtree::RayQuery;
+//! use std::sync::Arc;
+//!
+//! let mut mesh = TriangleMesh::new();
+//! mesh.push_triangle(Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y));
+//! let bvh = Bvh::build(Arc::new(mesh), &BvhParams::default());
+//! let ray = Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z);
+//! assert!(bvh.intersect(&ray, 0.0, f32::INFINITY).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kdtune_geometry::{Aabb, Hit, Ray, TriangleMesh, Vec3};
+use kdtune_kdtree::RayQuery;
+use std::sync::Arc;
+
+/// Construction parameters of the BVH.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BvhParams {
+    /// Target maximum primitives per leaf.
+    pub max_leaf: usize,
+    /// SAH bins per axis for the split search.
+    pub bins: usize,
+    /// Traversal cost relative to one intersection (the BVH analogue of
+    /// `CT / CI`).
+    pub traversal_cost: f32,
+}
+
+impl Default for BvhParams {
+    fn default() -> Self {
+        BvhParams {
+            max_leaf: 4,
+            bins: 16,
+            traversal_cost: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BvhNode {
+    Leaf {
+        bounds: Aabb,
+        first: u32,
+        count: u32,
+    },
+    Inner {
+        bounds: Aabb,
+        left: u32,
+        right: u32,
+    },
+}
+
+impl BvhNode {
+    fn bounds(&self) -> Aabb {
+        match self {
+            BvhNode::Leaf { bounds, .. } | BvhNode::Inner { bounds, .. } => *bounds,
+        }
+    }
+}
+
+/// A binned-SAH bounding volume hierarchy.
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    mesh: Arc<TriangleMesh>,
+    nodes: Vec<BvhNode>,
+    /// Primitive indices, permuted so every leaf owns a contiguous range.
+    prims: Vec<u32>,
+}
+
+struct Builder<'a> {
+    centroids: &'a [Vec3],
+    bounds: &'a [Aabb],
+    params: BvhParams,
+}
+
+impl Bvh {
+    /// Builds a BVH over the mesh.
+    pub fn build(mesh: Arc<TriangleMesh>, params: &BvhParams) -> Bvh {
+        let bounds: Vec<Aabb> = (0..mesh.len()).map(|i| mesh.triangle(i).bounds()).collect();
+        let centroids: Vec<Vec3> = bounds.iter().map(|b| b.center()).collect();
+        let mut prims: Vec<u32> = (0..mesh.len() as u32).collect();
+        let mut nodes = Vec::new();
+        if !prims.is_empty() {
+            let builder = Builder {
+                centroids: &centroids,
+                bounds: &bounds,
+                params: *params,
+            };
+            let n = prims.len();
+            builder.recurse(&mut nodes, &mut prims, 0, n);
+        } else {
+            nodes.push(BvhNode::Leaf {
+                bounds: Aabb::EMPTY,
+                first: 0,
+                count: 0,
+            });
+        }
+        Bvh { mesh, nodes, prims }
+    }
+
+    /// The mesh the hierarchy indexes.
+    pub fn mesh(&self) -> &Arc<TriangleMesh> {
+        &self.mesh
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Root bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.nodes[0].bounds()
+    }
+
+    /// Every primitive is referenced exactly once (no duplication) — a
+    /// structural invariant, checked by tests.
+    pub fn prim_references(&self) -> usize {
+        self.prims.len()
+    }
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `prims[start..start+count]`; returns its
+    /// node index.
+    fn recurse(&self, nodes: &mut Vec<BvhNode>, prims: &mut [u32], start: usize, count: usize) -> u32 {
+        let my = nodes.len() as u32;
+        let slice = &prims[start..start + count];
+        let node_bounds = slice
+            .iter()
+            .fold(Aabb::EMPTY, |acc, &p| acc.union(&self.bounds[p as usize]));
+        nodes.push(BvhNode::Leaf {
+            bounds: node_bounds,
+            first: start as u32,
+            count: count as u32,
+        });
+        if count <= self.params.max_leaf {
+            return my;
+        }
+        let Some((axis, pos)) = self.best_split(slice, &node_bounds) else {
+            return my; // stays a leaf: no beneficial split
+        };
+        // Partition by centroid (stable order not required for a BVH).
+        let region = &mut prims[start..start + count];
+        let mid = partition_in_place(region, |p| self.centroids[p as usize][axis] < pos);
+        // A degenerate partition (all one side) would recurse forever.
+        if mid == 0 || mid == count {
+            return my;
+        }
+        let left = self.recurse(nodes, prims, start, mid);
+        let right = self.recurse(nodes, prims, start + mid, count - mid);
+        nodes[my as usize] = BvhNode::Inner {
+            bounds: node_bounds,
+            left,
+            right,
+        };
+        my
+    }
+
+    /// Binned SAH over centroids: returns the best `(axis, position)`, or
+    /// `None` when no split beats the leaf cost.
+    fn best_split(&self, slice: &[u32], node_bounds: &Aabb) -> Option<(kdtune_geometry::Axis, f32)> {
+        let centroid_bounds = slice
+            .iter()
+            .fold(Aabb::EMPTY, |acc, &p| acc.union_point(self.centroids[p as usize]));
+        let bins = self.params.bins.max(2);
+        let mut best: Option<(kdtune_geometry::Axis, f32, f32)> = None;
+        for axis in kdtune_geometry::Axis::ALL {
+            let lo = centroid_bounds.min[axis];
+            let hi = centroid_bounds.max[axis];
+            if !(hi > lo) {
+                continue;
+            }
+            let width = hi - lo;
+            let mut counts = vec![0usize; bins];
+            let mut boxes = vec![Aabb::EMPTY; bins];
+            for &p in slice {
+                let c = self.centroids[p as usize][axis];
+                let b = (((c - lo) / width * bins as f32) as usize).min(bins - 1);
+                counts[b] += 1;
+                boxes[b] = boxes[b].union(&self.bounds[p as usize]);
+            }
+            // Prefix/suffix sweeps over the bins.
+            let mut left_box = Aabb::EMPTY;
+            let mut left_count = 0usize;
+            let mut lefts = Vec::with_capacity(bins - 1);
+            for b in 0..bins - 1 {
+                left_box = left_box.union(&boxes[b]);
+                left_count += counts[b];
+                lefts.push((left_box, left_count));
+            }
+            let mut right_box = Aabb::EMPTY;
+            let mut right_count = 0usize;
+            for b in (1..bins).rev() {
+                right_box = right_box.union(&boxes[b]);
+                right_count += counts[b];
+                let (lb, lc) = lefts[b - 1];
+                if lc == 0 || right_count == 0 {
+                    continue;
+                }
+                let area = node_bounds.surface_area().max(1e-12);
+                let cost = self.params.traversal_cost
+                    + (lb.surface_area() * lc as f32 + right_box.surface_area() * right_count as f32)
+                        / area;
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    let pos = lo + width * b as f32 / bins as f32;
+                    best = Some((axis, pos, cost));
+                }
+            }
+        }
+        let (axis, pos, cost) = best?;
+        // Leaf cost in the same units: one intersection per primitive.
+        if cost >= slice.len() as f32 {
+            return None;
+        }
+        Some((axis, pos))
+    }
+}
+
+/// In-place stable-enough partition; returns the number of elements for
+/// which `pred` held (they end up in the prefix).
+fn partition_in_place(slice: &mut [u32], pred: impl Fn(u32) -> bool) -> usize {
+    let mut mid = 0;
+    for i in 0..slice.len() {
+        if pred(slice[i]) {
+            slice.swap(i, mid);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+impl RayQuery for Bvh {
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        let mut best: Option<Hit> = None;
+        let mut t_best = t_max;
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        stack.push(0);
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            if node.bounds().intersect_ray(ray, t_min, t_best).is_none() {
+                continue;
+            }
+            match *node {
+                BvhNode::Leaf { first, count, .. } => {
+                    for &p in &self.prims[first as usize..(first + count) as usize] {
+                        if let Some(mut hit) =
+                            self.mesh.triangle(p as usize).intersect(ray, t_min, t_best)
+                        {
+                            hit.prim = p as usize;
+                            t_best = hit.t;
+                            best = Some(hit);
+                        }
+                    }
+                }
+                BvhNode::Inner { left, right, .. } => {
+                    // Push the farther child first so the near one pops
+                    // next (cheap front-to-back ordering by box entry t).
+                    let t_left = self.nodes[left as usize]
+                        .bounds()
+                        .intersect_ray(ray, t_min, t_best)
+                        .map(|(t0, _)| t0);
+                    let t_right = self.nodes[right as usize]
+                        .bounds()
+                        .intersect_ray(ray, t_min, t_best)
+                        .map(|(t0, _)| t0);
+                    match (t_left, t_right) {
+                        (Some(a), Some(b)) if a <= b => {
+                            stack.push(right);
+                            stack.push(left);
+                        }
+                        (Some(_), Some(_)) => {
+                            stack.push(left);
+                            stack.push(right);
+                        }
+                        (Some(_), None) => stack.push(left),
+                        (None, Some(_)) => stack.push(right),
+                        (None, None) => {}
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        stack.push(0);
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            if node.bounds().intersect_ray(ray, t_min, t_max).is_none() {
+                continue;
+            }
+            match *node {
+                BvhNode::Leaf { first, count, .. } => {
+                    for &p in &self.prims[first as usize..(first + count) as usize] {
+                        if self
+                            .mesh
+                            .triangle(p as usize)
+                            .intersect(ray, t_min, t_max)
+                            .is_some()
+                        {
+                            return true;
+                        }
+                    }
+                }
+                BvhNode::Inner { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_geometry::Triangle;
+    use kdtune_scenes::{sibenik, SceneParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn soup(n: usize, seed: u64) -> Arc<TriangleMesh> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mesh = TriangleMesh::new();
+        for _ in 0..n {
+            let base = Vec3::new(
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+            );
+            let e = |rng: &mut StdRng| {
+                Vec3::new(
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                )
+            };
+            let (e1, e2) = (e(&mut rng), e(&mut rng));
+            mesh.push_triangle(Triangle::new(base, base + e1, base + e2));
+        }
+        Arc::new(mesh)
+    }
+
+    #[test]
+    fn references_each_primitive_exactly_once() {
+        let mesh = soup(300, 1);
+        let bvh = Bvh::build(mesh.clone(), &BvhParams::default());
+        assert_eq!(bvh.prim_references(), mesh.len());
+        let mut seen = vec![false; mesh.len()];
+        for &p in &bvh.prims {
+            assert!(!seen[p as usize], "prim {p} referenced twice");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn child_bounds_nest_in_parents() {
+        let mesh = soup(200, 2);
+        let bvh = Bvh::build(mesh, &BvhParams::default());
+        for node in &bvh.nodes {
+            if let BvhNode::Inner { bounds, left, right } = node {
+                assert!(bounds.contains(&bvh.nodes[*left as usize].bounds()));
+                assert!(bounds.contains(&bvh.nodes[*right as usize].bounds()));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let mesh = soup(400, 3);
+        let bvh = Bvh::build(mesh.clone(), &BvhParams::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..100 {
+            let o = Vec3::new(
+                rng.gen_range(-8.0..8.0),
+                rng.gen_range(-8.0..8.0),
+                rng.gen_range(-8.0..8.0),
+            );
+            let d = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            if d.length() < 1e-3 {
+                continue;
+            }
+            let ray = Ray::new(o, d.normalized());
+            let truth = kdtune_kdtree::brute_force_intersect(&mesh, &ray, 1e-4, f32::INFINITY);
+            let got = bvh.intersect(&ray, 1e-4, f32::INFINITY);
+            assert_eq!(truth.map(|h| h.prim), got.map(|h| h.prim), "ray {i}");
+            assert_eq!(
+                bvh.intersect_any(&ray, 1e-4, f32::INFINITY),
+                truth.is_some(),
+                "ray {i} any-hit"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_kdtree_on_scene() {
+        let mesh = sibenik(&SceneParams::tiny()).frame(0);
+        let bvh = Bvh::build(mesh.clone(), &BvhParams::default());
+        let kd = kdtune_kdtree::build(
+            mesh,
+            kdtune_kdtree::Algorithm::InPlace,
+            &kdtune_kdtree::BuildParams::default(),
+        );
+        for i in 0..60 {
+            let a = i as f32 * 0.21;
+            let ray = Ray::new(
+                Vec3::new(-15.0, 4.0, 0.0),
+                Vec3::new(a.cos().abs() + 0.1, 0.2 * a.sin(), a.sin()).normalized(),
+            );
+            let h1 = bvh.intersect(&ray, 1e-4, f32::INFINITY).map(|h| h.prim);
+            let h2 = kd.intersect(&ray, 1e-4, f32::INFINITY).map(|h| h.prim);
+            assert_eq!(h1, h2, "ray {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_primitive() {
+        let empty = Bvh::build(Arc::new(TriangleMesh::new()), &BvhParams::default());
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(empty.intersect(&ray, 0.0, f32::INFINITY).is_none());
+
+        let single = soup(1, 4);
+        let bvh = Bvh::build(single, &BvhParams::default());
+        assert_eq!(bvh.node_count(), 1);
+    }
+
+    #[test]
+    fn leaf_size_parameter_shapes_the_tree() {
+        let mesh = soup(256, 5);
+        let fine = Bvh::build(mesh.clone(), &BvhParams { max_leaf: 1, ..BvhParams::default() });
+        let coarse = Bvh::build(mesh, &BvhParams { max_leaf: 64, ..BvhParams::default() });
+        assert!(fine.node_count() > coarse.node_count());
+    }
+}

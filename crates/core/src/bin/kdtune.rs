@@ -1,0 +1,299 @@
+//! `kdtune` — command-line front end to the workspace.
+//!
+//! ```text
+//! kdtune scenes
+//! kdtune render <scene> [--algo A] [--res N] [--frame F] [--out img.ppm]
+//! kdtune stats  <scene> [--algo A] [--scale quick|tiny|paper]
+//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S]
+//! kdtune select <scene> [--frames N] [--res N]
+//! kdtune export <scene> <file.obj> [--frame F]
+//! kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
+//! ```
+
+use kdtune::raycast::{render, Camera};
+use kdtune::scenes::{by_name, SCENE_NAMES};
+use kdtune::{
+    build, select_algorithm, Algorithm, BuildParams, Scene, SceneParams, SelectorOpts,
+    TreeStats, TunedPipeline,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+kdtune — online-autotuned parallel SAH kD-trees
+
+USAGE:
+  kdtune scenes
+  kdtune render <scene> [--algo A] [--res N] [--frame F] [--out img.ppm]
+  kdtune stats  <scene> [--algo A]
+  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S]
+  kdtune select <scene> [--frames N] [--res N]
+  kdtune export <scene> <file.obj> [--frame F]
+  kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
+
+COMMON OPTIONS:
+  --scale quick|tiny|paper   scene size (default quick)
+  --algo  node_level|nested|in_place|lazy (default in_place)
+
+SCENES: bunny sponza sibenik toasters wood_doll fairy_forest";
+
+struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            options.insert(key.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args {
+        positional,
+        options,
+    })
+}
+
+impl Args {
+    fn scene_params(&self) -> Result<SceneParams, String> {
+        match self.options.get("scale").map(String::as_str) {
+            None | Some("quick") => Ok(SceneParams::quick()),
+            Some("tiny") => Ok(SceneParams::tiny()),
+            Some("paper") => Ok(SceneParams::paper()),
+            Some(other) => Err(format!("unknown --scale {other:?}")),
+        }
+    }
+
+    fn scene(&self, index: usize) -> Result<Scene, String> {
+        let name = self
+            .positional
+            .get(index)
+            .ok_or("missing scene name")?;
+        by_name(name, &self.scene_params()?)
+            .ok_or_else(|| format!("unknown scene {name:?} (try `kdtune scenes`)"))
+    }
+
+    fn algo(&self) -> Result<Algorithm, String> {
+        match self.options.get("algo") {
+            None => Ok(Algorithm::InPlace),
+            Some(name) => {
+                Algorithm::from_name(name).ok_or_else(|| format!("unknown --algo {name:?}"))
+            }
+        }
+    }
+
+    fn num(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key} {v:?}: {e}")),
+        }
+    }
+}
+
+fn camera_for(scene: &Scene, res: u32) -> (Camera, kdtune::geometry::Vec3) {
+    let v = scene.view;
+    (
+        Camera::look_at(v.eye, v.target, v.up, v.fov_deg, res, res),
+        v.light,
+    )
+}
+
+fn cmd_scenes(args: &Args) -> Result<(), String> {
+    let params = args.scene_params()?;
+    println!("{:<14} {:>9} {:>7}  kind", "scene", "triangles", "frames");
+    for name in SCENE_NAMES {
+        let scene = by_name(name, &params).expect("registered");
+        println!(
+            "{:<14} {:>9} {:>7}  {}",
+            scene.name,
+            scene.frame(0).len(),
+            scene.frame_count(),
+            if scene.is_dynamic() { "dynamic" } else { "static" },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_render(args: &Args) -> Result<(), String> {
+    let scene = args.scene(1)?;
+    let res = args.num("res", 256)? as u32;
+    let frame = args.num("frame", 0)?;
+    let algo = args.algo()?;
+    let (camera, light) = camera_for(&scene, res);
+    let mesh = scene.frame(frame);
+    let t0 = std::time::Instant::now();
+    let tree = build(mesh, algo, &BuildParams::default());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let (image, stats) = render(&tree, &camera, light);
+    let render_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{} frame {frame} via {algo}: build {build_ms:.2} ms, render {render_ms:.2} ms, \
+         {}/{} rays hit",
+        scene.name, stats.primary_hits, stats.primary_rays
+    );
+    let default_name = format!("{}_{frame}.ppm", scene.name);
+    let out = args
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or(default_name);
+    image.save_ppm(&out).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let scene = args.scene(1)?;
+    let algo = args.algo()?;
+    let mesh = scene.frame(0);
+    println!("{}: {} triangles", scene.name, mesh.len());
+    let tree = build(mesh, algo, &BuildParams::default());
+    match tree.as_eager() {
+        Some(t) => {
+            let s = TreeStats::compute(t);
+            println!("algorithm        : {algo}");
+            println!("nodes            : {}", s.node_count);
+            println!("leaves           : {} ({} empty)", s.leaf_count, s.empty_leaf_count);
+            println!("max depth        : {}", s.max_depth);
+            println!("prim references  : {}", s.prim_references);
+            println!("duplication      : {:.3}x", s.duplication_factor);
+            println!("avg leaf prims   : {:.2}", s.avg_leaf_prims);
+            println!("SAH cost         : {:.1}", s.sah_cost);
+        }
+        None => {
+            let t = tree.as_lazy().expect("lazy");
+            println!("algorithm        : {algo} (lazy; stats for the eager top part)");
+            println!("nodes            : {}", t.node_count());
+            println!("deferred nodes   : {}", t.deferred_count());
+            println!("deferred prims   : {}", t.deferred_prim_references());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let scene = args.scene(1)?;
+    let algo = args.algo()?;
+    let frames = args.num("frames", 80)?;
+    let res = args.num("res", 128)? as u32;
+    let seed = args.num("seed", 2016)? as u64;
+    let mut pipeline = TunedPipeline::new(scene, algo)
+        .resolution(res, res)
+        .tuner_seed(seed);
+    for i in 0..frames {
+        let r = pipeline.step();
+        if i % 10 == 0 || i + 1 == frames {
+            println!(
+                "frame {:>4} [{:<9}] {:<24} {:>8.2} ms",
+                i,
+                format!("{:?}", r.phase),
+                r.config.to_string(),
+                r.total_secs * 1e3
+            );
+        }
+    }
+    let tuner = pipeline.workflow().tuner();
+    let (best, cost) = tuner.best().ok_or("no measurements")?;
+    println!(
+        "\nbest {} at {:.2} ms/frame — converged: {}, retunes: {}",
+        best,
+        cost * 1e3,
+        tuner.converged(),
+        tuner.retunes()
+    );
+    Ok(())
+}
+
+fn cmd_select(args: &Args) -> Result<(), String> {
+    let scene = args.scene(1)?;
+    let opts = SelectorOpts {
+        budget_per_algorithm: args.num("frames", 60)?,
+        steady_window: 3,
+        resolution: args.num("res", 96)? as u32,
+        seed: 7,
+    };
+    let report = select_algorithm(&scene, &opts);
+    for c in &report.candidates {
+        let marker = if c.algorithm == report.winner { "  <== winner" } else { "" };
+        println!(
+            "{:<11} {:>8.2} ms  {}{}",
+            c.algorithm.name(),
+            c.tuned_cost * 1e3,
+            c.config,
+            marker
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let scene = args.scene(1)?;
+    let path = args.positional.get(2).ok_or("missing output path")?;
+    let frame = args.num("frame", 0)?;
+    let mesh = scene.frame(frame);
+    kdtune::geometry::obj::save(&mesh, path).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} triangles)", path, mesh.len());
+    Ok(())
+}
+
+fn cmd_cache(args: &Args) -> Result<(), String> {
+    let scene = args.scene(1)?;
+    let path = args.positional.get(2).ok_or("missing output path")?;
+    let frame = args.num("frame", 0)?;
+    let algo = args.algo()?;
+    if algo == Algorithm::Lazy {
+        return Err("lazy trees are built per frame; cache an eager algorithm".into());
+    }
+    let mesh = scene.frame(frame);
+    let tree = build(mesh, algo, &BuildParams::default());
+    let tree = tree.as_eager().expect("eager algorithm");
+    kdtune::kdtree::io::save(tree, path).map_err(|e| e.to_string())?;
+    // Round-trip sanity so a corrupted write is caught immediately.
+    let loaded = kdtune::kdtree::io::load(path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {path}: {} nodes over {} triangles (verified reload)",
+        loaded.node_count(),
+        loaded.mesh().len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("scenes") => cmd_scenes(&args),
+        Some("render") => cmd_render(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("tune") => cmd_tune(&args),
+        Some("select") => cmd_select(&args),
+        Some("export") => cmd_export(&args),
+        Some("cache") => cmd_cache(&args),
+        _ => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

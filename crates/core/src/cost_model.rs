@@ -1,0 +1,129 @@
+//! A deterministic, machine-independent frame-cost model.
+//!
+//! Wall-clock measurements make experiments realistic but irreproducible;
+//! for CI and for studying the *search* behaviour in isolation the tuner
+//! can instead minimize a structural prediction of frame cost derived from
+//! the built tree:
+//!
+//! ```text
+//! cost = w_build · (n log2 n · depth_proxy)            (construction work)
+//!      + w_rays  · rays · sah_cost                     (expected traversal)
+//! ```
+//!
+//! The model is intentionally simple — it is *a* convex-ish landscape over
+//! the tuning parameters with the same qualitative trade-offs as reality
+//! (deep, low-duplication trees render fast but build slower), not a
+//! calibrated simulator. Anything that needs real numbers uses wall time.
+
+use kdtune_kdtree::{build, Algorithm, BuildParams, TreeStats};
+use kdtune_geometry::TriangleMesh;
+use std::sync::Arc;
+
+/// Weights of the two cost terms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructuralCostModel {
+    /// Weight of the construction-work term.
+    pub w_build: f64,
+    /// Weight of the traversal term (per simulated ray).
+    pub w_rays: f64,
+    /// Number of rays the model assumes per frame.
+    pub rays: u64,
+}
+
+impl Default for StructuralCostModel {
+    fn default() -> Self {
+        StructuralCostModel {
+            w_build: 1.0,
+            w_rays: 0.05,
+            rays: 16_384, // a 128×128 frame
+        }
+    }
+}
+
+impl StructuralCostModel {
+    /// Predicted frame cost of building `mesh` with `params` under
+    /// `algorithm` (arbitrary units; lower is better). Deterministic in
+    /// all inputs.
+    pub fn frame_cost(
+        &self,
+        mesh: &Arc<TriangleMesh>,
+        algorithm: Algorithm,
+        params: &BuildParams,
+    ) -> f64 {
+        let tree = build(Arc::clone(mesh), algorithm, params);
+        let n = mesh.len().max(1) as f64;
+        match tree.as_eager() {
+            Some(t) => {
+                let stats = TreeStats::compute(t);
+                let build_work =
+                    stats.prim_references as f64 * n.log2().max(1.0) * (stats.max_depth.max(1) as f64).sqrt();
+                self.w_build * build_work + self.w_rays * self.rays as f64 * stats.sah_cost as f64
+            }
+            None => {
+                let t = tree.as_lazy().expect("lazy");
+                // Lazy build does the eager top part plus, per frame, the
+                // expansions the rays force. Without tracing rays we charge
+                // the deferred geometry at a discounted rate.
+                let eager_nodes = t.node_count() as f64;
+                let deferred = t.deferred_prim_references() as f64;
+                self.w_build * (eager_nodes * 8.0 + 0.25 * deferred * n.log2().max(1.0))
+                    + self.w_rays * self.rays as f64 * (deferred.sqrt() + eager_nodes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_scenes::{sibenik, SceneParams};
+
+    fn mesh() -> Arc<TriangleMesh> {
+        sibenik(&SceneParams::tiny()).frame(0)
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = mesh();
+        let model = StructuralCostModel::default();
+        let p = BuildParams::default();
+        let a = model.frame_cost(&m, Algorithm::InPlace, &p);
+        let b = model.frame_cost(&m, Algorithm::InPlace, &p);
+        assert_eq!(a, b);
+        assert!(a.is_finite() && a > 0.0);
+    }
+
+    #[test]
+    fn parameters_move_the_cost() {
+        let m = mesh();
+        let model = StructuralCostModel::default();
+        let lo = model.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(3.0, 60.0, 3, 4096));
+        let hi = model.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(101.0, 0.0, 3, 4096));
+        assert_ne!(lo, hi, "the landscape must not be flat");
+    }
+
+    #[test]
+    fn ray_heavy_weighting_prefers_deeper_trees() {
+        // With traversal dominating, the model should reward the deeper
+        // tree that the high-CI build produces.
+        let m = mesh();
+        let ray_heavy = StructuralCostModel {
+            w_build: 0.0,
+            w_rays: 1.0,
+            rays: 1,
+        };
+        let shallow = ray_heavy.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(3.0, 60.0, 3, 4096));
+        let deep = ray_heavy.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(101.0, 0.0, 3, 4096));
+        assert!(deep < shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn lazy_costs_are_finite_and_r_sensitive() {
+        let m = mesh();
+        let model = StructuralCostModel::default();
+        let lo = model.frame_cost(&m, Algorithm::Lazy, &BuildParams::from_config(17.0, 10.0, 3, 16));
+        let hi = model.frame_cost(&m, Algorithm::Lazy, &BuildParams::from_config(17.0, 10.0, 3, 8192));
+        assert!(lo.is_finite() && hi.is_finite());
+        assert_ne!(lo, hi);
+    }
+}

@@ -1,0 +1,206 @@
+//! High-level tuned rendering pipeline over a [`Scene`].
+
+use crate::config::base_build_params;
+use kdtune_geometry::Vec3;
+use kdtune_kdtree::Algorithm;
+use kdtune_raycast::{run_frame_with, Camera, FrameReport, TuningWorkflow};
+use kdtune_scenes::Scene;
+
+/// Default experiment raster (the paper does not report its resolution;
+/// renders scale linearly in pixel count, so experiments pick sizes that
+/// fit their time budget).
+const DEFAULT_RES: u32 = 128;
+
+/// Summary of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Per-frame reports, in order.
+    pub frames: Vec<FrameReport>,
+}
+
+impl PipelineReport {
+    /// Median total frame time over the last `window` frames (steady-state
+    /// cost once the tuner has converged).
+    pub fn median_recent_total(&self, window: usize) -> f64 {
+        let n = self.frames.len();
+        assert!(n > 0, "no frames recorded");
+        let tail = &self.frames[n.saturating_sub(window)..];
+        let mut v: Vec<f64> = tail.iter().map(|f| f.total_secs).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+/// A scene + algorithm + tuner, stepped one frame at a time (Fig. 4).
+pub struct TunedPipeline {
+    scene: Scene,
+    workflow: TuningWorkflow,
+    camera: Camera,
+    light: Vec3,
+    frame: usize,
+    frame_repeat: usize,
+    reports: Vec<FrameReport>,
+}
+
+impl TunedPipeline {
+    /// Creates a pipeline rendering `scene` with the given algorithm at
+    /// the default resolution.
+    pub fn new(scene: Scene, algorithm: Algorithm) -> TunedPipeline {
+        let v = scene.view;
+        let camera = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, DEFAULT_RES, DEFAULT_RES);
+        TunedPipeline {
+            workflow: TuningWorkflow::new(algorithm, 0x7e57),
+            camera,
+            light: v.light,
+            scene,
+            frame: 0,
+            frame_repeat: 1,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Repeats every animation frame `k` times (the paper extends the
+    /// dynamic scenes this way — "we artificially extend the sequence by
+    /// repeating every frame 5 times", §V-C).
+    pub fn frame_repeat(mut self, k: usize) -> TunedPipeline {
+        self.frame_repeat = k.max(1);
+        self
+    }
+
+    /// Changes the render resolution.
+    pub fn resolution(mut self, width: u32, height: u32) -> TunedPipeline {
+        self.camera = self.camera.with_resolution(width, height);
+        self
+    }
+
+    /// Re-seeds the tuner (fresh pipelines only — before the first step).
+    ///
+    /// # Panics
+    /// Panics after stepping has begun.
+    pub fn tuner_seed(mut self, seed: u64) -> TunedPipeline {
+        assert_eq!(self.frame, 0, "seed must be set before stepping");
+        self.workflow = TuningWorkflow::new(self.workflow.algorithm(), seed);
+        self
+    }
+
+    /// The scene being rendered.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The tuning workflow (tuner access, handles).
+    pub fn workflow(&self) -> &TuningWorkflow {
+        &self.workflow
+    }
+
+    /// Runs one tuned frame and advances the animation.
+    pub fn step(&mut self) -> FrameReport {
+        let mesh = self.scene.frame(self.frame / self.frame_repeat);
+        self.frame += 1;
+        let report = self.workflow.run_frame(mesh, &self.camera, self.light);
+        self.reports.push(report.clone());
+        report
+    }
+
+    /// The animation frame index the next [`TunedPipeline::step`] renders.
+    pub fn next_frame_index(&self) -> usize {
+        self.frame / self.frame_repeat
+    }
+
+    /// Runs `n` frames.
+    pub fn run(&mut self, n: usize) -> PipelineReport {
+        for _ in 0..n {
+            self.step();
+        }
+        PipelineReport {
+            frames: self.reports.clone(),
+        }
+    }
+
+    /// Runs frames until the tuner converges (or `max_frames` elapse);
+    /// returns the report and whether convergence was reached.
+    pub fn run_until_converged(&mut self, max_frames: usize) -> (PipelineReport, bool) {
+        for _ in 0..max_frames {
+            self.step();
+            if self.workflow.tuner().converged() {
+                break;
+            }
+        }
+        (
+            PipelineReport {
+                frames: self.reports.clone(),
+            },
+            self.workflow.tuner().converged(),
+        )
+    }
+
+    /// Measures the *untuned* baseline: the same frame loop pinned to
+    /// `C_base`, for `n` frames starting at the animation origin. Returns
+    /// per-frame total seconds.
+    pub fn baseline(&self, n: usize) -> Vec<f64> {
+        self.baseline_range(0, n)
+    }
+
+    /// Baseline over animation frames `start .. start + n` (use the same
+    /// frame indices as a tuned window for a fair dynamic-scene
+    /// comparison).
+    pub fn baseline_range(&self, start: usize, n: usize) -> Vec<f64> {
+        let params = base_build_params();
+        (start..start + n)
+            .map(|f| {
+                let mesh = self.scene.frame(f / self.frame_repeat);
+                let (b, r, _) = run_frame_with(
+                    mesh,
+                    self.workflow.algorithm(),
+                    &params,
+                    &self.camera,
+                    self.light,
+                );
+                b + r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_scenes::{wood_doll, SceneParams};
+
+    fn pipeline() -> TunedPipeline {
+        TunedPipeline::new(wood_doll(&SceneParams::tiny()), Algorithm::InPlace)
+            .resolution(24, 24)
+            .tuner_seed(5)
+    }
+
+    #[test]
+    fn steps_accumulate_reports() {
+        let mut p = pipeline();
+        let report = p.run(6);
+        assert_eq!(report.frames.len(), 6);
+        assert!(report.median_recent_total(4) > 0.0);
+    }
+
+    #[test]
+    fn baseline_runs_fixed_config() {
+        let p = pipeline();
+        let costs = p.baseline(3);
+        assert_eq!(costs.len(), 3);
+        assert!(costs.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn convergence_loop_caps_at_max_frames() {
+        let mut p = pipeline();
+        let (report, _converged) = p.run_until_converged(5);
+        assert!(report.frames.len() <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "before stepping")]
+    fn late_seed_change_rejected() {
+        let mut p = pipeline();
+        p.step();
+        let _ = p.tuner_seed(9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Principal coordinate axes.
+
+/// One of the three principal axes; used to identify kD-tree split planes
+/// and to index [`crate::Vec3`] components.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Axis {
+    /// The x axis.
+    X = 0,
+    /// The y axis.
+    Y = 1,
+    /// The z axis.
+    Z = 2,
+}
+
+impl Axis {
+    /// All three axes in canonical order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Converts an index in `0..3` to an axis.
+    ///
+    /// # Panics
+    /// Panics if `i >= 3`.
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+
+    /// Canonical index of the axis (`X -> 0`, `Y -> 1`, `Z -> 2`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The next axis in cyclic x → y → z → x order.
+    #[inline]
+    pub fn next(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::Z,
+            Axis::Z => Axis::X,
+        }
+    }
+
+    /// The two axes other than `self`, in canonical order.
+    #[inline]
+    pub fn others(self) -> [Axis; 2] {
+        match self {
+            Axis::X => [Axis::Y, Axis::Z],
+            Axis::Y => [Axis::X, Axis::Z],
+            Axis::Z => [Axis::X, Axis::Y],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_indices() {
+        for (i, &axis) in Axis::ALL.iter().enumerate() {
+            assert_eq!(axis.index(), i);
+            assert_eq!(Axis::from_index(i), axis);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = Axis::from_index(3);
+    }
+
+    #[test]
+    fn cyclic_next() {
+        assert_eq!(Axis::X.next(), Axis::Y);
+        assert_eq!(Axis::Y.next(), Axis::Z);
+        assert_eq!(Axis::Z.next(), Axis::X);
+        assert_eq!(Axis::X.next().next().next(), Axis::X);
+    }
+
+    #[test]
+    fn others_exclude_self() {
+        for &axis in &Axis::ALL {
+            let others = axis.others();
+            assert!(!others.contains(&axis));
+            assert_ne!(others[0], others[1]);
+        }
+    }
+}

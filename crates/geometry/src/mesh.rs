@@ -1,0 +1,208 @@
+//! Indexed triangle meshes.
+
+use crate::{Aabb, Transform, Triangle, Vec3};
+
+/// An indexed triangle mesh: a vertex buffer plus triangles referencing it.
+///
+/// This is the unit of input to the kD-tree builders and the unit of output
+/// of the scene generators. Vertices are shared, so animating a mesh only
+/// touches the vertex buffer.
+#[derive(Clone, Debug, Default)]
+pub struct TriangleMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Triangles as triples of vertex indices.
+    pub indices: Vec<[u32; 3]>,
+}
+
+impl TriangleMesh {
+    /// An empty mesh.
+    pub fn new() -> TriangleMesh {
+        TriangleMesh::default()
+    }
+
+    /// Creates a mesh from raw buffers.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_buffers(vertices: Vec<Vec3>, indices: Vec<[u32; 3]>) -> TriangleMesh {
+        let n = vertices.len() as u32;
+        for tri in &indices {
+            assert!(
+                tri.iter().all(|&i| i < n),
+                "triangle index {tri:?} out of bounds (mesh has {n} vertices)"
+            );
+        }
+        TriangleMesh { vertices, indices }
+    }
+
+    /// Number of triangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if the mesh has no triangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The `i`-th triangle as a value type.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn triangle(&self, i: usize) -> Triangle {
+        let [a, b, c] = self.indices[i];
+        Triangle::new(
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        )
+    }
+
+    /// Iterator over all triangles (by value).
+    pub fn triangles(&self) -> impl Iterator<Item = Triangle> + '_ {
+        (0..self.len()).map(|i| self.triangle(i))
+    }
+
+    /// Bounding box of the whole mesh. Empty box for an empty mesh.
+    pub fn bounds(&self) -> Aabb {
+        // Bound the *referenced* vertices only, so stale entries in the
+        // vertex buffer cannot inflate the scene bounds.
+        let mut b = Aabb::EMPTY;
+        for i in 0..self.len() {
+            b = b.union(&self.triangle(i).bounds());
+        }
+        b
+    }
+
+    /// Total surface area of all triangles.
+    pub fn surface_area(&self) -> f32 {
+        self.triangles().map(|t| t.area()).sum()
+    }
+
+    /// Appends a triangle by pushing three fresh vertices (no dedup).
+    pub fn push_triangle(&mut self, t: Triangle) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&[t.a, t.b, t.c]);
+        self.indices.push([base, base + 1, base + 2]);
+    }
+
+    /// Appends an entire mesh, remapping its indices.
+    pub fn append(&mut self, other: &TriangleMesh) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.indices
+            .extend(other.indices.iter().map(|t| t.map(|i| i + base)));
+    }
+
+    /// Applies an affine transform to every vertex in place.
+    pub fn transform(&mut self, t: &Transform) {
+        for v in &mut self.vertices {
+            *v = t.apply_point(*v);
+        }
+    }
+
+    /// Returns a transformed copy.
+    pub fn transformed(&self, t: &Transform) -> TriangleMesh {
+        let mut m = self.clone();
+        m.transform(t);
+        m
+    }
+
+    /// Removes degenerate (zero-area) triangles; returns how many were
+    /// dropped. Vertex buffer is left untouched.
+    pub fn prune_degenerate(&mut self) -> usize {
+        let before = self.indices.len();
+        let verts = &self.vertices;
+        self.indices.retain(|&[a, b, c]| {
+            !Triangle::new(
+                verts[a as usize],
+                verts[b as usize],
+                verts[c as usize],
+            )
+            .is_degenerate()
+        });
+        before - self.indices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad() -> TriangleMesh {
+        TriangleMesh::from_buffers(
+            vec![
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(1.0, 1.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = quad();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.triangle(0).a, Vec3::ZERO);
+        assert_eq!(m.triangles().count(), 2);
+        assert!((m.surface_area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_cover_only_referenced_vertices() {
+        let mut m = quad();
+        // A stray vertex that no triangle references must not grow bounds.
+        m.vertices.push(Vec3::splat(100.0));
+        let b = m.bounds();
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_buffers_validates_indices() {
+        TriangleMesh::from_buffers(vec![Vec3::ZERO], vec![[0, 0, 7]]);
+    }
+
+    #[test]
+    fn append_remaps_indices() {
+        let mut a = quad();
+        let b = quad();
+        a.append(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.vertices.len(), 8);
+        assert_eq!(a.indices[2], [4, 5, 6]);
+        // Both halves describe the same geometry.
+        assert_eq!(a.triangle(0), a.triangle(2));
+    }
+
+    #[test]
+    fn push_triangle_appends_fresh_vertices() {
+        let mut m = TriangleMesh::new();
+        m.push_triangle(Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.vertices.len(), 3);
+    }
+
+    #[test]
+    fn prune_degenerate_drops_zero_area() {
+        let mut m = quad();
+        m.indices.push([0, 0, 1]); // degenerate
+        assert_eq!(m.prune_degenerate(), 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn transform_moves_bounds() {
+        let mut m = quad();
+        m.transform(&Transform::translation(Vec3::new(2.0, 0.0, 0.0)));
+        assert_eq!(m.bounds().min.x, 2.0);
+        assert_eq!(m.bounds().max.x, 3.0);
+    }
+}

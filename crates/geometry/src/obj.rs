@@ -1,0 +1,191 @@
+//! Minimal Wavefront OBJ reader and writer.
+//!
+//! Supports the subset needed to exchange the evaluation scenes with other
+//! tools: `v` lines (positions) and `f` lines (polygonal faces, which are
+//! fan-triangulated). Texture/normal indices in `f` entries (`v/vt/vn`) are
+//! accepted and ignored. Everything else is skipped.
+
+use crate::{TriangleMesh, Vec3};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors produced by the OBJ parser.
+#[derive(Debug)]
+pub enum ObjError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjError::Io(e) => write!(f, "obj io error: {e}"),
+            ObjError::Parse { line, message } => {
+                write!(f, "obj parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+impl From<io::Error> for ObjError {
+    fn from(e: io::Error) -> Self {
+        ObjError::Io(e)
+    }
+}
+
+/// Parses OBJ text into a mesh.
+pub fn parse(text: &str) -> Result<TriangleMesh, ObjError> {
+    let mut mesh = TriangleMesh::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let mut coord = |name: &str| -> Result<f32, ObjError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| ObjError::Parse {
+                            line,
+                            message: format!("vertex missing {name} coordinate"),
+                        })?
+                        .parse::<f32>()
+                        .map_err(|e| ObjError::Parse {
+                            line,
+                            message: format!("bad {name} coordinate: {e}"),
+                        })
+                };
+                let (x, y, z) = (coord("x")?, coord("y")?, coord("z")?);
+                mesh.vertices.push(Vec3::new(x, y, z));
+            }
+            Some("f") => {
+                let mut idx = Vec::with_capacity(4);
+                for entry in parts {
+                    let first = entry.split('/').next().unwrap_or(entry);
+                    let i: i64 = first.parse().map_err(|e| ObjError::Parse {
+                        line,
+                        message: format!("bad face index {first:?}: {e}"),
+                    })?;
+                    let n = mesh.vertices.len() as i64;
+                    // OBJ indices are 1-based; negative indices count from
+                    // the end of the current vertex list.
+                    let resolved = if i > 0 { i - 1 } else { n + i };
+                    if resolved < 0 || resolved >= n {
+                        return Err(ObjError::Parse {
+                            line,
+                            message: format!("face index {i} out of range (have {n} vertices)"),
+                        });
+                    }
+                    idx.push(resolved as u32);
+                }
+                if idx.len() < 3 {
+                    return Err(ObjError::Parse {
+                        line,
+                        message: format!("face has {} vertices, need at least 3", idx.len()),
+                    });
+                }
+                for k in 1..idx.len() - 1 {
+                    mesh.indices.push([idx[0], idx[k], idx[k + 1]]);
+                }
+            }
+            // vt, vn, o, g, s, mtllib, usemtl, ... are ignored.
+            _ => {}
+        }
+    }
+    Ok(mesh)
+}
+
+/// Loads a mesh from an OBJ file on disk.
+pub fn load(path: impl AsRef<Path>) -> Result<TriangleMesh, ObjError> {
+    parse(&fs::read_to_string(path)?)
+}
+
+/// Serializes a mesh to OBJ text.
+pub fn to_string(mesh: &TriangleMesh) -> String {
+    let mut out = String::with_capacity(mesh.vertices.len() * 32);
+    for v in &mesh.vertices {
+        let _ = writeln!(out, "v {} {} {}", v.x, v.y, v.z);
+    }
+    for [a, b, c] in &mesh.indices {
+        let _ = writeln!(out, "f {} {} {}", a + 1, b + 1, c + 1);
+    }
+    out
+}
+
+/// Writes a mesh to an OBJ file on disk.
+pub fn save(mesh: &TriangleMesh, path: impl AsRef<Path>) -> Result<(), ObjError> {
+    fs::write(path, to_string(mesh))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vertices_and_triangles() {
+        let m = parse("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n").unwrap();
+        assert_eq!(m.vertices.len(), 3);
+        assert_eq!(m.indices, vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn triangulates_quads_as_fans() {
+        let m = parse("v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n").unwrap();
+        assert_eq!(m.indices, vec![[0, 1, 2], [0, 2, 3]]);
+    }
+
+    #[test]
+    fn handles_slash_entries_and_comments() {
+        let src = "# comment\nv 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nf 1//1 2//1 3//1 # tri\n";
+        let m = parse(src).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn negative_indices_count_from_end() {
+        let m = parse("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n").unwrap();
+        assert_eq!(m.indices, vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let err = parse("v 0 0 0\nf 1 2 3\n").unwrap_err();
+        assert!(matches!(err, ObjError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_short_face() {
+        let err = parse("v 0 0 0\nv 1 0 0\nf 1 2\n").unwrap_err();
+        assert!(err.to_string().contains("need at least 3"));
+    }
+
+    #[test]
+    fn rejects_malformed_vertex() {
+        assert!(parse("v 0 zero 0\n").is_err());
+        assert!(parse("v 0 0\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "v 0 0 0\nv 1 0 0\nv 0 1 0\nv 0 0 1\nf 1 2 3\nf 1 3 4\n";
+        let m = parse(src).unwrap();
+        let again = parse(&to_string(&m)).unwrap();
+        assert_eq!(m.vertices, again.vertices);
+        assert_eq!(m.indices, again.indices);
+    }
+}

@@ -1,0 +1,77 @@
+//! Rays and intersection records.
+
+use crate::Vec3;
+
+/// A ray `origin + t * dir`, with the component-wise reciprocal of the
+/// direction precomputed for fast AABB slab tests.
+#[derive(Clone, Copy, Debug)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction. Not required to be normalized, but `t` values are only
+    /// comparable across rays when it is.
+    pub dir: Vec3,
+    /// Component-wise reciprocal of `dir` (IEEE: zero components become
+    /// infinities).
+    pub inv_dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray and precomputes the reciprocal direction.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray {
+            origin,
+            dir,
+            inv_dir: dir.recip(),
+        }
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// Result of a successful ray/primitive intersection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// Ray parameter at the intersection point.
+    pub t: f32,
+    /// Index of the primitive that was hit (mesh triangle index; `usize::MAX`
+    /// when produced by a standalone triangle test).
+    pub prim: usize,
+    /// Barycentric coordinate `u` of the hit on the triangle.
+    pub u: f32,
+    /// Barycentric coordinate `v` of the hit on the triangle.
+    pub v: f32,
+}
+
+impl Hit {
+    /// A hit at parameter `t` on primitive `prim` with barycentrics `(u, v)`.
+    #[inline]
+    pub fn new(t: f32, prim: usize, u: f32, v: f32) -> Hit {
+        Hit { t, prim, u, v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_evaluates_parametrically() {
+        let r = Ray::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(r.at(0.0), r.origin);
+        assert_eq!(r.at(2.5), Vec3::new(1.0, 4.5, 3.0));
+    }
+
+    #[test]
+    fn inv_dir_matches_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.0));
+        assert_eq!(r.inv_dir.x, 0.5);
+        assert_eq!(r.inv_dir.y, -0.25);
+        assert!(r.inv_dir.z.is_infinite());
+    }
+}

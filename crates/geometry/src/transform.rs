@@ -1,0 +1,185 @@
+//! Affine transforms (3×3 linear part + translation).
+
+use crate::{Axis, Vec3};
+
+/// An affine transform `p ↦ M p + t` with `M` stored row-major.
+///
+/// Covers everything the scene animations need (rigid motion + scaling)
+/// without a full 4×4 matrix type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transform {
+    /// Rows of the linear part.
+    pub rows: [Vec3; 3],
+    /// Translation applied after the linear part.
+    pub translation: Vec3,
+}
+
+impl Default for Transform {
+    fn default() -> Self {
+        Transform::identity()
+    }
+}
+
+impl Transform {
+    /// The identity transform.
+    pub fn identity() -> Transform {
+        Transform {
+            rows: [Vec3::X, Vec3::Y, Vec3::Z],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Pure translation.
+    pub fn translation(t: Vec3) -> Transform {
+        Transform {
+            translation: t,
+            ..Transform::identity()
+        }
+    }
+
+    /// Uniform scale about the origin.
+    pub fn scale(s: f32) -> Transform {
+        Transform::scale_xyz(Vec3::splat(s))
+    }
+
+    /// Per-axis scale about the origin.
+    pub fn scale_xyz(s: Vec3) -> Transform {
+        Transform {
+            rows: [Vec3::X * s.x, Vec3::Y * s.y, Vec3::Z * s.z],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Rotation about a principal axis by `angle` radians (right-handed).
+    pub fn rotation(axis: Axis, angle: f32) -> Transform {
+        let (s, c) = angle.sin_cos();
+        let rows = match axis {
+            Axis::X => [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, c, -s),
+                Vec3::new(0.0, s, c),
+            ],
+            Axis::Y => [
+                Vec3::new(c, 0.0, s),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(-s, 0.0, c),
+            ],
+            Axis::Z => [
+                Vec3::new(c, -s, 0.0),
+                Vec3::new(s, c, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+        };
+        Transform {
+            rows,
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply_point(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            self.rows[0].dot(p),
+            self.rows[1].dot(p),
+            self.rows[2].dot(p),
+        ) + self.translation
+    }
+
+    /// Applies only the linear part (directions/normals under rigid motion).
+    #[inline]
+    pub fn apply_vector(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
+    }
+
+    /// Composition: `(self.then(other)).apply(p) == other.apply(self.apply(p))`.
+    pub fn then(&self, other: &Transform) -> Transform {
+        // Rows of the product other.M * self.M: row_i = other.rows[i] * M
+        // expressed via columns of self.
+        let col = |a: Axis| Vec3::new(self.rows[0][a], self.rows[1][a], self.rows[2][a]);
+        let (cx, cy, cz) = (col(Axis::X), col(Axis::Y), col(Axis::Z));
+        let rows = [
+            Vec3::new(other.rows[0].dot(cx), other.rows[0].dot(cy), other.rows[0].dot(cz)),
+            Vec3::new(other.rows[1].dot(cx), other.rows[1].dot(cy), other.rows[1].dot(cz)),
+            Vec3::new(other.rows[2].dot(cx), other.rows[2].dot(cy), other.rows[2].dot(cz)),
+        ];
+        Transform {
+            rows,
+            translation: other.apply_point(self.translation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).length() < 1e-5
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Transform::identity().apply_point(p), p);
+    }
+
+    #[test]
+    fn translation_only_moves_points() {
+        let t = Transform::translation(Vec3::X);
+        assert_eq!(t.apply_point(Vec3::ZERO), Vec3::X);
+        assert_eq!(t.apply_vector(Vec3::Y), Vec3::Y);
+    }
+
+    #[test]
+    fn scale_scales() {
+        let t = Transform::scale(2.0);
+        assert_eq!(t.apply_point(Vec3::ONE), Vec3::splat(2.0));
+        let t = Transform::scale_xyz(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.apply_point(Vec3::ONE), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn rotations_are_right_handed() {
+        let rz = Transform::rotation(Axis::Z, FRAC_PI_2);
+        assert!(close(rz.apply_point(Vec3::X), Vec3::Y));
+        let rx = Transform::rotation(Axis::X, FRAC_PI_2);
+        assert!(close(rx.apply_point(Vec3::Y), Vec3::Z));
+        let ry = Transform::rotation(Axis::Y, FRAC_PI_2);
+        assert!(close(ry.apply_point(Vec3::Z), Vec3::X));
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let r = Transform::rotation(Axis::Y, 1.234);
+        let p = Vec3::new(3.0, -1.0, 2.0);
+        assert!((r.apply_point(p).length() - p.length()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn composition_order() {
+        // Rotate 90° about Z, then translate by +X.
+        let t = Transform::rotation(Axis::Z, FRAC_PI_2)
+            .then(&Transform::translation(Vec3::X));
+        assert!(close(t.apply_point(Vec3::X), Vec3::new(1.0, 1.0, 0.0)));
+        // The other order: translate first, then rotate.
+        let t2 = Transform::translation(Vec3::X)
+            .then(&Transform::rotation(Axis::Z, FRAC_PI_2));
+        assert!(close(t2.apply_point(Vec3::X), Vec3::new(0.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a = Transform::rotation(Axis::X, 0.7);
+        let b = Transform::scale(1.5).then(&Transform::translation(Vec3::new(1.0, 2.0, 3.0)));
+        let ab = a.then(&b);
+        for p in [Vec3::ZERO, Vec3::ONE, Vec3::new(-2.0, 0.5, 4.0)] {
+            assert!(close(ab.apply_point(p), b.apply_point(a.apply_point(p))));
+        }
+    }
+}

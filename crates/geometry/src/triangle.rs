@@ -1,0 +1,237 @@
+//! Triangles and ray/triangle intersection (Möller–Trumbore).
+
+use crate::{Aabb, Hit, Ray, Vec3, EPS};
+
+/// A triangle given by its three vertices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from three vertices.
+    #[inline]
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Triangle {
+        Triangle { a, b, c }
+    }
+
+    /// Axis-aligned bounding box of the triangle.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb {
+            min: self.a.min(self.b).min(self.c),
+            max: self.a.max(self.b).max(self.c),
+        }
+    }
+
+    /// Centroid (mean of the vertices).
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Geometric (unnormalized) normal `(b - a) × (c - a)`.
+    #[inline]
+    pub fn geometric_normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Unit normal; zero vector for degenerate triangles.
+    #[inline]
+    pub fn normal(&self) -> Vec3 {
+        self.geometric_normal().normalized()
+    }
+
+    /// Surface area.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        0.5 * self.geometric_normal().length()
+    }
+
+    /// Möller–Trumbore ray/triangle intersection, accepting hits with ray
+    /// parameter in the open interval `(t_min, t_max)`.
+    ///
+    /// Returns barycentric coordinates in the [`Hit`]; `Hit::prim` is set to
+    /// `usize::MAX` (callers testing mesh triangles overwrite it).
+    /// Backface hits are reported (no culling), matching the paper's ray
+    /// caster which shades double-sided geometry.
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let pvec = ray.dir.cross(e2);
+        let det = e1.dot(pvec);
+        // Parallel (or degenerate) triangles produce |det| ~ 0.
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let tvec = ray.origin - self.a;
+        let u = tvec.dot(pvec) * inv_det;
+        if !(-EPS..=1.0 + EPS).contains(&u) {
+            return None;
+        }
+        let qvec = tvec.cross(e1);
+        let v = ray.dir.dot(qvec) * inv_det;
+        if v < -EPS || u + v > 1.0 + EPS {
+            return None;
+        }
+        let t = e2.dot(qvec) * inv_det;
+        if t <= t_min || t >= t_max {
+            return None;
+        }
+        Some(Hit::new(t, usize::MAX, u, v))
+    }
+
+    /// True if any vertex differs; degenerate (zero-area) triangles return
+    /// `false`.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.area() < 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_tri() -> Triangle {
+        Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn area_and_normal() {
+        let t = unit_tri();
+        assert_eq!(t.area(), 0.5);
+        assert_eq!(t.normal(), Vec3::Z);
+        assert_eq!(t.centroid(), Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0));
+    }
+
+    #[test]
+    fn bounds_cover_vertices() {
+        let t = unit_tri();
+        let b = t.bounds();
+        assert!(b.contains_point(t.a));
+        assert!(b.contains_point(t.b));
+        assert!(b.contains_point(t.c));
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn frontal_hit() {
+        let t = unit_tri();
+        let ray = Ray::new(Vec3::new(0.2, 0.2, -3.0), Vec3::Z);
+        let hit = t.intersect(&ray, 0.0, f32::INFINITY).unwrap();
+        assert!((hit.t - 3.0).abs() < 1e-5);
+        assert!((hit.u - 0.2).abs() < 1e-5);
+        assert!((hit.v - 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backface_hit_reported() {
+        let t = unit_tri();
+        let ray = Ray::new(Vec3::new(0.2, 0.2, 3.0), -Vec3::Z);
+        assert!(t.intersect(&ray, 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn miss_outside_triangle() {
+        let t = unit_tri();
+        let ray = Ray::new(Vec3::new(0.9, 0.9, -3.0), Vec3::Z);
+        assert!(t.intersect(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let t = unit_tri();
+        let ray = Ray::new(Vec3::new(0.2, 0.2, 1.0), Vec3::X);
+        assert!(t.intersect(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn respects_t_range() {
+        let t = unit_tri();
+        let ray = Ray::new(Vec3::new(0.2, 0.2, -3.0), Vec3::Z);
+        assert!(t.intersect(&ray, 0.0, 2.0).is_none());
+        assert!(t.intersect(&ray, 3.5, 10.0).is_none());
+        assert!(t.intersect(&ray, 2.0, 4.0).is_some());
+    }
+
+    #[test]
+    fn degenerate_triangle_never_hit() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::ZERO, Vec3::X);
+        assert!(t.is_degenerate());
+        let ray = Ray::new(Vec3::new(0.5, 0.0, -1.0), Vec3::Z);
+        assert!(t.intersect(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    fn arb_vec(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
+        (range.clone(), range.clone(), range)
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        /// A ray aimed at a point strictly inside the triangle must hit it,
+        /// and the hit point must lie in the triangle's bounding box.
+        #[test]
+        fn aimed_rays_hit(
+            a in arb_vec(-10.0..10.0),
+            b in arb_vec(-10.0..10.0),
+            c in arb_vec(-10.0..10.0),
+            (wa, wb) in (0.05f32..0.9, 0.05f32..0.9),
+            origin in arb_vec(-30.0..30.0),
+        ) {
+            let tri = Triangle::new(a, b, c);
+            prop_assume!(tri.area() > 1e-3);
+            let (wa, wb) = if wa + wb > 0.95 {
+                (wa / (wa + wb) * 0.9, wb / (wa + wb) * 0.9)
+            } else {
+                (wa, wb)
+            };
+            let target = a * (1.0 - wa - wb) + b * wa + c * wb;
+            let dir = target - origin;
+            prop_assume!(dir.length() > 1e-3);
+            // Origin must not be (nearly) in the triangle's plane.
+            let n = tri.normal();
+            prop_assume!(n.dot(origin - a).abs() > 1e-2);
+            let ray = Ray::new(origin, dir.normalized());
+            let hit = tri.intersect(&ray, 0.0, f32::INFINITY);
+            prop_assert!(hit.is_some(), "ray aimed at interior point missed");
+            let hit = hit.unwrap();
+            let p = ray.at(hit.t);
+            let slack = 1e-3 * (1.0 + p.length());
+            prop_assert!(tri.bounds().expanded(slack).contains_point(p));
+        }
+
+        /// Barycentrics returned by the intersector reconstruct the hit
+        /// point: `p = (1-u-v) a + u b + v c`.
+        #[test]
+        fn barycentrics_reconstruct_point(
+            a in arb_vec(-5.0..5.0),
+            b in arb_vec(-5.0..5.0),
+            c in arb_vec(-5.0..5.0),
+        ) {
+            let tri = Triangle::new(a, b, c);
+            prop_assume!(tri.area() > 1e-2);
+            let target = tri.centroid();
+            let n = tri.normal();
+            let origin = target + n * 7.0;
+            let ray = Ray::new(origin, -n);
+            if let Some(hit) = tri.intersect(&ray, 0.0, f32::INFINITY) {
+                let p = ray.at(hit.t);
+                let q = a * (1.0 - hit.u - hit.v) + b * hit.u + c * hit.v;
+                prop_assert!((p - q).length() < 1e-2 * (1.0 + p.length()));
+            }
+        }
+    }
+}

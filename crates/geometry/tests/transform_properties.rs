@@ -1,0 +1,78 @@
+//! Property tests of the affine-transform algebra.
+
+use kdtune_geometry::{Axis, Transform, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec() -> impl Strategy<Value = Vec3> {
+    (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_transform() -> impl Strategy<Value = Transform> {
+    (
+        0usize..3,
+        -3.0f32..3.0,
+        0.25f32..2.0,
+        arb_vec(),
+    )
+        .prop_map(|(axis, angle, scale, t)| {
+            Transform::rotation(Axis::from_index(axis), angle)
+                .then(&Transform::scale(scale))
+                .then(&Transform::translation(t))
+        })
+}
+
+fn close(a: Vec3, b: Vec3) -> bool {
+    (a - b).length() <= 1e-3 * (1.0 + a.length().max(b.length()))
+}
+
+proptest! {
+    #[test]
+    fn composition_is_associative(
+        a in arb_transform(),
+        b in arb_transform(),
+        c in arb_transform(),
+        p in arb_vec(),
+    ) {
+        let left = a.then(&b).then(&c);
+        let right = a.then(&b.then(&c));
+        prop_assert!(close(left.apply_point(p), right.apply_point(p)));
+    }
+
+    #[test]
+    fn then_matches_sequential_application(
+        a in arb_transform(),
+        b in arb_transform(),
+        p in arb_vec(),
+    ) {
+        let composed = a.then(&b).apply_point(p);
+        let sequential = b.apply_point(a.apply_point(p));
+        prop_assert!(close(composed, sequential));
+    }
+
+    #[test]
+    fn identity_is_neutral(a in arb_transform(), p in arb_vec()) {
+        let id = Transform::identity();
+        prop_assert!(close(a.then(&id).apply_point(p), a.apply_point(p)));
+        prop_assert!(close(id.then(&a).apply_point(p), a.apply_point(p)));
+    }
+
+    #[test]
+    fn rotations_preserve_lengths_and_angles(
+        axis in 0usize..3,
+        angle in -6.3f32..6.3,
+        p in arb_vec(),
+        q in arb_vec(),
+    ) {
+        let r = Transform::rotation(Axis::from_index(axis), angle);
+        let (rp, rq) = (r.apply_vector(p), r.apply_vector(q));
+        prop_assert!((rp.length() - p.length()).abs() < 1e-3 * (1.0 + p.length()));
+        // Dot products are invariant under rotation.
+        prop_assert!((rp.dot(rq) - p.dot(q)).abs() < 1e-2 * (1.0 + p.length() * q.length()));
+    }
+
+    #[test]
+    fn vectors_ignore_translation(t in arb_vec(), v in arb_vec()) {
+        let tr = Transform::translation(t);
+        prop_assert_eq!(tr.apply_vector(v), v);
+    }
+}

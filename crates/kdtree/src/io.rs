@@ -1,0 +1,325 @@
+//! Binary serialization of built trees (and their meshes).
+//!
+//! A small, versioned, little-endian format so applications can build a
+//! tree offline (or on another machine) and memory-load it at startup —
+//! the usual complement to fast *online* construction. Hand-rolled: the
+//! data is all plain `f32`/`u32` arrays, no serde needed.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "KDT1"                        4 bytes
+//! nv      vertex count                  u64
+//! nt      triangle count                u64
+//! nn      node count                    u64
+//! np      prim-index count              u64
+//! bounds  min.xyz, max.xyz              6 × f32
+//! verts   nv × 3 × f32
+//! tris    nt × 3 × u32
+//! nodes   nn × (tag u32, a u32, b u32, f f32)
+//! prims   np × u32
+//! ```
+//!
+//! Node encoding: `tag = 0` → leaf with `first = a`, `count = b`
+//! (`f` unused); `tag = 1 + axis` → inner with `left = a`, `right = b`,
+//! `pos = f`.
+
+use crate::tree::{KdTree, Node};
+use kdtune_geometry::{Aabb, Axis, TriangleMesh, Vec3};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"KDT1";
+
+/// Deserialization failure.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Input ended early or counts are inconsistent.
+    Truncated,
+    /// A structural field holds an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a KDT1 tree file"),
+            DecodeError::Truncated => write!(f, "truncated tree file"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt tree file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn vec3(&mut self, v: Vec3) {
+        self.f32(v.x);
+        self.f32(v.y);
+        self.f32(v.z);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.at.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn vec3(&mut self) -> Result<Vec3, DecodeError> {
+        Ok(Vec3::new(self.f32()?, self.f32()?, self.f32()?))
+    }
+}
+
+/// Serializes a tree (mesh included) to bytes.
+pub fn encode(tree: &KdTree) -> Vec<u8> {
+    let mesh = tree.mesh();
+    let mut w = Writer {
+        buf: Vec::with_capacity(
+            64 + mesh.vertices.len() * 12 + mesh.indices.len() * 12 + tree.node_count() * 16,
+        ),
+    };
+    w.buf.extend_from_slice(MAGIC);
+    w.u64(mesh.vertices.len() as u64);
+    w.u64(mesh.indices.len() as u64);
+    w.u64(tree.node_count() as u64);
+    w.u64(tree.prim_references() as u64);
+    w.vec3(tree.bounds().min);
+    w.vec3(tree.bounds().max);
+    for v in &mesh.vertices {
+        w.vec3(*v);
+    }
+    for [a, b, c] in &mesh.indices {
+        w.u32(*a);
+        w.u32(*b);
+        w.u32(*c);
+    }
+    for node in tree.nodes() {
+        match *node {
+            Node::Leaf { first, count } => {
+                w.u32(0);
+                w.u32(first);
+                w.u32(count);
+                w.f32(0.0);
+            }
+            Node::Inner {
+                axis,
+                pos,
+                left,
+                right,
+            } => {
+                w.u32(1 + axis.index() as u32);
+                w.u32(left);
+                w.u32(right);
+                w.f32(pos);
+            }
+        }
+    }
+    for node in tree.nodes() {
+        if let Node::Leaf { .. } = node {
+            for &p in tree.leaf_prims(node) {
+                w.u32(p);
+            }
+        }
+    }
+    w.buf
+}
+
+/// Deserializes a tree (with its mesh) from bytes.
+pub fn decode(bytes: &[u8]) -> Result<KdTree, DecodeError> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let nv = r.u64()? as usize;
+    let nt = r.u64()? as usize;
+    let nn = r.u64()? as usize;
+    let np = r.u64()? as usize;
+    let bounds = Aabb::new(r.vec3()?, r.vec3()?);
+    let mut vertices = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        vertices.push(r.vec3()?);
+    }
+    let mut indices = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let (a, b, c) = (r.u32()?, r.u32()?, r.u32()?);
+        if a as usize >= nv || b as usize >= nv || c as usize >= nv {
+            return Err(DecodeError::Corrupt("triangle index out of range"));
+        }
+        indices.push([a, b, c]);
+    }
+    let mut nodes = Vec::with_capacity(nn);
+    let mut prim_total = 0usize;
+    for i in 0..nn {
+        let tag = r.u32()?;
+        let a = r.u32()?;
+        let b = r.u32()?;
+        let f = r.f32()?;
+        let node = match tag {
+            0 => {
+                if a as usize != prim_total {
+                    return Err(DecodeError::Corrupt("leaf ranges not contiguous"));
+                }
+                prim_total += b as usize;
+                Node::Leaf { first: a, count: b }
+            }
+            1..=3 => {
+                let (l, rr) = (a, b);
+                if l as usize >= nn || rr as usize >= nn || l as usize <= i || rr as usize <= i {
+                    return Err(DecodeError::Corrupt("bad child index"));
+                }
+                Node::Inner {
+                    axis: Axis::from_index((tag - 1) as usize),
+                    pos: f,
+                    left: l,
+                    right: rr,
+                }
+            }
+            _ => return Err(DecodeError::Corrupt("unknown node tag")),
+        };
+        nodes.push(node);
+    }
+    if prim_total != np {
+        return Err(DecodeError::Corrupt("prim count mismatch"));
+    }
+    let mut prim_indices = Vec::with_capacity(np);
+    for _ in 0..np {
+        let p = r.u32()?;
+        if p as usize >= nt {
+            return Err(DecodeError::Corrupt("prim index out of range"));
+        }
+        prim_indices.push(p);
+    }
+    let mesh = Arc::new(TriangleMesh::from_buffers(vertices, indices));
+    Ok(KdTree::from_raw_parts(mesh, bounds, nodes, prim_indices))
+}
+
+/// Writes a tree to a file.
+pub fn save(tree: &KdTree, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, encode(tree))
+}
+
+/// Reads a tree from a file.
+pub fn load(path: impl AsRef<Path>) -> io::Result<KdTree> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, validate, Algorithm, BuildParams};
+    use kdtune_geometry::Ray;
+    use kdtune_scenes::{wood_doll, SceneParams};
+
+    fn tree() -> KdTree {
+        let mesh = wood_doll(&SceneParams::tiny()).frame(0);
+        match build(mesh, Algorithm::InPlace, &BuildParams::default()) {
+            crate::BuiltTree::Eager(t) => t,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = tree();
+        let decoded = decode(&encode(&original)).expect("round trip");
+        assert_eq!(original.nodes(), decoded.nodes());
+        assert_eq!(original.bounds(), decoded.bounds());
+        assert_eq!(original.mesh().vertices, decoded.mesh().vertices);
+        assert_eq!(original.mesh().indices, decoded.mesh().indices);
+        validate(&decoded).expect("decoded tree valid");
+        // Query equivalence.
+        for i in 0..20 {
+            let a = i as f32 * 0.31;
+            let ray = Ray::new(
+                Vec3::new(4.0 * a.cos(), 2.0, 4.0 * a.sin()),
+                (Vec3::new(0.0, 1.2, 0.0) - Vec3::new(4.0 * a.cos(), 2.0, 4.0 * a.sin()))
+                    .normalized(),
+            );
+            assert_eq!(
+                original.intersect(&ray, 1e-4, f32::INFINITY),
+                decoded.intersect(&ray, 1e-4, f32::INFINITY),
+                "ray {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kdtune_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.kdt");
+        let original = tree();
+        save(&original, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(original.nodes(), loaded.nodes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(decode(b"nope"), Err(DecodeError::Truncated) | Err(DecodeError::BadMagic)));
+        assert!(matches!(decode(b"XXXX____"), Err(DecodeError::BadMagic)));
+        // Valid magic, truncated body.
+        let mut bytes = encode(&tree());
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_child_index() {
+        let bytes = encode(&tree());
+        // Find the first inner node record and corrupt its left child to
+        // point at itself (header = 4 + 4*8 + 24 bytes, then mesh data).
+        let original = tree();
+        let mesh = original.mesh();
+        let nodes_off = 4 + 32 + 24 + mesh.vertices.len() * 12 + mesh.indices.len() * 12;
+        let mut bad = bytes.clone();
+        // Locate an inner node (tag != 0).
+        let mut off = nodes_off;
+        loop {
+            let tag = u32::from_le_bytes(bad[off..off + 4].try_into().unwrap());
+            if tag != 0 {
+                bad[off + 4..off + 8].copy_from_slice(&0u32.to_le_bytes());
+                break;
+            }
+            off += 16;
+        }
+        assert!(matches!(decode(&bad), Err(DecodeError::Corrupt(_))));
+    }
+}

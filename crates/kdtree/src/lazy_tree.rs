@@ -1,0 +1,431 @@
+//! The lazily-expanded kD-tree (paper §IV-D).
+//!
+//! Built eagerly down to the resolution `R`; below that, nodes hold their
+//! primitive lists unexpanded. A deferred node is first expanded when a ray
+//! reaches it during traversal. Expansion is guarded per node (the paper
+//! uses an OpenMP critical section; we use a `parking_lot::RwLock` so
+//! already-expanded nodes are read-shared across rendering threads).
+
+use crate::build::{build_recursive, BuildCtx, BuildParams, TempNode};
+use crate::tree::{BuildNode, KdTree};
+use kdtune_geometry::{Aabb, Axis, Hit, Ray, TriangleMesh};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Tolerance for the leaf early-exit, matching the eager traversal.
+const T_EPS: f32 = 1e-4;
+
+enum LazyNode {
+    Inner {
+        axis: Axis,
+        pos: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf(Box<[u32]>),
+    Deferred(DeferredNode),
+}
+
+struct DeferredNode {
+    prims: Box<[u32]>,
+    bounds: Aabb,
+    expanded: RwLock<Option<Arc<KdTree>>>,
+}
+
+/// A kD-tree whose lower levels materialize on first ray contact.
+pub struct LazyKdTree {
+    mesh: Arc<TriangleMesh>,
+    bounds: Aabb,
+    nodes: Vec<LazyNode>,
+    params: BuildParams,
+}
+
+impl LazyKdTree {
+    /// Adopts the arena produced by the breadth-first builder.
+    pub(crate) fn from_arena(
+        mesh: Arc<TriangleMesh>,
+        arena: Vec<TempNode>,
+        params: BuildParams,
+    ) -> LazyKdTree {
+        let nodes = arena
+            .into_iter()
+            .map(|n| match n {
+                TempNode::Leaf(prims) => LazyNode::Leaf(prims.into_boxed_slice()),
+                TempNode::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => LazyNode::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                },
+                TempNode::Deferred { prims, bounds } => LazyNode::Deferred(DeferredNode {
+                    prims: prims.into_boxed_slice(),
+                    bounds,
+                    expanded: RwLock::new(None),
+                }),
+                TempNode::Pending => unreachable!("pending node survived construction"),
+            })
+            .collect();
+        let bounds = mesh.bounds();
+        LazyKdTree {
+            mesh,
+            bounds,
+            nodes,
+            params,
+        }
+    }
+
+    /// The mesh the tree indexes.
+    pub fn mesh(&self) -> &Arc<TriangleMesh> {
+        &self.mesh
+    }
+
+    /// Root bounding box.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Number of nodes in the eager (top) part of the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of deferred nodes (expanded or not).
+    pub fn deferred_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, LazyNode::Deferred(_)))
+            .count()
+    }
+
+    /// Number of deferred nodes whose subtree has been materialized.
+    pub fn expanded_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| match n {
+                LazyNode::Deferred(d) => d.expanded.read().is_some(),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Total primitive references held by deferred nodes.
+    pub fn deferred_prim_references(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                LazyNode::Deferred(d) => d.prims.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Forces expansion of every deferred node (tests, ablations).
+    pub fn expand_all(&self) {
+        for node in &self.nodes {
+            if let LazyNode::Deferred(d) = node {
+                self.expand(d);
+            }
+        }
+    }
+
+    /// Expands a deferred node (or returns the already-built subtree).
+    fn expand(&self, d: &DeferredNode) -> Arc<KdTree> {
+        if let Some(t) = d.expanded.read().as_ref() {
+            return Arc::clone(t);
+        }
+        let mut guard = d.expanded.write();
+        if let Some(t) = guard.as_ref() {
+            // Another thread expanded while we waited for the write lock.
+            return Arc::clone(t);
+        }
+        let local_bounds: Vec<Aabb> = d
+            .prims
+            .iter()
+            .map(|&p| self.mesh.triangle(p as usize).bounds())
+            .collect();
+        let ctx = BuildCtx {
+            bounds: &local_bounds,
+            sah: self.params.sah,
+            max_depth: self.params.effective_max_depth(d.prims.len()),
+            task_depth: 0,
+            nested: false,
+            split: self.params.split,
+        };
+        let local_root = build_recursive(
+            &ctx,
+            (0..d.prims.len() as u32).collect(),
+            d.bounds,
+            0,
+        );
+        let root = remap_leaves(local_root, &d.prims);
+        let tree = Arc::new(KdTree::from_build(Arc::clone(&self.mesh), d.bounds, root));
+        *guard = Some(Arc::clone(&tree));
+        tree
+    }
+
+    /// Nearest intersection in `(t_min, t_max)`, expanding deferred nodes
+    /// as the ray reaches them.
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        let (t0, t1) = self.bounds.intersect_ray(ray, t_min, t_max)?;
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
+        let mut node_idx = 0u32;
+        let (mut t0, mut t1) = (t0, t1);
+        let mut best: Option<Hit> = None;
+        let mut t_best = t_max;
+        loop {
+            match &self.nodes[node_idx as usize] {
+                LazyNode::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => {
+                    let o = ray.origin[*axis];
+                    let dirc = ray.dir[*axis];
+                    let t_plane = (pos - o) * ray.inv_dir[*axis];
+                    let below_first = o < *pos || (o == *pos && dirc <= 0.0);
+                    let (first, second) = if below_first {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
+                    if t_plane > t1 || t_plane <= 0.0 {
+                        node_idx = first;
+                    } else if t_plane < t0 {
+                        node_idx = second;
+                    } else {
+                        stack.push((second, t_plane, t1));
+                        node_idx = first;
+                        t1 = t_plane;
+                    }
+                }
+                tail => {
+                    match tail {
+                        LazyNode::Leaf(prims) => {
+                            for &prim in prims.iter() {
+                                let tri = self.mesh.triangle(prim as usize);
+                                if let Some(mut hit) = tri.intersect(ray, t_min, t_best) {
+                                    hit.prim = prim as usize;
+                                    t_best = hit.t;
+                                    best = Some(hit);
+                                }
+                            }
+                        }
+                        LazyNode::Deferred(d) => {
+                            let sub = self.expand(d);
+                            if let Some(hit) = sub.intersect(ray, t_min, t_best) {
+                                t_best = hit.t;
+                                best = Some(hit);
+                            }
+                        }
+                        LazyNode::Inner { .. } => unreachable!(),
+                    }
+                    if best.is_some_and(|h| h.t <= t1 + T_EPS) {
+                        return best;
+                    }
+                    match stack.pop() {
+                        Some((n, s0, s1)) => {
+                            if s0 > t_best {
+                                continue;
+                            }
+                            node_idx = n;
+                            t0 = s0;
+                            t1 = s1;
+                        }
+                        None => return best,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Occlusion query; expands deferred nodes the shadow ray reaches.
+    pub fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        let Some((t0, t1)) = self.bounds.intersect_ray(ray, t_min, t_max) else {
+            return false;
+        };
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
+        let mut node_idx = 0u32;
+        let (mut t0, mut t1) = (t0, t1);
+        loop {
+            match &self.nodes[node_idx as usize] {
+                LazyNode::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => {
+                    let o = ray.origin[*axis];
+                    let dirc = ray.dir[*axis];
+                    let t_plane = (pos - o) * ray.inv_dir[*axis];
+                    let below_first = o < *pos || (o == *pos && dirc <= 0.0);
+                    let (first, second) = if below_first {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
+                    if t_plane > t1 || t_plane <= 0.0 {
+                        node_idx = first;
+                    } else if t_plane < t0 {
+                        node_idx = second;
+                    } else {
+                        stack.push((second, t_plane, t1));
+                        node_idx = first;
+                        t1 = t_plane;
+                    }
+                }
+                tail => {
+                    let blocked = match tail {
+                        LazyNode::Leaf(prims) => prims.iter().any(|&prim| {
+                            self.mesh
+                                .triangle(prim as usize)
+                                .intersect(ray, t_min, t_max)
+                                .is_some()
+                        }),
+                        LazyNode::Deferred(d) => {
+                            self.expand(d).intersect_any(ray, t_min, t_max)
+                        }
+                        LazyNode::Inner { .. } => unreachable!(),
+                    };
+                    if blocked {
+                        return true;
+                    }
+                    match stack.pop() {
+                        Some((n, s0, s1)) => {
+                            node_idx = n;
+                            t0 = s0;
+                            t1 = s1;
+                        }
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LazyKdTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyKdTree")
+            .field("nodes", &self.node_count())
+            .field("deferred", &self.deferred_count())
+            .field("expanded", &self.expanded_count())
+            .finish()
+    }
+}
+
+/// Rewrites leaf indices of an expansion subtree from local (position in
+/// the deferred primitive list) back to global mesh primitive ids.
+fn remap_leaves(node: BuildNode, prims: &[u32]) -> BuildNode {
+    match node {
+        BuildNode::Leaf(local) => {
+            BuildNode::Leaf(local.into_iter().map(|i| prims[i as usize]).collect())
+        }
+        BuildNode::Inner {
+            axis,
+            pos,
+            left,
+            right,
+        } => BuildNode::Inner {
+            axis,
+            pos,
+            left: Box::new(remap_leaves(*left, prims)),
+            right: Box::new(remap_leaves(*right, prims)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, Algorithm};
+    use crate::query::RayQuery;
+    use kdtune_geometry::Vec3;
+    use kdtune_scenes::{sibenik, SceneParams};
+
+    fn lazy_tree(r: u32) -> LazyKdTree {
+        let mesh = sibenik(&SceneParams::tiny()).frame(0);
+        let params = BuildParams {
+            r,
+            ..BuildParams::default()
+        };
+        match build(mesh, Algorithm::Lazy, &params) {
+            crate::BuiltTree::Lazy(t) => t,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rays_expand_only_touched_nodes() {
+        let tree = lazy_tree(64);
+        assert_eq!(tree.expanded_count(), 0);
+        let ray = Ray::new(Vec3::new(-15.0, 4.0, 0.0), Vec3::X);
+        let hit = tree.intersect(&ray, 0.0, f32::INFINITY);
+        assert!(hit.is_some(), "ray through the nave must hit something");
+        let expanded = tree.expanded_count();
+        assert!(expanded > 0, "the ray must have expanded nodes");
+        assert!(
+            expanded < tree.deferred_count(),
+            "a single ray should not expand the whole tree ({expanded}/{})",
+            tree.deferred_count()
+        );
+    }
+
+    #[test]
+    fn lazy_matches_eager_results() {
+        let mesh = sibenik(&SceneParams::tiny()).frame(0);
+        let eager = build(
+            Arc::clone(&mesh),
+            Algorithm::InPlace,
+            &BuildParams::default(),
+        );
+        let lazy = lazy_tree(128);
+        for i in 0..50 {
+            let a = i as f32 * 0.13;
+            let dir = Vec3::new(a.cos(), 0.3 * (a * 1.7).sin(), a.sin()).normalized();
+            let ray = Ray::new(Vec3::new(-15.0, 4.0, 0.0), dir);
+            let he = eager.intersect(&ray, 0.0, f32::INFINITY);
+            let hl = lazy.intersect(&ray, 0.0, f32::INFINITY);
+            match (he, hl) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a.t - b.t).abs() < 1e-3, "ray {i}: {} vs {}", a.t, b.t)
+                }
+                (a, b) => panic!("ray {i}: eager {a:?} vs lazy {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expand_all_expands_everything() {
+        let tree = lazy_tree(64);
+        tree.expand_all();
+        assert_eq!(tree.expanded_count(), tree.deferred_count());
+    }
+
+    #[test]
+    fn shadow_rays_agree_with_eager() {
+        let mesh = sibenik(&SceneParams::tiny()).frame(0);
+        let eager = build(
+            Arc::clone(&mesh),
+            Algorithm::InPlace,
+            &BuildParams::default(),
+        );
+        let lazy = lazy_tree(64);
+        for i in 0..30 {
+            let a = i as f32 * 0.21;
+            let dir = Vec3::new(a.cos(), 0.2, a.sin()).normalized();
+            let ray = Ray::new(Vec3::new(0.0, 4.0, 0.0), dir);
+            assert_eq!(
+                eager.intersect_any(&ray, 1e-3, 20.0),
+                lazy.intersect_any(&ray, 1e-3, 20.0),
+                "shadow ray {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Uniform query interface over eager and lazy trees.
+
+use crate::{KdTree, LazyKdTree};
+use kdtune_geometry::{Aabb, Hit, Ray, TriangleMesh};
+use std::sync::Arc;
+
+/// Ray queries shared by every acceleration structure in this crate.
+///
+/// Implementations must be callable concurrently from many threads (`&self`
+/// queries) — the ray caster parallelizes over pixels.
+pub trait RayQuery: Send + Sync {
+    /// Nearest intersection with ray parameter in `(t_min, t_max)`.
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit>;
+    /// True if any intersection exists in `(t_min, t_max)`.
+    fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool;
+}
+
+impl RayQuery for KdTree {
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        KdTree::intersect(self, ray, t_min, t_max)
+    }
+    fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        KdTree::intersect_any(self, ray, t_min, t_max)
+    }
+}
+
+impl RayQuery for LazyKdTree {
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        LazyKdTree::intersect(self, ray, t_min, t_max)
+    }
+    fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        LazyKdTree::intersect_any(self, ray, t_min, t_max)
+    }
+}
+
+/// The result of [`crate::build`]: eager algorithms yield a [`KdTree`],
+/// the lazy algorithm a [`LazyKdTree`].
+#[derive(Debug)]
+pub enum BuiltTree {
+    /// Fully constructed tree.
+    Eager(KdTree),
+    /// Tree with on-demand lower levels.
+    Lazy(LazyKdTree),
+}
+
+impl BuiltTree {
+    /// The mesh the tree indexes.
+    pub fn mesh(&self) -> &Arc<TriangleMesh> {
+        match self {
+            BuiltTree::Eager(t) => t.mesh(),
+            BuiltTree::Lazy(t) => t.mesh(),
+        }
+    }
+
+    /// Root bounding box.
+    pub fn bounds(&self) -> Aabb {
+        match self {
+            BuiltTree::Eager(t) => t.bounds(),
+            BuiltTree::Lazy(t) => t.bounds(),
+        }
+    }
+
+    /// Number of (currently materialized) nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            BuiltTree::Eager(t) => t.node_count(),
+            BuiltTree::Lazy(t) => t.node_count(),
+        }
+    }
+
+    /// Borrows the eager tree, if this is one.
+    pub fn as_eager(&self) -> Option<&KdTree> {
+        match self {
+            BuiltTree::Eager(t) => Some(t),
+            BuiltTree::Lazy(_) => None,
+        }
+    }
+
+    /// Borrows the lazy tree, if this is one.
+    pub fn as_lazy(&self) -> Option<&LazyKdTree> {
+        match self {
+            BuiltTree::Eager(_) => None,
+            BuiltTree::Lazy(t) => Some(t),
+        }
+    }
+}
+
+impl RayQuery for BuiltTree {
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        match self {
+            BuiltTree::Eager(t) => t.intersect(ray, t_min, t_max),
+            BuiltTree::Lazy(t) => t.intersect(ray, t_min, t_max),
+        }
+    }
+    fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        match self {
+            BuiltTree::Eager(t) => t.intersect_any(ray, t_min, t_max),
+            BuiltTree::Lazy(t) => t.intersect_any(ray, t_min, t_max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, Algorithm, BuildParams};
+    use kdtune_geometry::{Triangle, Vec3};
+
+    fn mesh() -> Arc<TriangleMesh> {
+        let mut m = TriangleMesh::new();
+        m.push_triangle(Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y));
+        Arc::new(m)
+    }
+
+    #[test]
+    fn variant_accessors() {
+        let eager = build(mesh(), Algorithm::InPlace, &BuildParams::default());
+        assert!(eager.as_eager().is_some());
+        assert!(eager.as_lazy().is_none());
+        let lazy = build(mesh(), Algorithm::Lazy, &BuildParams::default());
+        assert!(lazy.as_lazy().is_some());
+        assert!(lazy.as_eager().is_none());
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let tree = build(mesh(), Algorithm::NodeLevel, &BuildParams::default());
+        let q: &dyn RayQuery = &tree;
+        let ray = Ray::new(Vec3::new(0.2, 0.2, -1.0), Vec3::Z);
+        assert!(q.intersect(&ray, 0.0, f32::INFINITY).is_some());
+        assert!(q.intersect_any(&ray, 0.0, f32::INFINITY));
+        assert!(!q.intersect_any(&ray, 0.0, 0.5));
+    }
+}

@@ -1,0 +1,169 @@
+//! Parallel prefix (scan) primitives.
+//!
+//! Choi et al. describe the nested and in-place algorithms as "essentially
+//! a sequence of parallel prefix operations": count per chunk, scan the
+//! counts into offsets, then write each chunk's output at its offset. The
+//! helpers here implement exactly that pattern for the primitive
+//! classification pass.
+
+use crate::split::sides;
+use kdtune_geometry::{Aabb, Axis};
+use rayon::prelude::*;
+
+/// Exclusive prefix sum: returns `(offsets, total)` where
+/// `offsets[i] = sum(values[..i])`.
+pub fn exclusive_scan(values: &[usize]) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::with_capacity(values.len());
+    let mut acc = 0usize;
+    for &v in values {
+        offsets.push(acc);
+        acc += v;
+    }
+    (offsets, acc)
+}
+
+/// Chunk size of the fork-join phases.
+pub(crate) const SCAN_CHUNK: usize = 2048;
+
+/// Parallel classification of `indices` against the plane `axis = pos`
+/// via count → scan → scatter:
+///
+/// 1. each chunk counts its left/right members in parallel,
+/// 2. an exclusive scan over the per-chunk counts yields write offsets,
+/// 3. each chunk writes its members at its offsets in parallel.
+///
+/// The output is element-for-element identical to the sequential
+/// [`crate::classify`] (chunk order is preserved).
+pub fn par_classify_scan(
+    bounds: &[Aabb],
+    indices: &[u32],
+    axis: Axis,
+    pos: f32,
+) -> (Vec<u32>, Vec<u32>) {
+    if indices.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    // Pass 1: per-chunk counts.
+    let counts: Vec<(usize, usize)> = indices
+        .par_chunks(SCAN_CHUNK)
+        .map(|chunk| {
+            let mut l = 0;
+            let mut r = 0;
+            for &i in chunk {
+                let (sl, sr) = sides(&bounds[i as usize], axis, pos);
+                l += sl as usize;
+                r += sr as usize;
+            }
+            (l, r)
+        })
+        .collect();
+    // Pass 2: scans.
+    let (l_offsets, l_total) = exclusive_scan(&counts.iter().map(|c| c.0).collect::<Vec<_>>());
+    let (r_offsets, r_total) = exclusive_scan(&counts.iter().map(|c| c.1).collect::<Vec<_>>());
+    // Pass 3: parallel scatter into preallocated outputs. Each chunk owns
+    // a disjoint slice of the output, handed out by zipping the output
+    // buffers' own chunk decomposition with the input chunks.
+    let mut left = vec![0u32; l_total];
+    let mut right = vec![0u32; r_total];
+    {
+        // Split the output buffers into per-chunk windows.
+        let mut l_windows: Vec<&mut [u32]> = Vec::with_capacity(counts.len());
+        let mut r_windows: Vec<&mut [u32]> = Vec::with_capacity(counts.len());
+        let mut l_rest: &mut [u32] = &mut left;
+        let mut r_rest: &mut [u32] = &mut right;
+        for (k, (lc, rc)) in counts.iter().enumerate() {
+            debug_assert_eq!(l_offsets[k] + lc, l_offsets.get(k + 1).copied().unwrap_or(l_total));
+            debug_assert_eq!(r_offsets[k] + rc, r_offsets.get(k + 1).copied().unwrap_or(r_total));
+            let (lw, lr) = l_rest.split_at_mut(*lc);
+            let (rw, rr) = r_rest.split_at_mut(*rc);
+            l_windows.push(lw);
+            r_windows.push(rw);
+            l_rest = lr;
+            r_rest = rr;
+        }
+        indices
+            .par_chunks(SCAN_CHUNK)
+            .zip(l_windows.into_par_iter())
+            .zip(r_windows.into_par_iter())
+            .for_each(|((chunk, lw), rw)| {
+                let mut li = 0;
+                let mut ri = 0;
+                for &i in chunk {
+                    let (sl, sr) = sides(&bounds[i as usize], axis, pos);
+                    if sl {
+                        lw[li] = i;
+                        li += 1;
+                    }
+                    if sr {
+                        rw[ri] = i;
+                        ri += 1;
+                    }
+                }
+                debug_assert_eq!(li, lw.len());
+                debug_assert_eq!(ri, rw.len());
+            });
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::classify;
+    use kdtune_geometry::Vec3;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exclusive_scan_basics() {
+        assert_eq!(exclusive_scan(&[]), (vec![], 0));
+        assert_eq!(exclusive_scan(&[5]), (vec![0], 5));
+        assert_eq!(exclusive_scan(&[1, 2, 3]), (vec![0, 1, 3], 6));
+        assert_eq!(exclusive_scan(&[0, 0, 4, 0]), (vec![0, 0, 0, 4], 4));
+    }
+
+    fn slab(lo: f32, hi: f32) -> Aabb {
+        Aabb::new(Vec3::new(lo, 0.0, 0.0), Vec3::new(hi, 1.0, 1.0))
+    }
+
+    #[test]
+    fn matches_sequential_on_small_input() {
+        let bounds = vec![slab(0.0, 0.3), slab(0.2, 0.8), slab(0.6, 1.0), slab(0.5, 0.5)];
+        let idx: Vec<u32> = (0..4).collect();
+        let seq = classify(&bounds, &idx, Axis::X, 0.5);
+        let par = par_classify_scan(&bounds, &idx, Axis::X, 0.5);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (l, r) = par_classify_scan(&[], &[], Axis::X, 0.5);
+        assert!(l.is_empty() && r.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Element-for-element identical to the sequential classify, even
+        /// across multiple chunks.
+        #[test]
+        fn matches_sequential_classify(
+            n in 1usize..6000,
+            seed in 0u64..1000,
+            pos in 0.0f32..1.0,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let bounds: Vec<Aabb> = (0..n)
+                .map(|_| {
+                    let a: f32 = rng.gen();
+                    let b: f32 = rng.gen();
+                    slab(a.min(b), a.max(b))
+                })
+                .collect();
+            let idx: Vec<u32> = (0..n as u32).collect();
+            let seq = classify(&bounds, &idx, Axis::X, pos);
+            let par = par_classify_scan(&bounds, &idx, Axis::X, pos);
+            prop_assert_eq!(seq, par);
+        }
+    }
+}

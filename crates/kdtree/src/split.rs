@@ -1,0 +1,414 @@
+//! Split-plane search and primitive classification.
+//!
+//! The sweep here is the event-based search of Wald & Havran: for each axis
+//! the candidate planes are the primitive bound extrema, visited in sorted
+//! order while incrementally maintaining the left/right counts. (We re-sort
+//! events per node — O(n log² n) over the whole build — rather than
+//! threading sorted event lists through the recursion; this is the common
+//! implementation choice and does not change which planes are found.)
+
+use crate::SahParams;
+use kdtune_geometry::{Aabb, Axis};
+
+/// A candidate split plane with its SAH cost and resulting child counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitPlane {
+    /// Axis the plane is perpendicular to.
+    pub axis: Axis,
+    /// Plane position along `axis`.
+    pub pos: f32,
+    /// SAH cost of this split (paper eq. 1).
+    pub cost: f32,
+    /// Number of primitives assigned to the left child (straddlers count
+    /// on both sides).
+    pub n_left: usize,
+    /// Number of primitives assigned to the right child.
+    pub n_right: usize,
+}
+
+/// Side assignment of a primitive relative to a split plane.
+///
+/// The rule, applied identically by the sweep and by [`classify`]:
+/// a primitive goes **left** when `min < pos`, **right** when `max > pos`,
+/// and a primitive lying flat *on* the plane (`min == max == pos`) goes
+/// left only. Straddlers satisfy both and are duplicated.
+#[inline]
+pub(crate) fn sides(b: &Aabb, axis: Axis, pos: f32) -> (bool, bool) {
+    let (lo, hi) = (b.min[axis], b.max[axis]);
+    let left = lo < pos || (lo == pos && hi == pos);
+    let right = hi > pos;
+    (left, right)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum EventKind {
+    // Order matters: at equal positions, End events are processed before
+    // Planar before Start so the incremental counts match `sides`.
+    End = 0,
+    Planar = 1,
+    Start = 2,
+}
+
+/// Builds the sorted event list for one axis from an iterator of bounds.
+fn collect_events<'a>(
+    bounds: impl Iterator<Item = &'a Aabb>,
+    capacity: usize,
+    axis: Axis,
+) -> Vec<(f32, EventKind)> {
+    let mut events: Vec<(f32, EventKind)> = Vec::with_capacity(2 * capacity);
+    for b in bounds {
+        let (lo, hi) = (b.min[axis], b.max[axis]);
+        if lo == hi {
+            events.push((lo, EventKind::Planar));
+        } else {
+            events.push((lo, EventKind::Start));
+            events.push((hi, EventKind::End));
+        }
+    }
+    events.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then((a.1 as u8).cmp(&(b.1 as u8)))
+    });
+    events
+}
+
+/// Sweeps a sorted event list, returning the best plane on that axis.
+fn sweep_events(
+    events: &[(f32, EventKind)],
+    n: usize,
+    node: &Aabb,
+    sah: &SahParams,
+    axis: Axis,
+) -> Option<SplitPlane> {
+    let (node_lo, node_hi) = (node.min[axis], node.max[axis]);
+    let mut best: Option<SplitPlane> = None;
+    let mut n_left = 0usize;
+    let mut n_right = n;
+    let mut i = 0;
+    while i < events.len() {
+        let pos = events[i].0;
+        let (mut ends, mut planars, mut starts) = (0usize, 0usize, 0usize);
+        while i < events.len() && events[i].0 == pos {
+            match events[i].1 {
+                EventKind::End => ends += 1,
+                EventKind::Planar => planars += 1,
+                EventKind::Start => starts += 1,
+            }
+            i += 1;
+        }
+        n_right -= ends + planars;
+        if pos > node_lo && pos < node_hi {
+            let nl = n_left + planars;
+            let cost = sah.split_cost(node, axis, pos, nl, n_right, n);
+            if best.map_or(true, |b| cost < b.cost) {
+                best = Some(SplitPlane {
+                    axis,
+                    pos,
+                    cost,
+                    n_left: nl,
+                    n_right,
+                });
+            }
+        }
+        n_left += starts + planars;
+    }
+    best
+}
+
+/// Finds the minimum-SAH-cost plane on one axis over a dense bounds slice.
+pub(crate) fn best_split_axis(
+    bounds: &[Aabb],
+    node: &Aabb,
+    sah: &SahParams,
+    axis: Axis,
+) -> Option<SplitPlane> {
+    if bounds.is_empty() {
+        return None;
+    }
+    let events = collect_events(bounds.iter(), bounds.len(), axis);
+    sweep_events(&events, bounds.len(), node, sah, axis)
+}
+
+/// Finds the minimum-SAH-cost plane on one axis for the primitives selected
+/// by `indices` (the builders' working sets).
+pub(crate) fn best_split_axis_idx(
+    bounds: &[Aabb],
+    indices: &[u32],
+    node: &Aabb,
+    sah: &SahParams,
+    axis: Axis,
+) -> Option<SplitPlane> {
+    if indices.is_empty() {
+        return None;
+    }
+    let events = collect_events(
+        indices.iter().map(|&i| &bounds[i as usize]),
+        indices.len(),
+        axis,
+    );
+    sweep_events(&events, indices.len(), node, sah, axis)
+}
+
+/// Finds the minimum-SAH-cost split plane over all three axes with the
+/// O(n log n) event sweep. Returns `None` when no candidate plane lies
+/// strictly inside the node (e.g. all primitives span the whole node).
+pub fn best_split_sweep(bounds: &[Aabb], node: &Aabb, sah: &SahParams) -> Option<SplitPlane> {
+    let mut best: Option<SplitPlane> = None;
+    for axis in Axis::ALL {
+        if let Some(p) = best_split_axis(bounds, node, sah, axis) {
+            if best.map_or(true, |b| p.cost < b.cost) {
+                best = Some(p);
+            }
+        }
+    }
+    best
+}
+
+/// Indexed variant of [`best_split_sweep`]: searches only the primitives in
+/// `indices`.
+pub fn best_split_sweep_idx(
+    bounds: &[Aabb],
+    indices: &[u32],
+    node: &Aabb,
+    sah: &SahParams,
+) -> Option<SplitPlane> {
+    let mut best: Option<SplitPlane> = None;
+    for axis in Axis::ALL {
+        if let Some(p) = best_split_axis_idx(bounds, indices, node, sah, axis) {
+            if best.map_or(true, |b| p.cost < b.cost) {
+                best = Some(p);
+            }
+        }
+    }
+    best
+}
+
+/// O(n²) reference implementation of the split search: evaluates the SAH at
+/// every candidate plane by recounting from scratch. Used by tests to
+/// validate [`best_split_sweep`]; never called on hot paths.
+pub fn best_split_naive(bounds: &[Aabb], node: &Aabb, sah: &SahParams) -> Option<SplitPlane> {
+    let n = bounds.len();
+    let mut best: Option<SplitPlane> = None;
+    for axis in Axis::ALL {
+        let mut candidates: Vec<f32> = bounds
+            .iter()
+            .flat_map(|b| [b.min[axis], b.max[axis]])
+            .filter(|&p| p > node.min[axis] && p < node.max[axis])
+            .collect();
+        candidates.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.dedup();
+        for pos in candidates {
+            let mut n_left = 0;
+            let mut n_right = 0;
+            for b in bounds {
+                let (l, r) = sides(b, axis, pos);
+                n_left += l as usize;
+                n_right += r as usize;
+            }
+            let cost = sah.split_cost(node, axis, pos, n_left, n_right, n);
+            if best.map_or(true, |b| cost < b.cost) {
+                best = Some(SplitPlane {
+                    axis,
+                    pos,
+                    cost,
+                    n_left,
+                    n_right,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Partitions primitive indices by a split plane. Straddlers appear in both
+/// outputs; the assignment rule matches the sweep exactly, so the returned
+/// list lengths equal the plane's `n_left`/`n_right`.
+pub fn classify(
+    bounds: &[Aabb],
+    indices: &[u32],
+    axis: Axis,
+    pos: f32,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::with_capacity(indices.len());
+    let mut right = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let (l, r) = sides(&bounds[i as usize], axis, pos);
+        if l {
+            left.push(i);
+        }
+        if r {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_geometry::Vec3;
+    use proptest::prelude::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    fn slab(axis: Axis, lo: f32, hi: f32) -> Aabb {
+        let mut b = unit();
+        b.min[axis] = lo;
+        b.max[axis] = hi;
+        b
+    }
+
+    #[test]
+    fn separable_prims_split_between_clusters() {
+        // Two clusters along x: [0.0, 0.2] and [0.8, 1.0].
+        let bounds = vec![
+            slab(Axis::X, 0.0, 0.2),
+            slab(Axis::X, 0.05, 0.18),
+            slab(Axis::X, 0.8, 1.0),
+            slab(Axis::X, 0.85, 0.95),
+        ];
+        let plane = best_split_sweep(&bounds, &unit(), &SahParams::default()).unwrap();
+        assert_eq!(plane.axis, Axis::X);
+        assert!(plane.pos >= 0.2 && plane.pos <= 0.8, "pos = {}", plane.pos);
+        assert_eq!(plane.n_left, 2);
+        assert_eq!(plane.n_right, 2);
+    }
+
+    #[test]
+    fn no_candidates_when_all_prims_span_node() {
+        let bounds = vec![unit(), unit()];
+        assert!(best_split_sweep(&bounds, &unit(), &SahParams::default()).is_none());
+        assert!(best_split_naive(&bounds, &unit(), &SahParams::default()).is_none());
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(best_split_sweep(&[], &unit(), &SahParams::default()).is_none());
+    }
+
+    #[test]
+    fn straddler_counted_on_both_sides() {
+        let bounds = vec![
+            slab(Axis::X, 0.0, 0.3),
+            slab(Axis::X, 0.2, 0.8), // straddles any plane in (0.3, 0.7)
+            slab(Axis::X, 0.7, 1.0),
+        ];
+        let plane = best_split_sweep(&bounds, &unit(), &SahParams::new(17.0, 0.0)).unwrap();
+        let (l, r) = classify(&bounds, &[0, 1, 2], plane.axis, plane.pos);
+        assert_eq!(l.len(), plane.n_left);
+        assert_eq!(r.len(), plane.n_right);
+        assert!(l.len() + r.len() >= 3);
+    }
+
+    #[test]
+    fn planar_prims_go_left() {
+        let flat = slab(Axis::X, 0.5, 0.5);
+        let (l, r) = sides(&flat, Axis::X, 0.5);
+        assert!(l && !r);
+        // And straddlers go both ways.
+        let wide = slab(Axis::X, 0.2, 0.8);
+        let (l, r) = sides(&wide, Axis::X, 0.5);
+        assert!(l && r);
+    }
+
+    #[test]
+    fn classification_matches_plane_counts_with_planars() {
+        let bounds = vec![
+            slab(Axis::X, 0.5, 0.5),
+            slab(Axis::X, 0.0, 0.5),
+            slab(Axis::X, 0.5, 1.0),
+            slab(Axis::X, 0.1, 0.9),
+        ];
+        let idx: Vec<u32> = (0..4).collect();
+        for plane in [
+            best_split_sweep(&bounds, &unit(), &SahParams::default()).unwrap(),
+        ] {
+            let (l, r) = classify(&bounds, &idx, plane.axis, plane.pos);
+            assert_eq!(l.len(), plane.n_left, "plane {plane:?}");
+            assert_eq!(r.len(), plane.n_right, "plane {plane:?}");
+        }
+    }
+
+    #[test]
+    fn high_duplication_cost_avoids_straddling_planes() {
+        // Prims overlap around x = 0.45; with CB = 0 a straddling split can
+        // win, with a huge CB the search must pick the duplication-free
+        // plane at x = 0.55.
+        let bounds = vec![
+            slab(Axis::X, 0.0, 0.45),
+            slab(Axis::X, 0.4, 0.55),
+            slab(Axis::X, 0.55, 1.0),
+        ];
+        let cheap = best_split_sweep(&bounds, &unit(), &SahParams::new(17.0, 0.0)).unwrap();
+        let costly = best_split_sweep(&bounds, &unit(), &SahParams::new(17.0, 1000.0)).unwrap();
+        let dup_cheap = cheap.n_left + cheap.n_right - 3;
+        let dup_costly = costly.n_left + costly.n_right - 3;
+        assert!(dup_costly <= dup_cheap);
+        assert_eq!(dup_costly, 0);
+    }
+
+    fn arb_bounds(n: usize) -> impl Strategy<Value = Vec<Aabb>> {
+        proptest::collection::vec(
+            (
+                (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
+                (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
+            )
+                .prop_map(|((ax, ay, az), (bx, by, bz))| {
+                    let a = Vec3::new(ax, ay, az);
+                    let b = Vec3::new(bx, by, bz);
+                    Aabb::new(a.min(b), a.max(b))
+                }),
+            1..n,
+        )
+    }
+
+    proptest! {
+        /// The sweep finds the same minimum cost as the O(n²) reference.
+        #[test]
+        fn sweep_matches_naive(bounds in arb_bounds(24)) {
+            let sah = SahParams::default();
+            let node = unit();
+            let s = best_split_sweep(&bounds, &node, &sah);
+            let n = best_split_naive(&bounds, &node, &sah);
+            match (s, n) {
+                (None, None) => {}
+                (Some(s), Some(n)) => {
+                    prop_assert!((s.cost - n.cost).abs() <= 1e-3 * n.cost.max(1.0),
+                        "sweep {s:?} vs naive {n:?}");
+                }
+                (s, n) => prop_assert!(false, "sweep {s:?} vs naive {n:?}"),
+            }
+        }
+
+        /// Plane counts always agree with classify, and every primitive
+        /// lands on at least one side.
+        #[test]
+        fn counts_agree_with_classification(bounds in arb_bounds(24)) {
+            let sah = SahParams::default();
+            let node = unit();
+            if let Some(p) = best_split_sweep(&bounds, &node, &sah) {
+                let idx: Vec<u32> = (0..bounds.len() as u32).collect();
+                let (l, r) = classify(&bounds, &idx, p.axis, p.pos);
+                prop_assert_eq!(l.len(), p.n_left);
+                prop_assert_eq!(r.len(), p.n_right);
+                prop_assert!(l.len() + r.len() >= bounds.len());
+                // The plane strictly subdivides the node.
+                prop_assert!(p.pos > node.min[p.axis] && p.pos < node.max[p.axis]);
+            }
+        }
+
+        /// Lowering CB can only lower (or keep) the optimal cost.
+        #[test]
+        fn cost_monotone_in_cb(bounds in arb_bounds(16)) {
+            let node = unit();
+            let lo = best_split_sweep(&bounds, &node, &SahParams::new(17.0, 0.0));
+            let hi = best_split_sweep(&bounds, &node, &SahParams::new(17.0, 60.0));
+            if let (Some(lo), Some(hi)) = (lo, hi) {
+                prop_assert!(lo.cost <= hi.cost + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Ray traversal of the flattened tree (stack-based near-to-far, after
+//! Ericson, *Real-Time Collision Detection*, pp. 319–321).
+
+use crate::tree::{KdTree, Node};
+use kdtune_geometry::{Hit, Ray, TriangleMesh};
+
+/// Tolerance added when deciding whether a hit found in a leaf terminates
+/// the traversal: hits exactly on a leaf boundary must not be discarded.
+const T_EPS: f32 = 1e-4;
+
+impl KdTree {
+    /// Nearest intersection of `ray` with the mesh in `(t_min, t_max)`.
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        let (t0, t1) = self.bounds().intersect_ray(ray, t_min, t_max)?;
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
+        let mut node_idx = 0u32;
+        let (mut t0, mut t1) = (t0, t1);
+        let mut best: Option<Hit> = None;
+        let mut t_best = t_max;
+        let nodes = self.nodes();
+        loop {
+            match nodes[node_idx as usize] {
+                Node::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => {
+                    let o = ray.origin[axis];
+                    let d = ray.dir[axis];
+                    let t_plane = (pos - o) * ray.inv_dir[axis];
+                    // Which child contains the ray origin side of the plane?
+                    let below_first = o < pos || (o == pos && d <= 0.0);
+                    let (first, second) = if below_first { (left, right) } else { (right, left) };
+                    // NaN t_plane (origin on plane, parallel ray) fails both
+                    // comparisons and conservatively visits both children.
+                    if t_plane > t1 || t_plane <= 0.0 {
+                        node_idx = first;
+                    } else if t_plane < t0 {
+                        node_idx = second;
+                    } else {
+                        stack.push((second, t_plane, t1));
+                        node_idx = first;
+                        t1 = t_plane;
+                    }
+                }
+                leaf @ Node::Leaf { .. } => {
+                    for &prim in self.leaf_prims(&leaf) {
+                        let tri = self.mesh().triangle(prim as usize);
+                        if let Some(mut hit) = tri.intersect(ray, t_min, t_best) {
+                            hit.prim = prim as usize;
+                            t_best = hit.t;
+                            best = Some(hit);
+                        }
+                    }
+                    // Early exit: a hit inside this leaf's parametric range
+                    // cannot be beaten by farther leaves.
+                    if best.is_some_and(|h| h.t <= t1 + T_EPS) {
+                        return best;
+                    }
+                    match stack.pop() {
+                        Some((n, s0, s1)) => {
+                            if s0 > t_best {
+                                // All remaining nodes start beyond the best
+                                // hit (stack is near-to-far per path but not
+                                // globally sorted; keep popping).
+                                continue;
+                            }
+                            node_idx = n;
+                            t0 = s0;
+                            t1 = s1;
+                        }
+                        None => return best,
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if anything blocks the ray in `(t_min, t_max)` — the shadow-ray
+    /// query. Stops at the first hit found, in any order.
+    pub fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        let Some((t0, t1)) = self.bounds().intersect_ray(ray, t_min, t_max) else {
+            return false;
+        };
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
+        let mut node_idx = 0u32;
+        let (mut t0, mut t1) = (t0, t1);
+        let nodes = self.nodes();
+        loop {
+            match nodes[node_idx as usize] {
+                Node::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => {
+                    let o = ray.origin[axis];
+                    let d = ray.dir[axis];
+                    let t_plane = (pos - o) * ray.inv_dir[axis];
+                    let below_first = o < pos || (o == pos && d <= 0.0);
+                    let (first, second) = if below_first { (left, right) } else { (right, left) };
+                    if t_plane > t1 || t_plane <= 0.0 {
+                        node_idx = first;
+                    } else if t_plane < t0 {
+                        node_idx = second;
+                    } else {
+                        stack.push((second, t_plane, t1));
+                        node_idx = first;
+                        t1 = t_plane;
+                    }
+                }
+                leaf @ Node::Leaf { .. } => {
+                    for &prim in self.leaf_prims(&leaf) {
+                        let tri = self.mesh().triangle(prim as usize);
+                        if tri.intersect(ray, t_min, t_max).is_some() {
+                            return true;
+                        }
+                    }
+                    match stack.pop() {
+                        Some((n, s0, s1)) => {
+                            node_idx = n;
+                            t0 = s0;
+                            t1 = s1;
+                        }
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Work counters collected by [`KdTree::intersect_counted`] — the
+/// quantities the SAH cost model estimates (`CT`-weighted node visits and
+/// `CI`-weighted triangle tests), measurable per ray.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalCounters {
+    /// Inner nodes visited.
+    pub inner_visited: u64,
+    /// Leaves visited.
+    pub leaves_visited: u64,
+    /// Ray/triangle tests executed.
+    pub tris_tested: u64,
+}
+
+impl TraversalCounters {
+    /// Element-wise sum.
+    pub fn merge(self, o: TraversalCounters) -> TraversalCounters {
+        TraversalCounters {
+            inner_visited: self.inner_visited + o.inner_visited,
+            leaves_visited: self.leaves_visited + o.leaves_visited,
+            tris_tested: self.tris_tested + o.tris_tested,
+        }
+    }
+
+    /// The measured analogue of the SAH cost for this traversal:
+    /// `CT · nodes + CI · triangle tests`.
+    pub fn weighted_cost(&self, ct: f32, ci: f32) -> f64 {
+        ct as f64 * (self.inner_visited + self.leaves_visited) as f64
+            + ci as f64 * self.tris_tested as f64
+    }
+}
+
+impl KdTree {
+    /// [`KdTree::intersect`] with work counters — used by the analysis
+    /// tooling to correlate predicted SAH cost with actual traversal work.
+    pub fn intersect_counted(
+        &self,
+        ray: &Ray,
+        t_min: f32,
+        t_max: f32,
+    ) -> (Option<Hit>, TraversalCounters) {
+        let mut counters = TraversalCounters::default();
+        let Some((t0, t1)) = self.bounds().intersect_ray(ray, t_min, t_max) else {
+            return (None, counters);
+        };
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
+        let mut node_idx = 0u32;
+        let (mut t0, mut t1) = (t0, t1);
+        let mut best: Option<Hit> = None;
+        let mut t_best = t_max;
+        let nodes = self.nodes();
+        loop {
+            match nodes[node_idx as usize] {
+                Node::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => {
+                    counters.inner_visited += 1;
+                    let o = ray.origin[axis];
+                    let d = ray.dir[axis];
+                    let t_plane = (pos - o) * ray.inv_dir[axis];
+                    let below_first = o < pos || (o == pos && d <= 0.0);
+                    let (first, second) = if below_first { (left, right) } else { (right, left) };
+                    if t_plane > t1 || t_plane <= 0.0 {
+                        node_idx = first;
+                    } else if t_plane < t0 {
+                        node_idx = second;
+                    } else {
+                        stack.push((second, t_plane, t1));
+                        node_idx = first;
+                        t1 = t_plane;
+                    }
+                }
+                leaf @ Node::Leaf { .. } => {
+                    counters.leaves_visited += 1;
+                    for &prim in self.leaf_prims(&leaf) {
+                        counters.tris_tested += 1;
+                        let tri = self.mesh().triangle(prim as usize);
+                        if let Some(mut hit) = tri.intersect(ray, t_min, t_best) {
+                            hit.prim = prim as usize;
+                            t_best = hit.t;
+                            best = Some(hit);
+                        }
+                    }
+                    if best.is_some_and(|h| h.t <= t1 + T_EPS) {
+                        return (best, counters);
+                    }
+                    match stack.pop() {
+                        Some((n, s0, s1)) => {
+                            if s0 > t_best {
+                                continue;
+                            }
+                            node_idx = n;
+                            t0 = s0;
+                            t1 = s1;
+                        }
+                        None => return (best, counters),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// O(n) reference intersection: tests every triangle. The ground truth for
+/// traversal tests; also used by benches as the "no acceleration" baseline.
+pub fn brute_force_intersect(
+    mesh: &TriangleMesh,
+    ray: &Ray,
+    t_min: f32,
+    t_max: f32,
+) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    let mut t_best = t_max;
+    for i in 0..mesh.len() {
+        if let Some(mut hit) = mesh.triangle(i).intersect(ray, t_min, t_best) {
+            hit.prim = i;
+            t_best = hit.t;
+            best = Some(hit);
+        }
+    }
+    best
+}

@@ -1,0 +1,256 @@
+//! The flattened kD-tree structure.
+
+use kdtune_geometry::{Aabb, Axis, TriangleMesh};
+use std::sync::Arc;
+
+/// A node of the flattened tree. Children of an [`Node::Inner`] are indices
+/// into [`KdTree::nodes`]; leaf primitives are a range of
+/// [`KdTree::prim_indices`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Node {
+    /// A leaf holding `count` primitive indices starting at `first` in the
+    /// tree's primitive index buffer.
+    Leaf {
+        /// Offset of the first primitive index.
+        first: u32,
+        /// Number of primitives in the leaf.
+        count: u32,
+    },
+    /// An inner node splitting its bounds by the plane `axis = pos`.
+    Inner {
+        /// Axis the split plane is perpendicular to.
+        axis: Axis,
+        /// Split plane position.
+        pos: f32,
+        /// Index of the left child (the `< pos` side).
+        left: u32,
+        /// Index of the right child (the `> pos` side).
+        right: u32,
+    },
+}
+
+/// Build-time tree node, produced by the construction algorithms and
+/// flattened into a [`KdTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum BuildNode {
+    Leaf(Vec<u32>),
+    Inner {
+        axis: Axis,
+        pos: f32,
+        left: Box<BuildNode>,
+        right: Box<BuildNode>,
+    },
+}
+
+impl BuildNode {
+    /// Number of nodes in this subtree.
+    pub(crate) fn node_count(&self) -> usize {
+        match self {
+            BuildNode::Leaf(_) => 1,
+            BuildNode::Inner { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+}
+
+/// An immutable SAH kD-tree over a triangle mesh.
+///
+/// The tree owns an `Arc` of its mesh so queries need no extra arguments
+/// and trees can outlive the scene structures that produced them.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    mesh: Arc<TriangleMesh>,
+    bounds: Aabb,
+    nodes: Vec<Node>,
+    prim_indices: Vec<u32>,
+}
+
+impl KdTree {
+    /// Flattens a build tree. `bounds` is the root bounding box the builder
+    /// subdivided (usually the mesh bounds).
+    pub(crate) fn from_build(mesh: Arc<TriangleMesh>, bounds: Aabb, root: BuildNode) -> KdTree {
+        let mut tree = KdTree {
+            mesh,
+            bounds,
+            nodes: Vec::with_capacity(root.node_count()),
+            prim_indices: Vec::new(),
+        };
+        tree.flatten(&root);
+        tree
+    }
+
+    fn flatten(&mut self, node: &BuildNode) -> u32 {
+        let my_index = self.nodes.len() as u32;
+        match node {
+            BuildNode::Leaf(prims) => {
+                let first = self.prim_indices.len() as u32;
+                self.prim_indices.extend_from_slice(prims);
+                self.nodes.push(Node::Leaf {
+                    first,
+                    count: prims.len() as u32,
+                });
+            }
+            BuildNode::Inner {
+                axis,
+                pos,
+                left,
+                right,
+            } => {
+                // Reserve our slot, then place children; patch indices in.
+                self.nodes.push(Node::Leaf { first: 0, count: 0 });
+                let l = self.flatten(left);
+                let r = self.flatten(right);
+                self.nodes[my_index as usize] = Node::Inner {
+                    axis: *axis,
+                    pos: *pos,
+                    left: l,
+                    right: r,
+                };
+            }
+        }
+        my_index
+    }
+
+    /// Reassembles a tree from raw parts (deserialization); invariants are
+    /// the decoder's responsibility — [`crate::validate`] can re-check.
+    pub(crate) fn from_raw_parts(
+        mesh: Arc<TriangleMesh>,
+        bounds: Aabb,
+        nodes: Vec<Node>,
+        prim_indices: Vec<u32>,
+    ) -> KdTree {
+        KdTree {
+            mesh,
+            bounds,
+            nodes,
+            prim_indices,
+        }
+    }
+
+    /// The mesh the tree indexes.
+    pub fn mesh(&self) -> &Arc<TriangleMesh> {
+        &self.mesh
+    }
+
+    /// Root bounding box.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// All nodes, root first.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The primitive indices of a leaf node.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a leaf of this tree.
+    pub fn leaf_prims(&self, node: &Node) -> &[u32] {
+        match node {
+            Node::Leaf { first, count } => {
+                &self.prim_indices[*first as usize..(*first + *count) as usize]
+            }
+            Node::Inner { .. } => panic!("leaf_prims called on an inner node"),
+        }
+    }
+
+    /// Total primitive references across all leaves (counts duplicates).
+    pub fn prim_references(&self) -> usize {
+        self.prim_indices.len()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_geometry::{Triangle, Vec3};
+
+    fn mesh2() -> Arc<TriangleMesh> {
+        let mut m = TriangleMesh::new();
+        m.push_triangle(Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y));
+        m.push_triangle(Triangle::new(Vec3::Z, Vec3::X + Vec3::Z, Vec3::Y + Vec3::Z));
+        Arc::new(m)
+    }
+
+    #[test]
+    fn flatten_single_leaf() {
+        let mesh = mesh2();
+        let bounds = mesh.bounds();
+        let tree = KdTree::from_build(mesh, bounds, BuildNode::Leaf(vec![0, 1]));
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_prims(&tree.nodes()[0]), &[0, 1]);
+        assert_eq!(tree.prim_references(), 2);
+    }
+
+    #[test]
+    fn flatten_inner_preserves_structure() {
+        let mesh = mesh2();
+        let bounds = mesh.bounds();
+        let root = BuildNode::Inner {
+            axis: Axis::Z,
+            pos: 0.5,
+            left: Box::new(BuildNode::Leaf(vec![0])),
+            right: Box::new(BuildNode::Leaf(vec![1])),
+        };
+        assert_eq!(root.node_count(), 3);
+        let tree = KdTree::from_build(mesh, bounds, root);
+        assert_eq!(tree.node_count(), 3);
+        match tree.nodes()[0] {
+            Node::Inner {
+                axis, pos, left, right,
+            } => {
+                assert_eq!(axis, Axis::Z);
+                assert_eq!(pos, 0.5);
+                assert_eq!(tree.leaf_prims(&tree.nodes()[left as usize]), &[0]);
+                assert_eq!(tree.leaf_prims(&tree.nodes()[right as usize]), &[1]);
+            }
+            _ => panic!("root should be inner"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_prims called on an inner node")]
+    fn leaf_prims_rejects_inner() {
+        let mesh = mesh2();
+        let bounds = mesh.bounds();
+        let root = BuildNode::Inner {
+            axis: Axis::X,
+            pos: 0.5,
+            left: Box::new(BuildNode::Leaf(vec![0])),
+            right: Box::new(BuildNode::Leaf(vec![1])),
+        };
+        let tree = KdTree::from_build(mesh, bounds, root);
+        let inner = tree.nodes()[0];
+        let _ = tree.leaf_prims(&inner);
+    }
+
+    #[test]
+    fn deep_unbalanced_tree_flattens() {
+        // A left-spine of 100 inner nodes.
+        let mut node = BuildNode::Leaf(vec![0]);
+        for i in 0..100 {
+            node = BuildNode::Inner {
+                axis: Axis::X,
+                pos: i as f32,
+                left: Box::new(node),
+                right: Box::new(BuildNode::Leaf(vec![1])),
+            };
+        }
+        let mesh = mesh2();
+        let bounds = mesh.bounds();
+        let tree = KdTree::from_build(mesh, bounds, node);
+        assert_eq!(tree.node_count(), 201);
+        // Every leaf must be reachable: count leaves.
+        let leaves = tree
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count();
+        assert_eq!(leaves, 101);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based structural tests: every algorithm, on random triangle
+//! soups and random Table II configurations, must produce a tree that
+//! passes full validation, and the builders must agree on leaf content.
+
+use kdtune_geometry::{Triangle, TriangleMesh, Vec3};
+use kdtune_kdtree::{
+    build, build_sorted_events, validate, Algorithm, BuildParams, Node, SahParams, TreeStats,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn soup(n: usize, seed: u64, spread: f32) -> Arc<TriangleMesh> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mesh = TriangleMesh::new();
+    for _ in 0..n {
+        let base = Vec3::new(
+            rng.gen_range(-spread..spread),
+            rng.gen_range(-spread..spread),
+            rng.gen_range(-spread..spread),
+        );
+        let e = |rng: &mut StdRng| {
+            Vec3::new(
+                rng.gen_range(-0.6..0.6),
+                rng.gen_range(-0.6..0.6),
+                rng.gen_range(-0.6..0.6),
+            )
+        };
+        let (e1, e2) = (e(&mut rng), e(&mut rng));
+        mesh.push_triangle(Triangle::new(base, base + e1, base + e2));
+    }
+    Arc::new(mesh)
+}
+
+fn leaf_size_multiset(nodes: &[Node]) -> Vec<u32> {
+    let mut v: Vec<u32> = nodes
+        .iter()
+        .filter_map(|n| match n {
+            Node::Leaf { count, .. } => Some(*count),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_eager_builders_validate_on_random_input(
+        seed in 0u64..10_000,
+        n in 1usize..300,
+        spread in 0.5f32..8.0,
+        ci in 3i64..=101,
+        cb in 0i64..=60,
+        s in 1u32..=8,
+    ) {
+        let mesh = soup(n, seed, spread);
+        let params = BuildParams {
+            sah: SahParams::new(ci as f32, cb as f32),
+            s,
+            r: 4096,
+            ..BuildParams::default()
+        };
+        for algo in [Algorithm::NodeLevel, Algorithm::Nested, Algorithm::InPlace] {
+            let tree = build(Arc::clone(&mesh), algo, &params);
+            let tree = tree.as_eager().unwrap();
+            prop_assert!(validate(tree).is_ok(), "{algo}: {:?}", validate(tree));
+            let stats = TreeStats::compute(tree);
+            prop_assert!(stats.duplication_factor >= 1.0);
+            prop_assert_eq!(stats.node_count, 2 * stats.leaf_count - 1);
+        }
+    }
+
+    #[test]
+    fn builders_agree_on_leaf_multiset(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+    ) {
+        let mesh = soup(n, seed, 3.0);
+        let params = BuildParams::default();
+        let reference = build(Arc::clone(&mesh), Algorithm::NodeLevel, &params);
+        let reference = leaf_size_multiset(reference.as_eager().unwrap().nodes());
+        for algo in [Algorithm::Nested, Algorithm::InPlace] {
+            let tree = build(Arc::clone(&mesh), algo, &params);
+            prop_assert_eq!(
+                leaf_size_multiset(tree.as_eager().unwrap().nodes()),
+                reference.clone(),
+                "{} disagrees with node_level",
+                algo
+            );
+        }
+        let sorted = build_sorted_events(mesh, &params);
+        prop_assert_eq!(leaf_size_multiset(sorted.nodes()), reference);
+    }
+
+    #[test]
+    fn lazy_expand_all_matches_eager_leaf_references(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+        r_exp in 4u32..13,
+    ) {
+        let mesh = soup(n, seed, 3.0);
+        let params = BuildParams {
+            r: 1 << r_exp,
+            ..BuildParams::default()
+        };
+        let lazy = build(Arc::clone(&mesh), Algorithm::Lazy, &params);
+        let lazy = lazy.as_lazy().unwrap();
+        lazy.expand_all();
+        prop_assert_eq!(lazy.expanded_count(), lazy.deferred_count());
+    }
+}

@@ -1,0 +1,178 @@
+//! Pinhole camera.
+
+use kdtune_geometry::{Ray, Vec3};
+
+/// A pinhole camera with a fixed pixel resolution.
+#[derive(Clone, Copy, Debug)]
+pub struct Camera {
+    eye: Vec3,
+    /// Camera basis: right, up, forward (unit vectors).
+    right: Vec3,
+    up: Vec3,
+    forward: Vec3,
+    /// Half-extent of the image plane at unit distance.
+    half_w: f32,
+    half_h: f32,
+    width: u32,
+    height: u32,
+}
+
+impl Camera {
+    /// Builds a camera at `eye` looking at `target`, with vertical field of
+    /// view `fov_deg` (degrees) and a `width × height` pixel raster.
+    ///
+    /// # Panics
+    /// Panics on a degenerate view (eye == target, or up parallel to the
+    /// view direction) or a zero-sized raster.
+    pub fn look_at(
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        fov_deg: f32,
+        width: u32,
+        height: u32,
+    ) -> Camera {
+        assert!(width > 0 && height > 0, "raster must be non-empty");
+        let forward = (target - eye).normalized();
+        assert!(forward.length() > 0.5, "eye and target coincide");
+        let right = forward.cross(up).normalized();
+        assert!(right.length() > 0.5, "up is parallel to the view direction");
+        let up = right.cross(forward);
+        let half_h = (fov_deg.to_radians() * 0.5).tan();
+        let half_w = half_h * width as f32 / height as f32;
+        Camera {
+            eye,
+            right,
+            up,
+            forward,
+            half_w,
+            half_h,
+            width,
+            height,
+        }
+    }
+
+    /// Raster width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Raster height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Camera position.
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+
+    /// The primary ray through the center of pixel `(x, y)`; `(0, 0)` is
+    /// the top-left pixel.
+    ///
+    /// # Panics
+    /// Panics when the pixel lies outside the raster.
+    pub fn primary_ray(&self, x: u32, y: u32) -> Ray {
+        assert!(x < self.width && y < self.height, "pixel out of raster");
+        let u = (x as f32 + 0.5) / self.width as f32 * 2.0 - 1.0;
+        let v = 1.0 - (y as f32 + 0.5) / self.height as f32 * 2.0;
+        let dir = self.forward + self.right * (u * self.half_w) + self.up * (v * self.half_h);
+        Ray::new(self.eye, dir.normalized())
+    }
+
+    /// Returns a copy with a different resolution (same view).
+    pub fn with_resolution(&self, width: u32, height: u32) -> Camera {
+        assert!(width > 0 && height > 0);
+        let half_h = self.half_h;
+        Camera {
+            half_w: half_h * width as f32 / height as f32,
+            width,
+            height,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, 90.0, 100, 100)
+    }
+
+    #[test]
+    fn center_ray_points_forward() {
+        // Even raster: the center falls between pixels; check the average
+        // of the four central pixels is forward.
+        let c = cam();
+        let d = c.primary_ray(49, 49).dir + c.primary_ray(50, 50).dir
+            + c.primary_ray(49, 50).dir
+            + c.primary_ray(50, 49).dir;
+        let d = (d / 4.0).normalized();
+        assert!((d - Vec3::Z).length() < 1e-3, "{d:?}");
+    }
+
+    #[test]
+    fn corner_rays_diverge_correctly() {
+        let c = cam();
+        let tl = c.primary_ray(0, 0).dir;
+        let br = c.primary_ray(99, 99).dir;
+        // Top-left: negative x (right = forward × up = Z × Y = -X … check
+        // sign via components), positive y.
+        assert!(tl.y > 0.0 && br.y < 0.0, "vertical flip: {tl:?} {br:?}");
+        assert!(tl.x * br.x < 0.0, "horizontal spread: {tl:?} {br:?}");
+        // 90° vertical FOV: the top edge at v = 1 tilts 45° up.
+        let top_mid = (c.primary_ray(49, 0).dir + c.primary_ray(50, 0).dir) / 2.0;
+        assert!((top_mid.y / top_mid.z - 0.99).abs() < 0.05, "{top_mid:?}");
+    }
+
+    #[test]
+    fn rays_are_normalized_and_anchored() {
+        let c = Camera::look_at(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+            Vec3::Y,
+            45.0,
+            17,
+            13,
+        );
+        for (x, y) in [(0, 0), (16, 12), (8, 6)] {
+            let r = c.primary_ray(x, y);
+            assert_eq!(r.origin, Vec3::new(1.0, 2.0, 3.0));
+            assert!((r.dir.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_scales_horizontal_fov() {
+        let wide = Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, 60.0, 200, 100);
+        let l = wide.primary_ray(0, 50).dir;
+        let r = wide.primary_ray(199, 50).dir;
+        let horizontal_spread = (l - r).length();
+        let square = Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, 60.0, 100, 100);
+        let l2 = square.primary_ray(0, 50).dir;
+        let r2 = square.primary_ray(99, 50).dir;
+        assert!(horizontal_spread > (l2 - r2).length());
+    }
+
+    #[test]
+    fn resolution_change_preserves_view() {
+        let c = cam().with_resolution(10, 10);
+        assert_eq!(c.width(), 10);
+        let d = c.primary_ray(5, 5).dir;
+        assert!(d.z > 0.9, "{d:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel out of raster")]
+    fn out_of_raster_rejected() {
+        let _ = cam().primary_ray(100, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "up is parallel")]
+    fn degenerate_up_rejected() {
+        let _ = Camera::look_at(Vec3::ZERO, Vec3::Y, Vec3::Y, 60.0, 8, 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! RGB framebuffer with PPM export.
+
+use kdtune_geometry::Vec3;
+
+/// A linear-RGB image; channel values are free-range floats, clamped to
+/// `[0, 1]` at export.
+#[derive(Clone, Debug)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    pixels: Vec<Vec3>,
+}
+
+impl Framebuffer {
+    /// A black image of the given size.
+    pub fn new(width: u32, height: u32) -> Framebuffer {
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; (width * height) as usize],
+        }
+    }
+
+    /// Builds a framebuffer from pre-rendered rows (the parallel renderer's
+    /// collection path).
+    ///
+    /// # Panics
+    /// Panics if the rows do not tile a `width × height` image exactly.
+    pub fn from_rows(width: u32, rows: Vec<Vec<Vec3>>) -> Framebuffer {
+        let height = rows.len() as u32;
+        assert!(
+            rows.iter().all(|r| r.len() == width as usize),
+            "ragged rows"
+        );
+        Framebuffer {
+            width,
+            height,
+            pixels: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`; `(0, 0)` is top-left.
+    pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    pub fn set(&mut self, x: u32, y: u32, color: Vec3) {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.pixels[(y * self.width + x) as usize] = color;
+    }
+
+    /// Mean luminance of the image (quick content check in tests).
+    pub fn mean_luminance(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = self
+            .pixels
+            .iter()
+            .map(|p| 0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z)
+            .sum();
+        sum / self.pixels.len() as f32
+    }
+
+    /// Serializes as a binary PPM (P6), clamping channels into `[0, 1]`.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.pixels.len() * 3);
+        for p in &self.pixels {
+            for c in [p.x, p.y, p.z] {
+                out.push((c.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+
+    /// Writes a PPM file.
+    pub fn save_ppm(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_ppm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut fb = Framebuffer::new(4, 3);
+        fb.set(2, 1, Vec3::new(0.5, 0.25, 1.0));
+        assert_eq!(fb.get(2, 1), Vec3::new(0.5, 0.25, 1.0));
+        assert_eq!(fb.get(0, 0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn from_rows_tiles_the_image() {
+        let rows = vec![
+            vec![Vec3::X, Vec3::Y],
+            vec![Vec3::Z, Vec3::ONE],
+        ];
+        let fb = Framebuffer::from_rows(2, rows);
+        assert_eq!(fb.height(), 2);
+        assert_eq!(fb.get(1, 0), Vec3::Y);
+        assert_eq!(fb.get(0, 1), Vec3::Z);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_rejected() {
+        let _ = Framebuffer::from_rows(2, vec![vec![Vec3::X], vec![Vec3::X, Vec3::Y]]);
+    }
+
+    #[test]
+    fn ppm_header_and_clamping() {
+        let mut fb = Framebuffer::new(2, 1);
+        fb.set(0, 0, Vec3::new(2.0, -1.0, 0.5));
+        let ppm = fb.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 1\n255\n"));
+        let body = &ppm[ppm.len() - 6..];
+        assert_eq!(body[0], 255); // clamped high
+        assert_eq!(body[1], 0); // clamped low
+        assert_eq!(body[2], 128); // 0.5 → 128
+    }
+
+    #[test]
+    fn mean_luminance_tracks_content() {
+        let mut fb = Framebuffer::new(2, 2);
+        assert_eq!(fb.mean_luminance(), 0.0);
+        for x in 0..2 {
+            for y in 0..2 {
+                fb.set(x, y, Vec3::ONE);
+            }
+        }
+        assert!((fb.mean_luminance() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,175 @@
+//! The parallel ray caster (paper §V-A).
+
+use crate::camera::Camera;
+use crate::framebuffer::Framebuffer;
+use crate::shade::shade;
+use kdtune_geometry::Vec3;
+use kdtune_kdtree::{BuiltTree, RayQuery};
+use rayon::prelude::*;
+
+/// Offset applied to secondary ray origins to avoid self-intersection.
+const SHADOW_BIAS: f32 = 1e-3;
+
+/// Counters collected during a render.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RenderStats {
+    /// Primary rays cast (= pixels).
+    pub primary_rays: u64,
+    /// Primary rays that hit geometry.
+    pub primary_hits: u64,
+    /// Shadow rays cast (one per primary hit).
+    pub shadow_rays: u64,
+    /// Shadow rays that found an occluder.
+    pub occluded: u64,
+}
+
+impl RenderStats {
+    fn merge(self, o: RenderStats) -> RenderStats {
+        RenderStats {
+            primary_rays: self.primary_rays + o.primary_rays,
+            primary_hits: self.primary_hits + o.primary_hits,
+            shadow_rays: self.shadow_rays + o.shadow_rays,
+            occluded: self.occluded + o.occluded,
+        }
+    }
+}
+
+/// Renders one frame: a primary ray per pixel, a shadow ray to the point
+/// light per hit. Rows are distributed over the ambient Rayon pool — rays
+/// are independent, which is also what lets the lazy tree expand from
+/// multiple threads at once.
+pub fn render(tree: &BuiltTree, camera: &Camera, light: Vec3) -> (Framebuffer, RenderStats) {
+    render_with(tree, tree.mesh(), camera, light)
+}
+
+/// Structure-agnostic variant of [`render`]: shoots the same rays through
+/// any [`RayQuery`] implementation (a [`kdtune_kdtree::KdTree`], a lazy
+/// tree, a BVH, …) over the given mesh.
+pub fn render_with(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: Vec3,
+) -> (Framebuffer, RenderStats) {
+    let (rows, stats): (Vec<Vec<Vec3>>, Vec<RenderStats>) = (0..camera.height())
+        .into_par_iter()
+        .map(|y| {
+            let mut row = Vec::with_capacity(camera.width() as usize);
+            let mut stats = RenderStats::default();
+            for x in 0..camera.width() {
+                let ray = camera.primary_ray(x, y);
+                stats.primary_rays += 1;
+                let color = match query.intersect(&ray, 0.0, f32::INFINITY) {
+                    None => Vec3::ZERO, // background
+                    Some(hit) => {
+                        stats.primary_hits += 1;
+                        let tri = mesh.triangle(hit.prim);
+                        let point = ray.at(hit.t);
+                        let to_light = light - point;
+                        let dist = to_light.length();
+                        let shadow =
+                            kdtune_geometry::Ray::new(point, to_light.normalized());
+                        stats.shadow_rays += 1;
+                        let occluded =
+                            query.intersect_any(&shadow, SHADOW_BIAS, dist - SHADOW_BIAS);
+                        stats.occluded += occluded as u64;
+                        shade(&tri, hit.prim, point, light, occluded)
+                    }
+                };
+                row.push(color);
+            }
+            (row, stats)
+        })
+        .unzip();
+    let stats = stats
+        .into_iter()
+        .fold(RenderStats::default(), RenderStats::merge);
+    (Framebuffer::from_rows(camera.width(), rows), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_geometry::{Triangle, TriangleMesh};
+    use kdtune_kdtree::{build, Algorithm, BuildParams};
+    use std::sync::Arc;
+
+    /// A big quad facing the camera, plus a small occluder between the
+    /// quad and the light.
+    fn scene() -> Arc<TriangleMesh> {
+        let mut m = TriangleMesh::new();
+        // Quad at z = 2 spanning [-2, 2]^2.
+        m.push_triangle(Triangle::new(
+            Vec3::new(-2.0, -2.0, 2.0),
+            Vec3::new(2.0, -2.0, 2.0),
+            Vec3::new(2.0, 2.0, 2.0),
+        ));
+        m.push_triangle(Triangle::new(
+            Vec3::new(-2.0, -2.0, 2.0),
+            Vec3::new(2.0, 2.0, 2.0),
+            Vec3::new(-2.0, 2.0, 2.0),
+        ));
+        // Occluder: small triangle hovering at z = 1 near the center.
+        m.push_triangle(Triangle::new(
+            Vec3::new(-0.3, -0.3, 1.0),
+            Vec3::new(0.3, -0.3, 1.0),
+            Vec3::new(0.0, 0.3, 1.0),
+        ));
+        Arc::new(m)
+    }
+
+    fn camera() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, -1.0), Vec3::Z, Vec3::Y, 60.0, 64, 64)
+    }
+
+    #[test]
+    fn renders_hits_and_shadows() {
+        let tree = build(scene(), Algorithm::InPlace, &BuildParams::default());
+        // Light in front of the quad: the occluder casts a shadow onto it.
+        let (fb, stats) = render(&tree, &camera(), Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(stats.primary_rays, 64 * 64);
+        assert!(stats.primary_hits > stats.primary_rays / 2, "{stats:?}");
+        assert_eq!(stats.shadow_rays, stats.primary_hits);
+        assert!(stats.occluded > 0, "occluder must shadow some pixels");
+        assert!(stats.occluded < stats.shadow_rays, "not everything shadowed");
+        assert!(fb.mean_luminance() > 0.05);
+    }
+
+    #[test]
+    fn all_algorithms_render_identical_stats() {
+        let mesh = scene();
+        let light = Vec3::new(0.5, 0.5, -0.5);
+        let reference = {
+            let tree = build(mesh.clone(), Algorithm::NodeLevel, &BuildParams::default());
+            render(&tree, &camera(), light).1
+        };
+        for algo in [Algorithm::Nested, Algorithm::InPlace, Algorithm::Lazy] {
+            let tree = build(mesh.clone(), algo, &BuildParams::default());
+            let (_, stats) = render(&tree, &camera(), light);
+            assert_eq!(stats, reference, "{algo}");
+        }
+    }
+
+    #[test]
+    fn empty_scene_is_black() {
+        let tree = build(
+            Arc::new(TriangleMesh::new()),
+            Algorithm::InPlace,
+            &BuildParams::default(),
+        );
+        let (fb, stats) = render(&tree, &camera(), Vec3::ZERO);
+        assert_eq!(stats.primary_hits, 0);
+        assert_eq!(fb.mean_luminance(), 0.0);
+    }
+
+    #[test]
+    fn lazy_tree_expands_only_visible_region() {
+        let tree = build(scene(), Algorithm::Lazy, &BuildParams {
+            r: 1, // defer nothing… r=1 means nodes with <1 prims defer — none
+            ..BuildParams::default()
+        });
+        // Just ensure the lazy path renders without issue at extreme R.
+        let (_, stats) = render(&tree, &camera(), Vec3::ZERO);
+        assert!(stats.primary_hits > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Minimal Lambertian shading for the ray caster.
+
+use kdtune_geometry::{Triangle, Vec3};
+
+/// Ambient term so occluded geometry stays visible.
+const AMBIENT: f32 = 0.15;
+
+/// Deterministic pseudo-color from the primitive index — stands in for
+/// material data so renders are visually inspectable.
+pub(crate) fn base_color(prim: usize) -> Vec3 {
+    let h = (prim as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let r = ((h >> 16) & 0xFF) as f32 / 255.0;
+    let g = ((h >> 32) & 0xFF) as f32 / 255.0;
+    let b = ((h >> 48) & 0xFF) as f32 / 255.0;
+    // Keep colors bright-ish.
+    Vec3::new(0.35 + 0.65 * r, 0.35 + 0.65 * g, 0.35 + 0.65 * b)
+}
+
+/// Shades a hit point: Lambertian lighting from a point light, with a
+/// constant ambient term; `occluded` (the shadow-ray verdict) suppresses
+/// the direct term.
+pub fn shade(tri: &Triangle, prim: usize, point: Vec3, light: Vec3, occluded: bool) -> Vec3 {
+    let color = base_color(prim);
+    if occluded {
+        return color * AMBIENT;
+    }
+    let n = tri.normal();
+    let l = (light - point).normalized();
+    // Double-sided shading: the paper's scenes are unoriented meshes.
+    let lambert = n.dot(l).abs();
+    color * (AMBIENT + (1.0 - AMBIENT) * lambert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Triangle {
+        Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y) // normal = +Z
+    }
+
+    #[test]
+    fn occlusion_leaves_only_ambient() {
+        let p = Vec3::new(0.2, 0.2, 0.0);
+        let lit = shade(&tri(), 1, p, Vec3::new(0.2, 0.2, 5.0), false);
+        let dark = shade(&tri(), 1, p, Vec3::new(0.2, 0.2, 5.0), true);
+        assert!(lit.x > dark.x && lit.y > dark.y && lit.z > dark.z);
+        assert_eq!(dark, base_color(1) * AMBIENT);
+    }
+
+    #[test]
+    fn head_on_light_is_brightest() {
+        let p = Vec3::new(0.2, 0.2, 0.0);
+        let head_on = shade(&tri(), 1, p, p + Vec3::Z * 5.0, false);
+        let grazing = shade(&tri(), 1, p, p + (Vec3::X * 5.0 + Vec3::Z * 0.05), false);
+        assert!(head_on.x > grazing.x);
+    }
+
+    #[test]
+    fn double_sided() {
+        let p = Vec3::new(0.2, 0.2, 0.0);
+        let front = shade(&tri(), 1, p, p + Vec3::Z * 5.0, false);
+        let back = shade(&tri(), 1, p, p - Vec3::Z * 5.0, false);
+        assert_eq!(front, back);
+    }
+
+    #[test]
+    fn colors_vary_by_primitive_and_stay_bright() {
+        assert_ne!(base_color(0), base_color(1));
+        for prim in 0..100 {
+            let c = base_color(prim);
+            assert!(c.min_component() >= 0.35 && c.max_component() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The per-frame tuning workflow (paper Fig. 4).
+//!
+//! Each frame: start the tuner's measurement, build the kD-tree with the
+//! tuner's current configuration, render, stop the measurement (cost =
+//! build + render time), advance the animation. Static scenes run the same
+//! loop on a constant mesh — camera positioning, system load and other
+//! environment effects still shift the optimum, which is why the paper
+//! tunes online even for static geometry.
+
+use crate::camera::Camera;
+use crate::render::{render, RenderStats};
+use crate::Framebuffer;
+use kdtune_autotune::{Config, ParamHandle, Tuner, TunerPhase};
+use kdtune_geometry::{TriangleMesh, Vec3};
+use kdtune_kdtree::{build, Algorithm, BuildParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handles of the registered tuning parameters.
+///
+/// `r` is only present for the lazy algorithm (paper Table Ib); the other
+/// three algorithms tune `(CI, CB, S)` (Table Ia).
+#[derive(Clone, Copy, Debug)]
+pub struct TunedHandles {
+    /// Triangle intersection cost `CI`.
+    pub ci: ParamHandle,
+    /// Duplication cost `CB`.
+    pub cb: ParamHandle,
+    /// Max subtrees per thread `S`.
+    pub s: ParamHandle,
+    /// Minimal node resolution `R` (lazy only).
+    pub r: Option<ParamHandle>,
+}
+
+/// Everything measured for one frame.
+#[derive(Clone, Debug)]
+pub struct FrameReport {
+    /// Configuration that was active.
+    pub config: Config,
+    /// Build parameters derived from it.
+    pub params: BuildParams,
+    /// kD-tree construction time (`t_c`), seconds.
+    pub build_secs: f64,
+    /// Rendering time (`t_r`), seconds.
+    pub render_secs: f64,
+    /// Total measured cost fed to the tuner (`t = t_c + t_r`).
+    pub total_secs: f64,
+    /// Renderer counters.
+    pub stats: RenderStats,
+    /// Tuner phase during this frame.
+    pub phase: TunerPhase,
+}
+
+/// Drives one algorithm's tuned ray-casting loop.
+pub struct TuningWorkflow {
+    algorithm: Algorithm,
+    tuner: Tuner,
+    handles: TunedHandles,
+    keep_images: bool,
+    last_image: Option<Framebuffer>,
+}
+
+impl TuningWorkflow {
+    /// Creates the workflow and registers the paper's Table II parameters
+    /// on a tuner with the given RNG seed.
+    pub fn new(algorithm: Algorithm, tuner_seed: u64) -> TuningWorkflow {
+        let mut tuner = Tuner::builder().seed(tuner_seed).build();
+        let ci = tuner.register_parameter("CI", 3, 101, 1);
+        let cb = tuner.register_parameter("CB", 0, 60, 1);
+        let s = tuner.register_parameter("S", 1, 8, 1);
+        let r = (algorithm == Algorithm::Lazy)
+            .then(|| tuner.register_parameter_pow2("R", 16, 8192));
+        TuningWorkflow {
+            algorithm,
+            tuner,
+            handles: TunedHandles { ci, cb, s, r },
+            keep_images: false,
+            last_image: None,
+        }
+    }
+
+    /// Supplies a pre-configured tuner (custom seeds/tolerances). The
+    /// tuner must have no parameters registered yet.
+    pub fn with_tuner(algorithm: Algorithm, mut tuner: Tuner) -> TuningWorkflow {
+        assert_eq!(
+            tuner.space().dim(),
+            0,
+            "pass a tuner without registered parameters"
+        );
+        let ci = tuner.register_parameter("CI", 3, 101, 1);
+        let cb = tuner.register_parameter("CB", 0, 60, 1);
+        let s = tuner.register_parameter("S", 1, 8, 1);
+        let r = (algorithm == Algorithm::Lazy)
+            .then(|| tuner.register_parameter_pow2("R", 16, 8192));
+        TuningWorkflow {
+            algorithm,
+            tuner,
+            handles: TunedHandles { ci, cb, s, r },
+            keep_images: false,
+            last_image: None,
+        }
+    }
+
+    /// Keep the most recent framebuffer available via
+    /// [`TuningWorkflow::last_image`].
+    pub fn keep_images(mut self, keep: bool) -> TuningWorkflow {
+        self.keep_images = keep;
+        self
+    }
+
+    /// The algorithm being tuned.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The underlying tuner.
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    /// Registered parameter handles.
+    pub fn handles(&self) -> TunedHandles {
+        self.handles
+    }
+
+    /// Extracts [`BuildParams`] from the tuner's active configuration.
+    fn current_params(&self) -> BuildParams {
+        let ci = self.tuner.get(self.handles.ci) as f32;
+        let cb = self.tuner.get(self.handles.cb) as f32;
+        let s = self.tuner.get(self.handles.s) as u32;
+        let r = self
+            .handles
+            .r
+            .map_or(BuildParams::default().r, |h| self.tuner.get(h) as u32);
+        BuildParams::from_config(ci, cb, s, r)
+    }
+
+    /// Runs one frame of the Fig. 4 loop: tune → build → render → report.
+    pub fn run_frame(&mut self, mesh: Arc<TriangleMesh>, camera: &Camera, light: Vec3) -> FrameReport {
+        self.tuner.start_cycle();
+        let params = self.current_params();
+        let config = self.tuner.current().expect("cycle started").clone();
+        let phase = self.tuner.phase();
+
+        let t0 = Instant::now();
+        let tree = build(mesh, self.algorithm, &params);
+        let build_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let (image, stats) = render(&tree, camera, light);
+        let render_secs = t1.elapsed().as_secs_f64();
+
+        let total_secs = build_secs + render_secs;
+        self.tuner.stop_with(total_secs);
+        if self.keep_images {
+            self.last_image = Some(image);
+        }
+        FrameReport {
+            config,
+            params,
+            build_secs,
+            render_secs,
+            total_secs,
+            stats,
+            phase,
+        }
+    }
+
+    /// The framebuffer of the last frame, when [`TuningWorkflow::keep_images`]
+    /// is enabled.
+    pub fn last_image(&self) -> Option<&Framebuffer> {
+        self.last_image.as_ref()
+    }
+}
+
+/// Runs one *untuned* frame with explicit parameters — the baseline
+/// (`C_base`) side of every speedup measurement.
+pub fn run_frame_with(
+    mesh: Arc<TriangleMesh>,
+    algorithm: Algorithm,
+    params: &BuildParams,
+    camera: &Camera,
+    light: Vec3,
+) -> (f64, f64, RenderStats) {
+    let t0 = Instant::now();
+    let tree = build(mesh, algorithm, params);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (_, stats) = render(&tree, camera, light);
+    (build_secs, t1.elapsed().as_secs_f64(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_scenes::{toasters, wood_doll, SceneParams};
+
+    fn camera_for(scene: &kdtune_scenes::Scene, px: u32) -> (Camera, Vec3) {
+        let v = scene.view;
+        (
+            Camera::look_at(v.eye, v.target, v.up, v.fov_deg, px, px),
+            v.light,
+        )
+    }
+
+    #[test]
+    fn workflow_runs_and_records() {
+        let scene = wood_doll(&SceneParams::tiny());
+        let (camera, light) = camera_for(&scene, 24);
+        let mut wf = TuningWorkflow::new(Algorithm::InPlace, 1);
+        for f in 0..10 {
+            let report = wf.run_frame(scene.frame(f), &camera, light);
+            assert!(report.total_secs >= report.build_secs);
+            assert!(report.stats.primary_rays == 24 * 24);
+            // Non-lazy algorithms tune 3 parameters.
+            assert_eq!(report.config.values().len(), 3);
+        }
+        assert_eq!(wf.tuner().iterations(), 10);
+    }
+
+    #[test]
+    fn lazy_workflow_tunes_four_parameters() {
+        let scene = toasters(&SceneParams::tiny());
+        let (camera, light) = camera_for(&scene, 16);
+        let mut wf = TuningWorkflow::new(Algorithm::Lazy, 2);
+        let report = wf.run_frame(scene.frame(0), &camera, light);
+        assert_eq!(report.config.values().len(), 4);
+        assert!(wf.handles().r.is_some());
+        let r = report.config.values()[3];
+        assert!(r.count_ones() == 1 && (16..=8192).contains(&r));
+    }
+
+    #[test]
+    fn configs_vary_during_seeding() {
+        let scene = wood_doll(&SceneParams::tiny());
+        let (camera, light) = camera_for(&scene, 16);
+        let mut wf = TuningWorkflow::new(Algorithm::NodeLevel, 3);
+        let mut configs = std::collections::HashSet::new();
+        for f in 0..8 {
+            let r = wf.run_frame(scene.frame(f), &camera, light);
+            configs.insert(r.config);
+        }
+        assert!(configs.len() >= 4, "seeding must explore: {configs:?}");
+    }
+
+    #[test]
+    fn keep_images_retains_last_frame() {
+        let scene = wood_doll(&SceneParams::tiny());
+        let (camera, light) = camera_for(&scene, 16);
+        let mut wf = TuningWorkflow::new(Algorithm::InPlace, 4).keep_images(true);
+        assert!(wf.last_image().is_none());
+        let _ = wf.run_frame(scene.frame(0), &camera, light);
+        let img = wf.last_image().expect("image kept");
+        assert_eq!(img.width(), 16);
+    }
+}

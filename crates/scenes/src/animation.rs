@@ -1,0 +1,154 @@
+//! The [`Scene`] type: a named mesh source with a frame count and a view.
+
+use crate::ViewSpec;
+use kdtune_geometry::TriangleMesh;
+use std::sync::Arc;
+
+/// How a scene produces its geometry.
+#[derive(Clone)]
+pub enum SceneKind {
+    /// A single mesh reused for every frame.
+    Static(Arc<TriangleMesh>),
+    /// A per-frame generator (deterministic in the frame index).
+    Dynamic {
+        /// Number of animation frames.
+        frames: usize,
+        /// Frame generator; must be pure in the frame index.
+        generator: Arc<dyn Fn(usize) -> TriangleMesh + Send + Sync>,
+    },
+}
+
+/// A named evaluation scene: geometry source plus camera and light.
+///
+/// Static scenes report one frame; the paper's workflow still rebuilds the
+/// kD-tree every frame (that is what is being tuned), it simply reuses the
+/// same mesh.
+#[derive(Clone)]
+pub struct Scene {
+    /// Scene name, e.g. `"sibenik"`.
+    pub name: &'static str,
+    /// Camera/light configuration used by the evaluation renders.
+    pub view: ViewSpec,
+    kind: SceneKind,
+}
+
+impl Scene {
+    /// Creates a static scene.
+    pub fn new_static(name: &'static str, view: ViewSpec, mesh: TriangleMesh) -> Scene {
+        Scene {
+            name,
+            view,
+            kind: SceneKind::Static(Arc::new(mesh)),
+        }
+    }
+
+    /// Creates a dynamic scene from a frame generator.
+    pub fn new_dynamic(
+        name: &'static str,
+        view: ViewSpec,
+        frames: usize,
+        generator: impl Fn(usize) -> TriangleMesh + Send + Sync + 'static,
+    ) -> Scene {
+        assert!(frames >= 1, "a scene needs at least one frame");
+        Scene {
+            name,
+            view,
+            kind: SceneKind::Dynamic {
+                frames,
+                generator: Arc::new(generator),
+            },
+        }
+    }
+
+    /// Number of animation frames (1 for static scenes).
+    pub fn frame_count(&self) -> usize {
+        match &self.kind {
+            SceneKind::Static(_) => 1,
+            SceneKind::Dynamic { frames, .. } => *frames,
+        }
+    }
+
+    /// True for animated scenes.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self.kind, SceneKind::Dynamic { .. })
+    }
+
+    /// The mesh for a frame. Frames beyond `frame_count` wrap around, which
+    /// lets experiment drivers loop animations indefinitely.
+    pub fn frame(&self, frame: usize) -> Arc<TriangleMesh> {
+        match &self.kind {
+            SceneKind::Static(mesh) => Arc::clone(mesh),
+            SceneKind::Dynamic { frames, generator } => {
+                Arc::new(generator(frame % frames))
+            }
+        }
+    }
+
+    /// Access to the underlying kind (for tests and tooling).
+    pub fn kind(&self) -> &SceneKind {
+        &self.kind
+    }
+}
+
+impl std::fmt::Debug for Scene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scene")
+            .field("name", &self.name)
+            .field("frames", &self.frame_count())
+            .field("dynamic", &self.is_dynamic())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_geometry::{Triangle, Vec3};
+
+    fn tri_mesh(x: f32) -> TriangleMesh {
+        let mut m = TriangleMesh::new();
+        m.push_triangle(Triangle::new(
+            Vec3::new(x, 0.0, 0.0),
+            Vec3::new(x + 1.0, 0.0, 0.0),
+            Vec3::new(x, 1.0, 0.0),
+        ));
+        m
+    }
+
+    #[test]
+    fn static_scene_single_frame_shared() {
+        let s = Scene::new_static("s", ViewSpec::looking(Vec3::ZERO, Vec3::X), tri_mesh(0.0));
+        assert_eq!(s.frame_count(), 1);
+        assert!(!s.is_dynamic());
+        let a = s.frame(0);
+        let b = s.frame(5);
+        assert!(Arc::ptr_eq(&a, &b), "static frames must share the mesh");
+    }
+
+    #[test]
+    fn dynamic_scene_wraps_frames() {
+        let s = Scene::new_dynamic(
+            "d",
+            ViewSpec::looking(Vec3::ZERO, Vec3::X),
+            3,
+            |f| tri_mesh(f as f32),
+        );
+        assert_eq!(s.frame_count(), 3);
+        assert!(s.is_dynamic());
+        assert_eq!(s.frame(0).triangle(0).a.x, 0.0);
+        assert_eq!(s.frame(2).triangle(0).a.x, 2.0);
+        assert_eq!(s.frame(3).triangle(0).a.x, 0.0); // wrap
+        assert_eq!(s.frame(7).triangle(0).a.x, 1.0); // wrap
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = Scene::new_dynamic(
+            "bad",
+            ViewSpec::looking(Vec3::ZERO, Vec3::X),
+            0,
+            |f| tri_mesh(f as f32),
+        );
+    }
+}

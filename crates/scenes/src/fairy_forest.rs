@@ -1,0 +1,202 @@
+//! "Fairy Forest" — stand-in for the Utah *Fairy Forest* animation
+//! (174 117 triangles, 21 frames).
+//!
+//! The largest scene, and the paper's occlusion corner case: the camera is
+//! pressed up against a hero mushroom so cast rays intersect only a tiny
+//! fraction of the geometry. A dense forest (trees, rocks, grass,
+//! mushrooms) sways gently over 21 frames behind the hero object. This is
+//! the scene where lazy construction shines: most tree nodes are never
+//! expanded.
+
+use crate::primitives::{cone, cylinder, displace_radial, grid_plane, uv_sphere, value_noise};
+use crate::{Scene, SceneParams, ViewSpec};
+use kdtune_geometry::{Axis, Transform, TriangleMesh, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f32::consts::TAU;
+
+/// Frame count of the original animation.
+pub const FAIRY_FOREST_FRAMES: usize = 21;
+
+/// Builds the fairy forest scene (dynamic, ~174 k triangles at paper scale).
+pub fn fairy_forest(params: &SceneParams) -> Scene {
+    let params = *params;
+    // Camera right next to the hero mushroom cap at the origin: almost the
+    // whole forest is occluded behind it.
+    let view = ViewSpec::looking(Vec3::new(1.35, 1.1, 1.35), Vec3::new(0.0, 1.1, 0.0))
+        .with_light(Vec3::new(2.0, 3.0, 2.0))
+        .with_fov(55.0);
+    Scene::new_dynamic("fairy_forest", view, FAIRY_FOREST_FRAMES, move |frame| {
+        build_frame(&params, frame)
+    })
+}
+
+fn tree(params: &SceneParams, at: Vec3, height: f32, sway: f32) -> TriangleMesh {
+    let mut m = TriangleMesh::new();
+    // Trunk: open cylinder, 32 triangles.
+    m.append(&cylinder(at, 0.12 * height, 0.45 * height, params.scaled_sqrt(16, 3), false));
+    // Canopy: three stacked capped cones, 3 × 48 = 144 triangles, swaying.
+    for (i, frac) in [(0u32, 0.35f32), (1, 0.55), (2, 0.75)] {
+        let r = 0.45 * height * (1.0 - 0.22 * i as f32);
+        let mut c = cone(
+            Vec3::ZERO,
+            r,
+            0.45 * height,
+            params.scaled_sqrt(24, 3),
+            true,
+        );
+        c.transform(
+            &Transform::rotation(Axis::X, sway * (1.0 + i as f32 * 0.4))
+                .then(&Transform::translation(at + Vec3::Y * (frac * height))),
+        );
+        m.append(&c);
+    }
+    m
+}
+
+fn mushroom(params: &SceneParams, at: Vec3, scale: f32, stem_seg: usize, cap: (usize, usize)) -> TriangleMesh {
+    let mut m = TriangleMesh::new();
+    m.append(&cylinder(
+        at,
+        0.25 * scale,
+        0.9 * scale,
+        params.scaled_sqrt(stem_seg, 3),
+        true,
+    ));
+    let mut capm = uv_sphere(
+        Vec3::ZERO,
+        1.0,
+        params.scaled_sqrt(cap.0, 3),
+        params.scaled_sqrt(cap.1, 4),
+    );
+    capm.transform(
+        &Transform::scale_xyz(Vec3::new(1.0 * scale, 0.55 * scale, 1.0 * scale))
+            .then(&Transform::translation(at + Vec3::Y * 0.95 * scale)),
+    );
+    m.append(&capm);
+    m
+}
+
+fn build_frame(params: &SceneParams, frame: usize) -> TriangleMesh {
+    let t = frame as f32 / FAIRY_FOREST_FRAMES as f32;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xf0e5);
+    let mut mesh = TriangleMesh::new();
+
+    // Terrain: 140 × 140 displaced grid = 39 200 triangles.
+    let g = params.scaled_sqrt(140, 4);
+    let mut ground = grid_plane(-30.0, -30.0, 60.0, 60.0, 0.0, g, g);
+    for v in &mut ground.vertices {
+        v.y = 0.6 * value_noise(*v * 0.15, params.seed ^ 0x6071);
+    }
+    mesh.append(&ground);
+
+    // Trees: 350 × 176 = 61 600 triangles. Wind sway animates the canopies.
+    let ntrees = params.scaled(350, 2);
+    for k in 0..ntrees {
+        let at = Vec3::new(rng.gen_range(-28.0..28.0), 0.0, rng.gen_range(-28.0..28.0));
+        // Keep a clearing around the hero mushroom.
+        if at.x.abs() < 3.0 && at.z.abs() < 3.0 {
+            continue;
+        }
+        let height = rng.gen_range(2.0..5.0);
+        let sway = 0.06 * (t * TAU + k as f32 * 0.7).sin();
+        mesh.append(&tree(params, at, height, sway));
+    }
+
+    // Rocks: 150 displaced spheres × 168 = 25 200 triangles (static).
+    let nrocks = params.scaled(150, 1);
+    for k in 0..nrocks {
+        let at = Vec3::new(rng.gen_range(-28.0..28.0), 0.1, rng.gen_range(-28.0..28.0));
+        let r = rng.gen_range(0.2..0.8);
+        let mut rock = uv_sphere(Vec3::ZERO, r, params.scaled_sqrt(8, 3), params.scaled_sqrt(12, 4));
+        let salt = params.seed ^ (k as u64);
+        displace_radial(&mut rock, Vec3::ZERO, |v| 0.3 * r * value_noise(v * 3.0 / r, salt));
+        rock.transform(&Transform::translation(at));
+        mesh.append(&rock);
+    }
+
+    // Grass: 10 000 single-blade pairs = 20 000 triangles, leaning with the
+    // wind.
+    let nblades = params.scaled(10_000, 10);
+    for _ in 0..nblades {
+        let base = Vec3::new(rng.gen_range(-28.0..28.0), 0.0, rng.gen_range(-28.0..28.0));
+        let h = rng.gen_range(0.15..0.45);
+        let lean = 0.15 * h * (t * TAU + base.x).sin();
+        let tip = base + Vec3::new(lean, h, 0.0);
+        let w = 0.03;
+        let mut blade = TriangleMesh::new();
+        blade.push_triangle(kdtune_geometry::Triangle::new(
+            base + Vec3::new(-w, 0.0, 0.0),
+            base + Vec3::new(w, 0.0, 0.0),
+            tip,
+        ));
+        blade.push_triangle(kdtune_geometry::Triangle::new(
+            base + Vec3::new(0.0, 0.0, -w),
+            base + Vec3::new(0.0, 0.0, w),
+            tip,
+        ));
+        mesh.append(&blade);
+    }
+
+    // Background mushrooms: 25 × 1 056 = 26 400 triangles.
+    let nshrooms = params.scaled(25, 1);
+    for _ in 0..nshrooms {
+        let at = Vec3::new(rng.gen_range(-25.0..25.0), 0.0, rng.gen_range(-25.0..25.0));
+        if at.x.abs() < 3.0 && at.z.abs() < 3.0 {
+            continue;
+        }
+        mesh.append(&mushroom(params, at, rng.gen_range(0.5..1.2), 24, (16, 32)));
+    }
+
+    // Hero mushroom at the origin, right in front of the camera:
+    // 256 + 1 472 = 1 728 triangles.
+    mesh.append(&mushroom(params, Vec3::ZERO, 1.6, 64, (24, 32)));
+
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_triangle_count() {
+        let n = fairy_forest(&SceneParams::paper()).frame(0).len();
+        let target = 174_117usize;
+        let err = (n as f32 - target as f32).abs() / target as f32;
+        assert!(err < 0.05, "fairy_forest has {n} triangles, want ~{target}");
+    }
+
+    #[test]
+    fn frame_count_matches_paper() {
+        assert_eq!(fairy_forest(&SceneParams::tiny()).frame_count(), 21);
+    }
+
+    #[test]
+    fn wind_moves_vertices() {
+        let s = fairy_forest(&SceneParams::tiny());
+        let a = s.frame(0);
+        let b = s.frame(10);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a.vertices, b.vertices);
+    }
+
+    #[test]
+    fn camera_is_buried_next_to_hero_mushroom() {
+        let s = fairy_forest(&SceneParams::tiny());
+        // The eye is within a couple of units of the origin while the scene
+        // spans ~60 units: most geometry sits behind the hero object.
+        assert!(s.view.eye.length() < 3.0);
+        let b = s.frame(0).bounds();
+        assert!(b.extent().max_component() > 15.0);
+        assert!(b.contains_point(s.view.eye));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let p = SceneParams::tiny();
+        let a = fairy_forest(&p).frame(3);
+        let b = fairy_forest(&p).frame(3);
+        assert_eq!(a.vertices, b.vertices);
+    }
+}

@@ -1,0 +1,106 @@
+//! # kdtune-scenes
+//!
+//! Procedural, deterministic stand-ins for the six evaluation scenes of
+//! *Online-Autotuning of Parallel SAH kD-Trees* (Tillmann et al., 2016).
+//!
+//! The original paper renders six well-known meshes (Stanford Bunny, Sponza,
+//! Sibenik Cathedral, Toasters, Wood Doll, Fairy Forest). Those assets are
+//! not redistributable, so this crate generates geometry with the same
+//! *tuning-relevant* characteristics instead:
+//!
+//! * the same triangle counts (to within a few percent),
+//! * comparable spatial distributions (compact blob, open atrium, enclosed
+//!   interior, articulated animated objects, dense occluded forest),
+//! * the same frame counts for the dynamic scenes,
+//! * the Fairy Forest corner case: the camera is pressed up against an
+//!   object so rays intersect only a tiny fraction of the geometry.
+//!
+//! All generators are seeded; calling them twice yields identical meshes.
+//!
+//! ```
+//! use kdtune_scenes::SceneParams;
+//!
+//! let scene = kdtune_scenes::bunny(&SceneParams::tiny());
+//! assert!(scene.frame_count() == 1);
+//! let mesh = scene.frame(0);
+//! assert!(mesh.len() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod animation;
+mod bunny;
+mod fairy_forest;
+pub mod primitives;
+mod registry;
+mod sibenik;
+mod sponza;
+mod toasters;
+mod view;
+mod wood_doll;
+
+pub use animation::{Scene, SceneKind};
+pub use bunny::bunny;
+pub use fairy_forest::fairy_forest;
+pub use registry::{all_scenes, by_name, dynamic_scenes, static_scenes, SCENE_NAMES};
+pub use sibenik::sibenik;
+pub use sponza::sponza;
+pub use toasters::toasters;
+pub use view::ViewSpec;
+pub use wood_doll::wood_doll;
+
+/// Controls the size of generated scenes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SceneParams {
+    /// Scale factor on triangle counts: `1.0` reproduces the paper's counts;
+    /// smaller values generate proportionally lighter scenes for tests.
+    pub complexity: f32,
+    /// Seed for the deterministic pseudo-random detail (displacement,
+    /// placement jitter).
+    pub seed: u64,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        SceneParams {
+            complexity: 1.0,
+            seed: 0x5ad_cafe,
+        }
+    }
+}
+
+impl SceneParams {
+    /// Paper-scale scenes (69 k – 174 k triangles).
+    pub fn paper() -> SceneParams {
+        SceneParams::default()
+    }
+
+    /// Very small scenes for unit tests (~1% of paper scale).
+    pub fn tiny() -> SceneParams {
+        SceneParams {
+            complexity: 0.01,
+            ..SceneParams::default()
+        }
+    }
+
+    /// Small scenes for quick experiments (~10% of paper scale).
+    pub fn quick() -> SceneParams {
+        SceneParams {
+            complexity: 0.1,
+            ..SceneParams::default()
+        }
+    }
+
+    /// Scales an integer dimension by `complexity`, with a floor of `min`.
+    pub(crate) fn scaled(&self, value: usize, min: usize) -> usize {
+        ((value as f32 * self.complexity).round() as usize).max(min)
+    }
+
+    /// Scales a count that enters triangle totals quadratically (e.g. both
+    /// dimensions of a grid), so that total triangles scale ~linearly with
+    /// `complexity`.
+    pub(crate) fn scaled_sqrt(&self, value: usize, min: usize) -> usize {
+        ((value as f32 * self.complexity.sqrt()).round() as usize).max(min)
+    }
+}

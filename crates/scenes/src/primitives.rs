@@ -1,0 +1,332 @@
+//! Procedural mesh building blocks shared by the scene generators.
+
+use kdtune_geometry::{Aabb, Transform, TriangleMesh, Vec3};
+use std::f32::consts::TAU;
+
+/// Axis-aligned box as 12 triangles with outward-facing winding.
+pub fn boxed(b: &Aabb) -> TriangleMesh {
+    let (lo, hi) = (b.min, b.max);
+    let v = vec![
+        Vec3::new(lo.x, lo.y, lo.z),
+        Vec3::new(hi.x, lo.y, lo.z),
+        Vec3::new(hi.x, hi.y, lo.z),
+        Vec3::new(lo.x, hi.y, lo.z),
+        Vec3::new(lo.x, lo.y, hi.z),
+        Vec3::new(hi.x, lo.y, hi.z),
+        Vec3::new(hi.x, hi.y, hi.z),
+        Vec3::new(lo.x, hi.y, hi.z),
+    ];
+    let indices = vec![
+        // -z
+        [0, 2, 1],
+        [0, 3, 2],
+        // +z
+        [4, 5, 6],
+        [4, 6, 7],
+        // -y
+        [0, 1, 5],
+        [0, 5, 4],
+        // +y
+        [3, 7, 6],
+        [3, 6, 2],
+        // -x
+        [0, 4, 7],
+        [0, 7, 3],
+        // +x
+        [1, 2, 6],
+        [1, 6, 5],
+    ];
+    TriangleMesh::from_buffers(v, indices)
+}
+
+/// UV sphere with `stacks` latitude bands and `slices` longitude segments.
+///
+/// Triangle count: `2 * slices * (stacks - 1)` (pole bands are single fans).
+pub fn uv_sphere(center: Vec3, radius: f32, stacks: usize, slices: usize) -> TriangleMesh {
+    assert!(stacks >= 2 && slices >= 3, "sphere needs stacks>=2, slices>=3");
+    let mut vertices = Vec::with_capacity((stacks - 1) * slices + 2);
+    // Interior ring vertices.
+    for i in 1..stacks {
+        let phi = std::f32::consts::PI * i as f32 / stacks as f32;
+        let (sp, cp) = phi.sin_cos();
+        for j in 0..slices {
+            let theta = TAU * j as f32 / slices as f32;
+            let (st, ct) = theta.sin_cos();
+            vertices.push(center + Vec3::new(sp * ct, cp, sp * st) * radius);
+        }
+    }
+    let top = vertices.len() as u32;
+    vertices.push(center + Vec3::Y * radius);
+    let bottom = vertices.len() as u32;
+    vertices.push(center - Vec3::Y * radius);
+
+    let ring = |i: usize, j: usize| -> u32 { (i * slices + (j % slices)) as u32 };
+    let mut indices = Vec::with_capacity(2 * slices * (stacks - 1));
+    // Top fan (ring 0).
+    for j in 0..slices {
+        indices.push([top, ring(0, j), ring(0, j + 1)]);
+    }
+    // Quads between consecutive rings.
+    for i in 0..stacks - 2 {
+        for j in 0..slices {
+            let (a, b, c, d) = (ring(i, j), ring(i, j + 1), ring(i + 1, j + 1), ring(i + 1, j));
+            indices.push([a, b, c]);
+            indices.push([a, c, d]);
+        }
+    }
+    // Bottom fan (last ring).
+    for j in 0..slices {
+        indices.push([bottom, ring(stacks - 2, j + 1), ring(stacks - 2, j)]);
+    }
+    TriangleMesh::from_buffers(vertices, indices)
+}
+
+/// Open or capped cylinder along +y from `base` with the given height.
+///
+/// Triangle count: `2 * segments` for the side, plus `2 * segments` if
+/// `capped`.
+pub fn cylinder(base: Vec3, radius: f32, height: f32, segments: usize, capped: bool) -> TriangleMesh {
+    cone_frustum(base, radius, radius, height, segments, capped)
+}
+
+/// Cone along +y: full frustum with `top_radius = 0`.
+///
+/// Triangle count: `segments` for the side plus `segments` for the base cap
+/// when `capped`.
+pub fn cone(base: Vec3, radius: f32, height: f32, segments: usize, capped: bool) -> TriangleMesh {
+    cone_frustum(base, radius, 0.0, height, segments, capped)
+}
+
+/// Generalized cone frustum along +y.
+pub fn cone_frustum(
+    base: Vec3,
+    bottom_radius: f32,
+    top_radius: f32,
+    height: f32,
+    segments: usize,
+    capped: bool,
+) -> TriangleMesh {
+    assert!(segments >= 3, "frustum needs at least 3 segments");
+    let mut vertices = Vec::new();
+    let mut indices = Vec::new();
+    let top_is_point = top_radius <= 0.0;
+    for j in 0..segments {
+        let theta = TAU * j as f32 / segments as f32;
+        let (s, c) = theta.sin_cos();
+        vertices.push(base + Vec3::new(c * bottom_radius, 0.0, s * bottom_radius));
+    }
+    let top_base = vertices.len() as u32;
+    if top_is_point {
+        vertices.push(base + Vec3::Y * height);
+    } else {
+        for j in 0..segments {
+            let theta = TAU * j as f32 / segments as f32;
+            let (s, c) = theta.sin_cos();
+            vertices.push(base + Vec3::new(c * top_radius, height, s * top_radius));
+        }
+    }
+    let wrap = |j: usize| (j % segments) as u32;
+    for j in 0..segments {
+        if top_is_point {
+            indices.push([wrap(j), top_base, wrap(j + 1)]);
+        } else {
+            let (a, b) = (wrap(j), wrap(j + 1));
+            let (c, d) = (top_base + wrap(j + 1), top_base + wrap(j));
+            indices.push([a, c, b]);
+            indices.push([a, d, c]);
+        }
+    }
+    if capped {
+        let bottom_center = vertices.len() as u32;
+        vertices.push(base);
+        for j in 0..segments {
+            indices.push([bottom_center, wrap(j), wrap(j + 1)]);
+        }
+        if !top_is_point {
+            let top_center = vertices.len() as u32;
+            vertices.push(base + Vec3::Y * height);
+            for j in 0..segments {
+                indices.push([top_center, top_base + wrap(j + 1), top_base + wrap(j)]);
+            }
+        }
+    }
+    TriangleMesh::from_buffers(vertices, indices)
+}
+
+/// Rectangular grid in the xz plane at height `y`, spanning
+/// `[x0, x0+w] × [z0, z0+d]` with `nx × nz` cells.
+///
+/// Triangle count: `2 * nx * nz`.
+pub fn grid_plane(x0: f32, z0: f32, w: f32, d: f32, y: f32, nx: usize, nz: usize) -> TriangleMesh {
+    assert!(nx >= 1 && nz >= 1);
+    let mut vertices = Vec::with_capacity((nx + 1) * (nz + 1));
+    for iz in 0..=nz {
+        for ix in 0..=nx {
+            vertices.push(Vec3::new(
+                x0 + w * ix as f32 / nx as f32,
+                y,
+                z0 + d * iz as f32 / nz as f32,
+            ));
+        }
+    }
+    let at = |ix: usize, iz: usize| (iz * (nx + 1) + ix) as u32;
+    let mut indices = Vec::with_capacity(2 * nx * nz);
+    for iz in 0..nz {
+        for ix in 0..nx {
+            let (a, b, c, d2) = (at(ix, iz), at(ix + 1, iz), at(ix + 1, iz + 1), at(ix, iz + 1));
+            indices.push([a, b, c]);
+            indices.push([a, c, d2]);
+        }
+    }
+    TriangleMesh::from_buffers(vertices, indices)
+}
+
+/// Displaces every vertex radially from `center` by `amount(v)`, a caller
+/// supplied per-vertex offset. Used to roughen spheres into organic blobs.
+pub fn displace_radial(mesh: &mut TriangleMesh, center: Vec3, amount: impl Fn(Vec3) -> f32) {
+    for v in &mut mesh.vertices {
+        let dir = (*v - center).normalized();
+        *v += dir * amount(*v);
+    }
+}
+
+/// Appends `part` transformed by `t` into `dst`.
+pub fn append_transformed(dst: &mut TriangleMesh, part: &TriangleMesh, t: &Transform) {
+    dst.append(&part.transformed(t));
+}
+
+/// Deterministic value-noise in `[-1, 1]` from a 3D position and seed.
+/// Smooth enough for displacement: sum of three quantized-lattice hash
+/// octaves with trilinear-ish smoothing via `smoothstep` on the fractional
+/// position.
+pub fn value_noise(p: Vec3, seed: u64) -> f32 {
+    fn hash(ix: i32, iy: i32, iz: i32, seed: u64) -> f32 {
+        let mut h = seed
+            ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (iz as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        // Map to [-1, 1].
+        (h >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0
+    }
+    fn smooth(t: f32) -> f32 {
+        t * t * (3.0 - 2.0 * t)
+    }
+    let cell = |p: Vec3, seed: u64| -> f32 {
+        let (fx, fy, fz) = (p.x.floor(), p.y.floor(), p.z.floor());
+        let (ix, iy, iz) = (fx as i32, fy as i32, fz as i32);
+        let (tx, ty, tz) = (smooth(p.x - fx), smooth(p.y - fy), smooth(p.z - fz));
+        let mut acc = 0.0;
+        for (dz, wz) in [(0, 1.0 - tz), (1, tz)] {
+            for (dy, wy) in [(0, 1.0 - ty), (1, ty)] {
+                for (dx, wx) in [(0, 1.0 - tx), (1, tx)] {
+                    acc += wx * wy * wz * hash(ix + dx, iy + dy, iz + dz, seed);
+                }
+            }
+        }
+        acc
+    };
+    0.6 * cell(p, seed) + 0.3 * cell(p * 2.17, seed ^ 0xABCD) + 0.1 * cell(p * 4.31, seed ^ 0x1234)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_geometry::Aabb;
+
+    #[test]
+    fn box_has_12_triangles_and_correct_bounds() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        let m = boxed(&b);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.bounds(), b);
+        // Closed surface: area = box surface area.
+        assert!((m.surface_area() - b.surface_area()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn uv_sphere_count_formula() {
+        for (stacks, slices) in [(2, 3), (4, 8), (10, 20)] {
+            let mut m = uv_sphere(Vec3::ZERO, 1.0, stacks, slices);
+            assert_eq!(m.len(), 2 * slices * (stacks - 1), "{stacks}x{slices}");
+            assert_eq!(m.prune_degenerate(), 0);
+        }
+    }
+
+    #[test]
+    fn uv_sphere_vertices_on_sphere() {
+        let c = Vec3::new(1.0, 2.0, 3.0);
+        let m = uv_sphere(c, 2.5, 8, 12);
+        for v in &m.vertices {
+            assert!(((*v - c).length() - 2.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sphere_area_approximates_analytic() {
+        let m = uv_sphere(Vec3::ZERO, 1.0, 32, 64);
+        let analytic = 4.0 * std::f32::consts::PI;
+        assert!((m.surface_area() - analytic).abs() / analytic < 0.01);
+    }
+
+    #[test]
+    fn cylinder_counts() {
+        let open = cylinder(Vec3::ZERO, 1.0, 2.0, 16, false);
+        assert_eq!(open.len(), 32);
+        let capped = cylinder(Vec3::ZERO, 1.0, 2.0, 16, true);
+        assert_eq!(capped.len(), 64);
+        assert_eq!(capped.bounds().max.y, 2.0);
+    }
+
+    #[test]
+    fn cone_counts() {
+        let open = cone(Vec3::ZERO, 1.0, 3.0, 10, false);
+        assert_eq!(open.len(), 10);
+        let capped = cone(Vec3::ZERO, 1.0, 3.0, 10, true);
+        assert_eq!(capped.len(), 20);
+        assert_eq!(capped.bounds().max.y, 3.0);
+    }
+
+    #[test]
+    fn grid_counts_and_bounds() {
+        let g = grid_plane(-1.0, -2.0, 2.0, 4.0, 0.5, 3, 5);
+        assert_eq!(g.len(), 2 * 3 * 5);
+        let b = g.bounds();
+        assert_eq!(b.min, Vec3::new(-1.0, 0.5, -2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 0.5, 2.0));
+    }
+
+    #[test]
+    fn displacement_moves_vertices_radially() {
+        let mut m = uv_sphere(Vec3::ZERO, 1.0, 6, 8);
+        displace_radial(&mut m, Vec3::ZERO, |_| 0.5);
+        for v in &m.vertices {
+            assert!((v.length() - 1.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn value_noise_is_deterministic_and_bounded() {
+        let p = Vec3::new(1.3, -0.7, 2.9);
+        let a = value_noise(p, 42);
+        let b = value_noise(p, 42);
+        assert_eq!(a, b);
+        assert_ne!(value_noise(p, 42), value_noise(p, 43));
+        for i in 0..100 {
+            let q = Vec3::new(i as f32 * 0.37, i as f32 * 0.11, -(i as f32) * 0.23);
+            let n = value_noise(q, 7);
+            assert!((-1.0..=1.0).contains(&n), "noise out of range: {n}");
+        }
+    }
+
+    #[test]
+    fn value_noise_is_smooth_locally() {
+        let p = Vec3::new(0.5, 0.5, 0.5);
+        let d = 1e-3;
+        let a = value_noise(p, 9);
+        let b = value_noise(p + Vec3::splat(d), 9);
+        assert!((a - b).abs() < 0.05);
+    }
+}

@@ -1,0 +1,77 @@
+//! Lookup of the six evaluation scenes by name.
+
+use crate::{bunny, fairy_forest, sibenik, sponza, toasters, wood_doll, Scene, SceneParams};
+
+/// Names of all six scenes, static scenes first, in the paper's order.
+pub const SCENE_NAMES: [&str; 6] = [
+    "bunny",
+    "sponza",
+    "sibenik",
+    "toasters",
+    "wood_doll",
+    "fairy_forest",
+];
+
+/// All six evaluation scenes.
+pub fn all_scenes(params: &SceneParams) -> Vec<Scene> {
+    vec![
+        bunny(params),
+        sponza(params),
+        sibenik(params),
+        toasters(params),
+        wood_doll(params),
+        fairy_forest(params),
+    ]
+}
+
+/// The three static scenes (Bunny, Sponza, Sibenik).
+pub fn static_scenes(params: &SceneParams) -> Vec<Scene> {
+    vec![bunny(params), sponza(params), sibenik(params)]
+}
+
+/// The three dynamic scenes (Toasters, Wood Doll, Fairy Forest).
+pub fn dynamic_scenes(params: &SceneParams) -> Vec<Scene> {
+    vec![toasters(params), wood_doll(params), fairy_forest(params)]
+}
+
+/// Look up a scene by its canonical name; `None` for unknown names.
+pub fn by_name(name: &str, params: &SceneParams) -> Option<Scene> {
+    match name {
+        "bunny" => Some(bunny(params)),
+        "sponza" => Some(sponza(params)),
+        "sibenik" => Some(sibenik(params)),
+        "toasters" => Some(toasters(params)),
+        "wood_doll" => Some(wood_doll(params)),
+        "fairy_forest" => Some(fairy_forest(params)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        let p = SceneParams::tiny();
+        let all = all_scenes(&p);
+        assert_eq!(all.len(), 6);
+        for (scene, name) in all.iter().zip(SCENE_NAMES) {
+            assert_eq!(scene.name, name);
+            let looked_up = by_name(name, &p).expect("registered name must resolve");
+            assert_eq!(looked_up.name, name);
+        }
+        assert!(by_name("teapot", &p).is_none());
+    }
+
+    #[test]
+    fn static_dynamic_partition() {
+        let p = SceneParams::tiny();
+        assert!(static_scenes(&p).iter().all(|s| !s.is_dynamic()));
+        assert!(dynamic_scenes(&p).iter().all(|s| s.is_dynamic()));
+        assert_eq!(
+            static_scenes(&p).len() + dynamic_scenes(&p).len(),
+            all_scenes(&p).len()
+        );
+    }
+}

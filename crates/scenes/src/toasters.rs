@@ -1,0 +1,144 @@
+//! "Toasters" — stand-in for the Utah *Toasters* animation
+//! (11 141 triangles, 246 frames).
+//!
+//! Four articulated toasters march across a ground plane: bodies bob,
+//! levers pump, and bread slices pop. Each frame moves the geometry while
+//! keeping its overall distribution — the regime in which the paper's
+//! online tuner tracks slowly-shifting optima.
+
+use crate::primitives::{cylinder, grid_plane, uv_sphere};
+use crate::{Scene, SceneParams, ViewSpec};
+use kdtune_geometry::{Axis, Transform, TriangleMesh, Vec3};
+use std::f32::consts::TAU;
+
+/// Frame count of the original animation.
+pub const TOASTERS_FRAMES: usize = 246;
+
+/// Builds the toasters scene (dynamic, ~11.1 k triangles at paper scale).
+pub fn toasters(params: &SceneParams) -> Scene {
+    let params = *params;
+    let view = ViewSpec::looking(Vec3::new(0.0, 5.0, 12.0), Vec3::new(0.0, 1.0, 0.0))
+        .with_light(Vec3::new(4.0, 10.0, 6.0));
+    Scene::new_dynamic("toasters", view, TOASTERS_FRAMES, move |frame| {
+        build_frame(&params, frame)
+    })
+}
+
+/// Squashed sphere: a blob with independent radii, the basic part shape.
+fn blob(params: &SceneParams, stacks: usize, slices: usize, radii: Vec3) -> TriangleMesh {
+    let mut m = uv_sphere(
+        Vec3::ZERO,
+        1.0,
+        params.scaled_sqrt(stacks, 3),
+        params.scaled_sqrt(slices, 4),
+    );
+    m.transform(&Transform::scale_xyz(radii));
+    m
+}
+
+fn one_toaster(params: &SceneParams, phase: f32) -> TriangleMesh {
+    let mut m = TriangleMesh::new();
+    // Body: rounded shell, 2*36*23 = 1 656 triangles.
+    let mut body = blob(params, 24, 36, Vec3::new(1.0, 0.75, 0.65));
+    body.transform(&Transform::translation(Vec3::new(0.0, 0.85, 0.0)));
+    m.append(&body);
+    // Lid dome: 440 triangles, nods with the walk cycle.
+    let mut lid = blob(params, 12, 20, Vec3::new(0.7, 0.35, 0.5));
+    lid.transform(
+        &Transform::rotation(Axis::X, 0.15 * (phase * TAU).sin())
+            .then(&Transform::translation(Vec3::new(0.0, 1.55, 0.0))),
+    );
+    m.append(&lid);
+    // Lever: pumps up and down, 48 triangles.
+    let lever_y = 0.9 + 0.25 * (phase * TAU * 2.0).sin().max(0.0);
+    let mut lever = cylinder(Vec3::ZERO, 0.06, 0.4, params.scaled_sqrt(12, 3), true);
+    lever.transform(
+        &Transform::rotation(Axis::Z, std::f32::consts::FRAC_PI_2)
+            .then(&Transform::translation(Vec3::new(1.0, lever_y, 0.0))),
+    );
+    m.append(&lever);
+    // Two bread slices: pop out of the top periodically, 2 × 100 triangles.
+    let pop = (phase * TAU * 2.0).sin().max(0.0);
+    for (dz, jitter) in [(-0.18f32, 0.0f32), (0.18, 0.07)] {
+        let mut bread = blob(params, 6, 10, Vec3::new(0.45, 0.5, 0.08));
+        bread.transform(&Transform::translation(Vec3::new(
+            0.0,
+            1.3 + 0.5 * (pop + jitter),
+            dz,
+        )));
+        m.append(&bread);
+    }
+    // Four feet: 4 × 48 triangles, alternate lifting to "walk".
+    for (i, (dx, dz)) in [(-0.6f32, -0.4f32), (0.6, -0.4), (-0.6, 0.4), (0.6, 0.4)]
+        .into_iter()
+        .enumerate()
+    {
+        let lift = 0.12 * ((phase * TAU * 2.0 + i as f32 * TAU / 4.0).sin()).max(0.0);
+        let mut foot = blob(params, 4, 8, Vec3::splat(0.15));
+        foot.transform(&Transform::translation(Vec3::new(dx, 0.15 + lift, dz)));
+        m.append(&foot);
+    }
+    m
+}
+
+fn build_frame(params: &SceneParams, frame: usize) -> TriangleMesh {
+    let mut mesh = TriangleMesh::new();
+    // Ground: 32 × 16 grid = 1 024 triangles.
+    let (gx, gz) = (params.scaled_sqrt(32, 2), params.scaled_sqrt(16, 2));
+    mesh.append(&grid_plane(-10.0, -5.0, 20.0, 10.0, 0.0, gx, gz));
+
+    let t = frame as f32 / TOASTERS_FRAMES as f32;
+    for k in 0..4 {
+        let phase = t * 4.0 + k as f32 * 0.25;
+        let toaster = one_toaster(params, phase);
+        // March along x, wrapping around, with a gentle bob.
+        let x = -8.0 + ((t * 16.0 + k as f32 * 4.0) % 16.0);
+        let z = -2.0 + (k as f32) * 1.4;
+        let bob = 0.1 * (phase * TAU * 2.0).sin().abs();
+        let tr = Transform::rotation(Axis::Y, 0.2 * (phase * TAU).sin())
+            .then(&Transform::translation(Vec3::new(x, bob, z)));
+        mesh.append(&toaster.transformed(&tr));
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_triangle_count() {
+        let n = toasters(&SceneParams::paper()).frame(0).len();
+        let target = 11_141usize;
+        let err = (n as f32 - target as f32).abs() / target as f32;
+        assert!(err < 0.05, "toasters has {n} triangles, want ~{target}");
+    }
+
+    #[test]
+    fn frame_count_matches_paper() {
+        assert_eq!(toasters(&SceneParams::tiny()).frame_count(), 246);
+    }
+
+    #[test]
+    fn frames_differ_but_counts_are_stable() {
+        let s = toasters(&SceneParams::tiny());
+        let a = s.frame(0);
+        let b = s.frame(100);
+        assert_eq!(a.len(), b.len(), "topology must be frame-invariant");
+        assert_ne!(a.vertices, b.vertices, "animation must move vertices");
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let s = toasters(&SceneParams::tiny());
+        assert_eq!(s.frame(17).vertices, s.frame(17).vertices);
+    }
+
+    #[test]
+    fn geometry_stays_above_ground_plane() {
+        let s = toasters(&SceneParams::tiny());
+        for f in [0, 61, 123, 245] {
+            assert!(s.frame(f).bounds().min.y >= -1e-3);
+        }
+    }
+}

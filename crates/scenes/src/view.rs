@@ -1,0 +1,63 @@
+//! Camera/view specification attached to each scene.
+
+use kdtune_geometry::Vec3;
+
+/// Where the camera sits and looks for a scene, plus the light position.
+///
+/// Kept renderer-agnostic: `kdtune-raycast` converts this into its own
+/// camera type. Field-of-view is the *vertical* FOV in degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViewSpec {
+    /// Camera position.
+    pub eye: Vec3,
+    /// Point the camera looks at.
+    pub target: Vec3,
+    /// Up direction hint.
+    pub up: Vec3,
+    /// Vertical field of view in degrees.
+    pub fov_deg: f32,
+    /// Position of the single point light.
+    pub light: Vec3,
+}
+
+impl ViewSpec {
+    /// A view from `eye` toward `target` with a y-up camera, 60° FOV and
+    /// the light co-located with the camera (shadow rays never occluded at
+    /// the hit-facing side).
+    pub fn looking(eye: Vec3, target: Vec3) -> ViewSpec {
+        ViewSpec {
+            eye,
+            target,
+            up: Vec3::Y,
+            fov_deg: 60.0,
+            light: eye + Vec3::Y * 2.0,
+        }
+    }
+
+    /// Sets the light position.
+    pub fn with_light(mut self, light: Vec3) -> ViewSpec {
+        self.light = light;
+        self
+    }
+
+    /// Sets the vertical field of view (degrees).
+    pub fn with_fov(mut self, fov_deg: f32) -> ViewSpec {
+        self.fov_deg = fov_deg;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods() {
+        let v = ViewSpec::looking(Vec3::ZERO, Vec3::X)
+            .with_light(Vec3::Y)
+            .with_fov(45.0);
+        assert_eq!(v.light, Vec3::Y);
+        assert_eq!(v.fov_deg, 45.0);
+        assert_eq!(v.up, Vec3::Y);
+    }
+}

@@ -1,0 +1,190 @@
+//! "Wood Doll" — stand-in for the Utah *Wood Doll* animation
+//! (6 658 triangles, 29 frames).
+//!
+//! An articulated wooden figure on a turntable pedestal: head, torso, hips
+//! and four two-segment limbs swing through a walk-in-place cycle while the
+//! whole doll slowly rotates. The smallest scene in the suite — per-frame
+//! tree builds are cheap, so tuning overhead matters relatively more.
+
+use crate::primitives::{cone, cylinder, grid_plane, uv_sphere};
+use crate::{Scene, SceneParams, ViewSpec};
+use kdtune_geometry::{Axis, Transform, TriangleMesh, Vec3};
+use std::f32::consts::TAU;
+
+/// Frame count of the original animation.
+pub const WOOD_DOLL_FRAMES: usize = 29;
+
+/// Builds the wood doll scene (dynamic, ~6.6 k triangles at paper scale).
+pub fn wood_doll(params: &SceneParams) -> Scene {
+    let params = *params;
+    let view = ViewSpec::looking(Vec3::new(0.0, 2.2, 5.0), Vec3::new(0.0, 1.6, 0.0))
+        .with_light(Vec3::new(3.0, 6.0, 4.0));
+    Scene::new_dynamic("wood_doll", view, WOOD_DOLL_FRAMES, move |frame| {
+        build_frame(&params, frame)
+    })
+}
+
+fn sphere_part(params: &SceneParams, stacks: usize, slices: usize, r: Vec3, at: Vec3) -> TriangleMesh {
+    let mut m = uv_sphere(
+        Vec3::ZERO,
+        1.0,
+        params.scaled_sqrt(stacks, 3),
+        params.scaled_sqrt(slices, 4),
+    );
+    m.transform(&Transform::scale_xyz(r).then(&Transform::translation(at)));
+    m
+}
+
+/// A two-segment limb hanging from `shoulder`, with `swing` radians of
+/// rotation about the X axis at the root and half that at the "knee".
+fn limb(params: &SceneParams, shoulder: Vec3, swing: f32) -> TriangleMesh {
+    let seg = params.scaled_sqrt(20, 3);
+    let joint = |at: Vec3| sphere_part(params, 7, 12, Vec3::splat(0.11), at);
+    let mut m = TriangleMesh::new();
+
+    // Build the limb in local space pointing down (-y), then rotate.
+    let mut upper = cylinder(Vec3::new(0.0, -0.45, 0.0), 0.09, 0.45, seg, true);
+    upper.append(&joint(Vec3::ZERO));
+    let root_rot = Transform::rotation(Axis::X, swing);
+    m.append(&upper.transformed(&root_rot));
+
+    // Lower segment hangs from the elbow/knee with extra bend.
+    let elbow_local = Vec3::new(0.0, -0.45, 0.0);
+    let elbow_world = root_rot.apply_point(elbow_local);
+    let mut lower = cylinder(Vec3::new(0.0, -0.45, 0.0), 0.08, 0.45, seg, true);
+    lower.append(&joint(Vec3::ZERO));
+    lower.append(&sphere_part(
+        params,
+        7,
+        12,
+        Vec3::splat(0.13),
+        Vec3::new(0.0, -0.5, 0.0),
+    ));
+    let bend = Transform::rotation(Axis::X, swing * 0.5)
+        .then(&Transform::translation(elbow_world));
+    m.append(&lower.transformed(&bend));
+
+    m.transform(&Transform::translation(shoulder));
+    m
+}
+
+fn build_frame(params: &SceneParams, frame: usize) -> TriangleMesh {
+    let t = frame as f32 / WOOD_DOLL_FRAMES as f32;
+    let swing = 0.7 * (t * TAU).sin();
+
+    let mut doll = TriangleMesh::new();
+    // Torso: 2*40*25 = 2 000 triangles.
+    doll.append(&sphere_part(
+        params,
+        26,
+        40,
+        Vec3::new(0.45, 0.62, 0.3),
+        Vec3::new(0.0, 1.55, 0.0),
+    ));
+    // Head: 2*28*17 = 952 triangles, nodding slightly.
+    doll.append(&sphere_part(
+        params,
+        18,
+        28,
+        Vec3::splat(0.3),
+        Vec3::new(0.0, 2.45 + 0.02 * (t * TAU * 2.0).sin(), 0.0),
+    ));
+    // Eyes and nose: 2 × 80 + 24 triangles.
+    for side in [-1.0f32, 1.0] {
+        doll.append(&sphere_part(
+            params,
+            6,
+            8,
+            Vec3::splat(0.045),
+            Vec3::new(side * 0.11, 2.52, 0.27),
+        ));
+    }
+    let mut nose = cone(Vec3::ZERO, 0.04, 0.12, params.scaled_sqrt(12, 3), true);
+    nose.transform(
+        &Transform::rotation(Axis::X, std::f32::consts::FRAC_PI_2)
+            .then(&Transform::translation(Vec3::new(0.0, 2.43, 0.3))),
+    );
+    doll.append(&nose);
+    // Hat: dense cone, 2 × 90 = 180 triangles.
+    doll.append(&cone(
+        Vec3::new(0.0, 2.68, 0.0),
+        0.26,
+        0.45,
+        params.scaled_sqrt(90, 3),
+        true,
+    ));
+    // Hips: 2*18*11 = 396 triangles.
+    doll.append(&sphere_part(
+        params,
+        12,
+        18,
+        Vec3::new(0.35, 0.25, 0.25),
+        Vec3::new(0.0, 0.95, 0.0),
+    ));
+    // Neck: 64 triangles.
+    doll.append(&cylinder(
+        Vec3::new(0.0, 2.05, 0.0),
+        0.08,
+        0.18,
+        params.scaled_sqrt(16, 3),
+        true,
+    ));
+    // Arms swing opposite to legs: 4 limbs × 560 triangles.
+    doll.append(&limb(params, Vec3::new(-0.5, 2.0, 0.0), swing));
+    doll.append(&limb(params, Vec3::new(0.5, 2.0, 0.0), -swing));
+    doll.append(&limb(params, Vec3::new(-0.22, 0.95, 0.0), -swing));
+    doll.append(&limb(params, Vec3::new(0.22, 0.95, 0.0), swing));
+
+    // Turntable rotation of the whole doll.
+    doll.transform(&Transform::rotation(Axis::Y, t * TAU));
+
+    let mut mesh = TriangleMesh::new();
+    mesh.append(&doll);
+    // Pedestal: 4 × 96 = 384 triangles.
+    mesh.append(&cylinder(
+        Vec3::new(0.0, -0.3, 0.0),
+        1.1,
+        0.3,
+        params.scaled_sqrt(96, 3),
+        true,
+    ));
+    // Ground: 2 × 8 × 8 = 128 triangles.
+    let g = params.scaled_sqrt(8, 2);
+    mesh.append(&grid_plane(-4.0, -4.0, 8.0, 8.0, -0.3, g, g));
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_triangle_count() {
+        let n = wood_doll(&SceneParams::paper()).frame(0).len();
+        let target = 6_658usize;
+        let err = (n as f32 - target as f32).abs() / target as f32;
+        assert!(err < 0.05, "wood_doll has {n} triangles, want ~{target}");
+    }
+
+    #[test]
+    fn frame_count_matches_paper() {
+        assert_eq!(wood_doll(&SceneParams::tiny()).frame_count(), 29);
+    }
+
+    #[test]
+    fn animation_moves_limbs() {
+        let s = wood_doll(&SceneParams::tiny());
+        let a = s.frame(0);
+        let b = s.frame(14);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a.vertices, b.vertices);
+    }
+
+    #[test]
+    fn doll_is_upright() {
+        let s = wood_doll(&SceneParams::tiny());
+        let b = s.frame(7).bounds();
+        assert!(b.max.y > 2.5, "head+hat should top out above 2.5: {b:?}");
+        assert!(b.min.y >= -0.31);
+    }
+}

@@ -1,0 +1,68 @@
+//! Scene-generator scaling behaviour: triangle counts track the
+//! `complexity` knob roughly linearly, and every scale stays renderable.
+
+use kdtune_scenes::{all_scenes, SceneParams};
+
+fn counts(complexity: f32) -> Vec<(&'static str, usize)> {
+    let params = SceneParams {
+        complexity,
+        ..SceneParams::default()
+    };
+    all_scenes(&params)
+        .iter()
+        .map(|s| (s.name, s.frame(0).len()))
+        .collect()
+}
+
+#[test]
+fn complexity_scales_triangle_counts_roughly_linearly() {
+    let full = counts(1.0);
+    let half = counts(0.5);
+    for ((name, n_full), (_, n_half)) in full.iter().zip(&half) {
+        let ratio = *n_half as f64 / *n_full as f64;
+        assert!(
+            (0.25..=0.85).contains(&ratio),
+            "{name}: {n_half}/{n_full} = {ratio:.2}, expected ~0.5 \
+             (floors and fixed parts bend it)"
+        );
+    }
+}
+
+#[test]
+fn tiny_scenes_are_small_but_nonempty() {
+    for (name, n) in counts(0.01) {
+        assert!(n >= 50, "{name} too small: {n}");
+        assert!(n <= 20_000, "{name} too large for tiny: {n}");
+    }
+}
+
+#[test]
+fn scaling_does_not_change_scene_extent() {
+    // The complexity knob changes tessellation density, not world size,
+    // so cameras keep working at every scale.
+    for scene_full in all_scenes(&SceneParams::paper()) {
+        let tiny = kdtune_scenes::by_name(scene_full.name, &SceneParams::tiny()).unwrap();
+        let bf = scene_full.frame(0).bounds();
+        let bt = tiny.frame(0).bounds();
+        let ratio = bf.extent().max_component() / bt.extent().max_component();
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "{}: extent ratio {ratio:.2}",
+            scene_full.name
+        );
+    }
+}
+
+#[test]
+fn dynamic_topology_is_stable_across_all_frames() {
+    // Frame-invariant triangle counts let the tuner attribute cost changes
+    // to configuration changes, not geometry churn.
+    let params = SceneParams::tiny();
+    for scene in all_scenes(&params).into_iter().filter(|s| s.is_dynamic()) {
+        let n0 = scene.frame(0).len();
+        let step = (scene.frame_count() / 6).max(1);
+        for f in (0..scene.frame_count()).step_by(step) {
+            assert_eq!(scene.frame(f).len(), n0, "{} frame {f}", scene.name);
+        }
+    }
+}

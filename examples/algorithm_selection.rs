@@ -1,0 +1,41 @@
+//! The paper's closing open question, implemented: which *algorithm* is
+//! best for a given scene and machine? Nominal parameters can't be tuned
+//! by a simplex search, so we tune each algorithm in turn and pick the
+//! winner (§VI).
+//!
+//! ```sh
+//! cargo run --release --example algorithm_selection
+//! ```
+
+use kdtune::scenes::{all_scenes, SceneParams};
+use kdtune::{select_algorithm, SelectorOpts};
+
+fn main() {
+    let params = SceneParams::quick();
+    let opts = SelectorOpts {
+        budget_per_algorithm: 60,
+        steady_window: 3,
+        resolution: 80,
+        seed: 99,
+    };
+    println!(
+        "tuning all four algorithms per scene ({} frames each), then picking the winner:\n",
+        opts.budget_per_algorithm
+    );
+    for scene in all_scenes(&params) {
+        let report = select_algorithm(&scene, &opts);
+        println!("{} ({} triangles):", scene.name, scene.frame(0).len());
+        for c in &report.candidates {
+            let marker = if c.algorithm == report.winner { "  <-- winner" } else { "" };
+            println!(
+                "  {:<11} {:>8.2} ms/frame  config {:<22} converged: {}{}",
+                c.algorithm.name(),
+                c.tuned_cost * 1e3,
+                c.config.to_string(),
+                c.converged,
+                marker
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,77 @@
+//! The Fairy Forest corner case (§V-B): the camera is pressed against a
+//! hero mushroom so almost all geometry is occluded. Lazy construction
+//! should leave most of the tree unexpanded and win the frame.
+//!
+//! Writes `lazy_occlusion.ppm` next to the working directory so you can
+//! look at what the camera sees.
+//!
+//! ```sh
+//! cargo run --release --example lazy_occlusion
+//! ```
+
+use kdtune::raycast::{render, Camera};
+use kdtune::scenes::{fairy_forest, SceneParams};
+use kdtune::{build, Algorithm, BuildParams};
+use std::time::Instant;
+
+fn main() {
+    let scene = fairy_forest(&SceneParams::quick());
+    let mesh = scene.frame(0);
+    let v = scene.view;
+    let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 128, 128);
+    println!("scene: {} ({} triangles)", scene.name, mesh.len());
+
+    // Eager in-place build: constructs the whole tree up front.
+    let t0 = Instant::now();
+    let eager = build(mesh.clone(), Algorithm::InPlace, &BuildParams::default());
+    let eager_build = t0.elapsed();
+    let t1 = Instant::now();
+    let (img, stats) = render(&eager, &cam, v.light);
+    let eager_render = t1.elapsed();
+    println!(
+        "eager : build {:>7.2} ms, render {:>7.2} ms  ({} nodes)",
+        eager_build.as_secs_f64() * 1e3,
+        eager_render.as_secs_f64() * 1e3,
+        eager.node_count(),
+    );
+    println!(
+        "        {} of {} primary rays hit geometry",
+        stats.primary_hits, stats.primary_rays
+    );
+
+    // Lazy build at a coarse resolution: defers most of the tree.
+    let params = BuildParams {
+        r: 512,
+        ..BuildParams::default()
+    };
+    let t2 = Instant::now();
+    let lazy = build(mesh, Algorithm::Lazy, &params);
+    let lazy_build = t2.elapsed();
+    let t3 = Instant::now();
+    let (_, _) = render(&lazy, &cam, v.light);
+    let lazy_render = t3.elapsed();
+    let ltree = lazy.as_lazy().unwrap();
+    println!(
+        "lazy  : build {:>7.2} ms, render {:>7.2} ms  (R = {})",
+        lazy_build.as_secs_f64() * 1e3,
+        lazy_render.as_secs_f64() * 1e3,
+        params.r,
+    );
+    println!(
+        "        {} deferred nodes, only {} expanded by the frame ({:.1}%)",
+        ltree.deferred_count(),
+        ltree.expanded_count(),
+        100.0 * ltree.expanded_count() as f64 / ltree.deferred_count().max(1) as f64
+    );
+    let total_eager = eager_build + eager_render;
+    let total_lazy = lazy_build + lazy_render;
+    println!(
+        "frame total: eager {:.2} ms vs lazy {:.2} ms ({:.2}x)",
+        total_eager.as_secs_f64() * 1e3,
+        total_lazy.as_secs_f64() * 1e3,
+        total_eager.as_secs_f64() / total_lazy.as_secs_f64()
+    );
+
+    img.save_ppm("lazy_occlusion.ppm").expect("write ppm");
+    println!("wrote lazy_occlusion.ppm");
+}

@@ -1,0 +1,4 @@
+//! Umbrella crate for the kdtune workspace: hosts the runnable examples and
+//! cross-crate integration tests. Re-exports the facade crate for
+//! convenience so examples can `use kdtune_suite as kdtune;`-style imports.
+pub use kdtune::*;

@@ -1,0 +1,78 @@
+//! Rendering consistency across the four construction algorithms: the
+//! trees differ in shape and schedule, but the *images* must agree.
+
+use kdtune::raycast::{render, Camera};
+use kdtune::scenes::{all_scenes, SceneParams};
+use kdtune::{build, Algorithm, BuildParams};
+
+#[test]
+fn identical_render_stats_across_algorithms_on_all_scenes() {
+    let params = SceneParams::tiny();
+    for scene in all_scenes(&params) {
+        let mesh = scene.frame(0);
+        let v = scene.view;
+        let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 20, 20);
+        let reference = {
+            let tree = build(mesh.clone(), Algorithm::NodeLevel, &BuildParams::default());
+            render(&tree, &cam, v.light).1
+        };
+        for algo in [Algorithm::Nested, Algorithm::InPlace, Algorithm::Lazy] {
+            let tree = build(mesh.clone(), algo, &BuildParams::default());
+            let (_, stats) = render(&tree, &cam, v.light);
+            assert_eq!(stats, reference, "{} with {algo}", scene.name);
+        }
+    }
+}
+
+#[test]
+fn extreme_configurations_render_identically() {
+    // Tuning must never change the image — only its cost. Verify at the
+    // corners of the Table II space.
+    let params = SceneParams::tiny();
+    let scene = kdtune::scenes::sponza(&params);
+    let mesh = scene.frame(0);
+    let v = scene.view;
+    let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 20, 20);
+    let reference = {
+        let tree = build(mesh.clone(), Algorithm::InPlace, &BuildParams::default());
+        render(&tree, &cam, v.light).1
+    };
+    for (ci, cb, s, r) in [(3.0, 0.0, 1, 16), (101.0, 60.0, 8, 8192), (3.0, 60.0, 1, 8192)] {
+        for algo in Algorithm::ALL {
+            let tree = build(
+                mesh.clone(),
+                algo,
+                &BuildParams::from_config(ci, cb, s, r),
+            );
+            let (_, stats) = render(&tree, &cam, v.light);
+            assert_eq!(stats, reference, "{algo} at ({ci}, {cb}, {s}, {r})");
+        }
+    }
+}
+
+#[test]
+fn lazy_expansion_is_thread_safe_under_parallel_render() {
+    // The render parallelizes across rows while the lazy tree expands
+    // nodes under per-node locks; hammer it with a wide pool.
+    let params = SceneParams::tiny();
+    let scene = kdtune::scenes::fairy_forest(&params);
+    let mesh = scene.frame(0);
+    let v = scene.view;
+    let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 48, 48);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
+    let sequential = {
+        let tree = build(mesh.clone(), Algorithm::Lazy, &BuildParams::default());
+        render(&tree, &cam, v.light).1
+    };
+    for _ in 0..3 {
+        let tree = build(mesh.clone(), Algorithm::Lazy, &BuildParams {
+            r: 64,
+            ..BuildParams::default()
+        });
+        let stats = pool.install(|| render(&tree, &cam, v.light).1);
+        assert_eq!(stats, sequential);
+    }
+}

@@ -1,0 +1,53 @@
+//! Cross-structure integration: the kD-tree and the BVH render identical
+//! images through the structure-agnostic renderer, across the evaluation
+//! scenes.
+
+use kdtune::raycast::{render_with, Camera};
+use kdtune::scenes::{all_scenes, SceneParams};
+use kdtune::{build, Algorithm, BuildParams};
+use kdtune_bvh::{Bvh, BvhParams};
+
+#[test]
+fn bvh_and_kdtree_render_identical_images() {
+    let params = SceneParams::tiny();
+    for scene in all_scenes(&params) {
+        let mesh = scene.frame(0);
+        let v = scene.view;
+        let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 24, 24);
+
+        let kd = build(mesh.clone(), Algorithm::InPlace, &BuildParams::default());
+        let bvh = Bvh::build(mesh.clone(), &BvhParams::default());
+
+        let (kd_img, kd_stats) = render_with(&kd, &mesh, &cam, v.light);
+        let (bvh_img, bvh_stats) = render_with(&bvh, &mesh, &cam, v.light);
+        assert_eq!(kd_stats, bvh_stats, "{}", scene.name);
+        assert_eq!(kd_img.to_ppm(), bvh_img.to_ppm(), "{}", scene.name);
+    }
+}
+
+#[test]
+fn bvh_leaf_size_does_not_change_pixels() {
+    let params = SceneParams::tiny();
+    let scene = kdtune::scenes::bunny(&params);
+    let mesh = scene.frame(0);
+    let v = scene.view;
+    let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 24, 24);
+    let reference = {
+        let bvh = Bvh::build(mesh.clone(), &BvhParams::default());
+        render_with(&bvh, &mesh, &cam, v.light).0.to_ppm()
+    };
+    for max_leaf in [1usize, 16, 128] {
+        let bvh = Bvh::build(
+            mesh.clone(),
+            &BvhParams {
+                max_leaf,
+                ..BvhParams::default()
+            },
+        );
+        assert_eq!(
+            render_with(&bvh, &mesh, &cam, v.light).0.to_ppm(),
+            reference,
+            "max_leaf = {max_leaf}"
+        );
+    }
+}

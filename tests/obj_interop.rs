@@ -1,0 +1,51 @@
+//! Scene ↔ OBJ interop: the generated scenes survive an export/import
+//! round trip and remain buildable/queryable.
+
+use kdtune::geometry::obj;
+use kdtune::raycast::{render, Camera};
+use kdtune::scenes::{wood_doll, SceneParams};
+use kdtune::{build, Algorithm, BuildParams};
+use std::sync::Arc;
+
+#[test]
+fn scene_round_trips_through_obj() {
+    let scene = wood_doll(&SceneParams::tiny());
+    let mesh = scene.frame(0);
+    let text = obj::to_string(&mesh);
+    let back = obj::parse(&text).expect("parse own output");
+    assert_eq!(back.len(), mesh.len());
+    assert_eq!(back.vertices.len(), mesh.vertices.len());
+    // f32 → decimal text → f32 is exact for shortest-round-trip printing.
+    assert_eq!(back.vertices, mesh.vertices);
+    assert_eq!(back.indices, mesh.indices);
+}
+
+#[test]
+fn reimported_mesh_renders_the_same_image() {
+    let scene = wood_doll(&SceneParams::tiny());
+    let mesh = scene.frame(0);
+    let reimported = Arc::new(obj::parse(&obj::to_string(&mesh)).unwrap());
+    let v = scene.view;
+    let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 20, 20);
+    let a = {
+        let tree = build(mesh, Algorithm::InPlace, &BuildParams::default());
+        render(&tree, &cam, v.light).1
+    };
+    let b = {
+        let tree = build(reimported, Algorithm::InPlace, &BuildParams::default());
+        render(&tree, &cam, v.light).1
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn obj_file_io() {
+    let dir = std::env::temp_dir().join("kdtune_obj_interop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doll.obj");
+    let mesh = wood_doll(&SceneParams::tiny()).frame(0);
+    obj::save(&mesh, &path).expect("save");
+    let loaded = obj::load(&path).expect("load");
+    assert_eq!(loaded.len(), mesh.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
