@@ -46,4 +46,4 @@ pub use search::nelder_mead::{NelderMead, NelderMeadSearch};
 pub use search::random::RandomSearch;
 pub use search::SearchStrategy;
 pub use space::{Config, SearchSpace};
-pub use tuner::{StrategyKind, Tuner, TunerBuilder, TunerPhase};
+pub use tuner::{Measurement, StrategyKind, Tuner, TunerBuilder, TunerPhase};

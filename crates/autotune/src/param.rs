@@ -63,8 +63,14 @@ impl ParamSpec {
     /// # Panics
     /// Panics unless both endpoints are powers of two with `min <= max`.
     pub fn pow2(name: impl Into<String>, min: i64, max: i64) -> ParamSpec {
-        assert!(min > 0 && min.count_ones() == 1, "min {min} must be a power of two");
-        assert!(max >= min && max.count_ones() == 1, "max {max} must be a power of two");
+        assert!(
+            min > 0 && min.count_ones() == 1,
+            "min {min} must be a power of two"
+        );
+        assert!(
+            max >= min && max.count_ones() == 1,
+            "max {max} must be a power of two"
+        );
         ParamSpec {
             name: name.into(),
             min,
@@ -77,7 +83,9 @@ impl ParamSpec {
     pub fn count(&self) -> usize {
         match self.scale {
             ParamScale::Linear { step } => ((self.max - self.min) / step) as usize + 1,
-            ParamScale::Pow2 => (self.max.trailing_zeros() - self.min.trailing_zeros()) as usize + 1,
+            ParamScale::Pow2 => {
+                (self.max.trailing_zeros() - self.min.trailing_zeros()) as usize + 1
+            }
         }
     }
 

@@ -68,7 +68,13 @@ impl HillClimb {
         indices
             .iter()
             .zip(&self.counts)
-            .map(|(&i, &c)| if c <= 1 { 0.0 } else { i as f64 / (c - 1) as f64 })
+            .map(|(&i, &c)| {
+                if c <= 1 {
+                    0.0
+                } else {
+                    i as f64 / (c - 1) as f64
+                }
+            })
             .collect()
     }
 
@@ -80,7 +86,7 @@ impl HillClimb {
     /// The neighbor for probe `k` of the sweep, if it exists on the grid.
     fn neighbor(&self, k: usize) -> Option<Vec<usize>> {
         let dim = k / 2;
-        let dir: i64 = if k % 2 == 0 { 1 } else { -1 };
+        let dir: i64 = if k.is_multiple_of(2) { 1 } else { -1 };
         let cur = self.current[dim] as i64;
         let next = cur + dir;
         if next < 0 || next as usize >= self.counts[dim] {
@@ -96,7 +102,7 @@ impl HillClimb {
             let k = self.stale;
             match self.neighbor(k) {
                 Some(n) => {
-                    self.probe = Some((k / 2, if k % 2 == 0 { 1 } else { -1 }));
+                    self.probe = Some((k / 2, if k.is_multiple_of(2) { 1 } else { -1 }));
                     return Some(n);
                 }
                 None => self.stale += 1, // off-grid neighbor: skip

@@ -4,6 +4,7 @@
 //! front of it.
 
 use super::SearchStrategy;
+use kdtune_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,6 +51,15 @@ pub struct NelderMead {
     iterations: usize,
     max_iterations: usize,
     evaluations: usize,
+}
+
+/// Reports one resolved simplex move ("reflect" / "expand" / "contract" /
+/// "shrink") to the telemetry layer. No-op unless a recorder is installed.
+fn step_event(kind: &'static str, cost: f64) {
+    telemetry::event(
+        "tuner.step",
+        &[("step", kind.into()), ("cost", cost.into())],
+    );
 }
 
 fn clamp01(p: &mut [f64]) {
@@ -172,23 +182,21 @@ impl NelderMead {
 
 impl SearchStrategy for NelderMead {
     fn ask(&mut self) -> Option<Vec<f64>> {
-        loop {
-            match &self.state {
-                State::Init { next } => return Some(self.simplex[*next].0.clone()),
-                State::StartIteration => {
-                    if !self.begin_iteration() {
-                        return None;
-                    }
-                    let xr = affine(&self.centroid, &self.worst().0, -ALPHA);
-                    self.state = State::Reflected { xr: xr.clone() };
-                    return Some(xr);
+        match &self.state {
+            State::Init { next } => Some(self.simplex[*next].0.clone()),
+            State::StartIteration => {
+                if !self.begin_iteration() {
+                    return None;
                 }
-                State::Reflected { xr } => return Some(xr.clone()),
-                State::Expanded { xe, .. } => return Some(xe.clone()),
-                State::Contracted { xc, .. } => return Some(xc.clone()),
-                State::Shrinking { point, .. } => return Some(point.clone()),
-                State::Done => return None,
+                let xr = affine(&self.centroid, &self.worst().0, -ALPHA);
+                self.state = State::Reflected { xr: xr.clone() };
+                Some(xr)
             }
+            State::Reflected { xr } => Some(xr.clone()),
+            State::Expanded { xe, .. } => Some(xe.clone()),
+            State::Contracted { xc, .. } => Some(xc.clone()),
+            State::Shrinking { point, .. } => Some(point.clone()),
+            State::Done => None,
         }
     }
 
@@ -216,6 +224,7 @@ impl SearchStrategy for NelderMead {
                     let xe = affine(&self.centroid, &xr, GAMMA);
                     self.state = State::Expanded { xr, fr, xe };
                 } else if fr < f_second_worst {
+                    step_event("reflect", fr);
                     self.replace_worst(xr, fr);
                 } else {
                     let (xc, outside) = if fr < f_worst {
@@ -229,8 +238,10 @@ impl SearchStrategy for NelderMead {
             State::Expanded { xr, fr, xe } => {
                 let fe = cost;
                 if fe < fr {
+                    step_event("expand", fe);
                     self.replace_worst(xe, fe);
                 } else {
+                    step_event("reflect", fr);
                     self.replace_worst(xr, fr);
                 }
             }
@@ -242,8 +253,10 @@ impl SearchStrategy for NelderMead {
                     fc < self.worst().1
                 };
                 if accept {
+                    step_event("contract", fc);
                     self.replace_worst(xc, fc);
                 } else {
+                    step_event("shrink", self.worst().1);
                     self.start_shrink();
                 }
             }
@@ -372,9 +385,9 @@ impl SearchStrategy for NelderMeadSearch {
                 .collect();
             let mut nm = NelderMead::new(vertices, self.tol, self.max_iterations);
             // Replay the known costs so the simplex starts fully evaluated.
-            for i in 0..self.dim + 1 {
+            for (_, cost) in sorted.iter().take(self.dim + 1) {
                 let _ = nm.ask();
-                nm.tell(sorted[i].1);
+                nm.tell(*cost);
             }
             self.nm = Some(nm);
         }

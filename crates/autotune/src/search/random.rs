@@ -4,11 +4,14 @@ use super::SearchStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Boxed point generator: draws one configuration from the search space.
+type Sampler = Box<dyn FnMut(&mut StdRng) -> Vec<f64> + Send>;
+
 /// Uniform random sampling of the space, forever (or until the caller
 /// stops asking). Useful as a control for the Nelder–Mead comparisons.
 pub struct RandomSearch {
     rng: StdRng,
-    sampler: Box<dyn FnMut(&mut StdRng) -> Vec<f64> + Send>,
+    sampler: Sampler,
     outstanding: Option<Vec<f64>>,
     best: Option<(Vec<f64>, f64)>,
     evaluations: usize,

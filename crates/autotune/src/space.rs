@@ -168,7 +168,11 @@ mod tests {
             assert_eq!(s.snap_values(c.values()), c, "{c} must be valid");
             seen.insert(c);
         }
-        assert!(seen.len() > 50, "expected diverse samples, got {}", seen.len());
+        assert!(
+            seen.len() > 50,
+            "expected diverse samples, got {}",
+            seen.len()
+        );
     }
 
     #[test]

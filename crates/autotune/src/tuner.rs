@@ -8,6 +8,7 @@ use crate::search::nelder_mead::NelderMeadSearch;
 use crate::search::random::RandomSearch;
 use crate::search::SearchStrategy;
 use crate::space::{Config, SearchSpace};
+use kdtune_telemetry as telemetry;
 use std::time::Instant;
 
 /// Which search drives the tuner.
@@ -40,9 +41,29 @@ pub enum TunerPhase {
     Converged,
 }
 
+impl TunerPhase {
+    /// Stable lowercase name, used in telemetry events and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TunerPhase::Seeding => "seeding",
+            TunerPhase::Searching => "searching",
+            TunerPhase::Converged => "converged",
+        }
+    }
+}
+
+impl std::fmt::Display for TunerPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One completed measurement cycle.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
+    /// Zero-based index of this measurement cycle; equals this entry's
+    /// position in [`Tuner::history`].
+    pub iteration: usize,
     /// The configuration that was active.
     pub config: Config,
     /// Its measured cost (seconds, unless fed via
@@ -149,6 +170,7 @@ impl TunerBuilder {
             converged_cost: None,
             recent: Vec::new(),
             retunes: 0,
+            last_phase: None,
             builder: self,
         }
     }
@@ -176,6 +198,9 @@ pub struct Tuner {
     /// Trailing costs measured while converged.
     recent: Vec<f64>,
     retunes: usize,
+    /// Phase as of the last completed cycle, for telemetry transition
+    /// events.
+    last_phase: Option<TunerPhase>,
     builder: TunerBuilder,
 }
 
@@ -293,11 +318,11 @@ impl Tuner {
                     space.params().iter().map(|p| p.count()).collect(),
                     seed,
                 )),
-                StrategyKind::Random { budget } => Box::new(RandomSearch::new(
-                    seed,
-                    budget,
-                    move |rng| space.random_point(rng),
-                )),
+                StrategyKind::Random { budget } => {
+                    Box::new(RandomSearch::new(seed, budget, move |rng| {
+                        space.random_point(rng)
+                    }))
+                }
             };
             self.search = Some(search);
         }
@@ -338,7 +363,18 @@ impl Tuner {
             .clone()
             .expect("finish_cycle without an active configuration");
         let phase = self.phase();
+        let iteration = self.history.len();
+        telemetry::event(
+            "tuner.measurement",
+            &[
+                ("iteration", iteration.into()),
+                ("cost", cost.into()),
+                ("phase", phase.as_str().into()),
+                ("config", config.to_string().into()),
+            ],
+        );
         self.history.push(Measurement {
+            iteration,
             config: config.clone(),
             cost,
             phase,
@@ -365,8 +401,40 @@ impl Tuner {
                 self.recent.remove(0);
             }
             if self.should_retune() {
+                if telemetry::enabled() {
+                    let reference = self.converged_cost.unwrap_or(f64::NAN);
+                    let mut sorted = self.recent.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let median = sorted[sorted.len() / 2];
+                    telemetry::event(
+                        "tuner.retune",
+                        &[
+                            ("iteration", iteration.into()),
+                            ("reference", reference.into()),
+                            ("median", median.into()),
+                            ("drift_ratio", (median / reference).into()),
+                        ],
+                    );
+                }
                 self.restart_search();
             }
+        }
+        // Phase transitions become visible after the cycle's bookkeeping
+        // (a converging tell() or a drift restart both move the phase).
+        let now = self.phase();
+        if self.last_phase != Some(now) {
+            telemetry::event(
+                "tuner.phase",
+                &[
+                    (
+                        "from",
+                        self.last_phase.map_or("start", |p| p.as_str()).into(),
+                    ),
+                    ("to", now.as_str().into()),
+                    ("iteration", iteration.into()),
+                ],
+            );
+            self.last_phase = Some(now);
         }
     }
 
@@ -424,7 +492,13 @@ impl Tuner {
         self.best.as_ref().map(|(c, f)| (c, *f))
     }
 
-    /// All completed measurements, in order.
+    /// All completed measurements, in completion order.
+    ///
+    /// The slice is append-only: entry `i` is the `i`-th cycle finished by
+    /// [`Tuner::stop`] / [`Tuner::stop_with`], and its
+    /// [`Measurement::iteration`] field always equals `i`. Re-tunes do not
+    /// clear or reorder earlier entries — history spans every search round
+    /// of the tuner's lifetime.
     pub fn history(&self) -> &[Measurement] {
         &self.history
     }
@@ -535,7 +609,11 @@ mod tests {
         for i in 0..400 {
             t.start_cycle();
             let n = t.current().unwrap().values()[0] as f64;
-            let cost = if !drifted { 1.0 + n / 32.0 } else { 2.0 + (32.0 - n) / 32.0 };
+            let cost = if !drifted {
+                1.0 + n / 32.0
+            } else {
+                2.0 + (32.0 - n) / 32.0
+            };
             t.stop_with(cost);
             if t.converged() && !drifted && i > 50 {
                 drifted = true; // flip the landscape once converged
@@ -551,6 +629,12 @@ mod tests {
         assert_eq!(t.iterations(), 25);
         assert_eq!(t.history().len(), 25);
         assert!(t.history().iter().all(|m| m.cost.is_finite()));
+        // The iteration field mirrors the entry's position in history.
+        assert!(t
+            .history()
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.iteration == i));
     }
 
     #[test]
@@ -592,20 +676,14 @@ mod tests {
                 t.stop_with(1.0 + (v - 33.0).abs() / 64.0);
             }
             let (best, _) = t.best().unwrap();
-            assert!(
-                (best.values()[0] - 33).abs() <= 16,
-                "{kind:?} found {best}"
-            );
+            assert!((best.values()[0] - 33).abs() <= 16, "{kind:?} found {best}");
             assert!(t.converged(), "{kind:?} should converge/exhaust");
         }
     }
 
     #[test]
     fn repeated_measurements_hold_the_config() {
-        let mut t = Tuner::builder()
-            .seed(5)
-            .measurements_per_config(3)
-            .build();
+        let mut t = Tuner::builder().seed(5).measurements_per_config(3).build();
         let n = t.register_parameter("N", 1, 32, 1);
         let _ = n;
         let mut seen: Vec<Config> = Vec::new();
@@ -626,10 +704,7 @@ mod tests {
     fn noisy_measurements_with_filtering_still_converge() {
         // A deterministic "noise" pattern large enough to mislead a single
         // measurement but filtered out by median-of-3.
-        let mut t = Tuner::builder()
-            .seed(6)
-            .measurements_per_config(3)
-            .build();
+        let mut t = Tuner::builder().seed(6).measurements_per_config(3).build();
         let n = t.register_parameter("N", 1, 64, 1);
         let mut k = 0u64;
         for _ in 0..450 {
@@ -637,7 +712,7 @@ mod tests {
             let v = t.get(n) as f64;
             let true_cost = 1.0 + (v - 40.0).abs() / 64.0;
             k += 1;
-            let noise = if k % 3 == 0 { 0.8 } else { 0.0 }; // one outlier per triple
+            let noise = if k.is_multiple_of(3) { 0.8 } else { 0.0 }; // one outlier per triple
             t.stop_with(true_cost + noise);
         }
         let (best, _) = t.best().unwrap();

@@ -1,0 +1,150 @@
+//! End-to-end check of the tuner's telemetry stream: drive a tuner
+//! through seeding → searching → converged, inject a cost drift, and
+//! assert the recorded events arrive in lifecycle order.
+//!
+//! Keep this file to a single test: it installs the process-global
+//! telemetry recorder, so a sibling test in the same binary would bleed
+//! events into the ring buffer.
+
+use kdtune_autotune::Tuner;
+use kdtune_telemetry::sinks::RingBufferRecorder;
+use kdtune_telemetry::{self as telemetry, Record, RecordKind, Value};
+use std::sync::Arc;
+
+fn field<'a>(rec: &'a Record, key: &str) -> Option<&'a Value> {
+    rec.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+fn str_field(rec: &Record, key: &str) -> String {
+    match field(rec, key) {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("field {key} missing or not a string: {other:?}"),
+    }
+}
+
+fn u64_field(rec: &Record, key: &str) -> u64 {
+    match field(rec, key) {
+        Some(Value::U64(v)) => *v,
+        other => panic!("field {key} missing or not u64: {other:?}"),
+    }
+}
+
+#[test]
+fn drift_produces_ordered_phase_and_retune_events() {
+    let ring = Arc::new(RingBufferRecorder::new(65_536));
+    telemetry::set_recorder(ring.clone());
+
+    let mut t = Tuner::builder()
+        .seed(3)
+        .retune_threshold(1.2)
+        .retune_window(4)
+        .build();
+    let _n = t.register_parameter("N", 1, 32, 1);
+
+    // Cost favors small N until the tuner converges, then the landscape
+    // flips so the converged configuration degrades and drift detection
+    // must fire.
+    let mut drifted = false;
+    for i in 0..400 {
+        t.start_cycle();
+        let n = t.current().unwrap().values()[0] as f64;
+        let cost = if !drifted {
+            1.0 + n / 32.0
+        } else {
+            2.0 + (32.0 - n) / 32.0
+        };
+        t.stop_with(cost);
+        if t.converged() && !drifted && i > 50 {
+            drifted = true;
+        }
+    }
+    telemetry::clear_recorder();
+    assert!(t.retunes() >= 1, "drift must restart the search");
+
+    let records = ring.snapshot();
+    assert_eq!(ring.dropped(), 0, "ring must hold the whole run");
+
+    // Phase transitions, in arrival order.
+    let phases: Vec<(String, String)> = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::Event && r.name == "tuner.phase")
+        .map(|r| (str_field(r, "from"), str_field(r, "to")))
+        .collect();
+    assert!(
+        phases.len() >= 4,
+        "expected seed→search→converged→(retune)→seeding at least: {phases:?}"
+    );
+    assert_eq!(phases[0], ("start".into(), "seeding".into()));
+    assert_eq!(phases[1], ("seeding".into(), "searching".into()));
+    assert_eq!(phases[2], ("searching".into(), "converged".into()));
+    // After the drift-triggered restart the tuner is seeding again.
+    assert_eq!(
+        phases[3],
+        ("converged".into(), "seeding".into()),
+        "retune must drop back to seeding: {phases:?}"
+    );
+    // Every transition chains: from == previous to.
+    for w in phases.windows(2) {
+        assert_eq!(w[0].1, w[1].0, "broken phase chain: {phases:?}");
+    }
+
+    // The retune event sits between converging and re-seeding, and its
+    // drift ratio exceeds the configured threshold.
+    let idx_of = |name: &str, nth: usize| {
+        records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.name == name)
+            .map(|(i, _)| i)
+            .nth(nth)
+            .unwrap_or_else(|| panic!("missing {name} #{nth}"))
+    };
+    let converged_at = records
+        .iter()
+        .position(|r| r.name == "tuner.phase" && str_field(r, "to") == "converged")
+        .expect("no converged transition");
+    let retune_at = idx_of("tuner.retune", 0);
+    let reseed_at = records
+        .iter()
+        .position(|r| r.name == "tuner.phase" && str_field(r, "from") == "converged")
+        .expect("no post-retune transition");
+    assert!(
+        converged_at < retune_at && retune_at <= reseed_at + 1,
+        "retune event out of order: converged@{converged_at} retune@{retune_at} reseed@{reseed_at}"
+    );
+    let retune = &records[retune_at];
+    let ratio = match field(retune, "drift_ratio") {
+        Some(Value::F64(v)) => *v,
+        other => panic!("drift_ratio missing: {other:?}"),
+    };
+    assert!(ratio > 1.2, "drift ratio {ratio} must exceed threshold");
+
+    // Measurement events carry strictly increasing iteration indices that
+    // match the tuner's own history.
+    let iters: Vec<u64> = records
+        .iter()
+        .filter(|r| r.name == "tuner.measurement")
+        .map(|r| u64_field(r, "iteration"))
+        .collect();
+    assert_eq!(iters.len(), t.history().len());
+    assert!(
+        iters.windows(2).all(|w| w[1] == w[0] + 1),
+        "gaps in iterations"
+    );
+
+    // Simplex step events only use the four canonical move names.
+    let mut step_kinds: Vec<String> = records
+        .iter()
+        .filter(|r| r.name == "tuner.step")
+        .map(|r| str_field(r, "step"))
+        .collect();
+    assert!(!step_kinds.is_empty(), "searching must emit simplex steps");
+    step_kinds.sort();
+    step_kinds.dedup();
+    for k in &step_kinds {
+        assert!(
+            ["reflect", "expand", "contract", "shrink"].contains(&k.as_str()),
+            "unknown step kind {k}"
+        );
+    }
+}

@@ -52,12 +52,16 @@ fn bench_r_sweep(c: &mut Criterion) {
             r,
             ..BuildParams::default()
         };
-        group.bench_with_input(BenchmarkId::new("lazy_build_plus_render", r), &params, |b, p| {
-            b.iter(|| {
-                let tree = build(mesh.clone(), Algorithm::Lazy, p);
-                black_box(render(&tree, &cam, v.light))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lazy_build_plus_render", r),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let tree = build(mesh.clone(), Algorithm::Lazy, p);
+                    black_box(render(&tree, &cam, v.light))
+                })
+            },
+        );
     }
     group.finish();
 }

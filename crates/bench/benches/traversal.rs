@@ -69,8 +69,8 @@ fn bench_traversal(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0u32;
             for ray in &bundle {
-                hits += brute_force_intersect(&mesh, black_box(ray), 0.0, f32::INFINITY)
-                    .is_some() as u32;
+                hits += brute_force_intersect(&mesh, black_box(ray), 0.0, f32::INFINITY).is_some()
+                    as u32;
             }
             black_box(hits)
         })

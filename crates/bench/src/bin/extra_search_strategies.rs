@@ -45,12 +45,22 @@ fn main() {
     let space = tuning_space(ALGO);
     let counts: Vec<usize> = space.params().iter().map(|p| p.count()).collect();
 
-    let mut csv = CsvTable::new(["strategy", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms"]);
+    let mut csv = CsvTable::new([
+        "strategy",
+        "min_ms",
+        "q1_ms",
+        "median_ms",
+        "q3_ms",
+        "max_ms",
+    ]);
     println!(
         "Search strategies on Sibenik / in-place, {} evaluations each, {} repeats",
         budget, opts.repeats
     );
-    println!("{:<14} {:>40}", "strategy", "best found, ms (min/q1/med/q3/max)");
+    println!(
+        "{:<14} {:>40}",
+        "strategy", "best found, ms (min/q1/med/q3/max)"
+    );
 
     type Factory<'a> = (&'a str, Box<dyn Fn(u64) -> Box<dyn SearchStrategy>>);
     let space_for_nm = space.clone();

@@ -31,14 +31,17 @@ fn main() {
         "speedup",
         "converged_runs",
     ]);
-    println!("Fig. 5 — absolute execution time per frame (median over {} repeats)", opts.repeats);
+    println!(
+        "Fig. 5 — absolute execution time per frame (median over {} repeats)",
+        opts.repeats
+    );
     println!(
         "{:<14} {:<12} {:>10} {:>10} {:>8}",
         "scene", "algorithm", "base ms", "tuned ms", "speedup"
     );
     for name in scene_filter {
-        let scene = by_name(name, &opts.scene_params)
-            .unwrap_or_else(|| panic!("unknown scene {name:?}"));
+        let scene =
+            by_name(name, &opts.scene_params).unwrap_or_else(|| panic!("unknown scene {name:?}"));
         for algo in Algorithm::ALL {
             let outcomes = tune_scene_repeated(&scene, algo, &opts);
             let base = median(&outcomes.iter().map(|o| o.base_median).collect::<Vec<_>>());
@@ -63,5 +66,6 @@ fn main() {
             ]);
         }
     }
-    csv.save_into(args.out.as_deref(), "fig5").expect("csv write");
+    csv.save_into(args.out.as_deref(), "fig5")
+        .expect("csv write");
 }

@@ -14,8 +14,9 @@ fn main() {
     let args = ExperimentArgs::from_env();
     let opts = ExperimentOpts::from_args(&args);
     let scenes = match &args.scene {
-        Some(s) => vec![by_name(s, &opts.scene_params)
-            .unwrap_or_else(|| panic!("unknown scene {s:?}"))],
+        Some(s) => {
+            vec![by_name(s, &opts.scene_params).unwrap_or_else(|| panic!("unknown scene {s:?}"))]
+        }
         None => all_scenes(&opts.scene_params),
     };
 
@@ -63,5 +64,6 @@ fn main() {
     if let Some((s, label)) = worst {
         println!("lowest speedup:  {s:.2}x ({label})  [paper: 0.99x, in-place on Bunny]");
     }
-    csv.save_into(args.out.as_deref(), "fig6").expect("csv write");
+    csv.save_into(args.out.as_deref(), "fig6")
+        .expect("csv write");
 }

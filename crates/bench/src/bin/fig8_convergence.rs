@@ -40,11 +40,7 @@ fn main() {
         // Print a compact sparkline-style summary every few iterations.
         let stride = (max_len / 20).max(1);
         for (i, &s) in series.iter().enumerate() {
-            csv.push([
-                scene.name.to_string(),
-                i.to_string(),
-                format!("{s:.4}"),
-            ]);
+            csv.push([scene.name.to_string(), i.to_string(), format!("{s:.4}")]);
             if i % stride == 0 || i + 1 == series.len() {
                 let bar_len = ((s / 2.0).clamp(0.0, 1.0) * 40.0) as usize;
                 println!("  iter {:>4}: {:>6.2}x |{}", i, s, "*".repeat(bar_len));
@@ -63,5 +59,6 @@ fn main() {
             );
         }
     }
-    csv.save_into(args.out.as_deref(), "fig8").expect("csv write");
+    csv.save_into(args.out.as_deref(), "fig8")
+        .expect("csv write");
 }

@@ -77,13 +77,7 @@ fn main() {
             Algorithm::Lazy => vec![ci, cb, s, r],
             _ => vec![ci, cb, s],
         };
-        let default_cost = measure_config(
-            &scene,
-            algo,
-            &default_values,
-            &opts,
-            opts.steady_window,
-        );
+        let default_cost = measure_config(&scene, algo, &default_values, &opts, opts.steady_window);
 
         println!(
             "{:<12} {:>34} {:>9.2}ms {:>9.2}ms",
@@ -109,5 +103,6 @@ fn main() {
             format!("{:.4}", default_cost * 1e3),
         ]);
     }
-    csv.save_into(args.out.as_deref(), "fig9").expect("csv write");
+    csv.save_into(args.out.as_deref(), "fig9")
+        .expect("csv write");
 }

@@ -23,12 +23,17 @@ fn main() {
     for algo in Algorithm::ALL {
         let space = tuning_space(algo);
         let names: Vec<&str> = space.params().iter().map(|p| p.name.as_str()).collect();
-        println!("{:>10}: tunes {:?} ({} configurations)", algo.name(), names, space.size());
+        println!(
+            "{:>10}: tunes {:?} ({} configurations)",
+            algo.name(),
+            names,
+            space.size()
+        );
     }
     println!();
 
     println!("Table II: tuning parameter ranges");
-    println!("{:<6} {:<24} {}", "param", "range", "scale");
+    println!("{:<6} {:<24} scale", "param", "range");
     let space = tuning_space(Algorithm::Lazy); // superset of all algorithms
     for p in space.params() {
         let scale = match p.scale {

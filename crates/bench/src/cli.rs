@@ -14,6 +14,9 @@ pub struct ExperimentArgs {
     pub scene: Option<String>,
     /// Override repetition count (`--repeats N`).
     pub repeats: Option<usize>,
+    /// Write a JSONL telemetry trace of the run (`--trace FILE`, or the
+    /// `KDTUNE_TRACE` environment variable).
+    pub trace: Option<PathBuf>,
     /// Extra flags the specific binary interprets (e.g. `--platforms`).
     pub flags: Vec<String>,
 }
@@ -25,6 +28,7 @@ impl Default for ExperimentArgs {
             out: None,
             scene: None,
             repeats: None,
+            trace: None,
             flags: Vec::new(),
         }
     }
@@ -51,13 +55,15 @@ impl ExperimentArgs {
                 }
                 "--repeats" => {
                     let n = it.next().ok_or("--repeats needs a number")?;
-                    out.repeats =
-                        Some(n.parse().map_err(|e| format!("bad --repeats {n}: {e}"))?);
+                    out.repeats = Some(n.parse().map_err(|e| format!("bad --repeats {n}: {e}"))?);
+                }
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
                 }
                 "--help" | "-h" => {
                     return Err(
                         "options: --quick (default) | --full | --out DIR | --scene NAME | \
-                         --repeats N | binary-specific flags (e.g. --platforms)"
+                         --repeats N | --trace FILE | binary-specific flags (e.g. --platforms)"
                             .to_string(),
                     )
                 }
@@ -69,13 +75,34 @@ impl ExperimentArgs {
     }
 
     /// Parses `std::env::args()` and exits with a usage message on error.
+    /// Installs the JSONL trace recorder when `--trace` / `KDTUNE_TRACE`
+    /// asks for one, so every figure binary traces for free.
     pub fn from_env() -> ExperimentArgs {
-        match ExperimentArgs::parse(std::env::args().skip(1)) {
+        let args = match ExperimentArgs::parse(std::env::args().skip(1)) {
             Ok(a) => a,
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
+        };
+        args.init_tracing();
+        args
+    }
+
+    /// Installs a process-global [`kdtune_telemetry::sinks::JsonlRecorder`]
+    /// writing to `--trace FILE`, falling back to the `KDTUNE_TRACE`
+    /// environment variable. No-op when neither is set.
+    pub fn init_tracing(&self) {
+        let path = self
+            .trace
+            .clone()
+            .or_else(|| std::env::var_os("KDTUNE_TRACE").map(PathBuf::from));
+        let Some(path) = path else { return };
+        match kdtune_telemetry::sinks::JsonlRecorder::create(&path) {
+            Ok(rec) => {
+                kdtune_telemetry::set_recorder(std::sync::Arc::new(rec));
+            }
+            Err(e) => eprintln!("warning: cannot open trace file {}: {e}", path.display()),
         }
     }
 
@@ -102,8 +129,16 @@ mod tests {
 
     #[test]
     fn full_and_options() {
-        let a = parse(&["--full", "--out", "/tmp/x", "--scene", "sibenik", "--repeats", "5"])
-            .unwrap();
+        let a = parse(&[
+            "--full",
+            "--out",
+            "/tmp/x",
+            "--scene",
+            "sibenik",
+            "--repeats",
+            "5",
+        ])
+        .unwrap();
         assert!(!a.quick);
         assert_eq!(a.out.unwrap(), PathBuf::from("/tmp/x"));
         assert_eq!(a.scene.as_deref(), Some("sibenik"));

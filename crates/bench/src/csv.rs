@@ -50,25 +50,6 @@ impl CsvTable {
         self.rows.is_empty()
     }
 
-    /// Serializes to CSV text.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        let line = |fields: &[String]| {
-            fields
-                .iter()
-                .map(|f| escape(f))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        out.push_str(&line(&self.header));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&line(row));
-            out.push('\n');
-        }
-        out
-    }
-
     /// Writes `name.csv` into `dir` (creating it), if `dir` is given.
     pub fn save_into(&self, dir: Option<&Path>, name: &str) -> io::Result<()> {
         let Some(dir) = dir else { return Ok(()) };
@@ -76,6 +57,24 @@ impl CsvTable {
         let path = dir.join(format!("{name}.csv"));
         fs::write(&path, self.to_string())?;
         eprintln!("wrote {}", path.display());
+        Ok(())
+    }
+}
+
+/// Serializes to CSV text.
+impl std::fmt::Display for CsvTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let line = |fields: &[String]| {
+            fields
+                .iter()
+                .map(|f| escape(f))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(f, "{}", line(&self.header))?;
+        for row in &self.rows {
+            writeln!(f, "{}", line(row))?;
+        }
         Ok(())
     }
 }
@@ -90,10 +89,7 @@ mod tests {
         t.push(["1", "2"]);
         t.push(["x,y", "he said \"hi\""]);
         let s = t.to_string();
-        assert_eq!(
-            s,
-            "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n"
-        );
+        assert_eq!(s, "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n");
         assert_eq!(t.len(), 2);
     }
 

@@ -3,6 +3,7 @@
 use crate::cli::ExperimentArgs;
 use crate::stats::median;
 use kdtune::{Algorithm, Config, Scene, SceneParams, TunedPipeline};
+use kdtune_telemetry as telemetry;
 
 /// Sizing of an experiment run.
 #[derive(Clone, Copy, Debug)]
@@ -117,7 +118,7 @@ pub fn tune_scene(
     let tuner = pipeline.workflow().tuner();
     let tuned_median = median(&tuned);
     let base_median = median(&base);
-    TuneOutcome {
+    let outcome = TuneOutcome {
         scene: scene.name,
         algorithm,
         base_median,
@@ -130,7 +131,23 @@ pub fn tune_scene(
         converged,
         iterations: tuner.iterations(),
         history: tuner.history().iter().map(|m| m.cost).collect(),
-    }
+    };
+    telemetry::event(
+        "bench.trial",
+        &[
+            ("scene", outcome.scene.into()),
+            ("algorithm", algorithm.name().into()),
+            ("seed", seed.into()),
+            ("converged", outcome.converged.into()),
+            ("iterations", outcome.iterations.into()),
+            ("base_median_secs", outcome.base_median.into()),
+            ("tuned_median_secs", outcome.tuned_median.into()),
+            ("speedup", outcome.speedup.into()),
+            ("tuned_config", outcome.tuned_config.to_string().into()),
+        ],
+    );
+    telemetry::flush();
+    outcome
 }
 
 /// Repeats [`tune_scene`] `opts.repeats` times with distinct seeds.
@@ -183,10 +200,7 @@ pub fn measure_config(
 
 /// Normalized (0–100) per-parameter values of a set of tuned configs —
 /// the data behind the Fig. 7 boxplots.
-pub fn normalized_percent(
-    algorithm: Algorithm,
-    configs: &[Config],
-) -> Vec<(String, Vec<f64>)> {
+pub fn normalized_percent(algorithm: Algorithm, configs: &[Config]) -> Vec<(String, Vec<f64>)> {
     let space = kdtune::tuning_space(algorithm);
     space
         .params()

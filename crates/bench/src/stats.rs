@@ -75,13 +75,7 @@ pub fn ascii_box(f: &FiveNum, lo: f64, hi: f64, width: usize) -> String {
         (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
     };
     let mut row = vec![b' '; width];
-    let (a, b, m, c, d) = (
-        col(f.min),
-        col(f.q1),
-        col(f.median),
-        col(f.q3),
-        col(f.max),
-    );
+    let (a, b, m, c, d) = (col(f.min), col(f.q1), col(f.median), col(f.q3), col(f.max));
     for cell in row.iter_mut().take(b).skip(a) {
         *cell = b'-';
     }

@@ -145,7 +145,13 @@ impl Bvh {
 impl Builder<'_> {
     /// Builds the subtree over `prims[start..start+count]`; returns its
     /// node index.
-    fn recurse(&self, nodes: &mut Vec<BvhNode>, prims: &mut [u32], start: usize, count: usize) -> u32 {
+    fn recurse(
+        &self,
+        nodes: &mut Vec<BvhNode>,
+        prims: &mut [u32],
+        start: usize,
+        count: usize,
+    ) -> u32 {
         let my = nodes.len() as u32;
         let slice = &prims[start..start + count];
         let node_bounds = slice
@@ -181,16 +187,21 @@ impl Builder<'_> {
 
     /// Binned SAH over centroids: returns the best `(axis, position)`, or
     /// `None` when no split beats the leaf cost.
-    fn best_split(&self, slice: &[u32], node_bounds: &Aabb) -> Option<(kdtune_geometry::Axis, f32)> {
-        let centroid_bounds = slice
-            .iter()
-            .fold(Aabb::EMPTY, |acc, &p| acc.union_point(self.centroids[p as usize]));
+    fn best_split(
+        &self,
+        slice: &[u32],
+        node_bounds: &Aabb,
+    ) -> Option<(kdtune_geometry::Axis, f32)> {
+        let centroid_bounds = slice.iter().fold(Aabb::EMPTY, |acc, &p| {
+            acc.union_point(self.centroids[p as usize])
+        });
         let bins = self.params.bins.max(2);
         let mut best: Option<(kdtune_geometry::Axis, f32, f32)> = None;
         for axis in kdtune_geometry::Axis::ALL {
             let lo = centroid_bounds.min[axis];
             let hi = centroid_bounds.max[axis];
-            if !(hi > lo) {
+            // Flat (or NaN-bounded) axes cannot separate any centroids.
+            if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
                 continue;
             }
             let width = hi - lo;
@@ -222,7 +233,8 @@ impl Builder<'_> {
                 }
                 let area = node_bounds.surface_area().max(1e-12);
                 let cost = self.params.traversal_cost
-                    + (lb.surface_area() * lc as f32 + right_box.surface_area() * right_count as f32)
+                    + (lb.surface_area() * lc as f32
+                        + right_box.surface_area() * right_count as f32)
                         / area;
                 if best.is_none_or(|(_, _, c)| cost < c) {
                     let pos = lo + width * b as f32 / bins as f32;
@@ -384,7 +396,12 @@ mod tests {
         let mesh = soup(200, 2);
         let bvh = Bvh::build(mesh, &BvhParams::default());
         for node in &bvh.nodes {
-            if let BvhNode::Inner { bounds, left, right } = node {
+            if let BvhNode::Inner {
+                bounds,
+                left,
+                right,
+            } = node
+            {
                 assert!(bounds.contains(&bvh.nodes[*left as usize].bounds()));
                 assert!(bounds.contains(&bvh.nodes[*right as usize].bounds()));
             }
@@ -457,8 +474,20 @@ mod tests {
     #[test]
     fn leaf_size_parameter_shapes_the_tree() {
         let mesh = soup(256, 5);
-        let fine = Bvh::build(mesh.clone(), &BvhParams { max_leaf: 1, ..BvhParams::default() });
-        let coarse = Bvh::build(mesh, &BvhParams { max_leaf: 64, ..BvhParams::default() });
+        let fine = Bvh::build(
+            mesh.clone(),
+            &BvhParams {
+                max_leaf: 1,
+                ..BvhParams::default()
+            },
+        );
+        let coarse = Bvh::build(
+            mesh,
+            &BvhParams {
+                max_leaf: 64,
+                ..BvhParams::default()
+            },
+        );
         assert!(fine.node_count() > coarse.node_count());
     }
 }

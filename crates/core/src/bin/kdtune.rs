@@ -4,7 +4,8 @@
 //! kdtune scenes
 //! kdtune render <scene> [--algo A] [--res N] [--frame F] [--out img.ppm]
 //! kdtune stats  <scene> [--algo A] [--scale quick|tiny|paper]
-//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S]
+//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--trace t.jsonl]
+//! kdtune report <trace.jsonl>
 //! kdtune select <scene> [--frames N] [--res N]
 //! kdtune export <scene> <file.obj> [--frame F]
 //! kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
@@ -12,12 +13,15 @@
 
 use kdtune::raycast::{render, Camera};
 use kdtune::scenes::{by_name, SCENE_NAMES};
+use kdtune::telemetry::sinks::{JsonlRecorder, StderrRecorder};
+use kdtune::telemetry::{self, json, Histogram};
 use kdtune::{
-    build, select_algorithm, Algorithm, BuildParams, Scene, SceneParams, SelectorOpts,
-    TreeStats, TunedPipeline,
+    build, select_algorithm, Algorithm, BuildParams, Scene, SceneParams, SelectorOpts, TreeStats,
+    TunedPipeline,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 kdtune — online-autotuned parallel SAH kD-trees
@@ -26,7 +30,8 @@ USAGE:
   kdtune scenes
   kdtune render <scene> [--algo A] [--res N] [--frame F] [--out img.ppm]
   kdtune stats  <scene> [--algo A]
-  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S]
+  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--trace t.jsonl]
+  kdtune report <trace.jsonl>
   kdtune select <scene> [--frames N] [--res N]
   kdtune export <scene> <file.obj> [--frame F]
   kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
@@ -34,6 +39,7 @@ USAGE:
 COMMON OPTIONS:
   --scale quick|tiny|paper   scene size (default quick)
   --algo  node_level|nested|in_place|lazy (default in_place)
+  --trace FILE               record a JSONL telemetry trace (tune)
 
 SCENES: bunny sponza sibenik toasters wood_doll fairy_forest";
 
@@ -48,9 +54,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             options.insert(key.to_string(), value.clone());
         } else {
             positional.push(a.clone());
@@ -73,10 +77,7 @@ impl Args {
     }
 
     fn scene(&self, index: usize) -> Result<Scene, String> {
-        let name = self
-            .positional
-            .get(index)
-            .ok_or("missing scene name")?;
+        let name = self.positional.get(index).ok_or("missing scene name")?;
         by_name(name, &self.scene_params()?)
             .ok_or_else(|| format!("unknown scene {name:?} (try `kdtune scenes`)"))
     }
@@ -116,7 +117,11 @@ fn cmd_scenes(args: &Args) -> Result<(), String> {
             scene.name,
             scene.frame(0).len(),
             scene.frame_count(),
-            if scene.is_dynamic() { "dynamic" } else { "static" },
+            if scene.is_dynamic() {
+                "dynamic"
+            } else {
+                "static"
+            },
         );
     }
     Ok(())
@@ -141,11 +146,7 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         scene.name, stats.primary_hits, stats.primary_rays
     );
     let default_name = format!("{}_{frame}.ppm", scene.name);
-    let out = args
-        .options
-        .get("out")
-        .cloned()
-        .unwrap_or(default_name);
+    let out = args.options.get("out").cloned().unwrap_or(default_name);
     image.save_ppm(&out).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     Ok(())
@@ -155,28 +156,51 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let scene = args.scene(1)?;
     let algo = args.algo()?;
     let mesh = scene.frame(0);
-    println!("{}: {} triangles", scene.name, mesh.len());
+    // Route everything through the pretty stderr telemetry sink: the build
+    // span and task counters come out alongside the tree statistics, in
+    // the same format a traced run would produce.
+    telemetry::set_recorder(Arc::new(StderrRecorder));
+    telemetry::event(
+        "scene",
+        &[
+            ("name", scene.name.into()),
+            ("triangles", mesh.len().into()),
+            ("algorithm", algo.name().into()),
+        ],
+    );
     let tree = build(mesh, algo, &BuildParams::default());
     match tree.as_eager() {
         Some(t) => {
             let s = TreeStats::compute(t);
-            println!("algorithm        : {algo}");
-            println!("nodes            : {}", s.node_count);
-            println!("leaves           : {} ({} empty)", s.leaf_count, s.empty_leaf_count);
-            println!("max depth        : {}", s.max_depth);
-            println!("prim references  : {}", s.prim_references);
-            println!("duplication      : {:.3}x", s.duplication_factor);
-            println!("avg leaf prims   : {:.2}", s.avg_leaf_prims);
-            println!("SAH cost         : {:.1}", s.sah_cost);
+            telemetry::event(
+                "tree.stats",
+                &[
+                    ("nodes", s.node_count.into()),
+                    ("leaves", s.leaf_count.into()),
+                    ("empty_leaves", s.empty_leaf_count.into()),
+                    ("max_depth", s.max_depth.into()),
+                    ("prim_references", s.prim_references.into()),
+                    ("duplication", s.duplication_factor.into()),
+                    ("avg_leaf_prims", s.avg_leaf_prims.into()),
+                    ("sah_cost", s.sah_cost.into()),
+                ],
+            );
         }
         None => {
             let t = tree.as_lazy().expect("lazy");
-            println!("algorithm        : {algo} (lazy; stats for the eager top part)");
-            println!("nodes            : {}", t.node_count());
-            println!("deferred nodes   : {}", t.deferred_count());
-            println!("deferred prims   : {}", t.deferred_prim_references());
+            telemetry::event(
+                "tree.stats",
+                &[
+                    ("note", "lazy; stats for the eager top part".into()),
+                    ("nodes", t.node_count().into()),
+                    ("deferred_nodes", t.deferred_count().into()),
+                    ("deferred_prims", t.deferred_prim_references().into()),
+                ],
+            );
         }
     }
+    telemetry::flush();
+    telemetry::clear_recorder();
     Ok(())
 }
 
@@ -186,6 +210,11 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let frames = args.num("frames", 80)?;
     let res = args.num("res", 128)? as u32;
     let seed = args.num("seed", 2016)? as u64;
+    if let Some(path) = args.options.get("trace") {
+        let rec = JsonlRecorder::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open trace file {path}: {e}"))?;
+        telemetry::set_recorder(Arc::new(rec));
+    }
     let mut pipeline = TunedPipeline::new(scene, algo)
         .resolution(res, res)
         .tuner_seed(seed);
@@ -210,6 +239,118 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         tuner.converged(),
         tuner.retunes()
     );
+    telemetry::flush();
+    telemetry::clear_recorder();
+    if let Some(path) = args.options.get("trace") {
+        println!("trace written to {path} (inspect with `kdtune report {path}`)");
+    }
+    Ok(())
+}
+
+/// Summarizes a JSONL telemetry trace: tuner convergence timeline plus
+/// build/render/total latency percentiles over the recorded frames.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut total_records = 0u64;
+    let mut skipped = 0u64;
+    let mut frames = 0u64;
+    let mut build_h = Histogram::new();
+    let mut render_h = Histogram::new();
+    let mut total_h = Histogram::new();
+    // (t_us, line) pairs for the timeline, already in file order.
+    let mut timeline: Vec<String> = Vec::new();
+
+    let fget = |v: &json::JsonValue, key: &str| v.get("fields").and_then(|f| f.get(key).cloned());
+    let fstr =
+        |v: &json::JsonValue, key: &str| fget(v, key).and_then(|x| x.as_str().map(str::to_owned));
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Some((_, name, v)) = json::parse_record_line(line) else {
+            skipped += 1;
+            continue;
+        };
+        total_records += 1;
+        match name.as_str() {
+            "workflow.frame" => {
+                frames += 1;
+                for (h, key) in [
+                    (&mut build_h, "build_secs"),
+                    (&mut render_h, "render_secs"),
+                    (&mut total_h, "total_secs"),
+                ] {
+                    if let Some(secs) = fget(&v, key).and_then(|x| x.as_f64()) {
+                        h.record_secs(secs);
+                    }
+                }
+            }
+            "tuner.phase" => {
+                let (from, to) = (
+                    fstr(&v, "from").unwrap_or_default(),
+                    fstr(&v, "to").unwrap_or_default(),
+                );
+                let iter = fget(&v, "iteration").and_then(|x| x.as_u64()).unwrap_or(0);
+                timeline.push(format!("iteration {iter:>4}  {from} -> {to}"));
+            }
+            "tuner.retune" => {
+                let iter = fget(&v, "iteration").and_then(|x| x.as_u64()).unwrap_or(0);
+                let ratio = fget(&v, "drift_ratio")
+                    .and_then(|x| x.as_f64())
+                    .unwrap_or(f64::NAN);
+                timeline.push(format!(
+                    "iteration {iter:>4}  RETUNE (drift ratio {ratio:.2})"
+                ));
+            }
+            "bench.trial" => {
+                let scene = fstr(&v, "scene").unwrap_or_default();
+                let algo = fstr(&v, "algorithm").unwrap_or_default();
+                let speedup = fget(&v, "speedup")
+                    .and_then(|x| x.as_f64())
+                    .unwrap_or(f64::NAN);
+                timeline.push(format!("trial {scene}/{algo}  speedup {speedup:.2}x"));
+            }
+            _ => {}
+        }
+    }
+    if total_records == 0 {
+        return Err(format!("{path}: no telemetry records found"));
+    }
+
+    println!("{path}: {total_records} records, {frames} frames");
+    if skipped > 0 {
+        println!("({skipped} malformed lines skipped)");
+    }
+    if timeline.is_empty() {
+        println!("\nno tuner lifecycle events in this trace");
+    } else {
+        println!("\nconvergence timeline:");
+        for entry in &timeline {
+            println!("  {entry}");
+        }
+    }
+    if frames > 0 {
+        println!("\nper-frame latency:");
+        println!(
+            "  {:<8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "mean", "p50", "p90", "p99"
+        );
+        for (label, h) in [
+            ("build", &build_h),
+            ("render", &render_h),
+            ("total", &total_h),
+        ] {
+            let s = h.summary();
+            println!(
+                "  {:<8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                label,
+                s.count,
+                kdtune::telemetry::Summary::fmt_us(s.mean_us.round() as u64),
+                kdtune::telemetry::Summary::fmt_us(s.p50_us),
+                kdtune::telemetry::Summary::fmt_us(s.p90_us),
+                kdtune::telemetry::Summary::fmt_us(s.p99_us),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -223,7 +364,11 @@ fn cmd_select(args: &Args) -> Result<(), String> {
     };
     let report = select_algorithm(&scene, &opts);
     for c in &report.candidates {
-        let marker = if c.algorithm == report.winner { "  <== winner" } else { "" };
+        let marker = if c.algorithm == report.winner {
+            "  <== winner"
+        } else {
+            ""
+        };
         println!(
             "{:<11} {:>8.2} ms  {}{}",
             c.algorithm.name(),
@@ -281,6 +426,7 @@ fn main() -> ExitCode {
         Some("render") => cmd_render(&args),
         Some("stats") => cmd_stats(&args),
         Some("tune") => cmd_tune(&args),
+        Some("report") => cmd_report(&args),
         Some("select") => cmd_select(&args),
         Some("export") => cmd_export(&args),
         Some("cache") => cmd_cache(&args),

@@ -44,10 +44,7 @@ mod tests {
 
     #[test]
     fn base_config_matches_paper() {
-        assert_eq!(
-            base_config(Algorithm::Lazy).values(),
-            &[17, 10, 3, 4096]
-        );
+        assert_eq!(base_config(Algorithm::Lazy).values(), &[17, 10, 3, 4096]);
         assert_eq!(base_config(Algorithm::InPlace).values(), &[17, 10, 3]);
         let p = base_build_params();
         assert_eq!(p.sah.ci, 17.0);

@@ -15,8 +15,8 @@
 //! (deep, low-duplication trees render fast but build slower), not a
 //! calibrated simulator. Anything that needs real numbers uses wall time.
 
-use kdtune_kdtree::{build, Algorithm, BuildParams, TreeStats};
 use kdtune_geometry::TriangleMesh;
+use kdtune_kdtree::{build, Algorithm, BuildParams, TreeStats};
 use std::sync::Arc;
 
 /// Weights of the two cost terms.
@@ -55,8 +55,9 @@ impl StructuralCostModel {
         match tree.as_eager() {
             Some(t) => {
                 let stats = TreeStats::compute(t);
-                let build_work =
-                    stats.prim_references as f64 * n.log2().max(1.0) * (stats.max_depth.max(1) as f64).sqrt();
+                let build_work = stats.prim_references as f64
+                    * n.log2().max(1.0)
+                    * (stats.max_depth.max(1) as f64).sqrt();
                 self.w_build * build_work + self.w_rays * self.rays as f64 * stats.sah_cost as f64
             }
             None => {
@@ -97,8 +98,16 @@ mod tests {
     fn parameters_move_the_cost() {
         let m = mesh();
         let model = StructuralCostModel::default();
-        let lo = model.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(3.0, 60.0, 3, 4096));
-        let hi = model.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(101.0, 0.0, 3, 4096));
+        let lo = model.frame_cost(
+            &m,
+            Algorithm::InPlace,
+            &BuildParams::from_config(3.0, 60.0, 3, 4096),
+        );
+        let hi = model.frame_cost(
+            &m,
+            Algorithm::InPlace,
+            &BuildParams::from_config(101.0, 0.0, 3, 4096),
+        );
         assert_ne!(lo, hi, "the landscape must not be flat");
     }
 
@@ -112,8 +121,16 @@ mod tests {
             w_rays: 1.0,
             rays: 1,
         };
-        let shallow = ray_heavy.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(3.0, 60.0, 3, 4096));
-        let deep = ray_heavy.frame_cost(&m, Algorithm::InPlace, &BuildParams::from_config(101.0, 0.0, 3, 4096));
+        let shallow = ray_heavy.frame_cost(
+            &m,
+            Algorithm::InPlace,
+            &BuildParams::from_config(3.0, 60.0, 3, 4096),
+        );
+        let deep = ray_heavy.frame_cost(
+            &m,
+            Algorithm::InPlace,
+            &BuildParams::from_config(101.0, 0.0, 3, 4096),
+        );
         assert!(deep < shallow, "deep {deep} vs shallow {shallow}");
     }
 
@@ -121,8 +138,16 @@ mod tests {
     fn lazy_costs_are_finite_and_r_sensitive() {
         let m = mesh();
         let model = StructuralCostModel::default();
-        let lo = model.frame_cost(&m, Algorithm::Lazy, &BuildParams::from_config(17.0, 10.0, 3, 16));
-        let hi = model.frame_cost(&m, Algorithm::Lazy, &BuildParams::from_config(17.0, 10.0, 3, 8192));
+        let lo = model.frame_cost(
+            &m,
+            Algorithm::Lazy,
+            &BuildParams::from_config(17.0, 10.0, 3, 16),
+        );
+        let hi = model.frame_cost(
+            &m,
+            Algorithm::Lazy,
+            &BuildParams::from_config(17.0, 10.0, 3, 8192),
+        );
         assert!(lo.is_finite() && hi.is_finite());
         assert_ne!(lo, hi);
     }

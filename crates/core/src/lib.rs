@@ -37,16 +37,18 @@ mod cost_model;
 mod pipeline;
 mod selector;
 
-/// Re-export of [`kdtune_geometry`].
-pub use kdtune_geometry as geometry;
-/// Re-export of [`kdtune_scenes`].
-pub use kdtune_scenes as scenes;
-/// Re-export of [`kdtune_kdtree`].
-pub use kdtune_kdtree as kdtree;
 /// Re-export of [`kdtune_autotune`].
 pub use kdtune_autotune as autotune;
+/// Re-export of [`kdtune_geometry`].
+pub use kdtune_geometry as geometry;
+/// Re-export of [`kdtune_kdtree`].
+pub use kdtune_kdtree as kdtree;
 /// Re-export of [`kdtune_raycast`].
 pub use kdtune_raycast as raycast;
+/// Re-export of [`kdtune_scenes`].
+pub use kdtune_scenes as scenes;
+/// Re-export of [`kdtune_telemetry`].
+pub use kdtune_telemetry as telemetry;
 
 pub use config::{base_build_params, base_config, tuning_space, BASE_CONFIG};
 pub use cost_model::StructuralCostModel;

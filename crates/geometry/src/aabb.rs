@@ -132,8 +132,7 @@ impl Aabb {
     /// contained in everything).
     #[inline]
     pub fn contains(&self, other: &Aabb) -> bool {
-        other.is_empty()
-            || (self.contains_point(other.min) && self.contains_point(other.max))
+        other.is_empty() || (self.contains_point(other.min) && self.contains_point(other.max))
     }
 
     /// True if the boxes share at least one point (closed-interval overlap).
@@ -294,8 +293,7 @@ mod tests {
     }
 
     fn arb_vec3(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
-        (range.clone(), range.clone(), range)
-            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+        (range.clone(), range.clone(), range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
     }
 
     fn arb_aabb() -> impl Strategy<Value = Aabb> {

@@ -118,12 +118,7 @@ impl TriangleMesh {
         let before = self.indices.len();
         let verts = &self.vertices;
         self.indices.retain(|&[a, b, c]| {
-            !Triangle::new(
-                verts[a as usize],
-                verts[b as usize],
-                verts[c as usize],
-            )
-            .is_degenerate()
+            !Triangle::new(verts[a as usize], verts[b as usize], verts[c as usize]).is_degenerate()
         });
         before - self.indices.len()
     }

@@ -103,9 +103,21 @@ impl Transform {
         let col = |a: Axis| Vec3::new(self.rows[0][a], self.rows[1][a], self.rows[2][a]);
         let (cx, cy, cz) = (col(Axis::X), col(Axis::Y), col(Axis::Z));
         let rows = [
-            Vec3::new(other.rows[0].dot(cx), other.rows[0].dot(cy), other.rows[0].dot(cz)),
-            Vec3::new(other.rows[1].dot(cx), other.rows[1].dot(cy), other.rows[1].dot(cz)),
-            Vec3::new(other.rows[2].dot(cx), other.rows[2].dot(cy), other.rows[2].dot(cz)),
+            Vec3::new(
+                other.rows[0].dot(cx),
+                other.rows[0].dot(cy),
+                other.rows[0].dot(cz),
+            ),
+            Vec3::new(
+                other.rows[1].dot(cx),
+                other.rows[1].dot(cy),
+                other.rows[1].dot(cz),
+            ),
+            Vec3::new(
+                other.rows[2].dot(cx),
+                other.rows[2].dot(cy),
+                other.rows[2].dot(cz),
+            ),
         ];
         Transform {
             rows,
@@ -164,12 +176,10 @@ mod tests {
     #[test]
     fn composition_order() {
         // Rotate 90° about Z, then translate by +X.
-        let t = Transform::rotation(Axis::Z, FRAC_PI_2)
-            .then(&Transform::translation(Vec3::X));
+        let t = Transform::rotation(Axis::Z, FRAC_PI_2).then(&Transform::translation(Vec3::X));
         assert!(close(t.apply_point(Vec3::X), Vec3::new(1.0, 1.0, 0.0)));
         // The other order: translate first, then rotate.
-        let t2 = Transform::translation(Vec3::X)
-            .then(&Transform::rotation(Axis::Z, FRAC_PI_2));
+        let t2 = Transform::translation(Vec3::X).then(&Transform::rotation(Axis::Z, FRAC_PI_2));
         assert!(close(t2.apply_point(Vec3::X), Vec3::new(0.0, 2.0, 0.0)));
     }
 

@@ -176,8 +176,7 @@ mod tests {
     }
 
     fn arb_vec(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
-        (range.clone(), range.clone(), range)
-            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+        (range.clone(), range.clone(), range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
     }
 
     proptest! {

@@ -8,17 +8,11 @@ fn arb_vec() -> impl Strategy<Value = Vec3> {
 }
 
 fn arb_transform() -> impl Strategy<Value = Transform> {
-    (
-        0usize..3,
-        -3.0f32..3.0,
-        0.25f32..2.0,
-        arb_vec(),
-    )
-        .prop_map(|(axis, angle, scale, t)| {
-            Transform::rotation(Axis::from_index(axis), angle)
-                .then(&Transform::scale(scale))
-                .then(&Transform::translation(t))
-        })
+    (0usize..3, -3.0f32..3.0, 0.25f32..2.0, arb_vec()).prop_map(|(axis, angle, scale, t)| {
+        Transform::rotation(Axis::from_index(axis), angle)
+            .then(&Transform::scale(scale))
+            .then(&Transform::translation(t))
+    })
 }
 
 fn close(a: Vec3, b: Vec3) -> bool {

@@ -35,7 +35,8 @@ pub fn best_split_binned(
         let lo = node.min[axis];
         let hi = node.max[axis];
         let width = hi - lo;
-        if !(width > 0.0) {
+        // Degenerate (or NaN-width) axes cannot host a split plane.
+        if width.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             continue;
         }
         // Histogram: starts[b] = prims whose min falls in bin b;
@@ -105,7 +106,12 @@ mod tests {
 
     #[test]
     fn separates_two_clusters() {
-        let bounds = vec![slab(0.0, 0.2), slab(0.05, 0.15), slab(0.8, 1.0), slab(0.9, 0.95)];
+        let bounds = vec![
+            slab(0.0, 0.2),
+            slab(0.05, 0.15),
+            slab(0.8, 1.0),
+            slab(0.9, 0.95),
+        ];
         let idx: Vec<u32> = (0..4).collect();
         let p = best_split_binned(&bounds, &idx, &unit(), &SahParams::default(), 16).unwrap();
         assert_eq!(p.axis, Axis::X);
@@ -115,7 +121,12 @@ mod tests {
 
     #[test]
     fn counts_always_match_classify() {
-        let bounds = vec![slab(0.0, 0.6), slab(0.3, 0.9), slab(0.5, 0.5), slab(0.4, 1.0)];
+        let bounds = vec![
+            slab(0.0, 0.6),
+            slab(0.3, 0.9),
+            slab(0.5, 0.5),
+            slab(0.4, 1.0),
+        ];
         let idx: Vec<u32> = (0..4).collect();
         for bins in [2usize, 4, 8, 64] {
             if let Some(p) = best_split_binned(&bounds, &idx, &unit(), &SahParams::default(), bins)

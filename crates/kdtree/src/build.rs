@@ -1,0 +1,785 @@
+//! The four parallel construction algorithms (paper §IV) and their shared
+//! parameters.
+//!
+//! All builders make identical split decisions — the SAH sweep (or binned
+//! approximation) plus the termination test of eq. 2 — and differ only in
+//! how the work is scheduled:
+//!
+//! * [`Algorithm::NodeLevel`]: depth-first recursion, `rayon::join` over
+//!   independent subtrees until roughly `threads · S` tasks exist.
+//! * [`Algorithm::Nested`]: node-level tasking plus parallel classification
+//!   of the primitive lists inside large nodes ([`crate::scan`]).
+//! * [`Algorithm::InPlace`]: breadth-first over an arena, one level at a
+//!   time, parallel over the primitives of each level.
+//! * [`Algorithm::Lazy`]: the breadth-first builder stopped at resolution
+//!   `R`; nodes holding ≤ `R` primitives are deferred and only expanded
+//!   when a ray reaches them ([`crate::LazyKdTree`]).
+//!
+//! Each build is wrapped in a `kdtree.build` telemetry span and the
+//! tasking builders count spawned subtree tasks on
+//! `kdtree.build.tasks` — see the `kdtune-telemetry` crate.
+
+use crate::binned::best_split_binned;
+use crate::query::BuiltTree;
+use crate::sah::SahParams;
+use crate::scan::par_classify_scan;
+use crate::split::{best_split_sweep_idx, classify, sweep_events, EventKind, SplitPlane};
+use crate::tree::{BuildNode, KdTree};
+use crate::LazyKdTree;
+use kdtune_geometry::{Aabb, Axis, TriangleMesh};
+use kdtune_telemetry as telemetry;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Algorithm & parameters
+// ---------------------------------------------------------------------------
+
+/// The construction algorithms evaluated by the paper (§IV-A..D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Depth-first recursion, parallel over independent subtrees.
+    NodeLevel,
+    /// Node-level parallelism plus parallel in-node classification.
+    Nested,
+    /// Breadth-first, one level at a time, parallel over primitives.
+    InPlace,
+    /// In-place down to resolution `R`, rest expanded on ray contact.
+    Lazy,
+}
+
+impl Algorithm {
+    /// All four algorithms, in paper order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::NodeLevel,
+        Algorithm::Nested,
+        Algorithm::InPlace,
+        Algorithm::Lazy,
+    ];
+
+    /// Stable snake_case name (CLI flag values, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::NodeLevel => "node_level",
+            Algorithm::Nested => "nested",
+            Algorithm::InPlace => "in_place",
+            Algorithm::Lazy => "lazy",
+        }
+    }
+
+    /// Inverse of [`Algorithm::name`].
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How candidate split planes are searched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitMethod {
+    /// Exact O(n log n) event sweep over all extrema (Wald & Havran).
+    Sweep,
+    /// Approximate search over `bins` buckets per axis.
+    Binned {
+        /// Number of buckets per axis (clamped to at least 2).
+        bins: u32,
+    },
+}
+
+/// Tunable build parameters — the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BuildParams {
+    /// SAH costs `CT` (fixed), `CI`, `CB`.
+    pub sah: SahParams,
+    /// Parallel granularity: target subtree tasks per thread (`S`,
+    /// paper range [1, 8]).
+    pub s: u32,
+    /// Lazy resolution: nodes with ≤ `R` primitives are deferred
+    /// (paper range [16, 8192]; ignored by the eager algorithms).
+    pub r: u32,
+    /// Split-plane search strategy.
+    pub split: SplitMethod,
+    /// Hard depth limit override; `None` uses the standard
+    /// `8 + 1.3·log2(n)` bound.
+    pub max_depth: Option<u32>,
+}
+
+impl Default for BuildParams {
+    /// The paper's base configuration `C_base`: `CI = 17`, `CB = 10`,
+    /// `S = 3`, `R = 4096`, exact sweep.
+    fn default() -> Self {
+        BuildParams {
+            sah: SahParams::default(),
+            s: 3,
+            r: 4096,
+            split: SplitMethod::Sweep,
+            max_depth: None,
+        }
+    }
+}
+
+impl BuildParams {
+    /// Parameters from a tuner configuration point `(CI, CB, S, R)`.
+    pub fn from_config(ci: f32, cb: f32, s: u32, r: u32) -> BuildParams {
+        BuildParams {
+            sah: SahParams::new(ci, cb),
+            s,
+            r,
+            ..BuildParams::default()
+        }
+    }
+
+    /// The depth cap used for a (sub)tree over `n` primitives: the
+    /// conventional `8 + 1.3·log2(n)` unless overridden by `max_depth`.
+    pub fn effective_max_depth(&self, n: usize) -> u32 {
+        match self.max_depth {
+            Some(d) => d,
+            None => (8.0 + 1.3 * (n.max(1) as f64).log2()).round() as u32,
+        }
+    }
+
+    /// Recursion depth down to which subtree tasks are spawned, so the
+    /// task count reaches roughly `threads · S`.
+    fn task_depth(&self) -> u32 {
+        let tasks = (rayon::current_num_threads() as u64) * u64::from(self.s.max(1));
+        // ceil(log2(tasks)): 2^depth leaves of the task tree.
+        (64 - tasks.next_power_of_two().leading_zeros() - 1).min(24)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared split decision
+// ---------------------------------------------------------------------------
+
+/// Immutable per-build state threaded through the recursions.
+pub(crate) struct BuildCtx<'a> {
+    /// Bounds of every primitive, indexed by primitive id.
+    pub bounds: &'a [Aabb],
+    /// SAH cost parameters.
+    pub sah: SahParams,
+    /// Hard depth cap for this (sub)tree.
+    pub max_depth: u32,
+    /// Spawn subtree tasks while `depth < task_depth`.
+    pub task_depth: u32,
+    /// Use parallel in-node classification (the Nested algorithm).
+    pub nested: bool,
+    /// Split-plane search strategy.
+    pub split: SplitMethod,
+}
+
+/// Node size below which the Nested algorithm's parallel classification
+/// is not worth the scan overhead.
+const NESTED_MIN_PRIMS: usize = 4096;
+
+/// The split decision every algorithm shares: find the best plane and
+/// apply the depth cap and the SAH termination criterion (eq. 2).
+/// `None` means "make a leaf".
+fn choose_split(
+    ctx: &BuildCtx<'_>,
+    indices: &[u32],
+    node: &Aabb,
+    depth: u32,
+) -> Option<SplitPlane> {
+    if indices.is_empty() || depth >= ctx.max_depth {
+        return None;
+    }
+    let plane = match ctx.split {
+        SplitMethod::Sweep => best_split_sweep_idx(ctx.bounds, indices, node, &ctx.sah),
+        SplitMethod::Binned { bins } => {
+            best_split_binned(ctx.bounds, indices, node, &ctx.sah, bins as usize)
+        }
+    }?;
+    if ctx.sah.should_stop(indices.len(), plane.cost) {
+        return None;
+    }
+    Some(plane)
+}
+
+/// Partitions a node's primitives by `plane`, in parallel when the
+/// Nested strategy is active and the node is large enough.
+fn split_indices(ctx: &BuildCtx<'_>, indices: &[u32], plane: &SplitPlane) -> (Vec<u32>, Vec<u32>) {
+    if ctx.nested && indices.len() >= NESTED_MIN_PRIMS {
+        par_classify_scan(ctx.bounds, indices, plane.axis, plane.pos)
+    } else {
+        classify(ctx.bounds, indices, plane.axis, plane.pos)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first recursion (NodeLevel, Nested, lazy expansion)
+// ---------------------------------------------------------------------------
+
+/// Recursive SAH build over `indices`; spawns the two subtrees as parallel
+/// tasks while `depth < ctx.task_depth`.
+pub(crate) fn build_recursive(
+    ctx: &BuildCtx<'_>,
+    indices: Vec<u32>,
+    bounds: Aabb,
+    depth: u32,
+) -> BuildNode {
+    let Some(plane) = choose_split(ctx, &indices, &bounds, depth) else {
+        return BuildNode::Leaf(indices);
+    };
+    let (left_idx, right_idx) = split_indices(ctx, &indices, &plane);
+    drop(indices);
+    let (lb, rb) = bounds.split(plane.axis, plane.pos);
+    let (left, right) = if depth < ctx.task_depth {
+        telemetry::counter("kdtree.build.tasks").add(2);
+        rayon::join(
+            || build_recursive(ctx, left_idx, lb, depth + 1),
+            || build_recursive(ctx, right_idx, rb, depth + 1),
+        )
+    } else {
+        (
+            build_recursive(ctx, left_idx, lb, depth + 1),
+            build_recursive(ctx, right_idx, rb, depth + 1),
+        )
+    };
+    BuildNode::Inner {
+        axis: plane.axis,
+        pos: plane.pos,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Breadth-first arena (InPlace, Lazy)
+// ---------------------------------------------------------------------------
+
+/// Arena node used by the breadth-first builders; `Lazy` keeps the arena
+/// directly, `InPlace` converts it to a [`BuildNode`] tree.
+#[derive(Debug)]
+pub(crate) enum TempNode {
+    /// Finished leaf holding primitive ids.
+    Leaf(Vec<u32>),
+    /// Inner node; children are arena indices.
+    Inner {
+        /// Split axis.
+        axis: Axis,
+        /// Split position.
+        pos: f32,
+        /// Arena index of the left child.
+        left: u32,
+        /// Arena index of the right child.
+        right: u32,
+    },
+    /// Unexpanded subtree (lazy builds only): primitives plus node bounds.
+    Deferred {
+        /// Global primitive ids in this node.
+        prims: Vec<u32>,
+        /// The node's bounding box.
+        bounds: Aabb,
+    },
+    /// Slot allocated but not yet filled (never survives construction).
+    Pending,
+}
+
+/// Breadth-first SAH build. Nodes with ≤ `defer_below` primitives become
+/// [`TempNode::Deferred`] instead of being subdivided (`None` disables
+/// deferral — the InPlace algorithm).
+fn build_arena(
+    ctx: &BuildCtx<'_>,
+    root_indices: Vec<u32>,
+    root_bounds: Aabb,
+    defer_below: Option<u32>,
+) -> Vec<TempNode> {
+    let mut arena: Vec<TempNode> = vec![TempNode::Pending];
+    // (arena slot, primitives, bounds, depth)
+    let mut frontier: Vec<(usize, Vec<u32>, Aabb, u32)> = vec![(0, root_indices, root_bounds, 0)];
+    let mut levels = 0u64;
+    while !frontier.is_empty() {
+        levels += 1;
+        let level = std::mem::take(&mut frontier);
+        for (slot, indices, bounds, depth) in level {
+            if let Some(r) = defer_below {
+                if !indices.is_empty() && indices.len() as u32 <= r {
+                    arena[slot] = TempNode::Deferred {
+                        prims: indices,
+                        bounds,
+                    };
+                    continue;
+                }
+            }
+            let Some(plane) = choose_split(ctx, &indices, &bounds, depth) else {
+                arena[slot] = TempNode::Leaf(indices);
+                continue;
+            };
+            let (left_idx, right_idx) = split_indices(ctx, &indices, &plane);
+            let (lb, rb) = bounds.split(plane.axis, plane.pos);
+            let left = arena.len() as u32;
+            let right = left + 1;
+            arena.push(TempNode::Pending);
+            arena.push(TempNode::Pending);
+            arena[slot] = TempNode::Inner {
+                axis: plane.axis,
+                pos: plane.pos,
+                left,
+                right,
+            };
+            frontier.push((left as usize, left_idx, lb, depth + 1));
+            frontier.push((right as usize, right_idx, rb, depth + 1));
+        }
+    }
+    telemetry::counter("kdtree.build.levels").add(levels);
+    arena
+}
+
+/// Converts an eager arena (no deferred nodes) into a [`BuildNode`] tree.
+fn arena_to_build_node(arena: &mut [TempNode], idx: u32) -> BuildNode {
+    match std::mem::replace(&mut arena[idx as usize], TempNode::Pending) {
+        TempNode::Leaf(prims) => BuildNode::Leaf(prims),
+        TempNode::Inner {
+            axis,
+            pos,
+            left,
+            right,
+        } => BuildNode::Inner {
+            axis,
+            pos,
+            left: Box::new(arena_to_build_node(arena, left)),
+            right: Box::new(arena_to_build_node(arena, right)),
+        },
+        TempNode::Deferred { .. } => unreachable!("deferred node in eager arena"),
+        TempNode::Pending => unreachable!("pending node survived construction"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+fn prim_bounds(mesh: &TriangleMesh) -> Vec<Aabb> {
+    (0..mesh.len()).map(|i| mesh.triangle(i).bounds()).collect()
+}
+
+/// Builds a kD-tree over `mesh` with the chosen algorithm and parameters.
+///
+/// The eager algorithms return [`BuiltTree::Eager`]; [`Algorithm::Lazy`]
+/// returns [`BuiltTree::Lazy`], whose lower levels materialize on first
+/// ray contact.
+pub fn build(mesh: Arc<TriangleMesh>, algorithm: Algorithm, params: &BuildParams) -> BuiltTree {
+    let mut span = telemetry::span("kdtree.build")
+        .field("algorithm", algorithm.name())
+        .field("tris", mesh.len());
+    let bounds = prim_bounds(&mesh);
+    let root_bounds = mesh.bounds();
+    let all: Vec<u32> = (0..mesh.len() as u32).collect();
+    let ctx = BuildCtx {
+        bounds: &bounds,
+        sah: params.sah,
+        max_depth: params.effective_max_depth(mesh.len()),
+        task_depth: params.task_depth(),
+        nested: algorithm == Algorithm::Nested,
+        split: params.split,
+    };
+    let tree = match algorithm {
+        Algorithm::NodeLevel | Algorithm::Nested => {
+            let root = build_recursive(&ctx, all, root_bounds, 0);
+            BuiltTree::Eager(KdTree::from_build(mesh, root_bounds, root))
+        }
+        Algorithm::InPlace => {
+            let mut arena = build_arena(&ctx, all, root_bounds, None);
+            let root = arena_to_build_node(&mut arena, 0);
+            BuiltTree::Eager(KdTree::from_build(mesh, root_bounds, root))
+        }
+        Algorithm::Lazy => {
+            let arena = build_arena(&ctx, all, root_bounds, Some(params.r));
+            BuiltTree::Lazy(LazyKdTree::from_arena(mesh, arena, *params))
+        }
+    };
+    if span.is_active() {
+        span.add_field("nodes", tree.node_count());
+    }
+    tree
+}
+
+/// Builds a spatial-median tree (split at the center of the longest axis)
+/// with leaves of at most `leaf_size` primitives — the non-SAH baseline
+/// the paper compares against.
+pub fn build_median(mesh: Arc<TriangleMesh>, leaf_size: usize, params: &BuildParams) -> KdTree {
+    let _span = telemetry::span("kdtree.build")
+        .field("algorithm", "median")
+        .field("tris", mesh.len());
+    let bounds = prim_bounds(&mesh);
+    let root_bounds = mesh.bounds();
+    let all: Vec<u32> = (0..mesh.len() as u32).collect();
+    let max_depth = params.effective_max_depth(mesh.len());
+    let root = median_recursive(&bounds, all, root_bounds, 0, leaf_size.max(1), max_depth);
+    KdTree::from_build(mesh, root_bounds, root)
+}
+
+fn median_recursive(
+    bounds: &[Aabb],
+    indices: Vec<u32>,
+    node: Aabb,
+    depth: u32,
+    leaf_size: usize,
+    max_depth: u32,
+) -> BuildNode {
+    if indices.len() <= leaf_size || depth >= max_depth {
+        return BuildNode::Leaf(indices);
+    }
+    let axis = node.longest_axis();
+    let pos = 0.5 * (node.min[axis] + node.max[axis]);
+    let (left_idx, right_idx) = classify(bounds, &indices, axis, pos);
+    // No progress: all primitives land on one side (or straddle both).
+    if left_idx.len() == indices.len() || right_idx.len() == indices.len() {
+        return BuildNode::Leaf(indices);
+    }
+    drop(indices);
+    let (lb, rb) = node.split(axis, pos);
+    BuildNode::Inner {
+        axis,
+        pos,
+        left: Box::new(median_recursive(
+            bounds,
+            left_idx,
+            lb,
+            depth + 1,
+            leaf_size,
+            max_depth,
+        )),
+        right: Box::new(median_recursive(
+            bounds,
+            right_idx,
+            rb,
+            depth + 1,
+            leaf_size,
+            max_depth,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort-once event builder (Wald & Havran §4)
+// ---------------------------------------------------------------------------
+
+/// One split-candidate event: plane position, kind, owning primitive.
+type Event = (f32, EventKind, u32);
+
+/// Builds a tree with the sort-once variant of the event sweep: the three
+/// per-axis event lists are sorted exactly once at the root and then
+/// *partitioned* (stably, preserving order) down the recursion instead of
+/// being re-sorted per node. Selects identical planes to the re-sorting
+/// sweep the other builders use, so leaf contents agree; the difference is
+/// purely asymptotic build cost — O(n log n) total versus O(n log² n).
+pub fn build_sorted_events(mesh: Arc<TriangleMesh>, params: &BuildParams) -> KdTree {
+    let _span = telemetry::span("kdtree.build")
+        .field("algorithm", "sorted_events")
+        .field("tris", mesh.len());
+    let bounds = prim_bounds(&mesh);
+    let root_bounds = mesh.bounds();
+    let mut events: [Vec<Event>; 3] = Default::default();
+    for axis in Axis::ALL {
+        let list = &mut events[axis as usize];
+        list.reserve(2 * bounds.len());
+        for (i, b) in bounds.iter().enumerate() {
+            let (lo, hi) = (b.min[axis], b.max[axis]);
+            if lo == hi {
+                list.push((lo, EventKind::Planar, i as u32));
+            } else {
+                list.push((lo, EventKind::Start, i as u32));
+                list.push((hi, EventKind::End, i as u32));
+            }
+        }
+        // Same (pos, kind) comparator as the per-node sweep; prim order
+        // within ties is irrelevant to the sweep's grouped counting.
+        list.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then((a.1 as u8).cmp(&(b.1 as u8)))
+        });
+    }
+    let max_depth = params.effective_max_depth(mesh.len());
+    // Scratch side-marks, indexed by primitive id (bit 0 left, bit 1 right).
+    let mut marks = vec![0u8; bounds.len()];
+    let root = sorted_events_recursive(
+        &bounds,
+        &params.sah,
+        params.split,
+        events,
+        root_bounds,
+        0,
+        max_depth,
+        &mut marks,
+    );
+    KdTree::from_build(mesh, root_bounds, root)
+}
+
+/// Primitives present in a per-axis event list: each primitive contributes
+/// exactly one non-`End` event per axis.
+fn event_prims(events: &[Event]) -> Vec<u32> {
+    events
+        .iter()
+        .filter(|e| e.1 != EventKind::End)
+        .map(|e| e.2)
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sorted_events_recursive(
+    bounds: &[Aabb],
+    sah: &SahParams,
+    split: SplitMethod,
+    events: [Vec<Event>; 3],
+    node: Aabb,
+    depth: u32,
+    max_depth: u32,
+    marks: &mut [u8],
+) -> BuildNode {
+    let prims = event_prims(&events[0]);
+    if prims.is_empty() || depth >= max_depth {
+        return BuildNode::Leaf(prims);
+    }
+    let n = prims.len();
+    let plane = match split {
+        SplitMethod::Sweep => {
+            let mut best: Option<SplitPlane> = None;
+            for axis in Axis::ALL {
+                let axis_events: Vec<(f32, EventKind)> = events[axis as usize]
+                    .iter()
+                    .map(|&(pos, kind, _)| (pos, kind))
+                    .collect();
+                if let Some(p) = sweep_events(&axis_events, n, &node, sah, axis) {
+                    if best.is_none_or(|b| p.cost < b.cost) {
+                        best = Some(p);
+                    }
+                }
+            }
+            best
+        }
+        SplitMethod::Binned { bins } => {
+            best_split_binned(bounds, &prims, &node, sah, bins as usize)
+        }
+    };
+    let Some(plane) = plane else {
+        return BuildNode::Leaf(prims);
+    };
+    if sah.should_stop(n, plane.cost) {
+        return BuildNode::Leaf(prims);
+    }
+
+    // Mark each primitive's side(s), then partition all three event lists
+    // stably so child lists stay sorted without re-sorting. Straddlers'
+    // events go to both children — events carry the primitive's full
+    // (unclipped) bounds, exactly as a fresh per-node sort would produce.
+    for &p in &prims {
+        let (l, r) = crate::split::sides(&bounds[p as usize], plane.axis, plane.pos);
+        marks[p as usize] = u8::from(l) | (u8::from(r) << 1);
+    }
+    let mut left_events: [Vec<Event>; 3] = Default::default();
+    let mut right_events: [Vec<Event>; 3] = Default::default();
+    for axis in Axis::ALL {
+        let (le, re) = (
+            &mut left_events[axis as usize],
+            &mut right_events[axis as usize],
+        );
+        for &ev in &events[axis as usize] {
+            let m = marks[ev.2 as usize];
+            if m & 1 != 0 {
+                le.push(ev);
+            }
+            if m & 2 != 0 {
+                re.push(ev);
+            }
+        }
+    }
+    drop(events);
+    drop(prims);
+    let (lb, rb) = node.split(plane.axis, plane.pos);
+    BuildNode::Inner {
+        axis: plane.axis,
+        pos: plane.pos,
+        left: Box::new(sorted_events_recursive(
+            bounds,
+            sah,
+            split,
+            left_events,
+            lb,
+            depth + 1,
+            max_depth,
+            marks,
+        )),
+        right: Box::new(sorted_events_recursive(
+            bounds,
+            sah,
+            split,
+            right_events,
+            rb,
+            depth + 1,
+            max_depth,
+            marks,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use kdtune_geometry::{Triangle, Vec3};
+
+    fn grid_mesh(n: usize) -> Arc<TriangleMesh> {
+        let mut mesh = TriangleMesh::new();
+        for i in 0..n {
+            let x = i as f32;
+            mesh.push_triangle(Triangle::new(
+                Vec3::new(x, 0.0, 0.0),
+                Vec3::new(x + 0.8, 0.0, 0.0),
+                Vec3::new(x, 1.0, 0.0),
+            ));
+        }
+        Arc::new(mesh)
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for algo in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(algo.name()), Some(algo));
+            assert_eq!(format!("{algo}"), algo.name());
+        }
+        assert_eq!(Algorithm::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn default_params_match_paper_base_configuration() {
+        let p = BuildParams::default();
+        assert_eq!(p.sah.ci, 17.0);
+        assert_eq!(p.sah.cb, 10.0);
+        assert_eq!(p.sah.ct, 10.0);
+        assert_eq!(p.s, 3);
+        assert_eq!(p.r, 4096);
+        assert_eq!(p.split, SplitMethod::Sweep);
+        assert_eq!(p.max_depth, None);
+    }
+
+    #[test]
+    fn effective_max_depth_grows_logarithmically() {
+        let p = BuildParams::default();
+        assert!(p.effective_max_depth(1) >= 8);
+        assert!(p.effective_max_depth(1 << 20) >= 30);
+        assert!(p.effective_max_depth(100) < p.effective_max_depth(100_000));
+        let capped = BuildParams {
+            max_depth: Some(2),
+            ..BuildParams::default()
+        };
+        assert_eq!(capped.effective_max_depth(1 << 20), 2);
+    }
+
+    #[test]
+    fn empty_mesh_builds_single_empty_leaf() {
+        let mesh = Arc::new(TriangleMesh::new());
+        for algo in [Algorithm::NodeLevel, Algorithm::Nested, Algorithm::InPlace] {
+            let tree = build(Arc::clone(&mesh), algo, &BuildParams::default());
+            assert_eq!(tree.node_count(), 1, "{algo}");
+        }
+    }
+
+    #[test]
+    fn single_triangle_is_one_leaf() {
+        let mesh = grid_mesh(1);
+        let tree = build(mesh, Algorithm::NodeLevel, &BuildParams::default());
+        let tree = tree.as_eager().unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.prim_references(), 1);
+    }
+
+    #[test]
+    fn eager_builders_and_sorted_events_agree_on_grid() {
+        let mesh = grid_mesh(64);
+        let params = BuildParams::default();
+        let reference = build(Arc::clone(&mesh), Algorithm::NodeLevel, &params);
+        let reference = reference.as_eager().unwrap();
+        validate(reference).unwrap();
+        let ref_count = reference.node_count();
+        assert!(ref_count > 1, "grid must actually split");
+        for algo in [Algorithm::Nested, Algorithm::InPlace] {
+            let tree = build(Arc::clone(&mesh), algo, &params);
+            assert_eq!(tree.node_count(), ref_count, "{algo}");
+        }
+        let sorted = build_sorted_events(mesh, &params);
+        validate(&sorted).unwrap();
+        assert_eq!(sorted.node_count(), ref_count);
+    }
+
+    #[test]
+    fn lazy_root_defers_when_under_resolution() {
+        let mesh = grid_mesh(32);
+        let params = BuildParams {
+            r: 4096, // 32 ≤ 4096: the whole tree is one deferred node
+            ..BuildParams::default()
+        };
+        let tree = build(mesh, Algorithm::Lazy, &params);
+        let lazy = tree.as_lazy().unwrap();
+        assert_eq!(lazy.node_count(), 1);
+        assert_eq!(lazy.deferred_count(), 1);
+        assert_eq!(lazy.expanded_count(), 0);
+    }
+
+    #[test]
+    fn lazy_small_r_builds_eager_top() {
+        let mesh = grid_mesh(256);
+        let params = BuildParams {
+            r: 16,
+            ..BuildParams::default()
+        };
+        let tree = build(mesh, Algorithm::Lazy, &params);
+        let lazy = tree.as_lazy().unwrap();
+        assert!(lazy.node_count() > 1, "top of the tree must be eager");
+        assert!(lazy.deferred_count() > 1);
+    }
+
+    #[test]
+    fn median_build_respects_leaf_size_where_divisible() {
+        let mesh = grid_mesh(128);
+        let tree = build_median(mesh, 8, &BuildParams::default());
+        validate(&tree).unwrap();
+        assert!(tree.node_count() > 1);
+    }
+
+    #[test]
+    fn binned_split_produces_valid_trees() {
+        let mesh = grid_mesh(100);
+        let params = BuildParams {
+            split: SplitMethod::Binned { bins: 8 },
+            ..BuildParams::default()
+        };
+        for algo in [Algorithm::NodeLevel, Algorithm::InPlace] {
+            let tree = build(Arc::clone(&mesh), algo, &params);
+            validate(tree.as_eager().unwrap()).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+    }
+
+    #[test]
+    fn build_emits_telemetry_span_and_task_counts() {
+        use kdtune_telemetry::sinks::RingBufferRecorder;
+        use kdtune_telemetry::RecordKind;
+
+        let ring = std::sync::Arc::new(RingBufferRecorder::new(65536));
+        telemetry::set_recorder(ring.clone());
+        let mesh = grid_mesh(64);
+        let _ = build(mesh, Algorithm::NodeLevel, &BuildParams::default());
+        telemetry::clear_recorder();
+
+        // The recorder is process-global, so builds from concurrently
+        // running tests may land in the ring too — find OUR span by its
+        // algorithm field rather than taking the first.
+        let records = ring.snapshot();
+        let span = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Span && r.name == "kdtree.build")
+            .find(|r| {
+                r.fields.iter().any(|(k, v)| {
+                    *k == "algorithm" && *v == kdtune_telemetry::Value::Str("node_level".into())
+                })
+            })
+            .expect("build must emit its span");
+        assert!(span.duration_us.is_some());
+        assert!(span.fields.iter().any(|(k, _)| *k == "nodes"));
+    }
+}

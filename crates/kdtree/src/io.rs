@@ -293,7 +293,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(decode(b"nope"), Err(DecodeError::Truncated) | Err(DecodeError::BadMagic)));
+        assert!(matches!(
+            decode(b"nope"),
+            Err(DecodeError::Truncated) | Err(DecodeError::BadMagic)
+        ));
         assert!(matches!(decode(b"XXXX____"), Err(DecodeError::BadMagic)));
         // Valid magic, truncated body.
         let mut bytes = encode(&tree());

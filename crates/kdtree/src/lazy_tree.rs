@@ -156,12 +156,7 @@ impl LazyKdTree {
             nested: false,
             split: self.params.split,
         };
-        let local_root = build_recursive(
-            &ctx,
-            (0..d.prims.len() as u32).collect(),
-            d.bounds,
-            0,
-        );
+        let local_root = build_recursive(&ctx, (0..d.prims.len() as u32).collect(), d.bounds, 0);
         let root = remap_leaves(local_root, &d.prims);
         let tree = Arc::new(KdTree::from_build(Arc::clone(&self.mesh), d.bounds, root));
         *guard = Some(Arc::clone(&tree));
@@ -287,9 +282,7 @@ impl LazyKdTree {
                                 .intersect(ray, t_min, t_max)
                                 .is_some()
                         }),
-                        LazyNode::Deferred(d) => {
-                            self.expand(d).intersect_any(ray, t_min, t_max)
-                        }
+                        LazyNode::Deferred(d) => self.expand(d).intersect_any(ray, t_min, t_max),
                         LazyNode::Inner { .. } => unreachable!(),
                     };
                     if blocked {

@@ -54,7 +54,9 @@ pub use lazy_tree::LazyKdTree;
 pub use query::{BuiltTree, RayQuery};
 pub use sah::SahParams;
 pub use split::{best_split_naive, best_split_sweep, best_split_sweep_idx, classify, SplitPlane};
-pub use traverse::{brute_force_intersect, TraversalCounters};
 pub use stats::{to_dot, TreeHistograms, TreeStats};
+#[cfg(feature = "traversal-counters")]
+pub use traverse::global_counters;
+pub use traverse::{brute_force_intersect, TraversalCounters};
 pub use tree::{KdTree, Node};
 pub use validate::{validate, ValidationError};

@@ -163,10 +163,7 @@ mod tests {
     fn degenerate_parent_yields_infinite_cost() {
         let p = SahParams::default();
         let flat = Aabb::new(Vec3::ZERO, Vec3::ZERO);
-        assert_eq!(
-            p.split_cost(&flat, Axis::X, 0.0, 1, 1, 2),
-            f32::INFINITY
-        );
+        assert_eq!(p.split_cost(&flat, Axis::X, 0.0, 1, 1, 2), f32::INFINITY);
     }
 
     #[test]

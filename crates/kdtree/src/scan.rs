@@ -72,8 +72,14 @@ pub fn par_classify_scan(
         let mut l_rest: &mut [u32] = &mut left;
         let mut r_rest: &mut [u32] = &mut right;
         for (k, (lc, rc)) in counts.iter().enumerate() {
-            debug_assert_eq!(l_offsets[k] + lc, l_offsets.get(k + 1).copied().unwrap_or(l_total));
-            debug_assert_eq!(r_offsets[k] + rc, r_offsets.get(k + 1).copied().unwrap_or(r_total));
+            debug_assert_eq!(
+                l_offsets[k] + lc,
+                l_offsets.get(k + 1).copied().unwrap_or(l_total)
+            );
+            debug_assert_eq!(
+                r_offsets[k] + rc,
+                r_offsets.get(k + 1).copied().unwrap_or(r_total)
+            );
             let (lw, lr) = l_rest.split_at_mut(*lc);
             let (rw, rr) = r_rest.split_at_mut(*rc);
             l_windows.push(lw);
@@ -127,7 +133,12 @@ mod tests {
 
     #[test]
     fn matches_sequential_on_small_input() {
-        let bounds = vec![slab(0.0, 0.3), slab(0.2, 0.8), slab(0.6, 1.0), slab(0.5, 0.5)];
+        let bounds = vec![
+            slab(0.0, 0.3),
+            slab(0.2, 0.8),
+            slab(0.6, 1.0),
+            slab(0.5, 0.5),
+        ];
         let idx: Vec<u32> = (0..4).collect();
         let seq = classify(&bounds, &idx, Axis::X, 0.5);
         let par = par_classify_scan(&bounds, &idx, Axis::X, 0.5);

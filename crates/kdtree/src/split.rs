@@ -40,8 +40,8 @@ pub(crate) fn sides(b: &Aabb, axis: Axis, pos: f32) -> (bool, bool) {
     (left, right)
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum EventKind {
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum EventKind {
     // Order matters: at equal positions, End events are processed before
     // Planar before Start so the incremental counts match `sides`.
     End = 0,
@@ -74,7 +74,9 @@ fn collect_events<'a>(
 }
 
 /// Sweeps a sorted event list, returning the best plane on that axis.
-fn sweep_events(
+/// Shared with the sort-once builder in `build.rs`, which maintains its own
+/// presorted event lists and must select identical planes.
+pub(crate) fn sweep_events(
     events: &[(f32, EventKind)],
     n: usize,
     node: &Aabb,
@@ -101,7 +103,7 @@ fn sweep_events(
         if pos > node_lo && pos < node_hi {
             let nl = n_left + planars;
             let cost = sah.split_cost(node, axis, pos, nl, n_right, n);
-            if best.map_or(true, |b| cost < b.cost) {
+            if best.is_none_or(|b| cost < b.cost) {
                 best = Some(SplitPlane {
                     axis,
                     pos,
@@ -157,7 +159,7 @@ pub fn best_split_sweep(bounds: &[Aabb], node: &Aabb, sah: &SahParams) -> Option
     let mut best: Option<SplitPlane> = None;
     for axis in Axis::ALL {
         if let Some(p) = best_split_axis(bounds, node, sah, axis) {
-            if best.map_or(true, |b| p.cost < b.cost) {
+            if best.is_none_or(|b| p.cost < b.cost) {
                 best = Some(p);
             }
         }
@@ -176,7 +178,7 @@ pub fn best_split_sweep_idx(
     let mut best: Option<SplitPlane> = None;
     for axis in Axis::ALL {
         if let Some(p) = best_split_axis_idx(bounds, indices, node, sah, axis) {
-            if best.map_or(true, |b| p.cost < b.cost) {
+            if best.is_none_or(|b| p.cost < b.cost) {
                 best = Some(p);
             }
         }
@@ -207,7 +209,7 @@ pub fn best_split_naive(bounds: &[Aabb], node: &Aabb, sah: &SahParams) -> Option
                 n_right += r as usize;
             }
             let cost = sah.split_cost(node, axis, pos, n_left, n_right, n);
-            if best.map_or(true, |b| cost < b.cost) {
+            if best.is_none_or(|b| cost < b.cost) {
                 best = Some(SplitPlane {
                     axis,
                     pos,
@@ -224,12 +226,7 @@ pub fn best_split_naive(bounds: &[Aabb], node: &Aabb, sah: &SahParams) -> Option
 /// Partitions primitive indices by a split plane. Straddlers appear in both
 /// outputs; the assignment rule matches the sweep exactly, so the returned
 /// list lengths equal the plane's `n_left`/`n_right`.
-pub fn classify(
-    bounds: &[Aabb],
-    indices: &[u32],
-    axis: Axis,
-    pos: f32,
-) -> (Vec<u32>, Vec<u32>) {
+pub fn classify(bounds: &[Aabb], indices: &[u32], axis: Axis, pos: f32) -> (Vec<u32>, Vec<u32>) {
     let mut left = Vec::with_capacity(indices.len());
     let mut right = Vec::with_capacity(indices.len());
     for &i in indices {
@@ -323,13 +320,10 @@ mod tests {
             slab(Axis::X, 0.1, 0.9),
         ];
         let idx: Vec<u32> = (0..4).collect();
-        for plane in [
-            best_split_sweep(&bounds, &unit(), &SahParams::default()).unwrap(),
-        ] {
-            let (l, r) = classify(&bounds, &idx, plane.axis, plane.pos);
-            assert_eq!(l.len(), plane.n_left, "plane {plane:?}");
-            assert_eq!(r.len(), plane.n_right, "plane {plane:?}");
-        }
+        let plane = best_split_sweep(&bounds, &unit(), &SahParams::default()).unwrap();
+        let (l, r) = classify(&bounds, &idx, plane.axis, plane.pos);
+        assert_eq!(l.len(), plane.n_left, "plane {plane:?}");
+        assert_eq!(r.len(), plane.n_right, "plane {plane:?}");
     }
 
     #[test]

@@ -154,7 +154,10 @@ pub fn to_dot(tree: &KdTree) -> String {
                 let _ = writeln!(out, "  n{i} [label=\"leaf {count}\"];");
             }
             Node::Inner {
-                axis, pos, left, right,
+                axis,
+                pos,
+                left,
+                right,
             } => {
                 let _ = writeln!(out, "  n{i} [label=\"{axis:?} @ {pos:.3}\"];");
                 let _ = writeln!(out, "  n{i} -> n{left};");

@@ -10,6 +10,19 @@ const T_EPS: f32 = 1e-4;
 
 impl KdTree {
     /// Nearest intersection of `ray` with the mesh in `(t_min, t_max)`.
+    ///
+    /// With the `traversal-counters` feature enabled, every call also
+    /// accumulates its work counters into [`global_counters`] (two relaxed
+    /// atomic adds per ray); without it the untimed fast path below runs.
+    #[cfg(feature = "traversal-counters")]
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        let (hit, counters) = self.intersect_counted(ray, t_min, t_max);
+        global_counters::accumulate(counters);
+        hit
+    }
+
+    /// Nearest intersection of `ray` with the mesh in `(t_min, t_max)`.
+    #[cfg(not(feature = "traversal-counters"))]
     pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
         let (t0, t1) = self.bounds().intersect_ray(ray, t_min, t_max)?;
         let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
@@ -31,7 +44,11 @@ impl KdTree {
                     let t_plane = (pos - o) * ray.inv_dir[axis];
                     // Which child contains the ray origin side of the plane?
                     let below_first = o < pos || (o == pos && d <= 0.0);
-                    let (first, second) = if below_first { (left, right) } else { (right, left) };
+                    let (first, second) = if below_first {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     // NaN t_plane (origin on plane, parallel ray) fails both
                     // comparisons and conservatively visits both children.
                     if t_plane > t1 || t_plane <= 0.0 {
@@ -99,7 +116,11 @@ impl KdTree {
                     let d = ray.dir[axis];
                     let t_plane = (pos - o) * ray.inv_dir[axis];
                     let below_first = o < pos || (o == pos && d <= 0.0);
-                    let (first, second) = if below_first { (left, right) } else { (right, left) };
+                    let (first, second) = if below_first {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     if t_plane > t1 || t_plane <= 0.0 {
                         node_idx = first;
                     } else if t_plane < t0 {
@@ -162,6 +183,46 @@ impl TraversalCounters {
     }
 }
 
+/// Process-global traversal work totals, compiled in by the
+/// `traversal-counters` feature.
+///
+/// Accumulation uses relaxed atomics — totals are exact because each add
+/// is atomic, but there is no ordering relation to any other memory; read
+/// them only at quiescent points (between frames, after a render).
+#[cfg(feature = "traversal-counters")]
+pub mod global_counters {
+    use super::TraversalCounters;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static INNER: AtomicU64 = AtomicU64::new(0);
+    static LEAVES: AtomicU64 = AtomicU64::new(0);
+    static TRIS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn accumulate(c: TraversalCounters) {
+        INNER.fetch_add(c.inner_visited, Ordering::Relaxed);
+        LEAVES.fetch_add(c.leaves_visited, Ordering::Relaxed);
+        TRIS.fetch_add(c.tris_tested, Ordering::Relaxed);
+    }
+
+    /// Totals accumulated since process start (or the last [`take`]).
+    pub fn snapshot() -> TraversalCounters {
+        TraversalCounters {
+            inner_visited: INNER.load(Ordering::Relaxed),
+            leaves_visited: LEAVES.load(Ordering::Relaxed),
+            tris_tested: TRIS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the totals to zero and returns what they were.
+    pub fn take() -> TraversalCounters {
+        TraversalCounters {
+            inner_visited: INNER.swap(0, Ordering::Relaxed),
+            leaves_visited: LEAVES.swap(0, Ordering::Relaxed),
+            tris_tested: TRIS.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
 impl KdTree {
     /// [`KdTree::intersect`] with work counters — used by the analysis
     /// tooling to correlate predicted SAH cost with actual traversal work.
@@ -194,7 +255,11 @@ impl KdTree {
                     let d = ray.dir[axis];
                     let t_plane = (pos - o) * ray.inv_dir[axis];
                     let below_first = o < pos || (o == pos && d <= 0.0);
-                    let (first, second) = if below_first { (left, right) } else { (right, left) };
+                    let (first, second) = if below_first {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     if t_plane > t1 || t_plane <= 0.0 {
                         node_idx = first;
                     } else if t_plane < t0 {

@@ -202,7 +202,10 @@ mod tests {
         assert_eq!(tree.node_count(), 3);
         match tree.nodes()[0] {
             Node::Inner {
-                axis, pos, left, right,
+                axis,
+                pos,
+                left,
+                right,
             } => {
                 assert_eq!(axis, Axis::Z);
                 assert_eq!(pos, 0.5);

@@ -166,8 +166,7 @@ mod tests {
                 ..BuildParams::default()
             };
             let tree = build(mesh(150), Algorithm::InPlace, &params);
-            validate(tree.as_eager().unwrap())
-                .unwrap_or_else(|e| panic!("ci={ci} cb={cb}: {e}"));
+            validate(tree.as_eager().unwrap()).unwrap_or_else(|e| panic!("ci={ci} cb={cb}: {e}"));
         }
     }
 }

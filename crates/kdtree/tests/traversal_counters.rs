@@ -13,8 +13,7 @@ fn test_rays(n: usize) -> Vec<Ray> {
             let a = i as f32 * 0.37;
             Ray::new(
                 Vec3::new(-15.0, 4.0, 0.0),
-                Vec3::new(a.cos().abs() + 0.2, 0.25 * (a * 1.3).sin(), a.sin())
-                    .normalized(),
+                Vec3::new(a.cos().abs() + 0.2, 0.25 * (a * 1.3).sin(), a.sin()).normalized(),
             )
         })
         .collect()
@@ -59,7 +58,10 @@ fn sah_tree_does_less_work_than_median_tree() {
     );
     // And both do far less than brute force would (n tests per ray).
     let brute = 17.0 * (n * rays.len() as u64) as f64;
-    assert!(sah_cost < brute / 4.0, "sah {sah_cost:.0} vs brute {brute:.0}");
+    assert!(
+        sah_cost < brute / 4.0,
+        "sah {sah_cost:.0} vs brute {brute:.0}"
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 //! hit as brute-force testing every triangle.
 
 use kdtune_geometry::{Ray, TriangleMesh, Vec3};
-use kdtune_kdtree::{
-    brute_force_intersect, build, Algorithm, BuildParams, RayQuery, SahParams,
-};
+use kdtune_kdtree::{brute_force_intersect, build, Algorithm, BuildParams, RayQuery, SahParams};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,7 +51,14 @@ fn rays(n: usize, seed: u64) -> Vec<Ray> {
                 rng.gen_range(-1.0..1.0),
                 rng.gen_range(-1.0..1.0),
             );
-            Ray::new(o, if d.length() < 1e-3 { Vec3::X } else { d.normalized() })
+            Ray::new(
+                o,
+                if d.length() < 1e-3 {
+                    Vec3::X
+                } else {
+                    d.normalized()
+                },
+            )
         })
         .collect()
 }
@@ -146,7 +151,11 @@ fn rays_from_inside_the_geometry() {
             );
             let truth = brute_force_intersect(&mesh, &ray, 0.0, f32::INFINITY);
             let got = tree.intersect(&ray, 0.0, f32::INFINITY);
-            assert_eq!(truth.map(|h| h.prim), got.map(|h| h.prim), "{algo}, ray {i}");
+            assert_eq!(
+                truth.map(|h| h.prim),
+                got.map(|h| h.prim),
+                "{algo}, ray {i}"
+            );
         }
     }
 }
@@ -162,6 +171,35 @@ fn binned_split_method_matches_brute_force() {
         };
         check_equivalence(&mesh, &params, 12);
     }
+}
+
+/// With `traversal-counters` on, the standard `intersect` path feeds the
+/// process-global totals. Other tests in this binary also traverse, so
+/// only lower bounds are asserted.
+#[cfg(feature = "traversal-counters")]
+#[test]
+fn global_counters_accumulate_ray_work() {
+    use kdtune_kdtree::global_counters;
+    let mesh = soup(200, 21);
+    let tree = build(
+        Arc::clone(&mesh),
+        Algorithm::InPlace,
+        &BuildParams::default(),
+    );
+    let before = global_counters::snapshot();
+    let mut expected = kdtune_kdtree::TraversalCounters::default();
+    let eager = tree.as_eager().expect("in-place builds an eager tree");
+    for ray in rays(64, 22) {
+        let (counted_hit, c) = eager.intersect_counted(&ray, 1e-4, f32::INFINITY);
+        expected = expected.merge(c);
+        let hit = tree.intersect(&ray, 1e-4, f32::INFINITY);
+        assert_eq!(counted_hit.map(|h| h.prim), hit.map(|h| h.prim));
+    }
+    let after = global_counters::snapshot();
+    assert!(after.inner_visited >= before.inner_visited + expected.inner_visited);
+    assert!(after.leaves_visited >= before.leaves_visited + expected.leaves_visited);
+    assert!(after.tris_tested >= before.tris_tested + expected.tris_tested);
+    assert!(expected.weighted_cost(10.0, 17.0) > 0.0);
 }
 
 proptest! {

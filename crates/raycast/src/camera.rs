@@ -106,7 +106,8 @@ mod tests {
         // Even raster: the center falls between pixels; check the average
         // of the four central pixels is forward.
         let c = cam();
-        let d = c.primary_ray(49, 49).dir + c.primary_ray(50, 50).dir
+        let d = c.primary_ray(49, 49).dir
+            + c.primary_ray(50, 50).dir
             + c.primary_ray(49, 50).dir
             + c.primary_ray(50, 49).dir;
         let d = (d / 4.0).normalized();

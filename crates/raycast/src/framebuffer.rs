@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn from_rows_tiles_the_image() {
-        let rows = vec![
-            vec![Vec3::X, Vec3::Y],
-            vec![Vec3::Z, Vec3::ONE],
-        ];
+        let rows = vec![vec![Vec3::X, Vec3::Y], vec![Vec3::Z, Vec3::ONE]];
         let fb = Framebuffer::from_rows(2, rows);
         assert_eq!(fb.height(), 2);
         assert_eq!(fb.get(1, 0), Vec3::Y);

@@ -67,8 +67,7 @@ pub fn render_with(
                         let point = ray.at(hit.t);
                         let to_light = light - point;
                         let dist = to_light.length();
-                        let shadow =
-                            kdtune_geometry::Ray::new(point, to_light.normalized());
+                        let shadow = kdtune_geometry::Ray::new(point, to_light.normalized());
                         stats.shadow_rays += 1;
                         let occluded =
                             query.intersect_any(&shadow, SHADOW_BIAS, dist - SHADOW_BIAS);
@@ -131,7 +130,10 @@ mod tests {
         assert!(stats.primary_hits > stats.primary_rays / 2, "{stats:?}");
         assert_eq!(stats.shadow_rays, stats.primary_hits);
         assert!(stats.occluded > 0, "occluder must shadow some pixels");
-        assert!(stats.occluded < stats.shadow_rays, "not everything shadowed");
+        assert!(
+            stats.occluded < stats.shadow_rays,
+            "not everything shadowed"
+        );
         assert!(fb.mean_luminance() > 0.05);
     }
 
@@ -164,10 +166,14 @@ mod tests {
 
     #[test]
     fn lazy_tree_expands_only_visible_region() {
-        let tree = build(scene(), Algorithm::Lazy, &BuildParams {
-            r: 1, // defer nothing… r=1 means nodes with <1 prims defer — none
-            ..BuildParams::default()
-        });
+        let tree = build(
+            scene(),
+            Algorithm::Lazy,
+            &BuildParams {
+                r: 1, // defer nothing… r=1 means nodes with <1 prims defer — none
+                ..BuildParams::default()
+            },
+        );
         // Just ensure the lazy path renders without issue at extreme R.
         let (_, stats) = render(&tree, &camera(), Vec3::ZERO);
         assert!(stats.primary_hits > 0);

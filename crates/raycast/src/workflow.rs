@@ -12,7 +12,8 @@ use crate::render::{render, RenderStats};
 use crate::Framebuffer;
 use kdtune_autotune::{Config, ParamHandle, Tuner, TunerPhase};
 use kdtune_geometry::{TriangleMesh, Vec3};
-use kdtune_kdtree::{build, Algorithm, BuildParams};
+use kdtune_kdtree::{build, Algorithm, BuildParams, TreeStats};
+use kdtune_telemetry as telemetry;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -68,8 +69,8 @@ impl TuningWorkflow {
         let ci = tuner.register_parameter("CI", 3, 101, 1);
         let cb = tuner.register_parameter("CB", 0, 60, 1);
         let s = tuner.register_parameter("S", 1, 8, 1);
-        let r = (algorithm == Algorithm::Lazy)
-            .then(|| tuner.register_parameter_pow2("R", 16, 8192));
+        let r =
+            (algorithm == Algorithm::Lazy).then(|| tuner.register_parameter_pow2("R", 16, 8192));
         TuningWorkflow {
             algorithm,
             tuner,
@@ -90,8 +91,8 @@ impl TuningWorkflow {
         let ci = tuner.register_parameter("CI", 3, 101, 1);
         let cb = tuner.register_parameter("CB", 0, 60, 1);
         let s = tuner.register_parameter("S", 1, 8, 1);
-        let r = (algorithm == Algorithm::Lazy)
-            .then(|| tuner.register_parameter_pow2("R", 16, 8192));
+        let r =
+            (algorithm == Algorithm::Lazy).then(|| tuner.register_parameter_pow2("R", 16, 8192));
         TuningWorkflow {
             algorithm,
             tuner,
@@ -136,7 +137,12 @@ impl TuningWorkflow {
     }
 
     /// Runs one frame of the Fig. 4 loop: tune → build → render → report.
-    pub fn run_frame(&mut self, mesh: Arc<TriangleMesh>, camera: &Camera, light: Vec3) -> FrameReport {
+    pub fn run_frame(
+        &mut self,
+        mesh: Arc<TriangleMesh>,
+        camera: &Camera,
+        light: Vec3,
+    ) -> FrameReport {
         self.tuner.start_cycle();
         let params = self.current_params();
         let config = self.tuner.current().expect("cycle started").clone();
@@ -151,7 +157,35 @@ impl TuningWorkflow {
         let render_secs = t1.elapsed().as_secs_f64();
 
         let total_secs = build_secs + render_secs;
+        let frame = self.tuner.iterations();
         self.tuner.stop_with(total_secs);
+        if telemetry::enabled() {
+            let mut fields = vec![
+                ("frame", frame.into()),
+                ("algorithm", self.algorithm.name().into()),
+                ("phase", phase.as_str().into()),
+                ("config", config.to_string().into()),
+                ("build_secs", build_secs.into()),
+                ("render_secs", render_secs.into()),
+                ("total_secs", total_secs.into()),
+                ("primary_rays", stats.primary_rays.into()),
+                ("primary_hits", stats.primary_hits.into()),
+                ("shadow_rays", stats.shadow_rays.into()),
+                ("occluded", stats.occluded.into()),
+                ("nodes", tree.node_count().into()),
+            ];
+            // Tree-quality metrics require a full traversal, so they are
+            // computed only while a recorder is listening (and only for
+            // eager trees — a lazy tree would be forced by the walk).
+            if let Some(eager) = tree.as_eager() {
+                let ts = TreeStats::compute(eager);
+                fields.push(("leaves", ts.leaf_count.into()));
+                fields.push(("tree_depth", ts.max_depth.into()));
+                fields.push(("duplication", ts.duplication_factor.into()));
+                fields.push(("sah_cost", ts.sah_cost.into()));
+            }
+            telemetry::event_owned("workflow.frame", fields);
+        }
         if self.keep_images {
             self.last_image = Some(image);
         }

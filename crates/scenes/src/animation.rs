@@ -78,9 +78,7 @@ impl Scene {
     pub fn frame(&self, frame: usize) -> Arc<TriangleMesh> {
         match &self.kind {
             SceneKind::Static(mesh) => Arc::clone(mesh),
-            SceneKind::Dynamic { frames, generator } => {
-                Arc::new(generator(frame % frames))
-            }
+            SceneKind::Dynamic { frames, generator } => Arc::new(generator(frame % frames)),
         }
     }
 
@@ -127,12 +125,9 @@ mod tests {
 
     #[test]
     fn dynamic_scene_wraps_frames() {
-        let s = Scene::new_dynamic(
-            "d",
-            ViewSpec::looking(Vec3::ZERO, Vec3::X),
-            3,
-            |f| tri_mesh(f as f32),
-        );
+        let s = Scene::new_dynamic("d", ViewSpec::looking(Vec3::ZERO, Vec3::X), 3, |f| {
+            tri_mesh(f as f32)
+        });
         assert_eq!(s.frame_count(), 3);
         assert!(s.is_dynamic());
         assert_eq!(s.frame(0).triangle(0).a.x, 0.0);
@@ -144,11 +139,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one frame")]
     fn zero_frames_rejected() {
-        let _ = Scene::new_dynamic(
-            "bad",
-            ViewSpec::looking(Vec3::ZERO, Vec3::X),
-            0,
-            |f| tri_mesh(f as f32),
-        );
+        let _ = Scene::new_dynamic("bad", ViewSpec::looking(Vec3::ZERO, Vec3::X), 0, |f| {
+            tri_mesh(f as f32)
+        });
     }
 }

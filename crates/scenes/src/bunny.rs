@@ -18,6 +18,7 @@ pub fn bunny(params: &SceneParams) -> Scene {
     Scene::new_static("bunny", view, mesh)
 }
 
+#[allow(clippy::too_many_arguments)] // one-shot shape helper; a config struct would obscure the call sites
 fn blob(
     params: &SceneParams,
     center: Vec3,
@@ -75,8 +76,11 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
             salt,
         );
         ear.transform(
-            &Transform::rotation(Axis::Z, side * 0.25)
-                .then(&Transform::translation(Vec3::new(side * 0.18, 2.35, 0.6))),
+            &Transform::rotation(Axis::Z, side * 0.25).then(&Transform::translation(Vec3::new(
+                side * 0.18,
+                2.35,
+                0.6,
+            ))),
         );
         mesh.append(&ear);
     }

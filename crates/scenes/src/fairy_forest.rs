@@ -34,7 +34,13 @@ pub fn fairy_forest(params: &SceneParams) -> Scene {
 fn tree(params: &SceneParams, at: Vec3, height: f32, sway: f32) -> TriangleMesh {
     let mut m = TriangleMesh::new();
     // Trunk: open cylinder, 32 triangles.
-    m.append(&cylinder(at, 0.12 * height, 0.45 * height, params.scaled_sqrt(16, 3), false));
+    m.append(&cylinder(
+        at,
+        0.12 * height,
+        0.45 * height,
+        params.scaled_sqrt(16, 3),
+        false,
+    ));
     // Canopy: three stacked capped cones, 3 × 48 = 144 triangles, swaying.
     for (i, frac) in [(0u32, 0.35f32), (1, 0.55), (2, 0.75)] {
         let r = 0.45 * height * (1.0 - 0.22 * i as f32);
@@ -54,7 +60,13 @@ fn tree(params: &SceneParams, at: Vec3, height: f32, sway: f32) -> TriangleMesh 
     m
 }
 
-fn mushroom(params: &SceneParams, at: Vec3, scale: f32, stem_seg: usize, cap: (usize, usize)) -> TriangleMesh {
+fn mushroom(
+    params: &SceneParams,
+    at: Vec3,
+    scale: f32,
+    stem_seg: usize,
+    cap: (usize, usize),
+) -> TriangleMesh {
     let mut m = TriangleMesh::new();
     m.append(&cylinder(
         at,
@@ -108,9 +120,16 @@ fn build_frame(params: &SceneParams, frame: usize) -> TriangleMesh {
     for k in 0..nrocks {
         let at = Vec3::new(rng.gen_range(-28.0..28.0), 0.1, rng.gen_range(-28.0..28.0));
         let r = rng.gen_range(0.2..0.8);
-        let mut rock = uv_sphere(Vec3::ZERO, r, params.scaled_sqrt(8, 3), params.scaled_sqrt(12, 4));
+        let mut rock = uv_sphere(
+            Vec3::ZERO,
+            r,
+            params.scaled_sqrt(8, 3),
+            params.scaled_sqrt(12, 4),
+        );
         let salt = params.seed ^ (k as u64);
-        displace_radial(&mut rock, Vec3::ZERO, |v| 0.3 * r * value_noise(v * 3.0 / r, salt));
+        displace_radial(&mut rock, Vec3::ZERO, |v| {
+            0.3 * r * value_noise(v * 3.0 / r, salt)
+        });
         rock.transform(&Transform::translation(at));
         mesh.append(&rock);
     }

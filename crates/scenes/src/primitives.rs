@@ -43,7 +43,10 @@ pub fn boxed(b: &Aabb) -> TriangleMesh {
 ///
 /// Triangle count: `2 * slices * (stacks - 1)` (pole bands are single fans).
 pub fn uv_sphere(center: Vec3, radius: f32, stacks: usize, slices: usize) -> TriangleMesh {
-    assert!(stacks >= 2 && slices >= 3, "sphere needs stacks>=2, slices>=3");
+    assert!(
+        stacks >= 2 && slices >= 3,
+        "sphere needs stacks>=2, slices>=3"
+    );
     let mut vertices = Vec::with_capacity((stacks - 1) * slices + 2);
     // Interior ring vertices.
     for i in 1..stacks {
@@ -69,7 +72,12 @@ pub fn uv_sphere(center: Vec3, radius: f32, stacks: usize, slices: usize) -> Tri
     // Quads between consecutive rings.
     for i in 0..stacks - 2 {
         for j in 0..slices {
-            let (a, b, c, d) = (ring(i, j), ring(i, j + 1), ring(i + 1, j + 1), ring(i + 1, j));
+            let (a, b, c, d) = (
+                ring(i, j),
+                ring(i, j + 1),
+                ring(i + 1, j + 1),
+                ring(i + 1, j),
+            );
             indices.push([a, b, c]);
             indices.push([a, c, d]);
         }
@@ -85,7 +93,13 @@ pub fn uv_sphere(center: Vec3, radius: f32, stacks: usize, slices: usize) -> Tri
 ///
 /// Triangle count: `2 * segments` for the side, plus `2 * segments` if
 /// `capped`.
-pub fn cylinder(base: Vec3, radius: f32, height: f32, segments: usize, capped: bool) -> TriangleMesh {
+pub fn cylinder(
+    base: Vec3,
+    radius: f32,
+    height: f32,
+    segments: usize,
+    capped: bool,
+) -> TriangleMesh {
     cone_frustum(base, radius, radius, height, segments, capped)
 }
 
@@ -173,7 +187,12 @@ pub fn grid_plane(x0: f32, z0: f32, w: f32, d: f32, y: f32, nx: usize, nz: usize
     let mut indices = Vec::with_capacity(2 * nx * nz);
     for iz in 0..nz {
         for ix in 0..nx {
-            let (a, b, c, d2) = (at(ix, iz), at(ix + 1, iz), at(ix + 1, iz + 1), at(ix, iz + 1));
+            let (a, b, c, d2) = (
+                at(ix, iz),
+                at(ix + 1, iz),
+                at(ix + 1, iz + 1),
+                at(ix, iz + 1),
+            );
             indices.push([a, b, c]);
             indices.push([a, c, d2]);
         }

@@ -70,7 +70,11 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
     let ncols = params.scaled_sqrt(8, 1);
     let seg = params.scaled_sqrt(192, 6);
     for row in 0..2 {
-        let z = if row == 0 { -wid / 2.0 + 3.0 } else { wid / 2.0 - 3.0 };
+        let z = if row == 0 {
+            -wid / 2.0 + 3.0
+        } else {
+            wid / 2.0 - 3.0
+        };
         for c in 0..ncols {
             let x = -len / 2.0 + len * (c as f32 + 0.5) / ncols as f32;
             mesh.append(&cylinder(Vec3::new(x, 0.0, z), 0.55, wall_h, seg, true));
@@ -105,10 +109,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let p = SceneParams::tiny();
-        assert_eq!(
-            sibenik(&p).frame(0).vertices,
-            sibenik(&p).frame(0).vertices
-        );
+        assert_eq!(sibenik(&p).frame(0).vertices, sibenik(&p).frame(0).vertices);
     }
 
     #[test]

@@ -51,10 +51,22 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
     // Perimeter walls: 4 thin boxes = 48 triangles.
     let t = 0.3;
     for b in [
-        Aabb::new(Vec3::new(-len / 2.0 - t, 0.0, -wid / 2.0 - t), Vec3::new(len / 2.0 + t, hei, -wid / 2.0)),
-        Aabb::new(Vec3::new(-len / 2.0 - t, 0.0, wid / 2.0), Vec3::new(len / 2.0 + t, hei, wid / 2.0 + t)),
-        Aabb::new(Vec3::new(-len / 2.0 - t, 0.0, -wid / 2.0), Vec3::new(-len / 2.0, hei, wid / 2.0)),
-        Aabb::new(Vec3::new(len / 2.0, 0.0, -wid / 2.0), Vec3::new(len / 2.0 + t, hei, wid / 2.0)),
+        Aabb::new(
+            Vec3::new(-len / 2.0 - t, 0.0, -wid / 2.0 - t),
+            Vec3::new(len / 2.0 + t, hei, -wid / 2.0),
+        ),
+        Aabb::new(
+            Vec3::new(-len / 2.0 - t, 0.0, wid / 2.0),
+            Vec3::new(len / 2.0 + t, hei, wid / 2.0 + t),
+        ),
+        Aabb::new(
+            Vec3::new(-len / 2.0 - t, 0.0, -wid / 2.0),
+            Vec3::new(-len / 2.0, hei, wid / 2.0),
+        ),
+        Aabb::new(
+            Vec3::new(len / 2.0, 0.0, -wid / 2.0),
+            Vec3::new(len / 2.0 + t, hei, wid / 2.0),
+        ),
     ] {
         mesh.append(&boxed(&b));
     }
@@ -68,10 +80,20 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
     for story in 0..2 {
         let y0 = story as f32 * story_h;
         for row in 0..2 {
-            let z = if row == 0 { -wid / 2.0 + 2.0 } else { wid / 2.0 - 2.0 };
+            let z = if row == 0 {
+                -wid / 2.0 + 2.0
+            } else {
+                wid / 2.0 - 2.0
+            };
             for c in 0..cols {
                 let x = -len / 2.0 + len * (c as f32 + 0.5) / cols as f32;
-                mesh.append(&cylinder(Vec3::new(x, y0, z), 0.45, story_h - 1.2, seg, true));
+                mesh.append(&cylinder(
+                    Vec3::new(x, y0, z),
+                    0.45,
+                    story_h - 1.2,
+                    seg,
+                    true,
+                ));
                 // Base and capital blocks: 24 triangles per column.
                 mesh.append(&boxed(&Aabb::new(
                     Vec3::new(x - 0.6, y0, z - 0.6),
@@ -91,7 +113,11 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
     for story in 0..2 {
         let y0 = story as f32 * story_h + story_h - 0.95;
         for row in 0..2 {
-            let z = if row == 0 { -wid / 2.0 + 2.0 } else { wid / 2.0 - 2.0 };
+            let z = if row == 0 {
+                -wid / 2.0 + 2.0
+            } else {
+                wid / 2.0 - 2.0
+            };
             let pitch = len / cols as f32;
             for c in 0..cols.saturating_sub(1) {
                 let x = -len / 2.0 + pitch * (c as f32 + 1.0);
@@ -112,7 +138,11 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
     for story in 0..2 {
         let y = (story + 1) as f32 * story_h - 0.4;
         for row in 0..2 {
-            let z = if row == 0 { -wid / 2.0 + 1.0 } else { wid / 2.0 - 1.0 };
+            let z = if row == 0 {
+                -wid / 2.0 + 1.0
+            } else {
+                wid / 2.0 - 1.0
+            };
             for k in 0..blocks {
                 let x = -len / 2.0 + len * (k as f32 + 0.5) / blocks as f32;
                 mesh.append(&boxed(&Aabb::new(
@@ -128,7 +158,11 @@ fn build_mesh(params: &SceneParams) -> TriangleMesh {
     let bx = params.scaled_sqrt(240, 2);
     let by = params.scaled_sqrt(12, 1);
     for row in 0..2 {
-        let z = if row == 0 { -wid / 2.0 + 1.4 } else { wid / 2.0 - 1.4 };
+        let z = if row == 0 {
+            -wid / 2.0 + 1.4
+        } else {
+            wid / 2.0 - 1.4
+        };
         let mut g = grid_plane(-len / 2.0, -0.02, len, 0.04, 0.0, bx, by);
         // Stand the grid upright: swap y/z by rotating about X.
         g.transform(&kdtune_geometry::Transform::rotation(

@@ -24,7 +24,13 @@ pub fn wood_doll(params: &SceneParams) -> Scene {
     })
 }
 
-fn sphere_part(params: &SceneParams, stacks: usize, slices: usize, r: Vec3, at: Vec3) -> TriangleMesh {
+fn sphere_part(
+    params: &SceneParams,
+    stacks: usize,
+    slices: usize,
+    r: Vec3,
+    at: Vec3,
+) -> TriangleMesh {
     let mut m = uv_sphere(
         Vec3::ZERO,
         1.0,
@@ -60,8 +66,7 @@ fn limb(params: &SceneParams, shoulder: Vec3, swing: f32) -> TriangleMesh {
         Vec3::splat(0.13),
         Vec3::new(0.0, -0.5, 0.0),
     ));
-    let bend = Transform::rotation(Axis::X, swing * 0.5)
-        .then(&Transform::translation(elbow_world));
+    let bend = Transform::rotation(Axis::X, swing * 0.5).then(&Transform::translation(elbow_world));
     m.append(&lower.transformed(&bend));
 
     m.transform(&Transform::translation(shoulder));

@@ -1,0 +1,318 @@
+//! Log-bucketed latency histogram with percentile summaries.
+//!
+//! Buckets are geometric with ratio 2^(1/4) (four buckets per doubling),
+//! starting at 1µs, which keeps relative quantile error under ~19% across
+//! the full range while using a few hundred fixed-size buckets. Everything
+//! below 1µs lands in an exact underflow bucket.
+
+/// Number of geometric buckets per power of two.
+const BUCKETS_PER_DOUBLING: u32 = 4;
+/// Total geometric buckets: covers 1µs .. 2^40µs (~12.7 days).
+const NUM_BUCKETS: usize = (40 * BUCKETS_PER_DOUBLING) as usize;
+
+/// A fixed-size, log-bucketed histogram of microsecond durations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// counts[0] is the underflow bucket (< 1µs); counts[i] for i ≥ 1 is
+    /// the geometric bucket with upper bound `bucket_upper_us(i)`.
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Upper bound (inclusive) in µs for geometric bucket `i ≥ 1`.
+fn bucket_upper_us(i: usize) -> u64 {
+    let exp = i as f64 / BUCKETS_PER_DOUBLING as f64;
+    2f64.powf(exp).ceil() as u64
+}
+
+/// Bucket index for a duration in µs. Index 0 is underflow (< 1µs) and
+/// `NUM_BUCKETS` is overflow.
+fn bucket_index(us: u64) -> usize {
+    if us < 1 {
+        return 0;
+    }
+    // First geometric bucket whose upper bound covers `us`. The log2
+    // estimate lands within a step or two; ceil-rounding of the bounds
+    // makes an exact closed form awkward, so nudge to the tight bucket.
+    let approx = ((us as f64).log2() * BUCKETS_PER_DOUBLING as f64).floor() as usize;
+    let mut i = approx.clamp(1, NUM_BUCKETS - 1);
+    while i > 1 && bucket_upper_us(i - 1) >= us {
+        i -= 1;
+    }
+    while i < NUM_BUCKETS && bucket_upper_us(i) < us {
+        i += 1;
+    }
+    i
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS + 1],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Records one duration in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let idx = bucket_index(us).min(NUM_BUCKETS);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Records one duration given in seconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        if secs.is_finite() && secs >= 0.0 {
+            self.record_us((secs * 1e6).round() as u64);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value in µs (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded value in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean recorded value in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` ∈ [0, 1], reported as the upper bound of the
+    /// bucket containing that rank (so the estimate never understates).
+    /// Exact min/max are substituted at the extremes.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-th sample, 1-based ceil — p50 of 4 samples is the
+        // 2nd, p99 of 100 samples the 99th.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0 // underflow bucket: < 1µs
+                } else if i >= NUM_BUCKETS {
+                    self.max_us // overflow: only exact value we have
+                } else {
+                    bucket_upper_us(i)
+                };
+                // Never report outside the observed range.
+                return upper.clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Computes the standard p50/p90/p99 summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            min_us: self.min_us(),
+            max_us: self.max_us(),
+            mean_us: self.mean_us(),
+            p50_us: self.percentile_us(0.50),
+            p90_us: self.percentile_us(0.90),
+            p99_us: self.percentile_us(0.99),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Exact minimum, µs.
+    pub min_us: u64,
+    /// Exact maximum, µs.
+    pub max_us: u64,
+    /// Exact mean, µs.
+    pub mean_us: f64,
+    /// 50th percentile (bucket upper bound), µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+}
+
+impl Summary {
+    /// Formats a duration in µs with an adaptive unit.
+    pub fn fmt_us(us: u64) -> String {
+        if us >= 1_000_000 {
+            format!("{:.3} s", us as f64 / 1e6)
+        } else if us >= 1_000 {
+            format!("{:.3} ms", us as f64 / 1e3)
+        } else {
+            format!("{us} µs")
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p90={} p99={} max={}",
+            self.count,
+            Summary::fmt_us(self.min_us),
+            Summary::fmt_us(self.p50_us),
+            Summary::fmt_us(self.p90_us),
+            Summary::fmt_us(self.p99_us),
+            Summary::fmt_us(self.max_us),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_cover() {
+        let mut prev = 0;
+        for i in 1..NUM_BUCKETS {
+            let b = bucket_upper_us(i);
+            assert!(b >= prev, "bucket {i} bound {b} < previous {prev}");
+            prev = b;
+        }
+        // Four buckets per doubling: bound at i+4 is ~2x bound at i.
+        for i in 8..NUM_BUCKETS - 4 {
+            let lo = bucket_upper_us(i);
+            let hi = bucket_upper_us(i + 4);
+            let ratio = hi as f64 / lo as f64;
+            assert!((1.8..=2.2).contains(&ratio), "ratio {ratio} at {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds() {
+        for us in [0u64, 1, 2, 3, 5, 17, 100, 999, 1000, 123_456, 9_999_999] {
+            let i = bucket_index(us).min(NUM_BUCKETS);
+            if us < 1 {
+                assert_eq!(i, 0);
+            } else if i < NUM_BUCKETS {
+                assert!(bucket_upper_us(i) >= us, "us={us} i={i}");
+                if i > 1 {
+                    assert!(bucket_upper_us(i - 1) < us, "us={us} i={i} not tight");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.min_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exactish() {
+        let mut h = Histogram::new();
+        h.record_us(1000);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min_us, 1000);
+        assert_eq!(s.max_us, 1000);
+        // Clamped to observed range → exact.
+        assert_eq!(s.p50_us, 1000);
+        assert_eq!(s.p99_us, 1000);
+    }
+
+    #[test]
+    fn percentiles_order_and_bound_error() {
+        let mut h = Histogram::new();
+        // 1..=1000 µs uniformly.
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us);
+        // Bucket upper bounds overestimate by at most the bucket ratio
+        // (2^(1/4) ≈ 1.19) plus integer-ceil slack on small values.
+        assert!((450..=650).contains(&s.p50_us), "p50 {}", s.p50_us);
+        assert!((850..=1000).contains(&s.p90_us), "p90 {}", s.p90_us);
+        assert!((950..=1000).contains(&s.p99_us), "p99 {}", s.p99_us);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for us in [5u64, 50, 500, 5000] {
+            a.record_us(us);
+            both.record_us(us);
+        }
+        for us in [7u64, 70, 700, 7000] {
+            b.record_us(us);
+            both.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn record_secs_converts() {
+        let mut h = Histogram::new();
+        h.record_secs(0.001); // 1ms
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_us(), 1000);
+        h.record_secs(f64::NAN); // ignored
+        h.record_secs(-1.0); // ignored
+        assert_eq!(h.count(), 1);
+    }
+}

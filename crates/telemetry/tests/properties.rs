@@ -1,0 +1,105 @@
+//! Property tests for histogram percentile math and JSONL round-tripping.
+
+use kdtune_telemetry::json::{self, JsonValue};
+use kdtune_telemetry::{Histogram, Record, RecordKind, Value};
+use proptest::prelude::*;
+
+/// Characters the string round-trip property draws from — weighted toward
+/// everything the JSON escaper must handle: quotes, backslashes, control
+/// characters, and multi-byte UTF-8.
+const PALETTE: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '/', '{', '}', ':', ',', '"', '\\', '\n', '\r', '\t',
+    '\u{08}', '\u{0c}', '\u{01}', '\u{1f}', 'é', 'µ', '→', '好', '😀',
+];
+
+proptest! {
+    /// Percentiles are monotone in q, bracketed by min/max, and the
+    /// relative overestimate of any quantile is bounded by the bucket
+    /// ratio (2^(1/4)) plus integer-ceil slack on tiny values.
+    #[test]
+    fn percentiles_are_ordered_and_bounded(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min_us(), min);
+        prop_assert_eq!(h.max_us(), max);
+
+        let p = h.percentile_us(q);
+        prop_assert!(p >= min && p <= max, "percentile {} outside [{}, {}]", p, min, max);
+
+        let s = h.summary();
+        prop_assert!(s.p50_us <= s.p90_us);
+        prop_assert!(s.p90_us <= s.p99_us);
+
+        // Against the exact quantile of the raw samples: the histogram
+        // answer is the containing bucket's upper bound, so it may only
+        // overestimate, and by at most one bucket ratio (with +2µs slack
+        // for ceil-rounded tiny buckets).
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        prop_assert!(
+            p as f64 <= (exact as f64) * 2f64.powf(0.25) + 2.0,
+            "p={} overestimates exact={} beyond one bucket", p, exact
+        );
+        prop_assert!(p >= exact.min(max), "p={} underestimates exact={}", p, exact);
+    }
+
+    /// Any record with arbitrary field strings/numbers encodes to a single
+    /// JSONL line that parses back with every field intact.
+    #[test]
+    fn jsonl_round_trips(
+        t_us in 0u64..u64::MAX / 2,
+        duration in 0u64..1_000_000_000,
+        has_duration in 0u32..2,
+        text_idx in proptest::collection::vec(0usize..PALETTE.len(), 0..40),
+        int_field in i64::MIN / 2..i64::MAX / 2,
+        float_field in -1e12f64..1e12,
+        flag_bit in 0u32..2,
+    ) {
+        let text: String = text_idx.iter().map(|&i| PALETTE[i]).collect();
+        let duration = (has_duration == 1).then_some(duration);
+        let flag = flag_bit == 1;
+        let rec = Record {
+            kind: RecordKind::Span,
+            name: "prop.test",
+            t_us,
+            duration_us: duration,
+            delta: None,
+            fields: vec![
+                ("text", Value::Str(text.clone())),
+                ("int", Value::I64(int_field)),
+                ("float", Value::F64(float_field)),
+                ("flag", Value::Bool(flag)),
+            ],
+        };
+        let line = json::record_to_jsonl(&rec);
+        prop_assert!(!line.contains('\n'), "JSONL line must be newline-free");
+
+        let parsed = json::parse(&line).expect("encoder output must parse");
+        prop_assert_eq!(parsed.get("kind").unwrap().as_str(), Some("span"));
+        prop_assert_eq!(parsed.get("name").unwrap().as_str(), Some("prop.test"));
+        prop_assert_eq!(parsed.get("t_us").unwrap().as_u64(), Some(t_us));
+        match duration {
+            Some(d) => prop_assert_eq!(parsed.get("duration_us").unwrap().as_u64(), Some(d)),
+            None => prop_assert!(parsed.get("duration_us").is_none()),
+        }
+        let fields = parsed.get("fields").unwrap();
+        prop_assert_eq!(fields.get("text").unwrap().as_str(), Some(text.as_str()));
+        prop_assert_eq!(fields.get("int").unwrap().as_i64(), Some(int_field));
+        let back = fields.get("float").unwrap().as_f64().unwrap();
+        prop_assert!(
+            (back - float_field).abs() <= float_field.abs() * 1e-12 + 1e-12,
+            "float {} re-read as {}", float_field, back
+        );
+        prop_assert_eq!(fields.get("flag"), Some(&JsonValue::Bool(flag)));
+    }
+}

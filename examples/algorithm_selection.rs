@@ -26,7 +26,11 @@ fn main() {
         let report = select_algorithm(&scene, &opts);
         println!("{} ({} triangles):", scene.name, scene.frame(0).len());
         for c in &report.candidates {
-            let marker = if c.algorithm == report.winner { "  <-- winner" } else { "" };
+            let marker = if c.algorithm == report.winner {
+                "  <-- winner"
+            } else {
+                ""
+            };
             println!(
                 "  {:<11} {:>8.2} ms/frame  config {:<22} converged: {}{}",
                 c.algorithm.name(),

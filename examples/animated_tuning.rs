@@ -49,7 +49,10 @@ fn main() {
         None => println!("\nnot converged within {frames} frames"),
     }
     if let Some((best, cost)) = tuner.best() {
-        println!("best configuration (CI, CB, S, R) = {best} at {:.2} ms/frame", cost * 1e3);
+        println!(
+            "best configuration (CI, CB, S, R) = {best} at {:.2} ms/frame",
+            cost * 1e3
+        );
     }
     println!("search restarts due to drift: {}", tuner.retunes());
 }

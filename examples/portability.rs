@@ -33,7 +33,8 @@ fn tune(scene: &Scene, threads: usize) -> (Vec<i64>, f64) {
 fn measure(scene: &Scene, values: &[i64]) -> f64 {
     let v = scene.view;
     let cam = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, 72, 72);
-    let params = BuildParams::from_config(values[0] as f32, values[1] as f32, values[2] as u32, 4096);
+    let params =
+        BuildParams::from_config(values[0] as f32, values[1] as f32, values[2] as u32, 4096);
     let mut total = 0.0;
     for _ in 0..3 {
         let (b, r, _) = run_frame_with(scene.frame(0), Algorithm::InPlace, &params, &cam, v.light);

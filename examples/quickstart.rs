@@ -28,7 +28,10 @@ fn main() {
         stats.sah_cost
     );
 
-    let ray = Ray::new(scene.view.eye, (scene.view.target - scene.view.eye).normalized());
+    let ray = Ray::new(
+        scene.view.eye,
+        (scene.view.target - scene.view.eye).normalized(),
+    );
     match tree.intersect(&ray, 0.0, f32::INFINITY) {
         Some(hit) => println!(
             "center ray hits triangle {} at t = {:.3} ({:?})",

@@ -1,0 +1,406 @@
+//! Offline stand-in for the subset of
+//! [proptest](https://docs.rs/proptest) this workspace uses.
+//!
+//! Provides the `proptest!` macro, range / tuple / `collection::vec` /
+//! `prop_map` strategies, and the `prop_assert*` family. Inputs are drawn
+//! from a deterministic per-test RNG; there is **no shrinking** — a failing
+//! case reports the case number and message and panics. That is a weaker
+//! debugging experience than real proptest but an equivalent *checking*
+//! semantics, which is what CI needs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod test_runner {
+    //! Configuration and plumbing used by the generated test functions.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's run configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// A `prop_assume!` precondition rejected the inputs.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// A failed property with an explanation.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError::Fail(msg)
+        }
+
+        /// A rejected (assumption-violating) set of inputs.
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Hard cap on `prop_assume!` rejections before the property is
+    /// declared vacuous.
+    const MAX_REJECTS: u32 = 65_536;
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Drives one property: draws inputs until `cfg.cases` cases have been
+    /// accepted, panicking on the first failure. Deterministic per test
+    /// name.
+    pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u64;
+        while accepted < cfg.cases {
+            let mut rng = StdRng::seed_from_u64(base ^ attempt.wrapping_mul(0x9e3779b97f4a7c15));
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < MAX_REJECTS,
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejected} rejects, {accepted}/{} accepted)",
+                        cfg.cases
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property {name} failed at case {accepted} \
+                         (attempt {attempt}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Allowed length range of a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` caller expects.
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident
+         ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_mut)]
+                let mut __case = |__rng: &mut _|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                $crate::test_runner::run_cases(&($cfg), stringify!($name), __case);
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?} == {:?}`", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?} == {:?}`: {}", __a, __b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{:?} != {:?}`", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{:?} != {:?}`: {}", __a, __b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case when a precondition does not hold; the runner
+/// draws a fresh set of inputs instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3i64..=101, y in 0.0f32..1.0) {
+            prop_assert!((3..=101).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..10, 0u32..10),
+            v in crate::collection::vec(0usize..5, 1..4),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        use crate::Strategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let strat = (0u32..5).prop_map(|v| v * 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && v < 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_context() {
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope".into()))
+        });
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves the `rayon` package name to this local crate. The API mirrors
+//! rayon's exactly for the combinators the workspace calls; execution is
+//! sequential for the iterator combinators (identical results, since every
+//! call site is order-preserving by construction) while [`join`] runs its
+//! two closures on real OS threads so fork-join builders still overlap.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! The traits needed to call `.par_chunks()` / `.into_par_iter()`.
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// exposes rayon's combinator names.
+pub struct ParIter<I>(I);
+
+/// Conversion into a [`ParIter`]; mirrors rayon's trait of the same name.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: Copy> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Iter = std::ops::Range<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+/// rayon's `ParallelIterator` combinators, implemented by [`ParIter`].
+pub trait ParallelIterator: Sized {
+    /// The sequential iterator backing this parallel iterator.
+    type Inner: Iterator;
+
+    /// Unwraps the backing iterator.
+    fn into_inner(self) -> Self::Inner;
+
+    /// Maps each item through `f`.
+    fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<Self::Inner, F>>
+    where
+        F: FnMut(<Self::Inner as Iterator>::Item) -> O,
+    {
+        ParIter(self.into_inner().map(f))
+    }
+
+    /// Pairs items with a second parallel iterator.
+    fn zip<B: IntoParallelIterator>(
+        self,
+        other: B,
+    ) -> ParIter<std::iter::Zip<Self::Inner, B::Iter>> {
+        ParIter(self.into_inner().zip(other.into_par_iter().into_inner()))
+    }
+
+    /// Calls `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: FnMut(<Self::Inner as Iterator>::Item),
+    {
+        self.into_inner().for_each(f)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<<Self::Inner as Iterator>::Item>,
+    {
+        self.into_inner().collect()
+    }
+
+    /// Splits an iterator of pairs into two collections.
+    fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        Self::Inner: Iterator<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.into_inner().unzip()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<<Self::Inner as Iterator>::Item>,
+    {
+        self.into_inner().sum()
+    }
+}
+
+impl<I: Iterator> ParallelIterator for ParIter<I> {
+    type Inner = I;
+    fn into_inner(self) -> I {
+        self.0
+    }
+}
+
+/// Slice extension providing `par_chunks`, mirroring rayon.
+pub trait ParallelSlice<T> {
+    /// Chunked "parallel" iteration over the slice.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let width = POOL_WIDTH.with(|w| w.get());
+        let hb = s.spawn(move || {
+            POOL_WIDTH.with(|w| w.set(width));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The width of the current thread pool (the installed pool's configured
+/// thread count, or the machine's available parallelism).
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH.with(|w| w.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never produced by
+/// this shim but kept for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A scoped thread pool. In this shim a pool only records its configured
+/// width (reported by [`current_num_threads`] inside [`ThreadPool::install`]).
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_WIDTH.with(|w| w.replace(Some(self.width)));
+        let out = f();
+        POOL_WIDTH.with(|w| w.set(prev));
+        out
+    }
+
+    /// The pool's configured width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_pool_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 7);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn join_inherits_pool_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| {
+            let (a, b) = join(current_num_threads, current_num_threads);
+            assert_eq!((a, b), (5, 5));
+        });
+    }
+
+    #[test]
+    fn combinators_match_sequential() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let (evens, odds): (Vec<i32>, Vec<i32>) =
+            (0..6).into_par_iter().map(|x| (2 * x, 2 * x + 1)).unzip();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(odds, vec![1, 3, 5, 7, 9, 11]);
+        let data = [1u32, 2, 3, 4, 5];
+        let sums: Vec<u32> = data.par_chunks(2).map(|c| c.iter().sum::<u32>()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+    }
+}

@@ -37,13 +37,13 @@ fn extreme_configurations_render_identically() {
         let tree = build(mesh.clone(), Algorithm::InPlace, &BuildParams::default());
         render(&tree, &cam, v.light).1
     };
-    for (ci, cb, s, r) in [(3.0, 0.0, 1, 16), (101.0, 60.0, 8, 8192), (3.0, 60.0, 1, 8192)] {
+    for (ci, cb, s, r) in [
+        (3.0, 0.0, 1, 16),
+        (101.0, 60.0, 8, 8192),
+        (3.0, 60.0, 1, 8192),
+    ] {
         for algo in Algorithm::ALL {
-            let tree = build(
-                mesh.clone(),
-                algo,
-                &BuildParams::from_config(ci, cb, s, r),
-            );
+            let tree = build(mesh.clone(), algo, &BuildParams::from_config(ci, cb, s, r));
             let (_, stats) = render(&tree, &cam, v.light);
             assert_eq!(stats, reference, "{algo} at ({ci}, {cb}, {s}, {r})");
         }
@@ -68,10 +68,14 @@ fn lazy_expansion_is_thread_safe_under_parallel_render() {
         render(&tree, &cam, v.light).1
     };
     for _ in 0..3 {
-        let tree = build(mesh.clone(), Algorithm::Lazy, &BuildParams {
-            r: 64,
-            ..BuildParams::default()
-        });
+        let tree = build(
+            mesh.clone(),
+            Algorithm::Lazy,
+            &BuildParams {
+                r: 64,
+                ..BuildParams::default()
+            },
+        );
         let stats = pool.install(|| render(&tree, &cam, v.light).1);
         assert_eq!(stats, sequential);
     }

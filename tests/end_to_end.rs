@@ -59,7 +59,10 @@ fn fairy_forest_is_the_occlusion_corner_case() {
         .tuner_seed(3);
     let r = p.step();
     let hit_fraction = r.stats.primary_hits as f64 / r.stats.primary_rays as f64;
-    assert!(hit_fraction > 0.9, "camera buried in geometry: {hit_fraction}");
+    assert!(
+        hit_fraction > 0.9,
+        "camera buried in geometry: {hit_fraction}"
+    );
 }
 
 #[test]

@@ -17,18 +17,17 @@ fn structural_cost(mesh: &Arc<kdtune::geometry::TriangleMesh>, params: &BuildPar
     stats.sah_cost as f64 + 0.01 * stats.node_count as f64
 }
 
-fn tune_structurally(mesh: &Arc<kdtune::geometry::TriangleMesh>, seed: u64, iters: usize) -> (Vec<i64>, f64) {
+fn tune_structurally(
+    mesh: &Arc<kdtune::geometry::TriangleMesh>,
+    seed: u64,
+    iters: usize,
+) -> (Vec<i64>, f64) {
     let mut tuner = Tuner::builder().seed(seed).build();
     let ci = tuner.register_parameter("CI", 3, 101, 1);
     let cb = tuner.register_parameter("CB", 0, 60, 1);
     for _ in 0..iters {
         tuner.start_cycle();
-        let params = BuildParams::from_config(
-            tuner.get(ci) as f32,
-            tuner.get(cb) as f32,
-            3,
-            4096,
-        );
+        let params = BuildParams::from_config(tuner.get(ci) as f32, tuner.get(cb) as f32, 3, 4096);
         tuner.stop_with(structural_cost(mesh, &params));
     }
     let (config, cost) = tuner.best().expect("tuned");
