@@ -5,7 +5,9 @@
 //! 3. the lazy threshold `R` under a low-occlusion vs high-occlusion query
 //!    load,
 //! 4. Nelder–Mead seeding size (convergence evaluations, measured as time
-//!    over a synthetic objective).
+//!    over a synthetic objective),
+//! 5. thread-pool width for the breadth-first in-place build (the bug this
+//!    PR fixes: before, widening the pool changed nothing).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kdtune::raycast::{render, Camera};
@@ -174,12 +176,45 @@ fn bench_binned_vs_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_inplace_thread_scaling(c: &mut Criterion) {
+    // The level-synchronous in-place build across pool widths. On real
+    // multi-core hardware the 4- and 8-thread rows should be well under
+    // the 1-thread row; a flat profile is the "parallel in name only"
+    // regression this PR's tests pin down.
+    use kdtune_bench::platforms::run_on;
+    let mesh = fairy_forest(&SceneParams::quick()).frame(0);
+    let mut group = c.benchmark_group("ablation_inplace_threads");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("in_place_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_on(threads, || {
+                        black_box(build(
+                            mesh.clone(),
+                            Algorithm::InPlace,
+                            &BuildParams::default(),
+                        ))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_s_sweep,
     bench_r_sweep,
     bench_sah_vs_median_frame,
     bench_seeding_size,
-    bench_binned_vs_sweep
+    bench_binned_vs_sweep,
+    bench_inplace_thread_scaling
 );
 criterion_main!(benches);

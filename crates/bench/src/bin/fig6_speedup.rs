@@ -37,7 +37,10 @@ fn main() {
     for scene in &scenes {
         print!("{:<14}", scene.name);
         for algo in Algorithm::ALL {
-            let outcomes = tune_scene_repeated(scene, algo, &opts);
+            // `--threads N` pins the pool width for the whole tuning run
+            // (builds included), so speedups at a given width are
+            // reproducible across machines.
+            let outcomes = args.with_pool(|| tune_scene_repeated(scene, algo, &opts));
             let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
             let s = median(&speedups);
             print!(" {:>11.2}", s);

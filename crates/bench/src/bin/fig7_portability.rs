@@ -60,22 +60,24 @@ fn main() {
         println!("\n(c) Sibenik across emulated platforms (thread-pool widths)");
         let scene = sibenik(&opts.scene_params);
         for platform in PLATFORMS {
-            let outcomes = run_on(platform.threads, || {
-                tune_scene_repeated(&scene, ALGO, &opts)
-            });
+            // `--threads N` overrides every profile's width — useful for
+            // checking how much of the (c) spread is the pool width vs
+            // run-to-run tuner noise.
+            let width = args.threads.unwrap_or(platform.threads);
+            let outcomes = run_on(width, || tune_scene_repeated(&scene, ALGO, &opts));
             let configs: Vec<Config> = outcomes.into_iter().map(|o| o.tuned_config).collect();
             report("platforms", platform.name, &configs, &mut csv);
         }
     } else {
         println!("\n(a) static scenes");
         for scene in static_scenes(&opts.scene_params) {
-            let outcomes = tune_scene_repeated(&scene, ALGO, &opts);
+            let outcomes = args.with_pool(|| tune_scene_repeated(&scene, ALGO, &opts));
             let configs: Vec<Config> = outcomes.into_iter().map(|o| o.tuned_config).collect();
             report("static", scene.name, &configs, &mut csv);
         }
         println!("\n(b) dynamic scenes");
         for scene in dynamic_scenes(&opts.scene_params) {
-            let outcomes = tune_scene_repeated(&scene, ALGO, &opts);
+            let outcomes = args.with_pool(|| tune_scene_repeated(&scene, ALGO, &opts));
             let configs: Vec<Config> = outcomes.into_iter().map(|o| o.tuned_config).collect();
             report("dynamic", scene.name, &configs, &mut csv);
         }

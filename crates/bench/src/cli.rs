@@ -17,6 +17,9 @@ pub struct ExperimentArgs {
     /// Write a JSONL telemetry trace of the run (`--trace FILE`, or the
     /// `KDTUNE_TRACE` environment variable).
     pub trace: Option<PathBuf>,
+    /// Pin the Rayon pool width (`--threads N`). `None` uses the
+    /// machine's default width (or, for fig7, each platform profile).
+    pub threads: Option<usize>,
     /// Extra flags the specific binary interprets (e.g. `--platforms`).
     pub flags: Vec<String>,
 }
@@ -29,6 +32,7 @@ impl Default for ExperimentArgs {
             scene: None,
             repeats: None,
             trace: None,
+            threads: None,
             flags: Vec::new(),
         }
     }
@@ -60,10 +64,19 @@ impl ExperimentArgs {
                 "--trace" => {
                     out.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
                 }
+                "--threads" => {
+                    let n = it.next().ok_or("--threads needs a number")?;
+                    let n: usize = n.parse().map_err(|e| format!("bad --threads {n}: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    out.threads = Some(n);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "options: --quick (default) | --full | --out DIR | --scene NAME | \
-                         --repeats N | --trace FILE | binary-specific flags (e.g. --platforms)"
+                         --repeats N | --trace FILE | --threads N | binary-specific flags \
+                         (e.g. --platforms)"
                             .to_string(),
                     )
                 }
@@ -109,6 +122,15 @@ impl ExperimentArgs {
     /// True when a binary-specific flag was passed.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Runs `f` inside a pool of `--threads` workers when the flag was
+    /// given; otherwise runs it directly on the default-width pool.
+    pub fn with_pool<T: Send>(&self, f: impl FnOnce() -> T + Send) -> T {
+        match self.threads {
+            Some(n) => crate::platforms::run_on(n, f),
+            None => f(),
+        }
     }
 }
 
@@ -157,5 +179,16 @@ mod tests {
         assert!(parse(&["sibenik"]).is_err());
         assert!(parse(&["--repeats", "abc"]).is_err());
         assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse(&[]).unwrap().threads, None);
+        let a = parse(&["--threads", "8"]).unwrap();
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.with_pool(rayon::current_num_threads), 8);
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
     }
 }

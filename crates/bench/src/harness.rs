@@ -107,8 +107,10 @@ pub fn tune_scene(
         .tuner_seed(seed);
     let (_, converged) = pipeline.run_until_converged(opts.max_tuning_frames);
 
-    // Steady state at the tuned configuration.
-    let window_start = pipeline.next_frame_index();
+    // Steady state at the tuned configuration. The baseline window starts
+    // at the same pipeline *step* index, so on repeated dynamic scenes it
+    // renders exactly the animation frames the tuned steps render.
+    let window_start = pipeline.steps_taken();
     let mut tuned: Vec<f64> = Vec::with_capacity(opts.steady_window);
     for _ in 0..opts.steady_window {
         tuned.push(pipeline.step().total_secs);

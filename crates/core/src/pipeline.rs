@@ -26,7 +26,7 @@ impl PipelineReport {
         assert!(n > 0, "no frames recorded");
         let tail = &self.frames[n.saturating_sub(window)..];
         let mut v: Vec<f64> = tail.iter().map(|f| f.total_secs).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 }
@@ -107,6 +107,15 @@ impl TunedPipeline {
         self.frame / self.frame_repeat
     }
 
+    /// The number of [`TunedPipeline::step`] calls taken so far. Pipeline
+    /// *step* indices (which advance every frame) and *animation* frame
+    /// indices (which advance every `frame_repeat` steps) differ on
+    /// repeated dynamic scenes; [`TunedPipeline::baseline_range`] takes
+    /// the former.
+    pub fn steps_taken(&self) -> usize {
+        self.frame
+    }
+
     /// Runs `n` frames.
     pub fn run(&mut self, n: usize) -> PipelineReport {
         for _ in 0..n {
@@ -135,20 +144,29 @@ impl TunedPipeline {
     }
 
     /// Measures the *untuned* baseline: the same frame loop pinned to
-    /// `C_base`, for `n` frames starting at the animation origin. Returns
+    /// `C_base`, for `n` steps starting at the animation origin. Returns
     /// per-frame total seconds.
     pub fn baseline(&self, n: usize) -> Vec<f64> {
         self.baseline_range(0, n)
     }
 
-    /// Baseline over animation frames `start .. start + n` (use the same
-    /// frame indices as a tuned window for a fair dynamic-scene
-    /// comparison).
+    /// The animation frames pipeline steps `start .. start + n` render —
+    /// each animation frame repeats `frame_repeat` times, exactly
+    /// mirroring [`TunedPipeline::step`].
+    fn baseline_frames(&self, start: usize, n: usize) -> impl Iterator<Item = usize> + '_ {
+        (start..start + n).map(move |f| f / self.frame_repeat)
+    }
+
+    /// Baseline over pipeline *steps* `start .. start + n`: renders the
+    /// same animation-frame sequence the tuned steps at those positions
+    /// render (pass [`TunedPipeline::steps_taken`] as `start` to mirror a
+    /// tuned window on a repeated dynamic scene — not the animation frame
+    /// index, which would divide by `frame_repeat` twice).
     pub fn baseline_range(&self, start: usize, n: usize) -> Vec<f64> {
         let params = base_build_params();
-        (start..start + n)
-            .map(|f| {
-                let mesh = self.scene.frame(f / self.frame_repeat);
+        self.baseline_frames(start, n)
+            .map(|frame| {
+                let mesh = self.scene.frame(frame);
                 let (b, r, _) = run_frame_with(
                     mesh,
                     self.workflow.algorithm(),
@@ -202,5 +220,27 @@ mod tests {
         let mut p = pipeline();
         p.step();
         let _ = p.tuner_seed(9);
+    }
+
+    #[test]
+    fn baseline_range_mirrors_step_frames_under_frame_repeat() {
+        // Regression: baseline_range takes pipeline step indices and must
+        // render exactly the animation frames those steps render. The old
+        // harness passed an animation frame index, dividing by the repeat
+        // factor twice and comparing against the wrong window.
+        let mut p = pipeline().frame_repeat(5);
+        for _ in 0..7 {
+            p.step();
+        }
+        assert_eq!(p.steps_taken(), 7);
+        // Steps 7..12 render animation frames 1,1,1,2,2 …
+        let frames: Vec<usize> = p.baseline_frames(p.steps_taken(), 5).collect();
+        assert_eq!(frames, vec![1, 1, 1, 2, 2]);
+        // … and the next tuned step agrees with the window's first frame.
+        assert_eq!(p.next_frame_index(), frames[0]);
+        // A fair window therefore covers frame_repeat steps per frame.
+        let costs = p.baseline_range(p.steps_taken(), 2);
+        assert_eq!(costs.len(), 2);
+        assert!(costs.iter().all(|&c| c > 0.0));
     }
 }

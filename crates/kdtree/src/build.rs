@@ -10,20 +10,27 @@
 //! * [`Algorithm::Nested`]: node-level tasking plus parallel classification
 //!   of the primitive lists inside large nodes ([`crate::scan`]).
 //! * [`Algorithm::InPlace`]: breadth-first over an arena, one level at a
-//!   time, parallel over the primitives of each level.
+//!   time — the level's frontier nodes run as parallel tasks (grained to
+//!   `threads · S`), large nodes classify their primitive lists with the
+//!   parallel scan, and child slots come from a prefix scan over the
+//!   level's split decisions.
 //! * [`Algorithm::Lazy`]: the breadth-first builder stopped at resolution
 //!   `R`; nodes holding ≤ `R` primitives are deferred and only expanded
 //!   when a ray reaches them ([`crate::LazyKdTree`]).
 //!
-//! Each build is wrapped in a `kdtree.build` telemetry span and the
-//! tasking builders count spawned subtree tasks on
-//! `kdtree.build.tasks` — see the `kdtune-telemetry` crate.
+//! Each build is wrapped in a `kdtree.build` telemetry span, the tasking
+//! builders count spawned subtree tasks on `kdtree.build.tasks`, and the
+//! breadth-first builders emit one `kdtree.build.level` event per level
+//! (node/primitive counts) plus the `kdtree.build.levels` counter — see
+//! the `kdtune-telemetry` crate.
 
 use crate::binned::best_split_binned;
 use crate::query::BuiltTree;
 use crate::sah::SahParams;
-use crate::scan::par_classify_scan;
-use crate::split::{best_split_sweep_idx, classify, sweep_events, EventKind, SplitPlane};
+use crate::scan::{par_classify_scan, par_map};
+use crate::split::{
+    best_split_sweep_idx, best_split_sweep_idx_par, classify, sweep_events, EventKind, SplitPlane,
+};
 use crate::tree::{BuildNode, KdTree};
 use crate::LazyKdTree;
 use kdtune_geometry::{Aabb, Axis, TriangleMesh};
@@ -149,6 +156,13 @@ impl BuildParams {
         // ceil(log2(tasks)): 2^depth leaves of the task tree.
         (64 - tasks.next_power_of_two().leading_zeros() - 1).min(24)
     }
+
+    /// Target number of frontier tasks per level for the breadth-first
+    /// builders — the same `threads · S` budget the tasking builders use
+    /// for their subtree forks.
+    fn level_tasks(&self) -> usize {
+        rayon::current_num_threads().max(1) * self.s.max(1) as usize
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -169,25 +183,46 @@ pub(crate) struct BuildCtx<'a> {
     pub nested: bool,
     /// Split-plane search strategy.
     pub split: SplitMethod,
+    /// Target frontier tasks per level for the breadth-first builders
+    /// (`threads · S`); irrelevant to the recursive builders.
+    pub level_tasks: usize,
 }
 
-/// Node size below which the Nested algorithm's parallel classification
-/// is not worth the scan overhead.
-const NESTED_MIN_PRIMS: usize = 4096;
+/// Node size from which the in-node classification uses the
+/// count→scan→scatter path in the breadth-first builders (and the Nested
+/// recursion).
+const PAR_NODE_MIN_PRIMS: usize = 4096;
+
+/// Node size from which the three per-axis SAH sweeps run as parallel
+/// tasks. The sweep sorts an event list per axis, so each fork carries
+/// real work — but still an order of magnitude more than the
+/// classification scan, hence the higher bar before forking pays.
+const SWEEP_FORK_MIN_PRIMS: usize = 16_384;
+
+/// Primitives per level-decision task: fan a level out into at most
+/// `level_prims / LEVEL_TASK_GRAIN + 1` tasks so no fork carries less
+/// than a few milliseconds of sweep work.
+const LEVEL_TASK_GRAIN: usize = 8_192;
 
 /// The split decision every algorithm shares: find the best plane and
 /// apply the depth cap and the SAH termination criterion (eq. 2).
-/// `None` means "make a leaf".
+/// `None` means "make a leaf". With `fork_axes`, large nodes search the
+/// three axes as parallel tasks; the selected plane is identical either
+/// way.
 fn choose_split(
     ctx: &BuildCtx<'_>,
     indices: &[u32],
     node: &Aabb,
     depth: u32,
+    fork_axes: bool,
 ) -> Option<SplitPlane> {
     if indices.is_empty() || depth >= ctx.max_depth {
         return None;
     }
     let plane = match ctx.split {
+        SplitMethod::Sweep if fork_axes && indices.len() >= SWEEP_FORK_MIN_PRIMS => {
+            best_split_sweep_idx_par(ctx.bounds, indices, node, &ctx.sah)
+        }
         SplitMethod::Sweep => best_split_sweep_idx(ctx.bounds, indices, node, &ctx.sah),
         SplitMethod::Binned { bins } => {
             best_split_binned(ctx.bounds, indices, node, &ctx.sah, bins as usize)
@@ -202,7 +237,22 @@ fn choose_split(
 /// Partitions a node's primitives by `plane`, in parallel when the
 /// Nested strategy is active and the node is large enough.
 fn split_indices(ctx: &BuildCtx<'_>, indices: &[u32], plane: &SplitPlane) -> (Vec<u32>, Vec<u32>) {
-    if ctx.nested && indices.len() >= NESTED_MIN_PRIMS {
+    if ctx.nested && indices.len() >= PAR_NODE_MIN_PRIMS {
+        par_classify_scan(ctx.bounds, indices, plane.axis, plane.pos)
+    } else {
+        classify(ctx.bounds, indices, plane.axis, plane.pos)
+    }
+}
+
+/// Partitions a node's primitives for the breadth-first builders: large
+/// nodes always take the count→scan→scatter path, regardless of
+/// algorithm — §IV-C is "parallel over the primitives of each level".
+fn split_indices_level(
+    ctx: &BuildCtx<'_>,
+    indices: &[u32],
+    plane: &SplitPlane,
+) -> (Vec<u32>, Vec<u32>) {
+    if indices.len() >= PAR_NODE_MIN_PRIMS {
         par_classify_scan(ctx.bounds, indices, plane.axis, plane.pos)
     } else {
         classify(ctx.bounds, indices, plane.axis, plane.pos)
@@ -221,7 +271,7 @@ pub(crate) fn build_recursive(
     bounds: Aabb,
     depth: u32,
 ) -> BuildNode {
-    let Some(plane) = choose_split(ctx, &indices, &bounds, depth) else {
+    let Some(plane) = choose_split(ctx, &indices, &bounds, depth, true) else {
         return BuildNode::Leaf(indices);
     };
     let (left_idx, right_idx) = split_indices(ctx, &indices, &plane);
@@ -279,9 +329,78 @@ pub(crate) enum TempNode {
     Pending,
 }
 
-/// Breadth-first SAH build. Nodes with ≤ `defer_below` primitives become
-/// [`TempNode::Deferred`] instead of being subdivided (`None` disables
-/// deferral — the InPlace algorithm).
+/// Per-node outcome of a level's parallel decision pass, before child
+/// slots have been assigned.
+enum Decision {
+    /// Park the node for lazy expansion.
+    Defer {
+        /// Primitive ids of the deferred subtree.
+        prims: Vec<u32>,
+        /// The node's bounding box.
+        bounds: Aabb,
+    },
+    /// Terminate with a leaf.
+    Leaf(Vec<u32>),
+    /// Split; children receive slots in the commit pass.
+    Split {
+        /// Split axis.
+        axis: Axis,
+        /// Split position.
+        pos: f32,
+        /// Left child primitives and bounds.
+        left: (Vec<u32>, Aabb),
+        /// Right child primitives and bounds.
+        right: (Vec<u32>, Aabb),
+    },
+}
+
+/// Decides one frontier node: defer / leaf / split. Pure with respect to
+/// the arena, so a whole level can run as independent parallel tasks.
+/// `fork_in_node` turns on in-node axis forking — only worthwhile while
+/// the level itself has too few nodes to fill the machine.
+fn decide_node(
+    ctx: &BuildCtx<'_>,
+    indices: Vec<u32>,
+    bounds: Aabb,
+    depth: u32,
+    defer_below: Option<u32>,
+    fork_in_node: bool,
+) -> Decision {
+    if let Some(r) = defer_below {
+        if !indices.is_empty() && indices.len() as u32 <= r {
+            return Decision::Defer {
+                prims: indices,
+                bounds,
+            };
+        }
+    }
+    let Some(plane) = choose_split(ctx, &indices, &bounds, depth, fork_in_node) else {
+        return Decision::Leaf(indices);
+    };
+    let (left_idx, right_idx) = split_indices_level(ctx, &indices, &plane);
+    let (lb, rb) = bounds.split(plane.axis, plane.pos);
+    Decision::Split {
+        axis: plane.axis,
+        pos: plane.pos,
+        left: (left_idx, lb),
+        right: (right_idx, rb),
+    }
+}
+
+/// Breadth-first SAH build, level-synchronous and parallel (paper §IV-C,
+/// after Choi et al.): each level's frontier nodes are decided as rayon
+/// tasks (chunked so roughly `threads · S` tasks exist), large nodes use
+/// the count→scan→scatter classification internally, and child slots are
+/// assigned by a prefix scan over the level's split decisions — giving an
+/// arena laid out identically to a sequential frontier walk.
+///
+/// Nodes with ≤ `defer_below` primitives become [`TempNode::Deferred`]
+/// instead of being subdivided (`None` disables deferral — the InPlace
+/// algorithm).
+/// One undecided node on the breadth-first frontier:
+/// `(arena slot, primitives, bounds, depth)`.
+type FrontierNode = (usize, Vec<u32>, Aabb, u32);
+
 fn build_arena(
     ctx: &BuildCtx<'_>,
     root_indices: Vec<u32>,
@@ -289,40 +408,104 @@ fn build_arena(
     defer_below: Option<u32>,
 ) -> Vec<TempNode> {
     let mut arena: Vec<TempNode> = vec![TempNode::Pending];
-    // (arena slot, primitives, bounds, depth)
-    let mut frontier: Vec<(usize, Vec<u32>, Aabb, u32)> = vec![(0, root_indices, root_bounds, 0)];
+    let mut frontier: Vec<FrontierNode> = vec![(0, root_indices, root_bounds, 0)];
     let mut levels = 0u64;
     while !frontier.is_empty() {
-        levels += 1;
         let level = std::mem::take(&mut frontier);
-        for (slot, indices, bounds, depth) in level {
-            if let Some(r) = defer_below {
-                if !indices.is_empty() && indices.len() as u32 <= r {
-                    arena[slot] = TempNode::Deferred {
-                        prims: indices,
-                        bounds,
+        let level_prims: usize = level.iter().map(|(_, ix, _, _)| ix.len()).sum();
+        if telemetry::enabled() {
+            telemetry::event(
+                "kdtree.build.level",
+                &[
+                    ("level", levels.into()),
+                    ("nodes", level.len().into()),
+                    ("prims", level_prims.into()),
+                ],
+            );
+        }
+        levels += 1;
+
+        // Decision pass: every frontier node independently, as a
+        // join-based fan-out of up to `threads · S` ordered tasks over
+        // the level (mirroring the recursive builders' task budget),
+        // capped so each task owns enough primitives to amortize its
+        // fork. Tasks are contiguous groups of roughly equal primitive
+        // mass — splitting by node count would let one huge node stall
+        // its whole half. While the groups are too few to fill the
+        // machine, the nodes themselves also fork their per-axis sweeps.
+        let tasks = ctx
+            .level_tasks
+            .min(level_prims / LEVEL_TASK_GRAIN + 1)
+            .max(1);
+        let target_mass = level_prims / tasks + 1;
+        let mut groups: Vec<Vec<FrontierNode>> = Vec::with_capacity(tasks);
+        let mut cur = Vec::new();
+        let mut mass = 0usize;
+        for item in level {
+            mass += item.1.len();
+            cur.push(item);
+            if mass >= target_mass {
+                groups.push(std::mem::take(&mut cur));
+                mass = 0;
+            }
+        }
+        if !cur.is_empty() {
+            groups.push(cur);
+        }
+        let fork_in_node = groups.len() < rayon::current_num_threads();
+        let n_groups = groups.len();
+        let decisions: Vec<(usize, u32, Decision)> = par_map(groups, n_groups, &|group| {
+            group
+                .into_iter()
+                .map(|(slot, indices, bounds, depth)| {
+                    let d = decide_node(ctx, indices, bounds, depth, defer_below, fork_in_node);
+                    (slot, depth, d)
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Slot allocation: an exclusive prefix scan over the split
+        // decisions hands each split a consecutive pair of child slots,
+        // in frontier order (exactly the slots a serial `arena.push`
+        // walk would have produced).
+        let base = arena.len();
+        let mut splits = 0usize;
+        let child_base: Vec<usize> = decisions
+            .iter()
+            .map(|(_, _, d)| {
+                let b = base + 2 * splits;
+                splits += matches!(d, Decision::Split { .. }) as usize;
+                b
+            })
+            .collect();
+        arena.resize_with(base + 2 * splits, || TempNode::Pending);
+
+        // Commit pass: fill this level's slots and emit the next frontier.
+        for ((slot, depth, decision), children) in decisions.into_iter().zip(child_base) {
+            match decision {
+                Decision::Defer { prims, bounds } => {
+                    arena[slot] = TempNode::Deferred { prims, bounds };
+                }
+                Decision::Leaf(prims) => arena[slot] = TempNode::Leaf(prims),
+                Decision::Split {
+                    axis,
+                    pos,
+                    left: (left_idx, lb),
+                    right: (right_idx, rb),
+                } => {
+                    arena[slot] = TempNode::Inner {
+                        axis,
+                        pos,
+                        left: children as u32,
+                        right: children as u32 + 1,
                     };
-                    continue;
+                    frontier.push((children, left_idx, lb, depth + 1));
+                    frontier.push((children + 1, right_idx, rb, depth + 1));
                 }
             }
-            let Some(plane) = choose_split(ctx, &indices, &bounds, depth) else {
-                arena[slot] = TempNode::Leaf(indices);
-                continue;
-            };
-            let (left_idx, right_idx) = split_indices(ctx, &indices, &plane);
-            let (lb, rb) = bounds.split(plane.axis, plane.pos);
-            let left = arena.len() as u32;
-            let right = left + 1;
-            arena.push(TempNode::Pending);
-            arena.push(TempNode::Pending);
-            arena[slot] = TempNode::Inner {
-                axis: plane.axis,
-                pos: plane.pos,
-                left,
-                right,
-            };
-            frontier.push((left as usize, left_idx, lb, depth + 1));
-            frontier.push((right as usize, right_idx, rb, depth + 1));
         }
     }
     telemetry::counter("kdtree.build.levels").add(levels);
@@ -376,6 +559,7 @@ pub fn build(mesh: Arc<TriangleMesh>, algorithm: Algorithm, params: &BuildParams
         task_depth: params.task_depth(),
         nested: algorithm == Algorithm::Nested,
         split: params.split,
+        level_tasks: params.level_tasks(),
     };
     let tree = match algorithm {
         Algorithm::NodeLevel | Algorithm::Nested => {
@@ -489,11 +673,9 @@ pub fn build_sorted_events(mesh: Arc<TriangleMesh>, params: &BuildParams) -> KdT
         }
         // Same (pos, kind) comparator as the per-node sweep; prim order
         // within ties is irrelevant to the sweep's grouped counting.
-        list.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then((a.1 as u8).cmp(&(b.1 as u8)))
-        });
+        // total_cmp: NaN positions from degenerate meshes must not panic
+        // the sort (they order after +inf and never match a real plane).
+        list.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then((a.1 as u8).cmp(&(b.1 as u8))));
     }
     let max_depth = params.effective_max_depth(mesh.len());
     // Scratch side-marks, indexed by primitive id (bit 0 left, bit 1 right).
@@ -674,9 +856,15 @@ mod tests {
     #[test]
     fn empty_mesh_builds_single_empty_leaf() {
         let mesh = Arc::new(TriangleMesh::new());
-        for algo in [Algorithm::NodeLevel, Algorithm::Nested, Algorithm::InPlace] {
+        for algo in Algorithm::ALL {
             let tree = build(Arc::clone(&mesh), algo, &BuildParams::default());
             assert_eq!(tree.node_count(), 1, "{algo}");
+            if algo == Algorithm::Lazy {
+                // An empty root is a leaf, not a deferred node: there is
+                // nothing to expand on ray contact.
+                let lazy = tree.as_lazy().unwrap();
+                assert_eq!(lazy.deferred_count(), 0);
+            }
         }
     }
 

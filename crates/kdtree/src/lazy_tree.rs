@@ -113,6 +113,20 @@ impl LazyKdTree {
             .count()
     }
 
+    /// Total nodes in the materialized tree: eager top nodes plus every
+    /// expanded subtree's nodes (a still-deferred node counts as the one
+    /// placeholder slot it occupies). After [`LazyKdTree::expand_all`]
+    /// this is comparable node-for-node with an eager build.
+    pub fn total_node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                LazyNode::Deferred(d) => d.expanded.read().as_ref().map_or(1, |t| t.node_count()),
+                _ => 1,
+            })
+            .sum()
+    }
+
     /// Total primitive references held by deferred nodes.
     pub fn deferred_prim_references(&self) -> usize {
         self.nodes
@@ -153,8 +167,12 @@ impl LazyKdTree {
             sah: self.params.sah,
             max_depth: self.params.effective_max_depth(d.prims.len()),
             task_depth: 0,
-            nested: false,
+            // Large deferred subtrees (R can reach 8192, or the whole tree
+            // for a degenerate R) still classify in parallel; the output
+            // is identical to the sequential path.
+            nested: true,
             split: self.params.split,
+            level_tasks: 1,
         };
         let local_root = build_recursive(&ctx, (0..d.prims.len() as u32).collect(), d.bounds, 0);
         let root = remap_leaves(local_root, &d.prims);
@@ -399,6 +417,61 @@ mod tests {
         let tree = lazy_tree(64);
         tree.expand_all();
         assert_eq!(tree.expanded_count(), tree.deferred_count());
+    }
+
+    #[test]
+    fn empty_lazy_tree_answers_queries() {
+        let mesh = Arc::new(kdtune_geometry::TriangleMesh::new());
+        let tree = build(mesh, Algorithm::Lazy, &BuildParams::default());
+        let lazy = tree.as_lazy().unwrap();
+        assert_eq!(lazy.node_count(), 1);
+        assert_eq!(lazy.deferred_count(), 0);
+        let ray = Ray::new(Vec3::new(-1.0, 0.0, 0.0), Vec3::X);
+        assert!(lazy.intersect(&ray, 0.0, f32::INFINITY).is_none());
+        assert!(!lazy.intersect_any(&ray, 0.0, f32::INFINITY));
+        lazy.expand_all(); // nothing to do, must not panic
+        assert_eq!(lazy.expanded_count(), 0);
+    }
+
+    #[test]
+    fn whole_tree_deferral_expands_on_traversal() {
+        // R = u32::MAX defers the entire scene into one root node; the
+        // first ray must expand it and agree with the eager build.
+        let mesh = sibenik(&SceneParams::tiny()).frame(0);
+        let eager = build(
+            Arc::clone(&mesh),
+            Algorithm::InPlace,
+            &BuildParams::default(),
+        );
+        let params = BuildParams {
+            r: u32::MAX,
+            ..BuildParams::default()
+        };
+        let tree = build(mesh, Algorithm::Lazy, &params);
+        let lazy = tree.as_lazy().unwrap();
+        assert_eq!(lazy.node_count(), 1);
+        assert_eq!(lazy.deferred_count(), 1);
+        assert_eq!(lazy.expanded_count(), 0);
+        for i in 0..20 {
+            let a = i as f32 * 0.17;
+            let dir = Vec3::new(a.cos(), 0.25 * (a * 1.3).sin(), a.sin()).normalized();
+            let ray = Ray::new(Vec3::new(-15.0, 4.0, 0.0), dir);
+            let he = eager.intersect(&ray, 0.0, f32::INFINITY);
+            let hl = lazy.intersect(&ray, 0.0, f32::INFINITY);
+            match (he, hl) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a.t - b.t).abs() < 1e-3, "ray {i}: {} vs {}", a.t, b.t)
+                }
+                (a, b) => panic!("ray {i}: eager {a:?} vs lazy {b:?}"),
+            }
+            assert_eq!(
+                eager.intersect_any(&ray, 1e-3, 25.0),
+                lazy.intersect_any(&ray, 1e-3, 25.0),
+                "shadow ray {i}"
+            );
+        }
+        assert_eq!(lazy.expanded_count(), 1, "one root expansion serves all");
     }
 
     #[test]

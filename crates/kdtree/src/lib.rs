@@ -53,7 +53,10 @@ pub use build::{build, build_median, build_sorted_events, Algorithm, BuildParams
 pub use lazy_tree::LazyKdTree;
 pub use query::{BuiltTree, RayQuery};
 pub use sah::SahParams;
-pub use split::{best_split_naive, best_split_sweep, best_split_sweep_idx, classify, SplitPlane};
+pub use split::{
+    best_split_naive, best_split_sweep, best_split_sweep_idx, best_split_sweep_idx_par, classify,
+    SplitPlane,
+};
 pub use stats::{to_dot, TreeHistograms, TreeStats};
 #[cfg(feature = "traversal-counters")]
 pub use traverse::global_counters;

@@ -5,10 +5,37 @@
 //! counts into offsets, then write each chunk's output at its offset. The
 //! helpers here implement exactly that pattern for the primitive
 //! classification pass.
+//!
+//! All fan-out is built on `rayon::join` (the one primitive guaranteed to
+//! fork real tasks) via [`par_map`], rather than on parallel-iterator
+//! combinators — so the count and scatter passes genuinely overlap, and
+//! results stay element-for-element deterministic because the halves are
+//! recombined in order.
 
 use crate::split::sides;
 use kdtune_geometry::{Aabb, Axis};
-use rayon::prelude::*;
+
+/// Join-based ordered parallel map: splits `items` in halves down to
+/// roughly `tasks` leaf tasks, maps each leaf sequentially, and
+/// concatenates the results in input order. With `tasks <= 1` this is an
+/// ordinary sequential map.
+pub(crate) fn par_map<T, O, F>(mut items: Vec<T>, tasks: usize, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    if tasks <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let right = items.split_off(items.len() / 2);
+    let (mut left, right) = rayon::join(
+        || par_map(items, tasks / 2, f),
+        || par_map(right, tasks - tasks / 2, f),
+    );
+    left.extend(right);
+    left
+}
 
 /// Exclusive prefix sum: returns `(offsets, total)` where
 /// `offsets[i] = sum(values[..i])`.
@@ -22,8 +49,30 @@ pub fn exclusive_scan(values: &[usize]) -> (Vec<usize>, usize) {
     (offsets, acc)
 }
 
+/// Exclusive prefix sum over `(left, right)` count pairs in one pass:
+/// returns `(offsets, (left_total, right_total))` with
+/// `offsets[i] = (sum of lefts, sum of rights) over pairs[..i]`. Saves the
+/// classification scan from materializing two copied count vectors.
+pub fn exclusive_scan_pairs(pairs: &[(usize, usize)]) -> (Vec<(usize, usize)>, (usize, usize)) {
+    let mut offsets = Vec::with_capacity(pairs.len());
+    let (mut l_acc, mut r_acc) = (0usize, 0usize);
+    for &(l, r) in pairs {
+        offsets.push((l_acc, r_acc));
+        l_acc += l;
+        r_acc += r;
+    }
+    (offsets, (l_acc, r_acc))
+}
+
 /// Chunk size of the fork-join phases.
 pub(crate) const SCAN_CHUNK: usize = 2048;
+
+/// Primitives per task below which the classification passes stay on the
+/// calling thread. Classification is a cheap O(n) pass, so forking only
+/// amortizes the OS-thread fork/join cost once each task owns a very
+/// large slice; the count→scan→scatter structure (and its output) is the
+/// same either way.
+const SCAN_PAR_GRAIN: usize = 1 << 17;
 
 /// Parallel classification of `indices` against the plane `axis = pos`
 /// via count → scan → scatter:
@@ -43,23 +92,27 @@ pub fn par_classify_scan(
     if indices.is_empty() {
         return (Vec::new(), Vec::new());
     }
-    // Pass 1: per-chunk counts.
-    let counts: Vec<(usize, usize)> = indices
-        .par_chunks(SCAN_CHUNK)
-        .map(|chunk| {
-            let mut l = 0;
-            let mut r = 0;
-            for &i in chunk {
-                let (sl, sr) = sides(&bounds[i as usize], axis, pos);
-                l += sl as usize;
-                r += sr as usize;
-            }
-            (l, r)
-        })
-        .collect();
-    // Pass 2: scans.
-    let (l_offsets, l_total) = exclusive_scan(&counts.iter().map(|c| c.0).collect::<Vec<_>>());
-    let (r_offsets, r_total) = exclusive_scan(&counts.iter().map(|c| c.1).collect::<Vec<_>>());
+    let tasks = rayon::current_num_threads()
+        .max(1)
+        .min(indices.len() / SCAN_PAR_GRAIN + 1);
+    let chunks: Vec<&[u32]> = indices.chunks(SCAN_CHUNK).collect();
+    // Pass 1: per-chunk counts, caching each primitive's side flags so
+    // the scatter pass doesn't re-evaluate `sides`.
+    let counted: Vec<((usize, usize), Vec<u8>)> = par_map(chunks.clone(), tasks, &|chunk| {
+        let mut flags = Vec::with_capacity(chunk.len());
+        let mut l = 0;
+        let mut r = 0;
+        for &i in chunk {
+            let (sl, sr) = sides(&bounds[i as usize], axis, pos);
+            flags.push(sl as u8 | ((sr as u8) << 1));
+            l += sl as usize;
+            r += sr as usize;
+        }
+        ((l, r), flags)
+    });
+    let (counts, chunk_flags): (Vec<(usize, usize)>, Vec<Vec<u8>>) = counted.into_iter().unzip();
+    // Pass 2: one scan over the (l, r) pairs, no intermediate copies.
+    let (offsets, (l_total, r_total)) = exclusive_scan_pairs(&counts);
     // Pass 3: parallel scatter into preallocated outputs. Each chunk owns
     // a disjoint slice of the output, handed out by zipping the output
     // buffers' own chunk decomposition with the input chunks.
@@ -73,12 +126,12 @@ pub fn par_classify_scan(
         let mut r_rest: &mut [u32] = &mut right;
         for (k, (lc, rc)) in counts.iter().enumerate() {
             debug_assert_eq!(
-                l_offsets[k] + lc,
-                l_offsets.get(k + 1).copied().unwrap_or(l_total)
+                offsets[k].0 + lc,
+                offsets.get(k + 1).map_or(l_total, |o| o.0)
             );
             debug_assert_eq!(
-                r_offsets[k] + rc,
-                r_offsets.get(k + 1).copied().unwrap_or(r_total)
+                offsets[k].1 + rc,
+                offsets.get(k + 1).map_or(r_total, |o| o.1)
             );
             let (lw, lr) = l_rest.split_at_mut(*lc);
             let (rw, rr) = r_rest.split_at_mut(*rc);
@@ -87,27 +140,32 @@ pub fn par_classify_scan(
             l_rest = lr;
             r_rest = rr;
         }
-        indices
-            .par_chunks(SCAN_CHUNK)
-            .zip(l_windows.into_par_iter())
-            .zip(r_windows.into_par_iter())
-            .for_each(|((chunk, lw), rw)| {
-                let mut li = 0;
-                let mut ri = 0;
-                for &i in chunk {
-                    let (sl, sr) = sides(&bounds[i as usize], axis, pos);
-                    if sl {
-                        lw[li] = i;
-                        li += 1;
-                    }
-                    if sr {
-                        rw[ri] = i;
-                        ri += 1;
-                    }
+        // One scatter task: (input chunk, its cached side flags, and the
+        // disjoint left/right output windows it owns).
+        type ScatterTask<'a> = (&'a [u32], Vec<u8>, &'a mut [u32], &'a mut [u32]);
+        let work: Vec<ScatterTask<'_>> = chunks
+            .into_iter()
+            .zip(chunk_flags)
+            .zip(l_windows)
+            .zip(r_windows)
+            .map(|(((c, f), lw), rw)| (c, f, lw, rw))
+            .collect();
+        par_map(work, tasks, &|(chunk, flags, lw, rw)| {
+            let mut li = 0;
+            let mut ri = 0;
+            for (&i, &f) in chunk.iter().zip(&flags) {
+                if f & 1 != 0 {
+                    lw[li] = i;
+                    li += 1;
                 }
-                debug_assert_eq!(li, lw.len());
-                debug_assert_eq!(ri, rw.len());
-            });
+                if f & 2 != 0 {
+                    rw[ri] = i;
+                    ri += 1;
+                }
+            }
+            debug_assert_eq!(li, lw.len());
+            debug_assert_eq!(ri, rw.len());
+        });
     }
     (left, right)
 }
@@ -119,12 +177,73 @@ mod tests {
     use kdtune_geometry::Vec3;
     use proptest::prelude::*;
 
+    /// The regression this PR exists for: the breadth-first fan-out must
+    /// actually run on multiple OS threads when the pool is wide, and
+    /// stay on the calling thread when it is not.
+    #[test]
+    fn par_map_fans_out_onto_real_threads() {
+        use std::collections::HashSet;
+        use std::thread::ThreadId;
+        let items: Vec<usize> = (0..64).collect();
+        let wide = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        // The pool shim lets the submitting thread claim a queued task
+        // back if no worker has picked it up yet, so each leaf must carry
+        // enough work for a worker to win the race at least once. Retry a
+        // few times in case the workers are busy with other tests' jobs.
+        let fanned_out = (0..10).any(|_| {
+            let ids: Vec<ThreadId> = wide.install(|| {
+                par_map(items.clone(), 4, &|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    std::thread::current().id()
+                })
+            });
+            ids.iter().collect::<HashSet<_>>().len() > 1
+        });
+        assert!(
+            fanned_out,
+            "4-task par_map in a 4-thread pool never left the calling thread"
+        );
+        let narrow = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let ids: Vec<ThreadId> =
+            narrow.install(|| par_map(items, 4, &|_| std::thread::current().id()));
+        assert!(
+            ids.iter().collect::<HashSet<_>>().len() == 1,
+            "1-thread pool must run everything on the calling thread"
+        );
+    }
+
+    /// Order preservation: results line up with inputs whatever the split.
+    #[test]
+    fn par_map_preserves_order() {
+        for tasks in [1, 2, 3, 7, 64] {
+            let out = par_map((0..100).collect::<Vec<i32>>(), tasks, &|x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+        }
+    }
+
     #[test]
     fn exclusive_scan_basics() {
         assert_eq!(exclusive_scan(&[]), (vec![], 0));
         assert_eq!(exclusive_scan(&[5]), (vec![0], 5));
         assert_eq!(exclusive_scan(&[1, 2, 3]), (vec![0, 1, 3], 6));
         assert_eq!(exclusive_scan(&[0, 0, 4, 0]), (vec![0, 0, 0, 4], 4));
+    }
+
+    #[test]
+    fn exclusive_scan_pairs_matches_componentwise_scans() {
+        assert_eq!(exclusive_scan_pairs(&[]), (vec![], (0, 0)));
+        let pairs = [(1, 4), (0, 2), (3, 0), (2, 2)];
+        let (offsets, totals) = exclusive_scan_pairs(&pairs);
+        let (l, lt) = exclusive_scan(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let (r, rt) = exclusive_scan(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+        assert_eq!(totals, (lt, rt));
+        assert_eq!(offsets, l.into_iter().zip(r).collect::<Vec<_>>());
     }
 
     fn slab(lo: f32, hi: f32) -> Aabb {

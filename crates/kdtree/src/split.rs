@@ -65,11 +65,10 @@ fn collect_events<'a>(
             events.push((hi, EventKind::End));
         }
     }
-    events.sort_unstable_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap()
-            .then((a.1 as u8).cmp(&(b.1 as u8)))
-    });
+    // total_cmp, not partial_cmp().unwrap(): NaN bounds from degenerate
+    // meshes must not panic the build. NaN sorts after +inf and is
+    // rejected as a candidate by the strict in-node bounds test.
+    events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then((a.1 as u8).cmp(&(b.1 as u8))));
     events
 }
 
@@ -186,6 +185,32 @@ pub fn best_split_sweep_idx(
     best
 }
 
+/// Parallel variant of [`best_split_sweep_idx`]: the three per-axis sweeps
+/// run as rayon tasks. The candidates are reduced in axis order with the
+/// same strict comparison, so ties resolve to the sequential winner and
+/// the selected plane is identical. Worth it only for large nodes — the
+/// builders fork from `choose_split` above their in-node threshold.
+pub fn best_split_sweep_idx_par(
+    bounds: &[Aabb],
+    indices: &[u32],
+    node: &Aabb,
+    sah: &SahParams,
+) -> Option<SplitPlane> {
+    let ((x, y), z) = rayon::join(
+        || {
+            rayon::join(
+                || best_split_axis_idx(bounds, indices, node, sah, Axis::X),
+                || best_split_axis_idx(bounds, indices, node, sah, Axis::Y),
+            )
+        },
+        || best_split_axis_idx(bounds, indices, node, sah, Axis::Z),
+    );
+    [x, y, z]
+        .into_iter()
+        .flatten()
+        .reduce(|best, p| if p.cost < best.cost { p } else { best })
+}
+
 /// O(n²) reference implementation of the split search: evaluates the SAH at
 /// every candidate plane by recounting from scratch. Used by tests to
 /// validate [`best_split_sweep`]; never called on hot paths.
@@ -198,7 +223,7 @@ pub fn best_split_naive(bounds: &[Aabb], node: &Aabb, sah: &SahParams) -> Option
             .flat_map(|b| [b.min[axis], b.max[axis]])
             .filter(|&p| p > node.min[axis] && p < node.max[axis])
             .collect();
-        candidates.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.sort_unstable_by(|a, b| a.total_cmp(b));
         candidates.dedup();
         for pos in candidates {
             let mut n_left = 0;
@@ -392,6 +417,18 @@ mod tests {
                 // The plane strictly subdivides the node.
                 prop_assert!(p.pos > node.min[p.axis] && p.pos < node.max[p.axis]);
             }
+        }
+
+        /// The parallel 3-axis sweep selects exactly the sequential plane
+        /// (bit-identical, including tie-breaks).
+        #[test]
+        fn par_sweep_matches_sequential(bounds in arb_bounds(24)) {
+            let sah = SahParams::default();
+            let node = unit();
+            let idx: Vec<u32> = (0..bounds.len() as u32).collect();
+            let s = best_split_sweep_idx(&bounds, &idx, &node, &sah);
+            let p = best_split_sweep_idx_par(&bounds, &idx, &node, &sah);
+            prop_assert_eq!(s, p);
         }
 
         /// Lowering CB can only lower (or keep) the optimal cost.

@@ -2,9 +2,10 @@
 //! soups and random Table II configurations, must produce a tree that
 //! passes full validation, and the builders must agree on leaf content.
 
-use kdtune_geometry::{Triangle, TriangleMesh, Vec3};
+use kdtune_geometry::{Axis, Triangle, TriangleMesh, Vec3};
 use kdtune_kdtree::{
-    build, build_sorted_events, validate, Algorithm, BuildParams, Node, SahParams, TreeStats,
+    build, build_median, build_sorted_events, validate, Algorithm, BuildParams, Node, SahParams,
+    TreeStats,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -94,6 +95,47 @@ proptest! {
         }
         let sorted = build_sorted_events(mesh, &params);
         prop_assert_eq!(leaf_size_multiset(sorted.nodes()), reference);
+    }
+
+    /// Meshes with NaN/∞ vertices (broken exports, divide-by-zero
+    /// animations) must never panic a builder. The split comparators use
+    /// `total_cmp`, so degenerate coordinates sort deterministically
+    /// instead of tripping `partial_cmp().unwrap()`.
+    #[test]
+    fn non_finite_vertices_never_panic_builders(
+        seed in 0u64..10_000,
+        n in 1usize..120,
+        poison in proptest::collection::vec((0usize..120, 0usize..9, 0usize..3), 1..12),
+    ) {
+        let base = soup(n, seed, 3.0);
+        // Copy the soup, overwriting a handful of vertex components with
+        // NaN / ±inf along the way.
+        let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let mut mesh = TriangleMesh::new();
+        for i in 0..base.len() {
+            let mut t = base.triangle(i);
+            for &(tri, vert, which) in &poison {
+                if tri % n == i {
+                    let v = match vert % 3 {
+                        0 => &mut t.a,
+                        1 => &mut t.b,
+                        _ => &mut t.c,
+                    };
+                    v[Axis::ALL[vert / 3]] = specials[which];
+                }
+            }
+            mesh.push_triangle(t);
+        }
+        let mesh = Arc::new(mesh);
+        let params = BuildParams::default();
+        for algo in Algorithm::ALL {
+            let tree = build(Arc::clone(&mesh), algo, &params);
+            if let Some(lazy) = tree.as_lazy() {
+                lazy.expand_all();
+            }
+        }
+        let _ = build_sorted_events(Arc::clone(&mesh), &params);
+        let _ = build_median(Arc::clone(&mesh), 8, &params);
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! resolves the `rayon` package name to this local crate. The API mirrors
 //! rayon's exactly for the combinators the workspace calls; execution is
 //! sequential for the iterator combinators (identical results, since every
-//! call site is order-preserving by construction) while [`join`] runs its
-//! two closures on real OS threads so fork-join builders still overlap.
+//! call site is order-preserving by construction) while [`join`] overlaps
+//! its two closures on a persistent worker pool, mirroring real rayon's
+//! protocol: the right side is published to the pool, the left runs
+//! inline, and the caller either claims the right side back (if no worker
+//! picked it up) or waits for the worker actively running it. Waits only
+//! ever target actively-executing work, so the scheme cannot deadlock, and
+//! a pool of width 1 runs everything on the calling thread.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::cell::Cell;
 
@@ -145,6 +150,12 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// Like real rayon, a pool of width 1 runs both closures on the calling
+/// thread — so single-thread pools (and `RAYON_NUM_THREADS=1`) give a true
+/// sequential baseline instead of secretly forking. Wider pools publish
+/// `b` to the persistent workers, run `a` inline, then either claim `b`
+/// back (nobody started it) or wait for the worker actively running it.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -152,28 +163,215 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let width = POOL_WIDTH.with(|w| w.get());
-        let hb = s.spawn(move || {
-            POOL_WIDTH.with(|w| w.set(width));
-            b()
-        });
+    if current_num_threads() <= 1 {
         let ra = a();
-        (ra, hb.join().expect("rayon-shim join worker panicked"))
-    })
+        let rb = b();
+        return (ra, rb);
+    }
+    pool::join_via_pool(a, b)
+}
+
+#[allow(unsafe_code)]
+mod pool {
+    //! Persistent worker pool behind [`crate::join`].
+    //!
+    //! Forking a fresh OS thread per `join` costs close to a millisecond
+    //! on sandboxed kernels, which silently erases the gain of every
+    //! fine-grained fork. The pool keeps `available_parallelism - 1`
+    //! long-lived workers fed through a channel instead.
+    //!
+    //! Safety protocol: a submitted job holds a lifetime-erased closure
+    //! that writes `b`'s result through a raw pointer into the
+    //! submitting `join` frame. The state machine under the job's mutex
+    //! guarantees the closure runs at most once, and that the frame
+    //! outlives any access: `join` returns only after the job is
+    //! `ClaimedBack` (closure retrieved and run inline) or `Done` (a
+    //! worker finished it), and workers never touch a job they did not
+    //! transition out of `Pending` themselves.
+
+    use super::POOL_WIDTH;
+    use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+    enum State {
+        /// Submitted; holds the work. Whoever swaps this out runs it.
+        Pending(Box<dyn FnOnce() + Send>),
+        /// A worker is actively executing the closure.
+        Running,
+        /// The worker finished; the result is in the join frame.
+        Done,
+        /// The submitter took the closure back to run it inline.
+        ClaimedBack,
+    }
+
+    struct Job {
+        state: Mutex<State>,
+        cv: Condvar,
+        /// Pool width of the submitting context, inherited by the worker.
+        width: Option<usize>,
+    }
+
+    fn queue() -> &'static mpsc::Sender<Arc<Job>> {
+        static QUEUE: OnceLock<mpsc::Sender<Arc<Job>>> = OnceLock::new();
+        QUEUE.get_or_init(|| {
+            let (tx, rx) = mpsc::channel::<Arc<Job>>();
+            let rx = Arc::new(Mutex::new(rx));
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .saturating_sub(1)
+                .max(1);
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name("rayon-shim-worker".into())
+                    .spawn(move || loop {
+                        let job = match rx.lock().expect("queue lock").recv() {
+                            Ok(job) => job,
+                            Err(_) => return,
+                        };
+                        let f = {
+                            let mut st = job.state.lock().expect("job lock");
+                            match std::mem::replace(&mut *st, State::Running) {
+                                State::Pending(f) => f,
+                                // Claimed back by the submitter; restore
+                                // and never touch the job again.
+                                other => {
+                                    *st = other;
+                                    continue;
+                                }
+                            }
+                        };
+                        POOL_WIDTH.with(|w| w.set(job.width));
+                        f();
+                        let mut st = job.state.lock().expect("job lock");
+                        *st = State::Done;
+                        job.cv.notify_all();
+                    })
+                    .expect("spawn rayon-shim worker");
+            }
+            tx
+        })
+    }
+
+    /// Raw pointer wrapper so the result slot can cross into the closure.
+    struct SendPtr<T>(*mut T);
+    // SAFETY: the pointee lives in the `join` frame, and the state
+    // machine guarantees exclusive access (the closure runs at most once,
+    // on exactly one thread).
+    unsafe impl<T> Send for SendPtr<T> {}
+
+    /// Unwind guard: if the inline side panics while the stolen side is
+    /// still pending or running, the submitting frame must not unwind
+    /// away underneath it — reclaim (and drop) a pending closure, or
+    /// block until an active worker finishes, before the frame dies.
+    struct FrameGuard {
+        job: Arc<Job>,
+        armed: bool,
+    }
+
+    impl Drop for FrameGuard {
+        fn drop(&mut self) {
+            if !self.armed {
+                return;
+            }
+            let mut st = self.job.state.lock().expect("job lock");
+            match std::mem::replace(&mut *st, State::ClaimedBack) {
+                // Never started: drop the closure (and `b`) while the
+                // frame is still alive.
+                State::Pending(f) => {
+                    drop(st);
+                    drop(f);
+                }
+                State::Running => {
+                    *st = State::Running;
+                    while !matches!(*st, State::Done) {
+                        st = self.job.cv.wait(st).expect("job lock");
+                    }
+                }
+                other => *st = other,
+            }
+        }
+    }
+
+    pub(crate) fn join_via_pool<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb_slot: Option<RB> = None;
+        let slot = SendPtr(&mut rb_slot as *mut Option<RB>);
+        let closure: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let slot = slot;
+            // SAFETY: see SendPtr — exclusive, and the frame is alive
+            // because `join_via_pool` has not returned.
+            unsafe { *slot.0 = Some(b()) };
+        });
+        // SAFETY: lifetime erasure only. The state machine (plus the
+        // unwind guard) ensures the closure cannot run, or be dropped,
+        // after this frame ends: every exit path — including a panic in
+        // `a` — first moves the job to `ClaimedBack` or observes `Done`.
+        let closure: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(closure) };
+        let job = Arc::new(Job {
+            state: Mutex::new(State::Pending(closure)),
+            cv: Condvar::new(),
+            width: POOL_WIDTH.with(|w| w.get()),
+        });
+        queue().send(Arc::clone(&job)).expect("pool queue closed");
+        let mut guard = FrameGuard {
+            job: Arc::clone(&job),
+            armed: true,
+        };
+
+        let ra = a();
+
+        let mut st = job.state.lock().expect("job lock");
+        let reclaimed = match std::mem::replace(&mut *st, State::ClaimedBack) {
+            State::Pending(f) => Some(f),
+            other => {
+                *st = other;
+                None
+            }
+        };
+        match reclaimed {
+            Some(f) => {
+                drop(st);
+                f();
+            }
+            None => {
+                while !matches!(*st, State::Done) {
+                    st = job.cv.wait(st).expect("job lock");
+                }
+                drop(st);
+            }
+        }
+        guard.armed = false;
+        let rb = rb_slot
+            .take()
+            .expect("join: stolen side produced no result");
+        (ra, rb)
+    }
 }
 
 thread_local! {
     static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// The width of the current thread pool (the installed pool's configured
-/// thread count, or the machine's available parallelism).
+/// The width of the current thread pool: the installed pool's configured
+/// thread count, else the `RAYON_NUM_THREADS` environment variable (as in
+/// real rayon's global pool), else the machine's available parallelism.
 pub fn current_num_threads() -> usize {
     POOL_WIDTH.with(|w| w.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
     })
 }
 
