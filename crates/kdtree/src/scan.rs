@@ -183,33 +183,56 @@ mod tests {
     #[test]
     fn par_map_fans_out_onto_real_threads() {
         use std::collections::HashSet;
+        use std::sync::{Condvar, Mutex};
         use std::thread::ThreadId;
-        let items: Vec<usize> = (0..64).collect();
+        use std::time::Duration;
+
         let wide = rayon::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
-        // The pool shim lets the submitting thread claim a queued task
-        // back if no worker has picked it up yet, so each leaf must carry
-        // enough work for a worker to win the race at least once. Retry a
-        // few times in case the workers are busy with other tests' jobs.
-        let fanned_out = (0..10).any(|_| {
-            let ids: Vec<ThreadId> = wide.install(|| {
-                par_map(items.clone(), 4, &|_| {
-                    std::thread::sleep(std::time::Duration::from_micros(500));
-                    std::thread::current().id()
-                })
-            });
-            ids.iter().collect::<HashSet<_>>().len() > 1
+        // Two leaves, one join: the shim publishes the right leaf (item
+        // 1) to the pool and runs the left (item 0) inline. The inline
+        // leaf blocks until the published leaf reports which thread it
+        // started on, so the two leaves *must* overlap on distinct
+        // threads — no worker ever starting it is a timed-out failure,
+        // not a silent pass, and no outcome depends on sleep timing.
+        let started: (Mutex<Option<ThreadId>>, Condvar) = (Mutex::new(None), Condvar::new());
+        let ids: Vec<ThreadId> = wide.install(|| {
+            par_map(vec![0usize, 1], 2, &|item| {
+                let me = std::thread::current().id();
+                if item == 1 {
+                    *started.0.lock().unwrap() = Some(me);
+                    started.1.notify_all();
+                } else {
+                    let (slot, timeout) = started
+                        .1
+                        .wait_timeout_while(
+                            started.0.lock().unwrap(),
+                            Duration::from_secs(30),
+                            |s| s.is_none(),
+                        )
+                        .unwrap();
+                    assert!(
+                        !timeout.timed_out(),
+                        "no pool worker ever picked up the published leaf"
+                    );
+                    assert_ne!(
+                        slot.expect("signalled"),
+                        me,
+                        "the published leaf ran on the submitting thread"
+                    );
+                }
+                me
+            })
         });
-        assert!(
-            fanned_out,
-            "4-task par_map in a 4-thread pool never left the calling thread"
-        );
+        assert_eq!(ids.iter().collect::<HashSet<_>>().len(), 2);
+
         let narrow = rayon::ThreadPoolBuilder::new()
             .num_threads(1)
             .build()
             .unwrap();
+        let items: Vec<usize> = (0..64).collect();
         let ids: Vec<ThreadId> =
             narrow.install(|| par_map(items, 4, &|_| std::thread::current().id()));
         assert!(

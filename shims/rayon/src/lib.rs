@@ -12,10 +12,18 @@
 //! picked it up) or waits for the worker actively running it. Waits only
 //! ever target actively-executing work, so the scheme cannot deadlock, and
 //! a pool of width 1 runs everything on the calling thread.
+//!
+//! As in real rayon, a panic in either closure propagates to the `join`
+//! caller (a worker catches the unwind and hands the payload back), and an
+//! installed pool width `N` is a hard concurrency cap: each pool carries a
+//! budget of `N - 1` extra-thread permits, and a worker that cannot take a
+//! permit leaves the job for the submitting thread to run inline.
 
 #![deny(unsafe_code)]
 
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 pub mod prelude {
     //! The traits needed to call `.par_chunks()` / `.into_par_iter()`.
@@ -184,12 +192,13 @@ mod pool {
     //! that writes `b`'s result through a raw pointer into the
     //! submitting `join` frame. The state machine under the job's mutex
     //! guarantees the closure runs at most once, and that the frame
-    //! outlives any access: `join` returns only after the job is
-    //! `ClaimedBack` (closure retrieved and run inline) or `Done` (a
-    //! worker finished it), and workers never touch a job they did not
+    //! outlives any access: `join` exits (returns or unwinds) only after
+    //! the job is `ClaimedBack` (closure retrieved and run inline) or a
+    //! worker finished it (`Done`, or `Panicked` with the payload handed
+    //! back for re-raising), and workers never touch a job they did not
     //! transition out of `Pending` themselves.
 
-    use super::POOL_WIDTH;
+    use super::{current_ctx, PoolCtx, POOL_CTX};
     use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
     enum State {
@@ -199,6 +208,9 @@ mod pool {
         Running,
         /// The worker finished; the result is in the join frame.
         Done,
+        /// The worker's closure panicked; the payload awaits the
+        /// submitter, which re-raises it on its own thread.
+        Panicked(Box<dyn std::any::Any + Send>),
         /// The submitter took the closure back to run it inline.
         ClaimedBack,
     }
@@ -206,8 +218,9 @@ mod pool {
     struct Job {
         state: Mutex<State>,
         cv: Condvar,
-        /// Pool width of the submitting context, inherited by the worker.
-        width: Option<usize>,
+        /// Pool context (width + concurrency budget) of the submitting
+        /// thread, inherited by whichever worker runs the job.
+        ctx: PoolCtx,
     }
 
     fn queue() -> &'static mpsc::Sender<Arc<Job>> {
@@ -231,21 +244,40 @@ mod pool {
                         };
                         let f = {
                             let mut st = job.state.lock().expect("job lock");
-                            match std::mem::replace(&mut *st, State::Running) {
-                                State::Pending(f) => f,
-                                // Claimed back by the submitter; restore
-                                // and never touch the job again.
-                                other => {
-                                    *st = other;
-                                    continue;
+                            match &*st {
+                                // Take the job only if its pool has a free
+                                // extra-thread permit; otherwise leave it
+                                // Pending for the submitter to reclaim, so
+                                // an installed width stays a hard cap on
+                                // concurrency rather than a heuristic.
+                                State::Pending(_) if job.ctx.budget.try_acquire() => {
+                                    match std::mem::replace(&mut *st, State::Running) {
+                                        State::Pending(f) => f,
+                                        _ => unreachable!("state checked under the same lock"),
+                                    }
                                 }
+                                // Claimed back by the submitter, or the
+                                // pool is already at width; never touch
+                                // the job again.
+                                _ => continue,
                             }
                         };
-                        POOL_WIDTH.with(|w| w.set(job.width));
-                        f();
-                        let mut st = job.state.lock().expect("job lock");
-                        *st = State::Done;
-                        job.cv.notify_all();
+                        POOL_CTX.with(|c| *c.borrow_mut() = Some(job.ctx.clone()));
+                        // Catch panics so a failed assertion in pool-run
+                        // build code surfaces at the `join` call site
+                        // (like real rayon) instead of deadlocking the
+                        // submitter and killing this worker.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                        POOL_CTX.with(|c| *c.borrow_mut() = None);
+                        {
+                            let mut st = job.state.lock().expect("job lock");
+                            *st = match result {
+                                Ok(()) => State::Done,
+                                Err(payload) => State::Panicked(payload),
+                            };
+                            job.cv.notify_all();
+                        }
+                        job.ctx.budget.release();
                     })
                     .expect("spawn rayon-shim worker");
             }
@@ -284,9 +316,12 @@ mod pool {
                 }
                 State::Running => {
                     *st = State::Running;
-                    while !matches!(*st, State::Done) {
+                    while matches!(*st, State::Running) {
                         st = self.job.cv.wait(st).expect("job lock");
                     }
+                    // This frame is already unwinding (the inline side
+                    // panicked); if the stolen side *also* panicked, its
+                    // payload is dropped here — the first panic wins.
                 }
                 other => *st = other,
             }
@@ -316,7 +351,7 @@ mod pool {
         let job = Arc::new(Job {
             state: Mutex::new(State::Pending(closure)),
             cv: Condvar::new(),
-            width: POOL_WIDTH.with(|w| w.get()),
+            ctx: current_ctx(),
         });
         queue().send(Arc::clone(&job)).expect("pool queue closed");
         let mut guard = FrameGuard {
@@ -326,24 +361,34 @@ mod pool {
 
         let ra = a();
 
-        let mut st = job.state.lock().expect("job lock");
-        let reclaimed = match std::mem::replace(&mut *st, State::ClaimedBack) {
-            State::Pending(f) => Some(f),
-            other => {
-                *st = other;
-                None
+        let reclaimed = {
+            let mut st = job.state.lock().expect("job lock");
+            match std::mem::replace(&mut *st, State::ClaimedBack) {
+                State::Pending(f) => Some(f),
+                other => {
+                    *st = other;
+                    None
+                }
             }
         };
         match reclaimed {
-            Some(f) => {
-                drop(st);
-                f();
-            }
+            // Nobody started it: run inline (a panic here unwinds the
+            // frame naturally; the guard sees ClaimedBack and is a no-op).
+            Some(f) => f(),
             None => {
-                while !matches!(*st, State::Done) {
+                let mut st = job.state.lock().expect("job lock");
+                while matches!(*st, State::Running) {
                     st = job.cv.wait(st).expect("job lock");
                 }
-                drop(st);
+                if matches!(*st, State::Panicked(_)) {
+                    let payload = match std::mem::replace(&mut *st, State::Done) {
+                        State::Panicked(p) => p,
+                        _ => unreachable!("state checked under the same lock"),
+                    };
+                    drop(st);
+                    guard.armed = false;
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
         guard.armed = false;
@@ -354,25 +399,89 @@ mod pool {
     }
 }
 
+/// Counting semaphore bounding how many *extra* threads (beyond the
+/// submitting one) may execute a pool's jobs concurrently. Acquisition
+/// never blocks: a worker that misses a permit simply leaves the job for
+/// the submitter, so the budget can cap concurrency but never deadlock.
+struct Budget {
+    permits: AtomicUsize,
+}
+
+impl Budget {
+    fn new(extra: usize) -> Budget {
+        Budget {
+            permits: AtomicUsize::new(extra),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.permits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// The pool a thread is currently executing under: its configured width
+/// plus the shared budget of `width - 1` extra-thread permits that makes
+/// the width an enforced concurrency cap.
+#[derive(Clone)]
+struct PoolCtx {
+    width: usize,
+    budget: Arc<Budget>,
+}
+
+impl PoolCtx {
+    fn with_width(width: usize) -> PoolCtx {
+        PoolCtx {
+            width,
+            budget: Arc::new(Budget::new(width.saturating_sub(1))),
+        }
+    }
+}
+
 thread_local! {
-    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+    static POOL_CTX: RefCell<Option<PoolCtx>> = const { RefCell::new(None) };
+}
+
+/// The context a `join` submits under: the installed pool's, else the
+/// process-wide global pool context (sized once from the environment, as
+/// in real rayon's lazily-created global pool).
+fn current_ctx() -> PoolCtx {
+    POOL_CTX
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(global_ctx)
+}
+
+fn global_ctx() -> PoolCtx {
+    static GLOBAL: OnceLock<PoolCtx> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| PoolCtx::with_width(env_or_machine_width()))
+        .clone()
+}
+
+fn env_or_machine_width() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// The width of the current thread pool: the installed pool's configured
 /// thread count, else the `RAYON_NUM_THREADS` environment variable (as in
 /// real rayon's global pool), else the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    POOL_WIDTH.with(|w| w.get()).unwrap_or_else(|| {
-        std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-    })
+    POOL_CTX
+        .with(|c| c.borrow().as_ref().map(|ctx| ctx.width))
+        .unwrap_or_else(env_or_machine_width)
 }
 
 /// Error type returned by [`ThreadPoolBuilder::build`]; never produced by
@@ -409,29 +518,39 @@ impl ThreadPoolBuilder {
     /// Builds the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
-            width: self.num_threads.unwrap_or_else(current_num_threads),
+            ctx: PoolCtx::with_width(self.num_threads.unwrap_or_else(current_num_threads)),
         })
     }
 }
 
-/// A scoped thread pool. In this shim a pool only records its configured
-/// width (reported by [`current_num_threads`] inside [`ThreadPool::install`]).
+/// A scoped thread pool: inside [`ThreadPool::install`] the pool's width
+/// is both reported by [`current_num_threads`] and enforced — at most
+/// `width` threads (the installer plus `width - 1` permit-holding
+/// workers) ever execute the scope's `join` work concurrently.
 pub struct ThreadPool {
-    width: usize,
+    ctx: PoolCtx,
 }
 
 impl ThreadPool {
     /// Runs `f` "inside" the pool.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_WIDTH.with(|w| w.replace(Some(self.width)));
-        let out = f();
-        POOL_WIDTH.with(|w| w.set(prev));
-        out
+        /// Restores the previous context even if `f` unwinds — proptest
+        /// catches panics per case, so a stale width would silently leak
+        /// into later cases run on the same thread.
+        struct Restore(Option<PoolCtx>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                POOL_CTX.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(POOL_CTX.with(|c| c.borrow_mut().replace(self.ctx.clone())));
+        f()
     }
 
     /// The pool's configured width.
     pub fn current_num_threads(&self) -> usize {
-        self.width
+        self.ctx.width
     }
 }
 
@@ -464,6 +583,71 @@ mod tests {
             let (a, b) = join(current_num_threads, current_num_threads);
             assert_eq!((a, b), (5, 5));
         });
+    }
+
+    #[test]
+    fn join_propagates_panic_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // Whether a worker steals the panicking side or the submitter
+        // reclaims it inline, the panic must surface at the `join` call
+        // (not hang the caller or kill the worker). The sleep gives a
+        // worker time to steal, exercising the resume_unwind path on
+        // most runs.
+        let caught = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                join(
+                    || std::thread::sleep(std::time::Duration::from_millis(5)),
+                    || panic!("boom"),
+                )
+            })
+        });
+        let payload = caught.expect_err("panic in the stolen side must reach the caller");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // The worker that ran the panicking job must still be alive.
+        let (a, b) = pool.install(|| join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn pool_width_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        fn fan(depth: usize, live: &AtomicUsize, peak: &AtomicUsize) {
+            if depth == 0 {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            join(|| fan(depth - 1, live, peak), || fan(depth - 1, live, peak));
+        }
+
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        // 16 leaves, eagerly forked: without the permit budget this runs
+        // as wide as the machine; with it, at most the installing thread
+        // plus one permit-holding worker may be in a leaf at once.
+        pool.install(|| fan(4, &live, &peak));
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(
+            peak <= 2,
+            "width-2 pool ran {peak} leaves concurrently; the width must be a hard cap"
+        );
+    }
+
+    #[test]
+    fn install_restores_width_on_unwind() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| -> () { panic!("case failed") }));
+        assert!(caught.is_err());
+        assert_eq!(
+            current_num_threads(),
+            outer,
+            "a panicking install scope must not leak its width onto the thread"
+        );
     }
 
     #[test]
