@@ -1,0 +1,226 @@
+//! **Traversal benchmark** — render throughput of the packed-node fast
+//! path (fixed-size traversal stacks) against the heap-allocating
+//! reference path, on a fixed scene, camera and seed.
+//!
+//! Everything that could move the numbers is pinned: the scene is Fairy
+//! Forest at a fixed complexity and seed, the camera and light come from
+//! the scene's own [`ViewSpec`], the tree is built once with `InPlace`
+//! defaults and shared by both paths, and the pool defaults to one
+//! thread (override with `--threads N`). The two paths shoot identical
+//! rays, so their [`RenderStats`] must match exactly — the binary
+//! asserts it.
+//!
+//! Reports rays/sec and ns/ray per path plus the fast-over-alloc
+//! speedup, and emits `BENCH_traversal.json` into `--out <dir>`
+//! (default `results/`). Pass `--smoke` for a seconds-long CI-sized run.
+//!
+//! [`ViewSpec`]: kdtune::scenes::ViewSpec
+
+use kdtune::scenes::{fairy_forest, SceneParams};
+use kdtune::{build, Algorithm, BuildParams};
+use kdtune_bench::cli::ExperimentArgs;
+use kdtune_bench::platforms::run_on;
+use kdtune_bench::stats::median;
+use kdtune_geometry::{Hit, Ray};
+use kdtune_kdtree::{KdTree, RayQuery};
+use kdtune_raycast::{render_with, Camera, RenderStats};
+use std::path::Path;
+use std::time::Instant;
+
+/// Image edge length (square frame) for the full benchmark.
+const FULL_RES: u32 = 256;
+/// Image edge length under `--smoke`.
+const SMOKE_RES: u32 = 32;
+/// Scene complexity for the full benchmark (~120k triangles).
+const FULL_COMPLEXITY: f32 = 0.7;
+/// Measured frames per path (median is reported) without `--repeats`.
+const FULL_REPEATS: usize = 5;
+/// Measured frames per path under `--smoke` without `--repeats`.
+const SMOKE_REPEATS: usize = 2;
+
+/// Adapter that forces the heap-allocating reference traversal — the
+/// pre-packed-layout behaviour (a `Vec` stack per ray), kept as
+/// [`KdTree::intersect_alloc`] / [`KdTree::intersect_any_alloc`].
+struct AllocQuery<'a>(&'a KdTree);
+
+impl RayQuery for AllocQuery<'_> {
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        self.0.intersect_alloc(ray, t_min, t_max)
+    }
+    fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        self.0.intersect_any_alloc(ray, t_min, t_max)
+    }
+}
+
+/// One measured path: median frame time plus derived throughput.
+struct PathResult {
+    label: &'static str,
+    median_secs: f64,
+    rays: u64,
+}
+
+impl PathResult {
+    fn rays_per_sec(&self) -> f64 {
+        self.rays as f64 / self.median_secs
+    }
+    fn ns_per_ray(&self) -> f64 {
+        self.median_secs * 1e9 / self.rays as f64
+    }
+}
+
+/// Times one frame of `query` and checks it reproduced `warm_stats`.
+fn timed_frame(
+    label: &str,
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: kdtune_geometry::Vec3,
+    warm_stats: RenderStats,
+) -> f64 {
+    let t0 = Instant::now();
+    let (_, s) = render_with(query, mesh, camera, light);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(s, warm_stats, "{label}: render must be deterministic");
+    secs
+}
+
+/// Measures both paths with **interleaved** frames — one fast frame then
+/// one alloc frame per repeat, after a warmup of each — so slow drift in
+/// background machine load biases neither path. Reports the per-path
+/// median.
+fn measure_pair(
+    fast_query: &(impl RayQuery + ?Sized),
+    alloc_query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: kdtune_geometry::Vec3,
+    repeats: usize,
+) -> (PathResult, PathResult) {
+    let (_, fast_warm) = render_with(fast_query, mesh, camera, light);
+    let (_, alloc_warm) = render_with(alloc_query, mesh, camera, light);
+    assert_eq!(
+        fast_warm, alloc_warm,
+        "fast and alloc paths must trace identical rays"
+    );
+    let mut fast_times = Vec::with_capacity(repeats);
+    let mut alloc_times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        fast_times.push(timed_frame(
+            "fast", fast_query, mesh, camera, light, fast_warm,
+        ));
+        alloc_times.push(timed_frame(
+            "alloc",
+            alloc_query,
+            mesh,
+            camera,
+            light,
+            alloc_warm,
+        ));
+    }
+    let rays = fast_warm.primary_rays + fast_warm.shadow_rays;
+    let result = |label, times: &[f64]| PathResult {
+        label,
+        median_secs: median(times),
+        rays,
+    };
+    (result("fast", &fast_times), result("alloc", &alloc_times))
+}
+
+fn write_json(path: &Path, entries: &[(&str, String)]) -> std::io::Result<()> {
+    let body = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(path, format!("{{\n{body}\n}}\n"))
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let smoke = args.has_flag("--smoke");
+    let (params, res) = if smoke {
+        (SceneParams::tiny(), SMOKE_RES)
+    } else {
+        (
+            SceneParams {
+                complexity: FULL_COMPLEXITY,
+                ..SceneParams::default()
+            },
+            FULL_RES,
+        )
+    };
+    let repeats = args
+        .repeats
+        .unwrap_or(if smoke { SMOKE_REPEATS } else { FULL_REPEATS });
+    // Single-threaded unless overridden: the point is the per-ray cost of
+    // the traversal inner loop, not pool scaling.
+    let threads = args.threads.unwrap_or(1);
+
+    let scene = fairy_forest(&params);
+    let mesh = scene.frame(0);
+    let v = scene.view;
+    let camera = Camera::look_at(v.eye, v.target, v.up, v.fov_deg, res, res);
+    let tree = build(mesh.clone(), Algorithm::InPlace, &BuildParams::default());
+    let eager = tree.as_eager().expect("InPlace builds an eager tree");
+    println!(
+        "traversal bench — fairy_forest (complexity {}, seed {:#x}), {} tris, {res}x{res}, \
+         {} nodes ({} KiB packed), depth bound {}, {threads} thread(s), {repeats} repeats",
+        params.complexity,
+        params.seed,
+        mesh.len(),
+        eager.node_count(),
+        eager.node_bytes() / 1024,
+        eager.traversal_depth_bound(),
+    );
+
+    let (fast, alloc) = run_on(threads, || {
+        measure_pair(&tree, &AllocQuery(eager), &mesh, &camera, v.light, repeats)
+    });
+
+    println!(
+        "{:<8} {:>12} {:>14} {:>10}",
+        "path", "frame ms", "rays/sec", "ns/ray"
+    );
+    for r in [&fast, &alloc] {
+        println!(
+            "{:<8} {:>12.3} {:>14.0} {:>10.1}",
+            r.label,
+            r.median_secs * 1e3,
+            r.rays_per_sec(),
+            r.ns_per_ray()
+        );
+    }
+    let speedup = alloc.median_secs / fast.median_secs;
+    println!("speedup (alloc/fast): {speedup:.2}x");
+
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let path = out_dir.join("BENCH_traversal.json");
+    write_json(
+        &path,
+        &[
+            ("scene", "\"fairy_forest\"".into()),
+            ("complexity", format!("{}", params.complexity)),
+            ("seed", format!("{}", params.seed)),
+            ("triangles", format!("{}", mesh.len())),
+            ("resolution", format!("{res}")),
+            ("threads", format!("{threads}")),
+            ("repeats", format!("{repeats}")),
+            ("node_count", format!("{}", tree.node_count())),
+            ("node_bytes", format!("{}", tree.node_bytes())),
+            ("rays_per_frame", format!("{}", fast.rays)),
+            ("fast_median_ms", format!("{:.6}", fast.median_secs * 1e3)),
+            ("fast_rays_per_sec", format!("{:.1}", fast.rays_per_sec())),
+            ("fast_ns_per_ray", format!("{:.3}", fast.ns_per_ray())),
+            ("alloc_median_ms", format!("{:.6}", alloc.median_secs * 1e3)),
+            ("alloc_rays_per_sec", format!("{:.1}", alloc.rays_per_sec())),
+            ("alloc_ns_per_ray", format!("{:.3}", alloc.ns_per_ray())),
+            ("speedup_alloc_over_fast", format!("{speedup:.4}")),
+        ],
+    )
+    .expect("json write");
+    eprintln!("wrote {}", path.display());
+}

@@ -183,6 +183,8 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
                     ("duplication", s.duplication_factor.into()),
                     ("avg_leaf_prims", s.avg_leaf_prims.into()),
                     ("sah_cost", s.sah_cost.into()),
+                    ("node_bytes", s.node_bytes.into()),
+                    ("memory_bytes", s.memory_bytes.into()),
                 ],
             );
         }
@@ -259,6 +261,8 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let mut build_h = Histogram::new();
     let mut render_h = Histogram::new();
     let mut total_h = Histogram::new();
+    let mut rays_per_sec: Vec<f64> = Vec::new();
+    let mut node_bytes_last: Option<u64> = None;
     // (t_us, line) pairs for the timeline, already in file order.
     let mut timeline: Vec<String> = Vec::new();
 
@@ -282,6 +286,14 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                     if let Some(secs) = fget(&v, key).and_then(|x| x.as_f64()) {
                         h.record_secs(secs);
                     }
+                }
+                if let Some(rps) = fget(&v, "rays_per_sec").and_then(|x| x.as_f64()) {
+                    if rps > 0.0 {
+                        rays_per_sec.push(rps);
+                    }
+                }
+                if let Some(nb) = fget(&v, "node_bytes").and_then(|x| x.as_u64()) {
+                    node_bytes_last = Some(nb);
                 }
             }
             "tuner.phase" => {
@@ -348,6 +360,25 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                 kdtune::telemetry::Summary::fmt_us(s.p50_us),
                 kdtune::telemetry::Summary::fmt_us(s.p90_us),
                 kdtune::telemetry::Summary::fmt_us(s.p99_us),
+            );
+        }
+    }
+    if !rays_per_sec.is_empty() {
+        rays_per_sec.sort_by(f64::total_cmp);
+        let mean = rays_per_sec.iter().sum::<f64>() / rays_per_sec.len() as f64;
+        let p50 = rays_per_sec[rays_per_sec.len() / 2];
+        let max = *rays_per_sec.last().unwrap();
+        println!("\ntraversal throughput:");
+        println!(
+            "  rays/sec  mean {:.2}M  p50 {:.2}M  max {:.2}M",
+            mean / 1e6,
+            p50 / 1e6,
+            max / 1e6
+        );
+        if let Some(nb) = node_bytes_last {
+            println!(
+                "  tree nodes  {:.1} KiB packed (8 B/node)",
+                nb as f64 / 1024.0
             );
         }
     }

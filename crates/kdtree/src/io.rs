@@ -8,7 +8,7 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic   "KDT1"                        4 bytes
+//! magic   "KDT2"                        4 bytes
 //! nv      vertex count                  u64
 //! nt      triangle count                u64
 //! nn      node count                    u64
@@ -16,21 +16,32 @@
 //! bounds  min.xyz, max.xyz              6 × f32
 //! verts   nv × 3 × f32
 //! tris    nt × 3 × u32
-//! nodes   nn × (tag u32, a u32, b u32, f f32)
+//! nodes   nn × (word u32, data u32)
 //! prims   np × u32
 //! ```
 //!
-//! Node encoding: `tag = 0` → leaf with `first = a`, `count = b`
-//! (`f` unused); `tag = 1 + axis` → inner with `left = a`, `right = b`,
-//! `pos = f`.
+//! Node records are the in-memory [`PackedNode`] pair verbatim: the low
+//! two bits of `word` are the tag (0–2 = inner split axis, 3 = leaf), the
+//! high 30 bits the right-child index (inner) or first-prim offset
+//! (leaf); `data` is the split position's `f32` bits (inner) or the prim
+//! count (leaf). Left children are implicit at `index + 1` — decoded
+//! inner nodes are checked for that preorder shape.
+//!
+//! The previous version, `"KDT1"`, stored 16-byte records
+//! `(tag u32, a u32, b u32, f f32)` with explicit left children
+//! (`tag = 0` → leaf `first = a, count = b`; `tag = 1 + axis` → inner
+//! `left = a, right = b, pos = f`). [`decode`] still reads it; since the
+//! flattener has always emitted preorder, `left = index + 1` is required
+//! and anything else is rejected as corrupt.
 
-use crate::tree::{KdTree, Node};
+use crate::tree::{KdTree, PackedNode};
 use kdtune_geometry::{Aabb, Axis, TriangleMesh, Vec3};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
-const MAGIC: &[u8; 4] = b"KDT1";
+const MAGIC: &[u8; 4] = b"KDT2";
+const MAGIC_V1: &[u8; 4] = b"KDT1";
 
 /// Deserialization failure.
 #[derive(Debug)]
@@ -46,7 +57,7 @@ pub enum DecodeError {
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::BadMagic => write!(f, "not a KDT1 tree file"),
+            DecodeError::BadMagic => write!(f, "not a KDT1/KDT2 tree file"),
             DecodeError::Truncated => write!(f, "truncated tree file"),
             DecodeError::Corrupt(what) => write!(f, "corrupt tree file: {what}"),
         }
@@ -105,12 +116,13 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serializes a tree (mesh included) to bytes.
+/// Serializes a tree (mesh included) to bytes, in the current `KDT2`
+/// packed format.
 pub fn encode(tree: &KdTree) -> Vec<u8> {
     let mesh = tree.mesh();
     let mut w = Writer {
         buf: Vec::with_capacity(
-            64 + mesh.vertices.len() * 12 + mesh.indices.len() * 12 + tree.node_count() * 16,
+            64 + mesh.vertices.len() * 12 + mesh.indices.len() * 12 + tree.node_count() * 8,
         ),
     };
     w.buf.extend_from_slice(MAGIC);
@@ -129,42 +141,26 @@ pub fn encode(tree: &KdTree) -> Vec<u8> {
         w.u32(*c);
     }
     for node in tree.nodes() {
-        match *node {
-            Node::Leaf { first, count } => {
-                w.u32(0);
-                w.u32(first);
-                w.u32(count);
-                w.f32(0.0);
-            }
-            Node::Inner {
-                axis,
-                pos,
-                left,
-                right,
-            } => {
-                w.u32(1 + axis.index() as u32);
-                w.u32(left);
-                w.u32(right);
-                w.f32(pos);
-            }
-        }
+        let (word, data) = node.to_raw();
+        w.u32(word);
+        w.u32(data);
     }
-    for node in tree.nodes() {
-        if let Node::Leaf { .. } = node {
-            for &p in tree.leaf_prims(node) {
-                w.u32(p);
-            }
-        }
+    for p in tree.prim_indices() {
+        w.u32(*p);
     }
     w.buf
 }
 
-/// Deserializes a tree (with its mesh) from bytes.
+/// Deserializes a tree (with its mesh) from bytes; accepts the current
+/// `KDT2` format and the legacy 16-byte-record `KDT1`.
 pub fn decode(bytes: &[u8]) -> Result<KdTree, DecodeError> {
     let mut r = Reader { buf: bytes, at: 0 };
-    if r.take(4)? != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
+    let magic = r.take(4)?;
+    let v1 = match magic {
+        m if m == MAGIC => false,
+        m if m == MAGIC_V1 => true,
+        _ => return Err(DecodeError::BadMagic),
+    };
     let nv = r.u64()? as usize;
     let nt = r.u64()? as usize;
     let nn = r.u64()? as usize;
@@ -185,32 +181,26 @@ pub fn decode(bytes: &[u8]) -> Result<KdTree, DecodeError> {
     let mut nodes = Vec::with_capacity(nn);
     let mut prim_total = 0usize;
     for i in 0..nn {
-        let tag = r.u32()?;
-        let a = r.u32()?;
-        let b = r.u32()?;
-        let f = r.f32()?;
-        let node = match tag {
-            0 => {
-                if a as usize != prim_total {
-                    return Err(DecodeError::Corrupt("leaf ranges not contiguous"));
-                }
-                prim_total += b as usize;
-                Node::Leaf { first: a, count: b }
-            }
-            1..=3 => {
-                let (l, rr) = (a, b);
-                if l as usize >= nn || rr as usize >= nn || l as usize <= i || rr as usize <= i {
-                    return Err(DecodeError::Corrupt("bad child index"));
-                }
-                Node::Inner {
-                    axis: Axis::from_index((tag - 1) as usize),
-                    pos: f,
-                    left: l,
-                    right: rr,
-                }
-            }
-            _ => return Err(DecodeError::Corrupt("unknown node tag")),
+        let node = if v1 {
+            decode_node_v1(&mut r, i, nn)?
+        } else {
+            let word = r.u32()?;
+            let data = r.u32()?;
+            PackedNode::from_raw(word, data)
         };
+        if node.is_leaf() {
+            if node.prim_first() as usize != prim_total {
+                return Err(DecodeError::Corrupt("leaf ranges not contiguous"));
+            }
+            prim_total += node.prim_count() as usize;
+        } else {
+            let right = node.right_child() as usize;
+            // Preorder: the left child is adjacent, the right child must
+            // leave room for at least a one-node left subtree.
+            if right < i + 2 || right >= nn {
+                return Err(DecodeError::Corrupt("bad child index"));
+            }
+        }
         nodes.push(node);
     }
     if prim_total != np {
@@ -228,6 +218,32 @@ pub fn decode(bytes: &[u8]) -> Result<KdTree, DecodeError> {
     Ok(KdTree::from_raw_parts(mesh, bounds, nodes, prim_indices))
 }
 
+/// Reads one legacy 16-byte `KDT1` record and converts it to the packed
+/// form, enforcing the preorder shape the packed layout assumes.
+fn decode_node_v1(r: &mut Reader<'_>, i: usize, nn: usize) -> Result<PackedNode, DecodeError> {
+    let tag = r.u32()?;
+    let a = r.u32()?;
+    let b = r.u32()?;
+    let f = r.f32()?;
+    match tag {
+        0 => Ok(PackedNode::leaf(a, b)),
+        1..=3 => {
+            if a as usize != i + 1 {
+                return Err(DecodeError::Corrupt("non-preorder layout"));
+            }
+            if (b as usize) < i + 2 || b as usize >= nn {
+                return Err(DecodeError::Corrupt("bad child index"));
+            }
+            Ok(PackedNode::inner(
+                Axis::from_index((tag - 1) as usize),
+                f,
+                b,
+            ))
+        }
+        _ => Err(DecodeError::Corrupt("unknown node tag")),
+    }
+}
+
 /// Writes a tree to a file.
 pub fn save(tree: &KdTree, path: impl AsRef<Path>) -> io::Result<()> {
     std::fs::write(path, encode(tree))
@@ -242,6 +258,7 @@ pub fn load(path: impl AsRef<Path>) -> io::Result<KdTree> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::NodeKind;
     use crate::{build, validate, Algorithm, BuildParams};
     use kdtune_geometry::Ray;
     use kdtune_scenes::{wood_doll, SceneParams};
@@ -254,6 +271,62 @@ mod tests {
         }
     }
 
+    /// Byte offset where node records start.
+    fn nodes_offset(t: &KdTree) -> usize {
+        4 + 32 + 24 + t.mesh().vertices.len() * 12 + t.mesh().indices.len() * 12
+    }
+
+    /// Hand-writes the legacy KDT1 bytes for a tree.
+    fn encode_v1(tree: &KdTree) -> Vec<u8> {
+        let mesh = tree.mesh();
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC_V1);
+        w.u64(mesh.vertices.len() as u64);
+        w.u64(mesh.indices.len() as u64);
+        w.u64(tree.node_count() as u64);
+        w.u64(tree.prim_references() as u64);
+        w.vec3(tree.bounds().min);
+        w.vec3(tree.bounds().max);
+        for v in &mesh.vertices {
+            w.vec3(*v);
+        }
+        for [a, b, c] in &mesh.indices {
+            w.u32(*a);
+            w.u32(*b);
+            w.u32(*c);
+        }
+        for i in 0..tree.node_count() as u32 {
+            match tree.node_kind(i) {
+                NodeKind::Leaf { first, count } => {
+                    w.u32(0);
+                    w.u32(first);
+                    w.u32(count);
+                    w.f32(0.0);
+                }
+                NodeKind::Inner {
+                    axis,
+                    pos,
+                    left,
+                    right,
+                } => {
+                    w.u32(1 + axis.index() as u32);
+                    w.u32(left);
+                    w.u32(right);
+                    w.f32(pos);
+                }
+            }
+        }
+        for p in tree.prim_indices() {
+            w.u32(*p);
+        }
+        w.buf
+    }
+
+    #[test]
+    fn encode_emits_current_version_tag() {
+        assert_eq!(&encode(&tree())[..4], b"KDT2");
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         let original = tree();
@@ -262,6 +335,10 @@ mod tests {
         assert_eq!(original.bounds(), decoded.bounds());
         assert_eq!(original.mesh().vertices, decoded.mesh().vertices);
         assert_eq!(original.mesh().indices, decoded.mesh().indices);
+        assert_eq!(
+            original.traversal_depth_bound(),
+            decoded.traversal_depth_bound()
+        );
         validate(&decoded).expect("decoded tree valid");
         // Query equivalence.
         for i in 0..20 {
@@ -277,6 +354,37 @@ mod tests {
                 "ray {i}"
             );
         }
+    }
+
+    #[test]
+    fn legacy_kdt1_decodes_to_identical_tree() {
+        let original = tree();
+        let decoded = decode(&encode_v1(&original)).expect("KDT1 decode");
+        assert_eq!(original.nodes(), decoded.nodes());
+        assert_eq!(original.prim_indices(), decoded.prim_indices());
+        validate(&decoded).expect("decoded tree valid");
+    }
+
+    #[test]
+    fn legacy_kdt1_rejects_non_preorder_left_child() {
+        let original = tree();
+        let mut bytes = encode_v1(&original);
+        let off = nodes_offset(&original);
+        // Find an inner record (tag != 0) and bump its left child.
+        let mut at = off;
+        loop {
+            let tag = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            if tag != 0 {
+                let left = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+                bytes[at + 4..at + 8].copy_from_slice(&(left + 1).to_le_bytes());
+                break;
+            }
+            at += 16;
+        }
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::Corrupt("non-preorder layout"))
+        ));
     }
 
     #[test]
@@ -306,22 +414,19 @@ mod tests {
 
     #[test]
     fn rejects_tampered_child_index() {
-        let bytes = encode(&tree());
-        // Find the first inner node record and corrupt its left child to
-        // point at itself (header = 4 + 4*8 + 24 bytes, then mesh data).
         let original = tree();
-        let mesh = original.mesh();
-        let nodes_off = 4 + 32 + 24 + mesh.vertices.len() * 12 + mesh.indices.len() * 12;
+        let bytes = encode(&original);
         let mut bad = bytes.clone();
-        // Locate an inner node (tag != 0).
-        let mut off = nodes_off;
+        // Locate an inner record (tag bits != 3) and zero its right-child
+        // payload so it points backwards.
+        let mut off = nodes_offset(&original);
         loop {
-            let tag = u32::from_le_bytes(bad[off..off + 4].try_into().unwrap());
-            if tag != 0 {
-                bad[off + 4..off + 8].copy_from_slice(&0u32.to_le_bytes());
+            let word = u32::from_le_bytes(bad[off..off + 4].try_into().unwrap());
+            if word & 3 != 3 {
+                bad[off..off + 4].copy_from_slice(&(word & 3).to_le_bytes());
                 break;
             }
-            off += 16;
+            off += 8;
         }
         assert!(matches!(decode(&bad), Err(DecodeError::Corrupt(_))));
     }

@@ -7,6 +7,7 @@
 //! already-expanded nodes are read-shared across rendering threads).
 
 use crate::build::{build_recursive, BuildCtx, BuildParams, TempNode};
+use crate::traverse::{ArrayStack, TraversalStack, VecStack, FIXED_TRAVERSAL_STACK};
 use crate::tree::{BuildNode, KdTree};
 use kdtune_geometry::{Aabb, Axis, Hit, Ray, TriangleMesh};
 use parking_lot::RwLock;
@@ -38,6 +39,9 @@ pub struct LazyKdTree {
     bounds: Aabb,
     nodes: Vec<LazyNode>,
     params: BuildParams,
+    /// Depth of the deepest node in the eager top part (root = 0); bounds
+    /// the top-part traversal stack. Expanded subtrees carry their own.
+    max_depth: u32,
 }
 
 impl LazyKdTree {
@@ -47,7 +51,7 @@ impl LazyKdTree {
         arena: Vec<TempNode>,
         params: BuildParams,
     ) -> LazyKdTree {
-        let nodes = arena
+        let nodes: Vec<LazyNode> = arena
             .into_iter()
             .map(|n| match n {
                 TempNode::Leaf(prims) => LazyNode::Leaf(prims.into_boxed_slice()),
@@ -71,12 +75,19 @@ impl LazyKdTree {
             })
             .collect();
         let bounds = mesh.bounds();
+        let max_depth = top_part_depth(&nodes);
         LazyKdTree {
             mesh,
             bounds,
             nodes,
             params,
+            max_depth,
         }
+    }
+
+    /// Depth of the deepest node in the eager top part (root = 0).
+    pub fn traversal_depth_bound(&self) -> u32 {
+        self.max_depth
     }
 
     /// The mesh the tree indexes.
@@ -182,10 +193,25 @@ impl LazyKdTree {
     }
 
     /// Nearest intersection in `(t_min, t_max)`, expanding deferred nodes
-    /// as the ray reaches them.
+    /// as the ray reaches them. The top-part stack is allocation-free
+    /// whenever the eager depth bound fits the fixed stack (expansion and
+    /// the sub-tree queries it triggers may still allocate).
     pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        if self.max_depth as usize <= FIXED_TRAVERSAL_STACK {
+            self.intersect_with(ray, t_min, t_max, &mut ArrayStack::new())
+        } else {
+            self.intersect_with(ray, t_min, t_max, &mut VecStack::new())
+        }
+    }
+
+    fn intersect_with<S: TraversalStack>(
+        &self,
+        ray: &Ray,
+        t_min: f32,
+        t_max: f32,
+        stack: &mut S,
+    ) -> Option<Hit> {
         let (t0, t1) = self.bounds.intersect_ray(ray, t_min, t_max)?;
-        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
         let mut node_idx = 0u32;
         let (mut t0, mut t1) = (t0, t1);
         let mut best: Option<Hit> = None;
@@ -241,16 +267,21 @@ impl LazyKdTree {
                     if best.is_some_and(|h| h.t <= t1 + T_EPS) {
                         return best;
                     }
-                    match stack.pop() {
-                        Some((n, s0, s1)) => {
-                            if s0 > t_best {
-                                continue;
+                    loop {
+                        match stack.pop() {
+                            Some((n, s0, s1)) => {
+                                if s0 > t_best {
+                                    // Subtree starts beyond the best hit
+                                    // already found; keep popping.
+                                    continue;
+                                }
+                                node_idx = n;
+                                t0 = s0;
+                                t1 = s1;
                             }
-                            node_idx = n;
-                            t0 = s0;
-                            t1 = s1;
+                            None => return best,
                         }
-                        None => return best,
+                        break;
                     }
                 }
             }
@@ -259,10 +290,23 @@ impl LazyKdTree {
 
     /// Occlusion query; expands deferred nodes the shadow ray reaches.
     pub fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        if self.max_depth as usize <= FIXED_TRAVERSAL_STACK {
+            self.intersect_any_with(ray, t_min, t_max, &mut ArrayStack::new())
+        } else {
+            self.intersect_any_with(ray, t_min, t_max, &mut VecStack::new())
+        }
+    }
+
+    fn intersect_any_with<S: TraversalStack>(
+        &self,
+        ray: &Ray,
+        t_min: f32,
+        t_max: f32,
+        stack: &mut S,
+    ) -> bool {
         let Some((t0, t1)) = self.bounds.intersect_ray(ray, t_min, t_max) else {
             return false;
         };
-        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(32);
         let mut node_idx = 0u32;
         let (mut t0, mut t1) = (t0, t1);
         loop {
@@ -328,6 +372,21 @@ impl std::fmt::Debug for LazyKdTree {
             .field("expanded", &self.expanded_count())
             .finish()
     }
+}
+
+/// Depth of the deepest node in the eager top part (root = 0), by walking
+/// the explicit child links of the arena layout.
+fn top_part_depth(nodes: &[LazyNode]) -> u32 {
+    let mut max = 0u32;
+    let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+    while let Some((idx, depth)) = stack.pop() {
+        max = max.max(depth);
+        if let Some(LazyNode::Inner { left, right, .. }) = nodes.get(idx as usize) {
+            stack.push((*left, depth + 1));
+            stack.push((*right, depth + 1));
+        }
+    }
+    max
 }
 
 /// Rewrites leaf indices of an expansion subtree from local (position in

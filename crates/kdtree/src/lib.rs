@@ -60,6 +60,6 @@ pub use split::{
 pub use stats::{to_dot, TreeHistograms, TreeStats};
 #[cfg(feature = "traversal-counters")]
 pub use traverse::global_counters;
-pub use traverse::{brute_force_intersect, TraversalCounters};
-pub use tree::{KdTree, Node};
+pub use traverse::{brute_force_intersect, TraversalCounters, FIXED_TRAVERSAL_STACK};
+pub use tree::{KdTree, NodeKind, PackedNode, MAX_NODE_PAYLOAD};
 pub use validate::{validate, ValidationError};

@@ -68,6 +68,17 @@ impl BuiltTree {
         }
     }
 
+    /// Bytes of packed node storage. Exact for eager trees; for lazy
+    /// trees this is the packed-equivalent estimate `materialized nodes ×
+    /// 8` (the un-expanded top part is stored as fatter enum nodes, but
+    /// every expanded subtree really is packed).
+    pub fn node_bytes(&self) -> usize {
+        match self {
+            BuiltTree::Eager(t) => t.node_bytes(),
+            BuiltTree::Lazy(t) => t.total_node_count() * std::mem::size_of::<crate::PackedNode>(),
+        }
+    }
+
     /// Borrows the eager tree, if this is one.
     pub fn as_eager(&self) -> Option<&KdTree> {
         match self {

@@ -19,7 +19,11 @@ use kdtune_geometry::{Aabb, Axis};
 /// roughly `tasks` leaf tasks, maps each leaf sequentially, and
 /// concatenates the results in input order. With `tasks <= 1` this is an
 /// ordinary sequential map.
-pub(crate) fn par_map<T, O, F>(mut items: Vec<T>, tasks: usize, f: &F) -> Vec<O>
+///
+/// Public because the renderer fans its tiles out through the same
+/// primitive: `rayon::join` is the one operation the thread pool
+/// guarantees to fork, so build and render share one parallel substrate.
+pub fn par_map<T, O, F>(mut items: Vec<T>, tasks: usize, f: &F) -> Vec<O>
 where
     T: Send,
     O: Send,

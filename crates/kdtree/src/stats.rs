@@ -1,6 +1,6 @@
 //! Structural statistics of built trees.
 
-use crate::tree::{KdTree, Node};
+use crate::tree::{KdTree, NodeKind};
 use kdtune_geometry::Aabb;
 
 /// Summary statistics of an eager kD-tree.
@@ -26,6 +26,12 @@ pub struct TreeStats {
     /// `CI = 17` reference constants so costs are comparable across trees
     /// built with different tuned parameters.
     pub sah_cost: f32,
+    /// Bytes spent on the packed node array (8 per node).
+    pub node_bytes: usize,
+    /// Total bytes of the acceleration structure: packed nodes, the
+    /// primitive index buffer and the gathered leaf-triangle copies (the
+    /// mesh itself is not counted).
+    pub memory_bytes: usize,
 }
 
 /// Reference costs used for the comparable `sah_cost` metric.
@@ -48,6 +54,8 @@ impl TreeStats {
             },
             avg_leaf_prims: 0.0,
             sah_cost: 0.0,
+            node_bytes: tree.node_bytes(),
+            memory_bytes: tree.memory_bytes(),
         };
         let root_area = tree.bounds().surface_area();
         walk(tree, 0, tree.bounds(), 0, root_area, &mut stats);
@@ -72,8 +80,8 @@ fn walk(
     } else {
         0.0
     };
-    match tree.nodes()[node_idx as usize] {
-        Node::Leaf { count, .. } => {
+    match tree.node_kind(node_idx) {
+        NodeKind::Leaf { count, .. } => {
             stats.leaf_count += 1;
             if count == 0 {
                 stats.empty_leaf_count += 1;
@@ -81,7 +89,7 @@ fn walk(
             stats.max_depth = stats.max_depth.max(depth);
             stats.sah_cost += p * count as f32 * REF_CI;
         }
-        Node::Inner {
+        NodeKind::Inner {
             axis,
             pos,
             left,
@@ -114,8 +122,8 @@ impl TreeHistograms {
         let mut h = TreeHistograms::default();
         let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
         while let Some((idx, depth)) = stack.pop() {
-            match tree.nodes()[idx as usize] {
-                Node::Leaf { count, .. } => {
+            match tree.node_kind(idx) {
+                NodeKind::Leaf { count, .. } => {
                     let d = depth as usize;
                     if h.leaf_depths.len() <= d {
                         h.leaf_depths.resize(d + 1, 0);
@@ -127,7 +135,7 @@ impl TreeHistograms {
                     }
                     h.leaf_sizes[bucket] += 1;
                 }
-                Node::Inner { left, right, .. } => {
+                NodeKind::Inner { left, right, .. } => {
                     stack.push((left, depth + 1));
                     stack.push((right, depth + 1));
                 }
@@ -148,12 +156,12 @@ impl TreeHistograms {
 pub fn to_dot(tree: &KdTree) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("digraph kdtree {\n  node [shape=box];\n");
-    for (i, node) in tree.nodes().iter().enumerate() {
-        match node {
-            Node::Leaf { count, .. } => {
+    for i in 0..tree.node_count() as u32 {
+        match tree.node_kind(i) {
+            NodeKind::Leaf { count, .. } => {
                 let _ = writeln!(out, "  n{i} [label=\"leaf {count}\"];");
             }
-            Node::Inner {
+            NodeKind::Inner {
                 axis,
                 pos,
                 left,
@@ -198,6 +206,9 @@ mod tests {
         assert_eq!(stats.max_depth, 0);
         assert_eq!(stats.prim_references, 1);
         assert_eq!(stats.duplication_factor, 1.0);
+        assert_eq!(stats.node_bytes, 8);
+        // 8 node + 4 prim index + 40 gathered leaf triangle.
+        assert_eq!(stats.memory_bytes, 8 + 4 + 40);
     }
 
     #[test]
@@ -209,6 +220,11 @@ mod tests {
         assert!(stats.max_depth >= 1);
         assert!(stats.duplication_factor >= 1.0);
         assert!(stats.sah_cost > 0.0);
+        assert_eq!(stats.node_bytes, 8 * stats.node_count);
+        assert_eq!(
+            stats.memory_bytes,
+            8 * stats.node_count + (4 + 40) * stats.prim_references
+        );
     }
 
     #[test]
@@ -265,5 +281,14 @@ mod tests {
             d.sah_cost,
             s.sah_cost
         );
+    }
+
+    #[test]
+    fn stats_max_depth_matches_traversal_bound() {
+        let tree = build(grid_mesh(200), Algorithm::Nested, &BuildParams::default());
+        let tree = tree.as_eager().unwrap();
+        let stats = TreeStats::compute(tree);
+        // Leaves are the deepest nodes, so the two notions coincide.
+        assert_eq!(stats.max_depth, tree.traversal_depth_bound());
     }
 }

@@ -1,13 +1,181 @@
 //! The flattened kD-tree structure.
+//!
+//! Nodes are packed into 8 bytes each (PBRT/Wald style) so the traversal
+//! hot loop touches half the cache lines a tagged-enum layout would:
+//!
+//! ```text
+//! word  bits 1..0   tag: 0/1/2 = inner split axis (x/y/z), 3 = leaf
+//!       bits 31..2  inner: index of the right child
+//!                   leaf:  offset of the first primitive index
+//! data  32 bits     inner: split position (f32 bits)
+//!                   leaf:  primitive count (u32)
+//! ```
+//!
+//! The **left child is implicit**: nodes are flattened in depth-first
+//! preorder, so an inner node at index `i` has its left child at `i + 1`
+//! and only the right child index needs storing. Both 30-bit payloads cap
+//! trees at `2^30` nodes / primitive references — [`KdTree::from_build`]
+//! panics past that, far beyond any in-memory mesh this workspace handles.
 
-use kdtune_geometry::{Aabb, Axis, TriangleMesh};
+use kdtune_geometry::{Aabb, Axis, Triangle, TriangleMesh};
 use std::sync::Arc;
 
-/// A node of the flattened tree. Children of an [`Node::Inner`] are indices
-/// into [`KdTree::nodes`]; leaf primitives are a range of
-/// [`KdTree::prim_indices`].
+/// Tag value marking a leaf in the low two bits of [`PackedNode::word`].
+const LEAF_TAG: u32 = 3;
+
+/// Maximum value of a 30-bit payload (right-child index / prim offset).
+pub const MAX_NODE_PAYLOAD: u32 = (1 << 30) - 1;
+
+/// An 8-byte packed node of the flattened tree. See the module docs for
+/// the bit layout; use [`PackedNode::kind`] (or [`KdTree::node_kind`]) for
+/// a decoded view outside hot loops.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PackedNode {
+    word: u32,
+    data: u32,
+}
+
+impl PackedNode {
+    /// Packs a leaf holding `count` primitive indices starting at `first`
+    /// in the tree's primitive index buffer.
+    ///
+    /// # Panics
+    /// Panics if `first` exceeds the 30-bit payload range.
+    pub fn leaf(first: u32, count: u32) -> PackedNode {
+        assert!(
+            first <= MAX_NODE_PAYLOAD,
+            "leaf prim offset overflows 30 bits"
+        );
+        PackedNode {
+            word: LEAF_TAG | (first << 2),
+            data: count,
+        }
+    }
+
+    /// Packs an inner node splitting at `axis = pos` whose right child
+    /// lives at index `right` (the left child is implicitly adjacent).
+    ///
+    /// # Panics
+    /// Panics if `right` exceeds the 30-bit payload range.
+    pub fn inner(axis: Axis, pos: f32, right: u32) -> PackedNode {
+        assert!(
+            right <= MAX_NODE_PAYLOAD,
+            "right child index overflows 30 bits"
+        );
+        PackedNode {
+            word: axis.index() as u32 | (right << 2),
+            data: pos.to_bits(),
+        }
+    }
+
+    /// True if this node is a leaf.
+    #[inline(always)]
+    pub fn is_leaf(self) -> bool {
+        self.word & 3 == LEAF_TAG
+    }
+
+    /// Split axis of an inner node (the low two bits).
+    #[inline(always)]
+    pub fn axis(self) -> Axis {
+        debug_assert!(!self.is_leaf());
+        Axis::from_index((self.word & 3) as usize)
+    }
+
+    /// Split axis of an inner node as a raw index, always `< 3`. The hot
+    /// traversal loop indexes pre-splatted `[f32; 4]` ray arrays with
+    /// this (the `& 3` makes the bounds check statically dead), instead
+    /// of matching on [`Axis`] three times per node.
+    #[inline(always)]
+    pub fn axis_index(self) -> usize {
+        debug_assert!(!self.is_leaf());
+        (self.word & 3) as usize
+    }
+
+    /// Split position of an inner node.
+    #[inline(always)]
+    pub fn split_pos(self) -> f32 {
+        debug_assert!(!self.is_leaf());
+        f32::from_bits(self.data)
+    }
+
+    /// Right-child index of an inner node; the left child is the node's
+    /// own index plus one.
+    #[inline(always)]
+    pub fn right_child(self) -> u32 {
+        debug_assert!(!self.is_leaf());
+        self.word >> 2
+    }
+
+    /// Offset of a leaf's first primitive index.
+    #[inline(always)]
+    pub fn prim_first(self) -> u32 {
+        debug_assert!(self.is_leaf());
+        self.word >> 2
+    }
+
+    /// Primitive count of a leaf.
+    #[inline(always)]
+    pub fn prim_count(self) -> u32 {
+        debug_assert!(self.is_leaf());
+        self.data
+    }
+
+    /// Decoded view; `own_index` is this node's index in the node array
+    /// (needed to materialize the implicit left child).
+    pub fn kind(self, own_index: u32) -> NodeKind {
+        if self.is_leaf() {
+            NodeKind::Leaf {
+                first: self.prim_first(),
+                count: self.prim_count(),
+            }
+        } else {
+            NodeKind::Inner {
+                axis: self.axis(),
+                pos: self.split_pos(),
+                left: own_index + 1,
+                right: self.right_child(),
+            }
+        }
+    }
+
+    /// Raw `(word, data)` pair — the on-disk representation.
+    pub fn to_raw(self) -> (u32, u32) {
+        (self.word, self.data)
+    }
+
+    /// Reassembles a node from its raw pair. Structural validity (tag,
+    /// index ranges) is the caller's responsibility — the io decoder and
+    /// [`crate::validate`] re-check.
+    pub fn from_raw(word: u32, data: u32) -> PackedNode {
+        PackedNode { word, data }
+    }
+}
+
+impl std::fmt::Debug for PackedNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_leaf() {
+            write!(
+                f,
+                "Leaf {{ first: {}, count: {} }}",
+                self.prim_first(),
+                self.prim_count()
+            )
+        } else {
+            write!(
+                f,
+                "Inner {{ axis: {:?}, pos: {}, right: {} }}",
+                self.axis(),
+                self.split_pos(),
+                self.right_child()
+            )
+        }
+    }
+}
+
+/// Decoded view of a [`PackedNode`], for consumers outside the traversal
+/// hot path (validation, statistics, serialization, debugging).
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Node {
+pub enum NodeKind {
     /// A leaf holding `count` primitive indices starting at `first` in the
     /// tree's primitive index buffer.
     Leaf {
@@ -22,7 +190,7 @@ pub enum Node {
         axis: Axis,
         /// Split plane position.
         pos: f32,
-        /// Index of the left child (the `< pos` side).
+        /// Index of the left child (always the node's own index + 1).
         left: u32,
         /// Index of the right child (the `> pos` side).
         right: u32,
@@ -52,6 +220,19 @@ impl BuildNode {
     }
 }
 
+/// A leaf-resident copy of one primitive: the triangle's vertices plus
+/// the mesh index it came from. Leaves reference runs of these instead
+/// of going `prim index → vertex-index triple → three scattered vertex
+/// loads` per test — the gather happens once at flatten time, and the
+/// traversal's triangle tests become a sequential read of one array.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LeafTri {
+    /// Vertex positions, copied out of the mesh.
+    pub(crate) tri: Triangle,
+    /// Index of the source primitive (for hit reporting).
+    pub(crate) prim: u32,
+}
+
 /// An immutable SAH kD-tree over a triangle mesh.
 ///
 /// The tree owns an `Arc` of its mesh so queries need no extra arguments
@@ -60,8 +241,26 @@ impl BuildNode {
 pub struct KdTree {
     mesh: Arc<TriangleMesh>,
     bounds: Aabb,
-    nodes: Vec<Node>,
+    nodes: Vec<PackedNode>,
     prim_indices: Vec<u32>,
+    /// `prim_indices` with the triangles gathered in: `leaf_tris[i]` is
+    /// the vertices of primitive `prim_indices[i]`, so a leaf's
+    /// `[first, first+count)` range indexes both buffers.
+    leaf_tris: Vec<LeafTri>,
+    /// Depth of the deepest node (root = 0); bounds the traversal stack.
+    max_depth: u32,
+}
+
+/// Gathers the per-leaf triangle copies for `prim_indices` (every index
+/// must be in range — builders and the decoder both guarantee it).
+fn gather_leaf_tris(mesh: &TriangleMesh, prim_indices: &[u32]) -> Vec<LeafTri> {
+    prim_indices
+        .iter()
+        .map(|&p| LeafTri {
+            tri: mesh.triangle(p as usize),
+            prim: p,
+        })
+        .collect()
 }
 
 impl KdTree {
@@ -73,56 +272,61 @@ impl KdTree {
             bounds,
             nodes: Vec::with_capacity(root.node_count()),
             prim_indices: Vec::new(),
+            leaf_tris: Vec::new(),
+            max_depth: 0,
         };
-        tree.flatten(&root);
+        tree.flatten(&root, 0);
+        tree.leaf_tris = gather_leaf_tris(&tree.mesh, &tree.prim_indices);
         tree
     }
 
-    fn flatten(&mut self, node: &BuildNode) -> u32 {
+    /// Depth-first preorder flatten: self, then the whole left subtree
+    /// (putting the left child at `self + 1`), then the right subtree.
+    fn flatten(&mut self, node: &BuildNode, depth: u32) -> u32 {
         let my_index = self.nodes.len() as u32;
+        self.max_depth = self.max_depth.max(depth);
         match node {
             BuildNode::Leaf(prims) => {
                 let first = self.prim_indices.len() as u32;
                 self.prim_indices.extend_from_slice(prims);
-                self.nodes.push(Node::Leaf {
-                    first,
-                    count: prims.len() as u32,
-                });
+                self.nodes.push(PackedNode::leaf(first, prims.len() as u32));
             }
             BuildNode::Inner {
-                axis,
-                pos,
-                left,
-                right,
+                axis, pos, right, ..
             } => {
-                // Reserve our slot, then place children; patch indices in.
-                self.nodes.push(Node::Leaf { first: 0, count: 0 });
-                let l = self.flatten(left);
-                let r = self.flatten(right);
-                self.nodes[my_index as usize] = Node::Inner {
-                    axis: *axis,
-                    pos: *pos,
-                    left: l,
-                    right: r,
+                // Reserve our slot, flatten the left subtree right behind
+                // it, then patch our right-child index in.
+                self.nodes.push(PackedNode::leaf(0, 0));
+                let BuildNode::Inner { left, .. } = node else {
+                    unreachable!()
                 };
+                let l = self.flatten(left, depth + 1);
+                debug_assert_eq!(l, my_index + 1, "left child must be adjacent");
+                let r = self.flatten(right, depth + 1);
+                self.nodes[my_index as usize] = PackedNode::inner(*axis, *pos, r);
             }
         }
         my_index
     }
 
-    /// Reassembles a tree from raw parts (deserialization); invariants are
-    /// the decoder's responsibility — [`crate::validate`] can re-check.
+    /// Reassembles a tree from raw parts (deserialization); structural
+    /// invariants are the decoder's responsibility — [`crate::validate`]
+    /// can re-check. The traversal depth bound is recomputed here.
     pub(crate) fn from_raw_parts(
         mesh: Arc<TriangleMesh>,
         bounds: Aabb,
-        nodes: Vec<Node>,
+        nodes: Vec<PackedNode>,
         prim_indices: Vec<u32>,
     ) -> KdTree {
+        let max_depth = measure_depth(&nodes);
+        let leaf_tris = gather_leaf_tris(&mesh, &prim_indices);
         KdTree {
             mesh,
             bounds,
             nodes,
             prim_indices,
+            leaf_tris,
+            max_depth,
         }
     }
 
@@ -136,22 +340,40 @@ impl KdTree {
         self.bounds
     }
 
-    /// All nodes, root first.
-    pub fn nodes(&self) -> &[Node] {
+    /// All nodes, in depth-first preorder (root first, every inner node's
+    /// left child immediately behind it).
+    pub fn nodes(&self) -> &[PackedNode] {
         &self.nodes
+    }
+
+    /// Decoded view of the node at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn node_kind(&self, idx: u32) -> NodeKind {
+        self.nodes[idx as usize].kind(idx)
+    }
+
+    /// The primitive index buffer leaves point into.
+    pub fn prim_indices(&self) -> &[u32] {
+        &self.prim_indices
+    }
+
+    /// The gathered leaf-triangle buffer, parallel to
+    /// [`KdTree::prim_indices`] (the traversal's read target).
+    #[inline(always)]
+    pub(crate) fn leaf_tris(&self) -> &[LeafTri] {
+        &self.leaf_tris
     }
 
     /// The primitive indices of a leaf node.
     ///
     /// # Panics
     /// Panics if `node` is not a leaf of this tree.
-    pub fn leaf_prims(&self, node: &Node) -> &[u32] {
-        match node {
-            Node::Leaf { first, count } => {
-                &self.prim_indices[*first as usize..(*first + *count) as usize]
-            }
-            Node::Inner { .. } => panic!("leaf_prims called on an inner node"),
-        }
+    pub fn leaf_prims(&self, node: PackedNode) -> &[u32] {
+        assert!(node.is_leaf(), "leaf_prims called on an inner node");
+        let first = node.prim_first() as usize;
+        &self.prim_indices[first..first + node.prim_count() as usize]
     }
 
     /// Total primitive references across all leaves (counts duplicates).
@@ -163,6 +385,51 @@ impl KdTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Depth of the deepest node (root = 0) — the exact bound on the
+    /// traversal stack, used to select the allocation-free fast path.
+    pub fn traversal_depth_bound(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Bytes spent on the node array (8 per node).
+    pub fn node_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<PackedNode>()
+    }
+
+    /// Total bytes of the acceleration structure: packed nodes, the
+    /// primitive index buffer and the gathered leaf-triangle copies (the
+    /// mesh itself is not counted).
+    pub fn memory_bytes(&self) -> usize {
+        self.node_bytes()
+            + self.prim_indices.len() * std::mem::size_of::<u32>()
+            + self.leaf_tris.len() * std::mem::size_of::<LeafTri>()
+    }
+}
+
+/// Depth of the deepest node in a packed array (root = 0); used when the
+/// flatten-time bound is unavailable (deserialization). A visit budget of
+/// one per stored node keeps corrupt (cyclic) inputs from hanging — such
+/// arrays are rejected by [`crate::validate`] anyway, and an inflated
+/// bound only costs the traversal its fixed-stack fast path.
+fn measure_depth(nodes: &[PackedNode]) -> u32 {
+    let mut max = 0u32;
+    let mut budget = nodes.len();
+    let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+    while let Some((idx, depth)) = stack.pop() {
+        if budget == 0 {
+            return u32::MAX;
+        }
+        budget -= 1;
+        max = max.max(depth);
+        if let Some(n) = nodes.get(idx as usize) {
+            if !n.is_leaf() {
+                stack.push((idx + 1, depth + 1));
+                stack.push((n.right_child(), depth + 1));
+            }
+        }
+    }
+    max
 }
 
 #[cfg(test)]
@@ -178,13 +445,35 @@ mod tests {
     }
 
     #[test]
+    fn packed_node_is_8_bytes() {
+        assert_eq!(std::mem::size_of::<PackedNode>(), 8);
+    }
+
+    #[test]
+    fn packed_round_trips_fields() {
+        let leaf = PackedNode::leaf(123, 45);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.prim_first(), 123);
+        assert_eq!(leaf.prim_count(), 45);
+        let inner = PackedNode::inner(Axis::Z, -1.25, 999);
+        assert!(!inner.is_leaf());
+        assert_eq!(inner.axis(), Axis::Z);
+        assert_eq!(inner.split_pos(), -1.25);
+        assert_eq!(inner.right_child(), 999);
+        let (w, d) = inner.to_raw();
+        assert_eq!(PackedNode::from_raw(w, d), inner);
+    }
+
+    #[test]
     fn flatten_single_leaf() {
         let mesh = mesh2();
         let bounds = mesh.bounds();
         let tree = KdTree::from_build(mesh, bounds, BuildNode::Leaf(vec![0, 1]));
         assert_eq!(tree.node_count(), 1);
-        assert_eq!(tree.leaf_prims(&tree.nodes()[0]), &[0, 1]);
+        assert_eq!(tree.leaf_prims(tree.nodes()[0]), &[0, 1]);
         assert_eq!(tree.prim_references(), 2);
+        assert_eq!(tree.traversal_depth_bound(), 0);
+        assert_eq!(tree.node_bytes(), 8);
     }
 
     #[test]
@@ -200,8 +489,8 @@ mod tests {
         assert_eq!(root.node_count(), 3);
         let tree = KdTree::from_build(mesh, bounds, root);
         assert_eq!(tree.node_count(), 3);
-        match tree.nodes()[0] {
-            Node::Inner {
+        match tree.node_kind(0) {
+            NodeKind::Inner {
                 axis,
                 pos,
                 left,
@@ -209,11 +498,13 @@ mod tests {
             } => {
                 assert_eq!(axis, Axis::Z);
                 assert_eq!(pos, 0.5);
-                assert_eq!(tree.leaf_prims(&tree.nodes()[left as usize]), &[0]);
-                assert_eq!(tree.leaf_prims(&tree.nodes()[right as usize]), &[1]);
+                assert_eq!(left, 1, "left child must be adjacent");
+                assert_eq!(tree.leaf_prims(tree.nodes()[left as usize]), &[0]);
+                assert_eq!(tree.leaf_prims(tree.nodes()[right as usize]), &[1]);
             }
             _ => panic!("root should be inner"),
         }
+        assert_eq!(tree.traversal_depth_bound(), 1);
     }
 
     #[test]
@@ -229,7 +520,7 @@ mod tests {
         };
         let tree = KdTree::from_build(mesh, bounds, root);
         let inner = tree.nodes()[0];
-        let _ = tree.leaf_prims(&inner);
+        let _ = tree.leaf_prims(inner);
     }
 
     #[test]
@@ -248,12 +539,39 @@ mod tests {
         let bounds = mesh.bounds();
         let tree = KdTree::from_build(mesh, bounds, node);
         assert_eq!(tree.node_count(), 201);
+        assert_eq!(tree.traversal_depth_bound(), 100);
         // Every leaf must be reachable: count leaves.
-        let leaves = tree
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n, Node::Leaf { .. }))
-            .count();
+        let leaves = tree.nodes().iter().filter(|n| n.is_leaf()).count();
         assert_eq!(leaves, 101);
+        // Left-child adjacency holds everywhere.
+        for (i, n) in tree.nodes().iter().enumerate() {
+            if let NodeKind::Inner { left, right, .. } = n.kind(i as u32) {
+                assert_eq!(left, i as u32 + 1);
+                assert!(right > left);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_parts_recompute_depth_bound() {
+        let mesh = mesh2();
+        let bounds = mesh.bounds();
+        let root = BuildNode::Inner {
+            axis: Axis::X,
+            pos: 0.5,
+            left: Box::new(BuildNode::Leaf(vec![0])),
+            right: Box::new(BuildNode::Leaf(vec![1])),
+        };
+        let tree = KdTree::from_build(mesh.clone(), bounds, root);
+        let rebuilt = KdTree::from_raw_parts(
+            mesh,
+            bounds,
+            tree.nodes().to_vec(),
+            tree.prim_indices().to_vec(),
+        );
+        assert_eq!(
+            rebuilt.traversal_depth_bound(),
+            tree.traversal_depth_bound()
+        );
     }
 }

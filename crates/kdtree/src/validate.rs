@@ -1,6 +1,6 @@
 //! Structural validation of built trees (used by tests and debug tooling).
 
-use crate::tree::{KdTree, Node};
+use crate::tree::{KdTree, NodeKind};
 use kdtune_geometry::Aabb;
 
 /// A violated tree invariant.
@@ -29,8 +29,9 @@ pub enum ValidationError {
         /// Index of the offending node.
         node: u32,
     },
-    /// A child index points outside the node array or backwards (the
-    /// flattened layout places children after parents).
+    /// A child index violates the packed preorder layout: the left child
+    /// must sit at `node + 1` and the right child strictly after the left
+    /// subtree, inside the node array.
     BadChildIndex {
         /// Index of the offending node.
         node: u32,
@@ -41,6 +42,14 @@ pub enum ValidationError {
         reachable: usize,
         /// Number of stored nodes.
         stored: usize,
+    },
+    /// A node sits deeper than the tree's recorded traversal depth bound —
+    /// the bound the allocation-free fast path sizes its stack by.
+    DepthBoundExceeded {
+        /// Depth of the offending node (root = 0).
+        depth: u32,
+        /// The tree's recorded bound.
+        bound: u32,
     },
 }
 
@@ -58,13 +67,15 @@ impl std::error::Error for ValidationError {}
 /// 2. every mesh primitive is reachable through at least one leaf;
 /// 3. leaf primitives' bounds overlap the leaf's spatial region;
 /// 4. split planes lie within their node's bounds;
-/// 5. child indices are in range and strictly increasing (acyclic);
-/// 6. every node is reachable from the root exactly once.
+/// 5. child indices obey the packed preorder layout (left child adjacent
+///    at `node + 1`, right child forward and in range);
+/// 6. every node is reachable from the root exactly once;
+/// 7. no node lies deeper than [`KdTree::traversal_depth_bound`].
 pub fn validate(tree: &KdTree) -> Result<(), ValidationError> {
     let mesh_len = tree.mesh().len();
     let mut seen = vec![false; mesh_len];
     let mut reachable = 0usize;
-    validate_node(tree, 0, tree.bounds(), &mut seen, &mut reachable)?;
+    validate_node(tree, 0, tree.bounds(), 0, &mut seen, &mut reachable)?;
     if reachable != tree.node_count() {
         return Err(ValidationError::NodeCountMismatch {
             reachable,
@@ -81,14 +92,21 @@ fn validate_node(
     tree: &KdTree,
     node_idx: u32,
     bounds: Aabb,
+    depth: u32,
     seen: &mut [bool],
     reachable: &mut usize,
 ) -> Result<(), ValidationError> {
     *reachable += 1;
-    match tree.nodes()[node_idx as usize] {
-        Node::Leaf { .. } => {
+    if depth > tree.traversal_depth_bound() {
+        return Err(ValidationError::DepthBoundExceeded {
+            depth,
+            bound: tree.traversal_depth_bound(),
+        });
+    }
+    match tree.node_kind(node_idx) {
+        NodeKind::Leaf { .. } => {
             let node = tree.nodes()[node_idx as usize];
-            for &prim in tree.leaf_prims(&node) {
+            for &prim in tree.leaf_prims(node) {
                 if prim as usize >= seen.len() {
                     return Err(ValidationError::PrimOutOfRange {
                         prim,
@@ -104,7 +122,7 @@ fn validate_node(
             }
             Ok(())
         }
-        Node::Inner {
+        NodeKind::Inner {
             axis,
             pos,
             left,
@@ -114,12 +132,15 @@ fn validate_node(
                 return Err(ValidationError::PlaneOutsideNode { node: node_idx });
             }
             let n = tree.node_count() as u32;
-            if left <= node_idx || right <= node_idx || left >= n || right >= n || left == right {
+            // Left-child adjacency is definitional in the packed layout
+            // (left = node + 1); the right child must leave room for at
+            // least the one-node left subtree and stay in range.
+            if left != node_idx + 1 || right < node_idx + 2 || right >= n {
                 return Err(ValidationError::BadChildIndex { node: node_idx });
             }
             let (lb, rb) = bounds.split(axis, pos);
-            validate_node(tree, left, lb, seen, reachable)?;
-            validate_node(tree, right, rb, seen, reachable)
+            validate_node(tree, left, lb, depth + 1, seen, reachable)?;
+            validate_node(tree, right, rb, depth + 1, seen, reachable)
         }
     }
 }
@@ -168,5 +189,32 @@ mod tests {
             let tree = build(mesh(150), Algorithm::InPlace, &params);
             validate(tree.as_eager().unwrap()).unwrap_or_else(|e| panic!("ci={ci} cb={cb}: {e}"));
         }
+    }
+
+    #[test]
+    fn tampered_right_child_is_rejected() {
+        let tree = build(mesh(64), Algorithm::InPlace, &BuildParams::default());
+        let tree = tree.as_eager().unwrap();
+        let inner = tree
+            .nodes()
+            .iter()
+            .position(|n| !n.is_leaf())
+            .expect("a 64-triangle tree has inner nodes") as u32;
+        let NodeKind::Inner { axis, pos, .. } = tree.node_kind(inner) else {
+            unreachable!()
+        };
+        // Rebuild the node array with the right child pointing backwards.
+        let mut nodes = tree.nodes().to_vec();
+        nodes[inner as usize] = crate::PackedNode::inner(axis, pos, inner);
+        let bad = KdTree::from_raw_parts(
+            Arc::clone(tree.mesh()),
+            tree.bounds(),
+            nodes,
+            tree.prim_indices().to_vec(),
+        );
+        assert!(matches!(
+            validate(&bad),
+            Err(ValidationError::BadChildIndex { .. } | ValidationError::NodeCountMismatch { .. })
+        ));
     }
 }

@@ -4,8 +4,8 @@
 
 use kdtune_geometry::{Axis, Triangle, TriangleMesh, Vec3};
 use kdtune_kdtree::{
-    build, build_median, build_sorted_events, validate, Algorithm, BuildParams, Node, SahParams,
-    TreeStats,
+    build, build_median, build_sorted_events, validate, Algorithm, BuildParams, PackedNode,
+    SahParams, TreeStats,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -34,13 +34,11 @@ fn soup(n: usize, seed: u64, spread: f32) -> Arc<TriangleMesh> {
     Arc::new(mesh)
 }
 
-fn leaf_size_multiset(nodes: &[Node]) -> Vec<u32> {
+fn leaf_size_multiset(nodes: &[PackedNode]) -> Vec<u32> {
     let mut v: Vec<u32> = nodes
         .iter()
-        .filter_map(|n| match n {
-            Node::Leaf { count, .. } => Some(*count),
-            _ => None,
-        })
+        .filter(|n| n.is_leaf())
+        .map(|n| n.prim_count())
         .collect();
     v.sort_unstable();
     v

@@ -21,8 +21,40 @@ impl Framebuffer {
         }
     }
 
-    /// Builds a framebuffer from pre-rendered rows (the parallel renderer's
-    /// collection path).
+    /// A black image of the given size. Explicit-name alias of
+    /// [`Framebuffer::new`] for call sites (the tiled renderer) where
+    /// "allocate once, write tiles in place" is the point.
+    pub fn new_black(width: u32, height: u32) -> Framebuffer {
+        Framebuffer::new(width, height)
+    }
+
+    /// Splits the image into horizontal bands of at most `band_rows` rows
+    /// each, returning `(first_row, band_pixels)` pairs whose mutable
+    /// slices tile the pixel buffer exactly — the write targets for the
+    /// tiled renderer (disjoint, so bands render in parallel). The last
+    /// band may be short. An image with zero rows or zero width yields no
+    /// bands.
+    ///
+    /// # Panics
+    /// Panics if `band_rows` is zero.
+    pub fn row_bands_mut(&mut self, band_rows: u32) -> Vec<(u32, &mut [Vec3])> {
+        assert!(band_rows > 0, "band_rows must be positive");
+        if self.width == 0 || self.height == 0 {
+            return Vec::new();
+        }
+        let chunk = (band_rows * self.width) as usize;
+        self.pixels
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, band)| (i as u32 * band_rows, band))
+            .collect()
+    }
+
+    /// Builds a framebuffer from pre-rendered rows.
+    ///
+    /// Convenience for tests and tooling — the renderer writes tiles in
+    /// place via [`Framebuffer::row_bands_mut`] instead, because this
+    /// constructor copies every row into the final buffer a second time.
     ///
     /// # Panics
     /// Panics if the rows do not tile a `width × height` image exactly.
@@ -129,6 +161,35 @@ mod tests {
         assert_eq!(body[0], 255); // clamped high
         assert_eq!(body[1], 0); // clamped low
         assert_eq!(body[2], 128); // 0.5 → 128
+    }
+
+    #[test]
+    fn row_bands_tile_the_buffer_exactly() {
+        let mut fb = Framebuffer::new_black(3, 8);
+        let bands = fb.row_bands_mut(3);
+        // 8 rows in bands of 3: 3 + 3 + 2.
+        assert_eq!(bands.len(), 3);
+        assert_eq!(bands[0].0, 0);
+        assert_eq!(bands[1].0, 3);
+        assert_eq!(bands[2].0, 6);
+        assert_eq!(bands[0].1.len(), 9);
+        assert_eq!(bands[1].1.len(), 9);
+        assert_eq!(bands[2].1.len(), 6);
+        // Writes through a band land at the right pixel.
+        for (start, band) in fb.row_bands_mut(3) {
+            band[0] = Vec3::new(start as f32, 0.0, 0.0);
+        }
+        assert_eq!(fb.get(0, 0).x, 0.0);
+        assert_eq!(fb.get(0, 3).x, 3.0);
+        assert_eq!(fb.get(0, 6).x, 6.0);
+    }
+
+    #[test]
+    fn row_bands_of_empty_image() {
+        let mut fb = Framebuffer::new_black(0, 4);
+        assert!(fb.row_bands_mut(2).is_empty());
+        let mut fb = Framebuffer::new_black(4, 0);
+        assert!(fb.row_bands_mut(2).is_empty());
     }
 
     #[test]

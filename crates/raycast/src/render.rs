@@ -4,11 +4,15 @@ use crate::camera::Camera;
 use crate::framebuffer::Framebuffer;
 use crate::shade::shade;
 use kdtune_geometry::Vec3;
+use kdtune_kdtree::scan::par_map;
 use kdtune_kdtree::{BuiltTree, RayQuery};
-use rayon::prelude::*;
 
 /// Offset applied to secondary ray origins to avoid self-intersection.
 const SHADOW_BIAS: f32 = 1e-3;
+
+/// Rows per render tile. Small enough to load-balance across threads on
+/// low resolutions, large enough that per-tile overhead stays noise.
+const TILE_ROWS: u32 = 8;
 
 /// Counters collected during a render.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,9 +39,9 @@ impl RenderStats {
 }
 
 /// Renders one frame: a primary ray per pixel, a shadow ray to the point
-/// light per hit. Rows are distributed over the ambient Rayon pool — rays
-/// are independent, which is also what lets the lazy tree expand from
-/// multiple threads at once.
+/// light per hit. Row-band tiles are distributed over the Rayon pool via
+/// [`par_map`] — rays are independent, which is also what lets the lazy
+/// tree expand from multiple threads at once.
 pub fn render(tree: &BuiltTree, camera: &Camera, light: Vec3) -> (Framebuffer, RenderStats) {
     render_with(tree, tree.mesh(), camera, light)
 }
@@ -45,45 +49,57 @@ pub fn render(tree: &BuiltTree, camera: &Camera, light: Vec3) -> (Framebuffer, R
 /// Structure-agnostic variant of [`render`]: shoots the same rays through
 /// any [`RayQuery`] implementation (a [`kdtune_kdtree::KdTree`], a lazy
 /// tree, a BVH, …) over the given mesh.
+///
+/// The framebuffer is allocated once and tiles render directly into
+/// disjoint slices of it — no per-row buffers, no reassembly copy.
+/// Per-tile [`RenderStats`] are plain sums, so their merge is
+/// order-independent and the totals are identical at any thread count.
 pub fn render_with(
     query: &(impl RayQuery + ?Sized),
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: Vec3,
 ) -> (Framebuffer, RenderStats) {
-    let (rows, stats): (Vec<Vec<Vec3>>, Vec<RenderStats>) = (0..camera.height())
-        .into_par_iter()
-        .map(|y| {
-            let mut row = Vec::with_capacity(camera.width() as usize);
-            let mut stats = RenderStats::default();
-            for x in 0..camera.width() {
-                let ray = camera.primary_ray(x, y);
-                stats.primary_rays += 1;
-                let color = match query.intersect(&ray, 0.0, f32::INFINITY) {
-                    None => Vec3::ZERO, // background
-                    Some(hit) => {
-                        stats.primary_hits += 1;
-                        let tri = mesh.triangle(hit.prim);
-                        let point = ray.at(hit.t);
-                        let to_light = light - point;
-                        let dist = to_light.length();
-                        let shadow = kdtune_geometry::Ray::new(point, to_light.normalized());
-                        stats.shadow_rays += 1;
-                        let occluded =
-                            query.intersect_any(&shadow, SHADOW_BIAS, dist - SHADOW_BIAS);
-                        stats.occluded += occluded as u64;
-                        shade(&tri, hit.prim, point, light, occluded)
-                    }
-                };
-                row.push(color);
-            }
-            (row, stats)
-        })
-        .unzip();
-    let stats = stats
+    let width = camera.width();
+    let mut fb = Framebuffer::new_black(width, camera.height());
+    let bands = fb.row_bands_mut(TILE_ROWS);
+    let threads = rayon::current_num_threads().max(1);
+    // Several tiles per thread for load balance; one task means par_map
+    // runs inline on the calling thread.
+    let tasks = if threads <= 1 {
+        1
+    } else {
+        (threads * 4).min(bands.len())
+    };
+    let tile_stats = par_map(bands, tasks, &|(first_row, band): (u32, &mut [Vec3])| {
+        let mut stats = RenderStats::default();
+        for (i, pixel) in band.iter_mut().enumerate() {
+            let x = i as u32 % width;
+            let y = first_row + i as u32 / width;
+            let ray = camera.primary_ray(x, y);
+            stats.primary_rays += 1;
+            *pixel = match query.intersect(&ray, 0.0, f32::INFINITY) {
+                None => Vec3::ZERO, // background
+                Some(hit) => {
+                    stats.primary_hits += 1;
+                    let tri = mesh.triangle(hit.prim);
+                    let point = ray.at(hit.t);
+                    let to_light = light - point;
+                    let dist = to_light.length();
+                    let shadow = kdtune_geometry::Ray::new(point, to_light.normalized());
+                    stats.shadow_rays += 1;
+                    let occluded = query.intersect_any(&shadow, SHADOW_BIAS, dist - SHADOW_BIAS);
+                    stats.occluded += occluded as u64;
+                    shade(&tri, hit.prim, point, light, occluded)
+                }
+            };
+        }
+        stats
+    });
+    let stats = tile_stats
         .into_iter()
         .fold(RenderStats::default(), RenderStats::merge);
-    (Framebuffer::from_rows(camera.width(), rows), stats)
+    (fb, stats)
 }
 
 #[cfg(test)]

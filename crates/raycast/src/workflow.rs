@@ -160,6 +160,14 @@ impl TuningWorkflow {
         let frame = self.tuner.iterations();
         self.tuner.stop_with(total_secs);
         if telemetry::enabled() {
+            // Traversal throughput: every ray the frame cast, over the
+            // render wall time (guarded against a zero-duration clock).
+            let rays = stats.primary_rays + stats.shadow_rays;
+            let rays_per_sec = if render_secs > 0.0 {
+                rays as f64 / render_secs
+            } else {
+                0.0
+            };
             let mut fields = vec![
                 ("frame", frame.into()),
                 ("algorithm", self.algorithm.name().into()),
@@ -172,7 +180,9 @@ impl TuningWorkflow {
                 ("primary_hits", stats.primary_hits.into()),
                 ("shadow_rays", stats.shadow_rays.into()),
                 ("occluded", stats.occluded.into()),
+                ("rays_per_sec", rays_per_sec.into()),
                 ("nodes", tree.node_count().into()),
+                ("node_bytes", tree.node_bytes().into()),
             ];
             // Tree-quality metrics require a full traversal, so they are
             // computed only while a recorder is listening (and only for
