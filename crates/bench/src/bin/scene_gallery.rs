@@ -5,8 +5,12 @@
 //! ```sh
 //! cargo run --release -p kdtune-bench --bin scene_gallery -- --out gallery
 //! ```
+//!
+//! `--packets` renders through the coherent 2×2 packet path instead of
+//! the scalar path; the images are bit-identical either way, so the flag
+//! doubles as an end-to-end equivalence check against committed PPMs.
 
-use kdtune::raycast::{render, Camera};
+use kdtune::raycast::{render_with_options, Camera};
 use kdtune::scenes::all_scenes;
 use kdtune::{build, Algorithm, BuildParams};
 use kdtune_bench::cli::ExperimentArgs;
@@ -33,7 +37,8 @@ fn main() {
             let mesh = scene.frame(f);
             let tris = mesh.len();
             let tree = build(mesh, Algorithm::InPlace, &BuildParams::default());
-            let (image, stats) = render(&tree, &camera, v.light);
+            let (image, stats, _) =
+                render_with_options(&tree, tree.mesh(), &camera, v.light, &opts.render_options);
             let path = out.join(format!("{}_{f:03}.ppm", scene.name));
             image.save_ppm(&path).expect("write ppm");
             println!(

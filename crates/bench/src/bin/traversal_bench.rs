@@ -1,18 +1,26 @@
 //! **Traversal benchmark** — render throughput of the packed-node fast
 //! path (fixed-size traversal stacks) against the heap-allocating
-//! reference path, on a fixed scene, camera and seed.
+//! reference path, plus the coherent 2×2 packet path against the scalar
+//! fast path, on a fixed scene, camera and seed.
 //!
 //! Everything that could move the numbers is pinned: the scene is Fairy
 //! Forest at a fixed complexity and seed, the camera and light come from
 //! the scene's own [`ViewSpec`], the tree is built once with `InPlace`
-//! defaults and shared by both paths, and the pool defaults to one
-//! thread (override with `--threads N`). The two paths shoot identical
-//! rays, so their [`RenderStats`] must match exactly — the binary
-//! asserts it.
+//! defaults and shared by every path, and the pool defaults to one
+//! thread (override with `--threads N`). All paths shoot identical rays,
+//! so their [`RenderStats`] must match exactly — the binary asserts it.
 //!
-//! Reports rays/sec and ns/ray per path plus the fast-over-alloc
-//! speedup, and emits `BENCH_traversal.json` into `--out <dir>`
-//! (default `results/`). Pass `--smoke` for a seconds-long CI-sized run.
+//! All comparisons interleave their frames (one of each per repeat) so
+//! slow machine-load drift biases neither side. The packet path is
+//! measured twice: a **primary-ray-only** pair (every pixel traced
+//! nearest-hit, no shading or shadows — the headline `packet_speedup`,
+//! since coherent primaries are where packets pay off) and a full-frame
+//! pair including batched shadow rays (`packet_frame_speedup`). Reports
+//! rays/sec and ns/ray per path plus the fast-over-alloc speedup and the
+//! packet lane utilization, and emits `BENCH_traversal.json` into
+//! `--out <dir>` (default `results/`). Pass `--smoke` for a seconds-long
+//! CI-sized run (still covering all comparisons), or `--packets` to run
+//! only the packet-vs-scalar pairs.
 //!
 //! [`ViewSpec`]: kdtune::scenes::ViewSpec
 
@@ -21,9 +29,11 @@ use kdtune::{build, Algorithm, BuildParams};
 use kdtune_bench::cli::ExperimentArgs;
 use kdtune_bench::platforms::run_on;
 use kdtune_bench::stats::median;
-use kdtune_geometry::{Hit, Ray};
-use kdtune_kdtree::{KdTree, RayQuery};
-use kdtune_raycast::{render_with, Camera, RenderStats};
+use kdtune_geometry::{Hit, Ray, RayPacket4, LANES};
+use kdtune_kdtree::{KdTree, PacketCounters, RayQuery};
+use kdtune_raycast::{
+    render_with, render_with_options, Camera, RayTable, RenderOptions, RenderStats,
+};
 use std::path::Path;
 use std::time::Instant;
 
@@ -126,6 +136,180 @@ fn measure_pair(
     (result("fast", &fast_times), result("alloc", &alloc_times))
 }
 
+/// Times one packet frame of `query`, checking stats reproduce
+/// `warm_stats`, and accumulates the packet counters.
+fn timed_packet_frame(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: kdtune_geometry::Vec3,
+    options: &RenderOptions,
+    warm_stats: RenderStats,
+    counters: &mut PacketCounters,
+) -> f64 {
+    let t0 = Instant::now();
+    let (_, s, pc) = render_with_options(query, mesh, camera, light, options);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(s, warm_stats, "packet: render must be deterministic");
+    *counters = counters.merge(pc);
+    secs
+}
+
+/// Measures the packet path against the scalar fast path with
+/// interleaved frames (one packet frame, one scalar frame per repeat).
+/// The packet render must reproduce the scalar [`RenderStats`] exactly —
+/// bit-identical images are asserted by the test suite; here the stats
+/// equality catches any divergence cheaply on every benchmark run.
+fn measure_packet_pair(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: kdtune_geometry::Vec3,
+    repeats: usize,
+) -> (PathResult, PathResult, PacketCounters) {
+    let options = RenderOptions::packets();
+    let (_, scalar_warm) = render_with(query, mesh, camera, light);
+    let (_, packet_warm, _) = render_with_options(query, mesh, camera, light, &options);
+    assert_eq!(
+        packet_warm, scalar_warm,
+        "packet and scalar paths must trace identical rays"
+    );
+    let mut counters = PacketCounters::default();
+    let mut packet_times = Vec::with_capacity(repeats);
+    let mut scalar_times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        packet_times.push(timed_packet_frame(
+            query,
+            mesh,
+            camera,
+            light,
+            &options,
+            packet_warm,
+            &mut counters,
+        ));
+        scalar_times.push(timed_frame(
+            "scalar",
+            query,
+            mesh,
+            camera,
+            light,
+            scalar_warm,
+        ));
+    }
+    let rays = scalar_warm.primary_rays + scalar_warm.shadow_rays;
+    let result = |label, times: &[f64]| PathResult {
+        label,
+        median_secs: median(times),
+        rays,
+    };
+    (
+        result("packet", &packet_times),
+        result("scalar", &scalar_times),
+        counters,
+    )
+}
+
+/// Folds one optional hit into a checksum that both defeats dead-code
+/// elimination and pins scalar/packet agreement (same hits, same `t`
+/// bits, same primitive — order-independent sum so tile order is free).
+#[inline]
+fn fold_hit(checksum: u64, hit: Option<Hit>) -> u64 {
+    match hit {
+        None => checksum,
+        Some(h) => checksum.wrapping_add((h.t.to_bits() as u64) << 20 ^ h.prim as u64),
+    }
+}
+
+/// One primary-ray-only frame through the scalar query: every pixel's
+/// nearest hit, no shading, no shadow rays. Returns (seconds, checksum).
+fn primary_frame_scalar(query: &(impl RayQuery + ?Sized), rays: &RayTable, res: u32) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut checksum = 0u64;
+    for y in 0..res {
+        for x in 0..res {
+            let ray = rays.primary_ray(x, y);
+            checksum = fold_hit(checksum, query.intersect(&ray, 0.0, f32::INFINITY));
+        }
+    }
+    (t0.elapsed().as_secs_f64(), checksum)
+}
+
+/// One primary-ray-only frame through the packet traversal: the same
+/// pixels as [`primary_frame_scalar`], traced as 2×2 tiles (the
+/// resolution is even). Returns (seconds, checksum).
+fn primary_frame_packet(
+    query: &(impl RayQuery + ?Sized),
+    rays: &RayTable,
+    res: u32,
+    min_active: u32,
+    counters: &mut PacketCounters,
+) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut checksum = 0u64;
+    for y in (0..res).step_by(2) {
+        for x in (0..res).step_by(2) {
+            let prim: [Ray; LANES] =
+                std::array::from_fn(|l| rays.primary_ray(x + (l as u32 & 1), y + (l as u32 >> 1)));
+            let packet = RayPacket4::new(prim, [f32::INFINITY; LANES]);
+            let hits = query.intersect_packet(&packet, 0.0, min_active, counters);
+            for hit in hits {
+                checksum = fold_hit(checksum, hit);
+            }
+        }
+    }
+    (t0.elapsed().as_secs_f64(), checksum)
+}
+
+/// Measures primary-ray throughput, packet against scalar, with
+/// interleaved frames. This is the headline packet comparison: primary
+/// rays from adjacent pixels are maximally coherent, so it isolates what
+/// the shared traversal and 4-wide kernels buy over four scalar walks.
+/// The checksums must agree — bit-identical hits, not just similar ones.
+fn measure_primary_pair(
+    query: &(impl RayQuery + ?Sized),
+    camera: &Camera,
+    res: u32,
+    min_active: u32,
+    repeats: usize,
+) -> (PathResult, PathResult, PacketCounters) {
+    assert_eq!(res % 2, 0, "primary pair tiles the frame in 2x2 blocks");
+    let rays = camera.ray_table();
+    let mut counters = PacketCounters::default();
+    let (_, scalar_warm) = primary_frame_scalar(query, &rays, res);
+    let (_, packet_warm) = primary_frame_packet(query, &rays, res, min_active, &mut counters);
+    assert_eq!(
+        packet_warm, scalar_warm,
+        "packet and scalar primary rays must hit identically"
+    );
+    let mut packet_times = Vec::with_capacity(repeats);
+    let mut scalar_times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let (secs, sum) = primary_frame_packet(query, &rays, res, min_active, &mut counters);
+        assert_eq!(
+            sum, packet_warm,
+            "packet primary pass must be deterministic"
+        );
+        packet_times.push(secs);
+        let (secs, sum) = primary_frame_scalar(query, &rays, res);
+        assert_eq!(
+            sum, scalar_warm,
+            "scalar primary pass must be deterministic"
+        );
+        scalar_times.push(secs);
+    }
+    let rays_per_frame = res as u64 * res as u64;
+    let result = |label, times: &[f64]| PathResult {
+        label,
+        median_secs: median(times),
+        rays: rays_per_frame,
+    };
+    (
+        result("packet-1st", &packet_times),
+        result("scalar-1st", &scalar_times),
+        counters,
+    )
+}
+
 fn write_json(path: &Path, entries: &[(&str, String)]) -> std::io::Result<()> {
     let body = entries
         .iter()
@@ -173,25 +357,60 @@ fn main() {
         eager.traversal_depth_bound(),
     );
 
-    let (fast, alloc) = run_on(threads, || {
-        measure_pair(&tree, &AllocQuery(eager), &mesh, &camera, v.light, repeats)
+    // `--packets` restricts the run to the packet-vs-scalar comparisons
+    // (the cheap CI packet leg); the default also covers fast-vs-alloc.
+    let packets_only = args.has_flag("--packets");
+    let fast_alloc = (!packets_only).then(|| {
+        run_on(threads, || {
+            measure_pair(&tree, &AllocQuery(eager), &mesh, &camera, v.light, repeats)
+        })
+    });
+    let min_active = RenderOptions::packets().packet_min_active;
+    let (packet1, scalar1, primary_counters) = run_on(threads, || {
+        measure_primary_pair(&tree, &camera, res, min_active, repeats)
+    });
+    let (packet, scalar, counters) = run_on(threads, || {
+        measure_packet_pair(&tree, &mesh, &camera, v.light, repeats)
     });
 
     println!(
-        "{:<8} {:>12} {:>14} {:>10}",
+        "{:<10} {:>12} {:>14} {:>10}",
         "path", "frame ms", "rays/sec", "ns/ray"
     );
-    for r in [&fast, &alloc] {
+    let mut rows: Vec<&PathResult> = vec![&packet1, &scalar1, &packet, &scalar];
+    if let Some((fast, alloc)) = &fast_alloc {
+        rows.push(fast);
+        rows.push(alloc);
+    }
+    for r in rows {
         println!(
-            "{:<8} {:>12.3} {:>14.0} {:>10.1}",
+            "{:<10} {:>12.3} {:>14.0} {:>10.1}",
             r.label,
             r.median_secs * 1e3,
             r.rays_per_sec(),
             r.ns_per_ray()
         );
     }
-    let speedup = alloc.median_secs / fast.median_secs;
-    println!("speedup (alloc/fast): {speedup:.2}x");
+    let packet_speedup = scalar1.median_secs / packet1.median_secs;
+    let frame_speedup = scalar.median_secs / packet.median_secs;
+    let lane_utilization = counters.lane_utilization();
+    println!(
+        "primary-ray speedup (scalar/packet): {packet_speedup:.2}x \
+         (lane utilization {:.1}%)",
+        100.0 * primary_counters.lane_utilization()
+    );
+    println!(
+        "full-frame speedup (scalar/packet): {frame_speedup:.2}x, lane utilization {:.1}%, \
+         {} lanes fell back to scalar",
+        100.0 * lane_utilization,
+        counters.scalar_fallback_lanes
+    );
+    if let Some((fast, alloc)) = &fast_alloc {
+        println!(
+            "speedup (alloc/fast): {:.2}x",
+            alloc.median_secs / fast.median_secs
+        );
+    }
 
     let out_dir = args
         .out
@@ -199,19 +418,76 @@ fn main() {
         .unwrap_or_else(|| std::path::PathBuf::from("results"));
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let path = out_dir.join("BENCH_traversal.json");
-    write_json(
-        &path,
-        &[
-            ("scene", "\"fairy_forest\"".into()),
-            ("complexity", format!("{}", params.complexity)),
-            ("seed", format!("{}", params.seed)),
-            ("triangles", format!("{}", mesh.len())),
-            ("resolution", format!("{res}")),
-            ("threads", format!("{threads}")),
-            ("repeats", format!("{repeats}")),
-            ("node_count", format!("{}", tree.node_count())),
-            ("node_bytes", format!("{}", tree.node_bytes())),
-            ("rays_per_frame", format!("{}", fast.rays)),
+    let mut entries: Vec<(&str, String)> = vec![
+        ("scene", "\"fairy_forest\"".into()),
+        ("complexity", format!("{}", params.complexity)),
+        ("seed", format!("{}", params.seed)),
+        ("triangles", format!("{}", mesh.len())),
+        ("resolution", format!("{res}")),
+        ("threads", format!("{threads}")),
+        ("repeats", format!("{repeats}")),
+        ("node_count", format!("{}", tree.node_count())),
+        ("node_bytes", format!("{}", tree.node_bytes())),
+        ("rays_per_frame", format!("{}", packet.rays)),
+        // Headline: primary-ray-only throughput, packet over scalar.
+        ("packet_speedup", format!("{packet_speedup:.4}")),
+        (
+            "primary_packet_median_ms",
+            format!("{:.6}", packet1.median_secs * 1e3),
+        ),
+        (
+            "primary_packet_rays_per_sec",
+            format!("{:.1}", packet1.rays_per_sec()),
+        ),
+        (
+            "primary_packet_ns_per_ray",
+            format!("{:.3}", packet1.ns_per_ray()),
+        ),
+        (
+            "primary_scalar_median_ms",
+            format!("{:.6}", scalar1.median_secs * 1e3),
+        ),
+        (
+            "primary_scalar_rays_per_sec",
+            format!("{:.1}", scalar1.rays_per_sec()),
+        ),
+        (
+            "primary_scalar_ns_per_ray",
+            format!("{:.3}", scalar1.ns_per_ray()),
+        ),
+        (
+            "primary_packet_lane_utilization",
+            format!("{:.4}", primary_counters.lane_utilization()),
+        ),
+        // Full frames (primary + batched shadow rays), packet over scalar.
+        ("packet_frame_speedup", format!("{frame_speedup:.4}")),
+        (
+            "packet_median_ms",
+            format!("{:.6}", packet.median_secs * 1e3),
+        ),
+        (
+            "packet_rays_per_sec",
+            format!("{:.1}", packet.rays_per_sec()),
+        ),
+        ("packet_ns_per_ray", format!("{:.3}", packet.ns_per_ray())),
+        (
+            "scalar_median_ms",
+            format!("{:.6}", scalar.median_secs * 1e3),
+        ),
+        (
+            "scalar_rays_per_sec",
+            format!("{:.1}", scalar.rays_per_sec()),
+        ),
+        ("scalar_ns_per_ray", format!("{:.3}", scalar.ns_per_ray())),
+        ("packet_lane_utilization", format!("{lane_utilization:.4}")),
+        (
+            "packet_fallback_lanes",
+            format!("{}", counters.scalar_fallback_lanes),
+        ),
+    ];
+    if let Some((fast, alloc)) = &fast_alloc {
+        let speedup = alloc.median_secs / fast.median_secs;
+        entries.extend([
             ("fast_median_ms", format!("{:.6}", fast.median_secs * 1e3)),
             ("fast_rays_per_sec", format!("{:.1}", fast.rays_per_sec())),
             ("fast_ns_per_ray", format!("{:.3}", fast.ns_per_ray())),
@@ -219,8 +495,8 @@ fn main() {
             ("alloc_rays_per_sec", format!("{:.1}", alloc.rays_per_sec())),
             ("alloc_ns_per_ray", format!("{:.3}", alloc.ns_per_ray())),
             ("speedup_alloc_over_fast", format!("{speedup:.4}")),
-        ],
-    )
-    .expect("json write");
+        ]);
+    }
+    write_json(&path, &entries).expect("json write");
     eprintln!("wrote {}", path.display());
 }

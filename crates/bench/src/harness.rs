@@ -2,7 +2,7 @@
 
 use crate::cli::ExperimentArgs;
 use crate::stats::median;
-use kdtune::{Algorithm, Config, Scene, SceneParams, TunedPipeline};
+use kdtune::{Algorithm, Config, RenderOptions, Scene, SceneParams, TunedPipeline};
 use kdtune_telemetry as telemetry;
 
 /// Sizing of an experiment run.
@@ -22,6 +22,9 @@ pub struct ExperimentOpts {
     pub frame_repeat: usize,
     /// Base RNG seed; repetition `k` uses `base_seed + k`.
     pub base_seed: u64,
+    /// How frames are traced (scalar by default; `--packets` switches
+    /// every render in the experiment to the coherent packet path).
+    pub render_options: RenderOptions,
 }
 
 impl ExperimentOpts {
@@ -35,6 +38,7 @@ impl ExperimentOpts {
             repeats: 3,
             frame_repeat: 5,
             base_seed: 0xbe,
+            render_options: RenderOptions::default(),
         }
     }
 
@@ -48,6 +52,7 @@ impl ExperimentOpts {
             repeats: 15,
             frame_repeat: 5,
             base_seed: 0xbe,
+            render_options: RenderOptions::default(),
         }
     }
 
@@ -60,6 +65,9 @@ impl ExperimentOpts {
         };
         if let Some(r) = args.repeats {
             opts.repeats = r;
+        }
+        if args.has_flag("--packets") {
+            opts.render_options = RenderOptions::packets();
         }
         opts
     }
@@ -104,6 +112,7 @@ pub fn tune_scene(
         } else {
             1
         })
+        .render_options(opts.render_options)
         .tuner_seed(seed);
     let (_, converged) = pipeline.run_until_converged(opts.max_tuning_frames);
 
@@ -173,7 +182,7 @@ pub fn measure_config(
     opts: &ExperimentOpts,
     frames: usize,
 ) -> f64 {
-    use kdtune::raycast::{run_frame_with, Camera};
+    use kdtune::raycast::{run_frame_with_options, Camera};
     use kdtune::BuildParams;
     let v = scene.view;
     let camera = Camera::look_at(
@@ -193,7 +202,14 @@ pub fn measure_config(
     );
     let costs: Vec<f64> = (0..frames.max(1))
         .map(|f| {
-            let (b, rr, _) = run_frame_with(scene.frame(f), algorithm, &params, &camera, v.light);
+            let (b, rr, _) = run_frame_with_options(
+                scene.frame(f),
+                algorithm,
+                &params,
+                &camera,
+                v.light,
+                &opts.render_options,
+            );
             b + rr
         })
         .collect();
@@ -232,6 +248,7 @@ mod tests {
             repeats: 2,
             frame_repeat: 2,
             base_seed: 7,
+            render_options: RenderOptions::default(),
         }
     }
 

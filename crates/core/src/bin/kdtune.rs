@@ -2,22 +2,22 @@
 //!
 //! ```text
 //! kdtune scenes
-//! kdtune render <scene> [--algo A] [--res N] [--frame F] [--out img.ppm]
+//! kdtune render <scene> [--algo A] [--res N] [--frame F] [--packets] [--out img.ppm]
 //! kdtune stats  <scene> [--algo A] [--scale quick|tiny|paper]
-//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--trace t.jsonl]
+//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--packets] [--trace t.jsonl]
 //! kdtune report <trace.jsonl>
 //! kdtune select <scene> [--frames N] [--res N]
 //! kdtune export <scene> <file.obj> [--frame F]
 //! kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
 //! ```
 
-use kdtune::raycast::{render, Camera};
+use kdtune::raycast::{render_with_options, Camera};
 use kdtune::scenes::{by_name, SCENE_NAMES};
 use kdtune::telemetry::sinks::{JsonlRecorder, StderrRecorder};
 use kdtune::telemetry::{self, json, Histogram};
 use kdtune::{
-    build, select_algorithm, Algorithm, BuildParams, Scene, SceneParams, SelectorOpts, TreeStats,
-    TunedPipeline,
+    build, select_algorithm, Algorithm, BuildParams, RenderOptions, Scene, SceneParams,
+    SelectorOpts, TreeStats, TunedPipeline,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -28,9 +28,9 @@ kdtune — online-autotuned parallel SAH kD-trees
 
 USAGE:
   kdtune scenes
-  kdtune render <scene> [--algo A] [--res N] [--frame F] [--out img.ppm]
+  kdtune render <scene> [--algo A] [--res N] [--frame F] [--packets] [--out img.ppm]
   kdtune stats  <scene> [--algo A]
-  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--trace t.jsonl]
+  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--packets] [--trace t.jsonl]
   kdtune report <trace.jsonl>
   kdtune select <scene> [--frames N] [--res N]
   kdtune export <scene> <file.obj> [--frame F]
@@ -39,6 +39,7 @@ USAGE:
 COMMON OPTIONS:
   --scale quick|tiny|paper   scene size (default quick)
   --algo  node_level|nested|in_place|lazy (default in_place)
+  --packets                  trace coherent 2x2 ray packets (render, tune)
   --trace FILE               record a JSONL telemetry trace (tune)
 
 SCENES: bunny sponza sibenik toasters wood_doll fairy_forest";
@@ -48,14 +49,21 @@ struct Args {
     options: HashMap<String, String>,
 }
 
+/// Options that are bare flags (no value follows them).
+const BOOL_FLAGS: &[&str] = &["packets"];
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut options = HashMap::new();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            options.insert(key.to_string(), value.clone());
+            if BOOL_FLAGS.contains(&key) {
+                options.insert(key.to_string(), "true".to_string());
+            } else {
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                options.insert(key.to_string(), value.clone());
+            }
         } else {
             positional.push(a.clone());
         }
@@ -97,6 +105,15 @@ impl Args {
             Some(v) => v.parse().map_err(|e| format!("bad --{key} {v:?}: {e}")),
         }
     }
+
+    /// Render options from the `--packets` flag (scalar by default).
+    fn render_options(&self) -> RenderOptions {
+        if self.options.contains_key("packets") {
+            RenderOptions::packets()
+        } else {
+            RenderOptions::default()
+        }
+    }
 }
 
 fn camera_for(scene: &Scene, res: u32) -> (Camera, kdtune::geometry::Vec3) {
@@ -134,17 +151,26 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     let algo = args.algo()?;
     let (camera, light) = camera_for(&scene, res);
     let mesh = scene.frame(frame);
+    let options = args.render_options();
     let t0 = std::time::Instant::now();
     let tree = build(mesh, algo, &BuildParams::default());
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = std::time::Instant::now();
-    let (image, stats) = render(&tree, &camera, light);
+    let (image, stats, packet) = render_with_options(&tree, tree.mesh(), &camera, light, &options);
     let render_ms = t1.elapsed().as_secs_f64() * 1e3;
     println!(
         "{} frame {frame} via {algo}: build {build_ms:.2} ms, render {render_ms:.2} ms, \
          {}/{} rays hit",
         scene.name, stats.primary_hits, stats.primary_rays
     );
+    if options.packets {
+        println!(
+            "packets: {} traced, {:.1}% lane utilization, {} scalar-fallback lanes",
+            packet.packets,
+            100.0 * packet.lane_utilization(),
+            packet.scalar_fallback_lanes
+        );
+    }
     let default_name = format!("{}_{frame}.ppm", scene.name);
     let out = args.options.get("out").cloned().unwrap_or(default_name);
     image.save_ppm(&out).map_err(|e| e.to_string())?;
@@ -219,6 +245,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     }
     let mut pipeline = TunedPipeline::new(scene, algo)
         .resolution(res, res)
+        .render_options(args.render_options())
         .tuner_seed(seed);
     for i in 0..frames {
         let r = pipeline.step();

@@ -3,7 +3,7 @@
 use crate::config::base_build_params;
 use kdtune_geometry::Vec3;
 use kdtune_kdtree::Algorithm;
-use kdtune_raycast::{run_frame_with, Camera, FrameReport, TuningWorkflow};
+use kdtune_raycast::{run_frame_with_options, Camera, FrameReport, RenderOptions, TuningWorkflow};
 use kdtune_scenes::Scene;
 
 /// Default experiment raster (the paper does not report its resolution;
@@ -79,7 +79,17 @@ impl TunedPipeline {
     /// Panics after stepping has begun.
     pub fn tuner_seed(mut self, seed: u64) -> TunedPipeline {
         assert_eq!(self.frame, 0, "seed must be set before stepping");
-        self.workflow = TuningWorkflow::new(self.workflow.algorithm(), seed);
+        let options = self.workflow.render_options();
+        self.workflow =
+            TuningWorkflow::new(self.workflow.algorithm(), seed).with_render_options(options);
+        self
+    }
+
+    /// Selects scalar or packet ray tracing for tuned frames *and* the
+    /// untuned baseline (pixels and [`kdtune_raycast::RenderStats`] are
+    /// bit-identical either way; only frame time differs).
+    pub fn render_options(mut self, options: RenderOptions) -> TunedPipeline {
+        self.workflow = self.workflow.with_render_options(options);
         self
     }
 
@@ -164,15 +174,17 @@ impl TunedPipeline {
     /// index, which would divide by `frame_repeat` twice).
     pub fn baseline_range(&self, start: usize, n: usize) -> Vec<f64> {
         let params = base_build_params();
+        let options = self.workflow.render_options();
         self.baseline_frames(start, n)
             .map(|frame| {
                 let mesh = self.scene.frame(frame);
-                let (b, r, _) = run_frame_with(
+                let (b, r, _) = run_frame_with_options(
                     mesh,
                     self.workflow.algorithm(),
                     &params,
                     &self.camera,
                     self.light,
+                    &options,
                 );
                 b + r
             })

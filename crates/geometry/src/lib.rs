@@ -29,6 +29,7 @@ mod aabb;
 mod axis;
 mod mesh;
 pub mod obj;
+mod packet;
 mod ray;
 mod transform;
 mod triangle;
@@ -37,6 +38,7 @@ mod vec3;
 pub use aabb::Aabb;
 pub use axis::Axis;
 pub use mesh::TriangleMesh;
+pub use packet::{PacketHit4, RayPacket4, ALL_LANES, LANES};
 pub use ray::{Hit, Ray};
 pub use transform::Transform;
 pub use triangle::Triangle;

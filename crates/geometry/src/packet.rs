@@ -1,0 +1,475 @@
+//! 4-wide coherent ray packets (SoA) and the vectorizable kernels over
+//! them.
+//!
+//! A [`RayPacket4`] carries four rays in structure-of-arrays layout —
+//! `[f32; 4]` per component — so the slab test and Möller–Trumbore
+//! intersection can be written as straight-line lane-parallel arithmetic
+//! that the autovectorizer lowers to SSE/NEON. Every kernel here is
+//! **bit-identical per lane** to its scalar counterpart
+//! ([`Aabb::intersect_ray`], [`Triangle::intersect`]): the same
+//! operations in the same order on the same `f32` values, with the
+//! scalar early-out branches turned into accept masks of identical
+//! polarity (so NaN comparison semantics carry over too). This is what
+//! lets the packet render path promise bit-identical images.
+
+use crate::{Aabb, Hit, Ray, Triangle, EPS};
+
+/// Number of rays in a packet.
+pub const LANES: usize = 4;
+
+/// One SIMD-friendly lane vector.
+type F4 = [f32; LANES];
+
+// Elementwise helpers over `[f32; 4]`. Fixed-length, branch-free lane
+// loops like these are what LLVM's unroll + SLP pass reliably lowers to
+// single packed SSE/NEON instructions; writing the kernels as chains of
+// them (operation-major, not lane-major) is what keeps the whole kernel
+// on the vector unit. Each is exactly the scalar operator per lane, so
+// lane results stay bit-identical to scalar code using the same ops.
+
+#[inline(always)]
+fn splat(v: f32) -> F4 {
+    [v; LANES]
+}
+
+#[inline(always)]
+fn add(a: F4, b: F4) -> F4 {
+    std::array::from_fn(|l| a[l] + b[l])
+}
+
+#[inline(always)]
+fn sub(a: F4, b: F4) -> F4 {
+    std::array::from_fn(|l| a[l] - b[l])
+}
+
+#[inline(always)]
+fn mul(a: F4, b: F4) -> F4 {
+    std::array::from_fn(|l| a[l] * b[l])
+}
+
+#[inline(always)]
+fn div(a: F4, b: F4) -> F4 {
+    std::array::from_fn(|l| a[l] / b[l])
+}
+
+/// `a * b - c * d`, the cross-product component shape.
+#[inline(always)]
+fn mul_sub(a: F4, b: F4, c: F4, d: F4) -> F4 {
+    sub(mul(a, b), mul(c, d))
+}
+
+/// `a · b` over lane triples, with [`crate::Vec3::dot`]'s summation
+/// order `(x*x + y*y) + z*z`.
+#[inline(always)]
+fn dot3(ax: F4, ay: F4, az: F4, bx: F4, by: F4, bz: F4) -> F4 {
+    add(add(mul(ax, bx), mul(ay, by)), mul(az, bz))
+}
+
+/// Packs a lane predicate into a bitmask (bit `l` = `m[l]`).
+#[inline(always)]
+fn mask_of(m: [bool; LANES]) -> u8 {
+    let mut bits = 0u8;
+    for (l, &lane) in m.iter().enumerate() {
+        bits |= (lane as u8) << l;
+    }
+    bits
+}
+
+/// Lane-mask with every lane active.
+pub const ALL_LANES: u8 = 0b1111;
+
+/// Four rays in SoA layout, with a per-lane `t_max` and an active-lane
+/// mask (bit `l` set = lane `l` participates in queries).
+///
+/// The original [`Ray`]s are retained so traversals can fall back to the
+/// scalar path for incoherent lanes without reconstructing them.
+#[derive(Clone, Copy, Debug)]
+pub struct RayPacket4 {
+    /// Origins, `origin[axis][lane]`.
+    origin: [[f32; LANES]; 3],
+    /// Directions, `dir[axis][lane]`.
+    dir: [[f32; LANES]; 3],
+    /// Reciprocal directions, `inv_dir[axis][lane]`.
+    inv_dir: [[f32; LANES]; 3],
+    /// Per-lane search upper bound.
+    t_max: [f32; LANES],
+    /// Active-lane mask (low four bits).
+    active: u8,
+    /// All four origins are bitwise identical (primary-ray packets) —
+    /// traversals may then classify the shared origin once per split
+    /// instead of per lane.
+    common_origin: bool,
+    /// The source rays, for scalar fallback.
+    rays: [Ray; LANES],
+}
+
+impl RayPacket4 {
+    /// Packs four rays with per-lane `t_max`; all lanes active.
+    pub fn new(rays: [Ray; LANES], t_max: [f32; LANES]) -> RayPacket4 {
+        RayPacket4::with_mask(rays, t_max, ALL_LANES)
+    }
+
+    /// Packs four rays with an explicit active-lane mask. Inactive lanes
+    /// must still hold *some* finite ray (duplicate an active lane or use
+    /// any placeholder) — their lanes are computed but never observed.
+    pub fn with_mask(rays: [Ray; LANES], t_max: [f32; LANES], active: u8) -> RayPacket4 {
+        let mut origin = [[0.0; LANES]; 3];
+        let mut dir = [[0.0; LANES]; 3];
+        let mut inv_dir = [[0.0; LANES]; 3];
+        for l in 0..LANES {
+            let r = &rays[l];
+            origin[0][l] = r.origin.x;
+            origin[1][l] = r.origin.y;
+            origin[2][l] = r.origin.z;
+            dir[0][l] = r.dir.x;
+            dir[1][l] = r.dir.y;
+            dir[2][l] = r.dir.z;
+            inv_dir[0][l] = r.inv_dir.x;
+            inv_dir[1][l] = r.inv_dir.y;
+            inv_dir[2][l] = r.inv_dir.z;
+        }
+        let common_origin =
+            (0..3).all(|a| (1..LANES).all(|l| origin[a][l].to_bits() == origin[a][0].to_bits()));
+        RayPacket4 {
+            origin,
+            dir,
+            inv_dir,
+            t_max,
+            active: active & ALL_LANES,
+            common_origin,
+            rays,
+        }
+    }
+
+    /// The active-lane mask (low four bits).
+    #[inline(always)]
+    pub fn active(&self) -> u8 {
+        self.active
+    }
+
+    /// The source ray of lane `l`.
+    #[inline(always)]
+    pub fn ray(&self, l: usize) -> &Ray {
+        &self.rays[l]
+    }
+
+    /// Per-lane search upper bounds.
+    #[inline(always)]
+    pub fn t_maxes(&self) -> [f32; LANES] {
+        self.t_max
+    }
+
+    /// Lane origins along `axis` (0 = x, 1 = y, 2 = z).
+    #[inline(always)]
+    pub fn origin_axis(&self, axis: usize) -> &[f32; LANES] {
+        &self.origin[axis]
+    }
+
+    /// Lane directions along `axis`.
+    #[inline(always)]
+    pub fn dir_axis(&self, axis: usize) -> &[f32; LANES] {
+        &self.dir[axis]
+    }
+
+    /// Lane reciprocal directions along `axis`.
+    #[inline(always)]
+    pub fn inv_dir_axis(&self, axis: usize) -> &[f32; LANES] {
+        &self.inv_dir[axis]
+    }
+
+    /// Whether every lane shares one bitwise-identical origin (true for
+    /// primary-ray packets from a pinhole camera).
+    #[inline(always)]
+    pub fn common_origin(&self) -> bool {
+        self.common_origin
+    }
+}
+
+/// Result of a 4-wide triangle intersection: per-lane `t` and
+/// barycentrics, with bit `l` of `mask` set when lane `l` accepted the
+/// hit. Values of rejected lanes are unspecified.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketHit4 {
+    /// Per-lane ray parameter.
+    pub t: [f32; LANES],
+    /// Per-lane barycentric `u`.
+    pub u: [f32; LANES],
+    /// Per-lane barycentric `v`.
+    pub v: [f32; LANES],
+    /// Accepting lanes.
+    pub mask: u8,
+}
+
+impl PacketHit4 {
+    /// The lane's result as a scalar [`Hit`] (prim = `usize::MAX`, as in
+    /// [`Triangle::intersect`]).
+    #[inline]
+    pub fn lane_hit(&self, l: usize) -> Hit {
+        Hit::new(self.t[l], usize::MAX, self.u[l], self.v[l])
+    }
+}
+
+impl Aabb {
+    /// 4-wide slab test: clips each lane's ray against the box over
+    /// `[t_min, packet t_max]`, returning per-lane `(t_enter, t_exit)`
+    /// and the mask of lanes that overlap the box. Per lane this is
+    /// bit-identical to [`Aabb::intersect_ray`] (including the
+    /// NaN-skipping of flat-box faces). Lanes outside the packet's
+    /// active mask are still computed but masked out of the result.
+    #[inline]
+    pub fn intersect_ray_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+    ) -> ([f32; LANES], [f32; LANES], u8) {
+        let min = [self.min.x, self.min.y, self.min.z];
+        let max = [self.max.x, self.max.y, self.max.z];
+        let mut t0 = splat(t_min);
+        let mut t1 = p.t_maxes();
+        for axis in 0..3 {
+            let o = *p.origin_axis(axis);
+            let inv = *p.inv_dir_axis(axis);
+            let near = mul(sub(splat(min[axis]), o), inv);
+            let far = mul(sub(splat(max[axis]), o), inv);
+            // The scalar swap-if-greater, as selects (`near > far` is
+            // false on NaN, exactly like the scalar branch).
+            let lo: F4 = std::array::from_fn(|l| if near[l] > far[l] { far[l] } else { near[l] });
+            let hi: F4 = std::array::from_fn(|l| if near[l] > far[l] { near[l] } else { far[l] });
+            // Same skip as the scalar slab test: a NaN on *either* side
+            // (origin exactly on a face, zero direction) leaves the
+            // lane's whole interval untouched — NaN can land on one side
+            // only, with the other at ±inf. `max`/`min` are the scalar
+            // `f32::max`/`f32::min` calls, so updated lanes carry the
+            // scalar result to the bit.
+            let skip: [bool; LANES] = std::array::from_fn(|l| lo[l].is_nan() || hi[l].is_nan());
+            t0 = std::array::from_fn(|l| if skip[l] { t0[l] } else { t0[l].max(lo[l]) });
+            t1 = std::array::from_fn(|l| if skip[l] { t1[l] } else { t1[l].min(hi[l]) });
+        }
+        // The scalar test early-returns as soon as t0 > t1; the interval
+        // updates are monotone, so checking once at the end yields the
+        // same verdict and the same final interval for hitting lanes.
+        let mask = mask_of(std::array::from_fn(|l| t0[l] <= t1[l]));
+        (t0, t1, mask & p.active())
+    }
+}
+
+impl Triangle {
+    /// 4-wide Möller–Trumbore: intersects this triangle with every lane
+    /// of the packet, accepting hits with `t` in the open interval
+    /// `(t_min, t_max[lane])`. Only lanes in `lanes` (intersected with
+    /// the packet's active mask) can appear in the result mask.
+    ///
+    /// Per lane this is bit-identical to [`Triangle::intersect`]: the
+    /// same straight-line arithmetic, with the scalar early-out branches
+    /// folded into reject flags of identical comparison polarity (so a
+    /// NaN falls through exactly the same way).
+    ///
+    /// `inline(always)`: this runs once per (leaf, triangle) — the
+    /// hottest loop of a packet render — and an out-of-line call would
+    /// spill the packet SoA registers and return the hit through memory.
+    #[inline(always)]
+    pub fn intersect4(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        t_max: &[f32; LANES],
+        lanes: u8,
+    ) -> PacketHit4 {
+        let e1x = splat(self.b.x - self.a.x);
+        let e1y = splat(self.b.y - self.a.y);
+        let e1z = splat(self.b.z - self.a.z);
+        let e2x = splat(self.c.x - self.a.x);
+        let e2y = splat(self.c.y - self.a.y);
+        let e2z = splat(self.c.z - self.a.z);
+        let (ox, oy, oz) = (*p.origin_axis(0), *p.origin_axis(1), *p.origin_axis(2));
+        let (dx, dy, dz) = (*p.dir_axis(0), *p.dir_axis(1), *p.dir_axis(2));
+
+        // pvec = dir × e2 (same component formulas as Vec3::cross).
+        let pvx = mul_sub(dy, e2z, dz, e2y);
+        let pvy = mul_sub(dz, e2x, dx, e2z);
+        let pvz = mul_sub(dx, e2y, dy, e2x);
+        // det = e1 · pvec (same summation order as Vec3::dot).
+        let det = dot3(e1x, e1y, e1z, pvx, pvy, pvz);
+        let inv_det = div(splat(1.0), det);
+        // tvec = origin - a.
+        let tvx = sub(ox, splat(self.a.x));
+        let tvy = sub(oy, splat(self.a.y));
+        let tvz = sub(oz, splat(self.a.z));
+        let u = mul(dot3(tvx, tvy, tvz, pvx, pvy, pvz), inv_det);
+        // qvec = tvec × e1.
+        let qvx = mul_sub(tvy, e1z, tvz, e1y);
+        let qvy = mul_sub(tvz, e1x, tvx, e1z);
+        let qvz = mul_sub(tvx, e1y, tvy, e1x);
+        let v = mul(dot3(dx, dy, dz, qvx, qvy, qvz), inv_det);
+        let t = mul(dot3(e2x, e2y, e2z, qvx, qvy, qvz), inv_det);
+        // One *single-compare* bitmask per scalar early-out, combined as
+        // `u8` masks. This shape matters: each `mask_of` of one lane
+        // compare lowers to a packed compare + movemask, whereas one
+        // fused multi-condition predicate decays into per-lane scalar
+        // compare/`set*` chains. Comparison polarity matches the scalar
+        // early-outs exactly so NaNs fall through the same way:
+        // `!(det.abs() < eps)` accepts a NaN det (scalar's reject branch
+        // does not fire), the `u` window is `contains`'s
+        // `-EPS <= u && u <= 1 + EPS` (NaN u rejects), and the negated
+        // `v`/`t` rejects accept NaN like the scalar `||` branches.
+        //
+        // `t <= t_min` has a runtime scalar RHS, which lowers to scalar
+        // `ucomiss`; it is rephrased as `t - t_min <= 0` (IEEE
+        // subtraction is sign-exact: a nonzero difference of two floats
+        // is at least one ulp and never rounds to zero, equality gives
+        // `+0`, and NaN stays NaN — so the verdict is bit-identical).
+        // `t >= t_max` keeps the direct form: its RHS is already a lane
+        // array, and a difference would break when both sides are `+∞`
+        // (`∞ - ∞ = NaN`).
+        let uv = add(u, v);
+        let dt_min = sub(t, splat(t_min));
+        let mask = !mask_of(std::array::from_fn(|l| det[l].abs() < 1e-12))
+            & mask_of(std::array::from_fn(|l| -EPS <= u[l]))
+            & mask_of(std::array::from_fn(|l| u[l] <= 1.0 + EPS))
+            & !mask_of(std::array::from_fn(|l| v[l] < -EPS))
+            & !mask_of(std::array::from_fn(|l| uv[l] > 1.0 + EPS))
+            & !mask_of(std::array::from_fn(|l| dt_min[l] <= 0.0))
+            & !mask_of(std::array::from_fn(|l| t[l] >= t_max[l]));
+        PacketHit4 {
+            t,
+            u,
+            v,
+            mask: mask & lanes & p.active(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+    use proptest::prelude::*;
+
+    fn arb_vec(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
+        (range.clone(), range.clone(), range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    fn packet_of(rays: [Ray; LANES], t_max: f32) -> RayPacket4 {
+        RayPacket4::new(rays, [t_max; LANES])
+    }
+
+    #[test]
+    fn packet_layout_round_trips() {
+        let rays = [
+            Ray::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 0.0, 1.0)),
+            Ray::new(Vec3::new(4.0, 5.0, 6.0), Vec3::new(0.0, 1.0, 0.0)),
+            Ray::new(Vec3::new(7.0, 8.0, 9.0), Vec3::new(1.0, 0.0, 0.0)),
+            Ray::new(Vec3::new(-1.0, -2.0, -3.0), Vec3::new(0.5, 0.5, 0.5)),
+        ];
+        let p = packet_of(rays, f32::INFINITY);
+        assert_eq!(p.active(), ALL_LANES);
+        for (l, ray) in rays.iter().enumerate() {
+            assert_eq!(p.origin_axis(0)[l], ray.origin.x);
+            assert_eq!(p.origin_axis(2)[l], ray.origin.z);
+            assert_eq!(p.dir_axis(1)[l], ray.dir.y);
+            assert_eq!(p.inv_dir_axis(0)[l].to_bits(), ray.inv_dir.x.to_bits());
+            assert_eq!(p.ray(l).origin, ray.origin);
+        }
+    }
+
+    #[test]
+    fn mask_is_clamped_to_four_lanes() {
+        let r = Ray::new(Vec3::ZERO, Vec3::Z);
+        let p = RayPacket4::with_mask([r; LANES], [1.0; LANES], 0xFF);
+        assert_eq!(p.active(), ALL_LANES);
+        let p = RayPacket4::with_mask([r; LANES], [1.0; LANES], 0b0101);
+        assert_eq!(p.active(), 0b0101);
+    }
+
+    #[test]
+    fn slab_handles_axis_parallel_rays_like_scalar() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        // Lane 0 inside the slab (parallel), lane 1 outside (parallel),
+        // lanes 2/3 plain hits/misses.
+        let rays = [
+            Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0)),
+            Ray::new(Vec3::new(5.0, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0)),
+            Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z),
+            Ray::new(Vec3::new(0.5, 0.5, -1.0), -Vec3::Z),
+        ];
+        let p = packet_of(rays, f32::INFINITY);
+        let (t0, t1, mask) = b.intersect_ray_packet(&p, 0.0);
+        for (l, ray) in rays.iter().enumerate() {
+            let scalar = b.intersect_ray(ray, 0.0, f32::INFINITY);
+            assert_eq!(mask & (1 << l) != 0, scalar.is_some(), "lane {l}");
+            if let Some((s0, s1)) = scalar {
+                assert_eq!(t0[l].to_bits(), s0.to_bits(), "lane {l} t0");
+                assert_eq!(t1[l].to_bits(), s1.to_bits(), "lane {l} t1");
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_lanes_never_hit() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let hit = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z);
+        let p = RayPacket4::with_mask([hit; LANES], [f32::INFINITY; LANES], 0b0010);
+        let (_, _, mask) = b.intersect_ray_packet(&p, 0.0);
+        assert_eq!(mask, 0b0010);
+        let tri = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+        let shifted = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::Z);
+        let p = RayPacket4::with_mask([shifted; LANES], [f32::INFINITY; LANES], 0b1000);
+        let h = tri.intersect4(&p, 0.0, &[f32::INFINITY; LANES], ALL_LANES);
+        assert_eq!(h.mask, 0b1000);
+    }
+
+    proptest! {
+        /// Lane-for-lane bit identity of the 4-wide slab test with the
+        /// scalar slab test, on random boxes and rays.
+        #[test]
+        fn slab_matches_scalar_bitwise(
+            bmin in arb_vec(-10.0..10.0),
+            ext in arb_vec(0.0..10.0),
+            origins in prop::array::uniform4(arb_vec(-20.0..20.0)),
+            dirs in prop::array::uniform4(arb_vec(-1.0..1.0)),
+            t_max in 1.0f32..1e6,
+        ) {
+            let b = Aabb::new(bmin, bmin + ext);
+            let rays: [Ray; LANES] =
+                std::array::from_fn(|l| Ray::new(origins[l], dirs[l]));
+            let p = RayPacket4::new(rays, [t_max; LANES]);
+            let (t0, t1, mask) = b.intersect_ray_packet(&p, 0.0);
+            for (l, ray) in rays.iter().enumerate() {
+                let scalar = b.intersect_ray(ray, 0.0, t_max);
+                prop_assert_eq!(mask & (1 << l) != 0, scalar.is_some());
+                if let Some((s0, s1)) = scalar {
+                    prop_assert_eq!(t0[l].to_bits(), s0.to_bits());
+                    prop_assert_eq!(t1[l].to_bits(), s1.to_bits());
+                }
+            }
+        }
+
+        /// Lane-for-lane bit identity of 4-wide Möller–Trumbore with the
+        /// scalar intersector, on random triangles and rays.
+        #[test]
+        fn moller_trumbore_matches_scalar_bitwise(
+            a in arb_vec(-5.0..5.0),
+            b in arb_vec(-5.0..5.0),
+            c in arb_vec(-5.0..5.0),
+            origins in prop::array::uniform4(arb_vec(-10.0..10.0)),
+            dirs in prop::array::uniform4(arb_vec(-1.0..1.0)),
+            t_max in 0.5f32..100.0,
+        ) {
+            let tri = Triangle::new(a, b, c);
+            let rays: [Ray; LANES] =
+                std::array::from_fn(|l| Ray::new(origins[l], dirs[l]));
+            let p = RayPacket4::new(rays, [t_max; LANES]);
+            let h = tri.intersect4(&p, 0.0, &[t_max; LANES], ALL_LANES);
+            for (l, ray) in rays.iter().enumerate() {
+                let scalar = tri.intersect(ray, 0.0, t_max);
+                prop_assert_eq!(h.mask & (1 << l) != 0, scalar.is_some(), "lane {}", l);
+                if let Some(s) = scalar {
+                    prop_assert_eq!(h.t[l].to_bits(), s.t.to_bits());
+                    prop_assert_eq!(h.u[l].to_bits(), s.u.to_bits());
+                    prop_assert_eq!(h.v[l].to_bits(), s.v.to_bits());
+                    prop_assert_eq!(h.lane_hit(l).prim, usize::MAX);
+                }
+            }
+        }
+    }
+}

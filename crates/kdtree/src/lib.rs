@@ -45,6 +45,7 @@ pub mod scan;
 mod split;
 mod stats;
 mod traverse;
+mod traverse_packet;
 mod tree;
 mod validate;
 
@@ -61,5 +62,6 @@ pub use stats::{to_dot, TreeHistograms, TreeStats};
 #[cfg(feature = "traversal-counters")]
 pub use traverse::global_counters;
 pub use traverse::{brute_force_intersect, TraversalCounters, FIXED_TRAVERSAL_STACK};
+pub use traverse_packet::PacketCounters;
 pub use tree::{KdTree, NodeKind, PackedNode, MAX_NODE_PAYLOAD};
 pub use validate::{validate, ValidationError};

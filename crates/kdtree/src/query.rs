@@ -1,18 +1,70 @@
 //! Uniform query interface over eager and lazy trees.
 
-use crate::{KdTree, LazyKdTree};
-use kdtune_geometry::{Aabb, Hit, Ray, TriangleMesh};
+use crate::{KdTree, LazyKdTree, PacketCounters};
+use kdtune_geometry::{Aabb, Hit, Ray, RayPacket4, TriangleMesh, LANES};
 use std::sync::Arc;
 
 /// Ray queries shared by every acceleration structure in this crate.
 ///
 /// Implementations must be callable concurrently from many threads (`&self`
 /// queries) — the ray caster parallelizes over pixels.
+///
+/// The packet methods have default implementations that trace each active
+/// lane through the scalar queries — correct (and by definition
+/// bit-identical to scalar) for any implementor; structures with a real
+/// packet traversal override them.
 pub trait RayQuery: Send + Sync {
     /// Nearest intersection with ray parameter in `(t_min, t_max)`.
     fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit>;
     /// True if any intersection exists in `(t_min, t_max)`.
     fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool;
+
+    /// Nearest intersection for every active lane of a packet, in
+    /// `(t_min, lane t_max)`; inactive lanes return `None`. Must be
+    /// bit-identical per lane to [`RayQuery::intersect`]. `min_active`
+    /// is the divergence threshold for implementations with a shared
+    /// packet loop; the scalar default ignores it.
+    fn intersect_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        _min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> [Option<Hit>; LANES] {
+        let t_maxes = p.t_maxes();
+        let mut out = [None; LANES];
+        counters.packets += 1;
+        counters.scalar_fallback_lanes += p.active().count_ones() as u64;
+        for (l, slot) in out.iter_mut().enumerate() {
+            if p.active() & (1 << l) != 0 {
+                *slot = self.intersect(p.ray(l), t_min, t_maxes[l]);
+            }
+        }
+        out
+    }
+
+    /// Occlusion mask for every active lane of a packet (bit `l` set =
+    /// lane `l` blocked in `(t_min, lane t_max)`); inactive lanes report
+    /// unoccluded. Must agree lanewise with [`RayQuery::intersect_any`].
+    fn intersect_any_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        _min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> u8 {
+        let t_maxes = p.t_maxes();
+        let mut occluded = 0u8;
+        counters.packets += 1;
+        counters.scalar_fallback_lanes += p.active().count_ones() as u64;
+        for (l, &t_max) in t_maxes.iter().enumerate() {
+            let bit = 1u8 << l;
+            if p.active() & bit != 0 && self.intersect_any(p.ray(l), t_min, t_max) {
+                occluded |= bit;
+            }
+        }
+        occluded
+    }
 }
 
 impl RayQuery for KdTree {
@@ -21,6 +73,24 @@ impl RayQuery for KdTree {
     }
     fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
         KdTree::intersect_any(self, ray, t_min, t_max)
+    }
+    fn intersect_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> [Option<Hit>; LANES] {
+        KdTree::intersect_packet(self, p, t_min, min_active, counters)
+    }
+    fn intersect_any_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> u8 {
+        KdTree::intersect_any_packet(self, p, t_min, min_active, counters)
     }
 }
 
@@ -107,6 +177,32 @@ impl RayQuery for BuiltTree {
         match self {
             BuiltTree::Eager(t) => t.intersect_any(ray, t_min, t_max),
             BuiltTree::Lazy(t) => t.intersect_any(ray, t_min, t_max),
+        }
+    }
+    fn intersect_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> [Option<Hit>; LANES] {
+        match self {
+            BuiltTree::Eager(t) => t.intersect_packet(p, t_min, min_active, counters),
+            // Lazy trees expand nodes on first scalar-ray contact; the
+            // per-lane default keeps that machinery untouched.
+            BuiltTree::Lazy(t) => RayQuery::intersect_packet(t, p, t_min, min_active, counters),
+        }
+    }
+    fn intersect_any_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> u8 {
+        match self {
+            BuiltTree::Eager(t) => t.intersect_any_packet(p, t_min, min_active, counters),
+            BuiltTree::Lazy(t) => RayQuery::intersect_any_packet(t, p, t_min, min_active, counters),
         }
     }
 }

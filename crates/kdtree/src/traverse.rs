@@ -15,7 +15,7 @@ use kdtune_geometry::{Hit, Ray, TriangleMesh};
 
 /// Tolerance added when deciding whether a hit found in a leaf terminates
 /// the traversal: hits exactly on a leaf boundary must not be discarded.
-const T_EPS: f32 = 1e-4;
+pub(crate) const T_EPS: f32 = 1e-4;
 
 /// Capacity of the fixed traversal stack. One entry is pushed per inner
 /// node on the current root-to-leaf path, so any tree with
@@ -49,6 +49,14 @@ impl ArrayStack {
             entries: [(0, 0.0, 0.0); FIXED_TRAVERSAL_STACK],
             len: 0,
         }
+    }
+
+    /// Empties the stack so it can be reused without re-zeroing the
+    /// whole entry array (construction memsets ~768 bytes; resume paths
+    /// run many short traversals back to back).
+    #[inline(always)]
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
     }
 }
 
@@ -123,11 +131,37 @@ fn intersect_impl<S: TraversalStack>(
     t_max: f32,
     stack: &mut S,
 ) -> Option<Hit> {
-    let (mut t0, mut t1) = tree.bounds().intersect_ray(ray, t_min, t_max)?;
+    let (t0, t1) = tree.bounds().intersect_ray(ray, t_min, t_max)?;
+    intersect_core(tree, ray, t_min, 0, t0, t1, stack, None, t_max).0
+}
+
+/// Resumable nearest-hit traversal loop: starts at `node_idx` with the
+/// parametric interval `(t0, t1)` and a prior `best`/`t_best`, exactly as
+/// if a running scalar traversal were continued from that state. The
+/// second return value is `true` when the loop left via the
+/// found-hit-in-range early exit (the scalar `return best`) — callers
+/// resuming a suspended traversal must then *not* process any deferred
+/// subtrees — and `false` when the stack ran dry.
+///
+/// The packet traversal uses this to hand incoherent lanes back to the
+/// scalar path mid-flight with bit-identical results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn intersect_core<S: TraversalStack>(
+    tree: &KdTree,
+    ray: &Ray,
+    t_min: f32,
+    node_idx: u32,
+    t0: f32,
+    t1: f32,
+    stack: &mut S,
+    best: Option<Hit>,
+    t_best: f32,
+) -> (Option<Hit>, bool) {
     let axes = RayAxes::new(ray);
-    let mut node_idx = 0u32;
-    let mut best: Option<Hit> = None;
-    let mut t_best = t_max;
+    let mut node_idx = node_idx;
+    let (mut t0, mut t1) = (t0, t1);
+    let mut best = best;
+    let mut t_best = t_best;
     let nodes = tree.nodes();
     let tris = tree.leaf_tris();
     loop {
@@ -169,7 +203,7 @@ fn intersect_impl<S: TraversalStack>(
             // Early exit: a hit inside this leaf's parametric range
             // cannot be beaten by farther leaves.
             if best.is_some_and(|h| h.t <= t1 + T_EPS) {
-                return best;
+                return (best, true);
             }
             loop {
                 match stack.pop() {
@@ -184,7 +218,7 @@ fn intersect_impl<S: TraversalStack>(
                         t0 = s0;
                         t1 = s1;
                     }
-                    None => return best,
+                    None => return (best, false),
                 }
                 break;
             }
@@ -200,11 +234,31 @@ fn intersect_any_impl<S: TraversalStack>(
     t_max: f32,
     stack: &mut S,
 ) -> bool {
-    let Some((mut t0, mut t1)) = tree.bounds().intersect_ray(ray, t_min, t_max) else {
+    let Some((t0, t1)) = tree.bounds().intersect_ray(ray, t_min, t_max) else {
         return false;
     };
+    intersect_any_core(tree, ray, t_min, t_max, 0, t0, t1, stack)
+}
+
+/// Resumable any-hit traversal loop — the any-hit analogue of
+/// [`intersect_core`]: starts at `node_idx` with interval `(t0, t1)` and
+/// returns whether anything in that subtree (plus whatever it defers onto
+/// `stack`) occludes the ray. `t_max` is the leaf-test upper bound, which
+/// any-hit does not shrink.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn intersect_any_core<S: TraversalStack>(
+    tree: &KdTree,
+    ray: &Ray,
+    t_min: f32,
+    t_max: f32,
+    node_idx: u32,
+    t0: f32,
+    t1: f32,
+    stack: &mut S,
+) -> bool {
     let axes = RayAxes::new(ray);
-    let mut node_idx = 0u32;
+    let mut node_idx = node_idx;
+    let (mut t0, mut t1) = (t0, t1);
     let nodes = tree.nodes();
     let tris = tree.leaf_tris();
     loop {
@@ -329,7 +383,7 @@ impl KdTree {
     /// True if this tree's depth bound fits the fixed traversal stack, so
     /// queries run without heap allocation.
     #[inline(always)]
-    fn fits_fixed_stack(&self) -> bool {
+    pub(crate) fn fits_fixed_stack(&self) -> bool {
         self.traversal_depth_bound() as usize <= FIXED_TRAVERSAL_STACK
     }
 

@@ -1,0 +1,778 @@
+//! Masked 4-wide packet traversal over the packed-node tree.
+//!
+//! A [`RayPacket4`] descends the tree as a group: one node fetch and one
+//! split classification serve up to four rays, and leaf triangles are
+//! tested with the 4-wide Möller–Trumbore kernel. The traversal keeps a
+//! **shared** fixed-size stack whose entries carry a per-lane mask and
+//! per-lane parametric intervals, so each lane still pops its deferred
+//! subtrees in exactly the order the scalar traversal would.
+//!
+//! ## Bit-identity with the scalar path
+//!
+//! The packet result is guaranteed bit-identical to running
+//! [`KdTree::intersect`] per lane. Three mechanisms make that hold:
+//!
+//! 1. **Order preservation.** Active lanes only traverse jointly while
+//!    they agree on the near child (`below_first`). Per-lane split
+//!    classification (near-only / far-only / both) uses the exact scalar
+//!    predicates; far-only lanes ride along dormant inside the deferred
+//!    entry (their next *processed* node is the far child — the same node
+//!    the scalar code jumps to directly), so every lane's sequence of
+//!    processed nodes matches its scalar sequence.
+//! 2. **Exact kernels.** The 4-wide slab and triangle kernels in
+//!    `kdtune-geometry` replicate the scalar arithmetic per lane to the
+//!    bit, including NaN comparison polarity.
+//! 3. **Scalar resume.** When lanes disagree on `below_first`, or the
+//!    active count drops below the divergence threshold `min_active`,
+//!    the affected lanes are handed to [`intersect_core`] /
+//!    [`intersect_any_core`] — a *continuation* of the scalar loop from
+//!    the lane's current node, interval, best hit, and pending stack
+//!    entries, which is scalar execution by construction.
+//!
+//! One scalar quirk needs care: the scalar nearest-hit pop discards
+//! entries whose `t_enter` lies beyond the current best (`s0 > t_best`),
+//! but a far-only lane *jumps* to the far child without popping, so no
+//! such check applies to it. Shared-stack entries therefore track a
+//! `skip_exempt` mask of far-only lanes that must bypass the pop check.
+
+// Lane-indexed `for l in 0..LANES` loops over parallel `[f32; LANES]`
+// arrays are the house style for the masked code here — iterator chains
+// over four zipped arrays obscure the lane structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::traverse::{
+    intersect_any_core, intersect_core, ArrayStack, FIXED_TRAVERSAL_STACK, T_EPS,
+};
+use crate::tree::KdTree;
+use kdtune_geometry::{Hit, RayPacket4, ALL_LANES, LANES};
+
+/// Work counters for the packet traversal, reported alongside render
+/// stats so per-scene divergence is observable. Unlike
+/// [`crate::TraversalCounters`] these describe *packet* work: one
+/// `node_steps` increment covers up to four rays.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacketCounters {
+    /// Packets traced (one per `intersect_packet`/`intersect_any_packet`).
+    pub packets: u64,
+    /// Nodes processed by the shared packet loop (inner + leaf).
+    pub node_steps: u64,
+    /// Sum over node steps of the number of active lanes at that step.
+    pub lane_steps: u64,
+    /// Leaf nodes among `node_steps`.
+    pub leaf_steps: u64,
+    /// 4-wide triangle tests (one per `(leaf, triangle)` pair).
+    pub tri_tests: u64,
+    /// Lanes handed to the scalar resume path (divergence, `min_active`,
+    /// deep-tree or counters-feature fallback).
+    pub scalar_fallback_lanes: u64,
+}
+
+impl PacketCounters {
+    /// Element-wise sum.
+    pub fn merge(self, o: PacketCounters) -> PacketCounters {
+        PacketCounters {
+            packets: self.packets + o.packets,
+            node_steps: self.node_steps + o.node_steps,
+            lane_steps: self.lane_steps + o.lane_steps,
+            leaf_steps: self.leaf_steps + o.leaf_steps,
+            tri_tests: self.tri_tests + o.tri_tests,
+            scalar_fallback_lanes: self.scalar_fallback_lanes + o.scalar_fallback_lanes,
+        }
+    }
+
+    /// Mean active-lane fraction over all shared node steps, in `[0, 1]`
+    /// (`0.0` when no packet steps ran — e.g. everything fell back to
+    /// scalar).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.node_steps == 0 {
+            0.0
+        } else {
+            self.lane_steps as f64 / (LANES as f64 * self.node_steps as f64)
+        }
+    }
+}
+
+/// A deferred subtree shared by several lanes: the far child of a split,
+/// with each lane's parametric interval and the mask of lanes that still
+/// owe it a visit. `skip_exempt` marks far-only lanes (scalar would have
+/// jumped, not popped — see module docs).
+#[derive(Clone, Copy)]
+struct PacketEntry {
+    node: u32,
+    mask: u8,
+    skip_exempt: u8,
+    t0: [f32; LANES],
+    t1: [f32; LANES],
+}
+
+impl PacketEntry {
+    const EMPTY: PacketEntry = PacketEntry {
+        node: 0,
+        mask: 0,
+        skip_exempt: 0,
+        t0: [0.0; LANES],
+        t1: [0.0; LANES],
+    };
+}
+
+/// Fixed-capacity shared stack. As in the scalar traversal, at most one
+/// entry is live per inner node on the current root-to-leaf path, so the
+/// scalar depth bound caps the length; the public wrappers only take the
+/// packet path when the bound fits.
+struct PacketStack {
+    entries: [PacketEntry; FIXED_TRAVERSAL_STACK],
+    len: usize,
+}
+
+impl PacketStack {
+    #[inline(always)]
+    fn new() -> PacketStack {
+        PacketStack {
+            entries: [PacketEntry::EMPTY; FIXED_TRAVERSAL_STACK],
+            len: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn push(&mut self, e: PacketEntry) {
+        self.entries[self.len] = e;
+        self.len += 1;
+    }
+
+    /// Remaining entries, top of stack first — the order a bailing lane
+    /// would pop them in.
+    #[inline]
+    fn pending(&self) -> impl Iterator<Item = &PacketEntry> {
+        self.entries[..self.len].iter().rev()
+    }
+
+    /// Pops until an entry with surviving lanes turns up; restores the
+    /// entry's intervals into `t0`/`t1` and returns `(node, mask)`. For
+    /// the nearest-hit traversal, non-exempt lanes are dropped from an
+    /// entry when it starts beyond their best hit — the scalar
+    /// `s0 > t_best` pop check, applied lanewise. The negated comparison
+    /// is deliberate: a NaN `t0` (deferred with a NaN split `t_plane`)
+    /// must *keep* the entry, as in the scalar pop.
+    ///
+    /// The restore copies whole lane arrays: lanes outside the returned
+    /// mask are dead (every mask downstream — split classification,
+    /// leaf tests, pushes — is intersected with the current mask), so
+    /// overwriting their interval slots is unobservable and cheaper than
+    /// masked stores.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn pop_next(
+        &mut self,
+        live: u8,
+        t_best: Option<&[f32; LANES]>,
+        t0: &mut [f32; LANES],
+        t1: &mut [f32; LANES],
+    ) -> Option<(u32, u8)> {
+        while self.len > 0 {
+            self.len -= 1;
+            let e = &self.entries[self.len];
+            let mut m = e.mask & live;
+            if m == 0 {
+                continue;
+            }
+            if let Some(t_best) = t_best {
+                let mut keep = e.skip_exempt;
+                for l in 0..LANES {
+                    keep |= (!(e.t0[l] > t_best[l]) as u8) << l;
+                }
+                m &= keep;
+                if m == 0 {
+                    continue;
+                }
+            }
+            *t0 = e.t0;
+            *t1 = e.t1;
+            return Some((e.node, m));
+        }
+        None
+    }
+}
+
+/// Continues lane `l` of a suspended nearest-hit packet traversal on the
+/// scalar path: runs the scalar loop from the lane's current node and
+/// state, then — unless that run early-exited — replays the lane's
+/// pending shared-stack entries top-down, applying the scalar pop check
+/// to non-exempt entries. This is exactly the instruction stream the
+/// scalar traversal would have executed from here.
+#[allow(clippy::too_many_arguments)]
+fn resume_lane_nearest(
+    tree: &KdTree,
+    p: &RayPacket4,
+    l: usize,
+    t_min: f32,
+    node: u32,
+    t0: f32,
+    t1: f32,
+    best0: Option<Hit>,
+    t_best0: f32,
+    stack: &PacketStack,
+) -> Option<Hit> {
+    let ray = p.ray(l);
+    let mut scratch = ArrayStack::new();
+    let (mut best, mut early) =
+        intersect_core(tree, ray, t_min, node, t0, t1, &mut scratch, best0, t_best0);
+    let mut t_best = best.map_or(t_best0, |h| h.t);
+    let bit = 1u8 << l;
+    for e in stack.pending() {
+        if early || e.mask & bit == 0 {
+            continue;
+        }
+        if e.skip_exempt & bit == 0 && e.t0[l] > t_best {
+            continue;
+        }
+        scratch.clear();
+        (best, early) = intersect_core(
+            tree,
+            ray,
+            t_min,
+            e.node,
+            e.t0[l],
+            e.t1[l],
+            &mut scratch,
+            best,
+            t_best,
+        );
+        t_best = best.map_or(t_best, |h| h.t);
+    }
+    best
+}
+
+/// Any-hit analogue of [`resume_lane_nearest`] (no pop check to apply —
+/// the scalar any-hit pop is unconditional).
+#[allow(clippy::too_many_arguments)]
+fn resume_lane_any(
+    tree: &KdTree,
+    p: &RayPacket4,
+    l: usize,
+    t_min: f32,
+    node: u32,
+    t0: f32,
+    t1: f32,
+    stack: &PacketStack,
+) -> bool {
+    let ray = p.ray(l);
+    let t_max = p.t_maxes()[l];
+    let mut scratch = ArrayStack::new();
+    if intersect_any_core(tree, ray, t_min, t_max, node, t0, t1, &mut scratch) {
+        return true;
+    }
+    let bit = 1u8 << l;
+    for e in stack.pending() {
+        if e.mask & bit == 0 {
+            continue;
+        }
+        scratch.clear();
+        if intersect_any_core(
+            tree,
+            ray,
+            t_min,
+            t_max,
+            e.node,
+            e.t0[l],
+            e.t1[l],
+            &mut scratch,
+        ) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Outcome of one shared nearest-hit inner-node step.
+enum InnerStep {
+    /// Descend into `(node, mask)`.
+    Descend(u32, u8),
+    /// Active lanes disagree on the near child; intervals and stack are
+    /// untouched. The nearest-hit loop must bail to the order-exact
+    /// scalar resume — the any-hit loop never lands here, it uses the
+    /// order-free [`inner_step_any`] instead.
+    Diverged,
+}
+
+/// One shared inner-node step: agrees on a near child, classifies every
+/// lane against the split (scalar predicates: near-only when
+/// `t_plane > t1 || t_plane <= 0`, far-only when `t_plane < t0`, else
+/// both — NaN `t_plane` fails every comparison and lands in `both`,
+/// exactly like the scalar branch chain), defers the far subtree with
+/// the lanes that owe it a visit, and narrows `t1` for straddling
+/// lanes. Returns the `(node, mask)` to descend into, or the divergence
+/// split when active lanes disagree on the near child.
+///
+/// This step runs a few dozen times per packet — more often than the
+/// leaf kernels — so the lane work is phrased as branch-free compare/
+/// select chains (`|`/`&` on compare bits, `if`-expressions with no
+/// side effects) that lower to packed compares and blends instead of
+/// per-lane branches.
+#[inline(always)]
+fn inner_step(
+    p: &RayPacket4,
+    node: &crate::tree::PackedNode,
+    cur_node: u32,
+    cur_mask: u8,
+    t0: &mut [f32; LANES],
+    t1: &mut [f32; LANES],
+    stack: &mut PacketStack,
+) -> InnerStep {
+    let axis = node.axis_index();
+    let pos = node.split_pos();
+    let o = p.origin_axis(axis);
+    let d = p.dir_axis(axis);
+    let inv = p.inv_dir_axis(axis);
+    let mut diff = [0.0f32; LANES];
+    for l in 0..LANES {
+        diff[l] = pos - o[l];
+    }
+    let mut t_plane = [0.0f32; LANES];
+    for l in 0..LANES {
+        t_plane[l] = diff[l] * inv[l];
+    }
+    let bf = below_first_mask(p, &diff, d);
+    let below_first = bf & cur_mask == cur_mask;
+    if !below_first && bf & cur_mask != 0 {
+        // Lanes straddle the plane: no agreed near child, so the shared
+        // loop cannot preserve per-lane order.
+        return InnerStep::Diverged;
+    }
+    let mut is_far = [false; LANES];
+    let mut is_both = [false; LANES];
+    for l in 0..LANES {
+        let near = (t_plane[l] > t1[l]) | (t_plane[l] <= 0.0);
+        is_far[l] = !near & (t_plane[l] < t0[l]);
+        is_both[l] = !near & !is_far[l];
+    }
+    let far = mask_of(is_far) & cur_mask;
+    let both = mask_of(is_both) & cur_mask;
+    let (first, second) = if below_first {
+        (cur_node + 1, node.right_child())
+    } else {
+        (node.right_child(), cur_node + 1)
+    };
+    let down = cur_mask & !far;
+    if down == 0 {
+        // Every lane skips the near child: direct jump, no entry,
+        // intervals unchanged.
+        return InnerStep::Descend(second, cur_mask);
+    }
+    if far | both != 0 {
+        let mut e = PacketEntry {
+            node: second,
+            mask: far | both,
+            skip_exempt: far,
+            t0: *t0,
+            t1: *t1,
+        };
+        for l in 0..LANES {
+            e.t0[l] = if is_both[l] { t_plane[l] } else { e.t0[l] };
+        }
+        stack.push(e);
+    }
+    for l in 0..LANES {
+        t1[l] = if is_both[l] { t_plane[l] } else { t1[l] };
+    }
+    InnerStep::Descend(first, down)
+}
+
+/// Packs a lane predicate into a bitmask (bit `l` = `m[l]`).
+#[inline(always)]
+fn mask_of(m: [bool; LANES]) -> u8 {
+    let mut bits = 0u8;
+    for l in 0..LANES {
+        bits |= (m[l] as u8) << l;
+    }
+    bits
+}
+
+/// Scalar near-child pick per lane: below first iff
+/// `o < pos || (o == pos && d <= 0)`. Phrased over the already-computed
+/// difference — `o < pos ⟺ pos - o > 0` and `o == pos ⟺ pos - o == 0`
+/// (IEEE subtraction preserves the exact sign: a nonzero difference of
+/// two floats is at least one ulp, so it never rounds to zero, and
+/// NaN/∞ fail both forms alike). Primary-ray packets share one origin
+/// bitwise, so the origin classification collapses to one scalar
+/// compare; otherwise the per-lane predicates are combined as
+/// *bitmasks* of single-compare arrays, which lower to one packed
+/// compare + movemask each instead of per-lane compare/branch chains.
+#[inline(always)]
+fn below_first_mask(p: &RayPacket4, diff: &[f32; LANES], d: &[f32; LANES]) -> u8 {
+    if p.common_origin() {
+        if diff[0] > 0.0 {
+            ALL_LANES
+        } else if diff[0] == 0.0 {
+            mask_of(std::array::from_fn(|l| d[l] <= 0.0))
+        } else {
+            0
+        }
+    } else {
+        let o_below = mask_of(std::array::from_fn(|l| diff[l] > 0.0));
+        let o_on = mask_of(std::array::from_fn(|l| diff[l] == 0.0));
+        let d_neg = mask_of(std::array::from_fn(|l| d[l] <= 0.0));
+        o_below | (o_on & d_neg)
+    }
+}
+
+/// Order-free inner step for the any-hit traversal. Occlusion is an
+/// existence query, so per-lane descent order is irrelevant — a packet
+/// whose lanes straddle the split plane need not diverge. The whole
+/// packet descends one shared first child (majority vote over the
+/// active lanes' near-child picks) and each lane carries its *own*
+/// exact child intervals, with near/far swapped for lanes whose origin
+/// sits on the other side of the plane. Every lane therefore visits
+/// exactly the child set and parametric ranges the scalar any-hit
+/// traversal would, possibly in the opposite order. Pushes at most one
+/// entry, so the shared stack keeps its one-entry-per-level depth
+/// bound.
+#[inline(always)]
+fn inner_step_any(
+    p: &RayPacket4,
+    node: &crate::tree::PackedNode,
+    cur_node: u32,
+    cur_mask: u8,
+    t0: &mut [f32; LANES],
+    t1: &mut [f32; LANES],
+    stack: &mut PacketStack,
+) -> (u32, u8) {
+    let axis = node.axis_index();
+    let pos = node.split_pos();
+    let o = p.origin_axis(axis);
+    let d = p.dir_axis(axis);
+    let inv = p.inv_dir_axis(axis);
+    let mut diff = [0.0f32; LANES];
+    for l in 0..LANES {
+        diff[l] = pos - o[l];
+    }
+    let mut t_plane = [0.0f32; LANES];
+    for l in 0..LANES {
+        t_plane[l] = diff[l] * inv[l];
+    }
+    // Per-lane origin side as a *bool array* (same predicate as
+    // [`below_first_mask`]): kept unpacked so the interval blends below
+    // lower to vector selects instead of per-lane bit tests.
+    let mut o_below = [false; LANES];
+    for l in 0..LANES {
+        o_below[l] = (diff[l] > 0.0) | ((diff[l] == 0.0) & (d[l] <= 0.0));
+    }
+    // Scalar child classification per lane (NaN `t_plane` lands in
+    // `straddle`, as in the scalar branch chain), then mapped from
+    // near/far to below/above by origin side. A lane visits the below
+    // child iff it is its near child or its ray straddles into it.
+    let mut vis_below = [false; LANES];
+    let mut vis_above = [false; LANES];
+    let mut below_t0 = [0.0f32; LANES];
+    let mut below_t1 = [0.0f32; LANES];
+    let mut above_t0 = [0.0f32; LANES];
+    let mut above_t1 = [0.0f32; LANES];
+    for l in 0..LANES {
+        let near_only = (t_plane[l] > t1[l]) | (t_plane[l] <= 0.0);
+        let far_only = !near_only & (t_plane[l] < t0[l]);
+        let straddle = !near_only & !far_only;
+        // Near interval `[t0, t1∧t_plane]`, far `[t0∨t_plane, t1]`
+        // (clamped only for straddling lanes).
+        let near_t1 = if straddle { t_plane[l] } else { t1[l] };
+        let far_t0 = if straddle { t_plane[l] } else { t0[l] };
+        vis_below[l] = if o_below[l] {
+            !far_only
+        } else {
+            far_only | straddle
+        };
+        vis_above[l] = if o_below[l] {
+            far_only | straddle
+        } else {
+            !far_only
+        };
+        below_t0[l] = if o_below[l] { t0[l] } else { far_t0 };
+        below_t1[l] = if o_below[l] { near_t1 } else { t1[l] };
+        above_t0[l] = if o_below[l] { far_t0 } else { t0[l] };
+        above_t1[l] = if o_below[l] { t1[l] } else { near_t1 };
+    }
+    let below_mask = mask_of(vis_below) & cur_mask;
+    let above_mask = mask_of(vis_above) & cur_mask;
+    // Majority vote on the shared first child; misaligned lanes see
+    // their children in the opposite order, which any-hit is free to
+    // do.
+    let below_first = 2 * (mask_of(o_below) & cur_mask).count_ones() >= cur_mask.count_ones();
+    let (first, second, first_mask, second_mask) = if below_first {
+        (cur_node + 1, node.right_child(), below_mask, above_mask)
+    } else {
+        (node.right_child(), cur_node + 1, above_mask, below_mask)
+    };
+    // Every active lane visits at least one child, so the masks cannot
+    // both be empty.
+    if first_mask == 0 {
+        if below_first {
+            *t0 = above_t0;
+            *t1 = above_t1;
+        } else {
+            *t0 = below_t0;
+            *t1 = below_t1;
+        }
+        return (second, second_mask);
+    }
+    if second_mask != 0 {
+        let (t0, t1) = if below_first {
+            (above_t0, above_t1)
+        } else {
+            (below_t0, below_t1)
+        };
+        stack.push(PacketEntry {
+            node: second,
+            mask: second_mask,
+            skip_exempt: 0,
+            t0,
+            t1,
+        });
+    }
+    if below_first {
+        *t0 = below_t0;
+        *t1 = below_t1;
+    } else {
+        *t0 = above_t0;
+        *t1 = above_t1;
+    }
+    (first, first_mask)
+}
+
+/// Shared-loop nearest-hit packet traversal. `min_active` is the
+/// divergence threshold: when fewer active lanes than this remain at a
+/// node, they are handed to the scalar resume path (values `<= 1`
+/// disable the threshold).
+fn packet_nearest(
+    tree: &KdTree,
+    p: &RayPacket4,
+    t_min: f32,
+    min_active: u32,
+    counters: &mut PacketCounters,
+) -> [Option<Hit>; LANES] {
+    let mut best: [Option<Hit>; LANES] = [None; LANES];
+    // `t_best[l]` mirrors `best[l].t` whenever `has_best` has bit `l`
+    // set, keeping the hot compares on flat `[f32; 4]` arrays instead of
+    // the `Option<Hit>` array.
+    let mut has_best = 0u8;
+    let mut t_best = p.t_maxes();
+    let (mut t0, mut t1, root_mask) = tree.bounds().intersect_ray_packet(p, t_min);
+    let mut live = root_mask;
+    if live == 0 {
+        return best;
+    }
+    let mut cur_node = 0u32;
+    let mut cur_mask = live;
+    let mut stack = PacketStack::new();
+    let nodes = tree.nodes();
+    let tris = tree.leaf_tris();
+    loop {
+        let mut bail = (cur_mask.count_ones()) < min_active;
+        let node = nodes[cur_node as usize];
+        let mut descend: Option<(u32, u8)> = None;
+        if !bail && !node.is_leaf() {
+            match inner_step(p, &node, cur_node, cur_mask, &mut t0, &mut t1, &mut stack) {
+                InnerStep::Descend(next, mask) => descend = Some((next, mask)),
+                InnerStep::Diverged => bail = true,
+            }
+        }
+        if bail {
+            counters.scalar_fallback_lanes += cur_mask.count_ones() as u64;
+            for l in 0..LANES {
+                if cur_mask & (1 << l) != 0 {
+                    best[l] = resume_lane_nearest(
+                        tree, p, l, t_min, cur_node, t0[l], t1[l], best[l], t_best[l], &stack,
+                    );
+                }
+            }
+            live &= !cur_mask;
+        } else if let Some((next, mask)) = descend {
+            counters.node_steps += 1;
+            counters.lane_steps += cur_mask.count_ones() as u64;
+            cur_node = next;
+            cur_mask = mask;
+            continue;
+        } else {
+            counters.node_steps += 1;
+            counters.lane_steps += cur_mask.count_ones() as u64;
+            // Leaf: 4-wide triangle tests, sequential over triangles so
+            // each lane's running `t_best` matches the scalar leaf loop.
+            let first = node.prim_first() as usize;
+            let count = node.prim_count() as usize;
+            counters.leaf_steps += 1;
+            counters.tri_tests += count as u64;
+            for lt in &tris[first..first + count] {
+                let h = lt.tri.intersect4(p, t_min, &t_best, cur_mask);
+                let mut m = h.mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let mut hit = h.lane_hit(l);
+                    hit.prim = lt.prim as usize;
+                    t_best[l] = hit.t;
+                    best[l] = Some(hit);
+                    has_best |= 1 << l;
+                }
+            }
+            // Scalar early exit, lanewise: a hit within this leaf's
+            // parametric range ends that lane's traversal.
+            let in_leaf = mask_of(std::array::from_fn(|l| t_best[l] <= t1[l] + T_EPS));
+            live &= !(cur_mask & has_best & in_leaf);
+        }
+        match stack.pop_next(live, Some(&t_best), &mut t0, &mut t1) {
+            Some((n, m)) => {
+                cur_node = n;
+                cur_mask = m;
+            }
+            None => return best,
+        }
+    }
+}
+
+/// Shared-loop any-hit packet traversal; returns the occlusion mask.
+fn packet_any(
+    tree: &KdTree,
+    p: &RayPacket4,
+    t_min: f32,
+    min_active: u32,
+    counters: &mut PacketCounters,
+) -> u8 {
+    let t_maxes = p.t_maxes();
+    let mut occluded = 0u8;
+    let (mut t0, mut t1, root_mask) = tree.bounds().intersect_ray_packet(p, t_min);
+    let mut live = root_mask;
+    if live == 0 {
+        return 0;
+    }
+    let mut cur_node = 0u32;
+    let mut cur_mask = live;
+    let mut stack = PacketStack::new();
+    let nodes = tree.nodes();
+    let tris = tree.leaf_tris();
+    loop {
+        let bail = (cur_mask.count_ones()) < min_active;
+        let node = nodes[cur_node as usize];
+        if bail {
+            counters.scalar_fallback_lanes += cur_mask.count_ones() as u64;
+            for l in 0..LANES {
+                let bit = 1u8 << l;
+                if cur_mask & bit != 0
+                    && resume_lane_any(tree, p, l, t_min, cur_node, t0[l], t1[l], &stack)
+                {
+                    occluded |= bit;
+                }
+            }
+            live &= !cur_mask;
+        } else if !node.is_leaf() {
+            counters.node_steps += 1;
+            counters.lane_steps += cur_mask.count_ones() as u64;
+            let (next, mask) =
+                inner_step_any(p, &node, cur_node, cur_mask, &mut t0, &mut t1, &mut stack);
+            cur_node = next;
+            cur_mask = mask;
+            continue;
+        } else {
+            counters.node_steps += 1;
+            counters.lane_steps += cur_mask.count_ones() as u64;
+            let first = node.prim_first() as usize;
+            let count = node.prim_count() as usize;
+            counters.leaf_steps += 1;
+            counters.tri_tests += count as u64;
+            for lt in &tris[first..first + count] {
+                let h = lt.tri.intersect4(p, t_min, &t_maxes, cur_mask);
+                if h.mask != 0 {
+                    occluded |= h.mask;
+                    live &= !h.mask;
+                    cur_mask &= !h.mask;
+                    if cur_mask == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        match stack.pop_next(live, None, &mut t0, &mut t1) {
+            Some((n, m)) => {
+                cur_node = n;
+                cur_mask = m;
+            }
+            None => return occluded,
+        }
+    }
+}
+
+/// Per-lane scalar fallback shared by the non-packet cases.
+fn scalar_packet_nearest(
+    tree: &KdTree,
+    p: &RayPacket4,
+    t_min: f32,
+    counters: &mut PacketCounters,
+) -> [Option<Hit>; LANES] {
+    let t_maxes = p.t_maxes();
+    let mut out = [None; LANES];
+    counters.scalar_fallback_lanes += p.active().count_ones() as u64;
+    for l in 0..LANES {
+        if p.active() & (1 << l) != 0 {
+            out[l] = tree.intersect(p.ray(l), t_min, t_maxes[l]);
+        }
+    }
+    out
+}
+
+/// Per-lane scalar any-hit fallback.
+fn scalar_packet_any(
+    tree: &KdTree,
+    p: &RayPacket4,
+    t_min: f32,
+    counters: &mut PacketCounters,
+) -> u8 {
+    let t_maxes = p.t_maxes();
+    let mut occluded = 0u8;
+    counters.scalar_fallback_lanes += p.active().count_ones() as u64;
+    for l in 0..LANES {
+        let bit = 1u8 << l;
+        if p.active() & bit != 0 && tree.intersect_any(p.ray(l), t_min, t_maxes[l]) {
+            occluded |= bit;
+        }
+    }
+    occluded
+}
+
+impl KdTree {
+    /// Nearest intersection for every active lane of a packet, with ray
+    /// parameters in `(t_min, lane t_max)`. Bit-identical per lane to
+    /// [`KdTree::intersect`]; inactive lanes return `None`.
+    ///
+    /// `min_active` is the divergence threshold: packet steps with fewer
+    /// active lanes hand those lanes to the scalar path (pass `0` or `1`
+    /// to keep packets together to the end). Trees too deep for the
+    /// fixed traversal stack run entirely per-lane, as does every packet
+    /// when the `traversal-counters` feature is enabled (so the global
+    /// per-ray counters stay exact).
+    pub fn intersect_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> [Option<Hit>; LANES] {
+        counters.packets += 1;
+        if cfg!(feature = "traversal-counters") || !self.fits_fixed_stack() || p.active() == 0 {
+            return scalar_packet_nearest(self, p, t_min, counters);
+        }
+        packet_nearest(self, p, t_min, min_active, counters)
+    }
+
+    /// Occlusion mask for every active lane of a packet — the shadow-ray
+    /// query, bit-for-bit the lanewise [`KdTree::intersect_any`] (which,
+    /// being existence-only, is traversal-order independent). Inactive
+    /// lanes report unoccluded. Fallback rules as [`KdTree::intersect_packet`].
+    pub fn intersect_any_packet(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        min_active: u32,
+        counters: &mut PacketCounters,
+    ) -> u8 {
+        counters.packets += 1;
+        if cfg!(feature = "traversal-counters") || !self.fits_fixed_stack() || p.active() == 0 {
+            return scalar_packet_any(self, p, t_min, counters);
+        }
+        packet_any(self, p, t_min, min_active, counters)
+    }
+}

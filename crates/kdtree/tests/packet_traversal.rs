@@ -1,0 +1,273 @@
+//! Packet traversal must be **bit-identical**, lane for lane, to the
+//! scalar queries — on coherent packets, divergent packets, partially
+//! inactive packets, all-miss packets, and every divergence threshold.
+
+use kdtune_geometry::{Ray, RayPacket4, Triangle, TriangleMesh, Vec3, ALL_LANES, LANES};
+use kdtune_kdtree::{build, Algorithm, BuildParams, PacketCounters, RayQuery};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Deterministic triangle soup with clustered geometry so rays hit often.
+fn soup(n: usize, seed: u64) -> Arc<TriangleMesh> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mesh = TriangleMesh::new();
+    for _ in 0..n {
+        let base = Vec3::new(
+            rng.gen_range(-8.0..8.0),
+            rng.gen_range(-8.0..8.0),
+            rng.gen_range(-8.0..8.0),
+        );
+        let mut e = || {
+            Vec3::new(
+                rng.gen_range(-0.9..0.9),
+                rng.gen_range(-0.9..0.9),
+                rng.gen_range(-0.9..0.9),
+            )
+        };
+        let (e1, e2) = (e(), e());
+        mesh.push_triangle(Triangle::new(base, base + e1, base + e2));
+    }
+    Arc::new(mesh)
+}
+
+fn shared_tree() -> &'static kdtune_kdtree::BuiltTree {
+    static TREE: OnceLock<kdtune_kdtree::BuiltTree> = OnceLock::new();
+    TREE.get_or_init(|| {
+        build(
+            soup(4_000, 0x9ac4e7),
+            Algorithm::InPlace,
+            &BuildParams::default(),
+        )
+    })
+}
+
+/// Asserts lanewise bit identity of both packet queries against the
+/// scalar queries, for one packet and one divergence threshold.
+fn assert_packet_matches_scalar(
+    tree: &(impl RayQuery + ?Sized),
+    p: &RayPacket4,
+    t_min: f32,
+    min_active: u32,
+) {
+    let mut counters = PacketCounters::default();
+    let hits = tree.intersect_packet(p, t_min, min_active, &mut counters);
+    let occl = tree.intersect_any_packet(p, t_min, min_active, &mut counters);
+    let t_maxes = p.t_maxes();
+    for (l, hit) in hits.iter().enumerate() {
+        let bit = 1u8 << l;
+        if p.active() & bit == 0 {
+            assert!(hit.is_none(), "inactive lane {l} must report None");
+            assert_eq!(occl & bit, 0, "inactive lane {l} must report unoccluded");
+            continue;
+        }
+        let scalar = tree.intersect(p.ray(l), t_min, t_maxes[l]);
+        assert_eq!(
+            hit.map(|h| (h.prim, h.t.to_bits(), h.u.to_bits(), h.v.to_bits())),
+            scalar.map(|h| (h.prim, h.t.to_bits(), h.u.to_bits(), h.v.to_bits())),
+            "lane {l} (min_active {min_active}) diverged from scalar nearest-hit"
+        );
+        assert_eq!(
+            occl & bit != 0,
+            tree.intersect_any(p.ray(l), t_min, t_maxes[l]),
+            "lane {l} (min_active {min_active}) diverged from scalar any-hit"
+        );
+    }
+    assert!(counters.packets >= 2);
+    assert!(counters.lane_utilization() >= 0.0 && counters.lane_utilization() <= 1.0);
+}
+
+/// Coherent 2×2-style packet: one origin, nearby directions.
+#[test]
+fn coherent_packet_matches_scalar_for_all_min_active() {
+    let tree = shared_tree();
+    let eye = Vec3::new(0.0, 0.0, -30.0);
+    for i in 0..64 {
+        let f = i as f32 / 64.0;
+        let rays: [Ray; LANES] = std::array::from_fn(|l| {
+            let dx = (l % 2) as f32 * 0.01;
+            let dy = (l / 2) as f32 * 0.01;
+            Ray::new(
+                eye,
+                Vec3::new(f * 0.6 - 0.3 + dx, 0.2 - f * 0.4 + dy, 1.0).normalized(),
+            )
+        });
+        let p = RayPacket4::new(rays, [f32::INFINITY; LANES]);
+        for min_active in 0..=4 {
+            assert_packet_matches_scalar(tree, &p, 0.0, min_active);
+        }
+    }
+}
+
+/// Divergent packet: four unrelated origins and directions, the worst
+/// case for the shared loop (frequent `below_first` disagreement bails).
+#[test]
+fn divergent_packet_matches_scalar() {
+    let tree = shared_tree();
+    let mut rng = StdRng::seed_from_u64(0xd1_7e);
+    for _ in 0..200 {
+        let mut r = |s: f32| {
+            Ray::new(
+                Vec3::new(
+                    rng.gen_range(-20.0..20.0),
+                    rng.gen_range(-20.0..20.0),
+                    rng.gen_range(-20.0..20.0),
+                ),
+                Vec3::new(
+                    rng.gen_range(-1.0f32..1.0),
+                    rng.gen_range(-1.0f32..1.0),
+                    rng.gen_range(-1.0f32..1.0) + s * 1e-3,
+                ),
+            )
+        };
+        let rays = [r(1.0), r(2.0), r(3.0), r(4.0)];
+        let t_max = [rng.gen_range(1.0f32..200.0); LANES];
+        let p = RayPacket4::new(rays, t_max);
+        for min_active in [1, 2, 4] {
+            assert_packet_matches_scalar(tree, &p, 0.0, min_active);
+        }
+    }
+}
+
+/// Partially inactive packets: every mask from one lane up.
+#[test]
+fn partially_inactive_lanes_match_scalar() {
+    let tree = shared_tree();
+    let eye = Vec3::new(3.0, -2.0, -25.0);
+    let rays: [Ray; LANES] = std::array::from_fn(|l| {
+        Ray::new(
+            eye,
+            Vec3::new(0.05 * l as f32 - 0.1, 0.03 * l as f32, 1.0).normalized(),
+        )
+    });
+    for mask in 0u8..=ALL_LANES {
+        let p = RayPacket4::with_mask(rays, [f32::INFINITY; LANES], mask);
+        assert_eq!(p.active(), mask);
+        assert_packet_matches_scalar(tree, &p, 0.0, 2);
+    }
+}
+
+/// All-miss packet: rays pointing away from the scene must report no
+/// hits, no occlusion, and touch at most the root.
+#[test]
+fn all_miss_packet_reports_nothing() {
+    let tree = shared_tree();
+    let rays: [Ray; LANES] = std::array::from_fn(|l| {
+        Ray::new(
+            Vec3::new(0.0, 0.0, -50.0),
+            Vec3::new(0.01 * l as f32, 0.0, -1.0).normalized(),
+        )
+    });
+    let p = RayPacket4::new(rays, [f32::INFINITY; LANES]);
+    let mut counters = PacketCounters::default();
+    let hits = tree.intersect_packet(&p, 0.0, 2, &mut counters);
+    assert!(hits.iter().all(|h| h.is_none()));
+    assert_eq!(tree.intersect_any_packet(&p, 0.0, 2, &mut counters), 0);
+    assert_eq!(counters.node_steps, 0, "root clip must reject every lane");
+    assert_eq!(counters.lane_utilization(), 0.0);
+}
+
+/// Shadow-style packets: distinct per-lane origins on scene surfaces and
+/// per-lane finite `t_max`, the shape the renderer batches shadow rays in.
+#[test]
+fn shadow_style_packet_matches_scalar() {
+    let tree = shared_tree();
+    let light = Vec3::new(15.0, 20.0, -10.0);
+    let mut rng = StdRng::seed_from_u64(0x5ad0);
+    for _ in 0..100 {
+        let mut t_max = [0.0f32; LANES];
+        let rays: [Ray; LANES] = std::array::from_fn(|l| {
+            let point = Vec3::new(
+                rng.gen_range(-8.0..8.0),
+                rng.gen_range(-8.0..8.0),
+                rng.gen_range(-8.0..8.0),
+            );
+            let to_light = light - point;
+            t_max[l] = to_light.length() - 1e-3;
+            Ray::new(point, to_light.normalized())
+        });
+        let p = RayPacket4::new(rays, t_max);
+        for min_active in [1, 2] {
+            assert_packet_matches_scalar(tree, &p, 1e-3, min_active);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random packets (random origins, directions, masks, thresholds)
+    /// against the scalar path on the shared tree.
+    #[test]
+    fn random_packets_match_scalar(
+        origins in prop::array::uniform4(prop::array::uniform3(-15.0f32..15.0)),
+        dirs in prop::array::uniform4(prop::array::uniform3(-1.0f32..1.0)),
+        t_max in prop::array::uniform4(0.5f32..300.0),
+        mask in 0u8..16,
+        min_active in 0u32..5,
+    ) {
+        let tree = shared_tree();
+        let rays: [Ray; LANES] = std::array::from_fn(|l| {
+            Ray::new(
+                Vec3::new(origins[l][0], origins[l][1], origins[l][2]),
+                Vec3::new(dirs[l][0], dirs[l][1], dirs[l][2]),
+            )
+        });
+        let p = RayPacket4::with_mask(rays, t_max, mask);
+        let mut counters = PacketCounters::default();
+        let hits = tree.intersect_packet(&p, 0.0, min_active, &mut counters);
+        let occl = tree.intersect_any_packet(&p, 0.0, min_active, &mut counters);
+        for (l, hit) in hits.iter().enumerate() {
+            let bit = 1u8 << l;
+            if mask & bit == 0 {
+                prop_assert!(hit.is_none());
+                prop_assert_eq!(occl & bit, 0);
+                continue;
+            }
+            let scalar = tree.intersect(p.ray(l), 0.0, t_max[l]);
+            prop_assert_eq!(
+                hit.map(|h| (h.prim, h.t.to_bits(), h.u.to_bits(), h.v.to_bits())),
+                scalar.map(|h| (h.prim, h.t.to_bits(), h.u.to_bits(), h.v.to_bits()))
+            );
+            prop_assert_eq!(occl & bit != 0, tree.intersect_any(p.ray(l), 0.0, t_max[l]));
+        }
+    }
+}
+
+/// The packet path must hold for every builder (eager trees take the
+/// shared loop; the lazy tree exercises the per-lane default).
+#[test]
+fn every_builder_agrees_on_packets() {
+    let mesh = soup(1_500, 0xbead);
+    let mut rng = StdRng::seed_from_u64(0x77);
+    for algo in [
+        Algorithm::NodeLevel,
+        Algorithm::Nested,
+        Algorithm::InPlace,
+        Algorithm::Lazy,
+    ] {
+        let tree = build(Arc::clone(&mesh), algo, &BuildParams::default());
+        for _ in 0..50 {
+            let eye = Vec3::new(
+                rng.gen_range(-25.0..25.0),
+                rng.gen_range(-25.0..25.0),
+                -30.0,
+            );
+            let rays: [Ray; LANES] = std::array::from_fn(|l| {
+                Ray::new(
+                    eye,
+                    Vec3::new(
+                        rng.gen_range(-0.4f32..0.4) + 1e-3 * l as f32,
+                        rng.gen_range(-0.4f32..0.4),
+                        1.0,
+                    )
+                    .normalized(),
+                )
+            });
+            let p = RayPacket4::new(rays, [f32::INFINITY; LANES]);
+            assert_packet_matches_scalar(&tree, &p, 0.0, 2);
+        }
+    }
+}

@@ -91,6 +91,57 @@ impl Camera {
             ..*self
         }
     }
+
+    /// Precomputes the per-column and per-row direction terms so the
+    /// render loop's `primary_ray(x, y)` becomes one vector add and a
+    /// normalize instead of re-deriving the camera basis per pixel.
+    /// [`RayTable::primary_ray`] is bit-identical to
+    /// [`Camera::primary_ray`] — the same expressions with the same
+    /// association, just hoisted out of the pixel loop.
+    pub fn ray_table(&self) -> RayTable {
+        let col = (0..self.width)
+            .map(|x| {
+                let u = (x as f32 + 0.5) / self.width as f32 * 2.0 - 1.0;
+                self.forward + self.right * (u * self.half_w)
+            })
+            .collect();
+        let row = (0..self.height)
+            .map(|y| {
+                let v = 1.0 - (y as f32 + 0.5) / self.height as f32 * 2.0;
+                self.up * (v * self.half_h)
+            })
+            .collect();
+        RayTable {
+            eye: self.eye,
+            col,
+            row,
+        }
+    }
+}
+
+/// Precomputed primary-ray directions: `col[x]` carries the forward +
+/// horizontal term, `row[y]` the vertical term, so a pixel's ray
+/// direction is `col[x] + row[y]` — the exact sum `primary_ray` computes
+/// (same left-to-right association, hence bit-identical). Built once per
+/// frame by [`Camera::ray_table`] and shared read-only across render
+/// tiles.
+pub struct RayTable {
+    eye: Vec3,
+    col: Vec<Vec3>,
+    row: Vec<Vec3>,
+}
+
+impl RayTable {
+    /// The primary ray through the center of pixel `(x, y)`, bit-identical
+    /// to [`Camera::primary_ray`].
+    ///
+    /// # Panics
+    /// Panics when the pixel lies outside the raster.
+    #[inline]
+    pub fn primary_ray(&self, x: u32, y: u32) -> Ray {
+        let dir = self.col[x as usize] + self.row[y as usize];
+        Ray::new(self.eye, dir.normalized())
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +220,47 @@ mod tests {
     #[should_panic(expected = "pixel out of raster")]
     fn out_of_raster_rejected() {
         let _ = cam().primary_ray(100, 0);
+    }
+
+    /// The precomputed table must reproduce every per-pixel ray to the
+    /// bit, including on odd, non-square rasters.
+    #[test]
+    fn ray_table_is_bit_identical() {
+        for (w, h) in [(100u32, 100u32), (17, 13), (1, 1), (3, 5), (64, 33)] {
+            let c = Camera::look_at(
+                Vec3::new(1.0, -2.0, 3.5),
+                Vec3::new(-4.0, 5.0, 6.0),
+                Vec3::Y,
+                55.0,
+                w,
+                h,
+            );
+            let table = c.ray_table();
+            for y in 0..h {
+                for x in 0..w {
+                    let a = c.primary_ray(x, y);
+                    let b = table.primary_ray(x, y);
+                    assert_eq!(a.origin, b.origin);
+                    assert_eq!(
+                        (a.dir.x.to_bits(), a.dir.y.to_bits(), a.dir.z.to_bits()),
+                        (b.dir.x.to_bits(), b.dir.y.to_bits(), b.dir.z.to_bits()),
+                        "pixel ({x}, {y}) of {w}x{h}"
+                    );
+                    assert_eq!(
+                        (
+                            a.inv_dir.x.to_bits(),
+                            a.inv_dir.y.to_bits(),
+                            a.inv_dir.z.to_bits()
+                        ),
+                        (
+                            b.inv_dir.x.to_bits(),
+                            b.inv_dir.y.to_bits(),
+                            b.inv_dir.z.to_bits()
+                        )
+                    );
+                }
+            }
+        }
     }
 
     #[test]

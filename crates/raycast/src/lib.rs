@@ -32,8 +32,10 @@ mod render;
 mod shade;
 mod workflow;
 
-pub use camera::Camera;
+pub use camera::{Camera, RayTable};
 pub use framebuffer::Framebuffer;
-pub use render::{render, render_with, RenderStats};
+pub use render::{render, render_with, render_with_options, RenderOptions, RenderStats};
 pub use shade::shade;
-pub use workflow::{run_frame_with, FrameReport, TunedHandles, TuningWorkflow};
+pub use workflow::{
+    run_frame_with, run_frame_with_options, FrameReport, TunedHandles, TuningWorkflow,
+};

@@ -1,18 +1,56 @@
 //! The parallel ray caster (paper §V-A).
 
-use crate::camera::Camera;
+use crate::camera::{Camera, RayTable};
 use crate::framebuffer::Framebuffer;
 use crate::shade::shade;
-use kdtune_geometry::Vec3;
+use kdtune_geometry::{Hit, Ray, RayPacket4, Vec3, LANES};
 use kdtune_kdtree::scan::par_map;
-use kdtune_kdtree::{BuiltTree, RayQuery};
+use kdtune_kdtree::{BuiltTree, PacketCounters, RayQuery};
 
 /// Offset applied to secondary ray origins to avoid self-intersection.
 const SHADOW_BIAS: f32 = 1e-3;
 
 /// Rows per render tile. Small enough to load-balance across threads on
 /// low resolutions, large enough that per-tile overhead stays noise.
+/// Even, so 2×2 packet tiles never straddle a band boundary.
 const TILE_ROWS: u32 = 8;
+
+/// How a frame is traced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Trace coherent 2×2 pixel packets through the packet traversal
+    /// instead of one scalar query per ray. Produces bit-identical images
+    /// and [`RenderStats`].
+    pub packets: bool,
+    /// Divergence threshold forwarded to the packet traversal: packet
+    /// steps with fewer active lanes hand those lanes to the scalar
+    /// path. `0` or `1` keeps packets together to the end.
+    pub packet_min_active: u32,
+}
+
+impl Default for RenderOptions {
+    fn default() -> RenderOptions {
+        RenderOptions {
+            packets: false,
+            packet_min_active: 2,
+        }
+    }
+}
+
+impl RenderOptions {
+    /// Scalar rendering (the default).
+    pub fn scalar() -> RenderOptions {
+        RenderOptions::default()
+    }
+
+    /// Packet rendering with the default divergence threshold.
+    pub fn packets() -> RenderOptions {
+        RenderOptions {
+            packets: true,
+            ..RenderOptions::default()
+        }
+    }
+}
 
 /// Counters collected during a render.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -60,8 +98,146 @@ pub fn render_with(
     camera: &Camera,
     light: Vec3,
 ) -> (Framebuffer, RenderStats) {
+    let (fb, stats, _) = render_with_options(query, mesh, camera, light, &RenderOptions::default());
+    (fb, stats)
+}
+
+/// Per-band accumulators: render counters plus packet-traversal work.
+#[derive(Clone, Copy, Default)]
+struct BandStats {
+    render: RenderStats,
+    packet: PacketCounters,
+}
+
+/// Shades one primary hit, casting its shadow ray through the scalar
+/// query. The single source of truth for the per-pixel shading sequence —
+/// the packet path reproduces it with the shadow test batched.
+#[inline]
+fn shade_scalar_hit(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    light: Vec3,
+    ray: &Ray,
+    hit: Hit,
+    stats: &mut RenderStats,
+) -> Vec3 {
+    stats.primary_hits += 1;
+    let tri = mesh.triangle(hit.prim);
+    let point = ray.at(hit.t);
+    let to_light = light - point;
+    let dist = to_light.length();
+    let shadow = Ray::new(point, to_light.normalized());
+    stats.shadow_rays += 1;
+    let occluded = query.intersect_any(&shadow, SHADOW_BIAS, dist - SHADOW_BIAS);
+    stats.occluded += occluded as u64;
+    shade(&tri, hit.prim, point, light, occluded)
+}
+
+/// One scalar pixel: primary ray, intersection, shading.
+#[inline]
+fn render_pixel_scalar(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    rays: &RayTable,
+    light: Vec3,
+    x: u32,
+    y: u32,
+    stats: &mut RenderStats,
+) -> Vec3 {
+    let ray = rays.primary_ray(x, y);
+    stats.primary_rays += 1;
+    match query.intersect(&ray, 0.0, f32::INFINITY) {
+        None => Vec3::ZERO, // background
+        Some(hit) => shade_scalar_hit(query, mesh, light, &ray, hit, stats),
+    }
+}
+
+/// Renders one 2×2 pixel tile as a packet: four primary rays traced
+/// together, shadow rays batched into a second packet over the hit
+/// lanes. Writes the four pixels into `band` (lane order: x-major within
+/// the row pair) and returns nothing — all effects go through `band` and
+/// the accumulators. Bit-identical to four `render_pixel_scalar` calls.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn render_tile_packet(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    rays: &RayTable,
+    light: Vec3,
+    x: u32,
+    y: u32,
+    first_row: u32,
+    width: u32,
+    min_active: u32,
+    band: &mut [Vec3],
+    acc: &mut BandStats,
+) {
+    // Lanes 0..4 = (x, y), (x+1, y), (x, y+1), (x+1, y+1).
+    let prim_rays: [Ray; LANES] =
+        std::array::from_fn(|l| rays.primary_ray(x + (l as u32 & 1), y + (l as u32 >> 1)));
+    let packet = RayPacket4::new(prim_rays, [f32::INFINITY; LANES]);
+    acc.render.primary_rays += LANES as u64;
+    let hits = query.intersect_packet(&packet, 0.0, min_active, &mut acc.packet);
+
+    // Prepare the shadow packet over the lanes that hit. Inactive lanes
+    // carry a placeholder ray that is never observed.
+    let mut shadow_rays = [Ray::new(Vec3::ZERO, Vec3::ONE); LANES];
+    let mut shadow_t_max = [0.0f32; LANES];
+    let mut shadow_mask = 0u8;
+    let mut points = [Vec3::ZERO; LANES];
+    for l in 0..LANES {
+        if let Some(hit) = hits[l] {
+            let point = prim_rays[l].at(hit.t);
+            let to_light = light - point;
+            let dist = to_light.length();
+            shadow_rays[l] = Ray::new(point, to_light.normalized());
+            shadow_t_max[l] = dist - SHADOW_BIAS;
+            shadow_mask |= 1 << l;
+            points[l] = point;
+        }
+    }
+    let occluded = if shadow_mask != 0 {
+        acc.render.primary_hits += shadow_mask.count_ones() as u64;
+        acc.render.shadow_rays += shadow_mask.count_ones() as u64;
+        let shadow_packet = RayPacket4::with_mask(shadow_rays, shadow_t_max, shadow_mask);
+        let occluded =
+            query.intersect_any_packet(&shadow_packet, SHADOW_BIAS, min_active, &mut acc.packet);
+        acc.render.occluded += occluded.count_ones() as u64;
+        occluded
+    } else {
+        0
+    };
+
+    for l in 0..LANES {
+        let (px, py) = (x + (l as u32 & 1), y + (l as u32 >> 1));
+        let idx = ((py - first_row) * width + px) as usize;
+        band[idx] = match hits[l] {
+            None => Vec3::ZERO, // background
+            Some(hit) => {
+                let tri = mesh.triangle(hit.prim);
+                shade(&tri, hit.prim, points[l], light, occluded & (1 << l) != 0)
+            }
+        };
+    }
+}
+
+/// [`render_with`] with explicit [`RenderOptions`]; additionally returns
+/// the frame's accumulated [`PacketCounters`] (all-zero for scalar
+/// renders). The packet path walks each row band in 2×2 pixel tiles,
+/// tracing primaries and batched shadow rays through the packet
+/// traversal; remainder pixels (odd width or a band with an odd number
+/// of rows) take the scalar path. Images and [`RenderStats`] are
+/// bit-identical across both paths and any thread count.
+pub fn render_with_options(
+    query: &(impl RayQuery + ?Sized),
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: Vec3,
+    options: &RenderOptions,
+) -> (Framebuffer, RenderStats, PacketCounters) {
     let width = camera.width();
     let mut fb = Framebuffer::new_black(width, camera.height());
+    let rays = camera.ray_table();
     let bands = fb.row_bands_mut(TILE_ROWS);
     let threads = rayon::current_num_threads().max(1);
     // Several tiles per thread for load balance; one task means par_map
@@ -71,35 +247,63 @@ pub fn render_with(
     } else {
         (threads * 4).min(bands.len())
     };
-    let tile_stats = par_map(bands, tasks, &|(first_row, band): (u32, &mut [Vec3])| {
-        let mut stats = RenderStats::default();
-        for (i, pixel) in band.iter_mut().enumerate() {
-            let x = i as u32 % width;
-            let y = first_row + i as u32 / width;
-            let ray = camera.primary_ray(x, y);
-            stats.primary_rays += 1;
-            *pixel = match query.intersect(&ray, 0.0, f32::INFINITY) {
-                None => Vec3::ZERO, // background
-                Some(hit) => {
-                    stats.primary_hits += 1;
-                    let tri = mesh.triangle(hit.prim);
-                    let point = ray.at(hit.t);
-                    let to_light = light - point;
-                    let dist = to_light.length();
-                    let shadow = kdtune_geometry::Ray::new(point, to_light.normalized());
-                    stats.shadow_rays += 1;
-                    let occluded = query.intersect_any(&shadow, SHADOW_BIAS, dist - SHADOW_BIAS);
-                    stats.occluded += occluded as u64;
-                    shade(&tri, hit.prim, point, light, occluded)
-                }
-            };
+    let packets = options.packets;
+    let min_active = options.packet_min_active;
+    let band_stats = par_map(bands, tasks, &|(first_row, band): (u32, &mut [Vec3])| {
+        let mut acc = BandStats::default();
+        if !packets {
+            for (i, pixel) in band.iter_mut().enumerate() {
+                let x = i as u32 % width;
+                let y = first_row + i as u32 / width;
+                *pixel = render_pixel_scalar(query, mesh, &rays, light, x, y, &mut acc.render);
+            }
+            return acc;
         }
-        stats
+        let rows = band.len() as u32 / width;
+        let (pair_rows, tile_cols) = (rows / 2, width / 2);
+        for pair in 0..pair_rows {
+            let y = first_row + pair * 2;
+            for tile in 0..tile_cols {
+                render_tile_packet(
+                    query,
+                    mesh,
+                    &rays,
+                    light,
+                    tile * 2,
+                    y,
+                    first_row,
+                    width,
+                    min_active,
+                    band,
+                    &mut acc,
+                );
+            }
+            // Odd width: the last column renders scalar.
+            for x in (tile_cols * 2)..width {
+                for dy in 0..2 {
+                    let idx = ((y + dy - first_row) * width + x) as usize;
+                    band[idx] =
+                        render_pixel_scalar(query, mesh, &rays, light, x, y + dy, &mut acc.render);
+                }
+            }
+        }
+        // Odd row count in this band (only the frame's last band, when
+        // the height is odd): the final row renders scalar.
+        for y in (first_row + pair_rows * 2)..(first_row + rows) {
+            for x in 0..width {
+                let idx = ((y - first_row) * width + x) as usize;
+                band[idx] = render_pixel_scalar(query, mesh, &rays, light, x, y, &mut acc.render);
+            }
+        }
+        acc
     });
-    let stats = tile_stats
+    let totals = band_stats
         .into_iter()
-        .fold(RenderStats::default(), RenderStats::merge);
-    (fb, stats)
+        .fold(BandStats::default(), |a, b| BandStats {
+            render: a.render.merge(b.render),
+            packet: a.packet.merge(b.packet),
+        });
+    (fb, totals.render, totals.packet)
 }
 
 #[cfg(test)]

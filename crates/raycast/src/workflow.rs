@@ -8,11 +8,11 @@
 //! tunes online even for static geometry.
 
 use crate::camera::Camera;
-use crate::render::{render, RenderStats};
+use crate::render::{render_with_options, RenderOptions, RenderStats};
 use crate::Framebuffer;
 use kdtune_autotune::{Config, ParamHandle, Tuner, TunerPhase};
 use kdtune_geometry::{TriangleMesh, Vec3};
-use kdtune_kdtree::{build, Algorithm, BuildParams, TreeStats};
+use kdtune_kdtree::{build, Algorithm, BuildParams, PacketCounters, TreeStats};
 use kdtune_telemetry as telemetry;
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +48,8 @@ pub struct FrameReport {
     pub total_secs: f64,
     /// Renderer counters.
     pub stats: RenderStats,
+    /// Packet-traversal counters (all zero on scalar renders).
+    pub packet: PacketCounters,
     /// Tuner phase during this frame.
     pub phase: TunerPhase,
 }
@@ -59,6 +61,7 @@ pub struct TuningWorkflow {
     handles: TunedHandles,
     keep_images: bool,
     last_image: Option<Framebuffer>,
+    render_options: RenderOptions,
 }
 
 impl TuningWorkflow {
@@ -77,6 +80,7 @@ impl TuningWorkflow {
             handles: TunedHandles { ci, cb, s, r },
             keep_images: false,
             last_image: None,
+            render_options: RenderOptions::default(),
         }
     }
 
@@ -99,6 +103,7 @@ impl TuningWorkflow {
             handles: TunedHandles { ci, cb, s, r },
             keep_images: false,
             last_image: None,
+            render_options: RenderOptions::default(),
         }
     }
 
@@ -107,6 +112,19 @@ impl TuningWorkflow {
     pub fn keep_images(mut self, keep: bool) -> TuningWorkflow {
         self.keep_images = keep;
         self
+    }
+
+    /// Selects how frames are traced (scalar per-ray queries or coherent
+    /// 2×2 ray packets — the images and [`RenderStats`] are bit-identical
+    /// either way, only the frame time and the `packet` counters change).
+    pub fn with_render_options(mut self, options: RenderOptions) -> TuningWorkflow {
+        self.render_options = options;
+        self
+    }
+
+    /// The active render options.
+    pub fn render_options(&self) -> RenderOptions {
+        self.render_options
     }
 
     /// The algorithm being tuned.
@@ -153,7 +171,8 @@ impl TuningWorkflow {
         let build_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let (image, stats) = render(&tree, camera, light);
+        let (image, stats, packet) =
+            render_with_options(&tree, tree.mesh(), camera, light, &self.render_options);
         let render_secs = t1.elapsed().as_secs_f64();
 
         let total_secs = build_secs + render_secs;
@@ -181,6 +200,9 @@ impl TuningWorkflow {
                 ("shadow_rays", stats.shadow_rays.into()),
                 ("occluded", stats.occluded.into()),
                 ("rays_per_sec", rays_per_sec.into()),
+                ("packets", self.render_options.packets.into()),
+                ("packet_lanes_utilized", packet.lane_utilization().into()),
+                ("packet_fallback_lanes", packet.scalar_fallback_lanes.into()),
                 ("nodes", tree.node_count().into()),
                 ("node_bytes", tree.node_bytes().into()),
             ];
@@ -206,6 +228,7 @@ impl TuningWorkflow {
             render_secs,
             total_secs,
             stats,
+            packet,
             phase,
         }
     }
@@ -226,11 +249,32 @@ pub fn run_frame_with(
     camera: &Camera,
     light: Vec3,
 ) -> (f64, f64, RenderStats) {
+    run_frame_with_options(
+        mesh,
+        algorithm,
+        params,
+        camera,
+        light,
+        &RenderOptions::default(),
+    )
+}
+
+/// [`run_frame_with`] with explicit [`RenderOptions`], so baselines can
+/// trace the same (scalar or packet) path as the tuned frames they are
+/// compared against.
+pub fn run_frame_with_options(
+    mesh: Arc<TriangleMesh>,
+    algorithm: Algorithm,
+    params: &BuildParams,
+    camera: &Camera,
+    light: Vec3,
+    options: &RenderOptions,
+) -> (f64, f64, RenderStats) {
     let t0 = Instant::now();
     let tree = build(mesh, algorithm, params);
     let build_secs = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let (_, stats) = render(&tree, camera, light);
+    let (_, stats, _) = render_with_options(&tree, tree.mesh(), camera, light, options);
     (build_secs, t1.elapsed().as_secs_f64(), stats)
 }
 

@@ -1,0 +1,180 @@
+//! Render-level packet/scalar equivalence: for any scene, camera,
+//! builder, framebuffer size, and divergence threshold, the packet
+//! render must produce the **bit-identical** image and [`RenderStats`]
+//! of the scalar render — 2×2 tiling, batched shadow packets, remainder
+//! handling and all.
+
+use kdtune_geometry::{Triangle, TriangleMesh, Vec3};
+use kdtune_kdtree::{build, Algorithm, BuildParams};
+use kdtune_raycast::{render_with, render_with_options, Camera, RenderOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::NodeLevel,
+    Algorithm::Nested,
+    Algorithm::InPlace,
+    Algorithm::Lazy,
+];
+
+/// Deterministic triangle soup clustered around the origin so most
+/// cameras see geometry (and shadow rays have occluders to find).
+fn soup(n: usize, seed: u64) -> Arc<TriangleMesh> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mesh = TriangleMesh::new();
+    for _ in 0..n {
+        let base = Vec3::new(
+            rng.gen_range(-5.0..5.0),
+            rng.gen_range(-5.0..5.0),
+            rng.gen_range(-5.0..5.0),
+        );
+        let mut e = || {
+            Vec3::new(
+                rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.5..1.5),
+            )
+        };
+        let (e1, e2) = (e(), e());
+        mesh.push_triangle(Triangle::new(base, base + e1, base + e2));
+    }
+    Arc::new(mesh)
+}
+
+/// A camera at `eye` looking at `target`, with an up vector that is
+/// never parallel to the view direction.
+fn camera(eye: Vec3, target: Vec3, fov_deg: f32, width: u32, height: u32) -> Camera {
+    let dir = (target - eye).normalized();
+    let up = if dir.dot(Vec3::Y).abs() > 0.97 {
+        Vec3::X
+    } else {
+        Vec3::Y
+    };
+    Camera::look_at(eye, target, up, fov_deg, width, height)
+}
+
+/// Renders the same frame scalar and packet and asserts bit identity of
+/// the PPM bytes and equality of the [`kdtune_raycast::RenderStats`].
+fn assert_packet_render_matches_scalar(
+    mesh: Arc<TriangleMesh>,
+    algo: Algorithm,
+    cam: &Camera,
+    light: Vec3,
+    min_active: u32,
+) {
+    let tree = build(mesh, algo, &BuildParams::default());
+    let (scalar_fb, scalar_stats) = render_with(&tree, tree.mesh(), cam, light);
+    let options = RenderOptions {
+        packets: true,
+        packet_min_active: min_active,
+    };
+    let (packet_fb, packet_stats, counters) =
+        render_with_options(&tree, tree.mesh(), cam, light, &options);
+    assert_eq!(
+        packet_stats, scalar_stats,
+        "{algo}: packet render changed RenderStats"
+    );
+    assert_eq!(
+        packet_fb.to_ppm(),
+        scalar_fb.to_ppm(),
+        "{algo}: packet render changed pixels ({}x{}, min_active {min_active})",
+        cam.width(),
+        cam.height()
+    );
+    // 2×2-and-larger frames must actually exercise the packet path.
+    if cam.width() >= 2 && cam.height() >= 2 {
+        assert!(counters.packets > 0, "{algo}: no packets traced");
+    }
+}
+
+/// The named awkward framebuffer shapes, on every builder: 1×1 (all
+/// pixels are remainder), 3×5 / 5×3 (odd both ways), single rows and
+/// columns, and sizes crossing the 8-row tile-band boundary.
+#[test]
+fn awkward_framebuffer_sizes_match_scalar() {
+    let mesh = soup(120, 0xfaded);
+    let eye = Vec3::new(4.0, 6.0, -18.0);
+    let light = Vec3::new(10.0, 14.0, -8.0);
+    for (w, h) in [
+        (1, 1),
+        (3, 5),
+        (5, 3),
+        (1, 9),
+        (9, 1),
+        (2, 2),
+        (7, 7),
+        (16, 10),
+        (15, 17),
+    ] {
+        let cam = camera(eye, Vec3::ZERO, 55.0, w, h);
+        for algo in ALGOS {
+            assert_packet_render_matches_scalar(Arc::clone(&mesh), algo, &cam, light, 2);
+        }
+    }
+}
+
+/// An empty scene (every packet misses everything) and a scene the
+/// camera faces away from must still be bit-identical.
+#[test]
+fn all_miss_frames_match_scalar() {
+    let cam_away = camera(
+        Vec3::new(0.0, 0.0, -30.0),
+        Vec3::new(0.0, 0.0, -60.0),
+        60.0,
+        6,
+        6,
+    );
+    let light = Vec3::new(0.0, 20.0, 0.0);
+    for algo in ALGOS {
+        assert_packet_render_matches_scalar(
+            Arc::new(TriangleMesh::new()),
+            algo,
+            &camera(Vec3::new(0.0, 0.0, -10.0), Vec3::ZERO, 60.0, 8, 8),
+            light,
+            2,
+        );
+        assert_packet_render_matches_scalar(soup(60, 0xb01d), algo, &cam_away, light, 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random scenes, random camera orientations (eye anywhere on a
+    /// shell around the scene, jittered target, random fov), random
+    /// framebuffer sizes including degenerate and odd ones, every
+    /// builder, and random divergence thresholds.
+    #[test]
+    fn random_frames_match_scalar(
+        tris in 1usize..90,
+        scene_seed in 0u64..1u64 << 32,
+        eye_dir in prop::array::uniform3(-1.0f32..1.0),
+        target in prop::array::uniform3(-2.0f32..2.0),
+        fov in 25.0f32..95.0,
+        width in 1u32..20,
+        height in 1u32..20,
+        light in prop::array::uniform3(-20.0f32..20.0),
+        algo_idx in 0usize..4,
+        min_active in 0u32..5,
+    ) {
+        let d = Vec3::new(eye_dir[0], eye_dir[1], eye_dir[2]);
+        prop_assume!(d.length() > 1e-3);
+        let eye = d.normalized() * 22.0;
+        let cam = camera(
+            eye,
+            Vec3::new(target[0], target[1], target[2]),
+            fov,
+            width,
+            height,
+        );
+        assert_packet_render_matches_scalar(
+            soup(tris, scene_seed),
+            ALGOS[algo_idx],
+            &cam,
+            Vec3::new(light[0], light[1], light[2]),
+            min_active,
+        );
+    }
+}

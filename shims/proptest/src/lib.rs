@@ -248,8 +248,43 @@ pub mod collection {
     }
 }
 
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy generating `[S::Value; N]` from one element strategy.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// Generates `[T; 2]` arrays from an element strategy.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArrayStrategy<S, 2> {
+        UniformArrayStrategy { element }
+    }
+
+    /// Generates `[T; 3]` arrays from an element strategy.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArrayStrategy<S, 3> {
+        UniformArrayStrategy { element }
+    }
+
+    /// Generates `[T; 4]` arrays from an element strategy.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+}
+
 pub mod prelude {
     //! Everything a `use proptest::prelude::*;` caller expects.
+    pub use crate as prop;
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
 }
