@@ -9,6 +9,7 @@ use crate::search::random::RandomSearch;
 use crate::search::SearchStrategy;
 use crate::space::{Config, SearchSpace};
 use kdtune_telemetry as telemetry;
+use rand::Rng;
 use std::time::Instant;
 
 /// Which search drives the tuner.
@@ -73,6 +74,12 @@ pub struct Measurement {
     pub phase: TunerPhase,
 }
 
+/// Normalized half-width of the jitter box around a warm-start center.
+/// Small enough that the initial simplex is an order of magnitude tighter
+/// than cold uniform seeding, large enough to correct a slightly stale
+/// stored optimum.
+const WARM_START_SPREAD: f64 = 0.08;
+
 /// Configures and creates a [`Tuner`].
 pub struct TunerBuilder {
     seed: u64,
@@ -83,6 +90,7 @@ pub struct TunerBuilder {
     retune_window: usize,
     measurements_per_config: usize,
     strategy: StrategyKind,
+    warm_start: Option<Vec<i64>>,
 }
 
 impl Default for TunerBuilder {
@@ -96,6 +104,7 @@ impl Default for TunerBuilder {
             retune_window: 8,
             measurements_per_config: 1,
             strategy: StrategyKind::NelderMead,
+            warm_start: None,
         }
     }
 }
@@ -152,6 +161,21 @@ impl TunerBuilder {
     /// Nelder–Mead).
     pub fn strategy(mut self, strategy: StrategyKind) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Warm-starts the Nelder–Mead search from a known-good configuration
+    /// (raw parameter values, registration order; snapped to the space).
+    ///
+    /// Instead of `seed_samples` uniform random probes, the first search
+    /// round evaluates the stored configuration plus `dim` jittered
+    /// neighbours (±[`WARM_START_SPREAD`] per normalized coordinate), so
+    /// the simplex starts an order of magnitude tighter and converges in
+    /// correspondingly fewer measurement cycles. Drift re-tunes ignore the
+    /// warm start — a re-tune fires precisely because the stored optimum
+    /// went stale. Other strategies ignore this setting.
+    pub fn warm_start(mut self, values: &[i64]) -> Self {
+        self.warm_start = Some(values.to_vec());
         self
     }
 
@@ -305,8 +329,50 @@ impl Tuner {
             assert!(self.space.dim() >= 1, "register parameters before start()");
             let space = self.space.clone();
             let seed = self.builder.seed.wrapping_add(self.retunes as u64);
-            let search: Box<dyn SearchStrategy> = match self.builder.strategy {
-                StrategyKind::NelderMead => Box::new(NelderMeadSearch::new(
+            // Warm starts only apply to the first round: a drift re-tune
+            // means the stored optimum is stale, so re-tunes fall back to
+            // cold uniform seeding.
+            let warm = (self.retunes == 0)
+                .then_some(self.builder.warm_start.as_ref())
+                .flatten();
+            let search: Box<dyn SearchStrategy> = match (self.builder.strategy, warm) {
+                (StrategyKind::NelderMead, Some(values)) => {
+                    let center_cfg = space.snap_values(values);
+                    let center = space.normalize(&center_cfg);
+                    telemetry::event(
+                        "tuner.warm_start",
+                        &[
+                            ("config", center_cfg.to_string().into()),
+                            ("spread", WARM_START_SPREAD.into()),
+                        ],
+                    );
+                    // First probe is the stored configuration itself; the
+                    // remaining `dim` probes jitter each coordinate inside
+                    // the spread box (distinct points almost surely, which
+                    // the search's seeding dedup requires).
+                    let mut first = true;
+                    let c = center;
+                    Box::new(NelderMeadSearch::new(
+                        space.dim(),
+                        space.dim() + 1,
+                        seed,
+                        move |rng| {
+                            if std::mem::take(&mut first) {
+                                return c.clone();
+                            }
+                            c.iter()
+                                .map(|&x| {
+                                    let jitter =
+                                        rng.gen_range(-WARM_START_SPREAD..WARM_START_SPREAD);
+                                    (x + jitter).clamp(0.0, 1.0)
+                                })
+                                .collect()
+                        },
+                        self.builder.tol,
+                        self.builder.max_iterations,
+                    ))
+                }
+                (StrategyKind::NelderMead, None) => Box::new(NelderMeadSearch::new(
                     space.dim(),
                     self.builder.seed_samples,
                     seed,
@@ -314,11 +380,11 @@ impl Tuner {
                     self.builder.tol,
                     self.builder.max_iterations,
                 )),
-                StrategyKind::HillClimb => Box::new(HillClimb::new(
+                (StrategyKind::HillClimb, _) => Box::new(HillClimb::new(
                     space.params().iter().map(|p| p.count()).collect(),
                     seed,
                 )),
-                StrategyKind::Random { budget } => {
+                (StrategyKind::Random { budget }, _) => {
                     Box::new(RandomSearch::new(seed, budget, move |rng| {
                         space.random_point(rng)
                     }))
@@ -462,6 +528,16 @@ impl Tuner {
         // The next prepare_cycle() builds a fresh search (new RNG stream).
     }
 
+    /// Number of probe evaluations the current Nelder–Mead round spends
+    /// before the simplex starts (warm rounds use the minimal `dim + 1`).
+    fn seeding_probe_count(&self) -> usize {
+        if self.retunes == 0 && self.builder.warm_start.is_some() {
+            self.space.dim() + 1
+        } else {
+            self.builder.seed_samples.max(self.space.dim() + 1)
+        }
+    }
+
     /// Current lifecycle phase.
     pub fn phase(&self) -> TunerPhase {
         match &self.search {
@@ -472,7 +548,7 @@ impl Tuner {
                 // random probing; report that stage distinctly (the other
                 // strategies have no seeding stage).
                 let seeding = self.builder.strategy == StrategyKind::NelderMead
-                    && s.evaluations() < self.builder.seed_samples.max(self.space.dim() + 1);
+                    && s.evaluations() < self.seeding_probe_count();
                 if seeding {
                     TunerPhase::Seeding
                 } else {
@@ -719,6 +795,105 @@ mod tests {
         assert!(
             (best.values()[0] - 40).abs() <= 12,
             "filtered tuning should land near 40: {best}"
+        );
+    }
+
+    #[test]
+    fn warm_start_first_probe_is_the_stored_config() {
+        let mut t = Tuner::builder().seed(7).warm_start(&[21, 11]).build();
+        let _ = t.register_parameter("CI", 3, 101, 1);
+        let _ = t.register_parameter("CB", 0, 60, 1);
+        t.start_cycle();
+        assert_eq!(t.current().unwrap().values(), &[21, 11]);
+        t.stop_with(1.0);
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_iterations() {
+        let converge = |warm: Option<&[i64]>| {
+            let mut b = Tuner::builder().seed(11);
+            if let Some(v) = warm {
+                b = b.warm_start(v);
+            }
+            let mut t = b.build();
+            let _ = t.register_parameter("CI", 3, 101, 1);
+            let _ = t.register_parameter("CB", 0, 60, 1);
+            for i in 0..300 {
+                t.start_cycle();
+                let c = t.current().unwrap().clone();
+                t.stop_with(cost_fn(&c));
+                if t.converged() {
+                    return (i + 1, t.best().unwrap().1);
+                }
+            }
+            panic!("tuner did not converge in 300 iterations");
+        };
+        let (cold_iters, cold_cost) = converge(None);
+        // Warm-start on (a snap of) the bowl's optimum.
+        let (warm_iters, warm_cost) = converge(Some(&[20, 12]));
+        assert!(
+            warm_iters < cold_iters,
+            "warm ({warm_iters}) should beat cold ({cold_iters})"
+        );
+        assert!(warm_cost <= cold_cost * 1.01, "{warm_cost} vs {cold_cost}");
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_out_of_range_values_snap() {
+        let trace = || {
+            let mut t = Tuner::builder().seed(3).warm_start(&[1000, -5]).build();
+            let _ = t.register_parameter("CI", 3, 101, 1);
+            let _ = t.register_parameter("CB", 0, 60, 1);
+            run(&mut t, 30);
+            t.history()
+                .iter()
+                .map(|m| m.config.clone())
+                .collect::<Vec<_>>()
+        };
+        let a = trace();
+        assert_eq!(a, trace());
+        // The out-of-range warm values were snapped into the space.
+        assert_eq!(a[0].values(), &[101, 0]);
+    }
+
+    #[test]
+    fn retune_ignores_warm_start() {
+        // Converge warm, then flip the landscape; the drift re-tune must
+        // run a cold round (uniform seeding) and still find the new
+        // optimum far from the stale warm center.
+        let mut t = Tuner::builder()
+            .seed(9)
+            .retune_threshold(1.2)
+            .retune_window(4)
+            .warm_start(&[2])
+            .build();
+        let n = t.register_parameter("N", 1, 64, 1);
+        let mut drifted = false;
+        for i in 0..500 {
+            t.start_cycle();
+            let v = t.get(n) as f64;
+            let cost = if drifted {
+                2.0 + (64.0 - v) / 64.0
+            } else {
+                1.0 + v / 64.0
+            };
+            t.stop_with(cost);
+            if t.converged() && !drifted && i > 20 {
+                drifted = true;
+            }
+        }
+        assert!(t.retunes() >= 1, "drift must restart the search");
+        assert!(t.converged(), "the cold re-tune round should re-converge");
+        let final_best = t
+            .history()
+            .iter()
+            .rev()
+            .find(|m| m.phase == TunerPhase::Converged)
+            .unwrap();
+        assert!(
+            final_best.config.values()[0] > 32,
+            "re-tune stuck near the stale warm center: {}",
+            final_best.config
         );
     }
 

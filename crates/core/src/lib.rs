@@ -56,5 +56,5 @@ pub use kdtune_autotune::{Config, SearchSpace, Tuner, TunerPhase};
 pub use kdtune_kdtree::{build, Algorithm, BuildParams, BuiltTree, RayQuery, SahParams, TreeStats};
 pub use kdtune_raycast::{Camera, FrameReport, RenderOptions, TuningWorkflow};
 pub use kdtune_scenes::{Scene, SceneParams, ViewSpec};
-pub use pipeline::{PipelineReport, TunedPipeline};
+pub use pipeline::{PipelineReport, StopReason, TunedPipeline};
 pub use selector::{select_algorithm, AlgorithmCandidate, SelectionReport, SelectorOpts};

@@ -1,15 +1,50 @@
 //! High-level tuned rendering pipeline over a [`Scene`].
 
 use crate::config::base_build_params;
+use kdtune_autotune::Tuner;
 use kdtune_geometry::Vec3;
 use kdtune_kdtree::Algorithm;
 use kdtune_raycast::{run_frame_with_options, Camera, FrameReport, RenderOptions, TuningWorkflow};
 use kdtune_scenes::Scene;
+use kdtune_telemetry as telemetry;
 
 /// Default experiment raster (the paper does not report its resolution;
 /// renders scale linearly in pixel count, so experiments pick sizes that
 /// fit their time budget).
 const DEFAULT_RES: u32 = 128;
+
+/// Why a budgeted convergence run stopped — distinct outcomes matter to
+/// long-running callers (the render service only persists a tuned
+/// configuration to its store when the tuner actually converged, never
+/// when the frame budget simply ran out).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The tuner's search round converged within the budget.
+    Converged,
+    /// The step budget elapsed first.
+    FrameBudget,
+}
+
+impl StopReason {
+    /// Stable lowercase name, used in telemetry events and wire responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::FrameBudget => "frame_budget",
+        }
+    }
+
+    /// True for [`StopReason::Converged`].
+    pub fn is_converged(self) -> bool {
+        self == StopReason::Converged
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Summary of a pipeline run.
 #[derive(Clone, Debug)]
@@ -40,6 +75,8 @@ pub struct TunedPipeline {
     frame: usize,
     frame_repeat: usize,
     reports: Vec<FrameReport>,
+    seed: u64,
+    warm: Option<Vec<i64>>,
 }
 
 impl TunedPipeline {
@@ -56,7 +93,22 @@ impl TunedPipeline {
             frame: 0,
             frame_repeat: 1,
             reports: Vec::new(),
+            seed: 0x7e57,
+            warm: None,
         }
+    }
+
+    /// Rebuilds the workflow with the current seed/warm-start settings,
+    /// preserving render options (fresh pipelines only).
+    fn rebuild_workflow(&mut self) {
+        let options = self.workflow.render_options();
+        let algorithm = self.workflow.algorithm();
+        let mut builder = Tuner::builder().seed(self.seed);
+        if let Some(values) = &self.warm {
+            builder = builder.warm_start(values);
+        }
+        self.workflow =
+            TuningWorkflow::with_tuner(algorithm, builder.build()).with_render_options(options);
     }
 
     /// Repeats every animation frame `k` times (the paper extends the
@@ -79,9 +131,22 @@ impl TunedPipeline {
     /// Panics after stepping has begun.
     pub fn tuner_seed(mut self, seed: u64) -> TunedPipeline {
         assert_eq!(self.frame, 0, "seed must be set before stepping");
-        let options = self.workflow.render_options();
-        self.workflow =
-            TuningWorkflow::new(self.workflow.algorithm(), seed).with_render_options(options);
+        self.seed = seed;
+        self.rebuild_workflow();
+        self
+    }
+
+    /// Warm-starts the tuner from a known-good configuration (raw
+    /// parameter values in registration order — CI, CB, S, and R for the
+    /// lazy builder), typically one recorded by a previous converged run
+    /// on the same scene and hardware. Fresh pipelines only.
+    ///
+    /// # Panics
+    /// Panics after stepping has begun.
+    pub fn warm_start(mut self, values: &[i64]) -> TunedPipeline {
+        assert_eq!(self.frame, 0, "warm start must be set before stepping");
+        self.warm = Some(values.to_vec());
+        self.rebuild_workflow();
         self
     }
 
@@ -136,15 +201,39 @@ impl TunedPipeline {
         }
     }
 
-    /// Runs frames until the tuner converges (or `max_frames` elapse);
-    /// returns the report and whether convergence was reached.
-    pub fn run_until_converged(&mut self, max_frames: usize) -> (PipelineReport, bool) {
-        for _ in 0..max_frames {
+    /// Runs up to `max_steps` frames, stopping early once the tuner
+    /// converges. Returns only the frames of *this* call (a resumable
+    /// slice — long-running callers invoke this repeatedly on the same
+    /// pipeline) and why the run stopped, and emits a `pipeline.run`
+    /// telemetry event carrying the reason.
+    pub fn run_budget(&mut self, max_steps: usize) -> (Vec<FrameReport>, StopReason) {
+        let start = self.reports.len();
+        let mut reason = StopReason::FrameBudget;
+        for _ in 0..max_steps {
             self.step();
             if self.workflow.tuner().converged() {
+                reason = StopReason::Converged;
                 break;
             }
         }
+        telemetry::event(
+            "pipeline.run",
+            &[
+                ("reason", reason.as_str().into()),
+                ("steps", (self.reports.len() - start).into()),
+                ("total_steps", self.frame.into()),
+                ("converged", self.workflow.tuner().converged().into()),
+            ],
+        );
+        (self.reports[start..].to_vec(), reason)
+    }
+
+    /// Runs frames until the tuner converges (or `max_frames` elapse);
+    /// returns the full report and whether the tuner is converged. See
+    /// [`TunedPipeline::run_budget`] for the stop *reason* (the boolean
+    /// also covers a tuner that converged on an earlier call).
+    pub fn run_until_converged(&mut self, max_frames: usize) -> (PipelineReport, bool) {
+        let _ = self.run_budget(max_frames);
         (
             PipelineReport {
                 frames: self.reports.clone(),
@@ -232,6 +321,70 @@ mod tests {
         let mut p = pipeline();
         p.step();
         let _ = p.tuner_seed(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "before stepping")]
+    fn late_warm_start_rejected() {
+        let mut p = pipeline();
+        p.step();
+        let _ = p.warm_start(&[17, 10, 3]);
+    }
+
+    #[test]
+    fn run_budget_reports_only_new_frames_and_reason() {
+        let mut p = pipeline();
+        let (frames, reason) = p.run_budget(3);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(reason, StopReason::FrameBudget);
+        assert_eq!(reason.as_str(), "frame_budget");
+        assert!(!reason.is_converged());
+        // A second budget returns its own frames, not the accumulated run.
+        let (frames, _) = p.run_budget(2);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(p.steps_taken(), 5);
+    }
+
+    #[test]
+    fn run_budget_stops_on_convergence_with_reason() {
+        let mut p = pipeline();
+        let (frames, reason) = p.run_budget(400);
+        assert_eq!(reason, StopReason::Converged);
+        assert!(reason.is_converged());
+        assert!(frames.len() < 400, "converged early: {}", frames.len());
+        assert!(p.workflow().tuner().converged());
+        // A zero-budget call on a converged pipeline reports FrameBudget
+        // (nothing ran) while run_until_converged still answers true.
+        let (frames, reason) = p.run_budget(0);
+        assert!(frames.is_empty());
+        assert_eq!(reason, StopReason::FrameBudget);
+        let (_, converged) = p.run_until_converged(0);
+        assert!(converged);
+    }
+
+    #[test]
+    fn warm_start_seeds_first_config() {
+        let mut p = pipeline().warm_start(&[21, 11, 4]);
+        p.step();
+        let tuner = p.workflow().tuner();
+        assert_eq!(tuner.history()[0].config.values(), &[21, 11, 4]);
+    }
+
+    #[test]
+    fn warm_start_and_seed_compose_in_any_order() {
+        let mut a = pipeline().warm_start(&[21, 11, 4]);
+        // `pipeline()` already applied tuner_seed(5); setting the seed
+        // after the warm start must not drop the warm start.
+        let mut b = TunedPipeline::new(wood_doll(&SceneParams::tiny()), Algorithm::InPlace)
+            .resolution(24, 24)
+            .warm_start(&[21, 11, 4])
+            .tuner_seed(5);
+        a.step();
+        b.step();
+        assert_eq!(
+            a.workflow().tuner().history()[0].config,
+            b.workflow().tuner().history()[0].config
+        );
     }
 
     #[test]

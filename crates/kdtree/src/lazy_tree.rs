@@ -8,7 +8,7 @@
 
 use crate::build::{build_recursive, BuildCtx, BuildParams, TempNode};
 use crate::traverse::{ArrayStack, TraversalStack, VecStack, FIXED_TRAVERSAL_STACK};
-use crate::tree::{BuildNode, KdTree};
+use crate::tree::{BuildNode, KdTree, NodeKind};
 use kdtune_geometry::{Aabb, Axis, Hit, Ray, TriangleMesh};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -190,6 +190,37 @@ impl LazyKdTree {
         let tree = Arc::new(KdTree::from_build(Arc::clone(&self.mesh), d.bounds, root));
         *guard = Some(Arc::clone(&tree));
         tree
+    }
+
+    /// Materializes the whole tree as an eager [`KdTree`], expanding every
+    /// deferred node first. Deferred subtrees are built with the same
+    /// parameters and split code the eager builders use, so intersection
+    /// results are identical; the packed result can feed the KDT2
+    /// serializer ([`crate::io`]), which lazy trees themselves cannot.
+    pub fn to_eager(&self) -> KdTree {
+        self.expand_all();
+        let root = self.subtree(0);
+        KdTree::from_build(Arc::clone(&self.mesh), self.bounds, root)
+    }
+
+    /// The top-part node at `idx` as a build-tree node; expanded deferred
+    /// subtrees are converted back from their packed form.
+    fn subtree(&self, idx: u32) -> BuildNode {
+        match &self.nodes[idx as usize] {
+            LazyNode::Inner {
+                axis,
+                pos,
+                left,
+                right,
+            } => BuildNode::Inner {
+                axis: *axis,
+                pos: *pos,
+                left: Box::new(self.subtree(*left)),
+                right: Box::new(self.subtree(*right)),
+            },
+            LazyNode::Leaf(prims) => BuildNode::Leaf(prims.to_vec()),
+            LazyNode::Deferred(d) => packed_to_build(&self.expand(d), 0),
+        }
     }
 
     /// Nearest intersection in `(t_min, t_max)`, expanding deferred nodes
@@ -391,6 +422,27 @@ fn top_part_depth(nodes: &[LazyNode]) -> u32 {
 
 /// Rewrites leaf indices of an expansion subtree from local (position in
 /// the deferred primitive list) back to global mesh primitive ids.
+/// Converts a packed subtree back into build-tree form (for
+/// [`LazyKdTree::to_eager`]'s re-flatten of the whole tree).
+fn packed_to_build(tree: &KdTree, idx: u32) -> BuildNode {
+    match tree.node_kind(idx) {
+        NodeKind::Leaf { first, count } => {
+            BuildNode::Leaf(tree.prim_indices()[first as usize..(first + count) as usize].to_vec())
+        }
+        NodeKind::Inner {
+            axis,
+            pos,
+            left,
+            right,
+        } => BuildNode::Inner {
+            axis,
+            pos,
+            left: Box::new(packed_to_build(tree, left)),
+            right: Box::new(packed_to_build(tree, right)),
+        },
+    }
+}
+
 fn remap_leaves(node: BuildNode, prims: &[u32]) -> BuildNode {
     match node {
         BuildNode::Leaf(local) => {
@@ -476,6 +528,33 @@ mod tests {
         let tree = lazy_tree(64);
         tree.expand_all();
         assert_eq!(tree.expanded_count(), tree.deferred_count());
+    }
+
+    #[test]
+    fn to_eager_preserves_intersections_bit_for_bit() {
+        let lazy = lazy_tree(64);
+        let eager = lazy.to_eager();
+        assert_eq!(eager.node_count(), lazy.total_node_count());
+        for i in 0..60 {
+            let a = i as f32 * 0.11;
+            let dir = Vec3::new(a.cos(), 0.4 * (a * 2.3).sin(), a.sin()).normalized();
+            let ray = Ray::new(Vec3::new(-15.0, 4.0, 0.0), dir);
+            let hl = lazy.intersect(&ray, 0.0, f32::INFINITY);
+            let he = eager.intersect(&ray, 0.0, f32::INFINITY);
+            match (hl, he) {
+                (None, None) => {}
+                (Some(l), Some(e)) => {
+                    assert_eq!(l.t.to_bits(), e.t.to_bits(), "ray {i}");
+                    assert_eq!(l.prim, e.prim, "ray {i}");
+                }
+                (l, e) => panic!("ray {i}: lazy {l:?} vs eager {e:?}"),
+            }
+            assert_eq!(
+                lazy.intersect_any(&ray, 0.0, f32::INFINITY),
+                eager.intersect_any(&ray, 0.0, f32::INFINITY),
+                "ray {i}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! KDT2 round-trip over all four builders: encode → decode must reproduce
+//! the tree node-for-node and answer every ray query bit-identically.
+//! This guards the serialization path the render service's tree cache
+//! relies on (a cached tree must be indistinguishable from a fresh build).
+
+use kdtune_geometry::{Ray, Vec3};
+use kdtune_kdtree::{build, io, Algorithm, BuildParams, BuiltTree, KdTree};
+use kdtune_scenes::{sibenik, SceneParams};
+
+/// Builds the scene with `algorithm` and materializes an eager packed
+/// tree (the lazy builder expands fully via `to_eager`; the others are
+/// already eager).
+fn eager_tree(algorithm: Algorithm) -> KdTree {
+    let mesh = sibenik(&SceneParams::tiny()).frame(0);
+    let params = BuildParams::default();
+    match build(mesh, algorithm, &params) {
+        BuiltTree::Eager(t) => t,
+        BuiltTree::Lazy(t) => t.to_eager(),
+    }
+}
+
+/// A fixed, deterministic fan of rays from inside the sibenik nave —
+/// a mix of hits, misses, and grazing directions.
+fn fixed_rays() -> Vec<Ray> {
+    let mut rays = Vec::new();
+    for i in 0..96 {
+        let a = i as f32 * 0.37;
+        let dir = Vec3::new(a.cos(), ((a * 1.9).sin()) * 0.7, (a * 0.77).sin()).normalized();
+        let eye = Vec3::new(
+            -15.0 + (i % 5) as f32,
+            2.0 + (i % 3) as f32,
+            (i % 7) as f32 - 3.0,
+        );
+        rays.push(Ray::new(eye, dir));
+    }
+    rays
+}
+
+#[test]
+fn kdt2_round_trips_all_builders_bit_identically() {
+    let rays = fixed_rays();
+    for algorithm in Algorithm::ALL {
+        let tree = eager_tree(algorithm);
+        let bytes = io::encode(&tree);
+        let decoded = io::decode(&bytes).unwrap_or_else(|e| {
+            panic!("{}: decode failed: {e:?}", algorithm.name());
+        });
+
+        // Structure: identical node stream, primitive table, and bounds.
+        assert_eq!(
+            decoded.node_count(),
+            tree.node_count(),
+            "{}: node count",
+            algorithm.name()
+        );
+        for (i, (a, b)) in tree.nodes().iter().zip(decoded.nodes()).enumerate() {
+            assert_eq!(a.to_raw(), b.to_raw(), "{}: node {i}", algorithm.name());
+        }
+        assert_eq!(
+            decoded.prim_indices(),
+            tree.prim_indices(),
+            "{}: primitive table",
+            algorithm.name()
+        );
+        let (ob, db) = (tree.bounds(), decoded.bounds());
+        assert_eq!(ob.min, db.min, "{}: bounds min", algorithm.name());
+        assert_eq!(ob.max, db.max, "{}: bounds max", algorithm.name());
+
+        // Queries: bit-identical hits on the fixed ray set, both nearest
+        // and any-hit, plus a finite t_max slice.
+        let mut hits = 0;
+        for (i, ray) in rays.iter().enumerate() {
+            let a = tree.intersect(ray, 0.0, f32::INFINITY);
+            let b = decoded.intersect(ray, 0.0, f32::INFINITY);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    hits += 1;
+                    assert_eq!(x.t.to_bits(), y.t.to_bits(), "{} ray {i}", algorithm.name());
+                    assert_eq!(x.prim, y.prim, "{} ray {i}", algorithm.name());
+                    assert_eq!(x.u.to_bits(), y.u.to_bits(), "{} ray {i}", algorithm.name());
+                    assert_eq!(x.v.to_bits(), y.v.to_bits(), "{} ray {i}", algorithm.name());
+                }
+                (x, y) => panic!("{} ray {i}: {x:?} vs {y:?}", algorithm.name()),
+            }
+            assert_eq!(
+                tree.intersect_any(ray, 0.0, 8.0),
+                decoded.intersect_any(ray, 0.0, 8.0),
+                "{} ray {i} (any-hit)",
+                algorithm.name()
+            );
+        }
+        assert!(
+            hits > 0,
+            "{}: ray set never hit the scene",
+            algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn kdt2_file_round_trip_via_save_and_load() {
+    let tree = eager_tree(Algorithm::InPlace);
+    let path =
+        std::env::temp_dir().join(format!("kdtune-io-roundtrip-{}.kdt2", std::process::id()));
+    io::save(&tree, &path).unwrap();
+    let loaded = io::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.node_count(), tree.node_count());
+    assert_eq!(loaded.prim_indices(), tree.prim_indices());
+    let ray = Ray::new(Vec3::new(-15.0, 4.0, 0.0), Vec3::X);
+    let (a, b) = (
+        tree.intersect(&ray, 0.0, f32::INFINITY).unwrap(),
+        loaded.intersect(&ray, 0.0, f32::INFINITY).unwrap(),
+    );
+    assert_eq!(a.t.to_bits(), b.t.to_bits());
+    assert_eq!(a.prim, b.prim);
+}

@@ -9,6 +9,8 @@
 //! kdtune select <scene> [--frames N] [--res N]
 //! kdtune export <scene> <file.obj> [--frame F]
 //! kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
+//! kdtune serve   [--addr H:P] [--workers N] [--queue N] [--cache-mb N] [--store F]
+//! kdtune loadgen [--addr H:P] [--connections N] [--requests N] [--smoke]
 //! ```
 
 use kdtune::raycast::{render_with_options, Camera};
@@ -35,6 +37,8 @@ USAGE:
   kdtune select <scene> [--frames N] [--res N]
   kdtune export <scene> <file.obj> [--frame F]
   kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
+  kdtune serve   [OPTIONS]   run the renderd service (see `kdtune serve --help`)
+  kdtune loadgen [OPTIONS]   drive a renderd instance (see `kdtune loadgen --help`)
 
 COMMON OPTIONS:
   --scale quick|tiny|paper   scene size (default quick)
@@ -472,6 +476,13 @@ fn cmd_cache(args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // The service subcommands have their own flag grammar (e.g. valueless
+    // --smoke), so route them before the classic parser sees the argv.
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_service(kdtune_server::cli::serve(&argv[1..])),
+        Some("loadgen") => return run_service(kdtune_server::cli::loadgen(&argv[1..])),
+        _ => {}
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
@@ -493,6 +504,16 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
     };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_service(result: Result<(), String>) -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

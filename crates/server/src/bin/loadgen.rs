@@ -1,0 +1,15 @@
+//! Standalone entry point for the load generator.
+//! `loadgen [OPTIONS]` is exactly `kdtune loadgen [OPTIONS]`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match kdtune_server::cli::loadgen(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

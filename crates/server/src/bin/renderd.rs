@@ -1,0 +1,15 @@
+//! Standalone entry point for the render/tuning service.
+//! `renderd [OPTIONS]` is exactly `kdtune serve [OPTIONS]`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match kdtune_server::cli::serve(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

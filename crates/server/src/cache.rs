@@ -1,0 +1,272 @@
+//! Byte-accounted LRU cache of built kd-trees, shared across sessions.
+//!
+//! The key encodes everything that determines the packed tree bit-for-bit
+//! (scene, scale, frame, algorithm, snapped build config), which the KDT2
+//! round-trip tests in `kdtune-kdtree` justify: an eager build is a pure
+//! function of those inputs, so a cache hit is indistinguishable from a
+//! rebuild. Lazy trees are *not* cached — they expand on demand per ray
+//! distribution, so sharing one across sessions would leak expansion
+//! state between clients.
+
+use kdtune_kdtree::KdTree;
+use kdtune_telemetry as telemetry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default cache capacity: enough for a few dozen quick/tiny-scale trees.
+pub const DEFAULT_CAPACITY_BYTES: usize = 128 * 1024 * 1024;
+
+/// Estimated resident footprint of a cached tree: the packed node and
+/// primitive-index arrays plus the mesh the `Arc` pins (~48 bytes per
+/// triangle for vertices) and map overhead. Coarse, but monotone in tree
+/// size, which is all byte-accounted eviction needs.
+pub fn estimated_bytes(tree: &KdTree) -> usize {
+    tree.memory_bytes() + tree.mesh().len() * 48 + 64
+}
+
+/// Counters describing cache effectiveness, snapshot by [`TreeCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Estimated bytes held by live entries.
+    pub bytes: usize,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Lookups that found the tree.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    tree: Arc<KdTree>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The shared tree cache. All methods take `&self`; one instance serves
+/// every worker thread.
+pub struct TreeCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl TreeCache {
+    /// Creates a cache holding at most `capacity_bytes` of estimated tree
+    /// footprint. A capacity of 0 still caches the most recent entry
+    /// (eviction never removes the entry just inserted).
+    pub fn new(capacity_bytes: usize) -> TreeCache {
+        TreeCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity_bytes,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Counts a miss
+    /// otherwise.
+    pub fn get(&self, key: &str) -> Option<Arc<KdTree>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let tree = Arc::clone(&entry.tree);
+                inner.hits += 1;
+                Some(tree)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `tree` under `key`, evicting least-recently-used entries
+    /// (never the one just inserted) until under capacity. If another
+    /// thread inserted the key first, the existing tree wins and is
+    /// returned — callers that raced a build just drop their duplicate.
+    pub fn insert(&self, key: &str, tree: Arc<KdTree>) -> Arc<KdTree> {
+        let bytes = estimated_bytes(&tree);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(existing) = inner.map.get_mut(key) {
+            existing.last_used = tick;
+            return Arc::clone(&existing.tree);
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key.to_string(),
+            Entry {
+                tree: Arc::clone(&tree),
+                bytes,
+                last_used: tick,
+            },
+        );
+        while inner.bytes > self.capacity && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.bytes -= evicted.bytes;
+                inner.evictions += 1;
+                telemetry::event_owned(
+                    "server.cache",
+                    vec![
+                        ("op", "evict".into()),
+                        ("key", victim.into()),
+                        ("bytes", evicted.bytes.into()),
+                    ],
+                );
+            }
+        }
+        tree
+    }
+
+    /// Returns the cached tree for `key`, or builds one with `build` and
+    /// caches it. The build runs outside the cache lock, so two threads
+    /// racing on the same cold key may both build; the first insert wins.
+    /// The flag is `true` on a hit.
+    pub fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Arc<KdTree>,
+    ) -> (Arc<KdTree>, bool) {
+        if let Some(tree) = self.get(key) {
+            telemetry::event_owned(
+                "server.cache",
+                vec![("op", "hit".into()), ("key", key.to_string().into())],
+            );
+            return (tree, true);
+        }
+        let tree = build();
+        telemetry::event_owned(
+            "server.cache",
+            vec![
+                ("op", "miss".into()),
+                ("key", key.to_string().into()),
+                ("bytes", estimated_bytes(&tree).into()),
+            ],
+        );
+        (self.insert(key, tree), false)
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            capacity_bytes: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdtune_kdtree::{build, Algorithm, BuildParams, BuiltTree};
+    use kdtune_scenes::{wood_doll, SceneParams};
+
+    fn small_tree(frame: usize) -> Arc<KdTree> {
+        let mesh = wood_doll(&SceneParams::tiny()).frame(frame);
+        match build(mesh, Algorithm::InPlace, &BuildParams::default()) {
+            BuiltTree::Eager(t) => Arc::new(t),
+            BuiltTree::Lazy(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_returns_the_same_tree() {
+        let cache = TreeCache::new(DEFAULT_CAPACITY_BYTES);
+        let (a, hit_a) = cache.get_or_build("k0", || small_tree(0));
+        let (b, hit_b) = cache.get_or_build("k0", || panic!("must not rebuild"));
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn lru_eviction_is_byte_accounted_and_spares_the_newest() {
+        let t0 = small_tree(0);
+        let per_entry = estimated_bytes(&t0);
+        // Room for two entries, not three.
+        let cache = TreeCache::new(per_entry * 2 + per_entry / 2);
+        cache.insert("a", Arc::clone(&t0));
+        cache.insert("b", small_tree(0));
+        assert!(cache.get("a").is_some(), "touch a so b is the LRU");
+        cache.insert("c", small_tree(0));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= stats.capacity_bytes);
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("a").is_some());
+        assert!(
+            cache.get("c").is_some(),
+            "the just-inserted entry is never the victim"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_still_serves_the_latest_entry() {
+        let cache = TreeCache::new(0);
+        cache.insert("a", small_tree(0));
+        assert!(
+            cache.get("a").is_some(),
+            "a single entry may exceed capacity"
+        );
+        cache.insert("b", small_tree(0));
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_first_tree() {
+        let cache = TreeCache::new(DEFAULT_CAPACITY_BYTES);
+        let first = cache.insert("k", small_tree(0));
+        let loser = small_tree(0);
+        let winner = cache.insert("k", Arc::clone(&loser));
+        assert!(Arc::ptr_eq(&first, &winner));
+        assert!(!Arc::ptr_eq(&loser, &winner));
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

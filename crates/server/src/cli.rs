@@ -1,0 +1,235 @@
+//! CLI entry points for the `serve` and `loadgen` subcommands, shared by
+//! the dedicated `renderd`/`loadgen` binaries and the `kdtune` umbrella.
+
+use crate::loadgen::{self, LoadgenOptions};
+use crate::server::{RenderServer, ServerConfig};
+use kdtune_telemetry as telemetry;
+use kdtune_telemetry::sinks::JsonlRecorder;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Usage text for `serve` / `renderd`.
+pub const SERVE_USAGE: &str = "\
+renderd — multi-session render/tuning service
+
+USAGE:
+    kdtune serve [OPTIONS]           (equivalently: renderd [OPTIONS])
+
+OPTIONS:
+    --addr HOST:PORT     listen address        [default: 127.0.0.1:7464]
+    --workers N          render worker threads [default: 2]
+    --queue N            queue capacity before `busy` rejections [default: 64]
+    --cache-mb N         tree cache capacity in MiB [default: 128]
+    --store FILE         tuned-config JSONL store [default: renderd_configs.jsonl]
+    --trace FILE         record a JSONL telemetry trace
+    --help               show this help
+
+PROTOCOL (one JSON object per line, on both sides):
+    {\"id\":1,\"cmd\":\"render\",\"scene\":\"bunny\",\"scale\":\"tiny\",\"res\":64,\"frame\":0}
+    {\"id\":2,\"cmd\":\"tune_step\",\"scene\":\"bunny\",\"scale\":\"tiny\",\"steps\":2}
+    {\"id\":3,\"cmd\":\"stats\"}
+    {\"id\":4,\"cmd\":\"shutdown\"}
+";
+
+/// Usage text for `loadgen`.
+pub const LOADGEN_USAGE: &str = "\
+loadgen — drive a renderd instance with a mixed render/tune workload
+
+USAGE:
+    kdtune loadgen [OPTIONS]         (equivalently: loadgen [OPTIONS])
+
+OPTIONS:
+    --addr HOST:PORT     server address [default: 127.0.0.1:7464]
+    --connections N      concurrent connections [default: 4]
+    --requests N         total requests across connections [default: 400]
+    --scenes A,B,...     scenes, round-robin [default: bunny,fairy_forest]
+    --scale NAME         quick | tiny | paper [default: tiny]
+    --res N              render resolution [default: 64]
+    --algo NAME          node_level | nested | in_place | lazy [default: in_place]
+    --frames N           frame indices cycled per scene [default: 2]
+    --tune-every N       every n-th request is a tune_step; 0 disables [default: 4]
+    --tune-steps N       tuner steps per tune_step request [default: 2]
+    --smoke              small self-terminating smoke workload (implies --shutdown)
+    --shutdown           send shutdown after the run
+    --out FILE           JSON report path [default: results/BENCH_server.json]
+    --help               show this help
+";
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{name} needs a value"));
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+    }
+}
+
+fn take_parsed<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_value(args, name)? {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("{name}: cannot parse {raw:?}")),
+    }
+}
+
+fn reject_leftovers(args: &[String], usage: &str) -> Result<(), String> {
+    match args.first() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument {extra:?}\n\n{usage}")),
+    }
+}
+
+/// `kdtune serve` / `renderd`: parse flags, bind, and serve until a
+/// `shutdown` request arrives. Blocks.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if take_flag(&mut args, "--help") {
+        println!("{SERVE_USAGE}");
+        return Ok(());
+    }
+    let mut config = ServerConfig::default();
+    config.addr = take_parsed(&mut args, "--addr", config.addr)?;
+    config.workers = take_parsed(&mut args, "--workers", config.workers)?;
+    config.queue_capacity = take_parsed(&mut args, "--queue", config.queue_capacity)?;
+    config.cache_bytes =
+        take_parsed(&mut args, "--cache-mb", config.cache_bytes / (1024 * 1024))? * 1024 * 1024;
+    config.store_path = PathBuf::from(take_parsed(
+        &mut args,
+        "--store",
+        config.store_path.display().to_string(),
+    )?);
+    let trace = take_value(&mut args, "--trace")?;
+    reject_leftovers(&args, SERVE_USAGE)?;
+
+    if let Some(path) = trace {
+        let recorder =
+            JsonlRecorder::create(path.as_ref()).map_err(|e| format!("--trace {path}: {e}"))?;
+        telemetry::set_recorder(Arc::new(recorder));
+    }
+    let server =
+        RenderServer::bind(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!(
+        "renderd listening on {} ({} workers, queue {}, cache {} MiB, store {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_bytes / (1024 * 1024),
+        config.store_path.display()
+    );
+    let result = server.run().map_err(|e| format!("server error: {e}"));
+    telemetry::flush();
+    telemetry::clear_recorder();
+    result?;
+    println!("renderd: drained and stopped");
+    Ok(())
+}
+
+/// `kdtune loadgen` / `loadgen`: parse flags, run the workload, print a
+/// summary, and fail on transport or protocol errors.
+pub fn loadgen(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if take_flag(&mut args, "--help") {
+        println!("{LOADGEN_USAGE}");
+        return Ok(());
+    }
+    let smoke = take_flag(&mut args, "--smoke");
+    let addr = take_parsed(&mut args, "--addr", "127.0.0.1:7464".to_string())?;
+    let mut options = if smoke {
+        LoadgenOptions::smoke(addr)
+    } else {
+        LoadgenOptions::defaults(addr)
+    };
+    options.connections = take_parsed(&mut args, "--connections", options.connections)?;
+    options.requests = take_parsed(&mut args, "--requests", options.requests)?;
+    if let Some(scenes) = take_value(&mut args, "--scenes")? {
+        options.scenes = scenes
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+    }
+    options.scale = take_parsed(&mut args, "--scale", options.scale)?;
+    options.res = take_parsed(&mut args, "--res", options.res)?;
+    options.algo = take_parsed(&mut args, "--algo", options.algo)?;
+    options.frames = take_parsed(&mut args, "--frames", options.frames)?;
+    options.tune_every = take_parsed(&mut args, "--tune-every", options.tune_every)?;
+    options.tune_steps = take_parsed(&mut args, "--tune-steps", options.tune_steps)?;
+    options.shutdown_after |= take_flag(&mut args, "--shutdown");
+    if let Some(out) = take_value(&mut args, "--out")? {
+        options.out = Some(PathBuf::from(out));
+    }
+    reject_leftovers(&args, LOADGEN_USAGE)?;
+
+    let report = loadgen::run(&options)?;
+    println!("{}", loadgen::format_summary(&report));
+    if let Some(path) = &options.out {
+        println!("report written to {}", path.display());
+    }
+    if report.protocol_errors > 0 {
+        return Err(format!(
+            "{} protocol errors (first: {})",
+            report.protocol_errors,
+            report
+                .first_errors
+                .first()
+                .map(String::as_str)
+                .unwrap_or("?")
+        ));
+    }
+    if report.ok == 0 {
+        return Err("no request succeeded".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing_consumes_pairs_and_rejects_leftovers() {
+        let mut args: Vec<String> = ["--requests", "12", "--smoke", "--scenes", "bunny"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(take_flag(&mut args, "--smoke"));
+        assert!(!take_flag(&mut args, "--smoke"));
+        assert_eq!(take_parsed(&mut args, "--requests", 0usize).unwrap(), 12);
+        assert_eq!(
+            take_value(&mut args, "--scenes").unwrap().as_deref(),
+            Some("bunny")
+        );
+        assert!(reject_leftovers(&args, "usage").is_ok());
+        args.push("stray".into());
+        assert!(reject_leftovers(&args, "usage").is_err());
+    }
+
+    #[test]
+    fn missing_flag_values_error_cleanly() {
+        let mut args: Vec<String> = vec!["--addr".into()];
+        assert!(take_value(&mut args, "--addr").is_err());
+        let mut args: Vec<String> = vec!["--requests".into(), "many".into()];
+        assert!(take_parsed(&mut args, "--requests", 0usize).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # kdtune-server
+//!
+//! `renderd` — a multi-session render/tuning service over the kdtune
+//! pipeline, plus the `loadgen` client that drives it.
+//!
+//! The paper's operational finding is that tuned configurations are not
+//! portable across scenes or hardware (§VI), so a deployment has to keep a
+//! per-(scene, hardware) tuner alive *online*. This crate is that
+//! deployment shape: a long-running TCP service that
+//!
+//! * speaks a newline-delimited JSON protocol ([`protocol`]) with explicit
+//!   backpressure — a bounded queue rejects overload with a structured
+//!   `busy` error instead of queuing unboundedly,
+//! * owns one [`kdtune::TunedPipeline`] per (scene, scale, algorithm,
+//!   resolution) session ([`session`]) so the Nelder–Mead tuner keeps
+//!   improving across requests,
+//! * shares built trees between sessions through a byte-accounted LRU
+//!   cache ([`cache`]),
+//! * persists converged configurations to a JSONL store keyed by scene,
+//!   thread count, and hostname ([`store`]), and warm-starts new sessions
+//!   from the stored best — turning the non-portability result into a
+//!   feature (portable *within* one machine and scene, so remember it),
+//! * and drains in-flight work on shutdown ([`server`]).
+//!
+//! Everything is dependency-free: `std::net` blocking I/O, the workspace
+//! rayon shim for rendering, and `telemetry::json` as the wire format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod store;
+
+pub use cache::TreeCache;
+pub use loadgen::{LoadgenOptions, LoadgenReport};
+pub use protocol::{Command, ErrorCode, Request, SessionSpec};
+pub use server::{RenderServer, ServerConfig};
+pub use session::{Session, SessionManager};
+pub use store::ConfigStore;

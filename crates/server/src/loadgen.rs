@@ -1,0 +1,413 @@
+//! The load generator: N concurrent connections driving a `renderd`
+//! instance with a deterministic mixed render/tune workload, reporting
+//! throughput and latency quantiles.
+//!
+//! Per-connection latency histograms are combined with
+//! [`Histogram::merge`], so the reported p50/p95/p99 are over *all*
+//! requests, not an average of per-connection quantiles.
+
+use kdtune_telemetry::json::JsonValue;
+use kdtune_telemetry::Histogram;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Workload shape and target.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Server address, e.g. `127.0.0.1:7464`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Scenes cycled through round-robin.
+    pub scenes: Vec<String>,
+    /// Scene scale preset sent with every request.
+    pub scale: String,
+    /// Render resolution.
+    pub res: u32,
+    /// Algorithm name sent with every request.
+    pub algo: String,
+    /// Distinct frame indices cycled per scene (exercises the cache).
+    pub frames: usize,
+    /// Every n-th request is a `tune_step` instead of a render
+    /// (0 disables tuning).
+    pub tune_every: usize,
+    /// Steps per `tune_step` request.
+    pub tune_steps: usize,
+    /// Send `shutdown` after the run and wait for the response.
+    pub shutdown_after: bool,
+    /// Where to write the JSON report (`None` skips the file).
+    pub out: Option<PathBuf>,
+}
+
+impl LoadgenOptions {
+    /// The default mixed workload against `addr`: 4 connections,
+    /// bunny + fairy_forest, mostly renders with periodic tune steps.
+    pub fn defaults(addr: impl Into<String>) -> LoadgenOptions {
+        LoadgenOptions {
+            addr: addr.into(),
+            connections: 4,
+            requests: 400,
+            scenes: vec!["bunny".into(), "fairy_forest".into()],
+            scale: "tiny".into(),
+            res: 64,
+            algo: "in_place".into(),
+            frames: 2,
+            tune_every: 4,
+            tune_steps: 2,
+            shutdown_after: false,
+            out: Some(PathBuf::from("results/BENCH_server.json")),
+        }
+    }
+
+    /// The CI smoke workload: small, fast, and self-terminating.
+    pub fn smoke(addr: impl Into<String>) -> LoadgenOptions {
+        LoadgenOptions {
+            connections: 2,
+            requests: 240,
+            res: 32,
+            shutdown_after: true,
+            out: None,
+            ..LoadgenOptions::defaults(addr)
+        }
+    }
+}
+
+/// What a run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests sent (excluding the final stats/shutdown control pair).
+    pub sent: u64,
+    /// `ok:true` responses.
+    pub ok: u64,
+    /// Structured `busy` rejections (backpressure, not failures).
+    pub busy: u64,
+    /// `ok:false` responses other than `busy`.
+    pub protocol_errors: u64,
+    /// Wall time of the request phase in seconds.
+    pub elapsed_secs: f64,
+    /// Requests per second over the request phase.
+    pub throughput_rps: f64,
+    /// Latency quantiles over all requests, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency.
+    pub p90_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Fastest and slowest request.
+    pub min_us: u64,
+    /// Slowest request.
+    pub max_us: u64,
+    /// Server-reported cache hits at the end of the run.
+    pub cache_hits: u64,
+    /// Server-reported cache misses.
+    pub cache_misses: u64,
+    /// Server-reported cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Server-reported live session count.
+    pub sessions: u64,
+    /// First few non-busy error messages, for diagnostics.
+    pub first_errors: Vec<String>,
+}
+
+struct ConnOutcome {
+    histogram: Histogram,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    first_errors: Vec<String>,
+}
+
+/// Runs the workload. Transport failures (connect/read/write) abort the
+/// run with `Err`; protocol-level errors are counted in the report.
+pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    if options.connections == 0 || options.requests == 0 {
+        return Err("need at least one connection and one request".into());
+    }
+    if options.scenes.is_empty() {
+        return Err("need at least one scene".into());
+    }
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for conn in 0..options.connections {
+        let per = options.requests / options.connections
+            + usize::from(conn < options.requests % options.connections);
+        let options = options.clone();
+        handles.push(std::thread::spawn(move || {
+            drive_connection(&options, conn, per)
+        }));
+    }
+    let mut histogram = Histogram::new();
+    let mut report = LoadgenReport::default();
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .map_err(|_| "loadgen connection thread panicked".to_string())??;
+        histogram.merge(&outcome.histogram);
+        report.ok += outcome.ok;
+        report.busy += outcome.busy;
+        report.protocol_errors += outcome.errors;
+        for msg in outcome.first_errors {
+            if report.first_errors.len() < 5 {
+                report.first_errors.push(msg);
+            }
+        }
+    }
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    report.sent = histogram.count();
+    report.throughput_rps = if report.elapsed_secs > 0.0 {
+        report.sent as f64 / report.elapsed_secs
+    } else {
+        0.0
+    };
+    report.p50_us = histogram.percentile_us(0.50);
+    report.p90_us = histogram.percentile_us(0.90);
+    report.p95_us = histogram.percentile_us(0.95);
+    report.p99_us = histogram.percentile_us(0.99);
+    report.mean_us = histogram.mean_us();
+    report.min_us = histogram.min_us();
+    report.max_us = histogram.max_us();
+
+    // One control connection for the final stats snapshot (and shutdown).
+    let mut control = Client::connect(&options.addr)?;
+    let stats = control.roundtrip(&JsonValue::object([
+        ("id", JsonValue::from(-1)),
+        ("cmd", "stats".into()),
+    ]))?;
+    if let Some(result) = stats.get("result") {
+        if let Some(cache) = result.get("cache") {
+            report.cache_hits = cache.get("hits").and_then(JsonValue::as_i64).unwrap_or(0) as u64;
+            report.cache_misses =
+                cache.get("misses").and_then(JsonValue::as_i64).unwrap_or(0) as u64;
+            report.cache_hit_rate = cache
+                .get("hit_rate")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+        }
+        report.sessions = result
+            .get("sessions")
+            .and_then(|s| s.get("count"))
+            .and_then(JsonValue::as_i64)
+            .unwrap_or(0) as u64;
+    }
+    if options.shutdown_after {
+        control.roundtrip(&JsonValue::object([
+            ("id", JsonValue::from(-2)),
+            ("cmd", "shutdown".into()),
+        ]))?;
+    }
+
+    if let Some(path) = &options.out {
+        write_report(&report, options, path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(report)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        // Tune steps at paper scale can take a while; be generous.
+        stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Client { stream, reader })
+    }
+
+    fn roundtrip(&mut self, request: &JsonValue) -> Result<JsonValue, String> {
+        let line = request.to_string();
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        kdtune_telemetry::json::parse(response.trim())
+            .map_err(|e| format!("bad response JSON: {e:?}"))
+    }
+}
+
+fn drive_connection(
+    options: &LoadgenOptions,
+    conn: usize,
+    count: usize,
+) -> Result<ConnOutcome, String> {
+    let mut client = Client::connect(&options.addr)?;
+    let mut outcome = ConnOutcome {
+        histogram: Histogram::new(),
+        ok: 0,
+        busy: 0,
+        errors: 0,
+        first_errors: Vec::new(),
+    };
+    for i in 0..count {
+        let id = (conn as i64) * 1_000_000 + i as i64;
+        let scene = &options.scenes[(conn + i) % options.scenes.len()];
+        let tune = options.tune_every > 0 && (i + 1) % options.tune_every == 0;
+        let request = if tune {
+            JsonValue::object([
+                ("id", JsonValue::from(id)),
+                ("cmd", "tune_step".into()),
+                ("scene", scene.as_str().into()),
+                ("scale", options.scale.as_str().into()),
+                ("algo", options.algo.as_str().into()),
+                ("res", options.res.into()),
+                ("steps", options.tune_steps.into()),
+            ])
+        } else {
+            let frame = (i / options.scenes.len()) % options.frames.max(1);
+            JsonValue::object([
+                ("id", JsonValue::from(id)),
+                ("cmd", "render".into()),
+                ("scene", scene.as_str().into()),
+                ("scale", options.scale.as_str().into()),
+                ("algo", options.algo.as_str().into()),
+                ("res", options.res.into()),
+                ("frame", frame.into()),
+            ])
+        };
+        let sent = Instant::now();
+        let response = client.roundtrip(&request)?;
+        outcome
+            .histogram
+            .record_us(sent.elapsed().as_micros() as u64);
+        match response.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => outcome.ok += 1,
+            _ => {
+                let code = response
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                if code == "busy" {
+                    outcome.busy += 1;
+                } else {
+                    outcome.errors += 1;
+                    if outcome.first_errors.len() < 5 {
+                        let message = response
+                            .get("message")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("");
+                        outcome.first_errors.push(format!("[{code}] {message}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// The report as JSON (the shape written to `results/BENCH_server.json`).
+pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValue {
+    JsonValue::object([
+        ("bench", JsonValue::from("server")),
+        (
+            "workload",
+            JsonValue::object([
+                ("connections", JsonValue::from(options.connections)),
+                ("requests", options.requests.into()),
+                (
+                    "scenes",
+                    options
+                        .scenes
+                        .iter()
+                        .map(|s| JsonValue::from(s.as_str()))
+                        .collect::<Vec<_>>()
+                        .into(),
+                ),
+                ("scale", options.scale.as_str().into()),
+                ("res", options.res.into()),
+                ("algo", options.algo.as_str().into()),
+                ("frames", options.frames.into()),
+                ("tune_every", options.tune_every.into()),
+                ("tune_steps", options.tune_steps.into()),
+            ]),
+        ),
+        ("sent", report.sent.into()),
+        ("ok", report.ok.into()),
+        ("busy", report.busy.into()),
+        ("protocol_errors", report.protocol_errors.into()),
+        ("elapsed_secs", report.elapsed_secs.into()),
+        ("throughput_rps", report.throughput_rps.into()),
+        (
+            "latency_us",
+            JsonValue::object([
+                ("p50", JsonValue::from(report.p50_us)),
+                ("p90", report.p90_us.into()),
+                ("p95", report.p95_us.into()),
+                ("p99", report.p99_us.into()),
+                ("mean", report.mean_us.into()),
+                ("min", report.min_us.into()),
+                ("max", report.max_us.into()),
+            ]),
+        ),
+        (
+            "server",
+            JsonValue::object([
+                ("cache_hits", JsonValue::from(report.cache_hits)),
+                ("cache_misses", report.cache_misses.into()),
+                ("cache_hit_rate", report.cache_hit_rate.into()),
+                ("sessions", report.sessions.into()),
+            ]),
+        ),
+        ("threads", rayon::current_num_threads().into()),
+    ])
+}
+
+fn write_report(
+    report: &LoadgenReport,
+    options: &LoadgenOptions,
+    path: &PathBuf,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, format!("{}\n", report_json(report, options)))
+}
+
+/// Human-readable run summary for the CLI.
+pub fn format_summary(report: &LoadgenReport) -> String {
+    format!(
+        "{} requests in {:.2}s ({:.1} req/s)\n\
+         ok {}  busy {}  errors {}\n\
+         latency p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  (mean {:.2}ms, max {:.2}ms)\n\
+         cache hit rate {:.1}% ({} hits / {} misses), {} sessions",
+        report.sent,
+        report.elapsed_secs,
+        report.throughput_rps,
+        report.ok,
+        report.busy,
+        report.protocol_errors,
+        report.p50_us as f64 / 1e3,
+        report.p95_us as f64 / 1e3,
+        report.p99_us as f64 / 1e3,
+        report.mean_us / 1e3,
+        report.max_us as f64 / 1e3,
+        report.cache_hit_rate * 100.0,
+        report.cache_hits,
+        report.cache_misses,
+        report.sessions,
+    )
+}

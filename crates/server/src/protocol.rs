@@ -1,0 +1,370 @@
+//! Wire protocol for `renderd`: one JSON object per line, both ways.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"id":1,"cmd":"render","scene":"bunny","scale":"tiny","algo":"in_place","res":64,"frame":0}
+//! {"id":2,"cmd":"tune_step","scene":"bunny","scale":"tiny","steps":2}
+//! {"id":3,"cmd":"stats"}
+//! {"id":4,"cmd":"shutdown"}
+//! ```
+//!
+//! Responses are `{"id":N,"ok":true,"result":{...}}` on success and
+//! `{"id":N,"ok":false,"error":"<code>","message":"..."}` on failure.
+//! The error code is machine-readable ([`ErrorCode`]); `busy` in
+//! particular is the backpressure signal clients are expected to retry
+//! on, not a fault.
+
+use kdtune::Algorithm;
+use kdtune_telemetry::json::JsonValue;
+
+/// Upper bound on a single request line; longer lines are rejected
+/// before parsing so a misbehaving client cannot balloon reader memory.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Scene scales the service accepts (mirrors `SceneParams` presets).
+pub const SCALES: [&str; 3] = ["quick", "tiny", "paper"];
+
+/// Everything that identifies a tuning session. Two requests with equal
+/// specs share one pipeline, one tuner, and one telemetry stream.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SessionSpec {
+    /// Scene name (`kdtune_scenes::SCENE_NAMES`).
+    pub scene: String,
+    /// Scene scale preset: `quick`, `tiny`, or `paper`.
+    pub scale: String,
+    /// Tree construction algorithm.
+    pub algo: Algorithm,
+    /// Square render resolution in pixels.
+    pub res: u32,
+    /// Whether frames render through the 2x2 packet path.
+    pub packets: bool,
+}
+
+impl SessionSpec {
+    /// Stable string key for maps and telemetry.
+    pub fn id(&self) -> String {
+        format!(
+            "{}@{}/{}/{}{}",
+            self.scene,
+            self.scale,
+            self.algo.name(),
+            self.res,
+            if self.packets { "/packets" } else { "" }
+        )
+    }
+}
+
+/// A parsed request body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Render one frame with the session's current best build config.
+    Render {
+        /// Session the frame belongs to.
+        spec: SessionSpec,
+        /// Frame index (wrapped modulo the scene's frame count).
+        frame: usize,
+    },
+    /// Advance the session's tuner by up to `steps` frames.
+    TuneStep {
+        /// Session whose tuner advances.
+        spec: SessionSpec,
+        /// Maximum tuner steps to run (clamped to 1..=256).
+        steps: usize,
+    },
+    /// Snapshot server counters, cache stats, and session list.
+    Stats,
+    /// Begin graceful shutdown: drain queued work, then exit.
+    Shutdown,
+}
+
+/// A request line: client-chosen id plus the command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Echoed verbatim in the response so clients can pipeline.
+    pub id: i64,
+    /// The command body.
+    pub cmd: Command,
+}
+
+/// Machine-readable error codes carried in the `error` response field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The work queue is full; retry later.
+    Busy,
+    /// The request line was not valid JSON or had bad fields.
+    BadRequest,
+    /// The `scene` field named no known scene.
+    UnknownScene,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// A handler failed or panicked; the request may be retried.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownScene => "unknown_scene",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Parses one request line. On failure the error carries whatever `id`
+/// could be recovered (0 if none) so the response still correlates.
+pub fn parse_request(line: &str) -> Result<Request, (i64, ErrorCode, String)> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err((
+            0,
+            ErrorCode::BadRequest,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let value = kdtune_telemetry::json::parse(line)
+        .map_err(|e| (0, ErrorCode::BadRequest, format!("invalid JSON: {e:?}")))?;
+    let id = value.get("id").and_then(JsonValue::as_i64).unwrap_or(0);
+    let fail = |msg: String| (id, ErrorCode::BadRequest, msg);
+
+    let cmd = value
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| fail("missing string field \"cmd\"".into()))?;
+    let cmd = match cmd {
+        "render" => Command::Render {
+            spec: parse_spec(&value).map_err(&fail)?,
+            frame: non_negative(&value, "frame", 0).map_err(&fail)? as usize,
+        },
+        "tune_step" => Command::TuneStep {
+            spec: parse_spec(&value).map_err(&fail)?,
+            steps: (non_negative(&value, "steps", 1).map_err(&fail)? as usize).clamp(1, 256),
+        },
+        "stats" => Command::Stats,
+        "shutdown" => Command::Shutdown,
+        other => return Err(fail(format!("unknown cmd {other:?}"))),
+    };
+    Ok(Request { id, cmd })
+}
+
+fn parse_spec(value: &JsonValue) -> Result<SessionSpec, String> {
+    let scene = value
+        .get("scene")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"scene\"")?
+        .to_string();
+    let scale = value
+        .get("scale")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("quick")
+        .to_string();
+    if !SCALES.contains(&scale.as_str()) {
+        return Err(format!(
+            "unknown scale {scale:?} (expected one of {SCALES:?})"
+        ));
+    }
+    let algo_name = value
+        .get("algo")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("in_place");
+    let algo =
+        Algorithm::from_name(algo_name).ok_or_else(|| format!("unknown algo {algo_name:?}"))?;
+    let res = non_negative(value, "res", 128)?.clamp(8, 1024) as u32;
+    let packets = value
+        .get("packets")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    Ok(SessionSpec {
+        scene,
+        scale,
+        algo,
+        res,
+        packets,
+    })
+}
+
+fn non_negative(value: &JsonValue, field: &str, default: i64) -> Result<i64, String> {
+    match value.get(field) {
+        None => Ok(default),
+        Some(v) => match v.as_i64() {
+            Some(n) if n >= 0 => Ok(n),
+            _ => Err(format!("field {field:?} must be a non-negative integer")),
+        },
+    }
+}
+
+/// Serializes a success response line (no trailing newline).
+pub fn ok_line(id: i64, result: JsonValue) -> String {
+    JsonValue::object([
+        ("id", JsonValue::from(id)),
+        ("ok", true.into()),
+        ("result", result),
+    ])
+    .to_string()
+}
+
+/// Serializes an error response line (no trailing newline).
+pub fn err_line(id: i64, code: ErrorCode, message: &str) -> String {
+    JsonValue::object([
+        ("id", JsonValue::from(id)),
+        ("ok", false.into()),
+        ("error", code.as_str().into()),
+        ("message", message.into()),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_render_with_defaults() {
+        let req = parse_request(r#"{"id":7,"cmd":"render","scene":"bunny"}"#).unwrap();
+        assert_eq!(req.id, 7);
+        match req.cmd {
+            Command::Render { spec, frame } => {
+                assert_eq!(spec.scene, "bunny");
+                assert_eq!(spec.scale, "quick");
+                assert_eq!(spec.algo, Algorithm::InPlace);
+                assert_eq!(spec.res, 128);
+                assert!(!spec.packets);
+                assert_eq!(frame, 0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tune_step_and_clamps() {
+        let req = parse_request(
+            r#"{"id":1,"cmd":"tune_step","scene":"sponza","scale":"tiny","algo":"lazy","res":4096,"steps":10000,"packets":true}"#,
+        )
+        .unwrap();
+        match req.cmd {
+            Command::TuneStep { spec, steps } => {
+                assert_eq!(spec.algo, Algorithm::Lazy);
+                assert_eq!(spec.res, 1024, "res clamps to 1024");
+                assert!(spec.packets);
+                assert_eq!(steps, 256, "steps clamp to 256");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_commands_need_no_spec() {
+        assert_eq!(
+            parse_request(r#"{"id":2,"cmd":"stats"}"#).unwrap().cmd,
+            Command::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request {
+                id: 0,
+                cmd: Command::Shutdown
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_the_request_id_when_recoverable() {
+        let (id, code, _) = parse_request(r#"{"id":42,"cmd":"render"}"#).unwrap_err();
+        assert_eq!((id, code), (42, ErrorCode::BadRequest));
+        let (id, code, msg) =
+            parse_request(r#"{"id":9,"cmd":"render","scene":"bunny","algo":"octree"}"#)
+                .unwrap_err();
+        assert_eq!((id, code), (9, ErrorCode::BadRequest));
+        assert!(msg.contains("octree"), "{msg}");
+        let (id, code, _) = parse_request("not json").unwrap_err();
+        assert_eq!((id, code), (0, ErrorCode::BadRequest));
+    }
+
+    #[test]
+    fn bad_scale_and_negative_fields_are_rejected() {
+        assert!(parse_request(r#"{"cmd":"render","scene":"bunny","scale":"huge"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"render","scene":"bunny","frame":-1}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"tune_step","scene":"bunny","steps":-3}"#).is_err());
+    }
+
+    #[test]
+    fn response_lines_round_trip_through_the_parser() {
+        let ok = ok_line(5, JsonValue::object([("n", JsonValue::from(3))]));
+        let v = kdtune_telemetry::json::parse(&ok).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_i64), Some(5));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("n"))
+                .and_then(JsonValue::as_i64),
+            Some(3)
+        );
+
+        let err = err_line(6, ErrorCode::Busy, "queue full (depth 64)");
+        let v = kdtune_telemetry::json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(JsonValue::as_str), Some("busy"));
+    }
+
+    #[test]
+    fn session_spec_id_distinguishes_every_field() {
+        let base = SessionSpec {
+            scene: "bunny".into(),
+            scale: "tiny".into(),
+            algo: Algorithm::InPlace,
+            res: 64,
+            packets: false,
+        };
+        let mut ids = std::collections::HashSet::new();
+        ids.insert(base.id());
+        ids.insert(
+            SessionSpec {
+                scene: "sponza".into(),
+                ..base.clone()
+            }
+            .id(),
+        );
+        ids.insert(
+            SessionSpec {
+                scale: "paper".into(),
+                ..base.clone()
+            }
+            .id(),
+        );
+        ids.insert(
+            SessionSpec {
+                algo: Algorithm::Lazy,
+                ..base.clone()
+            }
+            .id(),
+        );
+        ids.insert(
+            SessionSpec {
+                res: 128,
+                ..base.clone()
+            }
+            .id(),
+        );
+        ids.insert(
+            SessionSpec {
+                packets: true,
+                ..base
+            }
+            .id(),
+        );
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_before_parsing() {
+        let line = format!(
+            r#"{{"cmd":"stats","pad":"{}"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let (_, code, _) = parse_request(&line).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+}

@@ -1,0 +1,791 @@
+//! The `renderd` TCP server: accept loop, bounded work queue, worker
+//! pool, and graceful drain shutdown.
+//!
+//! Threading model: one reader thread per connection parses lines and
+//! answers control commands (`stats`, `shutdown`) inline; render and
+//! tune work is pushed onto a bounded queue drained by a fixed worker
+//! pool. A full queue is answered immediately with a structured `busy`
+//! error — the service degrades by shedding load, never by buffering
+//! unboundedly. Responses go back through a per-connection writer lock,
+//! so worker responses and inline responses interleave safely on one
+//! socket.
+
+use crate::cache::TreeCache;
+use crate::protocol::{self, Command, ErrorCode, Request, SessionSpec};
+use crate::session::SessionManager;
+use crate::store::ConfigStore;
+use kdtune::raycast::render_with_options;
+use kdtune::{build, Algorithm, BuildParams, BuiltTree, Camera, RenderOptions};
+use kdtune_telemetry::{self as telemetry, json::JsonValue};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How `renderd` is configured at bind time.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 to bind an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads draining the render/tune queue.
+    pub workers: usize,
+    /// Maximum queued jobs before requests are answered `busy`.
+    pub queue_capacity: usize,
+    /// Tree cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Path of the JSONL tuned-config store.
+    pub store_path: std::path::PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7464".into(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_bytes: crate::cache::DEFAULT_CAPACITY_BYTES,
+            store_path: "renderd_configs.jsonl".into(),
+        }
+    }
+}
+
+/// Request counters, updated lock-free from readers and workers.
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    renders: AtomicU64,
+    tunes: AtomicU64,
+}
+
+/// Serializes writes to one client socket (reader-inline responses and
+/// worker responses share it via `try_clone`).
+struct ConnWriter {
+    stream: parking_lot::Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send_line(&self, line: &str) {
+        let mut stream = self.stream.lock();
+        // A dead peer is not a server error; drop the response.
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+struct Job {
+    request: Request,
+    writer: Arc<ConnWriter>,
+    received: Instant,
+}
+
+enum Push {
+    Queued,
+    Busy,
+    Closed,
+}
+
+/// Bounded MPMC queue on std primitives (the parking_lot shim has no
+/// Condvar). Poisoning is recovered everywhere: a panicking worker must
+/// not wedge the queue for the rest of the pool.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push(&self, job: Job) -> Push {
+        let mut state = self.lock();
+        if state.closed {
+            return Push::Closed;
+        }
+        if state.jobs.len() >= self.capacity {
+            return Push::Busy;
+        }
+        state.jobs.push_back(job);
+        self.available.notify_one();
+        Push::Queued
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained, so
+    /// shutdown finishes every job accepted before the close.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+}
+
+struct ServerState {
+    addr: SocketAddr,
+    workers: usize,
+    queue: JobQueue,
+    sessions: SessionManager,
+    cache: TreeCache,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    started: Instant,
+}
+
+/// A bound, not-yet-running server. [`run`](RenderServer::run) blocks
+/// until a `shutdown` request drains the queue.
+pub struct RenderServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl RenderServer {
+    /// Opens the store and binds the listen socket.
+    pub fn bind(config: ServerConfig) -> std::io::Result<RenderServer> {
+        let store = Arc::new(ConfigStore::open(&config.store_path)?);
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            addr,
+            workers: config.workers.max(1),
+            queue: JobQueue::new(config.queue_capacity),
+            sessions: SessionManager::new(store),
+            cache: TreeCache::new(config.cache_bytes),
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        Ok(RenderServer { listener, state })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until shutdown: spawns the worker pool, accepts
+    /// connections, then joins everything once draining finishes.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        telemetry::event_owned(
+            "server.lifecycle",
+            vec![
+                ("op", "start".into()),
+                ("addr", state.addr.to_string().into()),
+                ("workers", state.workers.into()),
+            ],
+        );
+        let workers: Vec<_> = (0..state.workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("renderd-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let mut readers = Vec::new();
+        for conn in self.listener.incoming() {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let conn_state = Arc::clone(&state);
+            readers.push(
+                std::thread::Builder::new()
+                    .name("renderd-reader".into())
+                    .spawn(move || reader_loop(&conn_state, stream))
+                    .expect("spawn reader"),
+            );
+            readers.retain(|handle| !handle.is_finished());
+        }
+
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+        telemetry::event_owned(
+            "server.lifecycle",
+            vec![
+                ("op", "stop".into()),
+                ("uptime_secs", state.started.elapsed().as_secs_f64().into()),
+                (
+                    "requests",
+                    state.counters.received.load(Ordering::Relaxed).into(),
+                ),
+            ],
+        );
+        telemetry::flush();
+        Ok(())
+    }
+}
+
+fn reader_loop(state: &Arc<ServerState>, stream: TcpStream) {
+    // Periodic timeouts let the reader notice shutdown without a byte
+    // arriving; a partial line survives across timeouts in `buf`.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(150)))
+        .ok();
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(ConnWriter {
+            stream: parking_lot::Mutex::new(clone),
+        }),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    handle_line(state, &writer, &buf);
+                }
+                return;
+            }
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                handle_line(state, &writer, &buf);
+                buf.clear();
+            }
+            Ok(_) => {
+                // Mid-line read that returned (rare); keep accumulating
+                // unless the line is hopeless.
+                if buf.len() > protocol::MAX_LINE_BYTES + 1024 {
+                    writer.send_line(&protocol::err_line(
+                        0,
+                        ErrorCode::BadRequest,
+                        "request line too long",
+                    ));
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if state.shutting_down.load(Ordering::SeqCst) && buf.is_empty() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
+    let line = String::from_utf8_lossy(raw);
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    state.counters.received.fetch_add(1, Ordering::Relaxed);
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err((id, code, message)) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            request_event("parse", id, false, Some(code), 0, 0);
+            writer.send_line(&protocol::err_line(id, code, &message));
+            return;
+        }
+    };
+
+    match request.cmd {
+        Command::Stats => {
+            let t0 = Instant::now();
+            let result = stats_json(state);
+            state.counters.ok.fetch_add(1, Ordering::Relaxed);
+            request_event(
+                "stats",
+                request.id,
+                true,
+                None,
+                t0.elapsed().as_micros() as u64,
+                0,
+            );
+            writer.send_line(&protocol::ok_line(request.id, result));
+        }
+        Command::Shutdown => {
+            state.counters.ok.fetch_add(1, Ordering::Relaxed);
+            let result = JsonValue::object([
+                ("draining", JsonValue::from(state.queue.depth())),
+                ("sessions", state.sessions.count().into()),
+            ]);
+            request_event("shutdown", request.id, true, None, 0, 0);
+            writer.send_line(&protocol::ok_line(request.id, result));
+            initiate_shutdown(state);
+        }
+        Command::Render { .. } | Command::TuneStep { .. } => {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send_line(&protocol::err_line(
+                    request.id,
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                ));
+                return;
+            }
+            let id = request.id;
+            let cmd = cmd_name(&request.cmd);
+            match state.queue.push(Job {
+                request,
+                writer: Arc::clone(writer),
+                received: Instant::now(),
+            }) {
+                Push::Queued => {}
+                Push::Busy => {
+                    state.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    request_event(cmd, id, false, Some(ErrorCode::Busy), 0, 0);
+                    writer.send_line(&protocol::err_line(
+                        id,
+                        ErrorCode::Busy,
+                        &format!("queue full (capacity {})", state.queue.capacity),
+                    ));
+                }
+                Push::Closed => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    writer.send_line(&protocol::err_line(
+                        id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn initiate_shutdown(state: &Arc<ServerState>) {
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    telemetry::event(
+        "server.lifecycle",
+        &[
+            ("op", "drain".into()),
+            ("queued", state.queue.depth().into()),
+        ],
+    );
+    state.queue.close();
+    // The accept loop blocks in `incoming()`; a throwaway connection
+    // wakes it so it can observe the flag and exit.
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.queue.pop() {
+        let queued_us = job.received.elapsed().as_micros() as u64;
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_job(state, &job.request)));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(_) => Err((ErrorCode::Internal, "request handler panicked".to_string())),
+        };
+        let duration_us = t0.elapsed().as_micros() as u64;
+        let cmd = cmd_name(&job.request.cmd);
+        let line = match result {
+            Ok(value) => {
+                state.counters.ok.fetch_add(1, Ordering::Relaxed);
+                request_event(cmd, job.request.id, true, None, duration_us, queued_us);
+                protocol::ok_line(job.request.id, value)
+            }
+            Err((code, message)) => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                request_event(
+                    cmd,
+                    job.request.id,
+                    false,
+                    Some(code),
+                    duration_us,
+                    queued_us,
+                );
+                protocol::err_line(job.request.id, code, &message)
+            }
+        };
+        job.writer.send_line(&line);
+    }
+}
+
+fn cmd_name(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Render { .. } => "render",
+        Command::TuneStep { .. } => "tune_step",
+        Command::Stats => "stats",
+        Command::Shutdown => "shutdown",
+    }
+}
+
+fn request_event(
+    cmd: &'static str,
+    id: i64,
+    ok: bool,
+    code: Option<ErrorCode>,
+    duration_us: u64,
+    queued_us: u64,
+) {
+    telemetry::event_owned(
+        "server.request",
+        vec![
+            ("cmd", cmd.into()),
+            ("id", id.into()),
+            ("ok", ok.into()),
+            ("code", code.map(ErrorCode::as_str).unwrap_or("-").into()),
+            ("duration_us", duration_us.into()),
+            ("queued_us", queued_us.into()),
+        ],
+    );
+}
+
+fn handle_job(
+    state: &Arc<ServerState>,
+    request: &Request,
+) -> Result<JsonValue, (ErrorCode, String)> {
+    match &request.cmd {
+        Command::Render { spec, frame } => {
+            state.counters.renders.fetch_add(1, Ordering::Relaxed);
+            handle_render(state, spec, *frame)
+        }
+        Command::TuneStep { spec, steps } => {
+            state.counters.tunes.fetch_add(1, Ordering::Relaxed);
+            handle_tune(state, spec, *steps)
+        }
+        // Control commands never reach the queue.
+        Command::Stats | Command::Shutdown => {
+            Err((ErrorCode::Internal, "control command on work queue".into()))
+        }
+    }
+}
+
+/// Cache key: every input that determines the packed tree bit-for-bit.
+fn cache_key(spec: &SessionSpec, frame: usize, params: &BuildParams) -> String {
+    format!(
+        "{}@{}/f{}/{}|ci{}cb{}s{}",
+        spec.scene,
+        spec.scale,
+        frame,
+        spec.algo.name(),
+        params.sah.ci,
+        params.sah.cb,
+        params.s,
+    )
+}
+
+fn handle_render(
+    state: &Arc<ServerState>,
+    spec: &SessionSpec,
+    frame: usize,
+) -> Result<JsonValue, (ErrorCode, String)> {
+    let session = state.sessions.get_or_create(spec)?;
+    // Snapshot what we need, then drop the session lock before building
+    // or rendering: render work must not serialize behind one session.
+    let (params, tuned, values, scene) = {
+        let mut session = session.lock();
+        session.renders += 1;
+        let (params, tuned) = session.current_params();
+        (
+            params,
+            tuned,
+            session.best_values(),
+            session.scene().clone(),
+        )
+    };
+    let frame = frame % scene.frame_count().max(1);
+    let mesh = scene.frame(frame);
+    let view = scene.view;
+    let camera = Camera::look_at(
+        view.eye,
+        view.target,
+        view.up,
+        view.fov_deg,
+        spec.res,
+        spec.res,
+    );
+    let options = if spec.packets {
+        RenderOptions::packets()
+    } else {
+        RenderOptions::scalar()
+    };
+
+    let build_started = Instant::now();
+    let (cache, tree, build_secs) = if spec.algo == Algorithm::Lazy {
+        // Lazy trees expand on demand per ray distribution; sharing one
+        // across requests would leak expansion state, so bypass the cache.
+        let built = build(Arc::clone(&mesh), spec.algo, &params);
+        let build_secs = build_started.elapsed().as_secs_f64();
+        let BuiltTree::Lazy(lazy) = built else {
+            return Err((
+                ErrorCode::Internal,
+                "lazy build returned an eager tree".into(),
+            ));
+        };
+        let render_started = Instant::now();
+        let (_fb, stats, _packets) =
+            render_with_options(&lazy, &mesh, &camera, view.light, &options);
+        return Ok(render_result(
+            spec,
+            frame,
+            "bypass",
+            tuned,
+            &values,
+            build_secs,
+            render_started.elapsed().as_secs_f64(),
+            &stats,
+        ));
+    } else {
+        let key = cache_key(spec, frame, &params);
+        let (tree, hit) = state.cache.get_or_build(&key, || {
+            match build(Arc::clone(&mesh), spec.algo, &params) {
+                BuiltTree::Eager(tree) => Arc::new(tree),
+                BuiltTree::Lazy(_) => unreachable!("eager algorithm produced a lazy tree"),
+            }
+        });
+        (
+            if hit { "hit" } else { "miss" },
+            tree,
+            build_started.elapsed().as_secs_f64(),
+        )
+    };
+
+    let render_started = Instant::now();
+    let (_fb, stats, _packets) =
+        render_with_options(tree.as_ref(), &mesh, &camera, view.light, &options);
+    Ok(render_result(
+        spec,
+        frame,
+        cache,
+        tuned,
+        &values,
+        build_secs,
+        render_started.elapsed().as_secs_f64(),
+        &stats,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_result(
+    spec: &SessionSpec,
+    frame: usize,
+    cache: &str,
+    tuned: bool,
+    values: &Option<Vec<i64>>,
+    build_secs: f64,
+    render_secs: f64,
+    stats: &kdtune::raycast::RenderStats,
+) -> JsonValue {
+    JsonValue::object([
+        ("scene", JsonValue::from(spec.scene.as_str())),
+        ("frame", frame.into()),
+        ("algo", spec.algo.name().into()),
+        ("res", spec.res.into()),
+        ("cache", cache.into()),
+        ("tuned", tuned.into()),
+        (
+            "config",
+            match values {
+                Some(values) => values
+                    .iter()
+                    .copied()
+                    .map(JsonValue::from)
+                    .collect::<Vec<_>>()
+                    .into(),
+                None => JsonValue::Null,
+            },
+        ),
+        ("build_ms", (build_secs * 1e3).into()),
+        ("render_ms", (render_secs * 1e3).into()),
+        ("primary_rays", stats.primary_rays.into()),
+        ("primary_hits", stats.primary_hits.into()),
+        ("shadow_rays", stats.shadow_rays.into()),
+        ("occluded", stats.occluded.into()),
+    ])
+}
+
+fn handle_tune(
+    state: &Arc<ServerState>,
+    spec: &SessionSpec,
+    steps: usize,
+) -> Result<JsonValue, (ErrorCode, String)> {
+    let session = state.sessions.get_or_create(spec)?;
+    let mut session = session.lock();
+    let warm_started = session.warm_started();
+    let summary = session.tune(steps, state.sessions.store());
+    Ok(JsonValue::object([
+        ("session", JsonValue::from(spec.id())),
+        ("steps_run", summary.steps_run.into()),
+        ("total_steps", summary.total_steps.into()),
+        ("reason", summary.reason.as_str().into()),
+        ("phase", summary.phase.as_str().into()),
+        ("converged", summary.converged.into()),
+        ("warm_started", warm_started.into()),
+        ("persisted", summary.persisted.into()),
+        (
+            "best_config",
+            summary
+                .best_values
+                .iter()
+                .copied()
+                .map(JsonValue::from)
+                .collect::<Vec<_>>()
+                .into(),
+        ),
+        ("best_cost_ms", (summary.best_cost * 1e3).into()),
+    ]))
+}
+
+fn stats_json(state: &Arc<ServerState>) -> JsonValue {
+    let cache = state.cache.stats();
+    let counters = &state.counters;
+    JsonValue::object([
+        (
+            "uptime_secs",
+            JsonValue::from(state.started.elapsed().as_secs_f64()),
+        ),
+        ("addr", state.addr.to_string().into()),
+        ("workers", state.workers.into()),
+        ("queue_depth", state.queue.depth().into()),
+        ("queue_capacity", state.queue.capacity.into()),
+        (
+            "shutting_down",
+            state.shutting_down.load(Ordering::SeqCst).into(),
+        ),
+        (
+            "requests",
+            JsonValue::object([
+                (
+                    "received",
+                    JsonValue::from(counters.received.load(Ordering::Relaxed)),
+                ),
+                ("ok", counters.ok.load(Ordering::Relaxed).into()),
+                ("errors", counters.errors.load(Ordering::Relaxed).into()),
+                ("busy", counters.busy.load(Ordering::Relaxed).into()),
+                ("renders", counters.renders.load(Ordering::Relaxed).into()),
+                ("tune_steps", counters.tunes.load(Ordering::Relaxed).into()),
+            ]),
+        ),
+        (
+            "cache",
+            JsonValue::object([
+                ("entries", JsonValue::from(cache.entries)),
+                ("bytes", cache.bytes.into()),
+                ("capacity_bytes", cache.capacity_bytes.into()),
+                ("hits", cache.hits.into()),
+                ("misses", cache.misses.into()),
+                ("evictions", cache.evictions.into()),
+                ("hit_rate", cache.hit_rate().into()),
+            ]),
+        ),
+        (
+            "sessions",
+            JsonValue::object([
+                ("count", JsonValue::from(state.sessions.count())),
+                (
+                    "ids",
+                    state
+                        .sessions
+                        .ids()
+                        .into_iter()
+                        .map(JsonValue::from)
+                        .collect::<Vec<_>>()
+                        .into(),
+                ),
+            ]),
+        ),
+        (
+            "store",
+            JsonValue::object([
+                (
+                    "path",
+                    JsonValue::from(state.sessions.store().path().display().to_string()),
+                ),
+                ("entries", state.sessions.store().len().into()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job(id: i64) -> Job {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        Job {
+            request: Request {
+                id,
+                cmd: Command::Stats,
+            },
+            writer: Arc::new(ConnWriter {
+                stream: parking_lot::Mutex::new(stream),
+            }),
+            received: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn queue_rejects_overflow_with_busy_and_drains_after_close() {
+        let queue = JobQueue::new(2);
+        assert!(matches!(queue.push(dummy_job(1)), Push::Queued));
+        assert!(matches!(queue.push(dummy_job(2)), Push::Queued));
+        assert!(matches!(queue.push(dummy_job(3)), Push::Busy));
+        assert_eq!(queue.depth(), 2);
+        queue.close();
+        assert!(matches!(queue.push(dummy_job(4)), Push::Closed));
+        // Close drains: both accepted jobs still come out, then None.
+        assert_eq!(queue.pop().map(|j| j.request.id), Some(1));
+        assert_eq!(queue.pop().map(|j| j.request.id), Some(2));
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_push_from_another_thread() {
+        let queue = Arc::new(JobQueue::new(4));
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop().map(|j| j.request.id))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(matches!(queue.push(dummy_job(9)), Push::Queued));
+        assert_eq!(popper.join().unwrap(), Some(9));
+    }
+}

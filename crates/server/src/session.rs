@@ -1,0 +1,391 @@
+//! Sessions: one long-lived [`TunedPipeline`] per [`SessionSpec`].
+//!
+//! A session owns the tuner state that makes the service worth running:
+//! every `tune_step` request advances the same Nelder–Mead search, and a
+//! converged result is written to the [`ConfigStore`] exactly once. New
+//! sessions consult the store first and warm-start the tuner from the
+//! stored best, which is the end-to-end payoff measured by the
+//! warm-vs-cold integration test.
+
+use crate::protocol::{ErrorCode, SessionSpec};
+use crate::store::ConfigStore;
+use kdtune::{
+    base_build_params, Algorithm, BuildParams, RenderOptions, Scene, SceneParams, StopReason,
+    TunedPipeline, TunerPhase,
+};
+use kdtune_telemetry as telemetry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fixed tuner seed for every service session. Determinism across
+/// restarts matters more here than seed diversity: a client replaying the
+/// same request stream gets the same tuning trajectory.
+pub const SESSION_TUNER_SEED: u64 = 2016;
+
+/// Resolves a scale preset name to scene parameters.
+pub fn scale_params(scale: &str) -> Result<SceneParams, (ErrorCode, String)> {
+    match scale {
+        "quick" => Ok(SceneParams::quick()),
+        "tiny" => Ok(SceneParams::tiny()),
+        "paper" => Ok(SceneParams::paper()),
+        other => Err((ErrorCode::BadRequest, format!("unknown scale {other:?}"))),
+    }
+}
+
+/// Converts tuned search-space values back into build parameters.
+/// The space is `[CI, CB, S]`, plus `R` for the lazy algorithm only.
+pub fn params_from_values(algorithm: Algorithm, values: &[i64]) -> BuildParams {
+    let get = |i: usize, default: i64| values.get(i).copied().unwrap_or(default);
+    let r = if algorithm == Algorithm::Lazy {
+        get(3, 4096)
+    } else {
+        4096
+    };
+    BuildParams::from_config(
+        get(0, 17) as f32,
+        get(1, 10) as f32,
+        get(2, 3) as u32,
+        r as u32,
+    )
+}
+
+/// What one `tune_step` request did.
+#[derive(Clone, Debug)]
+pub struct TuneSummary {
+    /// Pipeline steps actually run (may stop early on convergence).
+    pub steps_run: usize,
+    /// Total steps this session has run since creation.
+    pub total_steps: usize,
+    /// Why the budget loop stopped.
+    pub reason: StopReason,
+    /// Whether the tuner is converged after this call.
+    pub converged: bool,
+    /// Tuner phase after this call.
+    pub phase: TunerPhase,
+    /// Best configuration values so far (empty before first measurement).
+    pub best_values: Vec<i64>,
+    /// Best measured cost in seconds (0 before first measurement).
+    pub best_cost: f64,
+    /// Whether this call persisted the converged config to the store.
+    pub persisted: bool,
+}
+
+/// One tuning session. Callers hold it behind `Arc<Mutex<_>>` via the
+/// [`SessionManager`].
+pub struct Session {
+    spec: SessionSpec,
+    pipeline: TunedPipeline,
+    warm_started: bool,
+    persisted: bool,
+    /// Render requests served (monotonic, informational).
+    pub renders: u64,
+}
+
+impl Session {
+    fn create(spec: SessionSpec, store: &ConfigStore) -> Result<Session, (ErrorCode, String)> {
+        let params = scale_params(&spec.scale)?;
+        let scene = kdtune_scenes::by_name(&spec.scene, &params).ok_or_else(|| {
+            (
+                ErrorCode::UnknownScene,
+                format!(
+                    "unknown scene {:?} (expected one of {:?})",
+                    spec.scene,
+                    kdtune_scenes::SCENE_NAMES
+                ),
+            )
+        })?;
+        let warm = store.lookup(&spec.scene, spec.algo);
+        let options = if spec.packets {
+            RenderOptions::packets()
+        } else {
+            RenderOptions::scalar()
+        };
+        let mut pipeline = TunedPipeline::new(scene, spec.algo)
+            .resolution(spec.res, spec.res)
+            .render_options(options)
+            .tuner_seed(SESSION_TUNER_SEED);
+        if let Some(stored) = &warm {
+            pipeline = pipeline.warm_start(&stored.values);
+        }
+        telemetry::event_owned(
+            "server.session",
+            vec![
+                ("op", "create".into()),
+                ("session", spec.id().into()),
+                ("warm_start", warm.is_some().into()),
+            ],
+        );
+        Ok(Session {
+            spec,
+            pipeline,
+            warm_started: warm.is_some(),
+            persisted: false,
+            renders: 0,
+        })
+    }
+
+    /// The spec this session serves.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// The scene backing the pipeline.
+    pub fn scene(&self) -> &Scene {
+        self.pipeline.scene()
+    }
+
+    /// Whether the tuner was seeded from a stored configuration.
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
+    }
+
+    /// Pipeline steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.pipeline.steps_taken()
+    }
+
+    /// Best tuned values so far, if the tuner has measured anything.
+    pub fn best_values(&self) -> Option<Vec<i64>> {
+        self.pipeline
+            .workflow()
+            .tuner()
+            .best()
+            .map(|(c, _)| c.values().to_vec())
+    }
+
+    /// Build parameters for plain render requests: the tuner's best when
+    /// one exists, the paper's `C_base` otherwise. The flag is `true`
+    /// when the config came from the tuner.
+    pub fn current_params(&self) -> (BuildParams, bool) {
+        match self.pipeline.workflow().tuner().best() {
+            Some((config, _)) => (params_from_values(self.spec.algo, config.values()), true),
+            None => (base_build_params(), false),
+        }
+    }
+
+    /// Runs up to `steps` tuner steps, persisting to `store` the first
+    /// time the session converges.
+    pub fn tune(&mut self, steps: usize, store: &ConfigStore) -> TuneSummary {
+        let (frames, reason) = self.pipeline.run_budget(steps);
+        let tuner = self.pipeline.workflow().tuner();
+        let converged = tuner.converged();
+        let phase = tuner.phase();
+        let (best_values, best_cost) = match tuner.best() {
+            Some((config, cost)) => (config.values().to_vec(), cost),
+            None => (Vec::new(), 0.0),
+        };
+        let mut persisted = false;
+        if converged && !self.persisted && !best_values.is_empty() {
+            self.persisted = true;
+            persisted = store
+                .record(
+                    &self.spec.scene,
+                    self.spec.algo,
+                    self.spec.res,
+                    &best_values,
+                    best_cost,
+                    self.pipeline.steps_taken() as u64,
+                )
+                .unwrap_or(false);
+        }
+        telemetry::event_owned(
+            "server.session",
+            vec![
+                ("op", "tune".into()),
+                ("session", self.spec.id().into()),
+                ("steps_run", frames.len().into()),
+                ("reason", reason.as_str().into()),
+                ("phase", phase.as_str().into()),
+                ("persisted", persisted.into()),
+            ],
+        );
+        TuneSummary {
+            steps_run: frames.len(),
+            total_steps: self.pipeline.steps_taken(),
+            reason,
+            converged,
+            phase,
+            best_values,
+            best_cost,
+            persisted,
+        }
+    }
+}
+
+/// Owns every live session and the store they persist to.
+pub struct SessionManager {
+    store: Arc<ConfigStore>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl SessionManager {
+    /// Creates a manager over `store`.
+    pub fn new(store: Arc<ConfigStore>) -> SessionManager {
+        SessionManager {
+            store,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The backing config store.
+    pub fn store(&self) -> &ConfigStore {
+        &self.store
+    }
+
+    /// Returns the session for `spec`, creating (and possibly
+    /// warm-starting) it on first use. Scene construction runs outside
+    /// the map lock; if two threads race, the first insert wins.
+    pub fn get_or_create(
+        &self,
+        spec: &SessionSpec,
+    ) -> Result<Arc<Mutex<Session>>, (ErrorCode, String)> {
+        let id = spec.id();
+        if let Some(session) = self.sessions.lock().get(&id) {
+            return Ok(Arc::clone(session));
+        }
+        let session = Session::create(spec.clone(), &self.store)?;
+        let mut sessions = self.sessions.lock();
+        let entry = sessions
+            .entry(id)
+            .or_insert_with(|| Arc::new(Mutex::new(session)));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of live sessions.
+    pub fn count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Session ids, sorted (for stats reporting).
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.sessions.lock().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ConfigStore {
+        let path =
+            std::env::temp_dir().join(format!("kdtune-session-{tag}-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        ConfigStore::open(path).unwrap()
+    }
+
+    fn spec(scene: &str) -> SessionSpec {
+        SessionSpec {
+            scene: scene.into(),
+            scale: "tiny".into(),
+            algo: Algorithm::InPlace,
+            res: 16,
+            packets: false,
+        }
+    }
+
+    #[test]
+    fn unknown_scene_is_a_typed_error() {
+        let manager = SessionManager::new(Arc::new(temp_store("unknown")));
+        let Err((code, msg)) = manager.get_or_create(&spec("klein_bottle")) else {
+            panic!("unknown scene must not create a session");
+        };
+        assert_eq!(code, ErrorCode::UnknownScene);
+        assert!(msg.contains("klein_bottle"), "{msg}");
+        assert_eq!(manager.count(), 0);
+    }
+
+    #[test]
+    fn sessions_are_shared_by_spec_and_isolated_across_specs() {
+        let manager = SessionManager::new(Arc::new(temp_store("shared")));
+        let a = manager.get_or_create(&spec("wood_doll")).unwrap();
+        let b = manager.get_or_create(&spec("wood_doll")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = manager
+            .get_or_create(&SessionSpec {
+                res: 24,
+                ..spec("wood_doll")
+            })
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "different res means a different session"
+        );
+        assert_eq!(manager.count(), 2);
+    }
+
+    #[test]
+    fn untuned_session_renders_with_the_paper_baseline() {
+        let manager = SessionManager::new(Arc::new(temp_store("baseline")));
+        let session = manager.get_or_create(&spec("wood_doll")).unwrap();
+        let session = session.lock();
+        let (params, tuned) = session.current_params();
+        assert!(!tuned);
+        assert_eq!(
+            (params.s, params.r),
+            (base_build_params().s, base_build_params().r)
+        );
+        assert!(session.best_values().is_none());
+    }
+
+    #[test]
+    fn params_from_values_honors_the_lazy_r_dimension() {
+        let eager = params_from_values(Algorithm::InPlace, &[21, 11, 4]);
+        assert_eq!((eager.s, eager.r), (4, 4096));
+        let lazy = params_from_values(Algorithm::Lazy, &[21, 11, 4, 256]);
+        assert_eq!((lazy.s, lazy.r), (4, 256));
+    }
+
+    #[test]
+    fn tune_persists_once_on_convergence_and_warm_starts_the_next_manager() {
+        let store = Arc::new(temp_store("warm"));
+        let path = store.path().to_path_buf();
+        let cold_steps;
+        {
+            let manager = SessionManager::new(Arc::clone(&store));
+            let session = manager.get_or_create(&spec("wood_doll")).unwrap();
+            let mut session = session.lock();
+            assert!(!session.warm_started());
+            let mut persists = 0;
+            loop {
+                let summary = session.tune(8, manager.store());
+                persists += summary.persisted as u32;
+                if summary.converged {
+                    break;
+                }
+                assert!(session.steps_taken() < 400, "tuner never converged");
+            }
+            cold_steps = session.steps_taken();
+            // Further tuning after convergence never persists again.
+            let again = session.tune(1, manager.store());
+            assert!(!again.persisted);
+            assert_eq!(persists, 1);
+        }
+
+        let store = Arc::new(ConfigStore::open(&path).unwrap());
+        assert_eq!(store.len(), 1);
+        let manager = SessionManager::new(store);
+        let session = manager.get_or_create(&spec("wood_doll")).unwrap();
+        let mut session = session.lock();
+        assert!(
+            session.warm_started(),
+            "stored config must warm-start the new session"
+        );
+        loop {
+            let summary = session.tune(8, manager.store());
+            if summary.converged {
+                break;
+            }
+            assert!(session.steps_taken() < 400, "warm tuner never converged");
+        }
+        assert!(
+            session.steps_taken() < cold_steps,
+            "warm start must converge in fewer steps (warm {} vs cold {})",
+            session.steps_taken(),
+            cold_steps
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end tests: a real `renderd` on an ephemeral loopback port,
+//! driven by the real `loadgen` client and by a raw line client.
+
+use kdtune_server::loadgen::{self, LoadgenOptions};
+use kdtune_server::server::{RenderServer, ServerConfig};
+use kdtune_telemetry::json::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kdtune-e2e-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Binds a server on an ephemeral port and runs it on a background
+/// thread. Returns the address and the join handle for the run loop.
+fn start_server(
+    tag: &str,
+    config: ServerConfig,
+) -> (
+    String,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    PathBuf,
+) {
+    let store = temp_path(tag);
+    std::fs::remove_file(&store).ok();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_path: store.clone(),
+        ..config
+    };
+    let server = RenderServer::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle, store)
+}
+
+struct LineClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LineClient {
+    fn connect(addr: &str) -> LineClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        LineClient { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> JsonValue {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.stream.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("recv");
+        kdtune_telemetry::json::parse(response.trim()).expect("response is JSON")
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, path: &[&str]) -> &'a JsonValue {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing field {key:?} in {v}"));
+    }
+    cur
+}
+
+#[test]
+fn mixed_load_completes_cleanly_with_cache_hits() {
+    let (addr, handle, store) = start_server("mixed", ServerConfig::default());
+
+    // The acceptance workload, scaled to test time: 4 connections, mixed
+    // bunny/fairy_forest renders with periodic tune steps.
+    let options = LoadgenOptions {
+        connections: 4,
+        requests: 64,
+        res: 24,
+        tune_every: 4,
+        tune_steps: 1,
+        shutdown_after: true,
+        out: None,
+        ..LoadgenOptions::smoke(addr)
+    };
+    let report = loadgen::run(&options).expect("loadgen run");
+
+    assert_eq!(
+        report.protocol_errors, 0,
+        "zero protocol errors: {:?}",
+        report.first_errors
+    );
+    assert_eq!(report.sent, 64);
+    assert_eq!(
+        report.ok + report.busy,
+        report.sent,
+        "every request got ok or busy"
+    );
+    assert!(report.ok > 0);
+    assert!(
+        report.cache_hits > 0,
+        "repeated (scene, frame, config) keys must hit the cache"
+    );
+    assert!(
+        report.sessions >= 2,
+        "bunny and fairy_forest are distinct sessions"
+    );
+    assert!(report.p99_us >= report.p50_us);
+    assert!(report.throughput_rps > 0.0);
+
+    // shutdown_after drained the server; the run loop must return Ok.
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn stats_errors_and_shutdown_over_a_raw_socket() {
+    let (addr, handle, store) = start_server("raw", ServerConfig::default());
+    let mut client = LineClient::connect(&addr);
+
+    // Unknown scene: typed error echoing the request id.
+    let response =
+        client.roundtrip(r#"{"id":31,"cmd":"render","scene":"teapotahedron","scale":"tiny"}"#);
+    assert_eq!(field(&response, &["id"]).as_i64(), Some(31));
+    assert_eq!(field(&response, &["ok"]).as_bool(), Some(false));
+    assert_eq!(field(&response, &["error"]).as_str(), Some("unknown_scene"));
+
+    // Malformed JSON: bad_request, still one response line.
+    let response = client.roundtrip("this is not json");
+    assert_eq!(field(&response, &["error"]).as_str(), Some("bad_request"));
+
+    // A real render, then a tune step, on the same connection.
+    let response =
+        client.roundtrip(r#"{"id":32,"cmd":"render","scene":"wood_doll","scale":"tiny","res":16}"#);
+    assert_eq!(
+        field(&response, &["ok"]).as_bool(),
+        Some(true),
+        "{response}"
+    );
+    assert_eq!(
+        field(&response, &["result", "cache"]).as_str(),
+        Some("miss")
+    );
+    assert!(
+        field(&response, &["result", "primary_rays"])
+            .as_i64()
+            .unwrap()
+            > 0
+    );
+
+    let response = client.roundtrip(
+        r#"{"id":33,"cmd":"tune_step","scene":"wood_doll","scale":"tiny","res":16,"steps":2}"#,
+    );
+    assert_eq!(
+        field(&response, &["ok"]).as_bool(),
+        Some(true),
+        "{response}"
+    );
+    assert_eq!(field(&response, &["result", "steps_run"]).as_i64(), Some(2));
+    assert_eq!(
+        field(&response, &["result", "reason"]).as_str(),
+        Some("frame_budget")
+    );
+
+    // Two identical renders of an untouched session share one cache key:
+    // miss, then hit.
+    let response =
+        client.roundtrip(r#"{"id":34,"cmd":"render","scene":"sibenik","scale":"tiny","res":16}"#);
+    assert_eq!(
+        field(&response, &["result", "cache"]).as_str(),
+        Some("miss")
+    );
+    let response =
+        client.roundtrip(r#"{"id":35,"cmd":"render","scene":"sibenik","scale":"tiny","res":16}"#);
+    assert_eq!(field(&response, &["result", "cache"]).as_str(), Some("hit"));
+
+    // Stats reflect everything above.
+    let response = client.roundtrip(r#"{"id":36,"cmd":"stats"}"#);
+    assert_eq!(field(&response, &["ok"]).as_bool(), Some(true));
+    let result = field(&response, &["result"]);
+    assert!(field(result, &["cache", "hits"]).as_i64().unwrap() >= 1);
+    assert!(field(result, &["requests", "received"]).as_i64().unwrap() >= 6);
+    assert!(field(result, &["sessions", "count"]).as_i64().unwrap() >= 2);
+    assert_eq!(field(result, &["shutting_down"]).as_bool(), Some(false));
+
+    let response = client.roundtrip(r#"{"id":37,"cmd":"shutdown"}"#);
+    assert_eq!(field(&response, &["ok"]).as_bool(), Some(true));
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn lazy_sessions_bypass_the_tree_cache() {
+    let (addr, handle, store) = start_server("lazy", ServerConfig::default());
+    let mut client = LineClient::connect(&addr);
+
+    for id in 0..2 {
+        let response = client.roundtrip(&format!(
+            r#"{{"id":{id},"cmd":"render","scene":"wood_doll","scale":"tiny","algo":"lazy","res":16}}"#
+        ));
+        assert_eq!(
+            field(&response, &["ok"]).as_bool(),
+            Some(true),
+            "{response}"
+        );
+        assert_eq!(
+            field(&response, &["result", "cache"]).as_str(),
+            Some("bypass")
+        );
+    }
+    let response = client.roundtrip(r#"{"id":9,"cmd":"stats"}"#);
+    assert_eq!(
+        field(&response, &["result", "cache", "entries"]).as_i64(),
+        Some(0),
+        "lazy renders must not populate the cache"
+    );
+
+    client.roundtrip(r#"{"id":10,"cmd":"shutdown"}"#);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+    std::fs::remove_file(&store).ok();
+}

@@ -88,6 +88,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all recorded durations in µs (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
     /// Smallest recorded value in µs (0 when empty).
     pub fn min_us(&self) -> u64 {
         if self.count == 0 {
@@ -303,6 +308,86 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn merge_preserves_count_sum_and_extremes() {
+        // Per-worker histograms of very different magnitudes — merge must
+        // keep exact count/sum/min/max bookkeeping, not just bucket counts.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for us in [3u64, 9, 27] {
+            a.record_us(us);
+        }
+        for us in [1_000_000u64, 2_000_000] {
+            b.record_us(us);
+        }
+        let (ca, sa) = (a.count(), a.sum_us());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + b.count());
+        assert_eq!(a.sum_us(), sa + b.sum_us());
+        assert_eq!(a.min_us(), 3);
+        assert_eq!(a.max_us(), 2_000_000);
+    }
+
+    #[test]
+    fn merge_aligns_buckets_exactly() {
+        // Both histograms use the same fixed bucket grid, so merging must
+        // be indistinguishable from recording every sample into one
+        // histogram — bucket by bucket, at every quantile, across the whole
+        // range including the underflow (0µs) and values near bucket edges.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for i in 0..400u64 {
+            let us = i * i; // 0, 1, 4, … crosses many bucket boundaries
+            if i % 2 == 0 {
+                a.record_us(us);
+            } else {
+                b.record_us(us);
+            }
+            both.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts, both.counts, "per-bucket counts must align");
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                a.percentile_us(q),
+                both.percentile_us(q),
+                "quantile {q} diverged after merge"
+            );
+        }
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = Histogram::new();
+        for us in [10u64, 100, 1000] {
+            h.record_us(us);
+        }
+        let reference = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), reference, "merging an empty histogram");
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.summary(), reference, "merging into an empty one");
+        assert_eq!(empty.counts, h.counts);
+    }
+
+    #[test]
+    fn merge_preserves_overflow_bucket() {
+        // Durations beyond the last geometric bucket (≥ 2^40 µs) land in
+        // the overflow slot; merge must carry them across.
+        let huge = 1u64 << 50;
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record_us(huge);
+        b.record_us(7);
+        a.merge(&b);
+        assert_eq!(a.counts[NUM_BUCKETS], 1);
+        assert_eq!(a.max_us(), huge);
+        assert_eq!(a.percentile_us(1.0), huge);
     }
 
     #[test]

@@ -161,6 +161,135 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean payload if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from key/value pairs (later duplicate keys win,
+    /// matching the parser).
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+/// Appends `v` to `out` as JSON text.
+///
+/// Objects serialize in key order (their storage order). Finite floats use
+/// Rust's shortest round-trip `{:?}` form, which always carries a `.` or an
+/// exponent and therefore re-parses as [`JsonValue::Float`]; non-finite
+/// floats become `null`, matching [`record_to_jsonl`]'s field encoding.
+pub fn write_value(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => escape_into(out, s),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> JsonValue {
+        JsonValue::Int(n)
+    }
+}
+
+impl From<i32> for JsonValue {
+    fn from(n: i32) -> JsonValue {
+        JsonValue::Int(n as i64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> JsonValue {
+        JsonValue::Int(n as i64)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> JsonValue {
+        match i64::try_from(n) {
+            Ok(v) => JsonValue::Int(v),
+            Err(_) => JsonValue::Float(n as f64),
+        }
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> JsonValue {
+        JsonValue::from(n as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> JsonValue {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}
+
+impl<V: Into<JsonValue>> From<Vec<V>> for JsonValue {
+    fn from(items: Vec<V>) -> JsonValue {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
 }
 
 /// Parses one JSON document from `input`, requiring only trailing
@@ -538,6 +667,50 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{\"a\":1} junk").is_err());
         assert!(parse("\"\\u0041\"").unwrap().as_str() == Some("A"));
+    }
+
+    #[test]
+    fn serializer_round_trips_nested_values() {
+        let v = JsonValue::object([
+            (
+                "arr",
+                JsonValue::Array(vec![
+                    JsonValue::Int(-3),
+                    JsonValue::Float(2.5),
+                    JsonValue::Null,
+                    JsonValue::Str("a \"q\"\n好".into()),
+                ]),
+            ),
+            ("nested", JsonValue::object([("k", JsonValue::Bool(true))])),
+            ("big", JsonValue::Int(i64::MIN)),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+        // Serialization is stable: a second round trip is textual identity.
+        assert_eq!(parse(&text).unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn serializer_keeps_int_float_distinction() {
+        assert_eq!(JsonValue::Int(3).to_string(), "3");
+        assert_eq!(JsonValue::Float(3.0).to_string(), "3.0");
+        assert_eq!(parse("3.0").unwrap(), JsonValue::Float(3.0));
+        assert_eq!(parse("3").unwrap(), JsonValue::Int(3));
+        // Non-finite floats degrade to null, like record_to_jsonl fields.
+        assert_eq!(JsonValue::Float(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn from_conversions_pick_lossless_variants() {
+        assert_eq!(JsonValue::from(7u64), JsonValue::Int(7));
+        assert_eq!(JsonValue::from(u64::MAX), JsonValue::Float(u64::MAX as f64));
+        assert_eq!(JsonValue::from("s"), JsonValue::Str("s".into()));
+        assert_eq!(JsonValue::from(true).as_bool(), Some(true));
+        assert_eq!(
+            JsonValue::from(vec![1i64, 2]),
+            JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)])
+        );
     }
 
     #[test]
