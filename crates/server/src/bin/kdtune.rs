@@ -39,6 +39,8 @@ USAGE:
   kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
   kdtune serve   [OPTIONS]   run the renderd service (see `kdtune serve --help`)
   kdtune loadgen [OPTIONS]   drive a renderd instance (see `kdtune loadgen --help`)
+  kdtune top     [OPTIONS]   live renderd dashboard (see `kdtune top --help`)
+  kdtune metrics [--addr H:P]  scrape renderd's Prometheus-style exposition
 
 COMMON OPTIONS:
   --scale quick|tiny|paper   scene size (default quick)
@@ -296,6 +298,20 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let mut node_bytes_last: Option<u64> = None;
     // (t_us, line) pairs for the timeline, already in file order.
     let mut timeline: Vec<String> = Vec::new();
+    // Server traces: per-request stage-latency table + slow exemplars.
+    let mut requests = 0u64;
+    let mut request_stages: Vec<(&str, &str, Histogram)> = [
+        ("queued_us", "queue"),
+        ("build_us", "build"),
+        ("render_us", "render"),
+        ("tune_us", "tune"),
+        ("serialize_us", "serialize"),
+        ("duration_us", "handle"),
+    ]
+    .iter()
+    .map(|(key, label)| (*key, *label, Histogram::new()))
+    .collect();
+    let mut slow_requests: Vec<String> = Vec::new();
 
     let fget = |v: &json::JsonValue, key: &str| v.get("fields").and_then(|f| f.get(key).cloned());
     let fstr =
@@ -342,6 +358,38 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                     .unwrap_or(f64::NAN);
                 timeline.push(format!(
                     "iteration {iter:>4}  RETUNE (drift ratio {ratio:.2})"
+                ));
+            }
+            "server.request" => {
+                requests += 1;
+                for (key, _, h) in &mut request_stages {
+                    if let Some(us) = fget(&v, key).and_then(|x| x.as_u64()) {
+                        h.record_us(us);
+                    }
+                }
+            }
+            "server.trace" => {
+                let cmd = fstr(&v, "cmd").unwrap_or_default();
+                let total = fget(&v, "total_us").and_then(|x| x.as_u64()).unwrap_or(0);
+                let id = fget(&v, "trace_id").and_then(|x| x.as_u64()).unwrap_or(0);
+                let mut stages = String::new();
+                for (key, label) in [
+                    ("queue_us", "queue"),
+                    ("build_us", "build"),
+                    ("render_us", "render"),
+                    ("tune_us", "tune"),
+                    ("serialize_us", "serialize"),
+                ] {
+                    if let Some(us) = fget(&v, key).and_then(|x| x.as_u64()) {
+                        stages.push_str(&format!("  {label} {:.1}ms", us as f64 / 1e3));
+                    }
+                }
+                let tag = fstr(&v, "client_tag")
+                    .map(|t| format!("  ({t})"))
+                    .unwrap_or_default();
+                slow_requests.push(format!(
+                    "#{id} {cmd} {:.1}ms{stages}{tag}",
+                    total as f64 / 1e3
                 ));
             }
             "bench.trial" => {
@@ -392,6 +440,36 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                 kdtune::telemetry::Summary::fmt_us(s.p90_us),
                 kdtune::telemetry::Summary::fmt_us(s.p99_us),
             );
+        }
+    }
+    if requests > 0 {
+        println!("\nper-request server stages ({requests} requests):");
+        println!(
+            "  {:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "mean", "p50", "p95", "p99"
+        );
+        for (_, label, h) in &request_stages {
+            if h.count() == 0 {
+                continue;
+            }
+            println!(
+                "  {:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                label,
+                h.count(),
+                kdtune::telemetry::Summary::fmt_us(h.mean_us().round() as u64),
+                kdtune::telemetry::Summary::fmt_us(h.percentile_us(0.50)),
+                kdtune::telemetry::Summary::fmt_us(h.percentile_us(0.95)),
+                kdtune::telemetry::Summary::fmt_us(h.percentile_us(0.99)),
+            );
+        }
+    }
+    if !slow_requests.is_empty() {
+        println!("\nslow request exemplars ({}):", slow_requests.len());
+        for line in slow_requests.iter().take(10) {
+            println!("  {line}");
+        }
+        if slow_requests.len() > 10 {
+            println!("  ... and {} more", slow_requests.len() - 10);
         }
     }
     if !rays_per_sec.is_empty() {
@@ -481,6 +559,8 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return run_service(kdtune_server::cli::serve(&argv[1..])),
         Some("loadgen") => return run_service(kdtune_server::cli::loadgen(&argv[1..])),
+        Some("top") => return run_service(kdtune_server::cli::top(&argv[1..])),
+        Some("metrics") => return run_service(kdtune_server::cli::metrics(&argv[1..])),
         _ => {}
     }
     let args = match parse_args(&argv) {

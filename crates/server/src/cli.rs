@@ -3,7 +3,9 @@
 
 use crate::loadgen::{self, LoadgenOptions};
 use crate::server::{RenderServer, ServerConfig};
+use crate::top::{self, TopOptions};
 use kdtune_telemetry as telemetry;
+use kdtune_telemetry::json::JsonValue;
 use kdtune_telemetry::sinks::JsonlRecorder;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -21,6 +23,7 @@ OPTIONS:
     --queue N            queue capacity before `busy` rejections [default: 64]
     --cache-mb N         tree cache capacity in MiB [default: 128]
     --store FILE         tuned-config JSONL store [default: renderd_configs.jsonl]
+    --slow-ms N          slow-request trace threshold in ms [default: 250]
     --trace FILE         record a JSONL telemetry trace
     --help               show this help
 
@@ -28,7 +31,39 @@ PROTOCOL (one JSON object per line, on both sides):
     {\"id\":1,\"cmd\":\"render\",\"scene\":\"bunny\",\"scale\":\"tiny\",\"res\":64,\"frame\":0}
     {\"id\":2,\"cmd\":\"tune_step\",\"scene\":\"bunny\",\"scale\":\"tiny\",\"steps\":2}
     {\"id\":3,\"cmd\":\"stats\"}
-    {\"id\":4,\"cmd\":\"shutdown\"}
+    {\"id\":4,\"cmd\":\"metrics\"}
+    {\"id\":5,\"cmd\":\"shutdown\"}
+
+Requests may carry a \"trace\" string; it is echoed in the response, and
+successful render/tune responses include a per-stage latency breakdown
+under result.stages.
+";
+
+/// Usage text for `top`.
+pub const TOP_USAGE: &str = "\
+kdtune top — live renderd dashboard (windowed latency, queue, cache,
+per-session tuner convergence, slow-request exemplars)
+
+USAGE:
+    kdtune top [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     server address [default: 127.0.0.1:7464]
+    --interval-ms N      refresh interval [default: 1000]
+    --iterations N       stop after N repaints (0 = run forever) [default: 0]
+    --no-clear           do not clear the screen between repaints
+    --help               show this help
+";
+
+/// Usage text for `metrics`.
+pub const METRICS_USAGE: &str = "\
+kdtune metrics — scrape a renderd instance's Prometheus-style exposition
+
+USAGE:
+    kdtune metrics [--addr HOST:PORT]
+
+Prints the text exposition to stdout, e.g. for piping into a file or a
+push gateway:  kdtune metrics --addr 127.0.0.1:7464 > metrics.prom
 ";
 
 /// Usage text for `loadgen`.
@@ -118,6 +153,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "--store",
         config.store_path.display().to_string(),
     )?);
+    config.slow_ms = take_parsed(&mut args, "--slow-ms", config.slow_ms)?;
     let trace = take_value(&mut args, "--trace")?;
     reject_leftovers(&args, SERVE_USAGE)?;
 
@@ -200,6 +236,52 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     if report.ok == 0 {
         return Err("no request succeeded".into());
     }
+    if report.trace_mismatches > 0 {
+        return Err(format!(
+            "{} responses did not echo the request's trace tag",
+            report.trace_mismatches
+        ));
+    }
+    Ok(())
+}
+
+/// `kdtune top`: poll `stats` and repaint a dashboard. Blocks.
+pub fn top(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if take_flag(&mut args, "--help") {
+        println!("{TOP_USAGE}");
+        return Ok(());
+    }
+    let mut options = TopOptions::default();
+    options.addr = take_parsed(&mut args, "--addr", options.addr)?;
+    options.interval_ms = take_parsed(&mut args, "--interval-ms", options.interval_ms)?;
+    let iterations: u64 = take_parsed(&mut args, "--iterations", 0)?;
+    options.iterations = (iterations > 0).then_some(iterations);
+    options.clear_screen = !take_flag(&mut args, "--no-clear");
+    reject_leftovers(&args, TOP_USAGE)?;
+    top::run(&options)
+}
+
+/// `kdtune metrics`: one scrape of the Prometheus-style exposition.
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if take_flag(&mut args, "--help") {
+        println!("{METRICS_USAGE}");
+        return Ok(());
+    }
+    let addr = take_parsed(&mut args, "--addr", "127.0.0.1:7464".to_string())?;
+    reject_leftovers(&args, METRICS_USAGE)?;
+    let mut client = crate::loadgen::Client::connect(&addr)?;
+    let response = client.roundtrip(&JsonValue::object([
+        ("id", JsonValue::from(-4)),
+        ("cmd", "metrics".into()),
+    ]))?;
+    let text = response
+        .get("result")
+        .and_then(|r| r.get("text"))
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("metrics response had no result.text: {response}"))?;
+    print!("{text}");
     Ok(())
 }
 

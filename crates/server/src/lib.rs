@@ -20,6 +20,11 @@
 //!   thread count, and hostname ([`store`]), and warm-starts new sessions
 //!   from the stored best — turning the non-portability result into a
 //!   feature (portable *within* one machine and scene, so remember it),
+//! * exposes live observability: a process-wide metrics registry folded
+//!   from the telemetry record stream (windowed latency quantiles per
+//!   endpoint), per-request traces with stage-latency breakdowns, a
+//!   Prometheus-style `metrics` command, and a `kdtune top` terminal
+//!   dashboard ([`top`]),
 //! * and drains in-flight work on shutdown ([`server`]).
 //!
 //! Everything is dependency-free: `std::net` blocking I/O, the workspace
@@ -35,6 +40,7 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 pub mod store;
+pub mod top;
 
 pub use cache::TreeCache;
 pub use loadgen::{LoadgenOptions, LoadgenReport};

@@ -8,6 +8,7 @@
 
 use kdtune_telemetry::json::JsonValue;
 use kdtune_telemetry::Histogram;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -113,6 +114,15 @@ pub struct LoadgenReport {
     pub cache_hit_rate: f64,
     /// Server-reported live session count.
     pub sessions: u64,
+    /// Responses whose echoed trace tag was missing or did not match the
+    /// one sent (any nonzero value means request/response pairing broke).
+    pub trace_mismatches: u64,
+    /// Server-reported per-stage latency histograms (queue, build,
+    /// render, tune, serialize), keyed by stage name. These measure time
+    /// inside the server; comparing them with the client-side latency
+    /// histogram separates service time from network and protocol
+    /// overhead.
+    pub server_stages: BTreeMap<String, Histogram>,
     /// First few non-busy error messages, for diagnostics.
     pub first_errors: Vec<String>,
 }
@@ -122,6 +132,8 @@ struct ConnOutcome {
     ok: u64,
     busy: u64,
     errors: u64,
+    trace_mismatches: u64,
+    server_stages: BTreeMap<String, Histogram>,
     first_errors: Vec<String>,
 }
 
@@ -154,6 +166,14 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         report.ok += outcome.ok;
         report.busy += outcome.busy;
         report.protocol_errors += outcome.errors;
+        report.trace_mismatches += outcome.trace_mismatches;
+        for (stage, h) in outcome.server_stages {
+            report
+                .server_stages
+                .entry(stage)
+                .or_insert_with(Histogram::new)
+                .merge(&h);
+        }
         for msg in outcome.first_errors {
             if report.first_errors.len() < 5 {
                 report.first_errors.push(msg);
@@ -211,13 +231,13 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     Ok(report)
 }
 
-struct Client {
+pub(crate) struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl Client {
-    fn connect(addr: &str) -> Result<Client, String> {
+    pub(crate) fn connect(addr: &str) -> Result<Client, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
         // Tune steps at paper scale can take a while; be generous.
         stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
@@ -229,7 +249,7 @@ impl Client {
         Ok(Client { stream, reader })
     }
 
-    fn roundtrip(&mut self, request: &JsonValue) -> Result<JsonValue, String> {
+    pub(crate) fn roundtrip(&mut self, request: &JsonValue) -> Result<JsonValue, String> {
         let line = request.to_string();
         self.stream
             .write_all(format!("{line}\n").as_bytes())
@@ -259,16 +279,20 @@ fn drive_connection(
         ok: 0,
         busy: 0,
         errors: 0,
+        trace_mismatches: 0,
+        server_stages: BTreeMap::new(),
         first_errors: Vec::new(),
     };
     for i in 0..count {
         let id = (conn as i64) * 1_000_000 + i as i64;
+        let trace_tag = format!("c{conn}-{i}");
         let scene = &options.scenes[(conn + i) % options.scenes.len()];
         let tune = options.tune_every > 0 && (i + 1) % options.tune_every == 0;
         let request = if tune {
             JsonValue::object([
                 ("id", JsonValue::from(id)),
                 ("cmd", "tune_step".into()),
+                ("trace", trace_tag.as_str().into()),
                 ("scene", scene.as_str().into()),
                 ("scale", options.scale.as_str().into()),
                 ("algo", options.algo.as_str().into()),
@@ -280,6 +304,7 @@ fn drive_connection(
             JsonValue::object([
                 ("id", JsonValue::from(id)),
                 ("cmd", "render".into()),
+                ("trace", trace_tag.as_str().into()),
                 ("scene", scene.as_str().into()),
                 ("scale", options.scale.as_str().into()),
                 ("algo", options.algo.as_str().into()),
@@ -292,6 +317,23 @@ fn drive_connection(
         outcome
             .histogram
             .record_us(sent.elapsed().as_micros() as u64);
+        // Every response (success or structured error) must echo the
+        // trace tag we stamped on the request.
+        if response.get("trace").and_then(JsonValue::as_str) != Some(&trace_tag) {
+            outcome.trace_mismatches += 1;
+        }
+        if let Some(JsonValue::Object(map)) = response.get("result").and_then(|r| r.get("stages")) {
+            for (key, value) in map {
+                let stage = key.strip_suffix("_us").unwrap_or(key);
+                if let Some(us) = value.as_u64() {
+                    outcome
+                        .server_stages
+                        .entry(stage.to_string())
+                        .or_default()
+                        .record_us(us);
+                }
+            }
+        }
         match response.get("ok").and_then(JsonValue::as_bool) {
             Some(true) => outcome.ok += 1,
             _ => {
@@ -347,6 +389,7 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
         ("ok", report.ok.into()),
         ("busy", report.busy.into()),
         ("protocol_errors", report.protocol_errors.into()),
+        ("trace_mismatches", report.trace_mismatches.into()),
         ("elapsed_secs", report.elapsed_secs.into()),
         ("throughput_rps", report.throughput_rps.into()),
         (
@@ -360,6 +403,28 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
                 ("min", report.min_us.into()),
                 ("max", report.max_us.into()),
             ]),
+        ),
+        (
+            "server_stage_us",
+            JsonValue::Object(
+                report
+                    .server_stages
+                    .iter()
+                    .map(|(stage, h)| {
+                        (
+                            stage.clone(),
+                            JsonValue::object([
+                                ("count", JsonValue::from(h.count())),
+                                ("p50", h.percentile_us(0.50).into()),
+                                ("p95", h.percentile_us(0.95).into()),
+                                ("p99", h.percentile_us(0.99).into()),
+                                ("mean", h.mean_us().into()),
+                                ("max", h.max_us().into()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
         ),
         (
             "server",
@@ -389,9 +454,9 @@ fn write_report(
 
 /// Human-readable run summary for the CLI.
 pub fn format_summary(report: &LoadgenReport) -> String {
-    format!(
+    let mut out = format!(
         "{} requests in {:.2}s ({:.1} req/s)\n\
-         ok {}  busy {}  errors {}\n\
+         ok {}  busy {}  errors {}  trace mismatches {}\n\
          latency p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  (mean {:.2}ms, max {:.2}ms)\n\
          cache hit rate {:.1}% ({} hits / {} misses), {} sessions",
         report.sent,
@@ -400,6 +465,7 @@ pub fn format_summary(report: &LoadgenReport) -> String {
         report.ok,
         report.busy,
         report.protocol_errors,
+        report.trace_mismatches,
         report.p50_us as f64 / 1e3,
         report.p95_us as f64 / 1e3,
         report.p99_us as f64 / 1e3,
@@ -409,5 +475,17 @@ pub fn format_summary(report: &LoadgenReport) -> String {
         report.cache_hits,
         report.cache_misses,
         report.sessions,
-    )
+    );
+    if !report.server_stages.is_empty() {
+        out.push_str("\nserver stages (p50/p95):");
+        for (stage, h) in &report.server_stages {
+            out.push_str(&format!(
+                "  {} {:.2}/{:.2}ms",
+                stage,
+                h.percentile_us(0.50) as f64 / 1e3,
+                h.percentile_us(0.95) as f64 / 1e3,
+            ));
+        }
+    }
+    out
 }

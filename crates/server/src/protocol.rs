@@ -72,8 +72,11 @@ pub enum Command {
         /// Maximum tuner steps to run (clamped to 1..=256).
         steps: usize,
     },
-    /// Snapshot server counters, cache stats, and session list.
+    /// Snapshot server counters, cache stats, live metrics windows, and
+    /// per-session tuner state.
     Stats,
+    /// Prometheus-style text exposition of the live metrics registry.
+    Metrics,
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
 }
@@ -83,6 +86,9 @@ pub enum Command {
 pub struct Request {
     /// Echoed verbatim in the response so clients can pipeline.
     pub id: i64,
+    /// Optional client trace tag (`"trace"` field), echoed verbatim in
+    /// the response envelope so clients can verify the round trip.
+    pub trace: Option<String>,
     /// The command body.
     pub cmd: Command,
 }
@@ -144,10 +150,15 @@ pub fn parse_request(line: &str) -> Result<Request, (i64, ErrorCode, String)> {
             steps: (non_negative(&value, "steps", 1).map_err(&fail)? as usize).clamp(1, 256),
         },
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
         "shutdown" => Command::Shutdown,
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
-    Ok(Request { id, cmd })
+    let trace = value
+        .get("trace")
+        .and_then(JsonValue::as_str)
+        .map(String::from);
+    Ok(Request { id, trace, cmd })
 }
 
 fn parse_spec(value: &JsonValue) -> Result<SessionSpec, String> {
@@ -198,23 +209,34 @@ fn non_negative(value: &JsonValue, field: &str, default: i64) -> Result<i64, Str
 
 /// Serializes a success response line (no trailing newline).
 pub fn ok_line(id: i64, result: JsonValue) -> String {
-    JsonValue::object([
-        ("id", JsonValue::from(id)),
-        ("ok", true.into()),
-        ("result", result),
-    ])
-    .to_string()
+    ok_line_traced(id, None, result)
+}
+
+/// Serializes a success response line, echoing the client's trace tag in
+/// the envelope when one was supplied.
+pub fn ok_line_traced(id: i64, trace: Option<&str>, result: JsonValue) -> String {
+    let mut fields = vec![("id", JsonValue::from(id)), ("ok", true.into())];
+    if let Some(tag) = trace {
+        fields.push(("trace", tag.into()));
+    }
+    fields.push(("result", result));
+    JsonValue::object(fields).to_string()
 }
 
 /// Serializes an error response line (no trailing newline).
 pub fn err_line(id: i64, code: ErrorCode, message: &str) -> String {
-    JsonValue::object([
-        ("id", JsonValue::from(id)),
-        ("ok", false.into()),
-        ("error", code.as_str().into()),
-        ("message", message.into()),
-    ])
-    .to_string()
+    err_line_traced(id, None, code, message)
+}
+
+/// Serializes an error response line with the client's trace tag echoed.
+pub fn err_line_traced(id: i64, trace: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let mut fields = vec![("id", JsonValue::from(id)), ("ok", false.into())];
+    if let Some(tag) = trace {
+        fields.push(("trace", tag.into()));
+    }
+    fields.push(("error", code.as_str().into()));
+    fields.push(("message", message.into()));
+    JsonValue::object(fields).to_string()
 }
 
 #[cfg(test)]
@@ -262,12 +284,39 @@ mod tests {
             Command::Stats
         );
         assert_eq!(
+            parse_request(r#"{"id":3,"cmd":"metrics"}"#).unwrap().cmd,
+            Command::Metrics
+        );
+        assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
             Request {
                 id: 0,
+                trace: None,
                 cmd: Command::Shutdown
             }
         );
+    }
+
+    #[test]
+    fn trace_tags_parse_and_echo() {
+        let req = parse_request(r#"{"id":8,"cmd":"stats","trace":"c2-17"}"#).unwrap();
+        assert_eq!(req.trace.as_deref(), Some("c2-17"));
+
+        let ok = ok_line_traced(8, Some("c2-17"), JsonValue::object::<&str>([]));
+        let v = kdtune_telemetry::json::parse(&ok).unwrap();
+        assert_eq!(v.get("trace").and_then(JsonValue::as_str), Some("c2-17"));
+        // Untraced requests keep the old envelope shape.
+        assert!(
+            kdtune_telemetry::json::parse(&ok_line(8, JsonValue::object::<&str>([])))
+                .unwrap()
+                .get("trace")
+                .is_none()
+        );
+
+        let err = err_line_traced(9, Some("c0-1"), ErrorCode::Busy, "queue full");
+        let v = kdtune_telemetry::json::parse(&err).unwrap();
+        assert_eq!(v.get("trace").and_then(JsonValue::as_str), Some("c0-1"));
+        assert_eq!(v.get("error").and_then(JsonValue::as_str), Some("busy"));
     }
 
     #[test]

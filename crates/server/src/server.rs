@@ -16,7 +16,8 @@ use crate::session::SessionManager;
 use crate::store::ConfigStore;
 use kdtune::raycast::render_with_options;
 use kdtune::{build, Algorithm, BuildParams, BuiltTree, Camera, RenderOptions};
-use kdtune_telemetry::{self as telemetry, json::JsonValue};
+use kdtune_telemetry::trace::TraceContext;
+use kdtune_telemetry::{self as telemetry, json::JsonValue, MetricsRecorder, MetricsRegistry};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,6 +39,10 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Path of the JSONL tuned-config store.
     pub store_path: std::path::PathBuf,
+    /// Requests whose queue+handle time reaches this threshold are
+    /// captured as exemplar traces (`server.trace` events and the
+    /// `slow` section of `stats`).
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -48,9 +53,13 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_bytes: crate::cache::DEFAULT_CAPACITY_BYTES,
             store_path: "renderd_configs.jsonl".into(),
+            slow_ms: 250,
         }
     }
 }
+
+/// How many slow-request exemplars `stats` retains, newest first.
+const SLOW_TRACE_CAP: usize = 16;
 
 /// Request counters, updated lock-free from readers and workers.
 #[derive(Default)]
@@ -83,6 +92,7 @@ struct Job {
     request: Request,
     writer: Arc<ConnWriter>,
     received: Instant,
+    trace: TraceContext,
 }
 
 enum Push {
@@ -169,6 +179,9 @@ struct ServerState {
     counters: Counters,
     shutting_down: AtomicBool,
     started: Instant,
+    metrics: Arc<MetricsRegistry>,
+    slow_us: u64,
+    slow_traces: parking_lot::Mutex<VecDeque<JsonValue>>,
 }
 
 /// A bound, not-yet-running server. [`run`](RenderServer::run) blocks
@@ -184,6 +197,8 @@ impl RenderServer {
         let store = Arc::new(ConfigStore::open(&config.store_path)?);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        preregister_series(&metrics);
         let state = Arc::new(ServerState {
             addr,
             workers: config.workers.max(1),
@@ -193,6 +208,9 @@ impl RenderServer {
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
+            metrics,
+            slow_us: config.slow_ms.saturating_mul(1000),
+            slow_traces: parking_lot::Mutex::new(VecDeque::new()),
         });
         Ok(RenderServer { listener, state })
     }
@@ -204,8 +222,30 @@ impl RenderServer {
 
     /// Serves until shutdown: spawns the worker pool, accepts
     /// connections, then joins everything once draining finishes.
+    ///
+    /// While serving, a [`MetricsRecorder`] is installed as the process
+    /// recorder so the full record stream (requests, cache ops, tuner
+    /// steps, frames, build levels) folds into the live registry. Any
+    /// recorder already installed (e.g. a `--trace` JSONL sink) keeps
+    /// receiving every record via tee, and is restored on exit.
+    ///
+    /// `RENDERD_DISABLE_METRICS=1` skips the install, leaving the
+    /// registry empty — only useful for A/B-measuring the recorder's
+    /// overhead (see EXPERIMENTS.md); `stats`/`metrics` then report
+    /// zeroed series.
     pub fn run(self) -> std::io::Result<()> {
         let state = self.state;
+        let disable_metrics = std::env::var("RENDERD_DISABLE_METRICS").is_ok_and(|v| v == "1");
+        let prev = telemetry::clear_recorder();
+        if !disable_metrics {
+            let recorder = match prev.clone() {
+                Some(next) => MetricsRecorder::with_next(Arc::clone(&state.metrics), next),
+                None => MetricsRecorder::new(Arc::clone(&state.metrics)),
+            };
+            telemetry::set_recorder(Arc::new(recorder));
+        } else if let Some(next) = prev.clone() {
+            telemetry::set_recorder(next);
+        }
         telemetry::event_owned(
             "server.lifecycle",
             vec![
@@ -261,8 +301,63 @@ impl RenderServer {
             ],
         );
         telemetry::flush();
+        telemetry::clear_recorder();
+        if let Some(prev) = prev {
+            telemetry::set_recorder(prev);
+        }
         Ok(())
     }
+}
+
+/// Registers every baseline series the server exports so the `metrics`
+/// exposition is schema-complete from the first scrape — CI greps for
+/// these names even before traffic arrives.
+fn preregister_series(metrics: &MetricsRegistry) {
+    for cmd in ["render", "tune_step", "stats", "metrics"] {
+        metrics.counter("renderd_requests_total", &[("cmd", cmd), ("code", "ok")]);
+    }
+    metrics.counter("renderd_busy_total", &[]);
+    metrics.counter("renderd_slow_requests_total", &[("cmd", "render")]);
+    for op in ["hit", "miss", "evict"] {
+        metrics.counter("renderd_cache_ops_total", &[("op", op)]);
+    }
+    metrics.counter("renderd_sessions_created_total", &[]);
+    for cmd in ["render", "tune_step"] {
+        metrics.histogram("renderd_request_us", &[("cmd", cmd)]);
+        metrics.histogram("renderd_queue_wait_us", &[("cmd", cmd)]);
+    }
+    for stage in ["build", "render", "serialize", "tune"] {
+        metrics.histogram("renderd_stage_us", &[("stage", stage)]);
+    }
+    for gauge in [
+        "renderd_queue_depth",
+        "renderd_queue_capacity",
+        "renderd_workers",
+        "renderd_sessions",
+        "renderd_cache_entries",
+        "renderd_cache_bytes",
+        "renderd_uptime_seconds",
+    ] {
+        metrics.gauge(gauge, &[]);
+    }
+}
+
+/// Refreshes point-in-time gauges from server state; called before every
+/// snapshot or exposition so scrapes always see current values.
+fn refresh_gauges(state: &ServerState) {
+    let m = &state.metrics;
+    m.gauge_set("renderd_queue_depth", &[], state.queue.depth() as i64);
+    m.gauge_set("renderd_queue_capacity", &[], state.queue.capacity as i64);
+    m.gauge_set("renderd_workers", &[], state.workers as i64);
+    m.gauge_set("renderd_sessions", &[], state.sessions.count() as i64);
+    let cache = state.cache.stats();
+    m.gauge_set("renderd_cache_entries", &[], cache.entries as i64);
+    m.gauge_set("renderd_cache_bytes", &[], cache.bytes as i64);
+    m.gauge_set(
+        "renderd_uptime_seconds",
+        &[],
+        state.started.elapsed().as_secs() as i64,
+    );
 }
 
 fn reader_loop(state: &Arc<ServerState>, stream: TcpStream) {
@@ -324,7 +419,7 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
         Ok(request) => request,
         Err((id, code, message)) => {
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
-            request_event("parse", id, false, Some(code), 0, 0);
+            request_event("parse", id, false, Some(code), 0, 0, None);
             writer.send_line(&protocol::err_line(id, code, &message));
             return;
         }
@@ -342,8 +437,33 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
                 None,
                 t0.elapsed().as_micros() as u64,
                 0,
+                None,
             );
-            writer.send_line(&protocol::ok_line(request.id, result));
+            writer.send_line(&protocol::ok_line_traced(
+                request.id,
+                request.trace.as_deref(),
+                result,
+            ));
+        }
+        Command::Metrics => {
+            let t0 = Instant::now();
+            refresh_gauges(state);
+            let text = state.metrics.prometheus_text(telemetry::now_us());
+            state.counters.ok.fetch_add(1, Ordering::Relaxed);
+            request_event(
+                "metrics",
+                request.id,
+                true,
+                None,
+                t0.elapsed().as_micros() as u64,
+                0,
+                None,
+            );
+            writer.send_line(&protocol::ok_line_traced(
+                request.id,
+                request.trace.as_deref(),
+                JsonValue::object([("text", JsonValue::from(text))]),
+            ));
         }
         Command::Shutdown => {
             state.counters.ok.fetch_add(1, Ordering::Relaxed);
@@ -351,15 +471,20 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
                 ("draining", JsonValue::from(state.queue.depth())),
                 ("sessions", state.sessions.count().into()),
             ]);
-            request_event("shutdown", request.id, true, None, 0, 0);
-            writer.send_line(&protocol::ok_line(request.id, result));
+            request_event("shutdown", request.id, true, None, 0, 0, None);
+            writer.send_line(&protocol::ok_line_traced(
+                request.id,
+                request.trace.as_deref(),
+                result,
+            ));
             initiate_shutdown(state);
         }
         Command::Render { .. } | Command::TuneStep { .. } => {
             if state.shutting_down.load(Ordering::SeqCst) {
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                writer.send_line(&protocol::err_line(
+                writer.send_line(&protocol::err_line_traced(
                     request.id,
+                    request.trace.as_deref(),
                     ErrorCode::ShuttingDown,
                     "server is draining",
                 ));
@@ -367,25 +492,30 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
             }
             let id = request.id;
             let cmd = cmd_name(&request.cmd);
+            let trace = TraceContext::new(request.trace.clone());
+            let client_tag = request.trace.clone();
             match state.queue.push(Job {
                 request,
                 writer: Arc::clone(writer),
                 received: Instant::now(),
+                trace,
             }) {
                 Push::Queued => {}
                 Push::Busy => {
                     state.counters.busy.fetch_add(1, Ordering::Relaxed);
-                    request_event(cmd, id, false, Some(ErrorCode::Busy), 0, 0);
-                    writer.send_line(&protocol::err_line(
+                    request_event(cmd, id, false, Some(ErrorCode::Busy), 0, 0, None);
+                    writer.send_line(&protocol::err_line_traced(
                         id,
+                        client_tag.as_deref(),
                         ErrorCode::Busy,
                         &format!("queue full (capacity {})", state.queue.capacity),
                     ));
                 }
                 Push::Closed => {
                     state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    writer.send_line(&protocol::err_line(
+                    writer.send_line(&protocol::err_line_traced(
                         id,
+                        client_tag.as_deref(),
                         ErrorCode::ShuttingDown,
                         "server is draining",
                     ));
@@ -413,10 +543,17 @@ fn initiate_shutdown(state: &Arc<ServerState>) {
 }
 
 fn worker_loop(state: &Arc<ServerState>) {
-    while let Some(job) = state.queue.pop() {
+    while let Some(mut job) = state.queue.pop() {
         let queued_us = job.received.elapsed().as_micros() as u64;
+        job.trace.stage("queue", queued_us);
+        // While the guard lives, every record this thread dispatches
+        // (request events, build spans, tuner steps) carries the trace id.
+        let _guard = telemetry::trace::enter(job.trace.id);
         let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_job(state, &job.request)));
+        let outcome = {
+            let trace = &mut job.trace;
+            catch_unwind(AssertUnwindSafe(|| handle_job(state, &job.request, trace)))
+        };
         let result = match outcome {
             Ok(result) => result,
             Err(_) => Err((ErrorCode::Internal, "request handler panicked".to_string())),
@@ -424,10 +561,31 @@ fn worker_loop(state: &Arc<ServerState>) {
         let duration_us = t0.elapsed().as_micros() as u64;
         let cmd = cmd_name(&job.request.cmd);
         let line = match result {
-            Ok(value) => {
+            Ok(mut value) => {
+                // Measure serialization on the result body (the envelope
+                // adds a constant few bytes), then fold it into the
+                // breakdown the client receives.
+                let t_ser = Instant::now();
+                let body = value.to_string();
+                let serialize_us = t_ser.elapsed().as_micros() as u64;
+                drop(body);
+                job.trace.stage("serialize", serialize_us);
+                if let JsonValue::Object(map) = &mut value {
+                    map.insert("trace_id".into(), job.trace.id.into());
+                    map.insert("stages".into(), job.trace.stages_json());
+                }
                 state.counters.ok.fetch_add(1, Ordering::Relaxed);
-                request_event(cmd, job.request.id, true, None, duration_us, queued_us);
-                protocol::ok_line(job.request.id, value)
+                request_event(
+                    cmd,
+                    job.request.id,
+                    true,
+                    None,
+                    duration_us,
+                    queued_us,
+                    Some(&job.trace),
+                );
+                note_if_slow(state, cmd, &job.trace, duration_us + queued_us);
+                protocol::ok_line_traced(job.request.id, job.trace.client_tag.as_deref(), value)
             }
             Err((code, message)) => {
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -438,11 +596,65 @@ fn worker_loop(state: &Arc<ServerState>) {
                     Some(code),
                     duration_us,
                     queued_us,
+                    Some(&job.trace),
                 );
-                protocol::err_line(job.request.id, code, &message)
+                protocol::err_line_traced(
+                    job.request.id,
+                    job.trace.client_tag.as_deref(),
+                    code,
+                    &message,
+                )
             }
         };
         job.writer.send_line(&line);
+    }
+}
+
+/// Captures a slow-request exemplar: a `server.trace` event for the
+/// JSONL sink (and the `renderd_slow_requests_total` series), plus an
+/// entry in the bounded ring `stats` exposes under `"slow"`.
+fn note_if_slow(state: &Arc<ServerState>, cmd: &'static str, trace: &TraceContext, total_us: u64) {
+    if total_us < state.slow_us {
+        return;
+    }
+    let mut fields: Vec<(&'static str, telemetry::Value)> = vec![
+        ("cmd", cmd.into()),
+        ("trace_id", trace.id.into()),
+        ("total_us", total_us.into()),
+    ];
+    if let Some(tag) = &trace.client_tag {
+        fields.push(("client_tag", tag.clone().into()));
+    }
+    for (name, us) in trace.stages() {
+        fields.push((stage_field_name(name), (*us).into()));
+    }
+    telemetry::event_owned("server.trace", fields);
+
+    let mut exemplar = vec![
+        ("cmd".to_string(), JsonValue::from(cmd)),
+        ("trace_id".to_string(), trace.id.into()),
+        ("total_us".to_string(), total_us.into()),
+        ("stages".to_string(), trace.stages_json()),
+    ];
+    if let Some(tag) = &trace.client_tag {
+        exemplar.push(("client_trace".to_string(), tag.as_str().into()));
+    }
+    let mut ring = state.slow_traces.lock();
+    ring.push_front(JsonValue::Object(exemplar.into_iter().collect()));
+    ring.truncate(SLOW_TRACE_CAP);
+}
+
+/// Maps a stage name to its `_us` event-field spelling. Static strings
+/// because `Record` fields are `&'static str` keyed; the set of stages
+/// is closed (see `TraceContext`).
+fn stage_field_name(stage: &str) -> &'static str {
+    match stage {
+        "queue" => "queue_us",
+        "build" => "build_us",
+        "render" => "render_us",
+        "tune" => "tune_us",
+        "serialize" => "serialize_us",
+        _ => "stage_us",
     }
 }
 
@@ -451,6 +663,7 @@ fn cmd_name(cmd: &Command) -> &'static str {
         Command::Render { .. } => "render",
         Command::TuneStep { .. } => "tune_step",
         Command::Stats => "stats",
+        Command::Metrics => "metrics",
         Command::Shutdown => "shutdown",
     }
 }
@@ -462,35 +675,42 @@ fn request_event(
     code: Option<ErrorCode>,
     duration_us: u64,
     queued_us: u64,
+    trace: Option<&TraceContext>,
 ) {
-    telemetry::event_owned(
-        "server.request",
-        vec![
-            ("cmd", cmd.into()),
-            ("id", id.into()),
-            ("ok", ok.into()),
-            ("code", code.map(ErrorCode::as_str).unwrap_or("-").into()),
-            ("duration_us", duration_us.into()),
-            ("queued_us", queued_us.into()),
-        ],
-    );
+    let mut fields: Vec<(&'static str, telemetry::Value)> = vec![
+        ("cmd", cmd.into()),
+        ("id", id.into()),
+        ("ok", ok.into()),
+        ("code", code.map(ErrorCode::as_str).unwrap_or("-").into()),
+        ("duration_us", duration_us.into()),
+        ("queued_us", queued_us.into()),
+    ];
+    if let Some(trace) = trace {
+        for (name, us) in trace.stages() {
+            if *name != "queue" {
+                fields.push((stage_field_name(name), (*us).into()));
+            }
+        }
+    }
+    telemetry::event_owned("server.request", fields);
 }
 
 fn handle_job(
     state: &Arc<ServerState>,
     request: &Request,
+    trace: &mut TraceContext,
 ) -> Result<JsonValue, (ErrorCode, String)> {
     match &request.cmd {
         Command::Render { spec, frame } => {
             state.counters.renders.fetch_add(1, Ordering::Relaxed);
-            handle_render(state, spec, *frame)
+            handle_render(state, spec, *frame, trace)
         }
         Command::TuneStep { spec, steps } => {
             state.counters.tunes.fetch_add(1, Ordering::Relaxed);
-            handle_tune(state, spec, *steps)
+            handle_tune(state, spec, *steps, trace)
         }
         // Control commands never reach the queue.
-        Command::Stats | Command::Shutdown => {
+        Command::Stats | Command::Metrics | Command::Shutdown => {
             Err((ErrorCode::Internal, "control command on work queue".into()))
         }
     }
@@ -514,6 +734,7 @@ fn handle_render(
     state: &Arc<ServerState>,
     spec: &SessionSpec,
     frame: usize,
+    trace: &mut TraceContext,
 ) -> Result<JsonValue, (ErrorCode, String)> {
     let session = state.sessions.get_or_create(spec)?;
     // Snapshot what we need, then drop the session lock before building
@@ -558,9 +779,12 @@ fn handle_render(
                 "lazy build returned an eager tree".into(),
             ));
         };
+        trace.stage("build", (build_secs * 1e6) as u64);
         let render_started = Instant::now();
         let (_fb, stats, _packets) =
             render_with_options(&lazy, &mesh, &camera, view.light, &options);
+        let render_secs = render_started.elapsed().as_secs_f64();
+        trace.stage("render", (render_secs * 1e6) as u64);
         return Ok(render_result(
             spec,
             frame,
@@ -568,7 +792,7 @@ fn handle_render(
             tuned,
             &values,
             build_secs,
-            render_started.elapsed().as_secs_f64(),
+            render_secs,
             &stats,
         ));
     } else {
@@ -586,9 +810,12 @@ fn handle_render(
         )
     };
 
+    trace.stage("build", (build_secs * 1e6) as u64);
     let render_started = Instant::now();
     let (_fb, stats, _packets) =
         render_with_options(tree.as_ref(), &mesh, &camera, view.light, &options);
+    let render_secs = render_started.elapsed().as_secs_f64();
+    trace.stage("render", (render_secs * 1e6) as u64);
     Ok(render_result(
         spec,
         frame,
@@ -596,7 +823,7 @@ fn handle_render(
         tuned,
         &values,
         build_secs,
-        render_started.elapsed().as_secs_f64(),
+        render_secs,
         &stats,
     ))
 }
@@ -644,11 +871,14 @@ fn handle_tune(
     state: &Arc<ServerState>,
     spec: &SessionSpec,
     steps: usize,
+    trace: &mut TraceContext,
 ) -> Result<JsonValue, (ErrorCode, String)> {
     let session = state.sessions.get_or_create(spec)?;
     let mut session = session.lock();
     let warm_started = session.warm_started();
+    let t0 = Instant::now();
     let summary = session.tune(steps, state.sessions.store());
+    trace.stage("tune", t0.elapsed().as_micros() as u64);
     Ok(JsonValue::object([
         ("session", JsonValue::from(spec.id())),
         ("steps_run", summary.steps_run.into()),
@@ -673,8 +903,10 @@ fn handle_tune(
 }
 
 fn stats_json(state: &Arc<ServerState>) -> JsonValue {
+    refresh_gauges(state);
     let cache = state.cache.stats();
     let counters = &state.counters;
+    let slow: Vec<JsonValue> = state.slow_traces.lock().iter().cloned().collect();
     JsonValue::object([
         (
             "uptime_secs",
@@ -728,6 +960,7 @@ fn stats_json(state: &Arc<ServerState>) -> JsonValue {
                         .collect::<Vec<_>>()
                         .into(),
                 ),
+                ("detail", JsonValue::Array(state.sessions.summaries())),
             ]),
         ),
         (
@@ -740,6 +973,8 @@ fn stats_json(state: &Arc<ServerState>) -> JsonValue {
                 ("entries", state.sessions.store().len().into()),
             ]),
         ),
+        ("metrics", state.metrics.snapshot_json(telemetry::now_us())),
+        ("slow", JsonValue::Array(slow)),
     ])
 }
 
@@ -753,12 +988,14 @@ mod tests {
         Job {
             request: Request {
                 id,
+                trace: None,
                 cmd: Command::Stats,
             },
             writer: Arc::new(ConnWriter {
                 stream: parking_lot::Mutex::new(stream),
             }),
             received: Instant::now(),
+            trace: TraceContext::new(None),
         }
     }
 

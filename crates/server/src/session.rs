@@ -13,7 +13,8 @@ use kdtune::{
     base_build_params, Algorithm, BuildParams, RenderOptions, Scene, SceneParams, StopReason,
     TunedPipeline, TunerPhase,
 };
-use kdtune_telemetry as telemetry;
+use kdtune_telemetry::json::JsonValue;
+use kdtune_telemetry::{self as telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -80,6 +81,10 @@ pub struct Session {
     persisted: bool,
     /// Render requests served (monotonic, informational).
     pub renders: u64,
+    /// `tune_step` calls that stopped because the tuner converged.
+    stops_converged: u64,
+    /// `tune_step` calls that exhausted their step budget first.
+    stops_frame_budget: u64,
 }
 
 impl Session {
@@ -122,6 +127,8 @@ impl Session {
             warm_started: warm.is_some(),
             persisted: false,
             renders: 0,
+            stops_converged: 0,
+            stops_frame_budget: 0,
         })
     }
 
@@ -168,6 +175,10 @@ impl Session {
     /// time the session converges.
     pub fn tune(&mut self, steps: usize, store: &ConfigStore) -> TuneSummary {
         let (frames, reason) = self.pipeline.run_budget(steps);
+        match reason {
+            StopReason::Converged => self.stops_converged += 1,
+            StopReason::FrameBudget => self.stops_frame_budget += 1,
+        }
         let tuner = self.pipeline.workflow().tuner();
         let converged = tuner.converged();
         let phase = tuner.phase();
@@ -210,6 +221,45 @@ impl Session {
             best_cost,
             persisted,
         }
+    }
+
+    /// Point-in-time convergence summary, as exposed per session in the
+    /// `stats` response (`sessions.detail`).
+    pub fn summary_json(&self) -> JsonValue {
+        let tuner = self.pipeline.workflow().tuner();
+        let (best_values, best_cost) = match tuner.best() {
+            Some((config, cost)) => (
+                config
+                    .values()
+                    .iter()
+                    .copied()
+                    .map(JsonValue::from)
+                    .collect::<Vec<_>>()
+                    .into(),
+                JsonValue::from(cost * 1e3),
+            ),
+            None => (JsonValue::Null, JsonValue::Null),
+        };
+        JsonValue::object([
+            ("id", JsonValue::from(self.spec.id())),
+            ("phase", tuner.phase().as_str().into()),
+            ("converged", tuner.converged().into()),
+            ("steps", self.pipeline.steps_taken().into()),
+            ("measurements", tuner.iterations().into()),
+            ("retunes", tuner.retunes().into()),
+            ("renders", self.renders.into()),
+            ("warm_started", self.warm_started.into()),
+            ("persisted", self.persisted.into()),
+            (
+                "stops",
+                JsonValue::object([
+                    ("converged", JsonValue::from(self.stops_converged)),
+                    ("frame_budget", self.stops_frame_budget.into()),
+                ]),
+            ),
+            ("best_config", best_values),
+            ("best_cost_ms", best_cost),
+        ])
     }
 }
 
@@ -262,6 +312,28 @@ impl SessionManager {
         let mut ids: Vec<String> = self.sessions.lock().keys().cloned().collect();
         ids.sort();
         ids
+    }
+
+    /// Per-session convergence summaries, sorted by id. Sessions busy in
+    /// a worker (lock held) are reported as `{"id":…,"busy":true}` rather
+    /// than blocking the stats path behind a tune step.
+    pub fn summaries(&self) -> Vec<JsonValue> {
+        let entries: Vec<(String, Arc<Mutex<Session>>)> = {
+            let sessions = self.sessions.lock();
+            let mut entries: Vec<_> = sessions
+                .iter()
+                .map(|(id, s)| (id.clone(), Arc::clone(s)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries
+        };
+        entries
+            .into_iter()
+            .map(|(id, session)| match session.try_lock() {
+                Some(session) => session.summary_json(),
+                None => JsonValue::object([("id", JsonValue::from(id)), ("busy", true.into())]),
+            })
+            .collect()
     }
 }
 

@@ -1,0 +1,246 @@
+//! End-to-end observability test: a real `renderd` on a loopback port,
+//! driven through renders and tune steps, then interrogated via `stats`
+//! and `metrics` — the two surfaces must agree with each other and with
+//! the requests actually sent.
+//!
+//! This lives in its own integration-test binary (separate process from
+//! `e2e.rs`) because the server installs a process-global
+//! `MetricsRecorder` while running; concurrent servers in one process
+//! would fight over the recorder slot and make counts nondeterministic.
+//! For the same reason, everything here runs inside ONE #[test].
+
+use kdtune_server::server::{RenderServer, ServerConfig};
+use kdtune_telemetry::json::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct LineClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LineClient {
+    fn connect(addr: &str) -> LineClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        LineClient { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> JsonValue {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.stream.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("recv");
+        kdtune_telemetry::json::parse(response.trim()).expect("response is JSON")
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, path: &[&str]) -> &'a JsonValue {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing field {key:?} in {v}"));
+    }
+    cur
+}
+
+fn u64_at(v: &JsonValue, path: &[&str]) -> u64 {
+    field(v, path).as_u64().unwrap_or(0)
+}
+
+/// The value of one Prometheus sample line, e.g.
+/// `sample(text, "renderd_requests_total{cmd=\"render\",code=\"ok\"}")`.
+fn sample(text: &str, series: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(series) && l[series.len()..].starts_with(' '))
+        .and_then(|l| l[series.len()..].trim().parse().ok())
+}
+
+#[test]
+fn stats_and_metrics_agree_after_traced_traffic() {
+    let store: PathBuf =
+        std::env::temp_dir().join(format!("kdtune-metrics-e2e-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&store).ok();
+    let server = RenderServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        store_path: store.clone(),
+        // Threshold 0: every request is "slow", so exemplar capture is
+        // deterministic.
+        slow_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = LineClient::connect(&addr);
+    let renders = 6u64;
+    let tunes = 2u64;
+    for i in 0..renders {
+        let frame = i % 2;
+        let response = client.roundtrip(&format!(
+            r#"{{"id":{i},"cmd":"render","trace":"t-{i}","scene":"fairy_forest","scale":"tiny","res":24,"frame":{frame}}}"#
+        ));
+        assert_eq!(
+            field(&response, &["ok"]).as_bool(),
+            Some(true),
+            "render {i} failed: {response}"
+        );
+        // Trace echo: the envelope carries our tag verbatim.
+        assert_eq!(
+            field(&response, &["trace"]).as_str(),
+            Some(format!("t-{i}").as_str())
+        );
+        // The result carries the server trace id and stage breakdown.
+        assert!(u64_at(&response, &["result", "trace_id"]) > 0);
+        let stages = field(&response, &["result", "stages"]);
+        for stage in ["queue_us", "build_us", "render_us", "serialize_us"] {
+            assert!(
+                stages.get(stage).is_some(),
+                "missing stage {stage} in {stages}"
+            );
+        }
+    }
+    for i in 0..tunes {
+        let id = 100 + i;
+        let response = client.roundtrip(&format!(
+            r#"{{"id":{id},"cmd":"tune_step","trace":"tt-{i}","scene":"fairy_forest","scale":"tiny","res":24,"steps":1}}"#
+        ));
+        assert_eq!(field(&response, &["ok"]).as_bool(), Some(true));
+        assert!(field(&response, &["result", "stages"])
+            .get("tune_us")
+            .is_some());
+    }
+
+    // --- stats surface -------------------------------------------------
+    let stats = client.roundtrip(r#"{"id":200,"cmd":"stats","trace":"s-1"}"#);
+    assert_eq!(field(&stats, &["trace"]).as_str(), Some("s-1"));
+    let result = field(&stats, &["result"]);
+    assert_eq!(u64_at(result, &["requests", "renders"]), renders);
+    assert_eq!(u64_at(result, &["requests", "tune_steps"]), tunes);
+    let hits = u64_at(result, &["cache", "hits"]);
+    let misses = u64_at(result, &["cache", "misses"]);
+    assert_eq!(hits + misses, renders, "every render is a hit or a miss");
+    assert_eq!(misses, 2, "two distinct frames -> two builds");
+    let hit_rate = field(result, &["cache", "hit_rate"]).as_f64().unwrap();
+    assert!((hit_rate - hits as f64 / renders as f64).abs() < 1e-9);
+
+    // Embedded metrics snapshot agrees with the flat counters.
+    let m = field(result, &["metrics"]);
+    assert_eq!(
+        u64_at(
+            m,
+            &[
+                "counters",
+                "renderd_requests_total{cmd=\"render\",code=\"ok\"}"
+            ]
+        ),
+        renders
+    );
+    assert_eq!(
+        u64_at(m, &["counters", "renderd_cache_ops_total{op=\"hit\"}"]),
+        hits
+    );
+    assert_eq!(
+        u64_at(m, &["counters", "renderd_cache_ops_total{op=\"miss\"}"]),
+        misses
+    );
+    // Latency windows are non-empty: the cumulative window saw every render.
+    let request_hist = field(m, &["histograms", "renderd_request_us{cmd=\"render\"}"]);
+    assert_eq!(u64_at(request_hist, &["total", "count"]), renders);
+    assert!(
+        u64_at(request_hist, &["total", "p95_us"]) >= u64_at(request_hist, &["total", "p50_us"])
+    );
+    // The traffic just happened, so a recent window holds samples too.
+    assert!(u64_at(request_hist, &["60s", "count"]) > 0);
+
+    // Per-session tuner state is exposed.
+    let detail = field(result, &["sessions", "detail"]);
+    let JsonValue::Array(detail) = detail else {
+        panic!("sessions.detail is not an array: {detail}")
+    };
+    assert_eq!(detail.len(), 1);
+    let session = &detail[0];
+    assert!(field(session, &["phase"]).as_str().is_some());
+    assert_eq!(u64_at(session, &["renders"]), renders);
+    assert!(
+        u64_at(session, &["stops", "frame_budget"]) + u64_at(session, &["stops", "converged"])
+            == tunes
+    );
+
+    // Slow exemplars: threshold 0 makes every queued request an exemplar.
+    let JsonValue::Array(slow) = field(result, &["slow"]) else {
+        panic!("slow is not an array")
+    };
+    assert!(!slow.is_empty());
+    assert!(slow[0].get("stages").is_some());
+
+    // --- metrics surface ----------------------------------------------
+    let metrics = client.roundtrip(r#"{"id":201,"cmd":"metrics"}"#);
+    let text = field(&metrics, &["result", "text"])
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(text.contains("# TYPE renderd_requests_total counter"));
+    assert_eq!(
+        sample(&text, "renderd_requests_total{cmd=\"render\",code=\"ok\"}"),
+        Some(renders as f64)
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "renderd_requests_total{cmd=\"tune_step\",code=\"ok\"}"
+        ),
+        Some(tunes as f64)
+    );
+    assert_eq!(
+        sample(&text, "renderd_cache_ops_total{op=\"hit\"}"),
+        Some(hits as f64)
+    );
+    // Stats requests themselves are counted (ours above, and this scrape
+    // pre-registered at least the label).
+    assert!(sample(&text, "renderd_requests_total{cmd=\"stats\",code=\"ok\"}").unwrap() >= 1.0);
+    // Windowed quantile series exist for the request histogram.
+    assert!(text.contains("renderd_request_us{cmd=\"render\",window=\"total\",quantile=\"0.5\"}"));
+    assert_eq!(
+        sample(
+            &text,
+            "renderd_request_us_count{cmd=\"render\",window=\"total\"}"
+        ),
+        Some(renders as f64)
+    );
+    // Slow-request counter matches the threshold-0 setup: every queued
+    // request tripped it.
+    assert_eq!(
+        sample(&text, "renderd_slow_requests_total{cmd=\"render\"}"),
+        Some(renders as f64)
+    );
+    // Gauges are refreshed at scrape time.
+    assert_eq!(sample(&text, "renderd_workers"), Some(2.0));
+    assert_eq!(sample(&text, "renderd_sessions"), Some(1.0));
+
+    // Tuner series folded from the pipeline events: each tune_step ran
+    // one pipeline budget of one step, stopping on the frame budget.
+    assert_eq!(
+        sample(&text, "pipeline_runs_total{reason=\"frame_budget\"}"),
+        Some(tunes as f64)
+    );
+    assert!(
+        text.contains("tuner_measurements_total{phase="),
+        "tuner measurement series missing:\n{text}"
+    );
+
+    let response = client.roundtrip(r#"{"id":300,"cmd":"shutdown"}"#);
+    assert_eq!(field(&response, &["ok"]).as_bool(), Some(true));
+    handle.join().unwrap().unwrap();
+    std::fs::remove_file(&store).ok();
+}

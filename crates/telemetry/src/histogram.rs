@@ -158,6 +158,16 @@ impl Histogram {
         }
     }
 
+    /// Clears every sample while keeping the allocated bucket array, so a
+    /// slot in a sliding-window ring can be recycled without reallocating.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum_us = 0;
+        self.min_us = u64::MAX;
+        self.max_us = 0;
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -388,6 +398,20 @@ mod tests {
         assert_eq!(a.counts[NUM_BUCKETS], 1);
         assert_eq!(a.max_us(), huge);
         assert_eq!(a.percentile_us(1.0), huge);
+    }
+
+    #[test]
+    fn reset_returns_to_the_empty_state() {
+        let mut h = Histogram::new();
+        for us in [3u64, 3000, 3_000_000] {
+            h.record_us(us);
+        }
+        h.reset();
+        assert_eq!(h.summary(), Histogram::new().summary());
+        assert_eq!(h.counts, Histogram::new().counts);
+        // A reset histogram records fresh samples exactly like a new one.
+        h.record_us(42);
+        assert_eq!((h.count(), h.min_us(), h.max_us()), (1, 42, 42));
     }
 
     #[test]

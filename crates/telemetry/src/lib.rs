@@ -25,7 +25,9 @@
 
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod sinks;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -34,6 +36,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 pub use histogram::{Histogram, Summary};
+pub use metrics::{MetricsRecorder, MetricsRegistry, WindowedHistogram};
 
 // ---------------------------------------------------------------------------
 // Data model
@@ -192,6 +195,11 @@ fn epoch() -> Instant {
 }
 
 /// Microseconds since the process telemetry epoch.
+///
+/// This is the single monotonic clock for the whole telemetry layer:
+/// record timestamps *and* the metrics sliding-window bucketing (see
+/// [`metrics::WindowedHistogram`]) are derived from it, never from wall
+/// time, so system clock steps cannot corrupt window rotation.
 pub fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
@@ -230,7 +238,12 @@ pub fn flush() {
 }
 
 #[inline]
-fn dispatch(record: Record) {
+fn dispatch(mut record: Record) {
+    // Tag records with the thread's active trace (see [`trace`]) so
+    // builder/tuner records correlate with the request being served.
+    if let Some(id) = trace::current() {
+        record.fields.push(("trace", Value::U64(id)));
+    }
     if let Some(r) = global().read().as_ref() {
         r.record(record);
     }
@@ -443,6 +456,26 @@ mod tests {
         for w in records.windows(2) {
             assert!(w[0].t_us <= w[1].t_us);
         }
+    }
+
+    #[test]
+    fn dispatched_records_carry_the_active_trace_id() {
+        let _l = GLOBAL_TEST_LOCK.lock();
+        let ring = Arc::new(RingBufferRecorder::new(8));
+        set_recorder(ring.clone());
+        {
+            let _t = trace::enter(99);
+            event("tagged", &[]);
+            let _s = span("tagged.span");
+        }
+        event("untagged", &[]);
+        clear_recorder();
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].fields, vec![("trace", Value::U64(99))]);
+        assert_eq!(records[1].name, "tagged.span");
+        assert_eq!(records[1].fields, vec![("trace", Value::U64(99))]);
+        assert!(records[2].fields.is_empty());
     }
 
     #[test]

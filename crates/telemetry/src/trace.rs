@@ -1,0 +1,164 @@
+//! Per-request trace propagation.
+//!
+//! A trace is identified by a process-unique `u64` (from [`next_id`]).
+//! The serving thread [`enter`]s the trace before doing work; while the
+//! guard lives, every record dispatched from that thread is tagged with a
+//! `trace` field, so spans and events emitted deep inside the builders or
+//! the tuner correlate with the request that caused them — without
+//! threading an argument through every signature.
+//!
+//! Limitation: the tag is thread-local, so records emitted by pool
+//! threads a builder fans out to (e.g. per-subtree tasks) are not tagged;
+//! the enclosing `kdtree.build` span on the serving thread is.
+//!
+//! [`TraceContext`] is the owned side: it travels with a queued job,
+//! accumulates a per-stage latency breakdown (queue wait, build, render,
+//! serialize), and serializes into the response so clients can separate
+//! server time from network time.
+
+use crate::json::JsonValue;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a process-unique trace id (never 0).
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id active on this thread, if any.
+pub fn current() -> Option<u64> {
+    let id = CURRENT.with(Cell::get);
+    (id != 0).then_some(id)
+}
+
+/// Marks `id` as the active trace on this thread until the guard drops
+/// (restoring whatever was active before, so traces nest).
+pub fn enter(id: u64) -> Guard {
+    let prev = CURRENT.with(|c| c.replace(id));
+    Guard { prev }
+}
+
+/// Restores the previously active trace id on drop; see [`enter`].
+#[must_use = "the trace is only active while the guard lives"]
+pub struct Guard {
+    prev: u64,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Per-request trace state: the server-assigned id, the client's own
+/// trace tag (echoed verbatim), and the stage-latency breakdown.
+#[derive(Clone, Debug)]
+pub struct TraceContext {
+    /// Server-assigned trace id; tags records via [`enter`].
+    pub id: u64,
+    /// Client-supplied trace tag from the request, echoed in the
+    /// response so clients can verify the round trip.
+    pub client_tag: Option<String>,
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl TraceContext {
+    /// Creates a context with a fresh server-assigned id.
+    pub fn new(client_tag: Option<String>) -> TraceContext {
+        TraceContext {
+            id: next_id(),
+            client_tag,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends one stage measurement (microseconds) to the breakdown.
+    pub fn stage(&mut self, name: &'static str, us: u64) {
+        self.stages.push((name, us));
+    }
+
+    /// The recorded stages, in the order they completed.
+    pub fn stages(&self) -> &[(&'static str, u64)] {
+        &self.stages
+    }
+
+    /// The recorded duration of `name`, if that stage ran.
+    pub fn stage_us(&self, name: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, us)| *us)
+    }
+
+    /// Sum of all recorded stage durations.
+    pub fn total_us(&self) -> u64 {
+        self.stages.iter().map(|(_, us)| *us).sum()
+    }
+
+    /// The stage map as JSON (`{"queue_us":…,"build_us":…}`), as embedded
+    /// in responses under `"stages"`.
+    pub fn stages_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.stages
+                .iter()
+                .map(|(name, us)| (format!("{name}_us"), JsonValue::from(*us)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert_eq!(current(), None);
+        {
+            let _outer = enter(7);
+            assert_eq!(current(), Some(7));
+            {
+                let _inner = enter(8);
+                assert_eq!(current(), Some(8));
+            }
+            assert_eq!(current(), Some(7));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn trace_is_thread_local() {
+        let _g = enter(42);
+        let other = std::thread::spawn(current).join().unwrap();
+        assert_eq!(other, None, "trace ids must not leak across threads");
+        assert_eq!(current(), Some(42));
+    }
+
+    #[test]
+    fn context_accumulates_stages() {
+        let mut ctx = TraceContext::new(Some("c1-5".into()));
+        ctx.stage("queue", 10);
+        ctx.stage("build", 200);
+        ctx.stage("render", 300);
+        assert_eq!(ctx.stage_us("build"), Some(200));
+        assert_eq!(ctx.stage_us("serialize"), None);
+        assert_eq!(ctx.total_us(), 510);
+        let json = ctx.stages_json();
+        assert_eq!(json.get("queue_us").unwrap().as_u64(), Some(10));
+        assert_eq!(json.get("render_us").unwrap().as_u64(), Some(300));
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrency hammer for the live metrics registry: many threads
+//! updating the same counters, gauges, and windowed histograms must lose
+//! nothing — counters are exact and histogram window totals account for
+//! every observation. CI runs this with `RAYON_NUM_THREADS=8` alongside
+//! the pool-width matrix, but the test spawns its own std threads so the
+//! contention level is fixed regardless of the rayon shim.
+
+use kdtune_telemetry::metrics::WINDOWS;
+use kdtune_telemetry::{MetricsRecorder, MetricsRegistry, Record, RecordKind, Recorder};
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+/// Divisible by 60 so the per-second spread in the window test is even.
+const OPS_PER_THREAD: u64 = 18_000;
+
+#[test]
+fn counters_are_exact_under_contention() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                // Mix cached-handle and by-name updates, labeled and not.
+                let cached = reg.counter("hammer_cached_total", &[]);
+                for i in 0..OPS_PER_THREAD {
+                    cached.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    reg.add("hammer_named_total", &[], 2);
+                    reg.add(
+                        "hammer_labeled_total",
+                        &[("thread", if t % 2 == 0 { "even" } else { "odd" })],
+                        1,
+                    );
+                    reg.gauge_set("hammer_gauge", &[], i as i64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS * OPS_PER_THREAD;
+    assert_eq!(reg.counter_value("hammer_cached_total", &[]), total);
+    assert_eq!(reg.counter_value("hammer_named_total", &[]), 2 * total);
+    assert_eq!(
+        reg.counter_value("hammer_labeled_total", &[("thread", "even")])
+            + reg.counter_value("hammer_labeled_total", &[("thread", "odd")]),
+        total
+    );
+    let gauge = reg.gauge("hammer_gauge", &[]);
+    let v = gauge.load(std::sync::atomic::Ordering::Relaxed);
+    assert!((0..OPS_PER_THREAD as i64).contains(&v));
+}
+
+#[test]
+fn histogram_window_totals_account_for_every_observation() {
+    let reg = Arc::new(MetricsRegistry::new());
+    // All observations land inside one 60s span of the monotonic clock,
+    // so the 60s window and the cumulative histogram must both see every
+    // sample exactly once.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let t_us = (i % 60) * 1_000_000 + t * 1000 + 1;
+                    reg.observe_at("hammer_us", &[], t_us, 100 + (i % 900));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS * OPS_PER_THREAD;
+    let wh = reg.histogram("hammer_us", &[]);
+    let wh = wh.lock();
+    assert_eq!(wh.cumulative().count(), total);
+    let now_us = 59 * 1_000_000 + 999_999;
+    assert_eq!(wh.window(now_us, 60).count(), total);
+    // Each second got the same share; a 10s window sees exactly 10/60.
+    assert_eq!(wh.window(now_us, 10).count(), total / 6);
+    let w = wh.window(now_us, 60);
+    assert!(w.min_us() >= 100 && w.max_us() <= 999);
+    assert!(w.percentile_us(0.5) <= w.percentile_us(0.95));
+}
+
+#[test]
+fn recorder_fold_is_lossless_under_contention() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let rec = Arc::new(MetricsRecorder::new(Arc::clone(&reg)));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let rec = Arc::clone(&rec);
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD / 10 {
+                    rec.record(Record {
+                        kind: RecordKind::Counter,
+                        name: "hammer.folded",
+                        t_us: i * 500,
+                        duration_us: None,
+                        delta: Some(1),
+                        fields: vec![],
+                    });
+                    rec.record(Record {
+                        kind: RecordKind::Span,
+                        name: "hammer.span",
+                        t_us: i * 500,
+                        duration_us: Some(250),
+                        delta: None,
+                        fields: vec![],
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS * (OPS_PER_THREAD / 10);
+    assert_eq!(reg.counter_value("hammer_folded_total", &[]), total);
+    let wh = reg.histogram("hammer_span_us", &[]);
+    assert_eq!(wh.lock().cumulative().count(), total);
+    assert_eq!(wh.lock().cumulative().sum_us(), total * 250);
+    // Exposition stays consistent with the raw handles.
+    let text = reg.prometheus_text(0);
+    assert!(text.contains(&format!("hammer_folded_total {total}")));
+    // Every exported window label appears for the span series.
+    for (_, label) in WINDOWS {
+        assert!(text.contains(&format!("hammer_span_us_count{{window=\"{label}\"}}")));
+    }
+}
