@@ -24,6 +24,10 @@ OPTIONS:
     --cache-mb N         tree cache capacity in MiB [default: 128]
     --store FILE         tuned-config JSONL store [default: renderd_configs.jsonl]
     --slow-ms N          slow-request trace threshold in ms [default: 250]
+    --max-conns N        concurrent connection limit; excess accepts get a
+                         `busy` error and are closed [default: 1024]
+    --drain-ms N         shutdown drain deadline before lingering
+                         connections are force-closed [default: 5000]
     --trace FILE         record a JSONL telemetry trace
     --help               show this help
 
@@ -84,8 +88,14 @@ OPTIONS:
     --frames N           frame indices cycled per scene [default: 2]
     --tune-every N       every n-th request is a tune_step; 0 disables [default: 4]
     --tune-steps N       tuner steps per tune_step request [default: 2]
+    --curve A,B,...      connection-scaling mode: run the workload once per
+                         connection count (e.g. 4,16,64,256,1024) against the
+                         same server and report a connections-vs-throughput/
+                         latency curve; each point sends at least 2 requests
+                         per connection
     --smoke              small self-terminating smoke workload (implies --shutdown)
-    --shutdown           send shutdown after the run
+    --shutdown           send shutdown after the run (in curve mode: after the
+                         final point)
     --out FILE           JSON report path [default: results/BENCH_server.json]
     --help               show this help
 ";
@@ -154,6 +164,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         config.store_path.display().to_string(),
     )?);
     config.slow_ms = take_parsed(&mut args, "--slow-ms", config.slow_ms)?;
+    config.max_conns = take_parsed(&mut args, "--max-conns", config.max_conns)?;
+    config.drain_ms = take_parsed(&mut args, "--drain-ms", config.drain_ms)?;
     let trace = take_value(&mut args, "--trace")?;
     reject_leftovers(&args, SERVE_USAGE)?;
 
@@ -165,11 +177,12 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let server =
         RenderServer::bind(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
     println!(
-        "renderd listening on {} ({} workers, queue {}, cache {} MiB, store {})",
+        "renderd listening on {} ({} workers, queue {}, cache {} MiB, max {} conns, store {})",
         server.local_addr(),
         config.workers,
         config.queue_capacity,
         config.cache_bytes / (1024 * 1024),
+        config.max_conns,
         config.store_path.display()
     );
     let result = server.run().map_err(|e| format!("server error: {e}"));
@@ -215,32 +228,61 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     if let Some(out) = take_value(&mut args, "--out")? {
         options.out = Some(PathBuf::from(out));
     }
+    let curve: Option<Vec<usize>> = match take_value(&mut args, "--curve")? {
+        None => None,
+        Some(raw) => Some(
+            raw.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| format!("--curve: cannot parse {s:?}"))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+    };
     reject_leftovers(&args, LOADGEN_USAGE)?;
 
-    let report = loadgen::run(&options)?;
-    println!("{}", loadgen::format_summary(&report));
+    let reports: Vec<(Option<usize>, loadgen::LoadgenReport)> = match curve {
+        Some(points) => loadgen::run_curve(&options, &points)?
+            .into_iter()
+            .map(|(connections, report)| (Some(connections), report))
+            .collect(),
+        None => vec![(None, loadgen::run(&options)?)],
+    };
+    for (connections, report) in &reports {
+        if let Some(connections) = connections {
+            println!("--- {connections} connections ---");
+        }
+        println!("{}", loadgen::format_summary(report));
+    }
     if let Some(path) = &options.out {
         println!("report written to {}", path.display());
     }
-    if report.protocol_errors > 0 {
-        return Err(format!(
-            "{} protocol errors (first: {})",
-            report.protocol_errors,
-            report
-                .first_errors
-                .first()
-                .map(String::as_str)
-                .unwrap_or("?")
-        ));
-    }
-    if report.ok == 0 {
-        return Err("no request succeeded".into());
-    }
-    if report.trace_mismatches > 0 {
-        return Err(format!(
-            "{} responses did not echo the request's trace tag",
-            report.trace_mismatches
-        ));
+    for (connections, report) in &reports {
+        let point = connections
+            .map(|c| format!(" at {c} connections"))
+            .unwrap_or_default();
+        if report.protocol_errors > 0 {
+            return Err(format!(
+                "{} protocol errors{point} (first: {})",
+                report.protocol_errors,
+                report
+                    .first_errors
+                    .first()
+                    .map(String::as_str)
+                    .unwrap_or("?")
+            ));
+        }
+        if report.ok == 0 {
+            return Err(format!("no request succeeded{point}"));
+        }
+        if report.trace_mismatches > 0 {
+            return Err(format!(
+                "{} responses did not echo the request's trace tag{point}",
+                report.trace_mismatches
+            ));
+        }
     }
     Ok(())
 }

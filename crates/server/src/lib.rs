@@ -25,16 +25,22 @@
 //!   endpoint), per-request traces with stage-latency breakdowns, a
 //!   Prometheus-style `metrics` command, and a `kdtune top` terminal
 //!   dashboard ([`top`]),
-//! * and drains in-flight work on shutdown ([`server`]).
+//! * and drains in-flight work on shutdown under a deadline ([`server`]).
 //!
-//! Everything is dependency-free: `std::net` blocking I/O, the workspace
-//! rayon shim for rendering, and `telemetry::json` as the wire format.
+//! The network front is a single readiness-driven event loop: one thread
+//! multiplexes every connection with `poll(2)` (via the workspace
+//! `polling` shim) over nonblocking `std::net` sockets, reassembling
+//! requests from bounded buffers and flushing worker responses through
+//! capped per-connection write queues. Everything else is
+//! dependency-free: the workspace rayon shim for rendering, and
+//! `telemetry::json` as the wire format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod cli;
+mod conn;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;

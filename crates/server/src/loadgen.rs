@@ -12,7 +12,13 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// Stack size for connection threads. The driver does nothing deep —
+/// serialize a request, block on a socket — and curve runs spawn
+/// thousands of these at once, so default 8 MiB stacks are pure waste.
+const CONN_THREAD_STACK: usize = 256 * 1024;
 
 /// Workload shape and target.
 #[derive(Clone, Debug)]
@@ -135,6 +141,10 @@ struct ConnOutcome {
     trace_mismatches: u64,
     server_stages: BTreeMap<String, Histogram>,
     first_errors: Vec<String>,
+    /// Request-phase wall time for this connection (connect and barrier
+    /// excluded), so the run's throughput is not polluted by the connect
+    /// storm of high-connection-count points.
+    elapsed_secs: f64,
 }
 
 /// Runs the workload. Transport failures (connect/read/write) abort the
@@ -147,22 +157,35 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         return Err("need at least one scene".into());
     }
     let started = Instant::now();
+    // All connections are established before any request is sent: the
+    // barrier releases the request phase only once every thread holds an
+    // accepted socket, so a point labeled "N connections" really does
+    // measure N concurrent clients, not a connect/request ramp.
+    let barrier = Arc::new(Barrier::new(options.connections));
+    let shared = Arc::new(options.clone());
     let mut handles = Vec::new();
     for conn in 0..options.connections {
         let per = options.requests / options.connections
             + usize::from(conn < options.requests % options.connections);
-        let options = options.clone();
-        handles.push(std::thread::spawn(move || {
-            drive_connection(&options, conn, per)
-        }));
+        let options = Arc::clone(&shared);
+        let barrier = Arc::clone(&barrier);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-{conn}"))
+                .stack_size(CONN_THREAD_STACK)
+                .spawn(move || drive_connection(&options, conn, per, &barrier))
+                .map_err(|e| format!("spawn connection thread {conn}: {e}"))?,
+        );
     }
     let mut histogram = Histogram::new();
     let mut report = LoadgenReport::default();
+    let mut request_phase_secs: f64 = 0.0;
     for handle in handles {
         let outcome = handle
             .join()
             .map_err(|_| "loadgen connection thread panicked".to_string())??;
         histogram.merge(&outcome.histogram);
+        request_phase_secs = request_phase_secs.max(outcome.elapsed_secs);
         report.ok += outcome.ok;
         report.busy += outcome.busy;
         report.protocol_errors += outcome.errors;
@@ -180,7 +203,11 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
             }
         }
     }
-    report.elapsed_secs = started.elapsed().as_secs_f64();
+    report.elapsed_secs = if request_phase_secs > 0.0 {
+        request_phase_secs
+    } else {
+        started.elapsed().as_secs_f64()
+    };
     report.sent = histogram.count();
     report.throughput_rps = if report.elapsed_secs > 0.0 {
         report.sent as f64 / report.elapsed_secs
@@ -239,6 +266,28 @@ pub(crate) struct Client {
 impl Client {
     pub(crate) fn connect(addr: &str) -> Result<Client, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with retry/backoff. A curve point opening hundreds of
+    /// connections at once can overflow the listen backlog; the kernel
+    /// drops the SYN or refuses, and a short retry is the correct
+    /// response rather than failing the whole run.
+    pub(crate) fn connect_retry(addr: &str) -> Result<Client, String> {
+        let mut delay = Duration::from_millis(10);
+        let mut last_err = String::new();
+        for _ in 0..8 {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(e) => last_err = format!("connect {addr}: {e}"),
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(250));
+        }
+        Err(format!("{last_err} (after retries)"))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, String> {
         // Tune steps at paper scale can take a while; be generous.
         stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
         let reader = BufReader::new(
@@ -272,8 +321,11 @@ fn drive_connection(
     options: &LoadgenOptions,
     conn: usize,
     count: usize,
+    barrier: &Barrier,
 ) -> Result<ConnOutcome, String> {
-    let mut client = Client::connect(&options.addr)?;
+    let mut client = Client::connect_retry(&options.addr)?;
+    barrier.wait();
+    let phase_started = Instant::now();
     let mut outcome = ConnOutcome {
         histogram: Histogram::new(),
         ok: 0,
@@ -282,6 +334,7 @@ fn drive_connection(
         trace_mismatches: 0,
         server_stages: BTreeMap::new(),
         first_errors: Vec::new(),
+        elapsed_secs: 0.0,
     };
     for i in 0..count {
         let id = (conn as i64) * 1_000_000 + i as i64;
@@ -356,7 +409,52 @@ fn drive_connection(
             }
         }
     }
+    outcome.elapsed_secs = phase_started.elapsed().as_secs_f64();
     Ok(outcome)
+}
+
+/// Runs the workload once per connection count in `points` against the
+/// same server, returning `(connections, report)` per point. Each point
+/// sends at least two requests per connection (scaling `requests` up for
+/// large points) so every connection actually participates. The server
+/// is shared across points — caches and sessions stay warm, which is the
+/// realistic comparison: the curve isolates the cost of *connections*,
+/// not of cold caches.
+///
+/// If `options.shutdown_after` is set, shutdown is sent once, after the
+/// final point; if `options.out` is set, a single multi-point report is
+/// written there (see [`curve_report_json`]).
+pub fn run_curve(
+    options: &LoadgenOptions,
+    points: &[usize],
+) -> Result<Vec<(usize, LoadgenReport)>, String> {
+    if points.is_empty() {
+        return Err("need at least one curve point".into());
+    }
+    let mut results = Vec::new();
+    for &connections in points {
+        let point = LoadgenOptions {
+            connections,
+            requests: options.requests.max(connections * 2),
+            shutdown_after: false,
+            out: None,
+            ..options.clone()
+        };
+        let report = run(&point)?;
+        results.push((connections, report));
+    }
+    if options.shutdown_after {
+        let mut control = Client::connect(&options.addr)?;
+        control.roundtrip(&JsonValue::object([
+            ("id", JsonValue::from(-2)),
+            ("cmd", "shutdown".into()),
+        ]))?;
+    }
+    if let Some(path) = &options.out {
+        let json = curve_report_json(options, &results);
+        write_json(&json, path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(results)
 }
 
 /// The report as JSON (the shape written to `results/BENCH_server.json`).
@@ -439,17 +537,74 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
     ])
 }
 
-fn write_report(
-    report: &LoadgenReport,
+/// One connections-vs-throughput/latency point of a curve report.
+fn curve_point_json(connections: usize, report: &LoadgenReport) -> JsonValue {
+    JsonValue::object([
+        ("connections", JsonValue::from(connections)),
+        ("sent", report.sent.into()),
+        ("ok", report.ok.into()),
+        ("busy", report.busy.into()),
+        ("protocol_errors", report.protocol_errors.into()),
+        ("trace_mismatches", report.trace_mismatches.into()),
+        ("elapsed_secs", report.elapsed_secs.into()),
+        ("throughput_rps", report.throughput_rps.into()),
+        (
+            "latency_us",
+            JsonValue::object([
+                ("p50", JsonValue::from(report.p50_us)),
+                ("p90", report.p90_us.into()),
+                ("p95", report.p95_us.into()),
+                ("p99", report.p99_us.into()),
+                ("mean", report.mean_us.into()),
+                ("min", report.min_us.into()),
+                ("max", report.max_us.into()),
+            ]),
+        ),
+    ])
+}
+
+/// A multi-point curve report. The top level keeps the single-run shape
+/// (filled from the *first* point, the baseline connection count) so
+/// existing consumers of `BENCH_server.json` keep working, and adds a
+/// `curve` array with one entry per connection count.
+pub fn curve_report_json(
     options: &LoadgenOptions,
-    path: &PathBuf,
-) -> std::io::Result<()> {
+    results: &[(usize, LoadgenReport)],
+) -> JsonValue {
+    let (first_conns, first) = &results[0];
+    let base = LoadgenOptions {
+        connections: *first_conns,
+        ..options.clone()
+    };
+    let mut json = report_json(first, &base);
+    if let JsonValue::Object(map) = &mut json {
+        map.insert(
+            "curve".into(),
+            results
+                .iter()
+                .map(|(connections, report)| curve_point_json(*connections, report))
+                .collect::<Vec<_>>()
+                .into(),
+        );
+    }
+    json
+}
+
+fn write_json(json: &JsonValue, path: &PathBuf) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, format!("{}\n", report_json(report, options)))
+    std::fs::write(path, format!("{json}\n"))
+}
+
+fn write_report(
+    report: &LoadgenReport,
+    options: &LoadgenOptions,
+    path: &PathBuf,
+) -> std::io::Result<()> {
+    write_json(&report_json(report, options), path)
 }
 
 /// Human-readable run summary for the CLI.

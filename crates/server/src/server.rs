@@ -1,16 +1,28 @@
-//! The `renderd` TCP server: accept loop, bounded work queue, worker
-//! pool, and graceful drain shutdown.
+//! The `renderd` TCP server: a single readiness-driven event loop in
+//! front of a bounded work queue and a fixed worker pool.
 //!
-//! Threading model: one reader thread per connection parses lines and
-//! answers control commands (`stats`, `shutdown`) inline; render and
-//! tune work is pushed onto a bounded queue drained by a fixed worker
+//! Threading model: ONE event-loop thread multiplexes every connection
+//! with `poll(2)` (via the `polling` shim) over nonblocking `std::net`
+//! sockets — no per-connection threads. The loop accepts, reassembles
+//! newline-delimited requests from bounded per-connection buffers,
+//! answers control commands (`stats`, `metrics`, `shutdown`) inline, and
+//! pushes render/tune work onto a bounded queue drained by the worker
 //! pool. A full queue is answered immediately with a structured `busy`
 //! error — the service degrades by shedding load, never by buffering
-//! unboundedly. Responses go back through a per-connection writer lock,
-//! so worker responses and inline responses interleave safely on one
-//! socket.
+//! unboundedly.
+//!
+//! Responses flow back through per-connection write queues
+//! ([`crate::conn::ConnHandle`]): workers enqueue and wake the loop, the
+//! loop flushes when `poll` reports the socket writable. Write errors
+//! surface in the loop's flush, mark the connection dead (workers skip
+//! its remaining queued jobs), and count `renderd_write_errors_total`;
+//! a client that stops reading hits the write-queue cap and is killed
+//! rather than buffered without bound. Shutdown drains under a deadline:
+//! connections holding half-sent requests or unread responses cannot
+//! stall the exit forever.
 
 use crate::cache::TreeCache;
+use crate::conn::{drain_waker, Conn, ConnHandle, Flush, Waker};
 use crate::protocol::{self, Command, ErrorCode, Request, SessionSpec};
 use crate::session::SessionManager;
 use crate::store::ConfigStore;
@@ -18,11 +30,14 @@ use kdtune::raycast::render_with_options;
 use kdtune::{build, Algorithm, BuildParams, BuiltTree, Camera, RenderOptions};
 use kdtune_telemetry::trace::TraceContext;
 use kdtune_telemetry::{self as telemetry, json::JsonValue, MetricsRecorder, MetricsRegistry};
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use polling::{PollFd, POLLIN, POLLOUT};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -43,6 +58,12 @@ pub struct ServerConfig {
     /// captured as exemplar traces (`server.trace` events and the
     /// `slow` section of `stats`).
     pub slow_ms: u64,
+    /// Maximum simultaneous connections; excess accepts are answered
+    /// with a `busy` error line and closed.
+    pub max_conns: usize,
+    /// Shutdown drain deadline: connections still holding unflushed
+    /// responses or in-flight jobs past this are force-closed.
+    pub drain_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +75,8 @@ impl Default for ServerConfig {
             cache_bytes: crate::cache::DEFAULT_CAPACITY_BYTES,
             store_path: "renderd_configs.jsonl".into(),
             slow_ms: 250,
+            max_conns: 1024,
+            drain_ms: 5000,
         }
     }
 }
@@ -61,7 +84,15 @@ impl Default for ServerConfig {
 /// How many slow-request exemplars `stats` retains, newest first.
 const SLOW_TRACE_CAP: usize = 16;
 
-/// Request counters, updated lock-free from readers and workers.
+/// Poll timeout while serving; wakes are event-driven (sockets, waker),
+/// so this only bounds gauge staleness between idle iterations.
+const POLL_IDLE_MS: i32 = 250;
+
+/// Poll timeout while draining, so the drain deadline is observed
+/// promptly even with no socket activity.
+const POLL_DRAIN_MS: i32 = 25;
+
+/// Request counters, updated lock-free from the loop and workers.
 #[derive(Default)]
 struct Counters {
     received: AtomicU64,
@@ -72,25 +103,9 @@ struct Counters {
     tunes: AtomicU64,
 }
 
-/// Serializes writes to one client socket (reader-inline responses and
-/// worker responses share it via `try_clone`).
-struct ConnWriter {
-    stream: parking_lot::Mutex<TcpStream>,
-}
-
-impl ConnWriter {
-    fn send_line(&self, line: &str) {
-        let mut stream = self.stream.lock();
-        // A dead peer is not a server error; drop the response.
-        let _ = stream.write_all(line.as_bytes());
-        let _ = stream.write_all(b"\n");
-        let _ = stream.flush();
-    }
-}
-
 struct Job {
     request: Request,
-    writer: Arc<ConnWriter>,
+    writer: Arc<ConnHandle>,
     received: Instant,
     trace: TraceContext,
 }
@@ -182,12 +197,19 @@ struct ServerState {
     metrics: Arc<MetricsRegistry>,
     slow_us: u64,
     slow_traces: parking_lot::Mutex<VecDeque<JsonValue>>,
+    /// Live connection count, maintained by the event loop.
+    connections: AtomicUsize,
+    max_conns: usize,
+    drain_ms: u64,
+    /// Wakes the event loop out of `poll` (worker responses, shutdown).
+    waker: Arc<Waker>,
 }
 
 /// A bound, not-yet-running server. [`run`](RenderServer::run) blocks
 /// until a `shutdown` request drains the queue.
 pub struct RenderServer {
     listener: TcpListener,
+    waker_rx: UnixStream,
     state: Arc<ServerState>,
 }
 
@@ -199,6 +221,7 @@ impl RenderServer {
         let addr = listener.local_addr()?;
         let metrics = Arc::new(MetricsRegistry::new());
         preregister_series(&metrics);
+        let (waker, waker_rx) = Waker::pair()?;
         let state = Arc::new(ServerState {
             addr,
             workers: config.workers.max(1),
@@ -211,8 +234,16 @@ impl RenderServer {
             metrics,
             slow_us: config.slow_ms.saturating_mul(1000),
             slow_traces: parking_lot::Mutex::new(VecDeque::new()),
+            connections: AtomicUsize::new(0),
+            max_conns: config.max_conns.max(1),
+            drain_ms: config.drain_ms,
+            waker,
         });
-        Ok(RenderServer { listener, state })
+        Ok(RenderServer {
+            listener,
+            waker_rx,
+            state,
+        })
     }
 
     /// The actual bound address (resolves port 0).
@@ -220,8 +251,9 @@ impl RenderServer {
         self.state.addr
     }
 
-    /// Serves until shutdown: spawns the worker pool, accepts
-    /// connections, then joins everything once draining finishes.
+    /// Serves until shutdown: spawns the worker pool, runs the event
+    /// loop on the calling thread, then joins the workers once draining
+    /// finishes.
     ///
     /// While serving, a [`MetricsRecorder`] is installed as the process
     /// recorder so the full record stream (requests, cache ops, tuner
@@ -264,30 +296,12 @@ impl RenderServer {
             })
             .collect();
 
-        let mut readers = Vec::new();
-        for conn in self.listener.incoming() {
-            if state.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(stream) => stream,
-                Err(_) => continue,
-            };
-            let conn_state = Arc::clone(&state);
-            readers.push(
-                std::thread::Builder::new()
-                    .name("renderd-reader".into())
-                    .spawn(move || reader_loop(&conn_state, stream))
-                    .expect("spawn reader"),
-            );
-            readers.retain(|handle| !handle.is_finished());
-        }
+        event_loop(&state, &self.listener, &self.waker_rx);
 
+        // The event loop exits only after the queue is closed; workers
+        // finish whatever was accepted before the close and stop.
         for worker in workers {
             let _ = worker.join();
-        }
-        for reader in readers {
-            let _ = reader.join();
         }
         telemetry::event_owned(
             "server.lifecycle",
@@ -309,6 +323,236 @@ impl RenderServer {
     }
 }
 
+/// One step of `renderd_conn_lifecycle_total{event=...}`.
+fn conn_event(state: &ServerState, event: &'static str) {
+    state
+        .metrics
+        .add("renderd_conn_lifecycle_total", &[("event", event)], 1);
+}
+
+/// The readiness-driven core: accepts, reads, dispatches, flushes, and
+/// closes every connection from one thread. Returns once shutdown has
+/// drained (or the drain deadline force-closed the stragglers).
+fn event_loop(state: &Arc<ServerState>, listener: &TcpListener, waker_rx: &UnixStream) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tokens: Vec<u64> = Vec::new();
+
+    loop {
+        let draining = state.shutting_down.load(Ordering::SeqCst);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + Duration::from_millis(state.drain_ms));
+        }
+
+        // Interest set: the waker, the listener (while serving), and
+        // every connection that wants reads (line reassembly) or writes
+        // (non-empty queue). Connections waiting only on in-flight jobs
+        // are deliberately absent — `job_finished` wakes the loop — so a
+        // hung-up peer cannot spin the loop on an unmaskable `POLLHUP`.
+        fds.clear();
+        tokens.clear();
+        fds.push(PollFd::new(waker_rx.as_raw_fd(), POLLIN));
+        let accept_slot = if draining {
+            None
+        } else {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+            Some(fds.len() - 1)
+        };
+        let conn_base = fds.len();
+        for (token, conn) in conns.iter() {
+            let mut events = 0i16;
+            if !draining && !conn.read_closed && !conn.close_after_flush {
+                events |= POLLIN;
+            }
+            if conn.pending_write() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                tokens.push(*token);
+            }
+        }
+
+        let timeout = if draining {
+            POLL_DRAIN_MS
+        } else {
+            POLL_IDLE_MS
+        };
+        if polling::wait(&mut fds, timeout).is_err() {
+            // poll itself failing is unrecoverable for the loop; close
+            // everything and let shutdown semantics take over.
+            break;
+        }
+
+        if fds[0].readable() {
+            drain_waker(waker_rx);
+        }
+        if let Some(slot) = accept_slot {
+            if fds[slot].readable() {
+                accept_ready(state, listener, &mut conns, &mut next_token);
+            }
+        }
+
+        // Readiness per connection: reads reassemble and dispatch lines,
+        // `POLLOUT` re-arms a previously blocked writer, and failed
+        // descriptors are marked dead for the close pass below.
+        for (i, token) in tokens.iter().enumerate() {
+            let Some(conn) = conns.get_mut(token) else {
+                continue;
+            };
+            let pfd = &fds[conn_base + i];
+            if pfd.failed() {
+                conn.handle.mark_dead();
+                continue;
+            }
+            if pfd.writable() {
+                conn.write_blocked = false;
+            }
+            if pfd.readable() && !conn.read_closed {
+                process_readable(state, conn);
+            }
+        }
+
+        // Flush pass: anything queued (by workers since the last poll, or
+        // by inline handling just above) goes out now unless the socket
+        // reported `WouldBlock` and has not signaled writable again.
+        for conn in conns.values_mut() {
+            let flushable = !conn.handle.is_dead() && conn.pending_write() && !conn.write_blocked;
+            if flushable && conn.flush() == Flush::Error {
+                state.metrics.add("renderd_write_errors_total", &[], 1);
+                conn_event(state, "write_error");
+            }
+        }
+
+        // Close pass: dead sockets, overflowed write queues, flushed
+        // terminal errors, finished peers, and drained/expired shutdown.
+        let deadline_passed = drain_deadline.is_some_and(|d| Instant::now() >= d);
+        let mut to_close: Vec<u64> = Vec::new();
+        for (token, conn) in conns.iter() {
+            let idle = !conn.pending_write() && conn.handle.jobs_in_flight() == 0;
+            let close = if conn.handle.is_dead() {
+                true
+            } else if conn.handle.overflowed() {
+                state.metrics.add("renderd_write_errors_total", &[], 1);
+                conn_event(state, "write_overflow");
+                conn.handle.mark_dead();
+                true
+            } else if (conn.close_after_flush && !conn.pending_write())
+                || (conn.read_closed && idle)
+                || (draining && idle)
+            {
+                // Terminal error flushed, peer finished, or — during a
+                // drain — anything idle: drain completion must not wait
+                // on a client holding a half-sent request or an idle
+                // socket open.
+                true
+            } else if draining && deadline_passed {
+                conn_event(state, "drain_closed");
+                conn.handle.mark_dead();
+                true
+            } else {
+                false
+            };
+            if close {
+                to_close.push(*token);
+            }
+        }
+        for token in to_close {
+            if let Some(conn) = conns.remove(&token) {
+                conn.handle.mark_dead();
+                conn_event(state, "closed");
+                state.connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        if draining && conns.is_empty() {
+            break;
+        }
+    }
+
+    // Anything still open (poll failure path) is torn down on drop.
+    for (_, conn) in conns.drain() {
+        conn.handle.mark_dead();
+        conn_event(state, "closed");
+        state.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Accepts until `WouldBlock`; over-limit connections get one `busy`
+/// error line and are closed immediately.
+fn accept_ready(
+    state: &Arc<ServerState>,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conns.len() >= state.max_conns {
+                    conn_event(state, "conn_limit");
+                    let line = protocol::err_line(
+                        0,
+                        ErrorCode::Busy,
+                        &format!("connection limit ({}) reached", state.max_conns),
+                    );
+                    // Best effort: the socket is fresh, so the line fits
+                    // the send buffer; any failure just means a close
+                    // with no explanation.
+                    let _ = (&stream).write_all(line.as_bytes());
+                    let _ = (&stream).write_all(b"\n");
+                    continue;
+                }
+                match Conn::new(stream, Arc::clone(&state.waker), protocol::MAX_LINE_BYTES) {
+                    Ok(conn) => {
+                        conn_event(state, "accepted");
+                        state.connections.fetch_add(1, Ordering::Relaxed);
+                        let token = *next_token;
+                        *next_token += 1;
+                        conns.insert(token, conn);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drains a readable connection: dispatches every complete line, rejects
+/// oversized ones, and notes EOF / hard errors for the close pass.
+fn process_readable(state: &Arc<ServerState>, conn: &mut Conn) {
+    let outcome = conn.read_ready();
+    for line in &outcome.lines {
+        handle_line(state, &conn.handle, line);
+    }
+    if outcome.overflow {
+        conn_event(state, "line_overflow");
+        conn.handle.send_line(&protocol::err_line(
+            0,
+            ErrorCode::BadRequest,
+            &format!(
+                "request line too long (max {} bytes)",
+                protocol::MAX_LINE_BYTES
+            ),
+        ));
+        conn.close_after_flush = true;
+    }
+    if outcome.eof {
+        conn_event(state, "read_eof");
+    }
+    if outcome.error {
+        conn.handle.mark_dead();
+    }
+}
+
 /// Registers every baseline series the server exports so the `metrics`
 /// exposition is schema-complete from the first scrape — CI greps for
 /// these names even before traffic arrives.
@@ -318,6 +562,20 @@ fn preregister_series(metrics: &MetricsRegistry) {
     }
     metrics.counter("renderd_busy_total", &[]);
     metrics.counter("renderd_slow_requests_total", &[("cmd", "render")]);
+    metrics.counter("renderd_write_errors_total", &[]);
+    metrics.counter("renderd_jobs_skipped_total", &[]);
+    for event in [
+        "accepted",
+        "closed",
+        "read_eof",
+        "write_error",
+        "line_overflow",
+        "write_overflow",
+        "conn_limit",
+        "drain_closed",
+    ] {
+        metrics.counter("renderd_conn_lifecycle_total", &[("event", event)]);
+    }
     for op in ["hit", "miss", "evict"] {
         metrics.counter("renderd_cache_ops_total", &[("op", op)]);
     }
@@ -330,6 +588,7 @@ fn preregister_series(metrics: &MetricsRegistry) {
         metrics.histogram("renderd_stage_us", &[("stage", stage)]);
     }
     for gauge in [
+        "renderd_connections",
         "renderd_queue_depth",
         "renderd_queue_capacity",
         "renderd_workers",
@@ -346,6 +605,11 @@ fn preregister_series(metrics: &MetricsRegistry) {
 /// snapshot or exposition so scrapes always see current values.
 fn refresh_gauges(state: &ServerState) {
     let m = &state.metrics;
+    m.gauge_set(
+        "renderd_connections",
+        &[],
+        state.connections.load(Ordering::Relaxed) as i64,
+    );
     m.gauge_set("renderd_queue_depth", &[], state.queue.depth() as i64);
     m.gauge_set("renderd_queue_capacity", &[], state.queue.capacity as i64);
     m.gauge_set("renderd_workers", &[], state.workers as i64);
@@ -360,55 +624,7 @@ fn refresh_gauges(state: &ServerState) {
     );
 }
 
-fn reader_loop(state: &Arc<ServerState>, stream: TcpStream) {
-    // Periodic timeouts let the reader notice shutdown without a byte
-    // arriving; a partial line survives across timeouts in `buf`.
-    stream
-        .set_read_timeout(Some(Duration::from_millis(150)))
-        .ok();
-    let writer = match stream.try_clone() {
-        Ok(clone) => Arc::new(ConnWriter {
-            stream: parking_lot::Mutex::new(clone),
-        }),
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => {
-                if !buf.is_empty() {
-                    handle_line(state, &writer, &buf);
-                }
-                return;
-            }
-            Ok(_) if buf.last() == Some(&b'\n') => {
-                handle_line(state, &writer, &buf);
-                buf.clear();
-            }
-            Ok(_) => {
-                // Mid-line read that returned (rare); keep accumulating
-                // unless the line is hopeless.
-                if buf.len() > protocol::MAX_LINE_BYTES + 1024 {
-                    writer.send_line(&protocol::err_line(
-                        0,
-                        ErrorCode::BadRequest,
-                        "request line too long",
-                    ));
-                    return;
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if state.shutting_down.load(Ordering::SeqCst) && buf.is_empty() {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
+fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnHandle>, raw: &[u8]) {
     let line = String::from_utf8_lossy(raw);
     let line = line.trim();
     if line.is_empty() {
@@ -494,6 +710,9 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
             let cmd = cmd_name(&request.cmd);
             let trace = TraceContext::new(request.trace.clone());
             let client_tag = request.trace.clone();
+            // Count the job before pushing: a worker may pop and finish
+            // it before `push` even returns.
+            writer.job_started();
             match state.queue.push(Job {
                 request,
                 writer: Arc::clone(writer),
@@ -502,6 +721,7 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
             }) {
                 Push::Queued => {}
                 Push::Busy => {
+                    writer.job_finished();
                     state.counters.busy.fetch_add(1, Ordering::Relaxed);
                     request_event(cmd, id, false, Some(ErrorCode::Busy), 0, 0, None);
                     writer.send_line(&protocol::err_line_traced(
@@ -512,6 +732,7 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnWriter>, raw: &[u8]) {
                     ));
                 }
                 Push::Closed => {
+                    writer.job_finished();
                     state.counters.errors.fetch_add(1, Ordering::Relaxed);
                     writer.send_line(&protocol::err_line_traced(
                         id,
@@ -537,13 +758,20 @@ fn initiate_shutdown(state: &Arc<ServerState>) {
         ],
     );
     state.queue.close();
-    // The accept loop blocks in `incoming()`; a throwaway connection
-    // wakes it so it can observe the flag and exit.
-    let _ = TcpStream::connect(state.addr);
+    // The event loop may be asleep in poll(); nudge it so it observes
+    // the flag and enters the drain phase.
+    state.waker.wake();
 }
 
 fn worker_loop(state: &Arc<ServerState>) {
     while let Some(mut job) = state.queue.pop() {
+        // The client is already gone (write error, overflow kill, or
+        // force-close): rendering for it would be pure waste.
+        if job.writer.is_dead() {
+            state.metrics.add("renderd_jobs_skipped_total", &[], 1);
+            job.writer.job_finished();
+            continue;
+        }
         let queued_us = job.received.elapsed().as_micros() as u64;
         job.trace.stage("queue", queued_us);
         // While the guard lives, every record this thread dispatches
@@ -607,6 +835,7 @@ fn worker_loop(state: &Arc<ServerState>) {
             }
         };
         job.writer.send_line(&line);
+        job.writer.job_finished();
     }
 }
 
@@ -914,6 +1143,11 @@ fn stats_json(state: &Arc<ServerState>) -> JsonValue {
         ),
         ("addr", state.addr.to_string().into()),
         ("workers", state.workers.into()),
+        (
+            "connections",
+            state.connections.load(Ordering::Relaxed).into(),
+        ),
+        ("max_conns", state.max_conns.into()),
         ("queue_depth", state.queue.depth().into()),
         ("queue_capacity", state.queue.capacity.into()),
         (
@@ -982,18 +1216,19 @@ fn stats_json(state: &Arc<ServerState>) -> JsonValue {
 mod tests {
     use super::*;
 
+    fn dummy_handle() -> Arc<ConnHandle> {
+        let (waker, _rx) = Waker::pair().unwrap();
+        ConnHandle::new(waker)
+    }
+
     fn dummy_job(id: i64) -> Job {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         Job {
             request: Request {
                 id,
                 trace: None,
                 cmd: Command::Stats,
             },
-            writer: Arc::new(ConnWriter {
-                stream: parking_lot::Mutex::new(stream),
-            }),
+            writer: dummy_handle(),
             received: Instant::now(),
             trace: TraceContext::new(None),
         }
@@ -1024,5 +1259,44 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(matches!(queue.push(dummy_job(9)), Push::Queued));
         assert_eq!(popper.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn workers_skip_queued_jobs_for_dead_connections() {
+        let store =
+            std::env::temp_dir().join(format!("kdtune-skip-test-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&store).ok();
+        let server = RenderServer::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            store_path: store.clone(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let state = Arc::clone(&server.state);
+
+        // A job whose client died while it sat in the queue.
+        let mut job = dummy_job(7);
+        job.writer = dummy_handle();
+        let handle = Arc::clone(&job.writer);
+        handle.job_started();
+        handle.mark_dead();
+        assert!(matches!(state.queue.push(job), Push::Queued));
+        state.queue.close();
+        worker_loop(&state);
+
+        assert_eq!(
+            state
+                .metrics
+                .counter_value("renderd_jobs_skipped_total", &[]),
+            1,
+            "dead-client job was skipped, not rendered"
+        );
+        assert_eq!(handle.jobs_in_flight(), 0, "in-flight accounting balanced");
+        assert_eq!(
+            handle.pending_bytes(),
+            0,
+            "no response was queued for the dead client"
+        );
+        std::fs::remove_file(&store).ok();
     }
 }

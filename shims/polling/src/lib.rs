@@ -1,0 +1,181 @@
+//! Offline stand-in for a readiness-notification crate: a minimal, safe
+//! wrapper over the `poll(2)` system call.
+//!
+//! The build environment has no access to crates.io, so — following the
+//! `rayon` shim precedent — the workspace resolves the `polling` package
+//! name to this local crate. Unlike the iterator shims this one cannot be
+//! a pure-std reimplementation: readiness multiplexing over many sockets
+//! *is* a system call. The FFI surface is kept to the absolute minimum
+//! (one `extern "C"` function, one `#[repr(C)]` struct) and wrapped so
+//! callers stay entirely safe; `kdtune-server` keeps its
+//! `#![forbid(unsafe_code)]` by leaning on this crate.
+//!
+//! `poll(2)` is level-triggered and stateless: callers rebuild the
+//! [`PollFd`] slice each iteration from their own connection table, which
+//! is exactly the shape `renderd`'s event loop wants (interest in
+//! `POLLOUT` is derived from "does this connection have queued bytes").
+//! No registration API, no edge-trigger re-arm subtleties.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+#[cfg(not(unix))]
+compile_error!("the polling shim wraps poll(2) and supports unix targets only");
+
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+
+/// Readable data (or incoming connection / EOF) is available.
+pub const POLLIN: i16 = 0x001;
+/// Writing now would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition on the descriptor (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` descriptor array: the fd, the requested
+/// events, and the kernel-reported ready events. Layout matches
+/// `struct pollfd` exactly so the slice is passed to the kernel as-is.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry asking for `events` (a mask of [`POLLIN`] / [`POLLOUT`])
+    /// on `fd`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The descriptor this entry watches.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Raw ready mask reported by the kernel.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Data (or a connection, or EOF) can be read without blocking.
+    /// `POLLHUP`/`POLLERR` are folded in: both are drained by reading
+    /// until the socket reports closure, so callers treat them as
+    /// read-readiness.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Writing would not block right now.
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// The descriptor is in an error state (including "not open"); the
+    /// connection should be torn down rather than serviced.
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+}
+
+// `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs
+// (including macOS); pick per target so the ABI is right everywhere the
+// workspace builds.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+type NfdsT = std::os::raw::c_ulong;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+type NfdsT = std::os::raw::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one entry is ready or `timeout_ms` elapses
+/// (`-1` blocks indefinitely, `0` polls). Returns how many entries have
+/// nonzero `revents`. `EINTR` is reported as `Ok(0)` — a spurious wakeup
+/// the caller's loop re-enters — so signal delivery never surfaces as an
+/// error.
+pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `PollFd` is `#[repr(C)]` with the exact layout of
+    // `struct pollfd`, the pointer/length pair comes from a valid
+    // exclusive slice borrow, and `poll` writes only within that slice.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        return Ok(0);
+    }
+    Err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_with_no_ready_fds() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let t0 = Instant::now();
+        let n = wait(&mut fds, 50).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+        assert!(t0.elapsed().as_millis() >= 40, "timeout was honored");
+    }
+
+    #[test]
+    fn write_makes_the_peer_readable_and_empty_socket_writable() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        a.write_all(b"x").unwrap();
+        let mut fds = [
+            PollFd::new(b.as_raw_fd(), POLLIN | POLLOUT),
+            PollFd::new(a.as_raw_fd(), POLLIN),
+        ];
+        let n = wait(&mut fds, 1000).unwrap();
+        assert!(n >= 1);
+        assert!(fds[0].readable(), "peer has a pending byte");
+        assert!(fds[0].writable(), "fresh socket buffer accepts writes");
+        assert!(!fds[1].readable(), "nothing was sent back");
+    }
+
+    #[test]
+    fn hangup_reports_readable_so_callers_drain_to_eof() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = wait(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "drains straight to EOF");
+    }
+
+    #[test]
+    fn bad_fd_flags_the_entry_as_failed() {
+        let fd = {
+            let (a, _b) = UnixStream::pair().unwrap();
+            a.as_raw_fd()
+        }; // both ends dropped; fd is closed
+        let mut fds = [PollFd::new(fd, POLLIN)];
+        let n = wait(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].failed(), "POLLNVAL on a closed fd");
+    }
+}
