@@ -39,7 +39,7 @@ pub mod search;
 mod space;
 mod tuner;
 
-pub use param::{ParamHandle, ParamScale, ParamSpec};
+pub use param::{ParamHandle, ParamScale, ParamSpec, MAX_CHOICES};
 pub use search::exhaustive::ExhaustiveSearch;
 pub use search::hill_climb::HillClimb;
 pub use search::nelder_mead::{NelderMead, NelderMeadSearch};

@@ -1,5 +1,9 @@
 //! Tunable parameter specifications.
 
+/// Maximum number of values a [`ParamScale::Choices`] parameter can hold
+/// (fixed storage keeps `ParamScale` `Copy`).
+pub const MAX_CHOICES: usize = 8;
+
 /// How a parameter's valid values are spaced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ParamScale {
@@ -11,6 +15,17 @@ pub enum ParamScale {
     /// Powers of two in `[min, max]` — used for the lazy resolution `R`
     /// ("limited to powers of 2", Table II).
     Pow2,
+    /// An explicit ascending list of valid values (at most
+    /// [`MAX_CHOICES`]) — used for axes whose legal values are neither
+    /// evenly spaced nor a power ladder, like the packet width
+    /// `{1, 4, 8}`. Only the first `len` slots of `values` are
+    /// meaningful.
+    Choices {
+        /// Valid values, ascending, in `values[..len]`.
+        values: [i64; MAX_CHOICES],
+        /// Number of populated slots.
+        len: u8,
+    },
 }
 
 /// A tunable parameter: a name plus the ordered set of its valid values.
@@ -79,6 +94,36 @@ impl ParamSpec {
         }
     }
 
+    /// Parameter whose valid values are exactly the given ascending list
+    /// (e.g. the packet width `{1, 4, 8}`).
+    ///
+    /// # Panics
+    /// Panics if the list is empty, longer than [`MAX_CHOICES`], or not
+    /// strictly ascending.
+    pub fn choices(name: impl Into<String>, choices: &[i64]) -> ParamSpec {
+        assert!(!choices.is_empty(), "choices must be non-empty");
+        assert!(
+            choices.len() <= MAX_CHOICES,
+            "at most {MAX_CHOICES} choices, got {}",
+            choices.len()
+        );
+        assert!(
+            choices.windows(2).all(|w| w[0] < w[1]),
+            "choices must be strictly ascending: {choices:?}"
+        );
+        let mut values = [0i64; MAX_CHOICES];
+        values[..choices.len()].copy_from_slice(choices);
+        ParamSpec {
+            name: name.into(),
+            min: choices[0],
+            max: choices[choices.len() - 1],
+            scale: ParamScale::Choices {
+                values,
+                len: choices.len() as u8,
+            },
+        }
+    }
+
     /// Number of valid values.
     pub fn count(&self) -> usize {
         match self.scale {
@@ -86,6 +131,7 @@ impl ParamSpec {
             ParamScale::Pow2 => {
                 (self.max.trailing_zeros() - self.min.trailing_zeros()) as usize + 1
             }
+            ParamScale::Choices { len, .. } => len as usize,
         }
     }
 
@@ -98,6 +144,7 @@ impl ParamSpec {
         match self.scale {
             ParamScale::Linear { step } => self.min + step * i as i64,
             ParamScale::Pow2 => self.min << i,
+            ParamScale::Choices { values, .. } => values[i],
         }
     }
 
@@ -115,8 +162,8 @@ impl ParamSpec {
                     lo as usize
                 }
             }
-            ParamScale::Pow2 => {
-                // Nearest in log-space.
+            ParamScale::Pow2 | ParamScale::Choices { .. } => {
+                // Nearest by linear scan (ties go to the lower value).
                 let mut best = 0usize;
                 let mut best_d = i64::MAX;
                 for i in 0..self.count() {
@@ -239,6 +286,38 @@ mod tests {
         assert_eq!(p.count(), 1);
         assert_eq!(p.normalize(7), 0.0);
         assert_eq!(p.denormalize(0.9), 7);
+    }
+
+    #[test]
+    fn choices_count_values_and_snap() {
+        let p = ParamSpec::choices("W", &[1, 4, 8]);
+        assert_eq!(p.count(), 3);
+        assert_eq!((p.min, p.max), (1, 8));
+        assert_eq!(p.value_at(0), 1);
+        assert_eq!(p.value_at(1), 4);
+        assert_eq!(p.value_at(2), 8);
+        assert_eq!(p.snap(-3), 1);
+        assert_eq!(p.snap(2), 1); // tie 1 vs 4 in distance 1 — |2-1|=1 wins
+        assert_eq!(p.snap(3), 4);
+        assert_eq!(p.snap(6), 4); // tie |6-4|=2=|6-8| — lower wins
+        assert_eq!(p.snap(7), 8);
+        assert_eq!(p.snap(100), 8);
+        for i in 0..p.count() {
+            let v = p.value_at(i);
+            assert_eq!(p.denormalize(p.normalize(v)), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_choices_rejected() {
+        let _ = ParamSpec::choices("W", &[4, 1, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_choices_rejected() {
+        let _ = ParamSpec::choices("W", &[]);
     }
 
     #[test]

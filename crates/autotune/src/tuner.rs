@@ -264,6 +264,16 @@ impl Tuner {
         self.register(ParamSpec::pow2(name, min, max))
     }
 
+    /// Registers a parameter whose valid values are exactly the given
+    /// ascending list (e.g. the packet width `{1, 4, 8}`).
+    pub fn register_parameter_choices(
+        &mut self,
+        name: impl Into<String>,
+        choices: &[i64],
+    ) -> ParamHandle {
+        self.register(ParamSpec::choices(name, choices))
+    }
+
     /// Registers an arbitrary [`ParamSpec`].
     pub fn register(&mut self, spec: ParamSpec) -> ParamHandle {
         assert!(

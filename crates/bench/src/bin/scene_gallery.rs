@@ -6,8 +6,9 @@
 //! cargo run --release -p kdtune-bench --bin scene_gallery -- --out gallery
 //! ```
 //!
-//! `--packets` renders through the coherent 2×2 packet path instead of
-//! the scalar path; the images are bit-identical either way, so the flag
+//! `--packet-width {4,8,16}` renders through the coherent packet path
+//! instead of the scalar path (`--packets` is a deprecated alias for
+//! width 4); the images are bit-identical at every width, so the flag
 //! doubles as an end-to-end equivalence check against committed PPMs.
 
 use kdtune::raycast::{render_with_options, Camera};

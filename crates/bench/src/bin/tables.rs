@@ -39,6 +39,7 @@ fn main() {
         let scale = match p.scale {
             ParamScale::Linear { step } => format!("linear, step {step}"),
             ParamScale::Pow2 => "powers of 2".to_string(),
+            ParamScale::Choices { values, len } => format!("choices {:?}", &values[..len as usize]),
         };
         println!("{:<6} [{}, {}]{:<12} {}", p.name, p.min, p.max, "", scale);
     }

@@ -1,7 +1,7 @@
 //! **Traversal benchmark** — render throughput of the packed-node fast
 //! path (fixed-size traversal stacks) against the heap-allocating
-//! reference path, plus the coherent 2×2 packet path against the scalar
-//! fast path, on a fixed scene, camera and seed.
+//! reference path, plus the coherent ray-packet path against the scalar
+//! fast path at every packet width, on a fixed scene, camera and seed.
 //!
 //! Everything that could move the numbers is pinned: the scene is Fairy
 //! Forest at a fixed complexity and seed, the camera and light come from
@@ -12,15 +12,19 @@
 //!
 //! All comparisons interleave their frames (one of each per repeat) so
 //! slow machine-load drift biases neither side. The packet path is
-//! measured twice: a **primary-ray-only** pair (every pixel traced
-//! nearest-hit, no shading or shadows — the headline `packet_speedup`,
-//! since coherent primaries are where packets pay off) and a full-frame
-//! pair including batched shadow rays (`packet_frame_speedup`). Reports
-//! rays/sec and ns/ray per path plus the fast-over-alloc speedup and the
-//! packet lane utilization, and emits `BENCH_traversal.json` into
-//! `--out <dir>` (default `results/`). Pass `--smoke` for a seconds-long
-//! CI-sized run (still covering all comparisons), or `--packets` to run
-//! only the packet-vs-scalar pairs.
+//! measured per width (4, 8 and 16 lanes by default; `--packet-width W`
+//! restricts the sweep to one width) and twice per width: a
+//! **primary-ray-only** pair (every pixel traced nearest-hit, no shading
+//! or shadows — the headline `packet_speedup_w{N}`, since coherent
+//! primaries are where packets pay off) and a full-frame pair including
+//! octant-batched shadow rays (`packet_frame_speedup_w{N}`). Reports
+//! rays/sec and ns/ray per path plus the fast-over-alloc speedup, the
+//! packet lane utilization and the fraction of inner steps the interval
+//! frustum resolved, and emits `BENCH_traversal.json` into `--out <dir>`
+//! (default `results/`). Pass `--smoke` for a seconds-long CI-sized run
+//! (still covering all comparisons); `--packet-width W` (or the
+//! deprecated `--packets`) also skips the fast-vs-alloc pair — the cheap
+//! CI packet leg.
 //!
 //! [`ViewSpec`]: kdtune::scenes::ViewSpec
 
@@ -29,7 +33,7 @@ use kdtune::{build, Algorithm, BuildParams};
 use kdtune_bench::cli::ExperimentArgs;
 use kdtune_bench::platforms::run_on;
 use kdtune_bench::stats::median;
-use kdtune_geometry::{Hit, Ray, RayPacket4, LANES};
+use kdtune_geometry::{Hit, Ray, RayPacket};
 use kdtune_kdtree::{KdTree, PacketCounters, RayQuery};
 use kdtune_raycast::{
     render_with, render_with_options, Camera, RayTable, RenderOptions, RenderStats,
@@ -47,6 +51,8 @@ const FULL_COMPLEXITY: f32 = 0.7;
 const FULL_REPEATS: usize = 5;
 /// Measured frames per path under `--smoke` without `--repeats`.
 const SMOKE_REPEATS: usize = 2;
+/// Packet widths swept when `--packet-width` does not pin one.
+const SWEEP_WIDTHS: [u32; 3] = [4, 8, 16];
 
 /// Adapter that forces the heap-allocating reference traversal — the
 /// pre-packed-layout behaviour (a `Vec` stack per ray), kept as
@@ -64,7 +70,7 @@ impl RayQuery for AllocQuery<'_> {
 
 /// One measured path: median frame time plus derived throughput.
 struct PathResult {
-    label: &'static str,
+    label: String,
     median_secs: f64,
     rays: u64,
 }
@@ -78,10 +84,30 @@ impl PathResult {
     }
 }
 
+/// Everything measured for one packet width.
+struct WidthResult {
+    width: u32,
+    primary_packet: PathResult,
+    primary_scalar: PathResult,
+    primary_counters: PacketCounters,
+    frame_packet: PathResult,
+    frame_scalar: PathResult,
+    frame_counters: PacketCounters,
+}
+
+impl WidthResult {
+    fn primary_speedup(&self) -> f64 {
+        self.primary_scalar.median_secs / self.primary_packet.median_secs
+    }
+    fn frame_speedup(&self) -> f64 {
+        self.frame_scalar.median_secs / self.frame_packet.median_secs
+    }
+}
+
 /// Times one frame of `query` and checks it reproduced `warm_stats`.
 fn timed_frame(
     label: &str,
-    query: &(impl RayQuery + ?Sized),
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: kdtune_geometry::Vec3,
@@ -99,8 +125,8 @@ fn timed_frame(
 /// background machine load biases neither path. Reports the per-path
 /// median.
 fn measure_pair(
-    fast_query: &(impl RayQuery + ?Sized),
-    alloc_query: &(impl RayQuery + ?Sized),
+    fast_query: &impl RayQuery,
+    alloc_query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: kdtune_geometry::Vec3,
@@ -128,8 +154,8 @@ fn measure_pair(
         ));
     }
     let rays = fast_warm.primary_rays + fast_warm.shadow_rays;
-    let result = |label, times: &[f64]| PathResult {
-        label,
+    let result = |label: &str, times: &[f64]| PathResult {
+        label: label.to_string(),
         median_secs: median(times),
         rays,
     };
@@ -139,7 +165,7 @@ fn measure_pair(
 /// Times one packet frame of `query`, checking stats reproduce
 /// `warm_stats`, and accumulates the packet counters.
 fn timed_packet_frame(
-    query: &(impl RayQuery + ?Sized),
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: kdtune_geometry::Vec3,
@@ -155,24 +181,24 @@ fn timed_packet_frame(
     secs
 }
 
-/// Measures the packet path against the scalar fast path with
+/// Measures the `W`-wide packet path against the scalar fast path with
 /// interleaved frames (one packet frame, one scalar frame per repeat).
 /// The packet render must reproduce the scalar [`RenderStats`] exactly —
 /// bit-identical images are asserted by the test suite; here the stats
 /// equality catches any divergence cheaply on every benchmark run.
-fn measure_packet_pair(
-    query: &(impl RayQuery + ?Sized),
+fn measure_packet_pair<const W: usize>(
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: kdtune_geometry::Vec3,
     repeats: usize,
 ) -> (PathResult, PathResult, PacketCounters) {
-    let options = RenderOptions::packets();
+    let options = RenderOptions::scalar().with_packet_width(W as u32);
     let (_, scalar_warm) = render_with(query, mesh, camera, light);
     let (_, packet_warm, _) = render_with_options(query, mesh, camera, light, &options);
     assert_eq!(
         packet_warm, scalar_warm,
-        "packet and scalar paths must trace identical rays"
+        "w={W}: packet and scalar paths must trace identical rays"
     );
     let mut counters = PacketCounters::default();
     let mut packet_times = Vec::with_capacity(repeats);
@@ -197,14 +223,14 @@ fn measure_packet_pair(
         ));
     }
     let rays = scalar_warm.primary_rays + scalar_warm.shadow_rays;
-    let result = |label, times: &[f64]| PathResult {
+    let result = |label: String, times: &[f64]| PathResult {
         label,
         median_secs: median(times),
         rays,
     };
     (
-        result("packet", &packet_times),
-        result("scalar", &scalar_times),
+        result(format!("packet-w{W}"), &packet_times),
+        result("scalar".into(), &scalar_times),
         counters,
     )
 }
@@ -220,9 +246,20 @@ fn fold_hit(checksum: u64, hit: Option<Hit>) -> u64 {
     }
 }
 
+/// Pixel tile shape for a `W`-wide packet (matches the renderer's
+/// tiling: 2×2, 4×2, 4×4).
+const fn tile_shape(w: usize) -> (u32, u32) {
+    match w {
+        4 => (2, 2),
+        8 => (4, 2),
+        16 => (4, 4),
+        _ => (1, 1),
+    }
+}
+
 /// One primary-ray-only frame through the scalar query: every pixel's
 /// nearest hit, no shading, no shadow rays. Returns (seconds, checksum).
-fn primary_frame_scalar(query: &(impl RayQuery + ?Sized), rays: &RayTable, res: u32) -> (f64, u64) {
+fn primary_frame_scalar(query: &impl RayQuery, rays: &RayTable, res: u32) -> (f64, u64) {
     let t0 = Instant::now();
     let mut checksum = 0u64;
     for y in 0..res {
@@ -234,24 +271,25 @@ fn primary_frame_scalar(query: &(impl RayQuery + ?Sized), rays: &RayTable, res: 
     (t0.elapsed().as_secs_f64(), checksum)
 }
 
-/// One primary-ray-only frame through the packet traversal: the same
-/// pixels as [`primary_frame_scalar`], traced as 2×2 tiles (the
-/// resolution is even). Returns (seconds, checksum).
-fn primary_frame_packet(
-    query: &(impl RayQuery + ?Sized),
+/// One primary-ray-only frame through the `W`-wide packet traversal: the
+/// same pixels as [`primary_frame_scalar`], traced as pixel tiles (the
+/// resolution divides evenly). Returns (seconds, checksum).
+fn primary_frame_packet<const W: usize>(
+    query: &impl RayQuery,
     rays: &RayTable,
     res: u32,
     min_active: u32,
     counters: &mut PacketCounters,
 ) -> (f64, u64) {
+    let (tw, th) = tile_shape(W);
     let t0 = Instant::now();
     let mut checksum = 0u64;
-    for y in (0..res).step_by(2) {
-        for x in (0..res).step_by(2) {
-            let prim: [Ray; LANES] =
-                std::array::from_fn(|l| rays.primary_ray(x + (l as u32 & 1), y + (l as u32 >> 1)));
-            let packet = RayPacket4::new(prim, [f32::INFINITY; LANES]);
-            let hits = query.intersect_packet(&packet, 0.0, min_active, counters);
+    for y in (0..res).step_by(th as usize) {
+        for x in (0..res).step_by(tw as usize) {
+            let prim: [Ray; W] =
+                std::array::from_fn(|l| rays.primary_ray(x + l as u32 % tw, y + l as u32 / tw));
+            let packet = RayPacket::new(prim, [f32::INFINITY; W]);
+            let hits = query.intersect_packet(&packet, 0.0, min_active, true, counters);
             for hit in hits {
                 checksum = fold_hit(checksum, hit);
             }
@@ -260,31 +298,37 @@ fn primary_frame_packet(
     (t0.elapsed().as_secs_f64(), checksum)
 }
 
-/// Measures primary-ray throughput, packet against scalar, with
+/// Measures primary-ray throughput, `W`-wide packet against scalar, with
 /// interleaved frames. This is the headline packet comparison: primary
 /// rays from adjacent pixels are maximally coherent, so it isolates what
-/// the shared traversal and 4-wide kernels buy over four scalar walks.
-/// The checksums must agree — bit-identical hits, not just similar ones.
-fn measure_primary_pair(
-    query: &(impl RayQuery + ?Sized),
+/// the shared traversal, the interval frustum and the wide kernels buy
+/// over `W` scalar walks. The checksums must agree — bit-identical hits,
+/// not just similar ones.
+fn measure_primary_pair<const W: usize>(
+    query: &impl RayQuery,
     camera: &Camera,
     res: u32,
     min_active: u32,
     repeats: usize,
 ) -> (PathResult, PathResult, PacketCounters) {
-    assert_eq!(res % 2, 0, "primary pair tiles the frame in 2x2 blocks");
+    let (tw, th) = tile_shape(W);
+    assert_eq!(
+        (res % tw, res % th),
+        (0, 0),
+        "primary pair tiles the frame in {tw}x{th} blocks"
+    );
     let rays = camera.ray_table();
     let mut counters = PacketCounters::default();
     let (_, scalar_warm) = primary_frame_scalar(query, &rays, res);
-    let (_, packet_warm) = primary_frame_packet(query, &rays, res, min_active, &mut counters);
+    let (_, packet_warm) = primary_frame_packet::<W>(query, &rays, res, min_active, &mut counters);
     assert_eq!(
         packet_warm, scalar_warm,
-        "packet and scalar primary rays must hit identically"
+        "w={W}: packet and scalar primary rays must hit identically"
     );
     let mut packet_times = Vec::with_capacity(repeats);
     let mut scalar_times = Vec::with_capacity(repeats);
     for _ in 0..repeats {
-        let (secs, sum) = primary_frame_packet(query, &rays, res, min_active, &mut counters);
+        let (secs, sum) = primary_frame_packet::<W>(query, &rays, res, min_active, &mut counters);
         assert_eq!(
             sum, packet_warm,
             "packet primary pass must be deterministic"
@@ -298,19 +342,48 @@ fn measure_primary_pair(
         scalar_times.push(secs);
     }
     let rays_per_frame = res as u64 * res as u64;
-    let result = |label, times: &[f64]| PathResult {
+    let result = |label: String, times: &[f64]| PathResult {
         label,
         median_secs: median(times),
         rays: rays_per_frame,
     };
     (
-        result("packet-1st", &packet_times),
-        result("scalar-1st", &scalar_times),
+        result(format!("prim-w{W}"), &packet_times),
+        result("prim-scalar".into(), &scalar_times),
         counters,
     )
 }
 
-fn write_json(path: &Path, entries: &[(&str, String)]) -> std::io::Result<()> {
+/// Runs both packet comparisons (primary-only and full-frame) for one
+/// width on a `threads`-wide pool.
+fn measure_width<const W: usize>(
+    tree: &kdtune_kdtree::BuiltTree,
+    mesh: &kdtune_geometry::TriangleMesh,
+    camera: &Camera,
+    light: kdtune_geometry::Vec3,
+    res: u32,
+    threads: usize,
+    repeats: usize,
+) -> WidthResult {
+    let min_active = RenderOptions::default().packet_min_active;
+    let (primary_packet, primary_scalar, primary_counters) = run_on(threads, || {
+        measure_primary_pair::<W>(tree, camera, res, min_active, repeats)
+    });
+    let (frame_packet, frame_scalar, frame_counters) = run_on(threads, || {
+        measure_packet_pair::<W>(tree, mesh, camera, light, repeats)
+    });
+    WidthResult {
+        width: W as u32,
+        primary_packet,
+        primary_scalar,
+        primary_counters,
+        frame_packet,
+        frame_scalar,
+        frame_counters,
+    }
+}
+
+fn write_json(path: &Path, entries: &[(String, String)]) -> std::io::Result<()> {
     let body = entries
         .iter()
         .map(|(k, v)| format!("  \"{k}\": {v}"))
@@ -339,6 +412,14 @@ fn main() {
     // Single-threaded unless overridden: the point is the per-ray cost of
     // the traversal inner loop, not pool scaling.
     let threads = args.threads.unwrap_or(1);
+    // `--packet-width W` pins the sweep to one width and skips the
+    // fast-vs-alloc pair (the cheap CI packet leg); 0/1 skips the packet
+    // sweep instead. Default sweeps every width plus fast-vs-alloc.
+    let (widths, packets_only): (Vec<u32>, bool) = match args.packet_width {
+        None => (SWEEP_WIDTHS.to_vec(), false),
+        Some(0) | Some(1) => (Vec::new(), false),
+        Some(w) => (vec![w], true),
+    };
 
     let scene = fairy_forest(&params);
     let mesh = scene.frame(0);
@@ -357,54 +438,62 @@ fn main() {
         eager.traversal_depth_bound(),
     );
 
-    // `--packets` restricts the run to the packet-vs-scalar comparisons
-    // (the cheap CI packet leg); the default also covers fast-vs-alloc.
-    let packets_only = args.has_flag("--packets");
     let fast_alloc = (!packets_only).then(|| {
         run_on(threads, || {
             measure_pair(&tree, &AllocQuery(eager), &mesh, &camera, v.light, repeats)
         })
     });
-    let min_active = RenderOptions::packets().packet_min_active;
-    let (packet1, scalar1, primary_counters) = run_on(threads, || {
-        measure_primary_pair(&tree, &camera, res, min_active, repeats)
-    });
-    let (packet, scalar, counters) = run_on(threads, || {
-        measure_packet_pair(&tree, &mesh, &camera, v.light, repeats)
-    });
+    let width_results: Vec<WidthResult> = widths
+        .iter()
+        .map(|&w| match w {
+            4 => measure_width::<4>(&tree, &mesh, &camera, v.light, res, threads, repeats),
+            8 => measure_width::<8>(&tree, &mesh, &camera, v.light, res, threads, repeats),
+            16 => measure_width::<16>(&tree, &mesh, &camera, v.light, res, threads, repeats),
+            other => unreachable!("unsupported packet width {other}"),
+        })
+        .collect();
 
     println!(
-        "{:<10} {:>12} {:>14} {:>10}",
+        "{:<12} {:>12} {:>14} {:>10}",
         "path", "frame ms", "rays/sec", "ns/ray"
     );
-    let mut rows: Vec<&PathResult> = vec![&packet1, &scalar1, &packet, &scalar];
+    let mut rows: Vec<&PathResult> = Vec::new();
+    for wr in &width_results {
+        rows.extend([
+            &wr.primary_packet,
+            &wr.primary_scalar,
+            &wr.frame_packet,
+            &wr.frame_scalar,
+        ]);
+    }
     if let Some((fast, alloc)) = &fast_alloc {
         rows.push(fast);
         rows.push(alloc);
     }
     for r in rows {
         println!(
-            "{:<10} {:>12.3} {:>14.0} {:>10.1}",
+            "{:<12} {:>12.3} {:>14.0} {:>10.1}",
             r.label,
             r.median_secs * 1e3,
             r.rays_per_sec(),
             r.ns_per_ray()
         );
     }
-    let packet_speedup = scalar1.median_secs / packet1.median_secs;
-    let frame_speedup = scalar.median_secs / packet.median_secs;
-    let lane_utilization = counters.lane_utilization();
-    println!(
-        "primary-ray speedup (scalar/packet): {packet_speedup:.2}x \
-         (lane utilization {:.1}%)",
-        100.0 * primary_counters.lane_utilization()
-    );
-    println!(
-        "full-frame speedup (scalar/packet): {frame_speedup:.2}x, lane utilization {:.1}%, \
-         {} lanes fell back to scalar",
-        100.0 * lane_utilization,
-        counters.scalar_fallback_lanes
-    );
+    for wr in &width_results {
+        println!(
+            "w={}: primary speedup {:.2}x (lane util {:.1}%, frustum-resolved {:.1}%), \
+             full-frame speedup {:.2}x (lane util {:.1}%, frustum-resolved {:.1}%, \
+             {} fallback lanes)",
+            wr.width,
+            wr.primary_speedup(),
+            100.0 * wr.primary_counters.lane_utilization(),
+            100.0 * wr.primary_counters.frustum_rate(),
+            wr.frame_speedup(),
+            100.0 * wr.frame_counters.lane_utilization(),
+            100.0 * wr.frame_counters.frustum_rate(),
+            wr.frame_counters.scalar_fallback_lanes
+        );
+    }
     if let Some((fast, alloc)) = &fast_alloc {
         println!(
             "speedup (alloc/fast): {:.2}x",
@@ -418,83 +507,131 @@ fn main() {
         .unwrap_or_else(|| std::path::PathBuf::from("results"));
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let path = out_dir.join("BENCH_traversal.json");
-    let mut entries: Vec<(&str, String)> = vec![
-        ("scene", "\"fairy_forest\"".into()),
-        ("complexity", format!("{}", params.complexity)),
-        ("seed", format!("{}", params.seed)),
-        ("triangles", format!("{}", mesh.len())),
-        ("resolution", format!("{res}")),
-        ("threads", format!("{threads}")),
-        ("repeats", format!("{repeats}")),
-        ("node_count", format!("{}", tree.node_count())),
-        ("node_bytes", format!("{}", tree.node_bytes())),
-        ("rays_per_frame", format!("{}", packet.rays)),
-        // Headline: primary-ray-only throughput, packet over scalar.
-        ("packet_speedup", format!("{packet_speedup:.4}")),
+    let key = |name: &str| name.to_string();
+    let mut entries: Vec<(String, String)> = vec![
+        (key("scene"), "\"fairy_forest\"".into()),
+        (key("complexity"), format!("{}", params.complexity)),
+        (key("seed"), format!("{}", params.seed)),
+        (key("triangles"), format!("{}", mesh.len())),
+        (key("resolution"), format!("{res}")),
+        (key("threads"), format!("{threads}")),
+        (key("repeats"), format!("{repeats}")),
+        (key("node_count"), format!("{}", tree.node_count())),
+        (key("node_bytes"), format!("{}", tree.node_bytes())),
         (
-            "primary_packet_median_ms",
-            format!("{:.6}", packet1.median_secs * 1e3),
-        ),
-        (
-            "primary_packet_rays_per_sec",
-            format!("{:.1}", packet1.rays_per_sec()),
-        ),
-        (
-            "primary_packet_ns_per_ray",
-            format!("{:.3}", packet1.ns_per_ray()),
-        ),
-        (
-            "primary_scalar_median_ms",
-            format!("{:.6}", scalar1.median_secs * 1e3),
-        ),
-        (
-            "primary_scalar_rays_per_sec",
-            format!("{:.1}", scalar1.rays_per_sec()),
-        ),
-        (
-            "primary_scalar_ns_per_ray",
-            format!("{:.3}", scalar1.ns_per_ray()),
-        ),
-        (
-            "primary_packet_lane_utilization",
-            format!("{:.4}", primary_counters.lane_utilization()),
-        ),
-        // Full frames (primary + batched shadow rays), packet over scalar.
-        ("packet_frame_speedup", format!("{frame_speedup:.4}")),
-        (
-            "packet_median_ms",
-            format!("{:.6}", packet.median_secs * 1e3),
-        ),
-        (
-            "packet_rays_per_sec",
-            format!("{:.1}", packet.rays_per_sec()),
-        ),
-        ("packet_ns_per_ray", format!("{:.3}", packet.ns_per_ray())),
-        (
-            "scalar_median_ms",
-            format!("{:.6}", scalar.median_secs * 1e3),
-        ),
-        (
-            "scalar_rays_per_sec",
-            format!("{:.1}", scalar.rays_per_sec()),
-        ),
-        ("scalar_ns_per_ray", format!("{:.3}", scalar.ns_per_ray())),
-        ("packet_lane_utilization", format!("{lane_utilization:.4}")),
-        (
-            "packet_fallback_lanes",
-            format!("{}", counters.scalar_fallback_lanes),
+            key("packet_widths"),
+            format!(
+                "[{}]",
+                widths
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         ),
     ];
+    for wr in &width_results {
+        let w = wr.width;
+        entries.extend([
+            // Headline per width: primary-ray-only, packet over scalar.
+            (
+                format!("packet_speedup_w{w}"),
+                format!("{:.4}", wr.primary_speedup()),
+            ),
+            (
+                format!("primary_packet_median_ms_w{w}"),
+                format!("{:.6}", wr.primary_packet.median_secs * 1e3),
+            ),
+            (
+                format!("primary_packet_ns_per_ray_w{w}"),
+                format!("{:.3}", wr.primary_packet.ns_per_ray()),
+            ),
+            (
+                format!("primary_scalar_median_ms_w{w}"),
+                format!("{:.6}", wr.primary_scalar.median_secs * 1e3),
+            ),
+            (
+                format!("primary_lane_utilization_w{w}"),
+                format!("{:.4}", wr.primary_counters.lane_utilization()),
+            ),
+            (
+                format!("primary_frustum_rate_w{w}"),
+                format!("{:.4}", wr.primary_counters.frustum_rate()),
+            ),
+            // Full frames (primary + octant-batched shadow rays).
+            (
+                format!("packet_frame_speedup_w{w}"),
+                format!("{:.4}", wr.frame_speedup()),
+            ),
+            (
+                format!("packet_median_ms_w{w}"),
+                format!("{:.6}", wr.frame_packet.median_secs * 1e3),
+            ),
+            (
+                format!("scalar_median_ms_w{w}"),
+                format!("{:.6}", wr.frame_scalar.median_secs * 1e3),
+            ),
+            (
+                format!("packet_lane_utilization_w{w}"),
+                format!("{:.4}", wr.frame_counters.lane_utilization()),
+            ),
+            (
+                format!("packet_frustum_rate_w{w}"),
+                format!("{:.4}", wr.frame_counters.frustum_rate()),
+            ),
+            (
+                format!("packet_fallback_lanes_w{w}"),
+                format!("{}", wr.frame_counters.scalar_fallback_lanes),
+            ),
+        ]);
+    }
+    // Legacy headline keys (pre-width-sweep consumers): the 4-wide entry.
+    if let Some(wr) = width_results.iter().find(|wr| wr.width == 4) {
+        entries.extend([
+            (key("rays_per_frame"), format!("{}", wr.frame_packet.rays)),
+            (
+                key("packet_speedup"),
+                format!("{:.4}", wr.primary_speedup()),
+            ),
+            (
+                key("packet_frame_speedup"),
+                format!("{:.4}", wr.frame_speedup()),
+            ),
+            (
+                key("packet_lane_utilization"),
+                format!("{:.4}", wr.frame_counters.lane_utilization()),
+            ),
+            (
+                key("packet_fallback_lanes"),
+                format!("{}", wr.frame_counters.scalar_fallback_lanes),
+            ),
+        ]);
+    }
     if let Some((fast, alloc)) = &fast_alloc {
         let speedup = alloc.median_secs / fast.median_secs;
         entries.extend([
-            ("fast_median_ms", format!("{:.6}", fast.median_secs * 1e3)),
-            ("fast_rays_per_sec", format!("{:.1}", fast.rays_per_sec())),
-            ("fast_ns_per_ray", format!("{:.3}", fast.ns_per_ray())),
-            ("alloc_median_ms", format!("{:.6}", alloc.median_secs * 1e3)),
-            ("alloc_rays_per_sec", format!("{:.1}", alloc.rays_per_sec())),
-            ("alloc_ns_per_ray", format!("{:.3}", alloc.ns_per_ray())),
-            ("speedup_alloc_over_fast", format!("{speedup:.4}")),
+            (
+                key("fast_median_ms"),
+                format!("{:.6}", fast.median_secs * 1e3),
+            ),
+            (
+                key("fast_rays_per_sec"),
+                format!("{:.1}", fast.rays_per_sec()),
+            ),
+            (key("fast_ns_per_ray"), format!("{:.3}", fast.ns_per_ray())),
+            (
+                key("alloc_median_ms"),
+                format!("{:.6}", alloc.median_secs * 1e3),
+            ),
+            (
+                key("alloc_rays_per_sec"),
+                format!("{:.1}", alloc.rays_per_sec()),
+            ),
+            (
+                key("alloc_ns_per_ray"),
+                format!("{:.3}", alloc.ns_per_ray()),
+            ),
+            (key("speedup_alloc_over_fast"), format!("{speedup:.4}")),
         ]);
     }
     write_json(&path, &entries).expect("json write");

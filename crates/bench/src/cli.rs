@@ -20,6 +20,10 @@ pub struct ExperimentArgs {
     /// Pin the Rayon pool width (`--threads N`). `None` uses the
     /// machine's default width (or, for fig7, each platform profile).
     pub threads: Option<usize>,
+    /// Ray-packet width (`--packet-width W`, one of 0/1/4/8/16; 0 and 1
+    /// mean scalar). `None` keeps each binary's default. The deprecated
+    /// bare `--packets` flag is an alias for width 4.
+    pub packet_width: Option<u32>,
     /// Extra flags the specific binary interprets (e.g. `--platforms`).
     pub flags: Vec<String>,
 }
@@ -33,6 +37,7 @@ impl Default for ExperimentArgs {
             repeats: None,
             trace: None,
             threads: None,
+            packet_width: None,
             flags: Vec::new(),
         }
     }
@@ -72,11 +77,25 @@ impl ExperimentArgs {
                     }
                     out.threads = Some(n);
                 }
+                "--packet-width" => {
+                    let n = it.next().ok_or("--packet-width needs a number")?;
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|e| format!("bad --packet-width {n}: {e}"))?;
+                    if ![0, 1, 4, 8, 16].contains(&n) {
+                        return Err(format!(
+                            "--packet-width {n}: expected one of 0, 1, 4, 8, 16"
+                        ));
+                    }
+                    out.packet_width = Some(n);
+                }
+                // Deprecated alias for the original 4-wide packet path.
+                "--packets" => out.packet_width = out.packet_width.or(Some(4)),
                 "--help" | "-h" => {
                     return Err(
                         "options: --quick (default) | --full | --out DIR | --scene NAME | \
-                         --repeats N | --trace FILE | --threads N | binary-specific flags \
-                         (e.g. --platforms)"
+                         --repeats N | --trace FILE | --threads N | --packet-width 0|1|4|8|16 \
+                         (--packets = alias for 4) | binary-specific flags (e.g. --platforms)"
                             .to_string(),
                     )
                 }
@@ -179,6 +198,30 @@ mod tests {
         assert!(parse(&["sibenik"]).is_err());
         assert!(parse(&["--repeats", "abc"]).is_err());
         assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn packet_width_flag_and_deprecated_alias() {
+        assert_eq!(parse(&[]).unwrap().packet_width, None);
+        assert_eq!(
+            parse(&["--packet-width", "8"]).unwrap().packet_width,
+            Some(8)
+        );
+        assert_eq!(
+            parse(&["--packet-width", "0"]).unwrap().packet_width,
+            Some(0)
+        );
+        assert_eq!(parse(&["--packets"]).unwrap().packet_width, Some(4));
+        // An explicit width wins over the alias, in either order.
+        for argv in [
+            ["--packets", "--packet-width", "8"],
+            ["--packet-width", "8", "--packets"],
+        ] {
+            assert_eq!(parse(&argv).unwrap().packet_width, Some(8));
+        }
+        assert!(parse(&["--packet-width"]).is_err());
+        assert!(parse(&["--packet-width", "2"]).is_err());
+        assert!(parse(&["--packet-width", "wide"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub struct ExperimentOpts {
     pub frame_repeat: usize,
     /// Base RNG seed; repetition `k` uses `base_seed + k`.
     pub base_seed: u64,
-    /// How frames are traced (scalar by default; `--packets` switches
+    /// How frames are traced (scalar by default; `--packet-width` switches
     /// every render in the experiment to the coherent packet path).
     pub render_options: RenderOptions,
 }
@@ -66,8 +66,8 @@ impl ExperimentOpts {
         if let Some(r) = args.repeats {
             opts.repeats = r;
         }
-        if args.has_flag("--packets") {
-            opts.render_options = RenderOptions::packets();
+        if let Some(width) = args.packet_width {
+            opts.render_options = opts.render_options.with_packet_width(width);
         }
         opts
     }

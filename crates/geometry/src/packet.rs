@@ -1,122 +1,144 @@
-//! 4-wide coherent ray packets (SoA) and the vectorizable kernels over
-//! them.
+//! Const-generic wide coherent ray packets (SoA) and the vectorizable
+//! kernels over them.
 //!
-//! A [`RayPacket4`] carries four rays in structure-of-arrays layout —
-//! `[f32; 4]` per component — so the slab test and Möller–Trumbore
-//! intersection can be written as straight-line lane-parallel arithmetic
-//! that the autovectorizer lowers to SSE/NEON. Every kernel here is
-//! **bit-identical per lane** to its scalar counterpart
-//! ([`Aabb::intersect_ray`], [`Triangle::intersect`]): the same
-//! operations in the same order on the same `f32` values, with the
+//! A [`RayPacket<W>`] carries `W` rays (4, 8 or 16 — SSE/NEON, AVX2,
+//! AVX-512 respectively) in structure-of-arrays layout — `[f32; W]` per
+//! component — so the slab test and Möller–Trumbore intersection can be
+//! written as straight-line lane-parallel arithmetic that the
+//! autovectorizer lowers to packed instructions of the matching width.
+//! Every kernel here is **bit-identical per lane** to its scalar
+//! counterpart ([`Aabb::intersect_ray`], [`Triangle::intersect`]): the
+//! same operations in the same order on the same `f32` values, with the
 //! scalar early-out branches turned into accept masks of identical
 //! polarity (so NaN comparison semantics carry over too). This is what
-//! lets the packet render path promise bit-identical images.
+//! lets the packet render path promise bit-identical images at every
+//! width.
+//!
+//! [`PacketFrustum`] bounds a whole packet with per-axis origin and
+//! reciprocal-direction intervals (Reshetov-style interval arithmetic).
+//! Traversals use it to classify the entire packet against a split plane
+//! in O(1) — descending or skipping a child only when every lane
+//! provably agrees — instead of running the O(W) per-lane test.
 
 use crate::{Aabb, Hit, Ray, Triangle, EPS};
 
-/// Number of rays in a packet.
+/// Number of rays in the legacy 4-wide packet ([`RayPacket4`]).
 pub const LANES: usize = 4;
 
-/// One SIMD-friendly lane vector.
-type F4 = [f32; LANES];
+/// Lane-mask with every lane of a 4-wide packet active.
+pub const ALL_LANES: u32 = 0b1111;
 
-// Elementwise helpers over `[f32; 4]`. Fixed-length, branch-free lane
+// Elementwise helpers over `[f32; W]`. Fixed-length, branch-free lane
 // loops like these are what LLVM's unroll + SLP pass reliably lowers to
-// single packed SSE/NEON instructions; writing the kernels as chains of
-// them (operation-major, not lane-major) is what keeps the whole kernel
-// on the vector unit. Each is exactly the scalar operator per lane, so
-// lane results stay bit-identical to scalar code using the same ops.
+// single packed SSE/AVX/NEON instructions; writing the kernels as chains
+// of them (operation-major, not lane-major) is what keeps the whole
+// kernel on the vector unit. Each is exactly the scalar operator per
+// lane, so lane results stay bit-identical to scalar code using the
+// same ops.
 
 #[inline(always)]
-fn splat(v: f32) -> F4 {
-    [v; LANES]
+fn splat<const W: usize>(v: f32) -> [f32; W] {
+    [v; W]
 }
 
 #[inline(always)]
-fn add(a: F4, b: F4) -> F4 {
+fn add<const W: usize>(a: [f32; W], b: [f32; W]) -> [f32; W] {
     std::array::from_fn(|l| a[l] + b[l])
 }
 
 #[inline(always)]
-fn sub(a: F4, b: F4) -> F4 {
+fn sub<const W: usize>(a: [f32; W], b: [f32; W]) -> [f32; W] {
     std::array::from_fn(|l| a[l] - b[l])
 }
 
 #[inline(always)]
-fn mul(a: F4, b: F4) -> F4 {
+fn mul<const W: usize>(a: [f32; W], b: [f32; W]) -> [f32; W] {
     std::array::from_fn(|l| a[l] * b[l])
 }
 
 #[inline(always)]
-fn div(a: F4, b: F4) -> F4 {
+fn div<const W: usize>(a: [f32; W], b: [f32; W]) -> [f32; W] {
     std::array::from_fn(|l| a[l] / b[l])
 }
 
 /// `a * b - c * d`, the cross-product component shape.
 #[inline(always)]
-fn mul_sub(a: F4, b: F4, c: F4, d: F4) -> F4 {
+fn mul_sub<const W: usize>(a: [f32; W], b: [f32; W], c: [f32; W], d: [f32; W]) -> [f32; W] {
     sub(mul(a, b), mul(c, d))
 }
 
 /// `a · b` over lane triples, with [`crate::Vec3::dot`]'s summation
 /// order `(x*x + y*y) + z*z`.
 #[inline(always)]
-fn dot3(ax: F4, ay: F4, az: F4, bx: F4, by: F4, bz: F4) -> F4 {
+fn dot3<const W: usize>(
+    ax: [f32; W],
+    ay: [f32; W],
+    az: [f32; W],
+    bx: [f32; W],
+    by: [f32; W],
+    bz: [f32; W],
+) -> [f32; W] {
     add(add(mul(ax, bx), mul(ay, by)), mul(az, bz))
 }
 
 /// Packs a lane predicate into a bitmask (bit `l` = `m[l]`).
 #[inline(always)]
-fn mask_of(m: [bool; LANES]) -> u8 {
-    let mut bits = 0u8;
-    for (l, &lane) in m.iter().enumerate() {
-        bits |= (lane as u8) << l;
+fn mask_of<const W: usize>(m: [bool; W]) -> u32 {
+    let mut bits = 0u32;
+    let mut l = 0;
+    while l < W {
+        bits |= (m[l] as u32) << l;
+        l += 1;
     }
     bits
 }
 
-/// Lane-mask with every lane active.
-pub const ALL_LANES: u8 = 0b1111;
-
-/// Four rays in SoA layout, with a per-lane `t_max` and an active-lane
-/// mask (bit `l` set = lane `l` participates in queries).
+/// `W` rays in SoA layout, with a per-lane `t_max` and an active-lane
+/// mask (bit `l` set = lane `l` participates in queries). `W` must be
+/// in `1..=32`; the traversal and render paths instantiate 4, 8 and 16.
 ///
 /// The original [`Ray`]s are retained so traversals can fall back to the
 /// scalar path for incoherent lanes without reconstructing them.
 #[derive(Clone, Copy, Debug)]
-pub struct RayPacket4 {
+pub struct RayPacket<const W: usize> {
     /// Origins, `origin[axis][lane]`.
-    origin: [[f32; LANES]; 3],
+    origin: [[f32; W]; 3],
     /// Directions, `dir[axis][lane]`.
-    dir: [[f32; LANES]; 3],
+    dir: [[f32; W]; 3],
     /// Reciprocal directions, `inv_dir[axis][lane]`.
-    inv_dir: [[f32; LANES]; 3],
+    inv_dir: [[f32; W]; 3],
     /// Per-lane search upper bound.
-    t_max: [f32; LANES],
-    /// Active-lane mask (low four bits).
-    active: u8,
-    /// All four origins are bitwise identical (primary-ray packets) —
+    t_max: [f32; W],
+    /// Active-lane mask (low `W` bits).
+    active: u32,
+    /// All origins are bitwise identical (primary-ray packets) —
     /// traversals may then classify the shared origin once per split
     /// instead of per lane.
     common_origin: bool,
     /// The source rays, for scalar fallback.
-    rays: [Ray; LANES],
+    rays: [Ray; W],
 }
 
-impl RayPacket4 {
-    /// Packs four rays with per-lane `t_max`; all lanes active.
-    pub fn new(rays: [Ray; LANES], t_max: [f32; LANES]) -> RayPacket4 {
-        RayPacket4::with_mask(rays, t_max, ALL_LANES)
+/// The original 2×2 packet, now an alias of the 4-wide instantiation.
+pub type RayPacket4 = RayPacket<4>;
+
+impl<const W: usize> RayPacket<W> {
+    /// Lane-mask with every one of the `W` lanes active.
+    pub const ALL: u32 = (((1u64 << W) - 1) & 0xFFFF_FFFF) as u32;
+
+    /// Packs `W` rays with per-lane `t_max`; all lanes active.
+    pub fn new(rays: [Ray; W], t_max: [f32; W]) -> RayPacket<W> {
+        RayPacket::with_mask(rays, t_max, Self::ALL)
     }
 
-    /// Packs four rays with an explicit active-lane mask. Inactive lanes
+    /// Packs `W` rays with an explicit active-lane mask. Inactive lanes
     /// must still hold *some* finite ray (duplicate an active lane or use
     /// any placeholder) — their lanes are computed but never observed.
-    pub fn with_mask(rays: [Ray; LANES], t_max: [f32; LANES], active: u8) -> RayPacket4 {
-        let mut origin = [[0.0; LANES]; 3];
-        let mut dir = [[0.0; LANES]; 3];
-        let mut inv_dir = [[0.0; LANES]; 3];
-        for l in 0..LANES {
+    pub fn with_mask(rays: [Ray; W], t_max: [f32; W], active: u32) -> RayPacket<W> {
+        let mut origin = [[0.0; W]; 3];
+        let mut dir = [[0.0; W]; 3];
+        let mut inv_dir = [[0.0; W]; 3];
+        for l in 0..W {
             let r = &rays[l];
             origin[0][l] = r.origin.x;
             origin[1][l] = r.origin.y;
@@ -129,21 +151,21 @@ impl RayPacket4 {
             inv_dir[2][l] = r.inv_dir.z;
         }
         let common_origin =
-            (0..3).all(|a| (1..LANES).all(|l| origin[a][l].to_bits() == origin[a][0].to_bits()));
-        RayPacket4 {
+            (0..3).all(|a| (1..W).all(|l| origin[a][l].to_bits() == origin[a][0].to_bits()));
+        RayPacket {
             origin,
             dir,
             inv_dir,
             t_max,
-            active: active & ALL_LANES,
+            active: active & Self::ALL,
             common_origin,
             rays,
         }
     }
 
-    /// The active-lane mask (low four bits).
+    /// The active-lane mask (low `W` bits).
     #[inline(always)]
-    pub fn active(&self) -> u8 {
+    pub fn active(&self) -> u32 {
         self.active
     }
 
@@ -155,25 +177,25 @@ impl RayPacket4 {
 
     /// Per-lane search upper bounds.
     #[inline(always)]
-    pub fn t_maxes(&self) -> [f32; LANES] {
+    pub fn t_maxes(&self) -> [f32; W] {
         self.t_max
     }
 
     /// Lane origins along `axis` (0 = x, 1 = y, 2 = z).
     #[inline(always)]
-    pub fn origin_axis(&self, axis: usize) -> &[f32; LANES] {
+    pub fn origin_axis(&self, axis: usize) -> &[f32; W] {
         &self.origin[axis]
     }
 
     /// Lane directions along `axis`.
     #[inline(always)]
-    pub fn dir_axis(&self, axis: usize) -> &[f32; LANES] {
+    pub fn dir_axis(&self, axis: usize) -> &[f32; W] {
         &self.dir[axis]
     }
 
     /// Lane reciprocal directions along `axis`.
     #[inline(always)]
-    pub fn inv_dir_axis(&self, axis: usize) -> &[f32; LANES] {
+    pub fn inv_dir_axis(&self, axis: usize) -> &[f32; W] {
         &self.inv_dir[axis]
     }
 
@@ -183,24 +205,34 @@ impl RayPacket4 {
     pub fn common_origin(&self) -> bool {
         self.common_origin
     }
+
+    /// The conservative interval frustum over this packet's active
+    /// lanes. Invalid (never fast-pathed) when no lane is active or any
+    /// active lane has a non-finite reciprocal direction.
+    pub fn frustum(&self) -> PacketFrustum {
+        PacketFrustum::of_packet(self)
+    }
 }
 
-/// Result of a 4-wide triangle intersection: per-lane `t` and
+/// Result of a `W`-wide triangle intersection: per-lane `t` and
 /// barycentrics, with bit `l` of `mask` set when lane `l` accepted the
 /// hit. Values of rejected lanes are unspecified.
 #[derive(Clone, Copy, Debug)]
-pub struct PacketHit4 {
+pub struct PacketHit<const W: usize> {
     /// Per-lane ray parameter.
-    pub t: [f32; LANES],
+    pub t: [f32; W],
     /// Per-lane barycentric `u`.
-    pub u: [f32; LANES],
+    pub u: [f32; W],
     /// Per-lane barycentric `v`.
-    pub v: [f32; LANES],
+    pub v: [f32; W],
     /// Accepting lanes.
-    pub mask: u8,
+    pub mask: u32,
 }
 
-impl PacketHit4 {
+/// The 4-wide hit record, now an alias of the generic instantiation.
+pub type PacketHit4 = PacketHit<4>;
+
+impl<const W: usize> PacketHit<W> {
     /// The lane's result as a scalar [`Hit`] (prim = `usize::MAX`, as in
     /// [`Triangle::intersect`]).
     #[inline]
@@ -209,19 +241,135 @@ impl PacketHit4 {
     }
 }
 
+/// A conservative interval bound over one packet: per-axis origin and
+/// reciprocal-direction intervals covering every **active** lane
+/// (Reshetov-style interval frustum over the camera's row/column ray
+/// table deltas, or over an octant-batched shadow bundle).
+///
+/// Traversals use it to classify the whole packet against a kd split
+/// plane in O(1): with `diff = pos - origin` bounded by
+/// [`diff_bounds`](PacketFrustum::diff_bounds) and `t_plane = diff *
+/// inv_dir` bounded by
+/// [`t_plane_bounds`](PacketFrustum::t_plane_bounds), a packet whose
+/// bounds land entirely on one side of the scalar near/far predicates
+/// provably has every lane agreeing with the per-lane test — so the
+/// shared step can descend without touching any lane data, and stays
+/// bit-identical by construction.
+///
+/// The bounds are sound in rounded `f32` arithmetic: IEEE subtraction
+/// and multiplication are monotone under rounding, and the bilinear
+/// product `diff * inv` attains its extremes at the interval corners,
+/// so the min/max of the four rounded corner products bound every
+/// rounded lane product. This argument needs every factor finite —
+/// hence the validity rule below.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketFrustum {
+    /// Per-axis lower origin bound over active lanes.
+    o_lo: [f32; 3],
+    /// Per-axis upper origin bound over active lanes.
+    o_hi: [f32; 3],
+    /// Per-axis lower reciprocal-direction bound over active lanes.
+    inv_lo: [f32; 3],
+    /// Per-axis upper reciprocal-direction bound over active lanes.
+    inv_hi: [f32; 3],
+    /// True only when at least one lane is active and **every** active
+    /// lane's reciprocal direction is finite on all three axes. An
+    /// infinite `inv_dir` (zero direction component) would turn the
+    /// corner products into `±inf`/NaN and poison the interval bound.
+    valid: bool,
+}
+
+impl PacketFrustum {
+    /// A frustum that never fast-paths (used when no bound is known).
+    pub const INVALID: PacketFrustum = PacketFrustum {
+        o_lo: [0.0; 3],
+        o_hi: [0.0; 3],
+        inv_lo: [0.0; 3],
+        inv_hi: [0.0; 3],
+        valid: false,
+    };
+
+    /// Bounds the active lanes of `p`. Returns an invalid frustum when
+    /// no lane is active or an active lane has a non-finite reciprocal
+    /// direction on any axis.
+    pub fn of_packet<const W: usize>(p: &RayPacket<W>) -> PacketFrustum {
+        if p.active() == 0 {
+            return PacketFrustum::INVALID;
+        }
+        let mut o_lo = [f32::INFINITY; 3];
+        let mut o_hi = [f32::NEG_INFINITY; 3];
+        let mut inv_lo = [f32::INFINITY; 3];
+        let mut inv_hi = [f32::NEG_INFINITY; 3];
+        let mut valid = true;
+        for axis in 0..3 {
+            let o = p.origin_axis(axis);
+            let inv = p.inv_dir_axis(axis);
+            for l in 0..W {
+                if p.active() & (1 << l) == 0 {
+                    continue;
+                }
+                valid &= inv[l].is_finite() && o[l].is_finite();
+                o_lo[axis] = o_lo[axis].min(o[l]);
+                o_hi[axis] = o_hi[axis].max(o[l]);
+                inv_lo[axis] = inv_lo[axis].min(inv[l]);
+                inv_hi[axis] = inv_hi[axis].max(inv[l]);
+            }
+        }
+        PacketFrustum {
+            o_lo,
+            o_hi,
+            inv_lo,
+            inv_hi,
+            valid,
+        }
+    }
+
+    /// Whether the interval bounds are usable for fast-path decisions.
+    #[inline(always)]
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Conservative bounds on `pos - origin[axis]` over every active
+    /// lane: `(lo, hi)` with `lo <= fl(pos - o_l) <= hi` for each lane
+    /// `l` (monotonicity of rounded subtraction). The sign of `diff` is
+    /// exact — `fl(pos - o) > 0 ⟺ o < pos` — so `lo > 0` proves every
+    /// lane origin is strictly below the plane and `hi < 0` strictly
+    /// above.
+    #[inline(always)]
+    pub fn diff_bounds(&self, axis: usize, pos: f32) -> (f32, f32) {
+        (pos - self.o_hi[axis], pos - self.o_lo[axis])
+    }
+
+    /// Conservative bounds on the split-plane parameter
+    /// `fl(fl(pos - o_l) * inv_l)` over every active lane: the min/max
+    /// of the four rounded corner products of the `diff` and `inv_dir`
+    /// intervals. Only meaningful when [`valid`](PacketFrustum::valid).
+    #[inline(always)]
+    pub fn t_plane_bounds(&self, axis: usize, pos: f32) -> (f32, f32) {
+        let (d_lo, d_hi) = self.diff_bounds(axis, pos);
+        let (i_lo, i_hi) = (self.inv_lo[axis], self.inv_hi[axis]);
+        let a = d_lo * i_lo;
+        let b = d_lo * i_hi;
+        let c = d_hi * i_lo;
+        let d = d_hi * i_hi;
+        (a.min(b).min(c.min(d)), a.max(b).max(c.max(d)))
+    }
+}
+
 impl Aabb {
-    /// 4-wide slab test: clips each lane's ray against the box over
+    /// `W`-wide slab test: clips each lane's ray against the box over
     /// `[t_min, packet t_max]`, returning per-lane `(t_enter, t_exit)`
     /// and the mask of lanes that overlap the box. Per lane this is
     /// bit-identical to [`Aabb::intersect_ray`] (including the
     /// NaN-skipping of flat-box faces). Lanes outside the packet's
     /// active mask are still computed but masked out of the result.
     #[inline]
-    pub fn intersect_ray_packet(
+    pub fn intersect_ray_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
-    ) -> ([f32; LANES], [f32; LANES], u8) {
+    ) -> ([f32; W], [f32; W], u32) {
         let min = [self.min.x, self.min.y, self.min.z];
         let max = [self.max.x, self.max.y, self.max.z];
         let mut t0 = splat(t_min);
@@ -233,29 +381,31 @@ impl Aabb {
             let far = mul(sub(splat(max[axis]), o), inv);
             // The scalar swap-if-greater, as selects (`near > far` is
             // false on NaN, exactly like the scalar branch).
-            let lo: F4 = std::array::from_fn(|l| if near[l] > far[l] { far[l] } else { near[l] });
-            let hi: F4 = std::array::from_fn(|l| if near[l] > far[l] { near[l] } else { far[l] });
+            let lo: [f32; W] =
+                std::array::from_fn(|l| if near[l] > far[l] { far[l] } else { near[l] });
+            let hi: [f32; W] =
+                std::array::from_fn(|l| if near[l] > far[l] { near[l] } else { far[l] });
             // Same skip as the scalar slab test: a NaN on *either* side
             // (origin exactly on a face, zero direction) leaves the
             // lane's whole interval untouched — NaN can land on one side
             // only, with the other at ±inf. `max`/`min` are the scalar
             // `f32::max`/`f32::min` calls, so updated lanes carry the
             // scalar result to the bit.
-            let skip: [bool; LANES] = std::array::from_fn(|l| lo[l].is_nan() || hi[l].is_nan());
+            let skip: [bool; W] = std::array::from_fn(|l| lo[l].is_nan() || hi[l].is_nan());
             t0 = std::array::from_fn(|l| if skip[l] { t0[l] } else { t0[l].max(lo[l]) });
             t1 = std::array::from_fn(|l| if skip[l] { t1[l] } else { t1[l].min(hi[l]) });
         }
         // The scalar test early-returns as soon as t0 > t1; the interval
         // updates are monotone, so checking once at the end yields the
         // same verdict and the same final interval for hitting lanes.
-        let mask = mask_of(std::array::from_fn(|l| t0[l] <= t1[l]));
+        let mask = mask_of::<W>(std::array::from_fn(|l| t0[l] <= t1[l]));
         (t0, t1, mask & p.active())
     }
 }
 
 impl Triangle {
-    /// 4-wide Möller–Trumbore: intersects this triangle with every lane
-    /// of the packet, accepting hits with `t` in the open interval
+    /// `W`-wide Möller–Trumbore: intersects this triangle with every
+    /// lane of the packet, accepting hits with `t` in the open interval
     /// `(t_min, t_max[lane])`. Only lanes in `lanes` (intersected with
     /// the packet's active mask) can appear in the result mask.
     ///
@@ -268,13 +418,13 @@ impl Triangle {
     /// hottest loop of a packet render — and an out-of-line call would
     /// spill the packet SoA registers and return the hit through memory.
     #[inline(always)]
-    pub fn intersect4(
+    pub fn intersect_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
-        t_max: &[f32; LANES],
-        lanes: u8,
-    ) -> PacketHit4 {
+        t_max: &[f32; W],
+        lanes: u32,
+    ) -> PacketHit<W> {
         let e1x = splat(self.b.x - self.a.x);
         let e1y = splat(self.b.y - self.a.y);
         let e1z = splat(self.b.z - self.a.z);
@@ -303,7 +453,7 @@ impl Triangle {
         let v = mul(dot3(dx, dy, dz, qvx, qvy, qvz), inv_det);
         let t = mul(dot3(e2x, e2y, e2z, qvx, qvy, qvz), inv_det);
         // One *single-compare* bitmask per scalar early-out, combined as
-        // `u8` masks. This shape matters: each `mask_of` of one lane
+        // `u32` masks. This shape matters: each `mask_of` of one lane
         // compare lowers to a packed compare + movemask, whereas one
         // fused multi-condition predicate decays into per-lane scalar
         // compare/`set*` chains. Comparison polarity matches the scalar
@@ -323,19 +473,33 @@ impl Triangle {
         // (`∞ - ∞ = NaN`).
         let uv = add(u, v);
         let dt_min = sub(t, splat(t_min));
-        let mask = !mask_of(std::array::from_fn(|l| det[l].abs() < 1e-12))
-            & mask_of(std::array::from_fn(|l| -EPS <= u[l]))
-            & mask_of(std::array::from_fn(|l| u[l] <= 1.0 + EPS))
-            & !mask_of(std::array::from_fn(|l| v[l] < -EPS))
-            & !mask_of(std::array::from_fn(|l| uv[l] > 1.0 + EPS))
-            & !mask_of(std::array::from_fn(|l| dt_min[l] <= 0.0))
-            & !mask_of(std::array::from_fn(|l| t[l] >= t_max[l]));
-        PacketHit4 {
+        let mask = !mask_of::<W>(std::array::from_fn(|l| det[l].abs() < 1e-12))
+            & mask_of::<W>(std::array::from_fn(|l| -EPS <= u[l]))
+            & mask_of::<W>(std::array::from_fn(|l| u[l] <= 1.0 + EPS))
+            & !mask_of::<W>(std::array::from_fn(|l| v[l] < -EPS))
+            & !mask_of::<W>(std::array::from_fn(|l| uv[l] > 1.0 + EPS))
+            & !mask_of::<W>(std::array::from_fn(|l| dt_min[l] <= 0.0))
+            & !mask_of::<W>(std::array::from_fn(|l| t[l] >= t_max[l]));
+        PacketHit {
             t,
             u,
             v,
             mask: mask & lanes & p.active(),
         }
+    }
+
+    /// The 4-wide instantiation of
+    /// [`intersect_packet`](Triangle::intersect_packet), kept under its
+    /// original name.
+    #[inline(always)]
+    pub fn intersect4(
+        &self,
+        p: &RayPacket4,
+        t_min: f32,
+        t_max: &[f32; LANES],
+        lanes: u32,
+    ) -> PacketHit4 {
+        self.intersect_packet(p, t_min, t_max, lanes)
     }
 }
 
@@ -350,7 +514,74 @@ mod tests {
     }
 
     fn packet_of(rays: [Ray; LANES], t_max: f32) -> RayPacket4 {
-        RayPacket4::new(rays, [t_max; LANES])
+        RayPacket::new(rays, [t_max; LANES])
+    }
+
+    /// Lane-for-lane bit identity of the `W`-wide slab test against the
+    /// scalar slab test, for one set of rays.
+    fn assert_slab_matches_scalar<const W: usize>(b: &Aabb, rays: [Ray; W], t_max: f32) {
+        let p = RayPacket::new(rays, [t_max; W]);
+        let (t0, t1, mask) = b.intersect_ray_packet(&p, 0.0);
+        for (l, ray) in rays.iter().enumerate() {
+            let scalar = b.intersect_ray(ray, 0.0, t_max);
+            assert_eq!(mask & (1 << l) != 0, scalar.is_some(), "lane {l} verdict");
+            if let Some((s0, s1)) = scalar {
+                assert_eq!(t0[l].to_bits(), s0.to_bits(), "lane {l} t0");
+                assert_eq!(t1[l].to_bits(), s1.to_bits(), "lane {l} t1");
+            }
+        }
+    }
+
+    /// Lane-for-lane bit identity of `W`-wide Möller–Trumbore against
+    /// the scalar intersector, for one set of rays.
+    fn assert_mt_matches_scalar<const W: usize>(tri: &Triangle, rays: [Ray; W], t_max: f32) {
+        let p = RayPacket::new(rays, [t_max; W]);
+        let h = tri.intersect_packet(&p, 0.0, &[t_max; W], RayPacket::<W>::ALL);
+        for (l, ray) in rays.iter().enumerate() {
+            let scalar = tri.intersect(ray, 0.0, t_max);
+            assert_eq!(h.mask & (1 << l) != 0, scalar.is_some(), "lane {l} verdict");
+            if let Some(s) = scalar {
+                assert_eq!(h.t[l].to_bits(), s.t.to_bits(), "lane {l} t");
+                assert_eq!(h.u[l].to_bits(), s.u.to_bits(), "lane {l} u");
+                assert_eq!(h.v[l].to_bits(), s.v.to_bits(), "lane {l} v");
+                assert_eq!(h.lane_hit(l).prim, usize::MAX);
+            }
+        }
+    }
+
+    /// The frustum bounds really bound every active lane's `diff` and
+    /// `t_plane` for one packet and plane.
+    fn assert_frustum_conservative<const W: usize>(rays: [Ray; W], axis: usize, pos: f32) {
+        let p = RayPacket::new(rays, [f32::INFINITY; W]);
+        let f = p.frustum();
+        if !f.valid() {
+            return;
+        }
+        let (d_lo, d_hi) = f.diff_bounds(axis, pos);
+        let (tp_lo, tp_hi) = f.t_plane_bounds(axis, pos);
+        for l in 0..W {
+            let diff = pos - p.origin_axis(axis)[l];
+            let t_plane = diff * p.inv_dir_axis(axis)[l];
+            assert!(
+                d_lo <= diff && diff <= d_hi,
+                "lane {l} diff {diff} outside [{d_lo}, {d_hi}]"
+            );
+            assert!(
+                tp_lo <= t_plane && t_plane <= tp_hi,
+                "lane {l} t_plane {t_plane} outside [{tp_lo}, {tp_hi}]"
+            );
+        }
+    }
+
+    fn spread_rays<const W: usize>(seed: u32) -> [Ray; W] {
+        std::array::from_fn(|l| {
+            let s = (seed.wrapping_mul(0x9E37_79B9).wrapping_add(l as u32)) as f32;
+            let jitter = (s % 17.0) * 0.013;
+            Ray::new(
+                Vec3::new(0.1 + jitter, 0.2 - jitter, -1.0 - 0.01 * l as f32),
+                Vec3::new(0.1 * l as f32 - 0.2, jitter, 1.0),
+            )
+        })
     }
 
     #[test]
@@ -373,12 +604,35 @@ mod tests {
     }
 
     #[test]
-    fn mask_is_clamped_to_four_lanes() {
+    fn all_mask_matches_width() {
+        assert_eq!(RayPacket::<4>::ALL, 0b1111);
+        assert_eq!(RayPacket::<8>::ALL, 0xFF);
+        assert_eq!(RayPacket::<16>::ALL, 0xFFFF);
+        assert_eq!(ALL_LANES, RayPacket::<4>::ALL);
+    }
+
+    #[test]
+    fn mask_is_clamped_to_width() {
         let r = Ray::new(Vec3::ZERO, Vec3::Z);
-        let p = RayPacket4::with_mask([r; LANES], [1.0; LANES], 0xFF);
+        let p = RayPacket::<4>::with_mask([r; 4], [1.0; 4], 0xFF);
         assert_eq!(p.active(), ALL_LANES);
-        let p = RayPacket4::with_mask([r; LANES], [1.0; LANES], 0b0101);
+        let p = RayPacket::<4>::with_mask([r; 4], [1.0; 4], 0b0101);
         assert_eq!(p.active(), 0b0101);
+        let p = RayPacket::<8>::with_mask([r; 8], [1.0; 8], 0xFFFF_FFFF);
+        assert_eq!(p.active(), 0xFF);
+        let p = RayPacket::<16>::with_mask([r; 16], [1.0; 16], 0x5_AAAA);
+        assert_eq!(p.active(), 0xAAAA);
+    }
+
+    #[test]
+    fn common_origin_detected_at_every_width() {
+        let o = Vec3::new(0.5, -0.25, 3.0);
+        let shared: [Ray; 8] =
+            std::array::from_fn(|l| Ray::new(o, Vec3::new(0.1 * l as f32 - 0.3, 0.2, 1.0)));
+        assert!(RayPacket::new(shared, [1.0; 8]).common_origin());
+        let mut scattered = shared;
+        scattered[5] = Ray::new(Vec3::new(0.5, -0.25, 3.0000002), shared[5].dir);
+        assert!(!RayPacket::new(scattered, [1.0; 8]).common_origin());
     }
 
     #[test]
@@ -392,84 +646,106 @@ mod tests {
             Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z),
             Ray::new(Vec3::new(0.5, 0.5, -1.0), -Vec3::Z),
         ];
-        let p = packet_of(rays, f32::INFINITY);
-        let (t0, t1, mask) = b.intersect_ray_packet(&p, 0.0);
-        for (l, ray) in rays.iter().enumerate() {
-            let scalar = b.intersect_ray(ray, 0.0, f32::INFINITY);
-            assert_eq!(mask & (1 << l) != 0, scalar.is_some(), "lane {l}");
-            if let Some((s0, s1)) = scalar {
-                assert_eq!(t0[l].to_bits(), s0.to_bits(), "lane {l} t0");
-                assert_eq!(t1[l].to_bits(), s1.to_bits(), "lane {l} t1");
-            }
-        }
+        assert_slab_matches_scalar(&b, rays, f32::INFINITY);
     }
 
     #[test]
     fn inactive_lanes_never_hit() {
         let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
         let hit = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z);
-        let p = RayPacket4::with_mask([hit; LANES], [f32::INFINITY; LANES], 0b0010);
+        let p = RayPacket::<4>::with_mask([hit; 4], [f32::INFINITY; 4], 0b0010);
         let (_, _, mask) = b.intersect_ray_packet(&p, 0.0);
         assert_eq!(mask, 0b0010);
         let tri = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
         let shifted = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::Z);
-        let p = RayPacket4::with_mask([shifted; LANES], [f32::INFINITY; LANES], 0b1000);
-        let h = tri.intersect4(&p, 0.0, &[f32::INFINITY; LANES], ALL_LANES);
+        let p = RayPacket::<4>::with_mask([shifted; 4], [f32::INFINITY; 4], 0b1000);
+        let h = tri.intersect4(&p, 0.0, &[f32::INFINITY; 4], ALL_LANES);
         assert_eq!(h.mask, 0b1000);
+        let p = RayPacket::<16>::with_mask([shifted; 16], [f32::INFINITY; 16], 0x8001);
+        let h = tri.intersect_packet(&p, 0.0, &[f32::INFINITY; 16], RayPacket::<16>::ALL);
+        assert_eq!(h.mask, 0x8001);
+    }
+
+    #[test]
+    fn wide_kernels_match_scalar_on_spread_rays() {
+        let b = Aabb::new(Vec3::new(-0.5, -0.5, 0.0), Vec3::new(1.5, 1.5, 2.0));
+        let tri = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+        for seed in 0..8 {
+            assert_slab_matches_scalar(&b, spread_rays::<8>(seed), 100.0);
+            assert_slab_matches_scalar(&b, spread_rays::<16>(seed), 100.0);
+            assert_mt_matches_scalar(&tri, spread_rays::<8>(seed), 100.0);
+            assert_mt_matches_scalar(&tri, spread_rays::<16>(seed), 100.0);
+        }
+    }
+
+    #[test]
+    fn frustum_rejects_non_finite_inv_dir() {
+        let ok = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.3, 0.4, 1.0));
+        let axis_parallel = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z);
+        assert!(RayPacket::new([ok; 4], [1.0; 4]).frustum().valid());
+        assert!(!RayPacket::new([ok, ok, axis_parallel, ok], [1.0; 4])
+            .frustum()
+            .valid());
+        // …unless the offending lane is inactive.
+        let p = RayPacket::<4>::with_mask([ok, ok, axis_parallel, ok], [1.0; 4], 0b1011);
+        assert!(p.frustum().valid());
+        assert!(!RayPacket::<4>::with_mask([ok; 4], [1.0; 4], 0)
+            .frustum()
+            .valid());
     }
 
     proptest! {
-        /// Lane-for-lane bit identity of the 4-wide slab test with the
-        /// scalar slab test, on random boxes and rays.
+        /// Lane-for-lane bit identity of the wide slab test with the
+        /// scalar slab test, on random boxes and rays, at W = 4/8/16.
         #[test]
         fn slab_matches_scalar_bitwise(
             bmin in arb_vec(-10.0..10.0),
             ext in arb_vec(0.0..10.0),
-            origins in prop::array::uniform4(arb_vec(-20.0..20.0)),
-            dirs in prop::array::uniform4(arb_vec(-1.0..1.0)),
+            origins in prop::array::uniform16(arb_vec(-20.0..20.0)),
+            dirs in prop::array::uniform16(arb_vec(-1.0..1.0)),
             t_max in 1.0f32..1e6,
         ) {
             let b = Aabb::new(bmin, bmin + ext);
-            let rays: [Ray; LANES] =
+            let rays: [Ray; 16] =
                 std::array::from_fn(|l| Ray::new(origins[l], dirs[l]));
-            let p = RayPacket4::new(rays, [t_max; LANES]);
-            let (t0, t1, mask) = b.intersect_ray_packet(&p, 0.0);
-            for (l, ray) in rays.iter().enumerate() {
-                let scalar = b.intersect_ray(ray, 0.0, t_max);
-                prop_assert_eq!(mask & (1 << l) != 0, scalar.is_some());
-                if let Some((s0, s1)) = scalar {
-                    prop_assert_eq!(t0[l].to_bits(), s0.to_bits());
-                    prop_assert_eq!(t1[l].to_bits(), s1.to_bits());
-                }
-            }
+            assert_slab_matches_scalar::<4>(&b, rays[..4].try_into().unwrap(), t_max);
+            assert_slab_matches_scalar::<8>(&b, rays[..8].try_into().unwrap(), t_max);
+            assert_slab_matches_scalar::<16>(&b, rays, t_max);
         }
 
-        /// Lane-for-lane bit identity of 4-wide Möller–Trumbore with the
-        /// scalar intersector, on random triangles and rays.
+        /// Lane-for-lane bit identity of wide Möller–Trumbore with the
+        /// scalar intersector, on random triangles and rays, at
+        /// W = 4/8/16.
         #[test]
         fn moller_trumbore_matches_scalar_bitwise(
             a in arb_vec(-5.0..5.0),
             b in arb_vec(-5.0..5.0),
             c in arb_vec(-5.0..5.0),
-            origins in prop::array::uniform4(arb_vec(-10.0..10.0)),
-            dirs in prop::array::uniform4(arb_vec(-1.0..1.0)),
+            origins in prop::array::uniform16(arb_vec(-10.0..10.0)),
+            dirs in prop::array::uniform16(arb_vec(-1.0..1.0)),
             t_max in 0.5f32..100.0,
         ) {
             let tri = Triangle::new(a, b, c);
-            let rays: [Ray; LANES] =
+            let rays: [Ray; 16] =
                 std::array::from_fn(|l| Ray::new(origins[l], dirs[l]));
-            let p = RayPacket4::new(rays, [t_max; LANES]);
-            let h = tri.intersect4(&p, 0.0, &[t_max; LANES], ALL_LANES);
-            for (l, ray) in rays.iter().enumerate() {
-                let scalar = tri.intersect(ray, 0.0, t_max);
-                prop_assert_eq!(h.mask & (1 << l) != 0, scalar.is_some(), "lane {}", l);
-                if let Some(s) = scalar {
-                    prop_assert_eq!(h.t[l].to_bits(), s.t.to_bits());
-                    prop_assert_eq!(h.u[l].to_bits(), s.u.to_bits());
-                    prop_assert_eq!(h.v[l].to_bits(), s.v.to_bits());
-                    prop_assert_eq!(h.lane_hit(l).prim, usize::MAX);
-                }
-            }
+            assert_mt_matches_scalar::<4>(&tri, rays[..4].try_into().unwrap(), t_max);
+            assert_mt_matches_scalar::<8>(&tri, rays[..8].try_into().unwrap(), t_max);
+            assert_mt_matches_scalar::<16>(&tri, rays, t_max);
+        }
+
+        /// The interval frustum's `diff` and `t_plane` bounds contain
+        /// every lane's scalar value for random packets and planes.
+        #[test]
+        fn frustum_bounds_are_conservative(
+            origins in prop::array::uniform8(arb_vec(-10.0..10.0)),
+            dirs in prop::array::uniform8(arb_vec(-1.0..1.0)),
+            axis in 0usize..3,
+            pos in -20.0f32..20.0,
+        ) {
+            let rays: [Ray; 8] =
+                std::array::from_fn(|l| Ray::new(origins[l], dirs[l]));
+            assert_frustum_conservative(rays, axis, pos);
+            assert_frustum_conservative::<4>(rays[..4].try_into().unwrap(), axis, pos);
         }
     }
 }

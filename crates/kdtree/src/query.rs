@@ -1,7 +1,7 @@
 //! Uniform query interface over eager and lazy trees.
 
 use crate::{KdTree, LazyKdTree, PacketCounters};
-use kdtune_geometry::{Aabb, Hit, Ray, RayPacket4, TriangleMesh, LANES};
+use kdtune_geometry::{Aabb, Hit, Ray, RayPacket, TriangleMesh};
 use std::sync::Arc;
 
 /// Ray queries shared by every acceleration structure in this crate.
@@ -9,30 +9,38 @@ use std::sync::Arc;
 /// Implementations must be callable concurrently from many threads (`&self`
 /// queries) — the ray caster parallelizes over pixels.
 ///
-/// The packet methods have default implementations that trace each active
-/// lane through the scalar queries — correct (and by definition
-/// bit-identical to scalar) for any implementor; structures with a real
-/// packet traversal override them.
+/// The packet methods are const-generic over the packet width and have
+/// default implementations that trace each active lane through the
+/// scalar queries — correct (and by definition bit-identical to scalar)
+/// for any implementor; structures with a real packet traversal override
+/// them. They are `where Self: Sized` so the scalar half of the trait
+/// stays object-safe (`&dyn RayQuery` callers only ever need scalar
+/// queries).
 pub trait RayQuery: Send + Sync {
     /// Nearest intersection with ray parameter in `(t_min, t_max)`.
     fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit>;
     /// True if any intersection exists in `(t_min, t_max)`.
     fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool;
 
-    /// Nearest intersection for every active lane of a packet, in
-    /// `(t_min, lane t_max)`; inactive lanes return `None`. Must be
+    /// Nearest intersection for every active lane of a `W`-wide packet,
+    /// in `(t_min, lane t_max)`; inactive lanes return `None`. Must be
     /// bit-identical per lane to [`RayQuery::intersect`]. `min_active`
-    /// is the divergence threshold for implementations with a shared
-    /// packet loop; the scalar default ignores it.
-    fn intersect_packet(
+    /// is the divergence threshold and `use_frustum` enables the O(1)
+    /// interval-frustum split classification, for implementations with
+    /// a shared packet loop; the scalar default ignores both.
+    fn intersect_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         _min_active: u32,
+        _use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> [Option<Hit>; LANES] {
+    ) -> [Option<Hit>; W]
+    where
+        Self: Sized,
+    {
         let t_maxes = p.t_maxes();
-        let mut out = [None; LANES];
+        let mut out = [None; W];
         counters.packets += 1;
         counters.scalar_fallback_lanes += p.active().count_ones() as u64;
         for (l, slot) in out.iter_mut().enumerate() {
@@ -46,19 +54,23 @@ pub trait RayQuery: Send + Sync {
     /// Occlusion mask for every active lane of a packet (bit `l` set =
     /// lane `l` blocked in `(t_min, lane t_max)`); inactive lanes report
     /// unoccluded. Must agree lanewise with [`RayQuery::intersect_any`].
-    fn intersect_any_packet(
+    fn intersect_any_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         _min_active: u32,
+        _use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> u8 {
+    ) -> u32
+    where
+        Self: Sized,
+    {
         let t_maxes = p.t_maxes();
-        let mut occluded = 0u8;
+        let mut occluded = 0u32;
         counters.packets += 1;
         counters.scalar_fallback_lanes += p.active().count_ones() as u64;
         for (l, &t_max) in t_maxes.iter().enumerate() {
-            let bit = 1u8 << l;
+            let bit = 1u32 << l;
             if p.active() & bit != 0 && self.intersect_any(p.ray(l), t_min, t_max) {
                 occluded |= bit;
             }
@@ -74,23 +86,25 @@ impl RayQuery for KdTree {
     fn intersect_any(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
         KdTree::intersect_any(self, ray, t_min, t_max)
     }
-    fn intersect_packet(
+    fn intersect_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         min_active: u32,
+        use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> [Option<Hit>; LANES] {
-        KdTree::intersect_packet(self, p, t_min, min_active, counters)
+    ) -> [Option<Hit>; W] {
+        KdTree::intersect_packet(self, p, t_min, min_active, use_frustum, counters)
     }
-    fn intersect_any_packet(
+    fn intersect_any_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         min_active: u32,
+        use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> u8 {
-        KdTree::intersect_any_packet(self, p, t_min, min_active, counters)
+    ) -> u32 {
+        KdTree::intersect_any_packet(self, p, t_min, min_active, use_frustum, counters)
     }
 }
 
@@ -179,30 +193,38 @@ impl RayQuery for BuiltTree {
             BuiltTree::Lazy(t) => t.intersect_any(ray, t_min, t_max),
         }
     }
-    fn intersect_packet(
+    fn intersect_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         min_active: u32,
+        use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> [Option<Hit>; LANES] {
+    ) -> [Option<Hit>; W] {
         match self {
-            BuiltTree::Eager(t) => t.intersect_packet(p, t_min, min_active, counters),
+            BuiltTree::Eager(t) => t.intersect_packet(p, t_min, min_active, use_frustum, counters),
             // Lazy trees expand nodes on first scalar-ray contact; the
             // per-lane default keeps that machinery untouched.
-            BuiltTree::Lazy(t) => RayQuery::intersect_packet(t, p, t_min, min_active, counters),
+            BuiltTree::Lazy(t) => {
+                RayQuery::intersect_packet(t, p, t_min, min_active, use_frustum, counters)
+            }
         }
     }
-    fn intersect_any_packet(
+    fn intersect_any_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         min_active: u32,
+        use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> u8 {
+    ) -> u32 {
         match self {
-            BuiltTree::Eager(t) => t.intersect_any_packet(p, t_min, min_active, counters),
-            BuiltTree::Lazy(t) => RayQuery::intersect_any_packet(t, p, t_min, min_active, counters),
+            BuiltTree::Eager(t) => {
+                t.intersect_any_packet(p, t_min, min_active, use_frustum, counters)
+            }
+            BuiltTree::Lazy(t) => {
+                RayQuery::intersect_any_packet(t, p, t_min, min_active, use_frustum, counters)
+            }
         }
     }
 }

@@ -1,11 +1,12 @@
-//! Masked 4-wide packet traversal over the packed-node tree.
+//! Masked `W`-wide packet traversal over the packed-node tree.
 //!
-//! A [`RayPacket4`] descends the tree as a group: one node fetch and one
-//! split classification serve up to four rays, and leaf triangles are
-//! tested with the 4-wide Möller–Trumbore kernel. The traversal keeps a
-//! **shared** fixed-size stack whose entries carry a per-lane mask and
-//! per-lane parametric intervals, so each lane still pops its deferred
-//! subtrees in exactly the order the scalar traversal would.
+//! A [`RayPacket<W>`] (W = 4, 8 or 16) descends the tree as a group: one
+//! node fetch and one split classification serve up to `W` rays, and
+//! leaf triangles are tested with the `W`-wide Möller–Trumbore kernel.
+//! The traversal keeps a **shared** fixed-size stack whose entries carry
+//! a per-lane mask and per-lane parametric intervals, so each lane still
+//! pops its deferred subtrees in exactly the order the scalar traversal
+//! would.
 //!
 //! ## Bit-identity with the scalar path
 //!
@@ -19,7 +20,7 @@
 //!    entry (their next *processed* node is the far child — the same node
 //!    the scalar code jumps to directly), so every lane's sequence of
 //!    processed nodes matches its scalar sequence.
-//! 2. **Exact kernels.** The 4-wide slab and triangle kernels in
+//! 2. **Exact kernels.** The wide slab and triangle kernels in
 //!    `kdtune-geometry` replicate the scalar arithmetic per lane to the
 //!    bit, including NaN comparison polarity.
 //! 3. **Scalar resume.** When lanes disagree on `below_first`, or the
@@ -34,22 +35,46 @@
 //! but a far-only lane *jumps* to the far child without popping, so no
 //! such check applies to it. Shared-stack entries therefore track a
 //! `skip_exempt` mask of far-only lanes that must bypass the pop check.
+//!
+//! ## Frustum fast path
+//!
+//! This traversal maintains **exact** per-lane `[t0, t1]` intervals, so
+//! a node's interval equals the true ray∩box range and classic
+//! "cull the subtree" frustum tests can never remove a node any lane
+//! actually owes a visit. What an interval frustum *can* do is replace
+//! the O(W) per-lane split classification with an O(1) whole-packet
+//! one: [`PacketFrustum`] carries per-axis origin and inverse-direction
+//! intervals over the active lanes, and each nearest/any inner step
+//! first asks it (a) do all origins sit strictly on one side of the
+//! plane (`diff_bounds`), and (b) do the conservative `t_plane` bounds
+//! prove every lane near-only or every lane far-only against running
+//! scalar bounds `t0_lo <= min t0[l]`, `t1_hi >= max t1[l]` carried on
+//! the stack? The bounds are computed once at the root and *inherited*
+//! down the tree (child intervals are subsets of the parent's, so the
+//! parent's bounds remain sound) — looser than a per-step min/max scan,
+//! but an O(W) scan per step costs more than the classification saves.
+//! When both hold, the packet descends (or jumps to the far
+//! child) with no lane arithmetic at all — and because the fast path
+//! fires only when the per-lane outcome is provably identical, the
+//! visit sequence, intervals and results stay bit-identical to the
+//! per-lane path, frustum on or off. Fired steps are counted in
+//! [`PacketCounters::frustum_steps`].
 
-// Lane-indexed `for l in 0..LANES` loops over parallel `[f32; LANES]`
-// arrays are the house style for the masked code here — iterator chains
-// over four zipped arrays obscure the lane structure.
+// Lane-indexed `for l in 0..W` loops over parallel `[f32; W]` arrays
+// are the house style for the masked code here — iterator chains over
+// zipped lane arrays obscure the lane structure.
 #![allow(clippy::needless_range_loop)]
 
 use crate::traverse::{
     intersect_any_core, intersect_core, ArrayStack, FIXED_TRAVERSAL_STACK, T_EPS,
 };
 use crate::tree::KdTree;
-use kdtune_geometry::{Hit, RayPacket4, ALL_LANES, LANES};
+use kdtune_geometry::{Hit, PacketFrustum, RayPacket};
 
 /// Work counters for the packet traversal, reported alongside render
 /// stats so per-scene divergence is observable. Unlike
 /// [`crate::TraversalCounters`] these describe *packet* work: one
-/// `node_steps` increment covers up to four rays.
+/// `node_steps` increment covers up to `W` rays.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PacketCounters {
     /// Packets traced (one per `intersect_packet`/`intersect_any_packet`).
@@ -58,10 +83,18 @@ pub struct PacketCounters {
     pub node_steps: u64,
     /// Sum over node steps of the number of active lanes at that step.
     pub lane_steps: u64,
+    /// Sum over node steps of the packet width `W` at that step — the
+    /// lane-slot capacity the shared loop paid for. Widths can be mixed
+    /// in one counter (e.g. 8-wide primaries, 4-wide remainders), which
+    /// a fixed `W * node_steps` denominator could not express.
+    pub lane_slots: u64,
     /// Leaf nodes among `node_steps`.
     pub leaf_steps: u64,
-    /// 4-wide triangle tests (one per `(leaf, triangle)` pair).
+    /// Wide triangle tests (one per `(leaf, triangle)` pair).
     pub tri_tests: u64,
+    /// Inner-node steps among `node_steps` resolved by the O(1) frustum
+    /// interval classification instead of the per-lane split test.
+    pub frustum_steps: u64,
     /// Lanes handed to the scalar resume path (divergence, `min_active`,
     /// deep-tree or counters-feature fallback).
     pub scalar_fallback_lanes: u64,
@@ -74,20 +107,43 @@ impl PacketCounters {
             packets: self.packets + o.packets,
             node_steps: self.node_steps + o.node_steps,
             lane_steps: self.lane_steps + o.lane_steps,
+            lane_slots: self.lane_slots + o.lane_slots,
             leaf_steps: self.leaf_steps + o.leaf_steps,
             tri_tests: self.tri_tests + o.tri_tests,
+            frustum_steps: self.frustum_steps + o.frustum_steps,
             scalar_fallback_lanes: self.scalar_fallback_lanes + o.scalar_fallback_lanes,
         }
     }
 
-    /// Mean active-lane fraction over all shared node steps, in `[0, 1]`
-    /// (`0.0` when no packet steps ran — e.g. everything fell back to
-    /// scalar).
+    /// Mean active-lane fraction over all shared node steps:
+    /// `lane_steps / lane_slots`, in `[0, 1]` (`0.0` when no packet
+    /// steps ran — e.g. everything fell back to scalar).
+    ///
+    /// Accounting rules, pinned by `lane_utilization_accounting`:
+    /// every shared step — including steps the frustum fast path
+    /// resolved — adds its active-lane count to `lane_steps` and the
+    /// packet width `W` to `lane_slots`. Lanes handed to the scalar
+    /// resume path are counted once in `scalar_fallback_lanes` and then
+    /// appear in **neither** numerator nor denominator: scalar-resumed
+    /// work is per-lane by construction, so folding it in as if those
+    /// lanes occupied packet slots would understate how full the
+    /// genuinely shared steps ran.
     pub fn lane_utilization(&self) -> f64 {
-        if self.node_steps == 0 {
+        if self.lane_slots == 0 {
             0.0
         } else {
-            self.lane_steps as f64 / (LANES as f64 * self.node_steps as f64)
+            self.lane_steps as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// Fraction of inner-node shared steps resolved by the frustum fast
+    /// path, in `[0, 1]` (`0.0` when no inner steps ran).
+    pub fn frustum_rate(&self) -> f64 {
+        let inner = self.node_steps.saturating_sub(self.leaf_steps);
+        if inner == 0 {
+            0.0
+        } else {
+            self.frustum_steps as f64 / inner as f64
         }
     }
 }
@@ -95,38 +151,62 @@ impl PacketCounters {
 /// A deferred subtree shared by several lanes: the far child of a split,
 /// with each lane's parametric interval and the mask of lanes that still
 /// owe it a visit. `skip_exempt` marks far-only lanes (scalar would have
-/// jumped, not popped — see module docs).
+/// jumped, not popped — see module docs). `t0_lo`/`t1_hi` are the
+/// conservative scalar interval bounds over the entry's lanes that the
+/// frustum fast path compares against (inherited from the bounds in
+/// force when the entry was pushed); they are restored on pop.
 #[derive(Clone, Copy)]
-struct PacketEntry {
+struct PacketEntry<const W: usize> {
     node: u32,
-    mask: u8,
-    skip_exempt: u8,
-    t0: [f32; LANES],
-    t1: [f32; LANES],
+    mask: u32,
+    skip_exempt: u32,
+    t0_lo: f32,
+    t1_hi: f32,
+    t0: [f32; W],
+    t1: [f32; W],
 }
 
-impl PacketEntry {
-    const EMPTY: PacketEntry = PacketEntry {
+impl<const W: usize> PacketEntry<W> {
+    const EMPTY: PacketEntry<W> = PacketEntry {
         node: 0,
         mask: 0,
         skip_exempt: 0,
-        t0: [0.0; LANES],
-        t1: [0.0; LANES],
+        t0_lo: 0.0,
+        t1_hi: 0.0,
+        t0: [0.0; W],
+        t1: [0.0; W],
     };
+}
+
+/// Conservative scalar bounds over the masked lanes' intervals:
+/// `(min t0[l], max t1[l])`. `f32::min`/`max` drop a NaN operand, and
+/// masked lanes carry no NaN anyway whenever the frustum is valid (the
+/// only case the bounds are consulted).
+#[inline(always)]
+fn lane_bounds<const W: usize>(mask: u32, t0: &[f32; W], t1: &[f32; W]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for l in 0..W {
+        if mask & (1 << l) != 0 {
+            lo = lo.min(t0[l]);
+            hi = hi.max(t1[l]);
+        }
+    }
+    (lo, hi)
 }
 
 /// Fixed-capacity shared stack. As in the scalar traversal, at most one
 /// entry is live per inner node on the current root-to-leaf path, so the
 /// scalar depth bound caps the length; the public wrappers only take the
 /// packet path when the bound fits.
-struct PacketStack {
-    entries: [PacketEntry; FIXED_TRAVERSAL_STACK],
+struct PacketStack<const W: usize> {
+    entries: [PacketEntry<W>; FIXED_TRAVERSAL_STACK],
     len: usize,
 }
 
-impl PacketStack {
+impl<const W: usize> PacketStack<W> {
     #[inline(always)]
-    fn new() -> PacketStack {
+    fn new() -> PacketStack<W> {
         PacketStack {
             entries: [PacketEntry::EMPTY; FIXED_TRAVERSAL_STACK],
             len: 0,
@@ -134,7 +214,7 @@ impl PacketStack {
     }
 
     #[inline(always)]
-    fn push(&mut self, e: PacketEntry) {
+    fn push(&mut self, e: PacketEntry<W>) {
         self.entries[self.len] = e;
         self.len += 1;
     }
@@ -142,17 +222,18 @@ impl PacketStack {
     /// Remaining entries, top of stack first — the order a bailing lane
     /// would pop them in.
     #[inline]
-    fn pending(&self) -> impl Iterator<Item = &PacketEntry> {
+    fn pending(&self) -> impl Iterator<Item = &PacketEntry<W>> {
         self.entries[..self.len].iter().rev()
     }
 
     /// Pops until an entry with surviving lanes turns up; restores the
-    /// entry's intervals into `t0`/`t1` and returns `(node, mask)`. For
-    /// the nearest-hit traversal, non-exempt lanes are dropped from an
-    /// entry when it starts beyond their best hit — the scalar
-    /// `s0 > t_best` pop check, applied lanewise. The negated comparison
-    /// is deliberate: a NaN `t0` (deferred with a NaN split `t_plane`)
-    /// must *keep* the entry, as in the scalar pop.
+    /// entry's intervals (and interval bounds) into `t0`/`t1`/`bounds`
+    /// and returns `(node, mask)`. For the nearest-hit traversal,
+    /// non-exempt lanes are dropped from an entry when it starts beyond
+    /// their best hit — the scalar `s0 > t_best` pop check, applied
+    /// lanewise. The negated comparison is deliberate: a NaN `t0`
+    /// (deferred with a NaN split `t_plane`) must *keep* the entry, as
+    /// in the scalar pop.
     ///
     /// The restore copies whole lane arrays: lanes outside the returned
     /// mask are dead (every mask downstream — split classification,
@@ -162,11 +243,12 @@ impl PacketStack {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn pop_next(
         &mut self,
-        live: u8,
-        t_best: Option<&[f32; LANES]>,
-        t0: &mut [f32; LANES],
-        t1: &mut [f32; LANES],
-    ) -> Option<(u32, u8)> {
+        live: u32,
+        t_best: Option<&[f32; W]>,
+        t0: &mut [f32; W],
+        t1: &mut [f32; W],
+        bounds: &mut (f32, f32),
+    ) -> Option<(u32, u32)> {
         while self.len > 0 {
             self.len -= 1;
             let e = &self.entries[self.len];
@@ -176,8 +258,8 @@ impl PacketStack {
             }
             if let Some(t_best) = t_best {
                 let mut keep = e.skip_exempt;
-                for l in 0..LANES {
-                    keep |= (!(e.t0[l] > t_best[l]) as u8) << l;
+                for l in 0..W {
+                    keep |= (!(e.t0[l] > t_best[l]) as u32) << l;
                 }
                 m &= keep;
                 if m == 0 {
@@ -186,6 +268,7 @@ impl PacketStack {
             }
             *t0 = e.t0;
             *t1 = e.t1;
+            *bounds = (e.t0_lo, e.t1_hi);
             return Some((e.node, m));
         }
         None
@@ -199,9 +282,9 @@ impl PacketStack {
 /// to non-exempt entries. This is exactly the instruction stream the
 /// scalar traversal would have executed from here.
 #[allow(clippy::too_many_arguments)]
-fn resume_lane_nearest(
+fn resume_lane_nearest<const W: usize>(
     tree: &KdTree,
-    p: &RayPacket4,
+    p: &RayPacket<W>,
     l: usize,
     t_min: f32,
     node: u32,
@@ -209,14 +292,14 @@ fn resume_lane_nearest(
     t1: f32,
     best0: Option<Hit>,
     t_best0: f32,
-    stack: &PacketStack,
+    stack: &PacketStack<W>,
 ) -> Option<Hit> {
     let ray = p.ray(l);
     let mut scratch = ArrayStack::new();
     let (mut best, mut early) =
         intersect_core(tree, ray, t_min, node, t0, t1, &mut scratch, best0, t_best0);
     let mut t_best = best.map_or(t_best0, |h| h.t);
-    let bit = 1u8 << l;
+    let bit = 1u32 << l;
     for e in stack.pending() {
         if early || e.mask & bit == 0 {
             continue;
@@ -244,15 +327,15 @@ fn resume_lane_nearest(
 /// Any-hit analogue of [`resume_lane_nearest`] (no pop check to apply —
 /// the scalar any-hit pop is unconditional).
 #[allow(clippy::too_many_arguments)]
-fn resume_lane_any(
+fn resume_lane_any<const W: usize>(
     tree: &KdTree,
-    p: &RayPacket4,
+    p: &RayPacket<W>,
     l: usize,
     t_min: f32,
     node: u32,
     t0: f32,
     t1: f32,
-    stack: &PacketStack,
+    stack: &PacketStack<W>,
 ) -> bool {
     let ray = p.ray(l);
     let t_max = p.t_maxes()[l];
@@ -260,7 +343,7 @@ fn resume_lane_any(
     if intersect_any_core(tree, ray, t_min, t_max, node, t0, t1, &mut scratch) {
         return true;
     }
-    let bit = 1u8 << l;
+    let bit = 1u32 << l;
     for e in stack.pending() {
         if e.mask & bit == 0 {
             continue;
@@ -285,12 +368,65 @@ fn resume_lane_any(
 /// Outcome of one shared nearest-hit inner-node step.
 enum InnerStep {
     /// Descend into `(node, mask)`.
-    Descend(u32, u8),
+    Descend(u32, u32),
     /// Active lanes disagree on the near child; intervals and stack are
     /// untouched. The nearest-hit loop must bail to the order-exact
     /// scalar resume — the any-hit loop never lands here, it uses the
     /// order-free [`inner_step_any`] instead.
     Diverged,
+}
+
+/// O(1) whole-packet split classification against the interval frustum.
+/// Fires only when every active lane provably (a) sits strictly on one
+/// side of the plane and (b) classifies near-only or far-only — in
+/// which case the per-lane step would descend the same child with
+/// untouched intervals and no push, so skipping the lane arithmetic is
+/// bit-exact. Returns the descend target, or `None` with the proven
+/// `below_first` agreement (if any) for the per-lane path to reuse.
+#[inline(always)]
+fn frustum_classify(
+    frustum: &PacketFrustum,
+    axis: usize,
+    pos: f32,
+    cur_node: u32,
+    right_child: u32,
+    cur_mask: u32,
+    bounds: (f32, f32),
+) -> Result<(u32, u32), Option<bool>> {
+    if !frustum.valid() {
+        return Err(None);
+    }
+    let (d_lo, d_hi) = frustum.diff_bounds(axis, pos);
+    // `fl(pos - o) > 0 ⟺ o < pos` (sign-exact subtraction), so these
+    // prove every origin strictly below / strictly above the plane —
+    // the `o == pos` tie and mixed packets fall to the per-lane test.
+    let all_below = d_lo > 0.0;
+    let all_above = d_hi < 0.0;
+    if !all_below && !all_above {
+        return Err(None);
+    }
+    let below_first = all_below;
+    let (first, second) = if below_first {
+        (cur_node + 1, right_child)
+    } else {
+        (right_child, cur_node + 1)
+    };
+    let (tp_lo, tp_hi) = frustum.t_plane_bounds(axis, pos);
+    let (t0_lo, t1_hi) = bounds;
+    // Every lane near-only: `t_plane[l] <= tp_hi <= 0`, or
+    // `t_plane[l] >= tp_lo > t1_hi >= t1[l]`. The scalar step then
+    // descends the near child with unchanged intervals and no push.
+    if tp_hi <= 0.0 || tp_lo > t1_hi {
+        return Ok((first, cur_mask));
+    }
+    // Every lane far-only: `t_plane[l] >= tp_lo > 0` and
+    // `t_plane[l] <= tp_hi < t0_lo <= t0[l]` (and `t_plane < t0 <= t1`
+    // keeps it inside the exit). The scalar step jumps straight to the
+    // far child with unchanged intervals.
+    if tp_lo > 0.0 && tp_hi < t0_lo {
+        return Ok((second, cur_mask));
+    }
+    Err(Some(below_first))
 }
 
 /// One shared inner-node step: agrees on a near child, classifies every
@@ -303,43 +439,70 @@ enum InnerStep {
 /// split when active lanes disagree on the near child.
 ///
 /// This step runs a few dozen times per packet — more often than the
-/// leaf kernels — so the lane work is phrased as branch-free compare/
-/// select chains (`|`/`&` on compare bits, `if`-expressions with no
-/// side effects) that lower to packed compares and blends instead of
-/// per-lane branches.
+/// leaf kernels — so the frustum classification is consulted first
+/// (resolving coherent packets in a handful of scalar compares), and
+/// the per-lane work is phrased as branch-free compare/select chains
+/// (`|`/`&` on compare bits, `if`-expressions with no side effects)
+/// that lower to packed compares and blends instead of per-lane
+/// branches.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn inner_step(
-    p: &RayPacket4,
+fn inner_step<const W: usize>(
+    p: &RayPacket<W>,
+    frustum: &PacketFrustum,
     node: &crate::tree::PackedNode,
     cur_node: u32,
-    cur_mask: u8,
-    t0: &mut [f32; LANES],
-    t1: &mut [f32; LANES],
-    stack: &mut PacketStack,
+    cur_mask: u32,
+    t0: &mut [f32; W],
+    t1: &mut [f32; W],
+    bounds: &mut (f32, f32),
+    stack: &mut PacketStack<W>,
+    counters: &mut PacketCounters,
 ) -> InnerStep {
     let axis = node.axis_index();
     let pos = node.split_pos();
+    let agreed = match frustum_classify(
+        frustum,
+        axis,
+        pos,
+        cur_node,
+        node.right_child(),
+        cur_mask,
+        *bounds,
+    ) {
+        Ok((next, mask)) => {
+            counters.frustum_steps += 1;
+            return InnerStep::Descend(next, mask);
+        }
+        Err(agreed) => agreed,
+    };
     let o = p.origin_axis(axis);
     let d = p.dir_axis(axis);
     let inv = p.inv_dir_axis(axis);
-    let mut diff = [0.0f32; LANES];
-    for l in 0..LANES {
+    let mut diff = [0.0f32; W];
+    for l in 0..W {
         diff[l] = pos - o[l];
     }
-    let mut t_plane = [0.0f32; LANES];
-    for l in 0..LANES {
+    let mut t_plane = [0.0f32; W];
+    for l in 0..W {
         t_plane[l] = diff[l] * inv[l];
     }
-    let bf = below_first_mask(p, &diff, d);
-    let below_first = bf & cur_mask == cur_mask;
-    if !below_first && bf & cur_mask != 0 {
-        // Lanes straddle the plane: no agreed near child, so the shared
-        // loop cannot preserve per-lane order.
-        return InnerStep::Diverged;
-    }
-    let mut is_far = [false; LANES];
-    let mut is_both = [false; LANES];
-    for l in 0..LANES {
+    let below_first = match agreed {
+        Some(below) => below,
+        None => {
+            let bf = below_first_mask(p, &diff, d);
+            let below_first = bf & cur_mask == cur_mask;
+            if !below_first && bf & cur_mask != 0 {
+                // Lanes straddle the plane: no agreed near child, so the
+                // shared loop cannot preserve per-lane order.
+                return InnerStep::Diverged;
+            }
+            below_first
+        }
+    };
+    let mut is_far = [false; W];
+    let mut is_both = [false; W];
+    for l in 0..W {
         let near = (t_plane[l] > t1[l]) | (t_plane[l] <= 0.0);
         is_far[l] = !near & (t_plane[l] < t0[l]);
         is_both[l] = !near & !is_far[l];
@@ -362,15 +525,21 @@ fn inner_step(
             node: second,
             mask: far | both,
             skip_exempt: far,
+            t0_lo: 0.0,
+            t1_hi: 0.0,
             t0: *t0,
             t1: *t1,
         };
-        for l in 0..LANES {
+        for l in 0..W {
             e.t0[l] = if is_both[l] { t_plane[l] } else { e.t0[l] };
         }
+        // Child intervals are subsets of the parent's, so the current
+        // bounds stay sound for the entry — inherited, never recomputed
+        // (an O(W) min/max scan here costs more than the frustum saves).
+        (e.t0_lo, e.t1_hi) = *bounds;
         stack.push(e);
     }
-    for l in 0..LANES {
+    for l in 0..W {
         t1[l] = if is_both[l] { t_plane[l] } else { t1[l] };
     }
     InnerStep::Descend(first, down)
@@ -378,10 +547,10 @@ fn inner_step(
 
 /// Packs a lane predicate into a bitmask (bit `l` = `m[l]`).
 #[inline(always)]
-fn mask_of(m: [bool; LANES]) -> u8 {
-    let mut bits = 0u8;
-    for l in 0..LANES {
-        bits |= (m[l] as u8) << l;
+fn mask_of<const W: usize>(m: [bool; W]) -> u32 {
+    let mut bits = 0u32;
+    for l in 0..W {
+        bits |= (m[l] as u32) << l;
     }
     bits
 }
@@ -397,19 +566,19 @@ fn mask_of(m: [bool; LANES]) -> u8 {
 /// *bitmasks* of single-compare arrays, which lower to one packed
 /// compare + movemask each instead of per-lane compare/branch chains.
 #[inline(always)]
-fn below_first_mask(p: &RayPacket4, diff: &[f32; LANES], d: &[f32; LANES]) -> u8 {
+fn below_first_mask<const W: usize>(p: &RayPacket<W>, diff: &[f32; W], d: &[f32; W]) -> u32 {
     if p.common_origin() {
         if diff[0] > 0.0 {
-            ALL_LANES
+            RayPacket::<W>::ALL
         } else if diff[0] == 0.0 {
-            mask_of(std::array::from_fn(|l| d[l] <= 0.0))
+            mask_of::<W>(std::array::from_fn(|l| d[l] <= 0.0))
         } else {
             0
         }
     } else {
-        let o_below = mask_of(std::array::from_fn(|l| diff[l] > 0.0));
-        let o_on = mask_of(std::array::from_fn(|l| diff[l] == 0.0));
-        let d_neg = mask_of(std::array::from_fn(|l| d[l] <= 0.0));
+        let o_below = mask_of::<W>(std::array::from_fn(|l| diff[l] > 0.0));
+        let o_on = mask_of::<W>(std::array::from_fn(|l| diff[l] == 0.0));
+        let d_neg = mask_of::<W>(std::array::from_fn(|l| d[l] <= 0.0));
         o_below | (o_on & d_neg)
     }
 }
@@ -424,48 +593,65 @@ fn below_first_mask(p: &RayPacket4, diff: &[f32; LANES], d: &[f32; LANES]) -> u8
 /// exactly the child set and parametric ranges the scalar any-hit
 /// traversal would, possibly in the opposite order. Pushes at most one
 /// entry, so the shared stack keeps its one-entry-per-level depth
-/// bound.
+/// bound. The frustum fast path applies unchanged (its conditions make
+/// every lane visit one shared child with untouched intervals).
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn inner_step_any(
-    p: &RayPacket4,
+fn inner_step_any<const W: usize>(
+    p: &RayPacket<W>,
+    frustum: &PacketFrustum,
     node: &crate::tree::PackedNode,
     cur_node: u32,
-    cur_mask: u8,
-    t0: &mut [f32; LANES],
-    t1: &mut [f32; LANES],
-    stack: &mut PacketStack,
-) -> (u32, u8) {
+    cur_mask: u32,
+    t0: &mut [f32; W],
+    t1: &mut [f32; W],
+    bounds: &mut (f32, f32),
+    stack: &mut PacketStack<W>,
+    counters: &mut PacketCounters,
+) -> (u32, u32) {
     let axis = node.axis_index();
     let pos = node.split_pos();
+    if let Ok((next, mask)) = frustum_classify(
+        frustum,
+        axis,
+        pos,
+        cur_node,
+        node.right_child(),
+        cur_mask,
+        *bounds,
+    ) {
+        counters.frustum_steps += 1;
+        return (next, mask);
+    }
     let o = p.origin_axis(axis);
     let d = p.dir_axis(axis);
     let inv = p.inv_dir_axis(axis);
-    let mut diff = [0.0f32; LANES];
-    for l in 0..LANES {
+    let mut diff = [0.0f32; W];
+    for l in 0..W {
         diff[l] = pos - o[l];
     }
-    let mut t_plane = [0.0f32; LANES];
-    for l in 0..LANES {
+    let mut t_plane = [0.0f32; W];
+    for l in 0..W {
         t_plane[l] = diff[l] * inv[l];
     }
     // Per-lane origin side as a *bool array* (same predicate as
     // [`below_first_mask`]): kept unpacked so the interval blends below
     // lower to vector selects instead of per-lane bit tests.
-    let mut o_below = [false; LANES];
-    for l in 0..LANES {
+    let mut o_below = [false; W];
+    for l in 0..W {
         o_below[l] = (diff[l] > 0.0) | ((diff[l] == 0.0) & (d[l] <= 0.0));
     }
     // Scalar child classification per lane (NaN `t_plane` lands in
     // `straddle`, as in the scalar branch chain), then mapped from
     // near/far to below/above by origin side. A lane visits the below
     // child iff it is its near child or its ray straddles into it.
-    let mut vis_below = [false; LANES];
-    let mut vis_above = [false; LANES];
-    let mut below_t0 = [0.0f32; LANES];
-    let mut below_t1 = [0.0f32; LANES];
-    let mut above_t0 = [0.0f32; LANES];
-    let mut above_t1 = [0.0f32; LANES];
-    for l in 0..LANES {
+    let mut vis_below = [false; W];
+    let mut vis_above = [false; W];
+    let mut below_t0 = [0.0f32; W];
+    let mut below_t1 = [0.0f32; W];
+    let mut above_t0 = [0.0f32; W];
+    let mut above_t1 = [0.0f32; W];
+    for l in 0..W {
         let near_only = (t_plane[l] > t1[l]) | (t_plane[l] <= 0.0);
         let far_only = !near_only & (t_plane[l] < t0[l]);
         let straddle = !near_only & !far_only;
@@ -501,6 +687,9 @@ fn inner_step_any(
     };
     // Every active lane visits at least one child, so the masks cannot
     // both be empty.
+    // Child intervals are subsets of the parent's, so the current bounds
+    // stay sound for both children — inherited, never recomputed (an
+    // O(W) min/max scan per step costs more than the frustum saves).
     if first_mask == 0 {
         if below_first {
             *t0 = above_t0;
@@ -521,6 +710,8 @@ fn inner_step_any(
             node: second,
             mask: second_mask,
             skip_exempt: 0,
+            t0_lo: bounds.0,
+            t1_hi: bounds.1,
             t0,
             t1,
         });
@@ -539,24 +730,35 @@ fn inner_step_any(
 /// divergence threshold: when fewer active lanes than this remain at a
 /// node, they are handed to the scalar resume path (values `<= 1`
 /// disable the threshold).
-fn packet_nearest(
+fn packet_nearest<const W: usize>(
     tree: &KdTree,
-    p: &RayPacket4,
+    p: &RayPacket<W>,
     t_min: f32,
     min_active: u32,
+    use_frustum: bool,
     counters: &mut PacketCounters,
-) -> [Option<Hit>; LANES] {
-    let mut best: [Option<Hit>; LANES] = [None; LANES];
+) -> [Option<Hit>; W] {
+    let mut best: [Option<Hit>; W] = [None; W];
     // `t_best[l]` mirrors `best[l].t` whenever `has_best` has bit `l`
-    // set, keeping the hot compares on flat `[f32; 4]` arrays instead of
+    // set, keeping the hot compares on flat `[f32; W]` arrays instead of
     // the `Option<Hit>` array.
-    let mut has_best = 0u8;
+    let mut has_best = 0u32;
     let mut t_best = p.t_maxes();
     let (mut t0, mut t1, root_mask) = tree.bounds().intersect_ray_packet(p, t_min);
     let mut live = root_mask;
     if live == 0 {
         return best;
     }
+    let frustum = if use_frustum {
+        p.frustum()
+    } else {
+        PacketFrustum::INVALID
+    };
+    let mut bounds = if frustum.valid() {
+        lane_bounds(live, &t0, &t1)
+    } else {
+        (f32::NEG_INFINITY, f32::INFINITY)
+    };
     let mut cur_node = 0u32;
     let mut cur_mask = live;
     let mut stack = PacketStack::new();
@@ -565,16 +767,27 @@ fn packet_nearest(
     loop {
         let mut bail = (cur_mask.count_ones()) < min_active;
         let node = nodes[cur_node as usize];
-        let mut descend: Option<(u32, u8)> = None;
+        let mut descend: Option<(u32, u32)> = None;
         if !bail && !node.is_leaf() {
-            match inner_step(p, &node, cur_node, cur_mask, &mut t0, &mut t1, &mut stack) {
+            match inner_step(
+                p,
+                &frustum,
+                &node,
+                cur_node,
+                cur_mask,
+                &mut t0,
+                &mut t1,
+                &mut bounds,
+                &mut stack,
+                counters,
+            ) {
                 InnerStep::Descend(next, mask) => descend = Some((next, mask)),
                 InnerStep::Diverged => bail = true,
             }
         }
         if bail {
             counters.scalar_fallback_lanes += cur_mask.count_ones() as u64;
-            for l in 0..LANES {
+            for l in 0..W {
                 if cur_mask & (1 << l) != 0 {
                     best[l] = resume_lane_nearest(
                         tree, p, l, t_min, cur_node, t0[l], t1[l], best[l], t_best[l], &stack,
@@ -585,20 +798,22 @@ fn packet_nearest(
         } else if let Some((next, mask)) = descend {
             counters.node_steps += 1;
             counters.lane_steps += cur_mask.count_ones() as u64;
+            counters.lane_slots += W as u64;
             cur_node = next;
             cur_mask = mask;
             continue;
         } else {
             counters.node_steps += 1;
             counters.lane_steps += cur_mask.count_ones() as u64;
-            // Leaf: 4-wide triangle tests, sequential over triangles so
+            counters.lane_slots += W as u64;
+            // Leaf: wide triangle tests, sequential over triangles so
             // each lane's running `t_best` matches the scalar leaf loop.
             let first = node.prim_first() as usize;
             let count = node.prim_count() as usize;
             counters.leaf_steps += 1;
             counters.tri_tests += count as u64;
             for lt in &tris[first..first + count] {
-                let h = lt.tri.intersect4(p, t_min, &t_best, cur_mask);
+                let h = lt.tri.intersect_packet(p, t_min, &t_best, cur_mask);
                 let mut m = h.mask;
                 while m != 0 {
                     let l = m.trailing_zeros() as usize;
@@ -612,10 +827,10 @@ fn packet_nearest(
             }
             // Scalar early exit, lanewise: a hit within this leaf's
             // parametric range ends that lane's traversal.
-            let in_leaf = mask_of(std::array::from_fn(|l| t_best[l] <= t1[l] + T_EPS));
+            let in_leaf = mask_of::<W>(std::array::from_fn(|l| t_best[l] <= t1[l] + T_EPS));
             live &= !(cur_mask & has_best & in_leaf);
         }
-        match stack.pop_next(live, Some(&t_best), &mut t0, &mut t1) {
+        match stack.pop_next(live, Some(&t_best), &mut t0, &mut t1, &mut bounds) {
             Some((n, m)) => {
                 cur_node = n;
                 cur_mask = m;
@@ -626,20 +841,31 @@ fn packet_nearest(
 }
 
 /// Shared-loop any-hit packet traversal; returns the occlusion mask.
-fn packet_any(
+fn packet_any<const W: usize>(
     tree: &KdTree,
-    p: &RayPacket4,
+    p: &RayPacket<W>,
     t_min: f32,
     min_active: u32,
+    use_frustum: bool,
     counters: &mut PacketCounters,
-) -> u8 {
+) -> u32 {
     let t_maxes = p.t_maxes();
-    let mut occluded = 0u8;
+    let mut occluded = 0u32;
     let (mut t0, mut t1, root_mask) = tree.bounds().intersect_ray_packet(p, t_min);
     let mut live = root_mask;
     if live == 0 {
         return 0;
     }
+    let frustum = if use_frustum {
+        p.frustum()
+    } else {
+        PacketFrustum::INVALID
+    };
+    let mut bounds = if frustum.valid() {
+        lane_bounds(live, &t0, &t1)
+    } else {
+        (f32::NEG_INFINITY, f32::INFINITY)
+    };
     let mut cur_node = 0u32;
     let mut cur_mask = live;
     let mut stack = PacketStack::new();
@@ -650,8 +876,8 @@ fn packet_any(
         let node = nodes[cur_node as usize];
         if bail {
             counters.scalar_fallback_lanes += cur_mask.count_ones() as u64;
-            for l in 0..LANES {
-                let bit = 1u8 << l;
+            for l in 0..W {
+                let bit = 1u32 << l;
                 if cur_mask & bit != 0
                     && resume_lane_any(tree, p, l, t_min, cur_node, t0[l], t1[l], &stack)
                 {
@@ -662,20 +888,32 @@ fn packet_any(
         } else if !node.is_leaf() {
             counters.node_steps += 1;
             counters.lane_steps += cur_mask.count_ones() as u64;
-            let (next, mask) =
-                inner_step_any(p, &node, cur_node, cur_mask, &mut t0, &mut t1, &mut stack);
+            counters.lane_slots += W as u64;
+            let (next, mask) = inner_step_any(
+                p,
+                &frustum,
+                &node,
+                cur_node,
+                cur_mask,
+                &mut t0,
+                &mut t1,
+                &mut bounds,
+                &mut stack,
+                counters,
+            );
             cur_node = next;
             cur_mask = mask;
             continue;
         } else {
             counters.node_steps += 1;
             counters.lane_steps += cur_mask.count_ones() as u64;
+            counters.lane_slots += W as u64;
             let first = node.prim_first() as usize;
             let count = node.prim_count() as usize;
             counters.leaf_steps += 1;
             counters.tri_tests += count as u64;
             for lt in &tris[first..first + count] {
-                let h = lt.tri.intersect4(p, t_min, &t_maxes, cur_mask);
+                let h = lt.tri.intersect_packet(p, t_min, &t_maxes, cur_mask);
                 if h.mask != 0 {
                     occluded |= h.mask;
                     live &= !h.mask;
@@ -686,7 +924,7 @@ fn packet_any(
                 }
             }
         }
-        match stack.pop_next(live, None, &mut t0, &mut t1) {
+        match stack.pop_next(live, None, &mut t0, &mut t1, &mut bounds) {
             Some((n, m)) => {
                 cur_node = n;
                 cur_mask = m;
@@ -697,16 +935,16 @@ fn packet_any(
 }
 
 /// Per-lane scalar fallback shared by the non-packet cases.
-fn scalar_packet_nearest(
+fn scalar_packet_nearest<const W: usize>(
     tree: &KdTree,
-    p: &RayPacket4,
+    p: &RayPacket<W>,
     t_min: f32,
     counters: &mut PacketCounters,
-) -> [Option<Hit>; LANES] {
+) -> [Option<Hit>; W] {
     let t_maxes = p.t_maxes();
-    let mut out = [None; LANES];
+    let mut out = [None; W];
     counters.scalar_fallback_lanes += p.active().count_ones() as u64;
-    for l in 0..LANES {
+    for l in 0..W {
         if p.active() & (1 << l) != 0 {
             out[l] = tree.intersect(p.ray(l), t_min, t_maxes[l]);
         }
@@ -715,17 +953,17 @@ fn scalar_packet_nearest(
 }
 
 /// Per-lane scalar any-hit fallback.
-fn scalar_packet_any(
+fn scalar_packet_any<const W: usize>(
     tree: &KdTree,
-    p: &RayPacket4,
+    p: &RayPacket<W>,
     t_min: f32,
     counters: &mut PacketCounters,
-) -> u8 {
+) -> u32 {
     let t_maxes = p.t_maxes();
-    let mut occluded = 0u8;
+    let mut occluded = 0u32;
     counters.scalar_fallback_lanes += p.active().count_ones() as u64;
-    for l in 0..LANES {
-        let bit = 1u8 << l;
+    for l in 0..W {
+        let bit = 1u32 << l;
         if p.active() & bit != 0 && tree.intersect_any(p.ray(l), t_min, t_maxes[l]) {
             occluded |= bit;
         }
@@ -734,45 +972,96 @@ fn scalar_packet_any(
 }
 
 impl KdTree {
-    /// Nearest intersection for every active lane of a packet, with ray
-    /// parameters in `(t_min, lane t_max)`. Bit-identical per lane to
-    /// [`KdTree::intersect`]; inactive lanes return `None`.
+    /// Nearest intersection for every active lane of a `W`-wide packet,
+    /// with ray parameters in `(t_min, lane t_max)`. Bit-identical per
+    /// lane to [`KdTree::intersect`] at every width and with the frustum
+    /// fast path on or off; inactive lanes return `None`.
     ///
     /// `min_active` is the divergence threshold: packet steps with fewer
     /// active lanes hand those lanes to the scalar path (pass `0` or `1`
-    /// to keep packets together to the end). Trees too deep for the
-    /// fixed traversal stack run entirely per-lane, as does every packet
-    /// when the `traversal-counters` feature is enabled (so the global
+    /// to keep packets together to the end). `use_frustum` enables the
+    /// O(1) interval-frustum split classification (see module docs) —
+    /// results are identical either way. Trees too deep for the fixed
+    /// traversal stack run entirely per-lane, as does every packet when
+    /// the `traversal-counters` feature is enabled (so the global
     /// per-ray counters stay exact).
-    pub fn intersect_packet(
+    pub fn intersect_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         min_active: u32,
+        use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> [Option<Hit>; LANES] {
+    ) -> [Option<Hit>; W] {
         counters.packets += 1;
         if cfg!(feature = "traversal-counters") || !self.fits_fixed_stack() || p.active() == 0 {
             return scalar_packet_nearest(self, p, t_min, counters);
         }
-        packet_nearest(self, p, t_min, min_active, counters)
+        packet_nearest(self, p, t_min, min_active, use_frustum, counters)
     }
 
     /// Occlusion mask for every active lane of a packet — the shadow-ray
     /// query, bit-for-bit the lanewise [`KdTree::intersect_any`] (which,
     /// being existence-only, is traversal-order independent). Inactive
     /// lanes report unoccluded. Fallback rules as [`KdTree::intersect_packet`].
-    pub fn intersect_any_packet(
+    pub fn intersect_any_packet<const W: usize>(
         &self,
-        p: &RayPacket4,
+        p: &RayPacket<W>,
         t_min: f32,
         min_active: u32,
+        use_frustum: bool,
         counters: &mut PacketCounters,
-    ) -> u8 {
+    ) -> u32 {
         counters.packets += 1;
         if cfg!(feature = "traversal-counters") || !self.fits_fixed_stack() || p.active() == 0 {
             return scalar_packet_any(self, p, t_min, counters);
         }
-        packet_any(self, p, t_min, min_active, counters)
+        packet_any(self, p, t_min, min_active, use_frustum, counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the `lane_utilization` formula: `lane_steps / lane_slots`,
+    /// with scalar-resumed lanes in neither term and frustum-resolved
+    /// steps in both.
+    #[test]
+    fn lane_utilization_accounting() {
+        let c = PacketCounters::default();
+        assert_eq!(c.lane_utilization(), 0.0);
+        assert_eq!(c.frustum_rate(), 0.0);
+        // Three 8-wide steps at 8, 6 and 4 active lanes, one of them
+        // frustum-resolved, plus two lanes handed to scalar resume: the
+        // resumed lanes change neither numerator nor denominator.
+        let c = PacketCounters {
+            packets: 1,
+            node_steps: 3,
+            lane_steps: 8 + 6 + 4,
+            lane_slots: 3 * 8,
+            leaf_steps: 1,
+            tri_tests: 5,
+            frustum_steps: 1,
+            scalar_fallback_lanes: 2,
+        };
+        assert_eq!(c.lane_utilization(), 18.0 / 24.0);
+        assert_eq!(c.frustum_rate(), 0.5);
+        // Mixed widths accumulate per-step capacities: one full 8-wide
+        // step plus one full 4-wide step is 100% utilization — the old
+        // fixed-width formula (`lane_steps / (4 * node_steps)`) would
+        // report 150%.
+        let mixed = PacketCounters {
+            packets: 2,
+            node_steps: 2,
+            lane_steps: 8 + 4,
+            lane_slots: 8 + 4,
+            ..PacketCounters::default()
+        };
+        assert_eq!(mixed.lane_utilization(), 1.0);
+        let merged = c.merge(mixed);
+        assert_eq!(merged.lane_steps, 30);
+        assert_eq!(merged.lane_slots, 36);
+        assert_eq!(merged.scalar_fallback_lanes, 2);
     }
 }

@@ -3,7 +3,7 @@
 use crate::camera::{Camera, RayTable};
 use crate::framebuffer::Framebuffer;
 use crate::shade::shade;
-use kdtune_geometry::{Hit, Ray, RayPacket4, Vec3, LANES};
+use kdtune_geometry::{Hit, Ray, RayPacket, Vec3};
 use kdtune_kdtree::scan::par_map;
 use kdtune_kdtree::{BuiltTree, PacketCounters, RayQuery};
 
@@ -12,27 +12,38 @@ const SHADOW_BIAS: f32 = 1e-3;
 
 /// Rows per render tile. Small enough to load-balance across threads on
 /// low resolutions, large enough that per-tile overhead stays noise.
-/// Even, so 2×2 packet tiles never straddle a band boundary.
+/// Divisible by every packet tile height (2 and 4), so packet tiles
+/// never straddle a band boundary.
 const TILE_ROWS: u32 = 8;
+
+/// Packet widths the renderer can dispatch to (`1` = scalar).
+pub const PACKET_WIDTHS: [u32; 4] = [1, 4, 8, 16];
 
 /// How a frame is traced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RenderOptions {
-    /// Trace coherent 2×2 pixel packets through the packet traversal
-    /// instead of one scalar query per ray. Produces bit-identical images
-    /// and [`RenderStats`].
-    pub packets: bool,
+    /// Rays per packet: `0` or `1` renders scalar; `4`, `8` and `16`
+    /// trace coherent pixel tiles (2×2, 4×2, 4×4) through the packet
+    /// traversal. Every width produces bit-identical images and
+    /// [`RenderStats`].
+    pub packet_width: u32,
     /// Divergence threshold forwarded to the packet traversal: packet
     /// steps with fewer active lanes hand those lanes to the scalar
-    /// path. `0` or `1` keeps packets together to the end.
+    /// path. `0` or `1` keeps packets together to the end. Clamped to
+    /// the packet width at use.
     pub packet_min_active: u32,
+    /// Enable the O(1) interval-frustum split classification in the
+    /// packet traversal. Purely a fast path — images are bit-identical
+    /// on or off.
+    pub frustum: bool,
 }
 
 impl Default for RenderOptions {
     fn default() -> RenderOptions {
         RenderOptions {
-            packets: false,
+            packet_width: 1,
             packet_min_active: 2,
+            frustum: true,
         }
     }
 }
@@ -43,12 +54,29 @@ impl RenderOptions {
         RenderOptions::default()
     }
 
-    /// Packet rendering with the default divergence threshold.
+    /// 4-wide packet rendering with the default divergence threshold —
+    /// the pre-width-axis packet configuration.
     pub fn packets() -> RenderOptions {
+        RenderOptions::default().with_packet_width(4)
+    }
+
+    /// This configuration at the given packet width (`0`/`1` = scalar).
+    pub fn with_packet_width(self, width: u32) -> RenderOptions {
         RenderOptions {
-            packets: true,
-            ..RenderOptions::default()
+            packet_width: width,
+            ..self
         }
+    }
+
+    /// Whether any packet path is active.
+    pub fn uses_packets(&self) -> bool {
+        self.packet_width > 1
+    }
+
+    /// True when `width` is a packet width the renderer can dispatch
+    /// (see [`PACKET_WIDTHS`]; `0` is accepted as an alias for scalar).
+    pub fn valid_packet_width(width: u32) -> bool {
+        width == 0 || PACKET_WIDTHS.contains(&width)
     }
 }
 
@@ -93,7 +121,7 @@ pub fn render(tree: &BuiltTree, camera: &Camera, light: Vec3) -> (Framebuffer, R
 /// Per-tile [`RenderStats`] are plain sums, so their merge is
 /// order-independent and the totals are identical at any thread count.
 pub fn render_with(
-    query: &(impl RayQuery + ?Sized),
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: Vec3,
@@ -114,7 +142,7 @@ struct BandStats {
 /// the packet path reproduces it with the shadow test batched.
 #[inline]
 fn shade_scalar_hit(
-    query: &(impl RayQuery + ?Sized),
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     light: Vec3,
     ray: &Ray,
@@ -136,7 +164,7 @@ fn shade_scalar_hit(
 /// One scalar pixel: primary ray, intersection, shading.
 #[inline]
 fn render_pixel_scalar(
-    query: &(impl RayQuery + ?Sized),
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     rays: &RayTable,
     light: Vec3,
@@ -152,84 +180,226 @@ fn render_pixel_scalar(
     }
 }
 
-/// Renders one 2×2 pixel tile as a packet: four primary rays traced
-/// together, shadow rays batched into a second packet over the hit
-/// lanes. Writes the four pixels into `band` (lane order: x-major within
-/// the row pair) and returns nothing — all effects go through `band` and
-/// the accumulators. Bit-identical to four `render_pixel_scalar` calls.
+/// Pixel tile shape for a `W`-wide packet: 2×2, 4×2 or 4×4 —
+/// near-square tiles keep adjacent lanes' rays maximally coherent.
+#[inline(always)]
+const fn tile_shape(w: usize) -> (u32, u32) {
+    match w {
+        4 => (2, 2),
+        8 => (4, 2),
+        16 => (4, 4),
+        _ => (1, 1),
+    }
+}
+
+/// A shadow ray awaiting a batched occlusion test: the band-relative
+/// pixel it shades and its parametric range.
+struct PendingShadow {
+    idx: usize,
+    ray: Ray,
+    t_max: f32,
+}
+
+/// Direction octant (sign bits of x/y/z) — shadow rays bucketed by
+/// octant share slab-test orderings and near-child picks, which is the
+/// coherence the shared packet loop and the frustum test need.
+#[inline(always)]
+fn octant(dir: Vec3) -> usize {
+    (dir.x < 0.0) as usize | ((dir.y < 0.0) as usize) << 1 | ((dir.z < 0.0) as usize) << 2
+}
+
+/// Renders the packet-tiled region of one row band at width `W` in
+/// three passes: (1) trace primary packets per pixel tile, recording
+/// per-pixel hits; (2) gather the hit pixels' shadow rays, bucket them
+/// by direction octant, and trace each bucket in `W`-wide any-hit
+/// packets (masked remainder chunks); (3) shade. Occlusion is an
+/// existence query answered identically for a ray regardless of which
+/// packet carries it, so regrouping shadow rays preserves bit-identity
+/// with the scalar path while restoring direction coherence that
+/// per-tile shadow packets lack.
+///
+/// Remainder pixels (columns right of the last full tile, rows below
+/// the last full tile row) are rendered scalar by the caller.
 #[allow(clippy::too_many_arguments)]
-#[inline]
-fn render_tile_packet(
-    query: &(impl RayQuery + ?Sized),
+fn render_band_packet<const W: usize>(
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     rays: &RayTable,
     light: Vec3,
-    x: u32,
-    y: u32,
     first_row: u32,
     width: u32,
-    min_active: u32,
     band: &mut [Vec3],
+    options: &RenderOptions,
     acc: &mut BandStats,
 ) {
-    // Lanes 0..4 = (x, y), (x+1, y), (x, y+1), (x+1, y+1).
-    let prim_rays: [Ray; LANES] =
-        std::array::from_fn(|l| rays.primary_ray(x + (l as u32 & 1), y + (l as u32 >> 1)));
-    let packet = RayPacket4::new(prim_rays, [f32::INFINITY; LANES]);
-    acc.render.primary_rays += LANES as u64;
-    let hits = query.intersect_packet(&packet, 0.0, min_active, &mut acc.packet);
+    let rows = band.len() as u32 / width;
+    let (tile_w, tile_h) = tile_shape(W);
+    let tile_cols = width / tile_w;
+    let tile_rows = rows / tile_h;
+    if tile_cols == 0 || tile_rows == 0 {
+        return;
+    }
+    let min_active = options.packet_min_active.min(W as u32);
+    let frustum = options.frustum;
 
-    // Prepare the shadow packet over the lanes that hit. Inactive lanes
-    // carry a placeholder ray that is never observed.
-    let mut shadow_rays = [Ray::new(Vec3::ZERO, Vec3::ONE); LANES];
-    let mut shadow_t_max = [0.0f32; LANES];
-    let mut shadow_mask = 0u8;
-    let mut points = [Vec3::ZERO; LANES];
-    for l in 0..LANES {
-        if let Some(hit) = hits[l] {
-            let point = prim_rays[l].at(hit.t);
-            let to_light = light - point;
-            let dist = to_light.length();
-            shadow_rays[l] = Ray::new(point, to_light.normalized());
-            shadow_t_max[l] = dist - SHADOW_BIAS;
-            shadow_mask |= 1 << l;
-            points[l] = point;
+    // Pass 1: primary packets, one per tile, hits recorded per pixel.
+    let mut hits: Vec<Option<Hit>> = vec![None; band.len()];
+    for ty in 0..tile_rows {
+        let y = first_row + ty * tile_h;
+        for tx in 0..tile_cols {
+            let x = tx * tile_w;
+            // Lane order: x-major within the tile.
+            let prim_rays: [Ray; W] = std::array::from_fn(|l| {
+                rays.primary_ray(x + l as u32 % tile_w, y + l as u32 / tile_w)
+            });
+            let packet = RayPacket::new(prim_rays, [f32::INFINITY; W]);
+            acc.render.primary_rays += W as u64;
+            let tile_hits =
+                query.intersect_packet(&packet, 0.0, min_active, frustum, &mut acc.packet);
+            for (l, hit) in tile_hits.into_iter().enumerate() {
+                let (px, py) = (x + l as u32 % tile_w, y + l as u32 / tile_w);
+                let idx = ((py - first_row) * width + px) as usize;
+                hits[idx] = hit;
+            }
         }
     }
-    let occluded = if shadow_mask != 0 {
-        acc.render.primary_hits += shadow_mask.count_ones() as u64;
-        acc.render.shadow_rays += shadow_mask.count_ones() as u64;
-        let shadow_packet = RayPacket4::with_mask(shadow_rays, shadow_t_max, shadow_mask);
-        let occluded =
-            query.intersect_any_packet(&shadow_packet, SHADOW_BIAS, min_active, &mut acc.packet);
-        acc.render.occluded += occluded.count_ones() as u64;
-        occluded
-    } else {
-        0
-    };
 
-    for l in 0..LANES {
-        let (px, py) = (x + (l as u32 & 1), y + (l as u32 >> 1));
-        let idx = ((py - first_row) * width + px) as usize;
-        band[idx] = match hits[l] {
-            None => Vec3::ZERO, // background
-            Some(hit) => {
-                let tri = mesh.triangle(hit.prim);
-                shade(&tri, hit.prim, points[l], light, occluded & (1 << l) != 0)
+    // Pass 2: octant-bucketed shadow packets over the hit pixels.
+    let mut buckets: [Vec<PendingShadow>; 8] = Default::default();
+    let mut points = vec![Vec3::ZERO; band.len()];
+    for ty in 0..tile_rows {
+        for row in 0..tile_h {
+            let rel_y = ty * tile_h + row;
+            let py = first_row + rel_y;
+            for px in 0..tile_cols * tile_w {
+                let idx = (rel_y * width + px) as usize;
+                let Some(hit) = hits[idx] else { continue };
+                let point = rays.primary_ray(px, py).at(hit.t);
+                let to_light = light - point;
+                let dist = to_light.length();
+                let ray = Ray::new(point, to_light.normalized());
+                acc.render.primary_hits += 1;
+                acc.render.shadow_rays += 1;
+                points[idx] = point;
+                buckets[octant(ray.dir)].push(PendingShadow {
+                    idx,
+                    ray,
+                    t_max: dist - SHADOW_BIAS,
+                });
             }
-        };
+        }
     }
+    let mut occluded = vec![false; band.len()];
+    for bucket in &buckets {
+        for chunk in bucket.chunks(W) {
+            // Inactive remainder lanes duplicate the chunk's first ray —
+            // a finite placeholder that is never observed.
+            let shadow_rays: [Ray; W] =
+                std::array::from_fn(|l| chunk.get(l).unwrap_or(&chunk[0]).ray);
+            let t_max: [f32; W] = std::array::from_fn(|l| chunk.get(l).map_or(0.0, |s| s.t_max));
+            let mask = if chunk.len() == W {
+                RayPacket::<W>::ALL
+            } else {
+                (1u32 << chunk.len()) - 1
+            };
+            let packet = RayPacket::with_mask(shadow_rays, t_max, mask);
+            let occ = query.intersect_any_packet(
+                &packet,
+                SHADOW_BIAS,
+                min_active,
+                frustum,
+                &mut acc.packet,
+            );
+            acc.render.occluded += occ.count_ones() as u64;
+            for (l, s) in chunk.iter().enumerate() {
+                occluded[s.idx] = occ & (1 << l) != 0;
+            }
+        }
+    }
+
+    // Pass 3: shade.
+    for ty in 0..tile_rows {
+        for row in 0..tile_h {
+            let rel_y = ty * tile_h + row;
+            for px in 0..tile_cols * tile_w {
+                let idx = (rel_y * width + px) as usize;
+                band[idx] = match hits[idx] {
+                    None => Vec3::ZERO, // background
+                    Some(hit) => {
+                        let tri = mesh.triangle(hit.prim);
+                        shade(&tri, hit.prim, points[idx], light, occluded[idx])
+                    }
+                };
+            }
+        }
+    }
+}
+
+/// Renders one row band at width `W`: the tiled region through
+/// [`render_band_packet`], remainder columns and rows scalar.
+#[allow(clippy::too_many_arguments)]
+fn render_band<const W: usize>(
+    query: &impl RayQuery,
+    mesh: &kdtune_geometry::TriangleMesh,
+    rays: &RayTable,
+    light: Vec3,
+    first_row: u32,
+    width: u32,
+    band: &mut [Vec3],
+    options: &RenderOptions,
+) -> BandStats {
+    let mut acc = BandStats::default();
+    let rows = band.len() as u32 / width;
+    let (tile_w, tile_h) = tile_shape(W);
+    let tiled_cols = (width / tile_w) * tile_w;
+    let tiled_rows = (rows / tile_h) * tile_h;
+    render_band_packet::<W>(
+        query, mesh, rays, light, first_row, width, band, options, &mut acc,
+    );
+    // Odd width: the rightmost columns render scalar.
+    for rel_y in 0..tiled_rows {
+        for x in tiled_cols..width {
+            let idx = (rel_y * width + x) as usize;
+            band[idx] = render_pixel_scalar(
+                query,
+                mesh,
+                rays,
+                light,
+                x,
+                first_row + rel_y,
+                &mut acc.render,
+            );
+        }
+    }
+    // Leftover rows (only the frame's last band, when the height is not
+    // a multiple of the tile height): render scalar.
+    for rel_y in tiled_rows..rows {
+        for x in 0..width {
+            let idx = (rel_y * width + x) as usize;
+            band[idx] = render_pixel_scalar(
+                query,
+                mesh,
+                rays,
+                light,
+                x,
+                first_row + rel_y,
+                &mut acc.render,
+            );
+        }
+    }
+    acc
 }
 
 /// [`render_with`] with explicit [`RenderOptions`]; additionally returns
 /// the frame's accumulated [`PacketCounters`] (all-zero for scalar
-/// renders). The packet path walks each row band in 2×2 pixel tiles,
-/// tracing primaries and batched shadow rays through the packet
-/// traversal; remainder pixels (odd width or a band with an odd number
-/// of rows) take the scalar path. Images and [`RenderStats`] are
-/// bit-identical across both paths and any thread count.
+/// renders). The packet path walks each row band in `W`-lane pixel
+/// tiles (2×2, 4×2 or 4×4), tracing primaries and octant-batched shadow
+/// rays through the packet traversal; remainder pixels (widths or band
+/// heights that are not tile multiples) take the scalar path. Images
+/// and [`RenderStats`] are bit-identical across every width, frustum
+/// mode and thread count.
 pub fn render_with_options(
-    query: &(impl RayQuery + ?Sized),
+    query: &impl RayQuery,
     mesh: &kdtune_geometry::TriangleMesh,
     camera: &Camera,
     light: Vec3,
@@ -247,56 +417,24 @@ pub fn render_with_options(
     } else {
         (threads * 4).min(bands.len())
     };
-    let packets = options.packets;
-    let min_active = options.packet_min_active;
-    let band_stats = par_map(bands, tasks, &|(first_row, band): (u32, &mut [Vec3])| {
-        let mut acc = BandStats::default();
-        if !packets {
-            for (i, pixel) in band.iter_mut().enumerate() {
-                let x = i as u32 % width;
-                let y = first_row + i as u32 / width;
-                *pixel = render_pixel_scalar(query, mesh, &rays, light, x, y, &mut acc.render);
-            }
-            return acc;
-        }
-        let rows = band.len() as u32 / width;
-        let (pair_rows, tile_cols) = (rows / 2, width / 2);
-        for pair in 0..pair_rows {
-            let y = first_row + pair * 2;
-            for tile in 0..tile_cols {
-                render_tile_packet(
-                    query,
-                    mesh,
-                    &rays,
-                    light,
-                    tile * 2,
-                    y,
-                    first_row,
-                    width,
-                    min_active,
-                    band,
-                    &mut acc,
-                );
-            }
-            // Odd width: the last column renders scalar.
-            for x in (tile_cols * 2)..width {
-                for dy in 0..2 {
-                    let idx = ((y + dy - first_row) * width + x) as usize;
-                    band[idx] =
-                        render_pixel_scalar(query, mesh, &rays, light, x, y + dy, &mut acc.render);
+    let band_stats = par_map(
+        bands,
+        tasks,
+        &|(first_row, band): (u32, &mut [Vec3])| match options.packet_width {
+            4 => render_band::<4>(query, mesh, &rays, light, first_row, width, band, options),
+            8 => render_band::<8>(query, mesh, &rays, light, first_row, width, band, options),
+            16 => render_band::<16>(query, mesh, &rays, light, first_row, width, band, options),
+            _ => {
+                let mut acc = BandStats::default();
+                for (i, pixel) in band.iter_mut().enumerate() {
+                    let x = i as u32 % width;
+                    let y = first_row + i as u32 / width;
+                    *pixel = render_pixel_scalar(query, mesh, &rays, light, x, y, &mut acc.render);
                 }
+                acc
             }
-        }
-        // Odd row count in this band (only the frame's last band, when
-        // the height is odd): the final row renders scalar.
-        for y in (first_row + pair_rows * 2)..(first_row + rows) {
-            for x in 0..width {
-                let idx = ((y - first_row) * width + x) as usize;
-                band[idx] = render_pixel_scalar(query, mesh, &rays, light, x, y, &mut acc.render);
-            }
-        }
-        acc
-    });
+        },
+    );
     let totals = band_stats
         .into_iter()
         .fold(BandStats::default(), |a, b| BandStats {
@@ -370,6 +508,47 @@ mod tests {
             let (_, stats) = render(&tree, &camera(), light);
             assert_eq!(stats, reference, "{algo}");
         }
+    }
+
+    #[test]
+    fn every_packet_width_matches_scalar() {
+        let tree = build(scene(), Algorithm::InPlace, &BuildParams::default());
+        let light = Vec3::new(0.5, 0.5, -0.5);
+        let cam = camera();
+        let (fb_ref, stats_ref, _) =
+            render_with_options(&tree, tree.mesh(), &cam, light, &RenderOptions::scalar());
+        for width in [4u32, 8, 16] {
+            for frustum in [false, true] {
+                let options = RenderOptions {
+                    packet_width: width,
+                    packet_min_active: 2,
+                    frustum,
+                };
+                let (fb, stats, packet) =
+                    render_with_options(&tree, tree.mesh(), &cam, light, &options);
+                assert_eq!(stats, stats_ref, "w={width} frustum={frustum}");
+                assert_eq!(
+                    fb.to_ppm(),
+                    fb_ref.to_ppm(),
+                    "image differs at w={width} frustum={frustum}"
+                );
+                assert!(packet.packets > 0, "w={width} must use packets");
+            }
+        }
+    }
+
+    #[test]
+    fn render_options_width_validation() {
+        assert!(RenderOptions::valid_packet_width(0));
+        assert!(RenderOptions::valid_packet_width(1));
+        assert!(RenderOptions::valid_packet_width(4));
+        assert!(RenderOptions::valid_packet_width(8));
+        assert!(RenderOptions::valid_packet_width(16));
+        assert!(!RenderOptions::valid_packet_width(2));
+        assert!(!RenderOptions::valid_packet_width(32));
+        assert!(!RenderOptions::packets().frustum || RenderOptions::packets().packet_width == 4);
+        assert!(!RenderOptions::scalar().uses_packets());
+        assert!(RenderOptions::scalar().with_packet_width(8).uses_packets());
     }
 
     #[test]

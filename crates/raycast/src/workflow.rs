@@ -20,7 +20,10 @@ use std::time::Instant;
 /// Handles of the registered tuning parameters.
 ///
 /// `r` is only present for the lazy algorithm (paper Table Ib); the other
-/// three algorithms tune `(CI, CB, S)` (Table Ia).
+/// three algorithms tune `(CI, CB, S)` (Table Ia). `packet_width` and
+/// `min_active` are only present when the workflow was built with
+///// [`TuningWorkflow::tune_packets`] — they extend the paper's build-side
+/// search space with two render-side axes.
 #[derive(Clone, Copy, Debug)]
 pub struct TunedHandles {
     /// Triangle intersection cost `CI`.
@@ -31,6 +34,10 @@ pub struct TunedHandles {
     pub s: ParamHandle,
     /// Minimal node resolution `R` (lazy only).
     pub r: Option<ParamHandle>,
+    /// Packet width `W ∈ {1, 4, 8}` (only with tuned packets).
+    pub packet_width: Option<ParamHandle>,
+    /// Packet divergence threshold `MA` (only with tuned packets).
+    pub min_active: Option<ParamHandle>,
 }
 
 /// Everything measured for one frame.
@@ -50,6 +57,9 @@ pub struct FrameReport {
     pub stats: RenderStats,
     /// Packet-traversal counters (all zero on scalar renders).
     pub packet: PacketCounters,
+    /// Render options the frame actually used (reflects the tuner's
+    /// packet-width choice when those axes are registered).
+    pub options: RenderOptions,
     /// Tuner phase during this frame.
     pub phase: TunerPhase,
 }
@@ -77,7 +87,14 @@ impl TuningWorkflow {
         TuningWorkflow {
             algorithm,
             tuner,
-            handles: TunedHandles { ci, cb, s, r },
+            handles: TunedHandles {
+                ci,
+                cb,
+                s,
+                r,
+                packet_width: None,
+                min_active: None,
+            },
             keep_images: false,
             last_image: None,
             render_options: RenderOptions::default(),
@@ -100,7 +117,14 @@ impl TuningWorkflow {
         TuningWorkflow {
             algorithm,
             tuner,
-            handles: TunedHandles { ci, cb, s, r },
+            handles: TunedHandles {
+                ci,
+                cb,
+                s,
+                r,
+                packet_width: None,
+                min_active: None,
+            },
             keep_images: false,
             last_image: None,
             render_options: RenderOptions::default(),
@@ -114,9 +138,29 @@ impl TuningWorkflow {
         self
     }
 
+    /// Adds the render-side packet axes to the search space: the packet
+    /// width `W ∈ {1, 4, 8}` and the divergence threshold
+    /// `MA ∈ [1, 8]`. The tuner then picks how frames are traced along
+    /// with how trees are built — every width renders bit-identical
+    /// images, so the axes move only the frame-time cost surface.
+    ///
+    /// Opt-in (the paper's spaces are 3- and 4-dimensional); must be
+    /// called before the first frame, like every registration.
+    pub fn tune_packets(mut self) -> TuningWorkflow {
+        let w = self.tuner.register_parameter_choices("W", &[1, 4, 8]);
+        let ma = self.tuner.register_parameter("MA", 1, 8, 1);
+        self.handles.packet_width = Some(w);
+        self.handles.min_active = Some(ma);
+        self
+    }
+
     /// Selects how frames are traced (scalar per-ray queries or coherent
-    /// 2×2 ray packets — the images and [`RenderStats`] are bit-identical
-    /// either way, only the frame time and the `packet` counters change).
+    /// `W`-wide ray packets — the images and [`RenderStats`] are
+    /// bit-identical either way, only the frame time and the `packet`
+    /// counters change). When the packet axes are tuned
+    /// ([`TuningWorkflow::tune_packets`]), the tuner's per-frame width
+    /// and threshold override the values given here; the frustum toggle
+    /// still applies.
     pub fn with_render_options(mut self, options: RenderOptions) -> TuningWorkflow {
         self.render_options = options;
         self
@@ -165,6 +209,13 @@ impl TuningWorkflow {
         let params = self.current_params();
         let config = self.tuner.current().expect("cycle started").clone();
         let phase = self.tuner.phase();
+        let mut options = self.render_options;
+        if let Some(h) = self.handles.packet_width {
+            options.packet_width = self.tuner.get(h) as u32;
+        }
+        if let Some(h) = self.handles.min_active {
+            options.packet_min_active = self.tuner.get(h) as u32;
+        }
 
         let t0 = Instant::now();
         let tree = build(mesh, self.algorithm, &params);
@@ -172,7 +223,7 @@ impl TuningWorkflow {
 
         let t1 = Instant::now();
         let (image, stats, packet) =
-            render_with_options(&tree, tree.mesh(), camera, light, &self.render_options);
+            render_with_options(&tree, tree.mesh(), camera, light, &options);
         let render_secs = t1.elapsed().as_secs_f64();
 
         let total_secs = build_secs + render_secs;
@@ -200,8 +251,13 @@ impl TuningWorkflow {
                 ("shadow_rays", stats.shadow_rays.into()),
                 ("occluded", stats.occluded.into()),
                 ("rays_per_sec", rays_per_sec.into()),
-                ("packets", self.render_options.packets.into()),
+                ("packets", options.uses_packets().into()),
+                (
+                    "packet_width",
+                    u64::from(options.packet_width.max(1)).into(),
+                ),
                 ("packet_lanes_utilized", packet.lane_utilization().into()),
+                ("packet_frustum_rate", packet.frustum_rate().into()),
                 ("packet_fallback_lanes", packet.scalar_fallback_lanes.into()),
                 ("nodes", tree.node_count().into()),
                 ("node_bytes", tree.node_bytes().into()),
@@ -229,6 +285,7 @@ impl TuningWorkflow {
             total_secs,
             stats,
             packet,
+            options,
             phase,
         }
     }
@@ -316,6 +373,29 @@ mod tests {
         assert!(wf.handles().r.is_some());
         let r = report.config.values()[3];
         assert!(r.count_ones() == 1 && (16..=8192).contains(&r));
+    }
+
+    #[test]
+    fn tuned_packet_axes_extend_the_space() {
+        let scene = wood_doll(&SceneParams::tiny());
+        let (camera, light) = camera_for(&scene, 16);
+        let mut wf = TuningWorkflow::new(Algorithm::InPlace, 5).tune_packets();
+        assert!(wf.handles().packet_width.is_some());
+        assert!(wf.handles().min_active.is_some());
+        let mut widths = std::collections::HashSet::new();
+        for f in 0..8 {
+            let report = wf.run_frame(scene.frame(f), &camera, light);
+            // (CI, CB, S) + (W, MA).
+            assert_eq!(report.config.values().len(), 5);
+            assert!(
+                [1, 4, 8].contains(&report.options.packet_width),
+                "{:?}",
+                report.options
+            );
+            assert!((1..=8).contains(&report.options.packet_min_active));
+            widths.insert(report.options.packet_width);
+        }
+        assert!(widths.len() > 1, "seeding must explore widths: {widths:?}");
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Render-level packet/scalar equivalence: for any scene, camera,
-//! builder, framebuffer size, and divergence threshold, the packet
-//! render must produce the **bit-identical** image and [`RenderStats`]
-//! of the scalar render — 2×2 tiling, batched shadow packets, remainder
-//! handling and all.
+//! builder, framebuffer size, packet width, divergence threshold and
+//! frustum mode, the packet render must produce the **bit-identical**
+//! image and [`RenderStats`] of the scalar render — tile shapes, batched
+//! shadow packets, remainder handling and all.
+//!
+//! [`RenderStats`]: kdtune_raycast::RenderStats
 
 use kdtune_geometry::{Triangle, TriangleMesh, Vec3};
 use kdtune_kdtree::{build, Algorithm, BuildParams};
@@ -18,6 +20,9 @@ const ALGOS: [Algorithm; 4] = [
     Algorithm::InPlace,
     Algorithm::Lazy,
 ];
+
+/// The widths the renderer can trace packets at.
+const WIDTHS: [u32; 3] = [4, 8, 16];
 
 /// Deterministic triangle soup clustered around the origin so most
 /// cameras see geometry (and shadow rays have occluders to find).
@@ -55,43 +60,74 @@ fn camera(eye: Vec3, target: Vec3, fov_deg: f32, width: u32, height: u32) -> Cam
     Camera::look_at(eye, target, up, fov_deg, width, height)
 }
 
-/// Renders the same frame scalar and packet and asserts bit identity of
-/// the PPM bytes and equality of the [`kdtune_raycast::RenderStats`].
+/// Renders the same frame scalar and packet (at `width` lanes with the
+/// given frustum mode) and asserts bit identity of the PPM bytes and
+/// equality of the [`kdtune_raycast::RenderStats`].
 fn assert_packet_render_matches_scalar(
     mesh: Arc<TriangleMesh>,
     algo: Algorithm,
     cam: &Camera,
     light: Vec3,
+    width: u32,
     min_active: u32,
+    frustum: bool,
 ) {
     let tree = build(mesh, algo, &BuildParams::default());
     let (scalar_fb, scalar_stats) = render_with(&tree, tree.mesh(), cam, light);
     let options = RenderOptions {
-        packets: true,
+        packet_width: width,
         packet_min_active: min_active,
+        frustum,
     };
     let (packet_fb, packet_stats, counters) =
         render_with_options(&tree, tree.mesh(), cam, light, &options);
     assert_eq!(
         packet_stats, scalar_stats,
-        "{algo}: packet render changed RenderStats"
+        "{algo}: w={width} packet render changed RenderStats"
     );
     assert_eq!(
         packet_fb.to_ppm(),
         scalar_fb.to_ppm(),
-        "{algo}: packet render changed pixels ({}x{}, min_active {min_active})",
+        "{algo}: w={width} packet render changed pixels \
+         ({}x{}, min_active {min_active}, frustum {frustum})",
         cam.width(),
         cam.height()
     );
-    // 2×2-and-larger frames must actually exercise the packet path.
-    if cam.width() >= 2 && cam.height() >= 2 {
-        assert!(counters.packets > 0, "{algo}: no packets traced");
+    // Frames at least one tile large must actually take the packet path
+    // (the widest tile is 4×4).
+    if cam.width() >= 4 && cam.height() >= 4 {
+        assert!(counters.packets > 0, "{algo}: w={width} traced no packets");
+    }
+}
+
+/// Every width and both frustum modes on one frame.
+fn assert_all_widths_match_scalar(
+    mesh: &Arc<TriangleMesh>,
+    algo: Algorithm,
+    cam: &Camera,
+    light: Vec3,
+    min_active: u32,
+) {
+    for width in WIDTHS {
+        for frustum in [false, true] {
+            assert_packet_render_matches_scalar(
+                Arc::clone(mesh),
+                algo,
+                cam,
+                light,
+                width,
+                min_active,
+                frustum,
+            );
+        }
     }
 }
 
 /// The named awkward framebuffer shapes, on every builder: 1×1 (all
 /// pixels are remainder), 3×5 / 5×3 (odd both ways), single rows and
-/// columns, and sizes crossing the 8-row tile-band boundary.
+/// columns, sizes crossing the 8-row tile-band boundary, and sizes that
+/// tile evenly at one width but not another (e.g. 6×6 fits 2×2 tiles but
+/// leaves remainders for 4×2 and 4×4).
 #[test]
 fn awkward_framebuffer_sizes_match_scalar() {
     let mesh = soup(120, 0xfaded);
@@ -104,13 +140,14 @@ fn awkward_framebuffer_sizes_match_scalar() {
         (1, 9),
         (9, 1),
         (2, 2),
+        (6, 6),
         (7, 7),
         (16, 10),
         (15, 17),
     ] {
         let cam = camera(eye, Vec3::ZERO, 55.0, w, h);
         for algo in ALGOS {
-            assert_packet_render_matches_scalar(Arc::clone(&mesh), algo, &cam, light, 2);
+            assert_all_widths_match_scalar(&mesh, algo, &cam, light, 2);
         }
     }
 }
@@ -127,15 +164,17 @@ fn all_miss_frames_match_scalar() {
         6,
     );
     let light = Vec3::new(0.0, 20.0, 0.0);
+    let empty = Arc::new(TriangleMesh::new());
+    let small = soup(60, 0xb01d);
     for algo in ALGOS {
-        assert_packet_render_matches_scalar(
-            Arc::new(TriangleMesh::new()),
+        assert_all_widths_match_scalar(
+            &empty,
             algo,
             &camera(Vec3::new(0.0, 0.0, -10.0), Vec3::ZERO, 60.0, 8, 8),
             light,
             2,
         );
-        assert_packet_render_matches_scalar(soup(60, 0xb01d), algo, &cam_away, light, 2);
+        assert_all_widths_match_scalar(&small, algo, &cam_away, light, 2);
     }
 }
 
@@ -145,7 +184,8 @@ proptest! {
     /// Random scenes, random camera orientations (eye anywhere on a
     /// shell around the scene, jittered target, random fov), random
     /// framebuffer sizes including degenerate and odd ones, every
-    /// builder, and random divergence thresholds.
+    /// builder, every packet width, both frustum modes, and random
+    /// divergence thresholds.
     #[test]
     fn random_frames_match_scalar(
         tris in 1usize..90,
@@ -157,7 +197,9 @@ proptest! {
         height in 1u32..20,
         light in prop::array::uniform3(-20.0f32..20.0),
         algo_idx in 0usize..4,
+        packet_idx in 0usize..3,
         min_active in 0u32..5,
+        frustum in proptest::bool::ANY,
     ) {
         let d = Vec3::new(eye_dir[0], eye_dir[1], eye_dir[2]);
         prop_assume!(d.length() > 1e-3);
@@ -174,7 +216,9 @@ proptest! {
             ALGOS[algo_idx],
             &cam,
             Vec3::new(light[0], light[1], light[2]),
+            WIDTHS[packet_idx],
             min_active,
+            frustum,
         );
     }
 }

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! kdtune scenes
-//! kdtune render <scene> [--algo A] [--res N] [--frame F] [--packets] [--out img.ppm]
+//! kdtune render <scene> [--algo A] [--res N] [--frame F] [--packet-width W] [--out img.ppm]
 //! kdtune stats  <scene> [--algo A] [--scale quick|tiny|paper]
-//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--packets] [--trace t.jsonl]
+//! kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--packet-width W] [--trace t.jsonl]
 //! kdtune report <trace.jsonl>
 //! kdtune select <scene> [--frames N] [--res N]
 //! kdtune export <scene> <file.obj> [--frame F]
@@ -30,9 +30,9 @@ kdtune — online-autotuned parallel SAH kD-trees
 
 USAGE:
   kdtune scenes
-  kdtune render <scene> [--algo A] [--res N] [--frame F] [--packets] [--out img.ppm]
+  kdtune render <scene> [--algo A] [--res N] [--frame F] [--packet-width W] [--out img.ppm]
   kdtune stats  <scene> [--algo A]
-  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--packets] [--trace t.jsonl]
+  kdtune tune   <scene> [--algo A] [--frames N] [--res N] [--seed S] [--packet-width W] [--trace t.jsonl]
   kdtune report <trace.jsonl>
   kdtune select <scene> [--frames N] [--res N]
   kdtune export <scene> <file.obj> [--frame F]
@@ -45,7 +45,9 @@ USAGE:
 COMMON OPTIONS:
   --scale quick|tiny|paper   scene size (default quick)
   --algo  node_level|nested|in_place|lazy (default in_place)
-  --packets                  trace coherent 2x2 ray packets (render, tune)
+  --packet-width W           trace coherent W-wide ray packets, W in
+                             {0,1,4,8,16}; 0/1 = scalar (render, tune)
+  --packets                  deprecated alias for --packet-width 4
   --trace FILE               record a JSONL telemetry trace (tune)
 
 SCENES: bunny sponza sibenik toasters wood_doll fairy_forest";
@@ -112,13 +114,22 @@ impl Args {
         }
     }
 
-    /// Render options from the `--packets` flag (scalar by default).
-    fn render_options(&self) -> RenderOptions {
-        if self.options.contains_key("packets") {
-            RenderOptions::packets()
-        } else {
-            RenderOptions::default()
+    /// Render options from `--packet-width` (scalar by default; the
+    /// deprecated `--packets` flag is an alias for width 4).
+    fn render_options(&self) -> Result<RenderOptions, String> {
+        let width = match self.options.get("packet-width") {
+            Some(v) => v
+                .parse::<u32>()
+                .map_err(|e| format!("bad --packet-width {v:?}: {e}"))?,
+            None if self.options.contains_key("packets") => 4,
+            None => 1,
+        };
+        if !RenderOptions::valid_packet_width(width) {
+            return Err(format!(
+                "bad --packet-width {width}: expected one of 0, 1, 4, 8, 16"
+            ));
         }
+        Ok(RenderOptions::scalar().with_packet_width(width))
     }
 }
 
@@ -157,7 +168,7 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     let algo = args.algo()?;
     let (camera, light) = camera_for(&scene, res);
     let mesh = scene.frame(frame);
-    let options = args.render_options();
+    let options = args.render_options()?;
     let t0 = std::time::Instant::now();
     let tree = build(mesh, algo, &BuildParams::default());
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -169,11 +180,14 @@ fn cmd_render(args: &Args) -> Result<(), String> {
          {}/{} rays hit",
         scene.name, stats.primary_hits, stats.primary_rays
     );
-    if options.packets {
+    if options.uses_packets() {
         println!(
-            "packets: {} traced, {:.1}% lane utilization, {} scalar-fallback lanes",
+            "packets: {} traced at w={}, {:.1}% lane utilization, {:.1}% frustum-resolved \
+             steps, {} scalar-fallback lanes",
             packet.packets,
+            options.packet_width,
             100.0 * packet.lane_utilization(),
+            100.0 * packet.frustum_rate(),
             packet.scalar_fallback_lanes
         );
     }
@@ -251,7 +265,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     }
     let mut pipeline = TunedPipeline::new(scene, algo)
         .resolution(res, res)
-        .render_options(args.render_options())
+        .render_options(args.render_options()?)
         .tuner_seed(seed);
     for i in 0..frames {
         let r = pipeline.step();

@@ -85,6 +85,8 @@ OPTIONS:
     --scale NAME         quick | tiny | paper [default: tiny]
     --res N              render resolution [default: 64]
     --algo NAME          node_level | nested | in_place | lazy [default: in_place]
+    --packet-width W     ray-packet width sent with every request:
+                         0/1 = scalar, 4/8/16 = packet tiles [default: 1]
     --frames N           frame indices cycled per scene [default: 2]
     --tune-every N       every n-th request is a tune_step; 0 disables [default: 4]
     --tune-steps N       tuner steps per tune_step request [default: 2]
@@ -221,6 +223,13 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     options.scale = take_parsed(&mut args, "--scale", options.scale)?;
     options.res = take_parsed(&mut args, "--res", options.res)?;
     options.algo = take_parsed(&mut args, "--algo", options.algo)?;
+    options.packet_width = take_parsed(&mut args, "--packet-width", options.packet_width)?;
+    if ![0, 1, 4, 8, 16].contains(&options.packet_width) {
+        return Err(format!(
+            "--packet-width {}: expected one of 0, 1, 4, 8, 16",
+            options.packet_width
+        ));
+    }
     options.frames = take_parsed(&mut args, "--frames", options.frames)?;
     options.tune_every = take_parsed(&mut args, "--tune-every", options.tune_every)?;
     options.tune_steps = take_parsed(&mut args, "--tune-steps", options.tune_steps)?;

@@ -37,6 +37,8 @@ pub struct LoadgenOptions {
     pub res: u32,
     /// Algorithm name sent with every request.
     pub algo: String,
+    /// Ray-packet width sent with every request (`1` = scalar).
+    pub packet_width: u32,
     /// Distinct frame indices cycled per scene (exercises the cache).
     pub frames: usize,
     /// Every n-th request is a `tune_step` instead of a render
@@ -62,6 +64,7 @@ impl LoadgenOptions {
             scale: "tiny".into(),
             res: 64,
             algo: "in_place".into(),
+            packet_width: 1,
             frames: 2,
             tune_every: 4,
             tune_steps: 2,
@@ -350,6 +353,7 @@ fn drive_connection(
                 ("scale", options.scale.as_str().into()),
                 ("algo", options.algo.as_str().into()),
                 ("res", options.res.into()),
+                ("packet_width", options.packet_width.into()),
                 ("steps", options.tune_steps.into()),
             ])
         } else {
@@ -362,6 +366,7 @@ fn drive_connection(
                 ("scale", options.scale.as_str().into()),
                 ("algo", options.algo.as_str().into()),
                 ("res", options.res.into()),
+                ("packet_width", options.packet_width.into()),
                 ("frame", frame.into()),
             ])
         };

@@ -37,11 +37,17 @@ pub struct SessionSpec {
     pub algo: Algorithm,
     /// Square render resolution in pixels.
     pub res: u32,
-    /// Whether frames render through the 2x2 packet path.
-    pub packets: bool,
+    /// Ray-packet width frames render with: `1` is scalar, `4`/`8`/`16`
+    /// trace coherent pixel tiles. Wire field `packet_width` (integer);
+    /// the legacy boolean `packets` is still accepted as an alias for
+    /// width 4.
+    pub packet_width: u32,
 }
 
 impl SessionSpec {
+    /// Packet widths the protocol accepts (`0` is normalized to `1`).
+    pub const PACKET_WIDTHS: [u32; 4] = [1, 4, 8, 16];
+
     /// Stable string key for maps and telemetry.
     pub fn id(&self) -> String {
         format!(
@@ -50,7 +56,11 @@ impl SessionSpec {
             self.scale,
             self.algo.name(),
             self.res,
-            if self.packets { "/packets" } else { "" }
+            if self.packet_width > 1 {
+                format!("/w{}", self.packet_width)
+            } else {
+                String::new()
+            }
         )
     }
 }
@@ -184,16 +194,39 @@ fn parse_spec(value: &JsonValue) -> Result<SessionSpec, String> {
     let algo =
         Algorithm::from_name(algo_name).ok_or_else(|| format!("unknown algo {algo_name:?}"))?;
     let res = non_negative(value, "res", 128)?.clamp(8, 1024) as u32;
-    let packets = value
+    // Legacy boolean `packets` selects the original 4-wide path; the
+    // explicit `packet_width` field wins when both are present.
+    let legacy = value
         .get("packets")
         .and_then(JsonValue::as_bool)
         .unwrap_or(false);
+    let packet_width = match value.get("packet_width") {
+        None => {
+            if legacy {
+                4
+            } else {
+                1
+            }
+        }
+        Some(v) => {
+            let w = v
+                .as_i64()
+                .ok_or("field \"packet_width\" must be an integer")?;
+            let w = if w == 0 { 1 } else { w };
+            if w < 0 || !SessionSpec::PACKET_WIDTHS.contains(&(w as u32)) {
+                return Err(format!(
+                    "field \"packet_width\" must be one of 0/1/4/8/16, got {w}"
+                ));
+            }
+            w as u32
+        }
+    };
     Ok(SessionSpec {
         scene,
         scale,
         algo,
         res,
-        packets,
+        packet_width,
     })
 }
 
@@ -253,7 +286,7 @@ mod tests {
                 assert_eq!(spec.scale, "quick");
                 assert_eq!(spec.algo, Algorithm::InPlace);
                 assert_eq!(spec.res, 128);
-                assert!(!spec.packets);
+                assert_eq!(spec.packet_width, 1);
                 assert_eq!(frame, 0);
             }
             other => panic!("wrong command: {other:?}"),
@@ -270,10 +303,40 @@ mod tests {
             Command::TuneStep { spec, steps } => {
                 assert_eq!(spec.algo, Algorithm::Lazy);
                 assert_eq!(spec.res, 1024, "res clamps to 1024");
-                assert!(spec.packets);
+                assert_eq!(spec.packet_width, 4, "legacy packets flag means w=4");
                 assert_eq!(steps, 256, "steps clamp to 256");
             }
             other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_width_field_parses_and_validates() {
+        for (json, want) in [
+            (r#"{"cmd":"render","scene":"bunny","packet_width":0}"#, 1),
+            (r#"{"cmd":"render","scene":"bunny","packet_width":1}"#, 1),
+            (r#"{"cmd":"render","scene":"bunny","packet_width":8}"#, 8),
+            (r#"{"cmd":"render","scene":"bunny","packet_width":16}"#, 16),
+            // Explicit width wins over the legacy boolean.
+            (
+                r#"{"cmd":"render","scene":"bunny","packets":true,"packet_width":8}"#,
+                8,
+            ),
+        ] {
+            match parse_request(json).unwrap().cmd {
+                Command::Render { spec, .. } => assert_eq!(spec.packet_width, want, "{json}"),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        for bad in [
+            r#"{"cmd":"render","scene":"bunny","packet_width":2}"#,
+            r#"{"cmd":"render","scene":"bunny","packet_width":32}"#,
+            r#"{"cmd":"render","scene":"bunny","packet_width":-4}"#,
+            r#"{"cmd":"render","scene":"bunny","packet_width":"wide"}"#,
+        ] {
+            let (_, code, msg) = parse_request(bad).unwrap_err();
+            assert_eq!(code, ErrorCode::BadRequest, "{bad}");
+            assert!(msg.contains("packet_width"), "{msg}");
         }
     }
 
@@ -365,7 +428,7 @@ mod tests {
             scale: "tiny".into(),
             algo: Algorithm::InPlace,
             res: 64,
-            packets: false,
+            packet_width: 1,
         };
         let mut ids = std::collections::HashSet::new();
         ids.insert(base.id());
@@ -399,12 +462,19 @@ mod tests {
         );
         ids.insert(
             SessionSpec {
-                packets: true,
+                packet_width: 4,
+                ..base.clone()
+            }
+            .id(),
+        );
+        ids.insert(
+            SessionSpec {
+                packet_width: 8,
                 ..base
             }
             .id(),
         );
-        assert_eq!(ids.len(), 6);
+        assert_eq!(ids.len(), 7);
     }
 
     #[test]

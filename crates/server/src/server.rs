@@ -990,11 +990,7 @@ fn handle_render(
         spec.res,
         spec.res,
     );
-    let options = if spec.packets {
-        RenderOptions::packets()
-    } else {
-        RenderOptions::scalar()
-    };
+    let options = RenderOptions::scalar().with_packet_width(spec.packet_width);
 
     let build_started = Instant::now();
     let (cache, tree, build_secs) = if spec.algo == Algorithm::Lazy {

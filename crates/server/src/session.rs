@@ -101,11 +101,9 @@ impl Session {
             )
         })?;
         let warm = store.lookup(&spec.scene, spec.algo);
-        let options = if spec.packets {
-            RenderOptions::packets()
-        } else {
-            RenderOptions::scalar()
-        };
+        // Sessions keep a fixed packet width — the spec is part of the
+        // session key, so clients pick the width per stream.
+        let options = RenderOptions::scalar().with_packet_width(spec.packet_width);
         let mut pipeline = TunedPipeline::new(scene, spec.algo)
             .resolution(spec.res, spec.res)
             .render_options(options)
@@ -354,7 +352,7 @@ mod tests {
             scale: "tiny".into(),
             algo: Algorithm::InPlace,
             res: 16,
-            packets: false,
+            packet_width: 1,
         }
     }
 

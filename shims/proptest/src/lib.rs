@@ -280,6 +280,37 @@ pub mod array {
     pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
         UniformArrayStrategy { element }
     }
+
+    /// Generates `[T; 8]` arrays from an element strategy.
+    pub fn uniform8<S: Strategy>(element: S) -> UniformArrayStrategy<S, 8> {
+        UniformArrayStrategy { element }
+    }
+
+    /// Generates `[T; 16]` arrays from an element strategy.
+    pub fn uniform16<S: Strategy>(element: S) -> UniformArrayStrategy<S, 16> {
+        UniformArrayStrategy { element }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The type of [`ANY`].
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
 }
 
 pub mod prelude {
