@@ -38,6 +38,8 @@ USAGE:
   kdtune export <scene> <file.obj> [--frame F]
   kdtune cache  <scene> <file.kdt> [--algo A] [--frame F]
   kdtune serve   [OPTIONS]   run the renderd service (see `kdtune serve --help`)
+  kdtune route   [OPTIONS]   consistent-hash router over N renderd shards
+                             (see `kdtune route --help`)
   kdtune loadgen [OPTIONS]   drive a renderd instance (see `kdtune loadgen --help`)
   kdtune top     [OPTIONS]   live renderd dashboard (see `kdtune top --help`)
   kdtune metrics [--addr H:P]  scrape renderd's Prometheus-style exposition
@@ -572,6 +574,7 @@ fn main() -> ExitCode {
     // --smoke), so route them before the classic parser sees the argv.
     match argv.first().map(String::as_str) {
         Some("serve") => return run_service(kdtune_server::cli::serve(&argv[1..])),
+        Some("route") => return run_service(kdtune_server::cli::route(&argv[1..])),
         Some("loadgen") => return run_service(kdtune_server::cli::loadgen(&argv[1..])),
         Some("top") => return run_service(kdtune_server::cli::top(&argv[1..])),
         Some("metrics") => return run_service(kdtune_server::cli::metrics(&argv[1..])),

@@ -2,6 +2,7 @@
 //! the dedicated `renderd`/`loadgen` binaries and the `kdtune` umbrella.
 
 use crate::loadgen::{self, LoadgenOptions};
+use crate::router::{Router, RouterConfig, ShardMode};
 use crate::server::{RenderServer, ServerConfig};
 use crate::top::{self, TopOptions};
 use kdtune_telemetry as telemetry;
@@ -41,6 +42,42 @@ PROTOCOL (one JSON object per line, on both sides):
 Requests may carry a \"trace\" string; it is echoed in the response, and
 successful render/tune responses include a per-stage latency breakdown
 under result.stages.
+";
+
+/// Usage text for `route`.
+pub const ROUTE_USAGE: &str = "\
+kdtune route — consistent-hash router over N renderd shard processes
+
+Each request's session key (scene@scale/algo/res/wN) hashes onto a fixed
+ring, so one shard exclusively owns each session: its tree cache and
+warm-start store only ever see their own slice of the keyspace. A dead
+shard's keys re-hash to survivors (in-flight requests on it get a
+structured `unavailable` error, never a hang) and snap back when the
+shard returns; `stats`/`metrics` fan out to every shard and merge.
+
+USAGE:
+    kdtune route [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     router listen address  [default: 127.0.0.1:7465]
+    --shards N           spawn N renderd shard children on ephemeral ports,
+                         supervised (respawned with backoff on exit) [default: 2]
+    --attach A,B,...     attach to externally managed renderd instances at
+                         these addresses instead of spawning (mutually
+                         exclusive with --shards; shutdown then drains the
+                         router only)
+    --workers N          render workers per spawned shard [default: 1]
+    --queue N            queue capacity per spawned shard [default: 64]
+    --cache-mb N         tree cache MiB per spawned shard [default: 128]
+    --store FILE         config store base; spawned shard i writes
+                         FILE.shard<i>.jsonl [default: renderd_configs.jsonl]
+    --max-conns N        client connection limit [default: 1024]
+    --pending N          per-shard in-flight cap before `busy` shed [default: 256]
+    --drain-ms N         shutdown drain deadline [default: 5000]
+    --help               show this help
+
+The wire protocol is identical to renderd's, so loadgen/top/metrics all
+work unchanged against a router address.
 ";
 
 /// Usage text for `top`.
@@ -93,8 +130,13 @@ OPTIONS:
     --curve A,B,...      connection-scaling mode: run the workload once per
                          connection count (e.g. 4,16,64,256,1024) against the
                          same server and report a connections-vs-throughput/
-                         latency curve; each point sends at least 2 requests
-                         per connection
+                         latency curve; each point sends at least
+                         --per-conn-floor requests per connection
+    --per-conn-floor N   minimum requests per connection at each curve point,
+                         so high-connection points measure sustained service
+                         rate instead of a connect burst [default: 2]
+    --router             expect a kdtune route front: fail unless stats
+                         identifies a router, and report per-shard counts
     --smoke              small self-terminating smoke workload (implies --shutdown)
     --shutdown           send shutdown after the run (in curve mode: after the
                          final point)
@@ -233,7 +275,9 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     options.frames = take_parsed(&mut args, "--frames", options.frames)?;
     options.tune_every = take_parsed(&mut args, "--tune-every", options.tune_every)?;
     options.tune_steps = take_parsed(&mut args, "--tune-steps", options.tune_steps)?;
+    options.per_conn_floor = take_parsed(&mut args, "--per-conn-floor", options.per_conn_floor)?;
     options.shutdown_after |= take_flag(&mut args, "--shutdown");
+    options.expect_router = take_flag(&mut args, "--router");
     if let Some(out) = take_value(&mut args, "--out")? {
         options.out = Some(PathBuf::from(out));
     }
@@ -293,6 +337,73 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
             ));
         }
     }
+    Ok(())
+}
+
+/// `kdtune route`: parse flags, spawn or attach the shards, and route
+/// until a `shutdown` request drains the clients. Blocks.
+pub fn route(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if take_flag(&mut args, "--help") {
+        println!("{ROUTE_USAGE}");
+        return Ok(());
+    }
+    let mut config = RouterConfig::default();
+    config.addr = take_parsed(&mut args, "--addr", config.addr)?;
+    config.max_conns = take_parsed(&mut args, "--max-conns", config.max_conns)?;
+    config.pending_per_shard = take_parsed(&mut args, "--pending", config.pending_per_shard)?;
+    config.drain_ms = take_parsed(&mut args, "--drain-ms", config.drain_ms)?;
+    let attach = take_value(&mut args, "--attach")?;
+    let shards: usize = take_parsed(&mut args, "--shards", 2)?;
+    let workers: usize = take_parsed(&mut args, "--workers", 1)?;
+    let queue: usize = take_parsed(&mut args, "--queue", 64)?;
+    let cache_mb: usize = take_parsed(&mut args, "--cache-mb", 128)?;
+    let store = take_parsed(&mut args, "--store", "renderd_configs.jsonl".to_string())?;
+    reject_leftovers(&args, ROUTE_USAGE)?;
+
+    config.shards = match attach {
+        Some(list) => ShardMode::Attach(
+            list.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
+        ),
+        None => {
+            // Spawn shards through our own binary's `serve` subcommand;
+            // the router appends --addr 127.0.0.1:0 and the per-shard
+            // --store suffix itself.
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate own executable: {e}"))?;
+            config.shard_store_base = Some(store);
+            ShardMode::Spawn {
+                count: shards,
+                command: vec![
+                    exe.display().to_string(),
+                    "serve".into(),
+                    "--workers".into(),
+                    workers.to_string(),
+                    "--queue".into(),
+                    queue.to_string(),
+                    "--cache-mb".into(),
+                    cache_mb.to_string(),
+                ],
+            }
+        }
+    };
+    let mode = match &config.shards {
+        ShardMode::Spawn { count, .. } => format!("{count} spawned shards"),
+        ShardMode::Attach(addrs) => format!("{} attached shards", addrs.len()),
+    };
+    let router = Router::bind(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!(
+        "router listening on {} ({mode}, max {} conns, {} pending/shard)",
+        router.local_addr(),
+        config.max_conns,
+        config.pending_per_shard
+    );
+    router.run().map_err(|e| format!("router error: {e}"))?;
+    println!("router: drained and stopped");
     Ok(())
 }
 

@@ -43,14 +43,17 @@ pub mod cli;
 mod conn;
 pub mod loadgen;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod session;
+mod shard;
 pub mod store;
 pub mod top;
 
 pub use cache::TreeCache;
 pub use loadgen::{LoadgenOptions, LoadgenReport};
 pub use protocol::{Command, ErrorCode, Request, SessionSpec};
+pub use router::{Router, RouterConfig, ShardMode};
 pub use server::{RenderServer, ServerConfig};
 pub use session::{Session, SessionManager};
 pub use store::ConfigStore;

@@ -46,10 +46,19 @@ pub struct LoadgenOptions {
     pub tune_every: usize,
     /// Steps per `tune_step` request.
     pub tune_steps: usize,
+    /// Minimum requests per connection at each curve point. Without a
+    /// floor, high-connection points degenerate into a connect burst
+    /// (2 requests per client) whose wall clock measures shed latency,
+    /// not sustained service rate.
+    pub per_conn_floor: usize,
     /// Send `shutdown` after the run and wait for the response.
     pub shutdown_after: bool,
     /// Where to write the JSON report (`None` skips the file).
     pub out: Option<PathBuf>,
+    /// The target is expected to be a `kdtune route` front: the run
+    /// fails unless the final stats snapshot identifies a router, and
+    /// the report carries the per-shard breakdown.
+    pub expect_router: bool,
 }
 
 impl LoadgenOptions {
@@ -68,8 +77,10 @@ impl LoadgenOptions {
             frames: 2,
             tune_every: 4,
             tune_steps: 2,
+            per_conn_floor: 2,
             shutdown_after: false,
             out: Some(PathBuf::from("results/BENCH_server.json")),
+            expect_router: false,
         }
     }
 
@@ -99,8 +110,15 @@ pub struct LoadgenReport {
     pub protocol_errors: u64,
     /// Wall time of the request phase in seconds.
     pub elapsed_secs: f64,
-    /// Requests per second over the request phase.
+    /// Requests *sent* per second over the request phase. A shedding
+    /// server inflates this number — a `busy` rejection completes fast —
+    /// so compare servers on [`goodput_rps`](Self::goodput_rps).
     pub throughput_rps: f64,
+    /// `ok:true` responses per second over the request phase: the
+    /// throughput of work that actually rendered or tuned.
+    pub goodput_rps: f64,
+    /// Fraction of sent requests shed with a structured `busy`.
+    pub shed_rate: f64,
     /// Latency quantiles over all requests, microseconds.
     pub p50_us: u64,
     /// 90th percentile latency.
@@ -123,6 +141,12 @@ pub struct LoadgenReport {
     pub cache_hit_rate: f64,
     /// Server-reported live session count.
     pub sessions: u64,
+    /// Whether the final stats snapshot identified a `kdtune route`
+    /// front rather than a single `renderd`.
+    pub router: bool,
+    /// Router-reported shard states at the end of the run, as
+    /// `(index, state, forwarded)` rows. Empty against a plain `renderd`.
+    pub router_shards: Vec<(u64, String, u64)>,
     /// Responses whose echoed trace tag was missing or did not match the
     /// one sent (any nonzero value means request/response pairing broke).
     pub trace_mismatches: u64,
@@ -217,6 +241,16 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     } else {
         0.0
     };
+    report.goodput_rps = if report.elapsed_secs > 0.0 {
+        report.ok as f64 / report.elapsed_secs
+    } else {
+        0.0
+    };
+    report.shed_rate = if report.sent > 0 {
+        report.busy as f64 / report.sent as f64
+    } else {
+        0.0
+    };
     report.p50_us = histogram.percentile_us(0.50);
     report.p90_us = histogram.percentile_us(0.90);
     report.p95_us = histogram.percentile_us(0.95);
@@ -246,6 +280,29 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
             .and_then(|s| s.get("count"))
             .and_then(JsonValue::as_i64)
             .unwrap_or(0) as u64;
+        report.router = result.get("router").and_then(JsonValue::as_bool) == Some(true);
+        if let Some(JsonValue::Array(shards)) = result.get("shards") {
+            for shard in shards {
+                report.router_shards.push((
+                    shard.get("index").and_then(JsonValue::as_u64).unwrap_or(0),
+                    shard
+                        .get("state")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    shard
+                        .get("forwarded")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0),
+                ));
+            }
+        }
+    }
+    if options.expect_router && !report.router {
+        return Err(format!(
+            "--router: {} answered stats like a plain renderd, not a kdtune route front",
+            options.addr
+        ));
     }
     if options.shutdown_after {
         control.roundtrip(&JsonValue::object([
@@ -357,7 +414,12 @@ fn drive_connection(
                 ("steps", options.tune_steps.into()),
             ])
         } else {
-            let frame = (i / options.scenes.len()) % options.frames.max(1);
+            // Offset the frame cycle by the connection index so concurrent
+            // clients sit at different animation times: the instantaneous
+            // working set spans scenes x frames instead of collapsing onto
+            // one frame in lock-step, which is what actually pressures the
+            // byte-accounted tree cache.
+            let frame = (conn + i / options.scenes.len()) % options.frames.max(1);
             JsonValue::object([
                 ("id", JsonValue::from(id)),
                 ("cmd", "render".into()),
@@ -440,7 +502,9 @@ pub fn run_curve(
     for &connections in points {
         let point = LoadgenOptions {
             connections,
-            requests: options.requests.max(connections * 2),
+            requests: options
+                .requests
+                .max(connections * options.per_conn_floor.max(2)),
             shutdown_after: false,
             out: None,
             ..options.clone()
@@ -495,6 +559,8 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
         ("trace_mismatches", report.trace_mismatches.into()),
         ("elapsed_secs", report.elapsed_secs.into()),
         ("throughput_rps", report.throughput_rps.into()),
+        ("goodput_rps", report.goodput_rps.into()),
+        ("shed_rate", report.shed_rate.into()),
         (
             "latency_us",
             JsonValue::object([
@@ -536,6 +602,22 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
                 ("cache_misses", report.cache_misses.into()),
                 ("cache_hit_rate", report.cache_hit_rate.into()),
                 ("sessions", report.sessions.into()),
+                ("router", report.router.into()),
+                (
+                    "shards",
+                    report
+                        .router_shards
+                        .iter()
+                        .map(|(index, state, forwarded)| {
+                            JsonValue::object([
+                                ("index", JsonValue::from(*index)),
+                                ("state", state.as_str().into()),
+                                ("forwarded", (*forwarded).into()),
+                            ])
+                        })
+                        .collect::<Vec<_>>()
+                        .into(),
+                ),
             ]),
         ),
         ("threads", rayon::current_num_threads().into()),
@@ -553,6 +635,8 @@ fn curve_point_json(connections: usize, report: &LoadgenReport) -> JsonValue {
         ("trace_mismatches", report.trace_mismatches.into()),
         ("elapsed_secs", report.elapsed_secs.into()),
         ("throughput_rps", report.throughput_rps.into()),
+        ("goodput_rps", report.goodput_rps.into()),
+        ("shed_rate", report.shed_rate.into()),
         (
             "latency_us",
             JsonValue::object([
@@ -615,13 +699,15 @@ fn write_report(
 /// Human-readable run summary for the CLI.
 pub fn format_summary(report: &LoadgenReport) -> String {
     let mut out = format!(
-        "{} requests in {:.2}s ({:.1} req/s)\n\
+        "{} requests in {:.2}s ({:.1} sent/s, {:.1} ok/s goodput, {:.1}% shed)\n\
          ok {}  busy {}  errors {}  trace mismatches {}\n\
          latency p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  (mean {:.2}ms, max {:.2}ms)\n\
          cache hit rate {:.1}% ({} hits / {} misses), {} sessions",
         report.sent,
         report.elapsed_secs,
         report.throughput_rps,
+        report.goodput_rps,
+        report.shed_rate * 100.0,
         report.ok,
         report.busy,
         report.protocol_errors,
@@ -636,6 +722,12 @@ pub fn format_summary(report: &LoadgenReport) -> String {
         report.cache_misses,
         report.sessions,
     );
+    if report.router {
+        out.push_str("\nrouter shards:");
+        for (index, state, forwarded) in &report.router_shards {
+            out.push_str(&format!("  [{index}] {state} ({forwarded} fwd)"));
+        }
+    }
     if !report.server_stages.is_empty() {
         out.push_str("\nserver stages (p50/p95):");
         for (stage, h) in &report.server_stages {

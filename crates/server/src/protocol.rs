@@ -85,8 +85,14 @@ pub enum Command {
     /// Snapshot server counters, cache stats, live metrics windows, and
     /// per-session tuner state.
     Stats,
-    /// Prometheus-style text exposition of the live metrics registry.
-    Metrics,
+    /// Exposition of the live metrics registry.
+    Metrics {
+        /// `false` (the default, wire `"format":"text"` or absent):
+        /// Prometheus text. `true` (wire `"format":"json"`): the
+        /// bucket-level mergeable snapshot a router can sum across
+        /// shards.
+        mergeable: bool,
+    },
     /// Begin graceful shutdown: drain queued work, then exit.
     Shutdown,
 }
@@ -116,6 +122,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// A handler failed or panicked; the request may be retried.
     Internal,
+    /// The shard that owns this request's session key is down and no
+    /// survivor could take it (router-only). Retry later.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -127,6 +136,7 @@ impl ErrorCode {
             ErrorCode::UnknownScene => "unknown_scene",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 }
@@ -160,7 +170,18 @@ pub fn parse_request(line: &str) -> Result<Request, (i64, ErrorCode, String)> {
             steps: (non_negative(&value, "steps", 1).map_err(&fail)? as usize).clamp(1, 256),
         },
         "stats" => Command::Stats,
-        "metrics" => Command::Metrics,
+        "metrics" => {
+            let mergeable = match value.get("format").and_then(JsonValue::as_str) {
+                None | Some("text") => false,
+                Some("json") => true,
+                Some(other) => {
+                    return Err(fail(format!(
+                        "unknown metrics format {other:?} (expected \"text\" or \"json\")"
+                    )))
+                }
+            };
+            Command::Metrics { mergeable }
+        }
         "shutdown" => Command::Shutdown,
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
@@ -348,7 +369,7 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"id":3,"cmd":"metrics"}"#).unwrap().cmd,
-            Command::Metrics
+            Command::Metrics { mergeable: false }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
@@ -357,6 +378,36 @@ mod tests {
                 trace: None,
                 cmd: Command::Shutdown
             }
+        );
+    }
+
+    #[test]
+    fn metrics_format_field_selects_mergeable_snapshot() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","format":"json"}"#)
+                .unwrap()
+                .cmd,
+            Command::Metrics { mergeable: true }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","format":"text"}"#)
+                .unwrap()
+                .cmd,
+            Command::Metrics { mergeable: false }
+        );
+        let (_, code, msg) = parse_request(r#"{"cmd":"metrics","format":"xml"}"#).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(msg.contains("format"), "{msg}");
+    }
+
+    #[test]
+    fn unavailable_error_code_spells_out() {
+        assert_eq!(ErrorCode::Unavailable.as_str(), "unavailable");
+        let err = err_line(3, ErrorCode::Unavailable, "no shard owns this key");
+        let v = kdtune_telemetry::json::parse(&err).unwrap();
+        assert_eq!(
+            v.get("error").and_then(JsonValue::as_str),
+            Some("unavailable")
         );
     }
 

@@ -661,10 +661,18 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnHandle>, raw: &[u8]) {
                 result,
             ));
         }
-        Command::Metrics => {
+        Command::Metrics { mergeable } => {
             let t0 = Instant::now();
             refresh_gauges(state);
-            let text = state.metrics.prometheus_text(telemetry::now_us());
+            // `format:"json"` (a router's fan-out) gets the bucket-level
+            // snapshot that merges losslessly; plain clients get the
+            // Prometheus text they always did.
+            let result = if mergeable {
+                JsonValue::object([("metrics", state.metrics.mergeable_json(telemetry::now_us()))])
+            } else {
+                let text = state.metrics.prometheus_text(telemetry::now_us());
+                JsonValue::object([("text", JsonValue::from(text))])
+            };
             state.counters.ok.fetch_add(1, Ordering::Relaxed);
             request_event(
                 "metrics",
@@ -678,7 +686,7 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnHandle>, raw: &[u8]) {
             writer.send_line(&protocol::ok_line_traced(
                 request.id,
                 request.trace.as_deref(),
-                JsonValue::object([("text", JsonValue::from(text))]),
+                result,
             ));
         }
         Command::Shutdown => {
@@ -892,7 +900,7 @@ fn cmd_name(cmd: &Command) -> &'static str {
         Command::Render { .. } => "render",
         Command::TuneStep { .. } => "tune_step",
         Command::Stats => "stats",
-        Command::Metrics => "metrics",
+        Command::Metrics { .. } => "metrics",
         Command::Shutdown => "shutdown",
     }
 }
@@ -939,7 +947,7 @@ fn handle_job(
             handle_tune(state, spec, *steps, trace)
         }
         // Control commands never reach the queue.
-        Command::Stats | Command::Metrics | Command::Shutdown => {
+        Command::Stats | Command::Metrics { .. } | Command::Shutdown => {
             Err((ErrorCode::Internal, "control command on work queue".into()))
         }
     }

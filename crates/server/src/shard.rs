@@ -1,0 +1,313 @@
+//! Consistent-hash ring and shard-process supervision for the router.
+//!
+//! The ring maps session keys ([`crate::protocol::SessionSpec::id`]
+//! strings) onto shard indices with classic consistent hashing: each
+//! shard owns [`VNODES`] pseudo-random points on a 64-bit circle, and a
+//! key routes to the first point clockwise from its own hash. Virtual
+//! nodes smooth the per-shard share to within a few percent of 1/N, and
+//! the construction is *deterministic* — the points depend only on the
+//! shard index — so every router instance (including one restarted after
+//! a crash) computes the identical mapping, and adding or removing a
+//! shard remaps only ~1/N of the keyspace instead of reshuffling
+//! everything. Dead shards are skipped by walking clockwise to the next
+//! live owner, which is what gives the keyspace slice of a dead shard a
+//! well-defined set of survivors without moving anyone else's keys.
+//!
+//! [`ShardProcess`] is the spawn-mode half: it launches one `renderd`
+//! child on an ephemeral port and reports the bound address back to the
+//! router by parsing the child's `renderd listening on ADDR …` stdout
+//! line from a drainer thread. Ephemeral ports make restart-after-crash
+//! robust — the replacement child never races a `TIME_WAIT` socket from
+//! its predecessor.
+
+use crate::conn::Waker;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+/// Virtual nodes per shard on the hash ring.
+pub(crate) const VNODES: usize = 64;
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across builds and
+/// platforms — the mapping must not change under a router restart, which
+/// rules out `std::hash::RandomState`.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A ring point: FNV-1a pushed through a splitmix64-style finalizer.
+/// Raw FNV-1a barely avalanches the high bits on short sequential
+/// strings like `shard4#vnode17`, which clusters the sorted points so
+/// badly that one shard can claim half the circle; the finalizer
+/// restores uniformity while keeping the mapping deterministic.
+pub(crate) fn ring_point(bytes: &[u8]) -> u64 {
+    let mut z = fnv1a64(bytes);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `shards` indices.
+pub(crate) struct HashRing {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for shard indices `0..shards`.
+    pub fn new(shards: usize) -> HashRing {
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                points.push((ring_point(format!("shard{s}#vnode{v}").as_bytes()), s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Routes `key` to the first shard clockwise from its hash for which
+    /// `is_up` holds; `None` when every shard is down. Keys whose owner
+    /// is up always land on the owner, so the mapping is stable while
+    /// the fleet is healthy.
+    pub fn route(&self, key: &str, mut is_up: impl FnMut(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = ring_point(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen = vec![false; self.shards];
+        let mut visited = 0;
+        for i in 0..self.points.len() {
+            let (_, s) = self.points[(start + i) % self.points.len()];
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            if is_up(s) {
+                return Some(s);
+            }
+            visited += 1;
+            if visited == self.shards {
+                break;
+            }
+        }
+        None
+    }
+
+    /// The owning shard with every shard up.
+    #[cfg(test)]
+    pub fn owner(&self, key: &str) -> Option<usize> {
+        self.route(key, |_| true)
+    }
+}
+
+/// Parses `renderd listening on ADDR (…)` — the line `kdtune serve`
+/// prints once bound — into the socket address.
+pub(crate) fn parse_listening_line(line: &str) -> Option<SocketAddr> {
+    let rest = line.strip_prefix("renderd listening on ")?;
+    rest.split_whitespace().next()?.parse().ok()
+}
+
+/// One spawned shard child. The router owns the `Child`; a detached
+/// drainer thread owns the stdout pipe, reporting the announced listen
+/// address through `announce` and then draining the pipe until EOF so
+/// the child can never block on a full stdout buffer.
+pub(crate) struct ShardProcess {
+    child: Child,
+}
+
+impl ShardProcess {
+    /// Launches `argv[0]` with `argv[1..]` and watches its stdout for
+    /// the listen-address announcement, delivered as
+    /// `(shard_index, addr, pid)` on `announce` (the waker nudges the
+    /// router's poll loop so the announcement is seen promptly).
+    pub fn spawn(
+        index: usize,
+        argv: &[String],
+        announce: Sender<(usize, SocketAddr, u32)>,
+        waker: Arc<Waker>,
+    ) -> std::io::Result<ShardProcess> {
+        let mut cmd = Command::new(&argv[0]);
+        cmd.args(&argv[1..])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped());
+        let mut child = cmd.spawn()?;
+        let pid = child.id();
+        let stdout = child.stdout.take().expect("stdout was piped");
+        std::thread::Builder::new()
+            .name(format!("router-shard-{index}-stdout"))
+            .spawn(move || {
+                let reader = std::io::BufReader::new(stdout);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if let Some(addr) = parse_listening_line(&line) {
+                        if announce.send((index, addr, pid)).is_err() {
+                            break;
+                        }
+                        waker.wake();
+                    }
+                    // Keep looping: draining stdout until EOF is the
+                    // thread's second job.
+                }
+            })?;
+        Ok(ShardProcess { child })
+    }
+
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Whether the child has exited (non-blocking).
+    pub fn exited(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(Some(_)))
+    }
+
+    /// Force-kills and reaps the child.
+    pub fn kill_and_wait(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sampled keyspace shaped like real session keys.
+    fn sample_keys(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "scene{}@tiny/in_place/{}/w{}",
+                    i % 97,
+                    32 << (i % 5),
+                    1 << (i % 3)
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_across_instances() {
+        let a = HashRing::new(4);
+        let b = HashRing::new(4);
+        for key in sample_keys(1000) {
+            assert_eq!(a.owner(&key), b.owner(&key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn identical_keys_always_land_on_the_same_shard() {
+        let ring = HashRing::new(3);
+        let key = "bunny@tiny/in_place/64/w4";
+        let first = ring.owner(key);
+        for _ in 0..100 {
+            assert_eq!(ring.owner(key), first);
+        }
+    }
+
+    #[test]
+    fn shares_are_roughly_balanced() {
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for key in sample_keys(10_000) {
+            counts[ring.owner(&key).unwrap()] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            // 64 vnodes keep each share within ~2x of fair; the exact
+            // spread depends on the hash but must never collapse to one
+            // shard or starve one entirely.
+            assert!(
+                (1000..=5000).contains(&c),
+                "shard {s} owns {c} of 10000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_remaps_about_one_over_n_keys() {
+        let before = HashRing::new(4);
+        let after = HashRing::new(5);
+        let keys = sample_keys(10_000);
+        let moved = keys
+            .iter()
+            .filter(|k| before.owner(k) != after.owner(k))
+            .count();
+        // Ideal is 1/5 = 2000; allow generous slack for hash variance
+        // but fail hard on the full reshuffle a modulo-hash would give
+        // (~8000 moved).
+        assert!(
+            (1000..=3500).contains(&moved),
+            "adding a 5th shard moved {moved} of 10000 keys (expected ~2000)"
+        );
+        // Every moved key must have moved TO the new shard — consistent
+        // hashing never shuffles keys between surviving shards.
+        for k in &keys {
+            if before.owner(k) != after.owner(k) {
+                assert_eq!(after.owner(k), Some(4), "key {k} moved to an old shard");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_shard_keys_rehash_to_survivors_without_moving_others() {
+        let ring = HashRing::new(4);
+        let keys = sample_keys(10_000);
+        let dead = 2usize;
+        let mut rerouted = 0;
+        for k in &keys {
+            let owner = ring.owner(k).unwrap();
+            let routed = ring.route(k, |s| s != dead).unwrap();
+            assert_ne!(routed, dead);
+            if owner == dead {
+                rerouted += 1;
+            } else {
+                // Keys owned by live shards must not move at all.
+                assert_eq!(routed, owner, "key {k} moved although its owner is up");
+            }
+        }
+        // The dead shard owned roughly a quarter of the keyspace.
+        assert!(
+            (1000..=5000).contains(&rerouted),
+            "dead shard owned {rerouted} of 10000 keys"
+        );
+    }
+
+    #[test]
+    fn all_shards_down_routes_nowhere() {
+        let ring = HashRing::new(3);
+        assert_eq!(ring.route("any-key", |_| false), None);
+        assert_eq!(HashRing::new(0).route("any-key", |_| true), None);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn listening_line_parses_and_rejects() {
+        assert_eq!(
+            parse_listening_line("renderd listening on 127.0.0.1:7464 (2 workers, queue 64)"),
+            Some("127.0.0.1:7464".parse().unwrap())
+        );
+        assert_eq!(
+            parse_listening_line("renderd listening on 127.0.0.1:9"),
+            Some("127.0.0.1:9".parse().unwrap())
+        );
+        assert_eq!(parse_listening_line("something else"), None);
+        assert_eq!(parse_listening_line("renderd listening on nonsense"), None);
+    }
+}

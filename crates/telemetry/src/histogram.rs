@@ -116,9 +116,14 @@ impl Histogram {
         }
     }
 
-    /// Value at quantile `q` ∈ [0, 1], reported as the upper bound of the
-    /// bucket containing that rank (so the estimate never understates).
-    /// Exact min/max are substituted at the extremes.
+    /// Value at quantile `q` ∈ [0, 1], linearly interpolated *within* the
+    /// bucket containing that rank. The log-bucketed grid is ~19% wide
+    /// above 100 ms, so without interpolation a heavily-queued latency
+    /// distribution collapses p50 through p99 onto one bucket bound;
+    /// spreading the bucket's samples uniformly across its span keeps the
+    /// quantiles distinct wherever the rank counts are. Exact min/max are
+    /// substituted at the extremes and the result never leaves the
+    /// observed range.
     pub fn percentile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -129,18 +134,31 @@ impl Histogram {
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if i == 0 {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let value = if i == 0 {
                     0 // underflow bucket: < 1µs
                 } else if i >= NUM_BUCKETS {
                     self.max_us // overflow: only exact value we have
                 } else {
-                    bucket_upper_us(i)
+                    // Bucket i covers (upper(i-1), upper(i)]; place the
+                    // rank's sample at its uniform position in the span.
+                    // Narrow the span to the observed range first, so data
+                    // occupying only part of its extreme buckets doesn't
+                    // pin every high quantile to the clamp at max_us.
+                    let lo = if i == 1 { 1 } else { bucket_upper_us(i - 1) };
+                    let hi = bucket_upper_us(i);
+                    let lo = lo.max(self.min_us);
+                    let hi = hi.min(self.max_us).max(lo);
+                    let into = (rank - seen) as f64 / c as f64;
+                    lo + ((hi - lo) as f64 * into).round() as u64
                 };
                 // Never report outside the observed range.
-                return upper.clamp(self.min_us, self.max_us);
+                return value.clamp(self.min_us, self.max_us);
             }
+            seen += c;
         }
         self.max_us
     }
@@ -177,6 +195,60 @@ impl Histogram {
         self.sum_us = self.sum_us.saturating_add(other.sum_us);
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Serializes to a JSON object with *sparse* bucket encoding —
+    /// `{"count":..,"sum_us":..,"min_us":..,"max_us":..,
+    ///   "buckets":[[index,count],..]}` — so histograms can cross process
+    /// boundaries (shard → router) and be re-merged losslessly with
+    /// [`Histogram::merge`]. Only non-empty buckets are listed; the fixed
+    /// grid means indices line up across any two histograms.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let buckets: Vec<JsonValue> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| JsonValue::Array(vec![JsonValue::from(i), JsonValue::from(c)]))
+            .collect();
+        JsonValue::object([
+            ("count", JsonValue::from(self.count)),
+            ("sum_us", JsonValue::from(self.sum_us)),
+            ("min_us", JsonValue::from(self.min_us())),
+            ("max_us", JsonValue::from(self.max_us)),
+            ("buckets", JsonValue::Array(buckets)),
+        ])
+    }
+
+    /// Reconstructs a histogram from [`Histogram::to_json`] output.
+    /// Returns `None` on shape mismatches (missing keys, bucket indices
+    /// outside the grid) rather than guessing.
+    pub fn from_json(v: &crate::json::JsonValue) -> Option<Histogram> {
+        use crate::json::JsonValue;
+        let mut h = Histogram::new();
+        h.count = v.get("count")?.as_u64()?;
+        h.sum_us = v.get("sum_us")?.as_u64()?;
+        let min = v.get("min_us")?.as_u64()?;
+        h.min_us = if h.count == 0 { u64::MAX } else { min };
+        h.max_us = v.get("max_us")?.as_u64()?;
+        let JsonValue::Array(buckets) = v.get("buckets")? else {
+            return None;
+        };
+        for pair in buckets {
+            let JsonValue::Array(kv) = pair else {
+                return None;
+            };
+            let (idx, c) = match kv.as_slice() {
+                [i, c] => (i.as_u64()? as usize, c.as_u64()?),
+                _ => return None,
+            };
+            if idx > NUM_BUCKETS {
+                return None;
+            }
+            h.counts[idx] = c;
+        }
+        Some(h)
     }
 }
 
@@ -412,6 +484,96 @@ mod tests {
         // A reset histogram records fresh samples exactly like a new one.
         h.record_us(42);
         assert_eq!((h.count(), h.min_us(), h.max_us()), (1, 42, 42));
+    }
+
+    #[test]
+    fn high_range_quantiles_do_not_collapse() {
+        // Regression for the 256-connection bench artifact where
+        // p50=p90=p95=p99=507935µs: hundreds of queued-request latencies
+        // land in one ~19%-wide bucket near 500ms, and bucket-bound
+        // reporting made every quantile identical. Interpolation must keep
+        // them strictly ordered.
+        let mut h = Histogram::new();
+        for i in 0..400u64 {
+            h.record_us(430_000 + i * 170); // 430ms..498ms: 1-2 buckets
+        }
+        let p50 = h.percentile_us(0.50);
+        let p90 = h.percentile_us(0.90);
+        let p99 = h.percentile_us(0.99);
+        assert!(p50 < p90 && p90 < p99, "collapsed: {p50} {p90} {p99}");
+        // And still inside the observed range.
+        assert!(p50 >= h.min_us() && p99 <= h.max_us());
+    }
+
+    #[test]
+    fn interpolation_tracks_rank_within_one_bucket() {
+        // All samples in a single bucket: quantiles should spread across
+        // the bucket span proportionally to rank, not snap to one bound.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record_us(450_000);
+        }
+        // Identical samples: clamp to the exact observed value.
+        assert_eq!(h.percentile_us(0.5), 450_000);
+        assert_eq!(h.percentile_us(0.99), 450_000);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut h = Histogram::new();
+        for i in 0..300u64 {
+            h.record_us(i * i);
+        }
+        h.record_us(1u64 << 50); // overflow bucket
+        let v = h.to_json();
+        let restored = Histogram::from_json(&v).expect("round trip");
+        assert_eq!(restored.counts, h.counts);
+        assert_eq!(restored.summary(), h.summary());
+        // Also survives a text round trip through the parser.
+        let reparsed = crate::json::parse(&v.to_string()).unwrap();
+        let h2 = Histogram::from_json(&reparsed).expect("text round trip");
+        assert_eq!(h2.summary(), h.summary());
+    }
+
+    #[test]
+    fn json_round_trip_empty_histogram() {
+        let h = Histogram::new();
+        let restored = Histogram::from_json(&h.to_json()).expect("empty round trip");
+        assert_eq!(restored.summary(), h.summary());
+        // min sentinel restored so later merges keep working.
+        let mut merged = restored;
+        merged.record_us(42);
+        assert_eq!(merged.min_us(), 42);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_shapes() {
+        use crate::json::{parse, JsonValue};
+        assert!(Histogram::from_json(&JsonValue::Null).is_none());
+        assert!(Histogram::from_json(&parse(r#"{"count":1}"#).unwrap()).is_none());
+        let bad_idx =
+            parse(r#"{"count":1,"sum_us":5,"min_us":5,"max_us":5,"buckets":[[99999,1]]}"#).unwrap();
+        assert!(Histogram::from_json(&bad_idx).is_none());
+    }
+
+    #[test]
+    fn merged_json_histograms_equal_merged_originals() {
+        // The router path: two shards serialize, the router parses and
+        // merges. Result must match merging the live histograms.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for us in [10u64, 400, 90_000, 430_000] {
+            a.record_us(us);
+        }
+        for us in [25u64, 500_000, 1_500_000] {
+            b.record_us(us);
+        }
+        let mut via_json = Histogram::from_json(&a.to_json()).unwrap();
+        via_json.merge(&Histogram::from_json(&b.to_json()).unwrap());
+        let mut direct = a.clone();
+        direct.merge(&b);
+        assert_eq!(via_json.counts, direct.counts);
+        assert_eq!(via_json.summary(), direct.summary());
     }
 
     #[test]

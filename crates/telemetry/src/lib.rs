@@ -36,7 +36,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 pub use histogram::{Histogram, Summary};
-pub use metrics::{MetricsRecorder, MetricsRegistry, WindowedHistogram};
+pub use metrics::{MergedMetrics, MetricsRecorder, MetricsRegistry, WindowedHistogram};
 
 // ---------------------------------------------------------------------------
 // Data model

@@ -444,6 +444,46 @@ impl MetricsRegistry {
         ])
     }
 
+    /// Snapshot of every series in a *mergeable* form: counters and
+    /// gauges as raw values, histograms as bucket-level
+    /// [`Histogram::to_json`] objects per window. Quantiles are not
+    /// pre-computed — a downstream aggregator ([`MergedMetrics`]) can sum
+    /// counters and [`Histogram::merge`] bucket arrays losslessly, which
+    /// pre-digested p50/p95/p99 values cannot offer. This is what a shard
+    /// returns for `{"cmd":"metrics","format":"json"}`.
+    pub fn mergeable_json(&self, now_us: u64) -> JsonValue {
+        let counters: BTreeMap<String, JsonValue> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.render("", ""), v.load(Ordering::Relaxed).into()))
+            .collect();
+        let gauges: BTreeMap<String, JsonValue> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.render("", ""), v.load(Ordering::Relaxed).into()))
+            .collect();
+        let histograms: BTreeMap<String, JsonValue> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| {
+                let wh = v.lock();
+                let windows: BTreeMap<String, JsonValue> = WINDOWS
+                    .iter()
+                    .map(|&(secs, label)| (label.to_owned(), wh.window(now_us, secs).to_json()))
+                    .collect();
+                (k.render("", ""), JsonValue::Object(windows))
+            })
+            .collect();
+        JsonValue::object([
+            ("counters", JsonValue::Object(counters)),
+            ("gauges", JsonValue::Object(gauges)),
+            ("histograms", JsonValue::Object(histograms)),
+        ])
+    }
+
     /// Prometheus-style text exposition: `# TYPE` comments, counters and
     /// gauges as single samples, histograms as per-window quantile
     /// summaries with `_count`/`_sum` companions. Output is sorted and
@@ -492,6 +532,252 @@ impl MetricsRegistry {
                 out.push_str(&h.count().to_string());
                 out.push('\n');
                 out.push_str(&key.render("_sum", &window_label));
+                out.push(' ');
+                out.push_str(&h.sum_us().to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MergedMetrics
+// ---------------------------------------------------------------------------
+
+/// Splits a rendered series key `name{body}` into `(name, body)`;
+/// `body` is empty for unlabeled series.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(pos) => (&key[..pos], key[pos + 1..].trim_end_matches('}')),
+        None => (key, ""),
+    }
+}
+
+/// Re-renders a split key with a name suffix and an extra label clause
+/// appended, matching [`SeriesKey::render`] semantics.
+fn render_key(name: &str, body: &str, suffix: &str, extra: &str) -> String {
+    let mut out = String::with_capacity(name.len() + body.len() + extra.len() + 8);
+    out.push_str(name);
+    out.push_str(suffix);
+    if !body.is_empty() || !extra.is_empty() {
+        out.push('{');
+        out.push_str(body);
+        if !body.is_empty() && !extra.is_empty() {
+            out.push(',');
+        }
+        out.push_str(extra);
+        out.push('}');
+    }
+    out
+}
+
+/// Cross-process metrics aggregator: folds the [`mergeable_json`]
+/// snapshots of N shard registries into one coherent view — counters and
+/// gauges summed, histograms merged bucket-by-bucket (exact, because
+/// every process shares the fixed log-bucket grid) — while keeping each
+/// shard's series reachable under an extra `shard="<label>"` label.
+///
+/// This is the router's merge step for fanned-out `stats`/`metrics`
+/// requests; it deliberately mirrors [`MetricsRegistry`]'s export
+/// surface ([`MergedMetrics::snapshot_json`],
+/// [`MergedMetrics::prometheus_text`]) so clients cannot tell a router
+/// from a single shard by response shape.
+///
+/// [`mergeable_json`]: MetricsRegistry::mergeable_json
+#[derive(Default)]
+pub struct MergedMetrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    /// key → window label → merged histogram.
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+    shards: usize,
+}
+
+impl MergedMetrics {
+    /// Creates an empty aggregate.
+    pub fn new() -> MergedMetrics {
+        MergedMetrics::default()
+    }
+
+    /// Number of snapshots merged so far.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Folds one shard's [`MetricsRegistry::mergeable_json`] snapshot
+    /// into the aggregate. When `shard_label` is given, every series is
+    /// *also* kept under a `shard="<label>"`-labeled copy for per-shard
+    /// drill-down. Returns `false` (leaving previously merged shards
+    /// intact) if the snapshot does not have the expected shape.
+    pub fn add_snapshot(&mut self, shard_label: Option<&str>, snap: &JsonValue) -> bool {
+        let (Some(JsonValue::Object(counters)), Some(JsonValue::Object(gauges))) =
+            (snap.get("counters"), snap.get("gauges"))
+        else {
+            return false;
+        };
+        let Some(JsonValue::Object(histograms)) = snap.get("histograms") else {
+            return false;
+        };
+        let extra = shard_label.map(|l| {
+            let escaped: String = l
+                .chars()
+                .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+                .collect();
+            format!("shard=\"{escaped}\"")
+        });
+        for (key, v) in counters {
+            let Some(n) = v.as_u64().or_else(|| v.as_f64().map(|f| f.max(0.0) as u64)) else {
+                continue;
+            };
+            *self.counters.entry(key.clone()).or_default() += n;
+            if let Some(extra) = &extra {
+                let (name, body) = split_key(key);
+                *self
+                    .counters
+                    .entry(render_key(name, body, "", extra))
+                    .or_default() += n;
+            }
+        }
+        for (key, v) in gauges {
+            let Some(n) = v.as_i64() else { continue };
+            *self.gauges.entry(key.clone()).or_default() += n;
+            if let Some(extra) = &extra {
+                let (name, body) = split_key(key);
+                *self
+                    .gauges
+                    .entry(render_key(name, body, "", extra))
+                    .or_default() += n;
+            }
+        }
+        for (key, windows) in histograms {
+            let JsonValue::Object(windows) = windows else {
+                return false;
+            };
+            for (window, hist_json) in windows {
+                let Some(h) = Histogram::from_json(hist_json) else {
+                    return false;
+                };
+                self.histograms
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(window.clone())
+                    .or_default()
+                    .merge(&h);
+                if let Some(extra) = &extra {
+                    let (name, body) = split_key(key);
+                    self.histograms
+                        .entry(render_key(name, body, "", extra))
+                        .or_default()
+                        .entry(window.clone())
+                        .or_default()
+                        .merge(&h);
+                }
+            }
+        }
+        self.shards += 1;
+        true
+    }
+
+    /// Snapshot of the merged series in the same shape as
+    /// [`MetricsRegistry::snapshot_json`] (quantiles computed over the
+    /// merged bucket arrays).
+    pub fn snapshot_json(&self) -> JsonValue {
+        let counters: BTreeMap<String, JsonValue> = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.into()))
+            .collect();
+        let gauges: BTreeMap<String, JsonValue> = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.into()))
+            .collect();
+        let histograms: BTreeMap<String, JsonValue> = self
+            .histograms
+            .iter()
+            .map(|(k, windows)| {
+                let windows: BTreeMap<String, JsonValue> = windows
+                    .iter()
+                    .map(|(label, h)| {
+                        (
+                            label.clone(),
+                            JsonValue::object([
+                                ("count", JsonValue::from(h.count())),
+                                ("sum_us", h.sum_us().into()),
+                                ("mean_us", h.mean_us().into()),
+                                ("min_us", h.min_us().into()),
+                                ("p50_us", h.percentile_us(0.50).into()),
+                                ("p95_us", h.percentile_us(0.95).into()),
+                                ("p99_us", h.percentile_us(0.99).into()),
+                                ("max_us", h.max_us().into()),
+                            ]),
+                        )
+                    })
+                    .collect();
+                (k.clone(), JsonValue::Object(windows))
+            })
+            .collect();
+        JsonValue::object([
+            ("counters", JsonValue::Object(counters)),
+            ("gauges", JsonValue::Object(gauges)),
+            ("histograms", JsonValue::Object(histograms)),
+        ])
+    }
+
+    /// Prometheus text exposition of the merged series, same dialect as
+    /// [`MetricsRegistry::prometheus_text`]. Per-shard series appear as
+    /// ordinary labeled samples (`…,shard="0"`) next to the aggregates.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut last_type_header = String::new();
+        let mut type_header = |out: &mut String, name: &str, kind: &str| {
+            if last_type_header != name {
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last_type_header = name.to_owned();
+            }
+        };
+        for (key, value) in &self.counters {
+            let (name, _) = split_key(key);
+            type_header(&mut out, name, "counter");
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (key, value) in &self.gauges {
+            let (name, _) = split_key(key);
+            type_header(&mut out, name, "gauge");
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (key, windows) in &self.histograms {
+            let (name, body) = split_key(key);
+            type_header(&mut out, name, "summary");
+            for (label, h) in windows {
+                let window_label = format!("window=\"{label}\"");
+                for &(q, qname) in &QUANTILES {
+                    out.push_str(&render_key(
+                        name,
+                        body,
+                        "",
+                        &format!("{window_label},quantile=\"{qname}\""),
+                    ));
+                    out.push(' ');
+                    out.push_str(&h.percentile_us(q).to_string());
+                    out.push('\n');
+                }
+                out.push_str(&render_key(name, body, "_count", &window_label));
+                out.push(' ');
+                out.push_str(&h.count().to_string());
+                out.push('\n');
+                out.push_str(&render_key(name, body, "_sum", &window_label));
                 out.push(' ');
                 out.push_str(&h.sum_us().to_string());
                 out.push('\n');
@@ -894,6 +1180,134 @@ mod tests {
         assert_eq!(cost.lock().cumulative().sum_us(), 2000);
         let frame = reg.histogram("frame_total_us", &[]);
         assert_eq!(frame.lock().cumulative().sum_us(), 4000);
+    }
+
+    #[test]
+    fn mergeable_json_round_trips_through_merged_metrics() {
+        // Two "shards" fold disjoint traffic; merging their mergeable
+        // snapshots must equal folding everything into one registry.
+        let shard0 = MetricsRegistry::new();
+        let shard1 = MetricsRegistry::new();
+        let combined = MetricsRegistry::new();
+        for (reg, cmd_us) in [(&shard0, 100u64), (&shard1, 900u64)] {
+            for i in 0..5u64 {
+                reg.add(
+                    "renderd_requests_total",
+                    &[("cmd", "render"), ("code", "ok")],
+                    1,
+                );
+                combined.add(
+                    "renderd_requests_total",
+                    &[("cmd", "render"), ("code", "ok")],
+                    1,
+                );
+                reg.observe_at("renderd_request_us", &[("cmd", "render")], SEC, cmd_us + i);
+                combined.observe_at("renderd_request_us", &[("cmd", "render")], SEC, cmd_us + i);
+            }
+        }
+        shard0.gauge_set("renderd_connections", &[], 3);
+        shard1.gauge_set("renderd_connections", &[], 4);
+
+        let mut merged = MergedMetrics::new();
+        assert!(merged.add_snapshot(Some("0"), &shard0.mergeable_json(SEC)));
+        assert!(merged.add_snapshot(Some("1"), &shard1.mergeable_json(SEC)));
+        assert_eq!(merged.shard_count(), 2);
+
+        let snap = merged.snapshot_json();
+        let counters = snap.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("renderd_requests_total{cmd=\"render\",code=\"ok\"}")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+        assert_eq!(
+            counters
+                .get("renderd_requests_total{cmd=\"render\",code=\"ok\",shard=\"1\"}")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            snap.get("gauges")
+                .unwrap()
+                .get("renderd_connections")
+                .unwrap()
+                .as_i64(),
+            Some(7)
+        );
+
+        // Merged histogram quantiles equal those of the combined registry
+        // (bucket-level merge is lossless on the shared grid).
+        let combined_snap = combined.snapshot_json(SEC + 1);
+        let merged_hist = snap
+            .get("histograms")
+            .unwrap()
+            .get("renderd_request_us{cmd=\"render\"}")
+            .unwrap();
+        let combined_hist = combined_snap
+            .get("histograms")
+            .unwrap()
+            .get("renderd_request_us{cmd=\"render\"}")
+            .unwrap();
+        for field in ["count", "sum_us", "min_us", "max_us", "p50_us", "p99_us"] {
+            assert_eq!(
+                merged_hist
+                    .get("total")
+                    .unwrap()
+                    .get(field)
+                    .unwrap()
+                    .as_u64(),
+                combined_hist
+                    .get("total")
+                    .unwrap()
+                    .get(field)
+                    .unwrap()
+                    .as_u64(),
+                "field {field}"
+            );
+        }
+
+        // Prometheus text carries both aggregate and per-shard samples.
+        let text = merged.prometheus_text();
+        assert!(text.contains("renderd_requests_total{cmd=\"render\",code=\"ok\"} 10"));
+        assert!(text.contains("renderd_requests_total{cmd=\"render\",code=\"ok\",shard=\"0\"} 5"));
+        assert!(text.contains("# TYPE renderd_request_us summary"));
+        assert!(text.contains("renderd_request_us_count{cmd=\"render\",window=\"total\"} 10"));
+        assert!(text
+            .contains("renderd_request_us_count{cmd=\"render\",shard=\"1\",window=\"total\"} 5"));
+    }
+
+    #[test]
+    fn merged_metrics_survives_text_round_trip() {
+        // The router parses snapshots off the wire; make sure shape
+        // survives serialize → parse → merge.
+        let reg = MetricsRegistry::new();
+        reg.add("c_total", &[("k", "v")], 3);
+        reg.observe_at("h_us", &[], SEC, 500);
+        let text = reg.mergeable_json(SEC).to_string();
+        let parsed = crate::json::parse(&text).unwrap();
+        let mut merged = MergedMetrics::new();
+        assert!(merged.add_snapshot(None, &parsed));
+        assert_eq!(
+            merged
+                .snapshot_json()
+                .get("counters")
+                .unwrap()
+                .get("c_total{k=\"v\"}")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn merged_metrics_rejects_malformed_snapshots() {
+        let mut merged = MergedMetrics::new();
+        assert!(!merged.add_snapshot(None, &JsonValue::Null));
+        assert!(!merged.add_snapshot(None, &crate::json::parse(r#"{"counters":{}}"#).unwrap()));
+        assert_eq!(merged.shard_count(), 0);
     }
 
     #[test]

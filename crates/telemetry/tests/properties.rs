@@ -97,8 +97,9 @@ proptest! {
 
 proptest! {
     /// Percentiles are monotone in q, bracketed by min/max, and the
-    /// relative overestimate of any quantile is bounded by the bucket
-    /// ratio (2^(1/4)) plus integer-ceil slack on tiny values.
+    /// relative error of any quantile (two-sided, since values are
+    /// interpolated within their bucket) is bounded by the bucket ratio
+    /// (2^(1/4)) plus integer-ceil slack on tiny values.
     #[test]
     fn percentiles_are_ordered_and_bounded(
         samples in proptest::collection::vec(0u64..10_000_000, 1..200),
@@ -121,10 +122,11 @@ proptest! {
         prop_assert!(s.p50_us <= s.p90_us);
         prop_assert!(s.p90_us <= s.p99_us);
 
-        // Against the exact quantile of the raw samples: the histogram
-        // answer is the containing bucket's upper bound, so it may only
-        // overestimate, and by at most one bucket ratio (with +2µs slack
-        // for ceil-rounded tiny buckets).
+        // Against the exact quantile of the raw samples: the interpolated
+        // answer lands inside the bucket containing the exact rank value,
+        // so the error is two-sided but bounded by one bucket ratio
+        // (2^(1/4)) in either direction, with +2µs slack for ceil-rounded
+        // tiny buckets.
         let mut sorted = samples.clone();
         sorted.sort_unstable();
         let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
@@ -133,7 +135,10 @@ proptest! {
             p as f64 <= (exact as f64) * 2f64.powf(0.25) + 2.0,
             "p={} overestimates exact={} beyond one bucket", p, exact
         );
-        prop_assert!(p >= exact.min(max), "p={} underestimates exact={}", p, exact);
+        prop_assert!(
+            p as f64 + 2.0 >= (exact as f64) / 2f64.powf(0.25),
+            "p={} underestimates exact={} beyond one bucket", p, exact
+        );
     }
 
     /// Any record with arbitrary field strings/numbers encodes to a single
