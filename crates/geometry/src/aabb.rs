@@ -189,6 +189,15 @@ impl Aabb {
         Some((t0, t1))
     }
 
+    /// Squared Euclidean distance from `p` to the closest point of the box
+    /// (0 when `p` is inside). Used by the point-query kernels to reject
+    /// whole subtrees against a search radius without visiting them.
+    #[inline]
+    pub fn distance_squared_to_point(&self, p: Vec3) -> f32 {
+        let nearest = p.max(self.min).min(self.max);
+        (p - nearest).length_squared()
+    }
+
     /// Grows the box by `margin` in all directions.
     #[inline]
     pub fn expanded(&self, margin: f32) -> Aabb {

@@ -93,6 +93,77 @@ impl Triangle {
     pub fn is_degenerate(&self) -> bool {
         self.area() < 1e-12
     }
+
+    /// Closest point on the (closed) triangle to `p`, after Ericson,
+    /// *Real-Time Collision Detection* §5.1.5: classify `p` against the
+    /// vertex/edge/face Voronoi regions from barycentric by-products, so
+    /// no division happens until the region is known. Degenerate (zero
+    /// area) triangles degenerate gracefully to their edges/vertices.
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        let ab = self.b - self.a;
+        let ac = self.c - self.a;
+        let ap = p - self.a;
+        let d1 = ab.dot(ap);
+        let d2 = ac.dot(ap);
+        if d1 <= 0.0 && d2 <= 0.0 {
+            return self.a; // vertex region A
+        }
+        let bp = p - self.b;
+        let d3 = ab.dot(bp);
+        let d4 = ac.dot(bp);
+        if d3 >= 0.0 && d4 <= d3 {
+            return self.b; // vertex region B
+        }
+        let vc = d1 * d4 - d3 * d2;
+        if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+            let v = d1 / (d1 - d3);
+            return self.a + ab * v; // edge region AB
+        }
+        let cp = p - self.c;
+        let d5 = ab.dot(cp);
+        let d6 = ac.dot(cp);
+        if d6 >= 0.0 && d5 <= d6 {
+            return self.c; // vertex region C
+        }
+        let vb = d5 * d2 - d1 * d6;
+        if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+            let w = d2 / (d2 - d6);
+            return self.a + ac * w; // edge region AC
+        }
+        let va = d3 * d6 - d5 * d4;
+        if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+            let w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+            return self.b + (self.c - self.b) * w; // edge region BC
+        }
+        // Face region: project onto the plane via barycentrics.
+        let denom = va + vb + vc;
+        if denom.abs() < 1e-30 {
+            // Fully degenerate triangle whose region tests all failed
+            // (can only happen with NaN-free but collapsed geometry):
+            // fall back to the nearest vertex.
+            let da = (p - self.a).length_squared();
+            let db = (p - self.b).length_squared();
+            let dc = (p - self.c).length_squared();
+            return if da <= db && da <= dc {
+                self.a
+            } else if db <= dc {
+                self.b
+            } else {
+                self.c
+            };
+        }
+        let v = vb / denom;
+        let w = vc / denom;
+        self.a + ab * v + ac * w
+    }
+
+    /// Squared Euclidean distance from `p` to the closest point on the
+    /// triangle. The primitive under the k-NN and radius-gather kernels,
+    /// which compare squared distances throughout to avoid square roots.
+    #[inline]
+    pub fn distance_squared(&self, p: Vec3) -> f32 {
+        (p - self.closest_point(p)).length_squared()
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +246,38 @@ mod tests {
         assert!(t.intersect(&ray, 0.0, f32::INFINITY).is_none());
     }
 
+    #[test]
+    fn closest_point_regions() {
+        let t = unit_tri();
+        // Face region: directly above an interior point.
+        let p = Vec3::new(0.25, 0.25, 3.0);
+        assert!((t.closest_point(p) - Vec3::new(0.25, 0.25, 0.0)).length() < 1e-6);
+        assert!((t.distance_squared(p) - 9.0).abs() < 1e-5);
+        // Vertex regions.
+        assert_eq!(t.closest_point(Vec3::new(-1.0, -1.0, 0.0)), t.a);
+        assert_eq!(t.closest_point(Vec3::new(3.0, -1.0, 0.0)), t.b);
+        assert_eq!(t.closest_point(Vec3::new(-1.0, 3.0, 0.0)), t.c);
+        // Edge AB region: below the hypotenuse-free edge y=0.
+        let q = t.closest_point(Vec3::new(0.5, -2.0, 0.0));
+        assert!((q - Vec3::new(0.5, 0.0, 0.0)).length() < 1e-6);
+        // A point on the triangle is its own closest point.
+        let on = Vec3::new(0.2, 0.3, 0.0);
+        assert!((t.closest_point(on) - on).length() < 1e-6);
+        assert_eq!(t.distance_squared(on), 0.0);
+    }
+
+    #[test]
+    fn closest_point_degenerate_triangle() {
+        // Collapsed to a segment along X: behaves like the segment.
+        let t = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::new(2.0, 0.0, 0.0));
+        let q = t.closest_point(Vec3::new(1.5, 2.0, 0.0));
+        assert!((q - Vec3::new(1.5, 0.0, 0.0)).length() < 1e-5);
+        // Collapsed to a point.
+        let t = Triangle::new(Vec3::ONE, Vec3::ONE, Vec3::ONE);
+        assert_eq!(t.closest_point(Vec3::new(5.0, 1.0, 1.0)), Vec3::ONE);
+        assert!((t.distance_squared(Vec3::new(5.0, 1.0, 1.0)) - 16.0).abs() < 1e-4);
+    }
+
     fn arb_vec(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
         (range.clone(), range.clone(), range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
     }
@@ -210,6 +313,34 @@ mod tests {
             let p = ray.at(hit.t);
             let slack = 1e-3 * (1.0 + p.length());
             prop_assert!(tri.bounds().expanded(slack).contains_point(p));
+        }
+
+        /// The closest point must (a) lie on the triangle (reconstructible
+        /// from clamped barycentrics), and (b) beat or match a dense
+        /// sampling of the triangle's surface.
+        #[test]
+        fn closest_point_beats_surface_samples(
+            a in arb_vec(-5.0..5.0),
+            b in arb_vec(-5.0..5.0),
+            c in arb_vec(-5.0..5.0),
+            p in arb_vec(-10.0..10.0),
+        ) {
+            let tri = Triangle::new(a, b, c);
+            let d2 = tri.distance_squared(p);
+            let steps = 12;
+            for i in 0..=steps {
+                for j in 0..=(steps - i) {
+                    let u = i as f32 / steps as f32;
+                    let v = j as f32 / steps as f32;
+                    let q = a * (1.0 - u - v) + b * u + c * v;
+                    let sample = (p - q).length_squared();
+                    // The sampled point can only be farther (up to fp slack).
+                    prop_assert!(
+                        d2 <= sample + 1e-3 * (1.0 + sample),
+                        "closest {} beaten by sample {}", d2, sample
+                    );
+                }
+            }
         }
 
         /// Barycentrics returned by the intersector reconstruct the hit

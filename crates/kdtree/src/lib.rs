@@ -39,6 +39,7 @@ mod binned;
 pub mod build;
 pub mod io;
 mod lazy_tree;
+mod point_query;
 mod query;
 mod sah;
 pub mod scan;
@@ -52,6 +53,7 @@ mod validate;
 pub use binned::best_split_binned;
 pub use build::{build, build_median, build_sorted_events, Algorithm, BuildParams, SplitMethod};
 pub use lazy_tree::LazyKdTree;
+pub use point_query::{brute_force_knn, brute_force_radius, Neighbor};
 pub use query::{BuiltTree, RayQuery};
 pub use sah::SahParams;
 pub use split::{

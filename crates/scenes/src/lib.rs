@@ -32,6 +32,7 @@
 mod animation;
 mod bunny;
 mod fairy_forest;
+mod point_sets;
 pub mod primitives;
 mod registry;
 mod sibenik;
@@ -43,6 +44,7 @@ mod wood_doll;
 pub use animation::{Scene, SceneKind};
 pub use bunny::bunny;
 pub use fairy_forest::fairy_forest;
+pub use point_sets::{sample_points, PointSampler};
 pub use registry::{all_scenes, by_name, dynamic_scenes, static_scenes, SCENE_NAMES};
 pub use sibenik::sibenik;
 pub use sponza::sponza;

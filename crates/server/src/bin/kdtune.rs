@@ -320,6 +320,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         ("queued_us", "queue"),
         ("build_us", "build"),
         ("render_us", "render"),
+        ("query_us", "query"),
         ("tune_us", "tune"),
         ("serialize_us", "serialize"),
         ("duration_us", "handle"),
@@ -393,6 +394,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                     ("queue_us", "queue"),
                     ("build_us", "build"),
                     ("render_us", "render"),
+                    ("query_us", "query"),
                     ("tune_us", "tune"),
                     ("serialize_us", "serialize"),
                 ] {

@@ -127,6 +127,11 @@ OPTIONS:
     --frames N           frame indices cycled per scene [default: 2]
     --tune-every N       every n-th request is a tune_step; 0 disables [default: 4]
     --tune-steps N       tuner steps per tune_step request [default: 2]
+    --mix R:Q            mixed workload: out of every R+Q requests, Q are
+                         point-query batches (cmd=query, server-default batch
+                         shape) instead of renders; the report and summary
+                         break goodput and latency out per workload
+                         (e.g. --mix 3:1 for 25% queries)
     --curve A,B,...      connection-scaling mode: run the workload once per
                          connection count (e.g. 4,16,64,256,1024) against the
                          same server and report a connections-vs-throughput/
@@ -275,6 +280,23 @@ pub fn loadgen(args: &[String]) -> Result<(), String> {
     options.frames = take_parsed(&mut args, "--frames", options.frames)?;
     options.tune_every = take_parsed(&mut args, "--tune-every", options.tune_every)?;
     options.tune_steps = take_parsed(&mut args, "--tune-steps", options.tune_steps)?;
+    if let Some(raw) = take_value(&mut args, "--mix")? {
+        let (render, query) = raw
+            .split_once(':')
+            .ok_or_else(|| format!("--mix: expected RENDER:QUERY, got {raw:?}"))?;
+        let render: usize = render
+            .trim()
+            .parse()
+            .map_err(|_| format!("--mix: cannot parse render share {render:?}"))?;
+        let query: usize = query
+            .trim()
+            .parse()
+            .map_err(|_| format!("--mix: cannot parse query share {query:?}"))?;
+        if render + query == 0 {
+            return Err("--mix: ratio must have a nonzero side".into());
+        }
+        options.mix = Some((render, query));
+    }
     options.per_conn_floor = take_parsed(&mut args, "--per-conn-floor", options.per_conn_floor)?;
     options.shutdown_after |= take_flag(&mut args, "--shutdown");
     options.expect_router = take_flag(&mut args, "--router");

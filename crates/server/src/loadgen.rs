@@ -46,6 +46,11 @@ pub struct LoadgenOptions {
     pub tune_every: usize,
     /// Steps per `tune_step` request.
     pub tune_steps: usize,
+    /// Mixed-workload ratio as `(render, query)`: out of every
+    /// `render + query` requests, the last `query` are point-query
+    /// batches instead of renders. `None` keeps the pure render/tune
+    /// workload.
+    pub mix: Option<(usize, usize)>,
     /// Minimum requests per connection at each curve point. Without a
     /// floor, high-connection points degenerate into a connect burst
     /// (2 requests per client) whose wall clock measures shed latency,
@@ -77,6 +82,7 @@ impl LoadgenOptions {
             frames: 2,
             tune_every: 4,
             tune_steps: 2,
+            mix: None,
             per_conn_floor: 2,
             shutdown_after: false,
             out: Some(PathBuf::from("results/BENCH_server.json")),
@@ -156,8 +162,44 @@ pub struct LoadgenReport {
     /// histogram separates service time from network and protocol
     /// overhead.
     pub server_stages: BTreeMap<String, Histogram>,
+    /// Per-workload breakdown keyed by command name (`render`,
+    /// `tune_step`, `query`): under a `--mix` run the aggregate latency
+    /// quantiles blend two very different service times, so comparisons
+    /// must be made within a workload, not across the blend.
+    pub per_workload: BTreeMap<String, WorkloadStats>,
     /// First few non-busy error messages, for diagnostics.
     pub first_errors: Vec<String>,
+}
+
+/// One workload's slice of a (possibly mixed) run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadStats {
+    /// Requests of this workload sent.
+    pub sent: u64,
+    /// `ok:true` responses.
+    pub ok: u64,
+    /// Structured `busy` rejections.
+    pub busy: u64,
+    /// Other `ok:false` responses.
+    pub errors: u64,
+    /// `ok:true` responses per second over the run's request phase.
+    pub goodput_rps: f64,
+    /// Latency quantiles for this workload only, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+}
+
+#[derive(Default)]
+struct WorkloadOutcome {
+    histogram: Histogram,
+    ok: u64,
+    busy: u64,
+    errors: u64,
 }
 
 struct ConnOutcome {
@@ -167,6 +209,7 @@ struct ConnOutcome {
     errors: u64,
     trace_mismatches: u64,
     server_stages: BTreeMap<String, Histogram>,
+    per_workload: BTreeMap<String, WorkloadOutcome>,
     first_errors: Vec<String>,
     /// Request-phase wall time for this connection (connect and barrier
     /// excluded), so the run's throughput is not polluted by the connect
@@ -182,6 +225,11 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     }
     if options.scenes.is_empty() {
         return Err("need at least one scene".into());
+    }
+    if let Some((render, query)) = options.mix {
+        if render + query == 0 {
+            return Err("--mix needs a nonzero render:query ratio".into());
+        }
     }
     let started = Instant::now();
     // All connections are established before any request is sent: the
@@ -205,6 +253,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
         );
     }
     let mut histogram = Histogram::new();
+    let mut workloads: BTreeMap<String, WorkloadOutcome> = BTreeMap::new();
     let mut report = LoadgenReport::default();
     let mut request_phase_secs: f64 = 0.0;
     for handle in handles {
@@ -223,6 +272,13 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
                 .entry(stage)
                 .or_insert_with(Histogram::new)
                 .merge(&h);
+        }
+        for (workload, w) in outcome.per_workload {
+            let merged = workloads.entry(workload).or_default();
+            merged.histogram.merge(&w.histogram);
+            merged.ok += w.ok;
+            merged.busy += w.busy;
+            merged.errors += w.errors;
         }
         for msg in outcome.first_errors {
             if report.first_errors.len() < 5 {
@@ -258,6 +314,26 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadgenReport, String> {
     report.mean_us = histogram.mean_us();
     report.min_us = histogram.min_us();
     report.max_us = histogram.max_us();
+    for (workload, w) in workloads {
+        report.per_workload.insert(
+            workload,
+            WorkloadStats {
+                sent: w.histogram.count(),
+                ok: w.ok,
+                busy: w.busy,
+                errors: w.errors,
+                goodput_rps: if report.elapsed_secs > 0.0 {
+                    w.ok as f64 / report.elapsed_secs
+                } else {
+                    0.0
+                },
+                p50_us: w.histogram.percentile_us(0.50),
+                p95_us: w.histogram.percentile_us(0.95),
+                p99_us: w.histogram.percentile_us(0.99),
+                mean_us: w.histogram.mean_us(),
+            },
+        );
+    }
 
     // One control connection for the final stats snapshot (and shutdown).
     let mut control = Client::connect(&options.addr)?;
@@ -393,6 +469,7 @@ fn drive_connection(
         errors: 0,
         trace_mismatches: 0,
         server_stages: BTreeMap::new(),
+        per_workload: BTreeMap::new(),
         first_errors: Vec::new(),
         elapsed_secs: 0.0,
     };
@@ -400,8 +477,28 @@ fn drive_connection(
         let id = (conn as i64) * 1_000_000 + i as i64;
         let trace_tag = format!("c{conn}-{i}");
         let scene = &options.scenes[(conn + i) % options.scenes.len()];
-        let tune = options.tune_every > 0 && (i + 1) % options.tune_every == 0;
-        let request = if tune {
+        // With `--mix R:Q`, the last Q slots of every R+Q-request cycle
+        // are point-query batches; tune steps only replace render slots,
+        // so the query share of traffic is exactly Q/(R+Q).
+        let query = options
+            .mix
+            .map(|(render, q)| i % (render + q) >= render)
+            .unwrap_or(false);
+        let tune = !query && options.tune_every > 0 && (i + 1) % options.tune_every == 0;
+        let request = if query {
+            JsonValue::object([
+                ("id", JsonValue::from(id)),
+                ("cmd", "query".into()),
+                ("trace", trace_tag.as_str().into()),
+                ("scene", scene.as_str().into()),
+                ("scale", options.scale.as_str().into()),
+                ("algo", options.algo.as_str().into()),
+                // Batch shape stays at the server defaults (photon_gather,
+                // 256 points, k=8, r=50‰); the seed varies per request so
+                // successive batches gather around different points.
+                ("seed", id.into()),
+            ])
+        } else if tune {
             JsonValue::object([
                 ("id", JsonValue::from(id)),
                 ("cmd", "tune_step".into()),
@@ -432,11 +529,22 @@ fn drive_connection(
                 ("frame", frame.into()),
             ])
         };
+        let workload = if query {
+            "query"
+        } else if tune {
+            "tune_step"
+        } else {
+            "render"
+        };
         let sent = Instant::now();
         let response = client.roundtrip(&request)?;
-        outcome
-            .histogram
-            .record_us(sent.elapsed().as_micros() as u64);
+        let latency_us = sent.elapsed().as_micros() as u64;
+        outcome.histogram.record_us(latency_us);
+        let per_workload = outcome
+            .per_workload
+            .entry(workload.to_string())
+            .or_default();
+        per_workload.histogram.record_us(latency_us);
         // Every response (success or structured error) must echo the
         // trace tag we stamped on the request.
         if response.get("trace").and_then(JsonValue::as_str) != Some(&trace_tag) {
@@ -455,7 +563,10 @@ fn drive_connection(
             }
         }
         match response.get("ok").and_then(JsonValue::as_bool) {
-            Some(true) => outcome.ok += 1,
+            Some(true) => {
+                outcome.ok += 1;
+                per_workload.ok += 1;
+            }
             _ => {
                 let code = response
                     .get("error")
@@ -463,8 +574,10 @@ fn drive_connection(
                     .unwrap_or("?");
                 if code == "busy" {
                     outcome.busy += 1;
+                    per_workload.busy += 1;
                 } else {
                     outcome.errors += 1;
+                    per_workload.errors += 1;
                     if outcome.first_errors.len() < 5 {
                         let message = response
                             .get("message")
@@ -550,6 +663,13 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
                 ("frames", options.frames.into()),
                 ("tune_every", options.tune_every.into()),
                 ("tune_steps", options.tune_steps.into()),
+                (
+                    "mix",
+                    match options.mix {
+                        Some((render, query)) => format!("{render}:{query}").into(),
+                        None => JsonValue::Null,
+                    },
+                ),
             ]),
         ),
         ("sent", report.sent.into()),
@@ -589,6 +709,36 @@ pub fn report_json(report: &LoadgenReport, options: &LoadgenOptions) -> JsonValu
                                 ("p99", h.percentile_us(0.99).into()),
                                 ("mean", h.mean_us().into()),
                                 ("max", h.max_us().into()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "per_workload",
+            JsonValue::Object(
+                report
+                    .per_workload
+                    .iter()
+                    .map(|(workload, w)| {
+                        (
+                            workload.clone(),
+                            JsonValue::object([
+                                ("sent", JsonValue::from(w.sent)),
+                                ("ok", w.ok.into()),
+                                ("busy", w.busy.into()),
+                                ("errors", w.errors.into()),
+                                ("goodput_rps", w.goodput_rps.into()),
+                                (
+                                    "latency_us",
+                                    JsonValue::object([
+                                        ("p50", JsonValue::from(w.p50_us)),
+                                        ("p95", w.p95_us.into()),
+                                        ("p99", w.p99_us.into()),
+                                        ("mean", w.mean_us.into()),
+                                    ]),
+                                ),
                             ]),
                         )
                     })
@@ -722,6 +872,19 @@ pub fn format_summary(report: &LoadgenReport) -> String {
         report.cache_misses,
         report.sessions,
     );
+    if !report.per_workload.is_empty() {
+        out.push_str("\nper workload:");
+        for (workload, w) in &report.per_workload {
+            out.push_str(&format!(
+                "  {} {} ok ({:.1} ok/s, p50 {:.2}ms p95 {:.2}ms)",
+                workload,
+                w.ok,
+                w.goodput_rps,
+                w.p50_us as f64 / 1e3,
+                w.p95_us as f64 / 1e3,
+            ));
+        }
+    }
     if report.router {
         out.push_str("\nrouter shards:");
         for (index, state, forwarded) in &report.router_shards {

@@ -5,8 +5,9 @@
 //! ```json
 //! {"id":1,"cmd":"render","scene":"bunny","scale":"tiny","algo":"in_place","res":64,"frame":0}
 //! {"id":2,"cmd":"tune_step","scene":"bunny","scale":"tiny","steps":2}
-//! {"id":3,"cmd":"stats"}
-//! {"id":4,"cmd":"shutdown"}
+//! {"id":3,"cmd":"query","scene":"bunny","sampler":"photon_gather","batch":256,"k":8,"seed":0}
+//! {"id":4,"cmd":"stats"}
+//! {"id":5,"cmd":"shutdown"}
 //! ```
 //!
 //! Responses are `{"id":N,"ok":true,"result":{...}}` on success and
@@ -16,6 +17,7 @@
 //! on, not a fault.
 
 use kdtune::Algorithm;
+use kdtune_scenes::PointSampler;
 use kdtune_telemetry::json::JsonValue;
 
 /// Upper bound on a single request line; longer lines are rejected
@@ -24,6 +26,59 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Scene scales the service accepts (mirrors `SceneParams` presets).
 pub const SCALES: [&str; 3] = ["quick", "tiny", "paper"];
+
+/// The shape of a point-query batch: which point distribution the
+/// session queries with and the per-query parameters. Part of the
+/// session identity — different shapes stress the tree differently and
+/// therefore tune separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryShape {
+    /// Point distribution queried (photon-gather vs particle cloud).
+    pub sampler: PointSampler,
+    /// Points per batch (wire `batch`, clamped to 1..=65536).
+    pub batch: u32,
+    /// Neighbors per k-NN query (wire `k`, clamped to 1..=128).
+    pub k: u32,
+    /// Gather radius in per-mille of the scene's bounding-box diagonal
+    /// (wire `radius_pm`, clamped to 0..=1000). Stored as an integer so
+    /// the spec stays `Eq + Hash`.
+    pub radius_pm: u32,
+}
+
+impl Default for QueryShape {
+    fn default() -> QueryShape {
+        QueryShape {
+            sampler: PointSampler::PhotonGather,
+            batch: 256,
+            k: 8,
+            radius_pm: 50,
+        }
+    }
+}
+
+/// Which workload a session serves — and therefore which cost function
+/// its tuner minimizes. Render sessions tune build parameters on frame
+/// time; query sessions tune the same parameters on point-query batch
+/// latency. The best tree for rays is not the best tree for neighbor
+/// gathers, so the two must never share tuner state, cached trees, or
+/// warm-start store entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Ray-traced frames (`render` / `tune_step` requests).
+    Render,
+    /// k-NN + radius-gather batches (`query` requests).
+    Query(QueryShape),
+}
+
+impl Workload {
+    /// Wire/store spelling of the workload axis.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Render => "render",
+            Workload::Query(_) => "query",
+        }
+    }
+}
 
 /// Everything that identifies a tuning session. Two requests with equal
 /// specs share one pipeline, one tuner, and one telemetry stream.
@@ -42,6 +97,9 @@ pub struct SessionSpec {
     /// the legacy boolean `packets` is still accepted as an alias for
     /// width 4.
     pub packet_width: u32,
+    /// Which workload the session serves (render frames or point-query
+    /// batches). Sessions with different workloads never share state.
+    pub workload: Workload,
 }
 
 impl SessionSpec {
@@ -49,19 +107,36 @@ impl SessionSpec {
     pub const PACKET_WIDTHS: [u32; 4] = [1, 4, 8, 16];
 
     /// Stable string key for maps and telemetry.
+    ///
+    /// Render ids keep their historical shape. Query ids fold in the
+    /// batch shape instead of res/packet width (which query work never
+    /// uses), so distinct query workloads spread independently across a
+    /// router's hash ring.
     pub fn id(&self) -> String {
-        format!(
-            "{}@{}/{}/{}{}",
-            self.scene,
-            self.scale,
-            self.algo.name(),
-            self.res,
-            if self.packet_width > 1 {
-                format!("/w{}", self.packet_width)
-            } else {
-                String::new()
-            }
-        )
+        match self.workload {
+            Workload::Render => format!(
+                "{}@{}/{}/{}{}",
+                self.scene,
+                self.scale,
+                self.algo.name(),
+                self.res,
+                if self.packet_width > 1 {
+                    format!("/w{}", self.packet_width)
+                } else {
+                    String::new()
+                }
+            ),
+            Workload::Query(shape) => format!(
+                "{}@{}/{}/query/{}/b{}k{}r{}",
+                self.scene,
+                self.scale,
+                self.algo.name(),
+                shape.sampler.name(),
+                shape.batch,
+                shape.k,
+                shape.radius_pm,
+            ),
+        }
     }
 }
 
@@ -81,6 +156,17 @@ pub enum Command {
         spec: SessionSpec,
         /// Maximum tuner steps to run (clamped to 1..=256).
         steps: usize,
+    },
+    /// Run one k-NN + radius-gather batch with the query session's
+    /// current best build config. Doubles as the query tuner's
+    /// measurement when the session is still converging.
+    Query {
+        /// Session the batch belongs to (`spec.workload` is
+        /// `Workload::Query`).
+        spec: SessionSpec,
+        /// Decorrelates the point batch between requests, the way
+        /// `frame` varies render requests.
+        seed: u64,
     },
     /// Snapshot server counters, cache stats, live metrics windows, and
     /// per-session tuner state.
@@ -165,10 +251,34 @@ pub fn parse_request(line: &str) -> Result<Request, (i64, ErrorCode, String)> {
             spec: parse_spec(&value).map_err(&fail)?,
             frame: non_negative(&value, "frame", 0).map_err(&fail)? as usize,
         },
-        "tune_step" => Command::TuneStep {
-            spec: parse_spec(&value).map_err(&fail)?,
-            steps: (non_negative(&value, "steps", 1).map_err(&fail)? as usize).clamp(1, 256),
-        },
+        "tune_step" => {
+            let mut spec = parse_spec(&value).map_err(&fail)?;
+            // `workload:"query"` steps a query session's tuner; the
+            // default tunes render frame time as always.
+            match value.get("workload").and_then(JsonValue::as_str) {
+                None | Some("render") => {}
+                Some("query") => {
+                    spec.workload = Workload::Query(parse_query_shape(&value).map_err(&fail)?);
+                }
+                Some(other) => {
+                    return Err(fail(format!(
+                        "unknown workload {other:?} (expected \"render\" or \"query\")"
+                    )))
+                }
+            }
+            Command::TuneStep {
+                spec,
+                steps: (non_negative(&value, "steps", 1).map_err(&fail)? as usize).clamp(1, 256),
+            }
+        }
+        "query" => {
+            let mut spec = parse_spec(&value).map_err(&fail)?;
+            spec.workload = Workload::Query(parse_query_shape(&value).map_err(&fail)?);
+            Command::Query {
+                spec,
+                seed: non_negative(&value, "seed", 0).map_err(&fail)? as u64,
+            }
+        }
         "stats" => Command::Stats,
         "metrics" => {
             let mergeable = match value.get("format").and_then(JsonValue::as_str) {
@@ -248,6 +358,28 @@ fn parse_spec(value: &JsonValue) -> Result<SessionSpec, String> {
         algo,
         res,
         packet_width,
+        workload: Workload::Render,
+    })
+}
+
+fn parse_query_shape(value: &JsonValue) -> Result<QueryShape, String> {
+    let defaults = QueryShape::default();
+    let sampler = match value.get("sampler").and_then(JsonValue::as_str) {
+        None => defaults.sampler,
+        Some(name) => PointSampler::from_name(name).ok_or_else(|| {
+            let names: Vec<&str> = PointSampler::ALL.iter().map(|s| s.name()).collect();
+            format!("unknown sampler {name:?} (expected one of {names:?})")
+        })?,
+    };
+    let batch = non_negative(value, "batch", defaults.batch as i64)?.clamp(1, 65536) as u32;
+    let k = non_negative(value, "k", defaults.k as i64)?.clamp(1, 128) as u32;
+    let radius_pm =
+        non_negative(value, "radius_pm", defaults.radius_pm as i64)?.clamp(0, 1000) as u32;
+    Ok(QueryShape {
+        sampler,
+        batch,
+        k,
+        radius_pm,
     })
 }
 
@@ -480,6 +612,7 @@ mod tests {
             algo: Algorithm::InPlace,
             res: 64,
             packet_width: 1,
+            workload: Workload::Render,
         };
         let mut ids = std::collections::HashSet::new();
         ids.insert(base.id());
@@ -526,6 +659,102 @@ mod tests {
             .id(),
         );
         assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn parses_query_with_defaults_and_overrides() {
+        let req = parse_request(r#"{"id":4,"cmd":"query","scene":"bunny"}"#).unwrap();
+        match req.cmd {
+            Command::Query { spec, seed } => {
+                assert_eq!(spec.scene, "bunny");
+                assert_eq!(seed, 0);
+                assert_eq!(spec.workload, Workload::Query(QueryShape::default()));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+
+        let req = parse_request(
+            r#"{"id":5,"cmd":"query","scene":"sponza","scale":"tiny","algo":"nested","sampler":"particle_neighborhood","batch":100000,"k":500,"radius_pm":2000,"seed":9}"#,
+        )
+        .unwrap();
+        match req.cmd {
+            Command::Query { spec, seed } => {
+                assert_eq!(spec.algo, Algorithm::Nested);
+                assert_eq!(seed, 9);
+                let Workload::Query(shape) = spec.workload else {
+                    panic!("query request must carry a query workload");
+                };
+                assert_eq!(shape.sampler, PointSampler::ParticleNeighborhood);
+                assert_eq!(shape.batch, 65536, "batch clamps");
+                assert_eq!(shape.k, 128, "k clamps");
+                assert_eq!(shape.radius_pm, 1000, "radius_pm clamps");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+
+        let (_, code, msg) =
+            parse_request(r#"{"cmd":"query","scene":"bunny","sampler":"voxel"}"#).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(msg.contains("sampler"), "{msg}");
+    }
+
+    #[test]
+    fn query_session_ids_fold_in_the_batch_shape() {
+        let shape = QueryShape::default();
+        let base = SessionSpec {
+            scene: "bunny".into(),
+            scale: "tiny".into(),
+            algo: Algorithm::InPlace,
+            res: 64,
+            packet_width: 1,
+            workload: Workload::Query(shape),
+        };
+        assert_eq!(
+            base.id(),
+            "bunny@tiny/in_place/query/photon_gather/b256k8r50"
+        );
+        let mut ids = std::collections::HashSet::new();
+        ids.insert(base.id());
+        ids.insert(
+            SessionSpec {
+                workload: Workload::Render,
+                ..base.clone()
+            }
+            .id(),
+        );
+        for workload in [
+            Workload::Query(QueryShape {
+                sampler: PointSampler::ParticleNeighborhood,
+                ..shape
+            }),
+            Workload::Query(QueryShape {
+                batch: 512,
+                ..shape
+            }),
+            Workload::Query(QueryShape { k: 16, ..shape }),
+            Workload::Query(QueryShape {
+                radius_pm: 100,
+                ..shape
+            }),
+        ] {
+            ids.insert(
+                SessionSpec {
+                    workload,
+                    ..base.clone()
+                }
+                .id(),
+            );
+        }
+        // Res / packet width do not affect query identity.
+        ids.insert(
+            SessionSpec {
+                res: 128,
+                packet_width: 8,
+                ..base.clone()
+            }
+            .id(),
+        );
+        assert_eq!(ids.len(), 6, "{ids:?}");
     }
 
     #[test]

@@ -803,6 +803,11 @@ fn upstream_line(rid: u64, req: &Request) -> String {
             push_spec(&mut fields, spec);
             fields.push(("steps", JsonValue::from(*steps)));
         }
+        Command::Query { spec, seed } => {
+            fields.push(("cmd", "query".into()));
+            push_spec(&mut fields, spec);
+            fields.push(("seed", JsonValue::from(*seed)));
+        }
         Command::Stats => fields.push(("cmd", "stats".into())),
         Command::Metrics { .. } => {
             fields.push(("cmd", "metrics".into()));
@@ -822,6 +827,13 @@ fn push_spec(fields: &mut Vec<(&str, JsonValue)>, spec: &SessionSpec) {
     fields.push(("algo", spec.algo.name().into()));
     fields.push(("res", JsonValue::from(spec.res)));
     fields.push(("packet_width", JsonValue::from(spec.packet_width)));
+    if let crate::protocol::Workload::Query(shape) = spec.workload {
+        fields.push(("workload", "query".into()));
+        fields.push(("sampler", shape.sampler.name().into()));
+        fields.push(("batch", JsonValue::from(shape.batch)));
+        fields.push(("k", JsonValue::from(shape.k)));
+        fields.push(("radius_pm", JsonValue::from(shape.radius_pm)));
+    }
 }
 
 fn reply_err(
@@ -876,7 +888,9 @@ fn handle_client_line(
         return;
     }
     match &request.cmd {
-        Command::Render { spec, .. } | Command::TuneStep { spec, .. } => {
+        Command::Render { spec, .. }
+        | Command::TuneStep { spec, .. }
+        | Command::Query { spec, .. } => {
             forward_request(router, ls, client, &request, &spec.id());
         }
         Command::Stats => start_fanout(router, ls, client, &request, FanKind::Stats),
@@ -1358,6 +1372,7 @@ mod tests {
                     algo: Algorithm::InPlace,
                     res: 64,
                     packet_width: 4,
+                    workload: crate::protocol::Workload::Render,
                 },
                 frame: 3,
             },
@@ -1374,6 +1389,42 @@ mod tests {
             Command::Render { spec, frame } => {
                 assert_eq!(spec.id(), "bunny@tiny/in_place/64/w4");
                 assert_eq!(frame, 3);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn upstream_line_round_trips_query_requests() {
+        let spec = SessionSpec {
+            scene: "bunny".into(),
+            scale: "tiny".into(),
+            algo: Algorithm::InPlace,
+            res: 64,
+            packet_width: 1,
+            workload: crate::protocol::Workload::Query(crate::protocol::QueryShape {
+                batch: 128,
+                k: 12,
+                ..crate::protocol::QueryShape::default()
+            }),
+        };
+        let request = Request {
+            id: 4,
+            trace: None,
+            cmd: Command::Query {
+                spec: spec.clone(),
+                seed: 77,
+            },
+        };
+        let parsed = protocol::parse_request(&upstream_line(11, &request)).unwrap();
+        match parsed.cmd {
+            Command::Query {
+                spec: round_trip,
+                seed,
+            } => {
+                assert_eq!(round_trip.id(), spec.id());
+                assert_eq!(round_trip.workload, spec.workload);
+                assert_eq!(seed, 77);
             }
             other => panic!("wrong command {other:?}"),
         }

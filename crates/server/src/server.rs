@@ -101,6 +101,7 @@ struct Counters {
     busy: AtomicU64,
     renders: AtomicU64,
     tunes: AtomicU64,
+    queries: AtomicU64,
 }
 
 struct Job {
@@ -557,7 +558,7 @@ fn process_readable(state: &Arc<ServerState>, conn: &mut Conn) {
 /// exposition is schema-complete from the first scrape — CI greps for
 /// these names even before traffic arrives.
 fn preregister_series(metrics: &MetricsRegistry) {
-    for cmd in ["render", "tune_step", "stats", "metrics"] {
+    for cmd in ["render", "tune_step", "query", "stats", "metrics"] {
         metrics.counter("renderd_requests_total", &[("cmd", cmd), ("code", "ok")]);
     }
     metrics.counter("renderd_busy_total", &[]);
@@ -580,13 +581,14 @@ fn preregister_series(metrics: &MetricsRegistry) {
         metrics.counter("renderd_cache_ops_total", &[("op", op)]);
     }
     metrics.counter("renderd_sessions_created_total", &[]);
-    for cmd in ["render", "tune_step"] {
+    for cmd in ["render", "tune_step", "query"] {
         metrics.histogram("renderd_request_us", &[("cmd", cmd)]);
         metrics.histogram("renderd_queue_wait_us", &[("cmd", cmd)]);
     }
-    for stage in ["build", "render", "serialize", "tune"] {
+    for stage in ["build", "render", "serialize", "tune", "query"] {
         metrics.histogram("renderd_stage_us", &[("stage", stage)]);
     }
+    metrics.histogram("renderd_query_us", &[]);
     for gauge in [
         "renderd_connections",
         "renderd_queue_depth",
@@ -703,7 +705,7 @@ fn handle_line(state: &Arc<ServerState>, writer: &Arc<ConnHandle>, raw: &[u8]) {
             ));
             initiate_shutdown(state);
         }
-        Command::Render { .. } | Command::TuneStep { .. } => {
+        Command::Render { .. } | Command::TuneStep { .. } | Command::Query { .. } => {
             if state.shutting_down.load(Ordering::SeqCst) {
                 state.counters.errors.fetch_add(1, Ordering::Relaxed);
                 writer.send_line(&protocol::err_line_traced(
@@ -890,6 +892,7 @@ fn stage_field_name(stage: &str) -> &'static str {
         "build" => "build_us",
         "render" => "render_us",
         "tune" => "tune_us",
+        "query" => "query_us",
         "serialize" => "serialize_us",
         _ => "stage_us",
     }
@@ -899,6 +902,7 @@ fn cmd_name(cmd: &Command) -> &'static str {
     match cmd {
         Command::Render { .. } => "render",
         Command::TuneStep { .. } => "tune_step",
+        Command::Query { .. } => "query",
         Command::Stats => "stats",
         Command::Metrics { .. } => "metrics",
         Command::Shutdown => "shutdown",
@@ -946,6 +950,10 @@ fn handle_job(
             state.counters.tunes.fetch_add(1, Ordering::Relaxed);
             handle_tune(state, spec, *steps, trace)
         }
+        Command::Query { spec, seed } => {
+            state.counters.queries.fetch_add(1, Ordering::Relaxed);
+            handle_query(state, spec, *seed, trace)
+        }
         // Control commands never reach the queue.
         Command::Stats | Command::Metrics { .. } | Command::Shutdown => {
             Err((ErrorCode::Internal, "control command on work queue".into()))
@@ -954,9 +962,13 @@ fn handle_job(
 }
 
 /// Cache key: every input that determines the packed tree bit-for-bit.
+/// `r` matters only for lazy builds (query sessions cache their eager
+/// expansion) but is cheap to always include. Workloads share entries on
+/// purpose: the same (scene, algo, params) yields the same tree whether
+/// rays or points traverse it.
 fn cache_key(spec: &SessionSpec, frame: usize, params: &BuildParams) -> String {
     format!(
-        "{}@{}/f{}/{}|ci{}cb{}s{}",
+        "{}@{}/f{}/{}|ci{}cb{}s{}r{}",
         spec.scene,
         spec.scale,
         frame,
@@ -964,6 +976,7 @@ fn cache_key(spec: &SessionSpec, frame: usize, params: &BuildParams) -> String {
         params.sah.ci,
         params.sah.cb,
         params.s,
+        params.r,
     )
 }
 
@@ -1100,20 +1113,108 @@ fn render_result(
     ])
 }
 
+fn handle_query(
+    state: &Arc<ServerState>,
+    spec: &SessionSpec,
+    seed: u64,
+    trace: &mut TraceContext,
+) -> Result<JsonValue, (ErrorCode, String)> {
+    let session = state.sessions.get_or_create_query(spec)?;
+    // Snapshot under the lock, then build and query without it: batches
+    // for one session must not serialize behind each other.
+    let (params, tuned, values, mesh, shape, radius) = {
+        let mut session = session.lock();
+        session.queries += 1;
+        let (params, tuned) = session.current_params();
+        (
+            params,
+            tuned,
+            session.best_values(),
+            Arc::clone(session.mesh()),
+            session.shape(),
+            session.radius(),
+        )
+    };
+    // Query trees are always eager (lazy builds are force-expanded), so
+    // unlike the lazy render path they are safe to cache and share.
+    let build_started = Instant::now();
+    let key = cache_key(spec, 0, &params);
+    let (tree, hit) = state.cache.get_or_build(&key, || {
+        Arc::new(crate::session::build_eager(
+            Arc::clone(&mesh),
+            spec.algo,
+            &params,
+        ))
+    });
+    let build_secs = build_started.elapsed().as_secs_f64();
+    trace.stage("build", (build_secs * 1e6) as u64);
+
+    let query_started = Instant::now();
+    let points = kdtune_scenes::sample_points(&mesh, shape.sampler, shape.batch as usize, seed);
+    let stats = crate::session::run_query_batch(tree.as_ref(), &points, shape.k as usize, radius);
+    let query_secs = query_started.elapsed().as_secs_f64();
+    trace.stage("query", (query_secs * 1e6) as u64);
+
+    Ok(JsonValue::object([
+        ("scene", JsonValue::from(spec.scene.as_str())),
+        ("algo", spec.algo.name().into()),
+        ("workload", "query".into()),
+        ("sampler", shape.sampler.name().into()),
+        ("batch", shape.batch.into()),
+        ("k", shape.k.into()),
+        ("radius_pm", shape.radius_pm.into()),
+        ("seed", seed.into()),
+        ("cache", if hit { "hit" } else { "miss" }.into()),
+        ("tuned", tuned.into()),
+        (
+            "config",
+            match &values {
+                Some(values) => values
+                    .iter()
+                    .copied()
+                    .map(JsonValue::from)
+                    .collect::<Vec<_>>()
+                    .into(),
+                None => JsonValue::Null,
+            },
+        ),
+        ("build_ms", (build_secs * 1e3).into()),
+        ("query_ms", (query_secs * 1e3).into()),
+        ("points", stats.points.into()),
+        ("knn_results", stats.knn_results.into()),
+        ("radius_results", stats.radius_results.into()),
+        ("mean_knn_far_d2", stats.mean_knn_far_d2.into()),
+    ]))
+}
+
 fn handle_tune(
     state: &Arc<ServerState>,
     spec: &SessionSpec,
     steps: usize,
     trace: &mut TraceContext,
 ) -> Result<JsonValue, (ErrorCode, String)> {
-    let session = state.sessions.get_or_create(spec)?;
-    let mut session = session.lock();
-    let warm_started = session.warm_started();
-    let t0 = Instant::now();
-    let summary = session.tune(steps, state.sessions.store());
-    trace.stage("tune", t0.elapsed().as_micros() as u64);
+    // Both session kinds expose the same tune surface; the workload axis
+    // picks which map (and which cost function) the step advances.
+    let (warm_started, summary) = if matches!(spec.workload, crate::protocol::Workload::Query(_)) {
+        let session = state.sessions.get_or_create_query(spec)?;
+        let mut session = session.lock();
+        let warm_started = session.warm_started();
+        let t0 = Instant::now();
+        let summary = session.tune(steps, state.sessions.store());
+        trace.stage("tune", t0.elapsed().as_micros() as u64);
+        (warm_started, summary)
+    } else {
+        let session = state.sessions.get_or_create(spec)?;
+        let mut session = session.lock();
+        let warm_started = session.warm_started();
+        let t0 = Instant::now();
+        let summary = session.tune(steps, state.sessions.store());
+        trace.stage("tune", t0.elapsed().as_micros() as u64);
+        (warm_started, summary)
+    };
     Ok(JsonValue::object([
         ("session", JsonValue::from(spec.id())),
+        ("workload", spec.workload.name().into()),
         ("steps_run", summary.steps_run.into()),
         ("total_steps", summary.total_steps.into()),
         ("reason", summary.reason.as_str().into()),
@@ -1170,6 +1271,7 @@ fn stats_json(state: &Arc<ServerState>) -> JsonValue {
                 ("busy", counters.busy.load(Ordering::Relaxed).into()),
                 ("renders", counters.renders.load(Ordering::Relaxed).into()),
                 ("tune_steps", counters.tunes.load(Ordering::Relaxed).into()),
+                ("queries", counters.queries.load(Ordering::Relaxed).into()),
             ]),
         ),
         (

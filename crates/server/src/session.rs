@@ -6,18 +6,30 @@
 //! sessions consult the store first and warm-start the tuner from the
 //! stored best, which is the end-to-end payoff measured by the
 //! warm-vs-cold integration test.
+//!
+//! Two session kinds share this machinery, keyed by the spec's
+//! [`Workload`]: [`Session`] tunes build parameters on ray-traced frame
+//! time, [`QuerySession`] tunes the *same* parameter space on k-NN +
+//! radius-gather batch latency. Because the cost surfaces differ, the
+//! two converge to different trees — which is the reason the workload
+//! axis exists everywhere (session map, tree cache, config store).
 
-use crate::protocol::{ErrorCode, SessionSpec};
+use crate::protocol::{ErrorCode, QueryShape, SessionSpec, Workload};
 use crate::store::ConfigStore;
 use kdtune::{
-    base_build_params, Algorithm, BuildParams, RenderOptions, Scene, SceneParams, StopReason,
-    TunedPipeline, TunerPhase,
+    base_build_params, build, Algorithm, BuildParams, BuiltTree, RenderOptions, Scene, SceneParams,
+    StopReason, TunedPipeline, Tuner, TunerPhase,
 };
+use kdtune_autotune::ParamHandle;
+use kdtune_geometry::{TriangleMesh, Vec3};
+use kdtune_kdtree::{KdTree, Neighbor};
+use kdtune_scenes::sample_points;
 use kdtune_telemetry::json::JsonValue;
 use kdtune_telemetry::{self as telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Fixed tuner seed for every service session. Determinism across
 /// restarts matters more here than seed diversity: a client replaying the
@@ -240,6 +252,7 @@ impl Session {
         };
         JsonValue::object([
             ("id", JsonValue::from(self.spec.id())),
+            ("workload", "render".into()),
             ("phase", tuner.phase().as_str().into()),
             ("converged", tuner.converged().into()),
             ("steps", self.pipeline.steps_taken().into()),
@@ -261,10 +274,330 @@ impl Session {
     }
 }
 
+/// Aggregate results of one k-NN + radius-gather batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryBatchStats {
+    /// Points queried.
+    pub points: usize,
+    /// Total neighbors returned across every k-NN query.
+    pub knn_results: u64,
+    /// Total prims gathered across every radius query.
+    pub radius_results: u64,
+    /// Mean squared distance to each query's farthest k-NN neighbor —
+    /// a cheap content checksum clients can compare across configs.
+    pub mean_knn_far_d2: f64,
+}
+
+/// Runs one batch of point queries against `tree`, reusing result
+/// buffers so the measurement sees the kernels' zero-allocation path.
+pub fn run_query_batch(tree: &KdTree, points: &[Vec3], k: usize, radius: f32) -> QueryBatchStats {
+    let mut knn_buf: Vec<Neighbor> = Vec::with_capacity(k);
+    let mut radius_buf: Vec<Neighbor> = Vec::new();
+    let mut stats = QueryBatchStats {
+        points: points.len(),
+        ..QueryBatchStats::default()
+    };
+    let mut far_sum = 0.0f64;
+    for &p in points {
+        tree.knn_into(p, k, &mut knn_buf);
+        stats.knn_results += knn_buf.len() as u64;
+        if let Some(last) = knn_buf.last() {
+            far_sum += last.d2 as f64;
+        }
+        tree.radius_gather_into(p, radius, &mut radius_buf);
+        stats.radius_results += radius_buf.len() as u64;
+    }
+    if !points.is_empty() {
+        stats.mean_knn_far_d2 = far_sum / points.len() as f64;
+    }
+    stats
+}
+
+/// A point-query tuning session: same search space as [`Session`]
+/// (`CI`/`CB`/`S`, plus `R` for lazy), but the measured cost is
+/// build-plus-query-batch latency instead of build-plus-render frame
+/// time.
+pub struct QuerySession {
+    spec: SessionSpec,
+    shape: QueryShape,
+    mesh: Arc<TriangleMesh>,
+    /// Gather radius in world units (`radius_pm` × bbox diagonal / 1000).
+    radius: f32,
+    tuner: Tuner,
+    handles: (ParamHandle, ParamHandle, ParamHandle, Option<ParamHandle>),
+    warm_started: bool,
+    persisted: bool,
+    steps: usize,
+    /// Query requests served (monotonic, informational).
+    pub queries: u64,
+    stops_converged: u64,
+    stops_frame_budget: u64,
+}
+
+impl QuerySession {
+    fn create(spec: SessionSpec, store: &ConfigStore) -> Result<QuerySession, (ErrorCode, String)> {
+        let Workload::Query(shape) = spec.workload else {
+            return Err((
+                ErrorCode::Internal,
+                "query session created from a render spec".into(),
+            ));
+        };
+        let params = scale_params(&spec.scale)?;
+        let scene = kdtune_scenes::by_name(&spec.scene, &params).ok_or_else(|| {
+            (
+                ErrorCode::UnknownScene,
+                format!(
+                    "unknown scene {:?} (expected one of {:?})",
+                    spec.scene,
+                    kdtune_scenes::SCENE_NAMES
+                ),
+            )
+        })?;
+        // Query batches target the static first frame: tuning needs a
+        // fixed cost surface, and the samplers are deterministic by seed.
+        let mesh = scene.frame(0);
+        let radius = shape.radius_pm as f32 / 1000.0 * mesh.bounds().extent().length();
+        let warm = store.lookup_workload(&spec.scene, spec.algo, "query");
+        let mut builder = Tuner::builder().seed(SESSION_TUNER_SEED);
+        if let Some(stored) = &warm {
+            builder = builder.warm_start(&stored.values);
+        }
+        let mut tuner = builder.build();
+        let ci = tuner.register_parameter("CI", 3, 101, 1);
+        let cb = tuner.register_parameter("CB", 0, 60, 1);
+        let s = tuner.register_parameter("S", 1, 8, 1);
+        let r =
+            (spec.algo == Algorithm::Lazy).then(|| tuner.register_parameter_pow2("R", 16, 8192));
+        telemetry::event_owned(
+            "server.session",
+            vec![
+                ("op", "create".into()),
+                ("session", spec.id().into()),
+                ("workload", "query".into()),
+                ("warm_start", warm.is_some().into()),
+            ],
+        );
+        Ok(QuerySession {
+            spec,
+            shape,
+            mesh,
+            radius,
+            tuner,
+            handles: (ci, cb, s, r),
+            warm_started: warm.is_some(),
+            persisted: false,
+            steps: 0,
+            queries: 0,
+            stops_converged: 0,
+            stops_frame_budget: 0,
+        })
+    }
+
+    /// The spec this session serves.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// The batch shape queries run with.
+    pub fn shape(&self) -> QueryShape {
+        self.shape
+    }
+
+    /// The mesh queries run against.
+    pub fn mesh(&self) -> &Arc<TriangleMesh> {
+        &self.mesh
+    }
+
+    /// Gather radius in world units.
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Whether the tuner was seeded from a stored configuration.
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
+    }
+
+    /// Tuner measurement cycles run so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps
+    }
+
+    /// Best tuned values so far, if the tuner has measured anything.
+    pub fn best_values(&self) -> Option<Vec<i64>> {
+        self.tuner.best().map(|(c, _)| c.values().to_vec())
+    }
+
+    /// Build parameters for query requests: the tuner's best when one
+    /// exists, the paper's `C_base` otherwise.
+    pub fn current_params(&self) -> (BuildParams, bool) {
+        match self.tuner.best() {
+            Some((config, _)) => (params_from_values(self.spec.algo, config.values()), true),
+            None => (base_build_params(), false),
+        }
+    }
+
+    /// Runs one measured batch against an externally built (usually
+    /// cached) tree.
+    pub fn run_batch(&mut self, tree: &KdTree, seed: u64) -> QueryBatchStats {
+        self.queries += 1;
+        let points = sample_points(
+            &self.mesh,
+            self.shape.sampler,
+            self.shape.batch as usize,
+            seed,
+        );
+        run_query_batch(tree, &points, self.shape.k as usize, self.radius)
+    }
+
+    /// Runs up to `steps` tuner cycles — each one builds a tree with the
+    /// tuner's candidate config and times a full query batch on it —
+    /// persisting to `store` (workload `"query"`) the first time the
+    /// session converges.
+    pub fn tune(&mut self, steps: usize, store: &ConfigStore) -> TuneSummary {
+        let mut steps_run = 0;
+        let mut reason = StopReason::FrameBudget;
+        for _ in 0..steps {
+            if self.tuner.converged() {
+                reason = StopReason::Converged;
+                break;
+            }
+            self.tuner.start_cycle();
+            let values: Vec<i64> = {
+                let (ci, cb, s, r) = &self.handles;
+                let mut v = vec![self.tuner.get(*ci), self.tuner.get(*cb), self.tuner.get(*s)];
+                if let Some(r) = r {
+                    v.push(self.tuner.get(*r));
+                }
+                v
+            };
+            let params = params_from_values(self.spec.algo, &values);
+            let t0 = Instant::now();
+            let tree = build_eager(Arc::clone(&self.mesh), self.spec.algo, &params);
+            // Decorrelate batches across cycles while staying replayable.
+            let seed = SESSION_TUNER_SEED ^ self.tuner.iterations() as u64;
+            let points = sample_points(
+                &self.mesh,
+                self.shape.sampler,
+                self.shape.batch as usize,
+                seed,
+            );
+            run_query_batch(&tree, &points, self.shape.k as usize, self.radius);
+            let cost = t0.elapsed().as_secs_f64();
+            self.tuner.stop_with(cost);
+            self.steps += 1;
+            steps_run += 1;
+        }
+        if self.tuner.converged() {
+            reason = StopReason::Converged;
+        }
+        match reason {
+            StopReason::Converged => self.stops_converged += 1,
+            StopReason::FrameBudget => self.stops_frame_budget += 1,
+        }
+        let converged = self.tuner.converged();
+        let phase = self.tuner.phase();
+        let (best_values, best_cost) = match self.tuner.best() {
+            Some((config, cost)) => (config.values().to_vec(), cost),
+            None => (Vec::new(), 0.0),
+        };
+        let mut persisted = false;
+        if converged && !self.persisted && !best_values.is_empty() {
+            self.persisted = true;
+            persisted = store
+                .record_workload(
+                    &self.spec.scene,
+                    self.spec.algo,
+                    "query",
+                    self.spec.res,
+                    &best_values,
+                    best_cost,
+                    self.steps as u64,
+                )
+                .unwrap_or(false);
+        }
+        telemetry::event_owned(
+            "server.session",
+            vec![
+                ("op", "tune".into()),
+                ("session", self.spec.id().into()),
+                ("workload", "query".into()),
+                ("steps_run", steps_run.into()),
+                ("reason", reason.as_str().into()),
+                ("phase", phase.as_str().into()),
+                ("persisted", persisted.into()),
+            ],
+        );
+        TuneSummary {
+            steps_run,
+            total_steps: self.steps,
+            reason,
+            converged,
+            phase,
+            best_values,
+            best_cost,
+            persisted,
+        }
+    }
+
+    /// Point-in-time convergence summary for `stats` (`sessions.detail`).
+    pub fn summary_json(&self) -> JsonValue {
+        let (best_values, best_cost) = match self.tuner.best() {
+            Some((config, cost)) => (
+                config
+                    .values()
+                    .iter()
+                    .copied()
+                    .map(JsonValue::from)
+                    .collect::<Vec<_>>()
+                    .into(),
+                JsonValue::from(cost * 1e3),
+            ),
+            None => (JsonValue::Null, JsonValue::Null),
+        };
+        JsonValue::object([
+            ("id", JsonValue::from(self.spec.id())),
+            ("workload", "query".into()),
+            ("sampler", self.shape.sampler.name().into()),
+            ("batch", self.shape.batch.into()),
+            ("k", self.shape.k.into()),
+            ("radius_pm", self.shape.radius_pm.into()),
+            ("phase", self.tuner.phase().as_str().into()),
+            ("converged", self.tuner.converged().into()),
+            ("steps", self.steps.into()),
+            ("measurements", self.tuner.iterations().into()),
+            ("retunes", self.tuner.retunes().into()),
+            ("queries", self.queries.into()),
+            ("warm_started", self.warm_started.into()),
+            ("persisted", self.persisted.into()),
+            (
+                "stops",
+                JsonValue::object([
+                    ("converged", JsonValue::from(self.stops_converged)),
+                    ("frame_budget", self.stops_frame_budget.into()),
+                ]),
+            ),
+            ("best_config", best_values),
+            ("best_cost_ms", best_cost),
+        ])
+    }
+}
+
+/// Builds the eager form of a tree for query work: lazy builds are
+/// force-expanded, since point queries (unlike rays) visit leaves in an
+/// unbounded pattern and the expansion cost is part of what `R` tunes.
+pub fn build_eager(mesh: Arc<TriangleMesh>, algorithm: Algorithm, params: &BuildParams) -> KdTree {
+    match build(mesh, algorithm, params) {
+        BuiltTree::Eager(tree) => tree,
+        BuiltTree::Lazy(lazy) => lazy.to_eager(),
+    }
+}
+
 /// Owns every live session and the store they persist to.
 pub struct SessionManager {
     store: Arc<ConfigStore>,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    query_sessions: Mutex<HashMap<String, Arc<Mutex<QuerySession>>>>,
 }
 
 impl SessionManager {
@@ -273,6 +606,7 @@ impl SessionManager {
         SessionManager {
             store,
             sessions: Mutex::new(HashMap::new()),
+            query_sessions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -300,14 +634,39 @@ impl SessionManager {
         Ok(Arc::clone(entry))
     }
 
-    /// Number of live sessions.
-    pub fn count(&self) -> usize {
-        self.sessions.lock().len()
+    /// Returns the query session for `spec` (whose workload must be
+    /// [`Workload::Query`]), creating it on first use with the same
+    /// first-insert-wins race handling as [`get_or_create`](Self::get_or_create).
+    pub fn get_or_create_query(
+        &self,
+        spec: &SessionSpec,
+    ) -> Result<Arc<Mutex<QuerySession>>, (ErrorCode, String)> {
+        let id = spec.id();
+        if let Some(session) = self.query_sessions.lock().get(&id) {
+            return Ok(Arc::clone(session));
+        }
+        let session = QuerySession::create(spec.clone(), &self.store)?;
+        let mut sessions = self.query_sessions.lock();
+        let entry = sessions
+            .entry(id)
+            .or_insert_with(|| Arc::new(Mutex::new(session)));
+        Ok(Arc::clone(entry))
     }
 
-    /// Session ids, sorted (for stats reporting).
+    /// Number of live sessions across both workloads.
+    pub fn count(&self) -> usize {
+        self.sessions.lock().len() + self.query_sessions.lock().len()
+    }
+
+    /// Number of live query sessions.
+    pub fn query_count(&self) -> usize {
+        self.query_sessions.lock().len()
+    }
+
+    /// Session ids across both workloads, sorted (for stats reporting).
     pub fn ids(&self) -> Vec<String> {
         let mut ids: Vec<String> = self.sessions.lock().keys().cloned().collect();
+        ids.extend(self.query_sessions.lock().keys().cloned());
         ids.sort();
         ids
     }
@@ -316,22 +675,41 @@ impl SessionManager {
     /// a worker (lock held) are reported as `{"id":…,"busy":true}` rather
     /// than blocking the stats path behind a tune step.
     pub fn summaries(&self) -> Vec<JsonValue> {
-        let entries: Vec<(String, Arc<Mutex<Session>>)> = {
+        let render_entries: Vec<(String, Arc<Mutex<Session>>)> = {
             let sessions = self.sessions.lock();
-            let mut entries: Vec<_> = sessions
+            sessions
                 .iter()
                 .map(|(id, s)| (id.clone(), Arc::clone(s)))
-                .collect();
-            entries.sort_by(|a, b| a.0.cmp(&b.0));
-            entries
+                .collect()
         };
-        entries
+        let query_entries: Vec<(String, Arc<Mutex<QuerySession>>)> = {
+            let sessions = self.query_sessions.lock();
+            sessions
+                .iter()
+                .map(|(id, s)| (id.clone(), Arc::clone(s)))
+                .collect()
+        };
+        let busy_json =
+            |id: String| JsonValue::object([("id", JsonValue::from(id)), ("busy", true.into())]);
+        let mut entries: Vec<(String, JsonValue)> = render_entries
             .into_iter()
-            .map(|(id, session)| match session.try_lock() {
-                Some(session) => session.summary_json(),
-                None => JsonValue::object([("id", JsonValue::from(id)), ("busy", true.into())]),
+            .map(|(id, session)| {
+                let json = match session.try_lock() {
+                    Some(session) => session.summary_json(),
+                    None => busy_json(id.clone()),
+                };
+                (id, json)
             })
-            .collect()
+            .collect();
+        entries.extend(query_entries.into_iter().map(|(id, session)| {
+            let json = match session.try_lock() {
+                Some(session) => session.summary_json(),
+                None => busy_json(id.clone()),
+            };
+            (id, json)
+        }));
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.into_iter().map(|(_, json)| json).collect()
     }
 }
 
@@ -353,6 +731,17 @@ mod tests {
             algo: Algorithm::InPlace,
             res: 16,
             packet_width: 1,
+            workload: Workload::Render,
+        }
+    }
+
+    fn query_spec(scene: &str) -> SessionSpec {
+        SessionSpec {
+            workload: Workload::Query(QueryShape {
+                batch: 64,
+                ..QueryShape::default()
+            }),
+            ..spec(scene)
         }
     }
 
@@ -453,6 +842,113 @@ mod tests {
         assert!(
             session.steps_taken() < cold_steps,
             "warm start must converge in fewer steps (warm {} vs cold {})",
+            session.steps_taken(),
+            cold_steps
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn render_and_query_sessions_are_isolated() {
+        let manager = SessionManager::new(Arc::new(temp_store("isolated")));
+        let _render = manager.get_or_create(&spec("wood_doll")).unwrap();
+        let q1 = manager
+            .get_or_create_query(&query_spec("wood_doll"))
+            .unwrap();
+        let q2 = manager
+            .get_or_create_query(&query_spec("wood_doll"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&q1, &q2), "equal query specs share a session");
+        assert_eq!(manager.count(), 2);
+        assert_eq!(manager.query_count(), 1);
+        let ids = manager.ids();
+        assert!(ids.iter().any(|id| id.contains("/query/")), "{ids:?}");
+        let summaries = manager.summaries();
+        assert_eq!(summaries.len(), 2);
+        let workloads: Vec<&str> = summaries
+            .iter()
+            .filter_map(|s| s.get("workload").and_then(JsonValue::as_str))
+            .collect();
+        assert!(workloads.contains(&"render") && workloads.contains(&"query"));
+    }
+
+    #[test]
+    fn query_session_runs_batches_and_reports_results() {
+        let manager = SessionManager::new(Arc::new(temp_store("qbatch")));
+        let session = manager
+            .get_or_create_query(&query_spec("wood_doll"))
+            .unwrap();
+        let mut session = session.lock();
+        let (params, tuned) = session.current_params();
+        assert!(!tuned, "fresh query session starts at C_base");
+        let tree = build_eager(Arc::clone(session.mesh()), Algorithm::InPlace, &params);
+        let stats = session.run_batch(&tree, 5);
+        assert_eq!(stats.points, 64);
+        assert_eq!(stats.knn_results, 64 * 8, "k=8 neighbors per point");
+        assert!(stats.mean_knn_far_d2 > 0.0);
+        // Same seed, same batch: deterministic replay.
+        let again = session.run_batch(&tree, 5);
+        assert_eq!(stats.knn_results, again.knn_results);
+        assert_eq!(stats.radius_results, again.radius_results);
+        assert_eq!(session.queries, 2);
+    }
+
+    #[test]
+    fn query_tune_persists_under_the_query_workload_and_warm_starts() {
+        let store = Arc::new(temp_store("qwarm"));
+        let path = store.path().to_path_buf();
+        let cold_steps;
+        {
+            let manager = SessionManager::new(Arc::clone(&store));
+            let session = manager
+                .get_or_create_query(&query_spec("wood_doll"))
+                .unwrap();
+            let mut session = session.lock();
+            assert!(!session.warm_started());
+            let mut persists = 0;
+            loop {
+                let summary = session.tune(8, manager.store());
+                persists += summary.persisted as u32;
+                if summary.converged {
+                    break;
+                }
+                assert!(session.steps_taken() < 400, "query tuner never converged");
+            }
+            cold_steps = session.steps_taken();
+            assert_eq!(persists, 1);
+            assert!(!session.tune(1, manager.store()).persisted);
+        }
+
+        let store = Arc::new(ConfigStore::open(&path).unwrap());
+        assert!(
+            store
+                .lookup_workload("wood_doll", Algorithm::InPlace, "query")
+                .is_some(),
+            "converged query config must persist under the query workload"
+        );
+        assert!(
+            store.lookup("wood_doll", Algorithm::InPlace).is_none(),
+            "query tuning must not pollute render warm starts"
+        );
+        let manager = SessionManager::new(store);
+        let session = manager
+            .get_or_create_query(&query_spec("wood_doll"))
+            .unwrap();
+        let mut session = session.lock();
+        assert!(session.warm_started());
+        loop {
+            let summary = session.tune(8, manager.store());
+            if summary.converged {
+                break;
+            }
+            assert!(
+                session.steps_taken() < 400,
+                "warm query tuner never converged"
+            );
+        }
+        assert!(
+            session.steps_taken() <= cold_steps,
+            "warm start must not converge slower (warm {} vs cold {})",
             session.steps_taken(),
             cold_steps
         );

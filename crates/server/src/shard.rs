@@ -290,6 +290,68 @@ mod tests {
     }
 
     #[test]
+    fn query_session_keys_spread_across_the_ring() {
+        use crate::protocol::{QueryShape, SessionSpec, Workload};
+        use kdtune::Algorithm;
+        // Real query-session id material: the workload axis plus batch
+        // shape must give the ring enough entropy that query traffic for
+        // many shapes/scenes does not pile onto one shard, and that each
+        // query key routes away from its render twin independently.
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        let mut differs_from_render = 0usize;
+        let mut total = 0usize;
+        for scene in ["bunny", "sponza", "sibenik", "toasters", "wood_doll"] {
+            for sampler in kdtune_scenes::PointSampler::ALL {
+                for batch in [64u32, 256, 1024, 4096] {
+                    for k in [4u32, 8, 16] {
+                        for radius_pm in [20u32, 50, 200] {
+                            let spec = SessionSpec {
+                                scene: scene.into(),
+                                scale: "tiny".into(),
+                                algo: Algorithm::InPlace,
+                                res: 64,
+                                packet_width: 1,
+                                workload: Workload::Query(QueryShape {
+                                    sampler,
+                                    batch,
+                                    k,
+                                    radius_pm,
+                                }),
+                            };
+                            let query_id = spec.id();
+                            let render_id = SessionSpec {
+                                workload: Workload::Render,
+                                ..spec
+                            }
+                            .id();
+                            counts[ring.owner(&query_id).unwrap()] += 1;
+                            total += 1;
+                            if ring.owner(&query_id) != ring.owner(&render_id) {
+                                differs_from_render += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 360 keys over 4 shards: fair share is 90; reject collapse or
+        // starvation.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (total / 10..=total / 2).contains(&c),
+                "shard {s} owns {c} of {total} query keys"
+            );
+        }
+        // Query sessions must not systematically co-locate with their
+        // render twins (independent hashing ⇒ ~3/4 should differ).
+        assert!(
+            differs_from_render > total / 2,
+            "only {differs_from_render} of {total} query keys route independently of render"
+        );
+    }
+
+    #[test]
     fn fnv_matches_reference_vectors() {
         // Published FNV-1a 64 test vectors.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);

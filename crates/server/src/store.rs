@@ -2,9 +2,12 @@
 //!
 //! The paper's §VI shows tuned configs do not transfer across scenes or
 //! machines, so the store keys on exactly the things that make a config
-//! valid to reuse: scene, algorithm, pool width, and hostname. Sessions
-//! whose key has a stored best are warm-started from it (see
-//! [`crate::session`]); everything else tunes cold.
+//! valid to reuse: scene, algorithm, workload, pool width, and hostname.
+//! The workload axis keeps render-tuned and query-tuned configs apart —
+//! a tree tuned for frame time is the wrong warm start for point-query
+//! batches and vice versa. Sessions whose key has a stored best are
+//! warm-started from it (see [`crate::session`]); everything else tunes
+//! cold.
 //!
 //! The file is append-only — history is kept, and the in-memory index
 //! tracks the lowest-cost entry per key. Malformed lines are skipped on
@@ -45,6 +48,9 @@ pub struct StoredConfig {
     pub scene: String,
     /// Algorithm name (`Algorithm::name`).
     pub algo: String,
+    /// Workload the config was tuned for (`"render"` or `"query"`).
+    /// Lines written before this axis existed load as `"render"`.
+    pub workload: String,
     /// Rayon pool width the result was tuned under.
     pub threads: usize,
     /// Hostname the result was tuned on.
@@ -59,8 +65,8 @@ pub struct StoredConfig {
     pub steps: u64,
 }
 
-fn key_of(scene: &str, algo: &str, threads: usize, host: &str) -> String {
-    format!("{scene}/{algo}/t{threads}/{host}")
+fn key_of(scene: &str, algo: &str, workload: &str, threads: usize, host: &str) -> String {
+    format!("{scene}/{algo}/{workload}/t{threads}/{host}")
 }
 
 /// The JSONL-backed config store. Thread-safe; one instance per server.
@@ -82,7 +88,13 @@ impl ConfigStore {
                     let Some(entry) = parse_line(&line?) else {
                         continue;
                     };
-                    let key = key_of(&entry.scene, &entry.algo, entry.threads, &entry.host);
+                    let key = key_of(
+                        &entry.scene,
+                        &entry.algo,
+                        &entry.workload,
+                        entry.threads,
+                        &entry.host,
+                    );
                     match best.get(&key) {
                         Some(prev) if prev.cost <= entry.cost => {}
                         _ => {
@@ -106,7 +118,8 @@ impl ConfigStore {
         &self.path
     }
 
-    /// Number of distinct (scene, algo, threads, host) keys with a best.
+    /// Number of distinct (scene, algo, workload, threads, host) keys
+    /// with a best.
     pub fn len(&self) -> usize {
         self.best.lock().len()
     }
@@ -116,21 +129,32 @@ impl ConfigStore {
         self.len() == 0
     }
 
-    /// Best stored config for `scene` + `algorithm` under the *current*
-    /// pool width and host, if any.
+    /// Best render-workload config for `scene` + `algorithm` under the
+    /// *current* pool width and host, if any.
     pub fn lookup(&self, scene: &str, algorithm: Algorithm) -> Option<StoredConfig> {
+        self.lookup_workload(scene, algorithm, "render")
+    }
+
+    /// Best stored config for `scene` + `algorithm` + `workload` under
+    /// the *current* pool width and host, if any.
+    pub fn lookup_workload(
+        &self,
+        scene: &str,
+        algorithm: Algorithm,
+        workload: &str,
+    ) -> Option<StoredConfig> {
         let key = key_of(
             scene,
             algorithm.name(),
+            workload,
             rayon::current_num_threads().max(1),
             &self.host,
         );
         self.best.lock().get(&key).cloned()
     }
 
-    /// Records a converged result. Appends to the file and updates the
-    /// index only when it beats the stored best for its key; returns
-    /// whether it did.
+    /// Records a converged render-workload result (see
+    /// [`record_workload`](Self::record_workload)).
     pub fn record(
         &self,
         scene: &str,
@@ -140,9 +164,27 @@ impl ConfigStore {
         cost: f64,
         steps: u64,
     ) -> std::io::Result<bool> {
+        self.record_workload(scene, algorithm, "render", res, values, cost, steps)
+    }
+
+    /// Records a converged result under a workload axis. Appends to the
+    /// file and updates the index only when it beats the stored best for
+    /// its key; returns whether it did.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_workload(
+        &self,
+        scene: &str,
+        algorithm: Algorithm,
+        workload: &str,
+        res: u32,
+        values: &[i64],
+        cost: f64,
+        steps: u64,
+    ) -> std::io::Result<bool> {
         let entry = StoredConfig {
             scene: scene.to_string(),
             algo: algorithm.name().to_string(),
+            workload: workload.to_string(),
             threads: rayon::current_num_threads().max(1),
             host: self.host.clone(),
             res,
@@ -150,7 +192,13 @@ impl ConfigStore {
             cost,
             steps,
         };
-        let key = key_of(&entry.scene, &entry.algo, entry.threads, &entry.host);
+        let key = key_of(
+            &entry.scene,
+            &entry.algo,
+            &entry.workload,
+            entry.threads,
+            &entry.host,
+        );
         let mut best = self.best.lock();
         if let Some(prev) = best.get(&key) {
             if prev.cost <= entry.cost {
@@ -172,6 +220,7 @@ fn encode_line(entry: &StoredConfig) -> String {
         ("version", JsonValue::from(1)),
         ("scene", entry.scene.as_str().into()),
         ("algo", entry.algo.as_str().into()),
+        ("workload", entry.workload.as_str().into()),
         ("threads", entry.threads.into()),
         ("host", entry.host.as_str().into()),
         ("res", entry.res.into()),
@@ -207,6 +256,12 @@ fn parse_line(line: &str) -> Option<StoredConfig> {
     Some(StoredConfig {
         scene: v.get("scene")?.as_str()?.to_string(),
         algo: v.get("algo")?.as_str()?.to_string(),
+        // Pre-workload lines were all render-tuned.
+        workload: v
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("render")
+            .to_string(),
         threads: usize::try_from(v.get("threads")?.as_i64()?).ok()?,
         host: v.get("host")?.as_str()?.to_string(),
         res: u32::try_from(v.get("res")?.as_i64()?).ok()?,
@@ -264,6 +319,7 @@ mod tests {
         let good = encode_line(&StoredConfig {
             scene: "fairy_forest".into(),
             algo: "in_place".into(),
+            workload: "render".into(),
             threads: rayon::current_num_threads().max(1),
             host: hostname(),
             res: 32,
@@ -290,6 +346,7 @@ mod tests {
         let mut entry = StoredConfig {
             scene: "bunny".into(),
             algo: "in_place".into(),
+            workload: "render".into(),
             threads: rayon::current_num_threads().max(1) + 1, // a *different* width
             host: hostname(),
             res: 32,
@@ -307,6 +364,64 @@ mod tests {
         std::fs::write(&path, format!("{}\n", encode_line(&entry))).unwrap();
         let store = ConfigStore::open(&path).unwrap();
         assert!(store.lookup("bunny", Algorithm::InPlace).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn workloads_hold_separate_bests() {
+        let path = temp_store("workloads");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = ConfigStore::open(&path).unwrap();
+            assert!(store
+                .record("bunny", Algorithm::InPlace, 64, &[21, 11, 4], 0.012, 9)
+                .unwrap());
+            // A cheaper query-tuned config must not shadow the render best.
+            assert!(store
+                .record_workload(
+                    "bunny",
+                    Algorithm::InPlace,
+                    "query",
+                    64,
+                    &[80, 2, 1],
+                    0.001,
+                    6
+                )
+                .unwrap());
+        }
+        let store = ConfigStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2, "one best per workload");
+        assert_eq!(
+            store.lookup("bunny", Algorithm::InPlace).unwrap().values,
+            vec![21, 11, 4]
+        );
+        assert_eq!(
+            store
+                .lookup_workload("bunny", Algorithm::InPlace, "query")
+                .unwrap()
+                .values,
+            vec![80, 2, 1]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_workload_lines_load_as_render() {
+        let path = temp_store("legacy");
+        // A line exactly as the store wrote it before the workload axis.
+        let legacy = r#"{"version":1,"scene":"bunny","algo":"in_place","threads":THREADS,"host":"HOST","res":32,"config":[21,11,4],"cost":0.01,"steps":5}"#
+            .replace("THREADS", &rayon::current_num_threads().max(1).to_string())
+            .replace("HOST", &hostname());
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        let store = ConfigStore::open(&path).unwrap();
+        let best = store.lookup("bunny", Algorithm::InPlace).unwrap();
+        assert_eq!(best.workload, "render");
+        assert!(
+            store
+                .lookup_workload("bunny", Algorithm::InPlace, "query")
+                .is_none(),
+            "legacy render lines must not warm-start query sessions"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -118,13 +118,14 @@ pub fn render_dashboard(stats: &JsonValue) -> String {
         draining,
     ));
     out.push_str(&format!(
-        "requests {}  ok {}  errors {}  busy {}  ({} renders, {} tune steps)\n",
+        "requests {}  ok {}  errors {}  busy {}  ({} renders, {} tune steps, {} queries)\n",
         get_u64(stats, &["requests", "received"]),
         get_u64(stats, &["requests", "ok"]),
         get_u64(stats, &["requests", "errors"]),
         get_u64(stats, &["requests", "busy"]),
         get_u64(stats, &["requests", "renders"]),
         get_u64(stats, &["requests", "tune_steps"]),
+        get_u64(stats, &["requests", "queries"]),
     ));
     out.push_str(&format!(
         "cache {} entries  {:.1}/{:.1} MiB  hit rate {:.1}%  ({} hits / {} misses / {} evictions)\n",
@@ -140,7 +141,7 @@ pub fn render_dashboard(stats: &JsonValue) -> String {
     // Windowed latency per endpoint, straight from the metrics snapshot.
     if let Some(JsonValue::Object(histograms)) = get(stats, &["metrics", "histograms"]) {
         let mut rows = String::new();
-        for cmd in ["render", "tune_step"] {
+        for cmd in ["render", "tune_step", "query"] {
             let key = format!("renderd_request_us{{cmd=\"{cmd}\"}}");
             let Some(series) = histograms.get(&key) else {
                 continue;
@@ -200,12 +201,19 @@ pub fn render_dashboard(stats: &JsonValue) -> String {
                     Some(cost) => format!("  best {cost:.2} ms"),
                     None => String::new(),
                 };
+                // Query sessions count gather batches, render sessions
+                // count frames; label the column accordingly.
+                let work = if get_str(session, &["workload"]) == "query" {
+                    format!("queries {:<6}", get_u64(session, &["queries"]))
+                } else {
+                    format!("renders {:<6}", get_u64(session, &["renders"]))
+                };
                 out.push_str(&format!(
-                    "  {:<36} {:<10} steps {:<5} renders {:<6} retunes {}{}{}\n",
+                    "  {:<44} {:<10} steps {:<5} {} retunes {}{}{}\n",
                     get_str(session, &["id"]),
                     get_str(session, &["phase"]),
                     get_u64(session, &["steps"]),
-                    get_u64(session, &["renders"]),
+                    work,
                     get_u64(session, &["retunes"]),
                     best,
                     warm,
@@ -260,7 +268,7 @@ mod tests {
             r#"{
               "addr":"127.0.0.1:7464","uptime_secs":12.5,"workers":2,
               "queue_depth":1,"queue_capacity":64,"shutting_down":false,
-              "requests":{"received":100,"ok":95,"errors":2,"busy":3,"renders":80,"tune_steps":15},
+              "requests":{"received":100,"ok":95,"errors":2,"busy":3,"renders":70,"tune_steps":15,"queries":10},
               "cache":{"entries":4,"bytes":1048576,"capacity_bytes":134217728,
                        "hits":60,"misses":20,"evictions":1,"hit_rate":0.75},
               "metrics":{"histograms":{
@@ -268,11 +276,20 @@ mod tests {
                   "1s":{"count":5,"p50_us":1500,"p95_us":3000,"p99_us":4000},
                   "10s":{"count":50,"p50_us":1600,"p95_us":3100,"p99_us":4100},
                   "60s":{"count":80,"p50_us":1700,"p95_us":3200,"p99_us":4200},
-                  "total":{"count":80,"p50_us":1700,"p95_us":3200,"p99_us":4200}}}},
-              "sessions":{"count":1,"detail":[
+                  "total":{"count":80,"p50_us":1700,"p95_us":3200,"p99_us":4200}},
+                "renderd_request_us{cmd=\"query\"}":{
+                  "1s":{"count":0},
+                  "10s":{"count":8,"p50_us":700,"p95_us":900,"p99_us":1100},
+                  "60s":{"count":10,"p50_us":800,"p95_us":1000,"p99_us":1200},
+                  "total":{"count":10,"p50_us":800,"p95_us":1000,"p99_us":1200}}}},
+              "sessions":{"count":2,"detail":[
                 {"id":"bunny@tiny/in_place/64","phase":"searching","converged":false,
                  "steps":40,"renders":80,"retunes":0,"warm_started":true,
-                 "best_cost_ms":3.25}]},
+                 "best_cost_ms":3.25},
+                {"id":"bunny@tiny/in_place/query/photon_gather/b256k8r50",
+                 "workload":"query","phase":"converged","converged":true,
+                 "steps":60,"queries":10,"retunes":0,"warm_started":false,
+                 "best_cost_ms":0.42}]},
               "slow":[{"cmd":"render","trace_id":17,"total_us":512000,
                        "stages":{"queue_us":1000,"build_us":400000,"render_us":110000,"serialize_us":1000},
                        "client_trace":"c2-17"}]
@@ -290,11 +307,21 @@ mod tests {
         // Windowed quantiles, in milliseconds.
         assert!(text.contains("1.5/3.0/4.0"), "{text}");
         assert!(text.contains("1.6/3.1/4.1"), "{text}");
-        // Session convergence row.
+        // Per-workload request counters and the query latency row.
+        assert!(text.contains("10 queries"), "{text}");
+        assert!(text.contains("0.8/1.0/1.2"), "{text}");
+        // Session convergence rows: the render session counts frames, the
+        // query session counts gather batches.
         assert!(text.contains("bunny@tiny/in_place/64"), "{text}");
         assert!(text.contains("searching"), "{text}");
         assert!(text.contains("warm"), "{text}");
         assert!(text.contains("best 3.25 ms"), "{text}");
+        assert!(
+            text.contains("bunny@tiny/in_place/query/photon_gather/b256k8r50"),
+            "{text}"
+        );
+        assert!(text.contains("queries 10"), "{text}");
+        assert!(text.contains("best 0.42 ms"), "{text}");
         // Slow exemplar with its stage breakdown and client tag.
         assert!(text.contains("#17 render 512.0 ms"), "{text}");
         assert!(text.contains("build 400.0"), "{text}");

@@ -314,9 +314,18 @@ impl MetricsRegistry {
                     ("render_us", "render"),
                     ("serialize_us", "serialize"),
                     ("tune_us", "tune"),
+                    ("query_us", "query"),
                 ] {
                     if let Some(us) = fu64(r, field) {
                         self.observe_at("renderd_stage_us", &[("stage", stage)], r.t_us, us);
+                    }
+                }
+                // The point-query batch time also gets a dedicated
+                // unlabeled series, so query latency is scrapeable
+                // without a stage-label join.
+                if cmd == "query" {
+                    if let Some(us) = fu64(r, "query_us") {
+                        self.observe_at("renderd_query_us", &[], r.t_us, us);
                     }
                 }
             }
@@ -1087,6 +1096,43 @@ mod tests {
         assert_eq!(stages.lock().cumulative().sum_us(), 900);
         let span = reg.histogram("kdtree_build_us", &[]);
         assert_eq!(span.lock().cumulative().sum_us(), 2000);
+    }
+
+    #[test]
+    fn fold_gives_query_requests_a_dedicated_latency_series() {
+        let reg = MetricsRegistry::new();
+        reg.fold(&event_record(
+            "server.request",
+            vec![
+                ("cmd", "query".into()),
+                ("ok", true.into()),
+                ("code", "-".into()),
+                ("duration_us", 800u64.into()),
+                ("build_us", 500u64.into()),
+                ("query_us", 250u64.into()),
+            ],
+        ));
+        // A render request with no query stage must not touch the series.
+        reg.fold(&event_record(
+            "server.request",
+            vec![
+                ("cmd", "render".into()),
+                ("code", "-".into()),
+                ("duration_us", 100u64.into()),
+            ],
+        ));
+        assert_eq!(
+            reg.counter_value(
+                "renderd_requests_total",
+                &[("cmd", "query"), ("code", "ok")]
+            ),
+            1
+        );
+        let q = reg.histogram("renderd_query_us", &[]);
+        assert_eq!(q.lock().cumulative().count(), 1);
+        assert_eq!(q.lock().cumulative().sum_us(), 250);
+        let stage = reg.histogram("renderd_stage_us", &[("stage", "query")]);
+        assert_eq!(stage.lock().cumulative().sum_us(), 250);
     }
 
     #[test]
